@@ -1,0 +1,90 @@
+// Ablation (§1): concurrent rekey and data transport on bandwidth-limited
+// access links — the paper's motivation for minimizing rekey bandwidth.
+//
+// "Bursty rekey traffic competes for available bandwidth with data traffic,
+// and thus considerably increases the load of bandwidth-limited links ...
+// Congestion at such an access link causes data losses for many downstream
+// users." We model each user's uplink as a serializing queue and multicast
+// a data message while a rekey burst is in flight, measuring how much the
+// burst inflates data latency — with and without rekey-message splitting,
+// across uplink speeds.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/tmesh.h"
+
+int main(int argc, char** argv) {
+  using namespace tmesh;
+  using namespace tmesh::bench;
+  Flags f = Flags::Parse(argc, argv);
+  const int users = f.users > 0 ? f.users : 226;
+
+  auto net = MakeNetwork(Topo::kPlanetLab, users + 1, f.seed);
+  SessionConfig cfg = PaperSession();
+  cfg.with_nice = false;
+  cfg.seed = f.seed + 3;
+  GroupSession session(*net, 0, cfg);
+  Rng rng(f.seed + 11);
+  for (HostId h = 1; h <= users; ++h) {
+    if (!session.Join(h, h).has_value()) return 1;
+  }
+  session.FlushRekeyState();
+  for (int i = 0; i < users / 2; ++i) {
+    auto victim = session.directory().RandomAliveMember(rng);
+    session.Leave(*victim);
+  }
+  RekeyMessage msg = session.key_tree().Rekey();
+  auto sender = session.directory().RandomAliveMember(rng);
+
+  std::printf("# Ablation: rekey/data interference on limited uplinks "
+              "(PlanetLab, %d users,\n# rekey message = %zu encryptions, "
+              "data message = 256 B)\n",
+              users, msg.RekeyCost());
+  std::printf("%12s%18s%22s%22s%14s\n", "uplink_kbps", "data_alone_ms",
+              "data_w_full_rekey_ms", "data_w_split_rekey_ms",
+              "split_gain");
+
+  for (double kbps : {64.0, 256.0, 1024.0, 10240.0}) {
+    auto run = [&](int mode) {  // 0: data alone, 1: +full rekey, 2: +split
+      Simulator sim;
+      TMesh tmesh(session.directory(), sim);
+      TMesh::UplinkModel up;
+      up.kbps = kbps;
+      up.data_bytes = 256;  // a small audio/control packet
+      tmesh.SetUplinkModel(up);
+      std::vector<TMesh::Handle> handles;
+      if (mode > 0) {
+        TMesh::Options ropts;
+        ropts.split = mode == 2;
+        handles.push_back(tmesh.BeginRekey(msg, ropts));
+      }
+      // Launch the data stream while the rekey burst is mid-flight through
+      // the overlay (after the server has pushed out its first copies).
+      double msg_ms =
+          (48.0 + 24.0 * static_cast<double>(msg.RekeyCost())) * 8.0 / kbps;
+      sim.RunUntil(sim.Now() + FromMillis(1.5 * msg_ms + 50.0));
+      handles.push_back(tmesh.BeginData(*sender));
+      sim.Run();
+      const TMesh::Result& data = handles.back().result();
+      std::vector<double> delays;
+      for (const auto& r : data.member) {
+        if (r.copies > 0) delays.push_back(r.delay_ms);
+      }
+      return Percentile(delays, 95);
+    };
+    double alone = run(0);
+    double full = run(1);
+    double split = run(2);
+    std::printf("%12.0f%18.1f%22.1f%22.1f%13.1fx\n", kbps, alone, full,
+                split, full / split);
+  }
+  std::printf(
+      "\n# expected: where the unsplit burst's forwarders overlap the data "
+      "tree in time, data\n# latency multiplies; the split burst never "
+      "interferes measurably. Two paper claims\n# combine here: per-source "
+      "trees already separate most rekey/data forwarders ('rekey\n# "
+      "transport and data transport choose different multicast trees in "
+      "T-mesh', §4.3), and\n# splitting shrinks what remains to a few "
+      "encryptions per user.\n");
+  return 0;
+}

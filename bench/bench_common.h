@@ -1,0 +1,132 @@
+// Shared machinery for the figure-reproduction drivers.
+//
+// Every fig* binary reproduces one figure of the paper's evaluation as a
+// text table (see EXPERIMENTS.md for the mapping and the expected shapes).
+// Common flags:
+//   --runs=N   number of simulation runs to aggregate (paper run counts are
+//              larger; defaults here keep the full bench suite fast)
+//   --seed=N   master seed
+//   --users=N  override the population where applicable
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "metrics/report.h"
+#include "protocols/latency_experiment.h"
+#include "topology/gtitm.h"
+#include "topology/planetlab.h"
+
+namespace tmesh::bench {
+
+struct Flags {
+  int runs = -1;          // -1: driver default
+  int users = -1;
+  std::uint64_t seed = 1;
+  bool full = false;      // paper-scale settings
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--runs=", 7) == 0) {
+        f.runs = std::atoi(a + 7);
+      } else if (std::strncmp(a, "--users=", 8) == 0) {
+        f.users = std::atoi(a + 8);
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        f.seed = static_cast<std::uint64_t>(std::atoll(a + 7));
+      } else if (std::strcmp(a, "--full") == 0) {
+        f.full = true;
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--runs=N] [--users=N] [--seed=N] [--full]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return f;
+  }
+};
+
+enum class Topo { kPlanetLab, kGtItm };
+
+// The paper's T-mesh defaults: D=5, B=256, K=4, P=10, F=90,
+// R=(150,30,9,3) ms, NICE k=3.
+inline SessionConfig PaperSession() {
+  SessionConfig s;
+  s.group = GroupParams{5, 256, 4};
+  s.assign.collect_target = 10;
+  s.assign.percentile = 90.0;
+  s.assign.thresholds_ms = {150.0, 30.0, 9.0, 3.0};
+  s.nice.k = 3;
+  return s;
+}
+
+inline std::unique_ptr<Network> MakeNetwork(Topo topo, int hosts,
+                                            std::uint64_t seed) {
+  if (topo == Topo::kPlanetLab) {
+    PlanetLabParams p;
+    p.hosts = hosts;
+    p.seed = seed;
+    return std::make_unique<PlanetLabNetwork>(p);
+  }
+  GtItmParams p;
+  p.seed = seed;
+  return std::make_unique<GtItmNetwork>(p, hosts, seed * 31 + 1);
+}
+
+// Runs a Figs. 6-11 style latency figure: `runs` simulations, then three
+// inverse-CDF tables (user stress / application-layer delay / RDP) with
+// cross-run mean and 95th percentile, T-mesh vs NICE (Fig. 6
+// presentation), plus the headline RDP fractions the paper quotes.
+inline void RunLatencyFigure(const std::string& title, Topo topo, int users,
+                             bool data_path, int runs, std::uint64_t seed) {
+  RankedRunStats t_stress, t_delay, t_rdp, n_stress, n_delay, n_rdp;
+  std::vector<double> t_rdp_all, n_rdp_all;
+
+  for (int run = 0; run < runs; ++run) {
+    std::uint64_t run_seed = seed + static_cast<std::uint64_t>(run) * 1000003;
+    auto net = MakeNetwork(topo, users + 1, run_seed);
+    LatencyRunConfig cfg;
+    cfg.users = users;
+    cfg.data_path = data_path;
+    cfg.join_window_s = topo == Topo::kPlanetLab ? 452.0 : 2048.0;
+    cfg.session = PaperSession();
+    auto res = RunLatencyExperiment(*net, cfg, run_seed * 7 + 13);
+    t_stress.AddRun(res.tmesh.stress);
+    t_delay.AddRun(res.tmesh.delay_ms);
+    t_rdp.AddRun(res.tmesh.rdp);
+    n_stress.AddRun(res.nice.stress);
+    n_delay.AddRun(res.nice.delay_ms);
+    n_rdp.AddRun(res.nice.rdp);
+    t_rdp_all.insert(t_rdp_all.end(), res.tmesh.rdp.begin(),
+                     res.tmesh.rdp.end());
+    n_rdp_all.insert(n_rdp_all.end(), res.nice.rdp.begin(),
+                     res.nice.rdp.end());
+    std::fprintf(stderr, "  run %d/%d done\n", run + 1, runs);
+  }
+
+  auto fr = DefaultFractions();
+  PrintRankedTable(std::cout, title + " (a): user stress", fr,
+                   {{"T-mesh", &t_stress}, {"NICE", &n_stress}});
+  std::cout << "\n";
+  PrintRankedTable(std::cout, title + " (b): application-layer delay [ms]",
+                   fr, {{"T-mesh", &t_delay}, {"NICE", &n_delay}});
+  std::cout << "\n";
+  PrintRankedTable(std::cout, title + " (c): relative delay penalty (RDP)",
+                   fr, {{"T-mesh", &t_rdp}, {"NICE", &n_rdp}});
+
+  InverseCdf tc(t_rdp_all), nc(n_rdp_all);
+  std::printf(
+      "\n# headline: T-mesh RDP<2: %.0f%%, RDP<3: %.0f%%  |  NICE RDP<2: "
+      "%.0f%%, RDP<3: %.0f%%\n"
+      "#   (paper, Fig. 6: T-mesh 78%% / 95%%; NICE 23%% / 47%%)\n",
+      100 * tc.FractionAtOrBelow(2.0), 100 * tc.FractionAtOrBelow(3.0),
+      100 * nc.FractionAtOrBelow(2.0), 100 * nc.FractionAtOrBelow(3.0));
+}
+
+}  // namespace tmesh::bench

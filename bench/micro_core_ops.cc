@@ -1,0 +1,144 @@
+// google-benchmark microbenchmarks for the core operations: key-tree batch
+// rekeying (both trees), neighbor-table maintenance, T-mesh multicast, and
+// router-graph shortest paths.
+#include <benchmark/benchmark.h>
+
+#include "core/tmesh.h"
+#include "keytree/wgl_key_tree.h"
+#include "protocols/group_session.h"
+#include "topology/gtitm.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+UserId RandomId(Rng& rng, int d, int b) {
+  UserId id;
+  for (int i = 0; i < d; ++i) {
+    id.Append(static_cast<int>(rng.UniformInt(0, b - 1)));
+  }
+  return id;
+}
+
+void BM_ModifiedKeyTreeBatchRekey(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  ModifiedKeyTree base(5);
+  std::vector<UserId> ids;
+  while (static_cast<int>(ids.size()) < n) {
+    UserId id = RandomId(rng, 5, 64);
+    if (base.Contains(id)) continue;
+    base.Join(id);
+    ids.push_back(id);
+  }
+  (void)base.Rekey();
+  for (auto _ : state) {
+    state.PauseTiming();
+    ModifiedKeyTree tree = base;
+    state.ResumeTiming();
+    for (int i = 0; i < n / 8; ++i) tree.Leave(ids[static_cast<std::size_t>(i)]);
+    benchmark::DoNotOptimize(tree.Rekey());
+  }
+}
+BENCHMARK(BM_ModifiedKeyTreeBatchRekey)->Arg(256)->Arg(1024);
+
+void BM_WglKeyTreeBatchRekey(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<MemberId> members;
+  for (int i = 0; i < n; ++i) members.push_back(i);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WglKeyTree tree(4);
+    tree.BuildFullBalanced(members);
+    std::vector<MemberId> leaves(members.begin(), members.begin() + n / 8);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.Rekey({}, leaves));
+  }
+}
+BENCHMARK(BM_WglKeyTreeBatchRekey)->Arg(256)->Arg(1024);
+
+void BM_DirectoryAddMember(benchmark::State& state) {
+  PlanetLabParams p;
+  p.hosts = 600;
+  PlanetLabNetwork net(p);
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Directory dir(net, GroupParams{5, 256, 4}, 0);
+    Rng r2 = rng.Fork();
+    state.ResumeTiming();
+    for (HostId h = 1; h < 512; ++h) {
+      UserId id;
+      do {
+        id = RandomId(r2, 5, 256);
+      } while (dir.Contains(id));
+      dir.AddMember(id, h, h);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 511);
+}
+BENCHMARK(BM_DirectoryAddMember);
+
+void BM_TMeshRekeyMulticast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PlanetLabParams p;
+  p.hosts = n + 1;
+  PlanetLabNetwork net(p);
+  Directory dir(net, GroupParams{5, 256, 4}, 0);
+  ModifiedKeyTree tree(5);
+  Rng rng(7);
+  for (HostId h = 1; h <= n; ++h) {
+    UserId id;
+    do {
+      id = RandomId(rng, 5, 256);
+    } while (dir.Contains(id));
+    dir.AddMember(id, h, h);
+    tree.Join(id);
+  }
+  RekeyMessage msg = tree.Rekey();
+  for (auto _ : state) {
+    Simulator sim;
+    TMesh tmesh(dir, sim);
+    TMesh::Options opts;
+    opts.split = true;
+    benchmark::DoNotOptimize(tmesh.MulticastRekey(msg, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TMeshRekeyMulticast)->Arg(128)->Arg(512);
+
+void BM_GtItmDijkstra(benchmark::State& state) {
+  GtItmParams p;
+  GtItmNetwork net(p, 10, 1);
+  RouterId r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.graph().Dijkstra(r));
+    r = (r + 17) % net.router_count();
+  }
+}
+BENCHMARK(BM_GtItmDijkstra);
+
+void BM_SplitPrefixTest(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<DigitString> encs, prefixes;
+  for (int i = 0; i < 1000; ++i) {
+    encs.push_back(RandomId(rng, static_cast<int>(rng.UniformInt(1, 5)), 256));
+    prefixes.push_back(RandomId(rng, 2, 256));
+  }
+  for (auto _ : state) {
+    int kept = 0;
+    for (const auto& e : encs) {
+      for (const auto& w : prefixes) {
+        if (e.IsPrefixOf(w) || w.IsPrefixOf(e)) ++kept;
+      }
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000 * 1000);
+}
+BENCHMARK(BM_SplitPrefixTest);
+
+}  // namespace
+}  // namespace tmesh
+
+BENCHMARK_MAIN();

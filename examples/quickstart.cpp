@@ -1,0 +1,84 @@
+// Quickstart: the whole system in one small session.
+//
+// Builds a 12-user secure group over a synthetic PlanetLab-like network:
+// users join through the distributed ID-assignment protocol, the directory
+// keeps their neighbor tables K-consistent, the modified key tree tracks
+// their keys, and after a member leaves the key server batch-rekeys and
+// multicasts the (split) rekey message over T-mesh. Prints each step.
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "core/tmesh.h"
+#include "protocols/group_session.h"
+#include "topology/planetlab.h"
+
+int main() {
+  using namespace tmesh;
+
+  // 1. A network: 1 key server (host 0) + 12 user hosts.
+  PlanetLabParams net_params;
+  net_params.hosts = 13;
+  net_params.seed = 7;
+  PlanetLabNetwork net(net_params);
+
+  // 2. A group session: D=3 digits base 8 (small, so the printout is
+  // readable), K=2 neighbors per table entry, thresholds 60/20 ms.
+  SessionConfig cfg;
+  cfg.group = GroupParams{3, 8, 2};
+  cfg.assign.collect_target = 4;
+  cfg.assign.thresholds_ms = {60.0, 20.0};
+  cfg.with_nice = false;
+  cfg.seed = 42;
+  GroupSession session(net, /*server_host=*/0, cfg);
+
+  std::printf("== joins (proximity-aware ID assignment) ==\n");
+  for (HostId h = 1; h <= 12; ++h) {
+    IdAssignStats stats;
+    auto id = session.Join(h, /*time=*/h, &stats);
+    if (!id.has_value()) {
+      std::printf("host %d: ID space exhausted\n", h);
+      continue;
+    }
+    std::printf("host %2d -> ID %-10s (%d queries, %d RTT probes)\n", h,
+                id->ToString().c_str(), stats.queries, stats.rtt_probes);
+  }
+  session.directory().CheckKConsistency();
+  std::printf("neighbor tables are K-consistent.\n");
+  session.FlushRekeyState();  // initial keys are unicast at join time
+
+  // 3. A member leaves; the server batch-rekeys at the interval end.
+  UserId leaver = *session.directory().IdOfHost(5);
+  std::printf("\n== member %s (host 5) leaves ==\n",
+              leaver.ToString().c_str());
+  session.Leave(leaver);
+  RekeyMessage msg = session.key_tree().Rekey();
+  std::printf("rekey message: %zu encryptions\n", msg.RekeyCost());
+  for (const Encryption& e : msg.encryptions) {
+    std::printf("  {new key %-8s v%u} under key %s\n",
+                e.new_key_id.ToString().c_str(), e.new_key_version,
+                e.enc_key_id.ToString().c_str());
+  }
+
+  // 4. Multicast it over T-mesh with rekey-message splitting.
+  Simulator sim;
+  TMesh tmesh(session.directory(), sim);
+  TMesh::Options opts;
+  opts.split = true;
+  auto res = tmesh.MulticastRekey(msg, opts);
+
+  std::printf("\n== delivery (split multicast) ==\n");
+  std::printf("%-10s %-6s %-10s %-8s %-6s\n", "member", "host", "delay_ms",
+              "encs", "level");
+  for (const auto& [id, info] : session.directory().members()) {
+    const auto& rec = res.member[static_cast<std::size_t>(info.host)];
+    std::printf("%-10s %-6d %-10.2f %-8lld %-6d\n", id.ToString().c_str(),
+                info.host, rec.delay_ms,
+                static_cast<long long>(rec.encs_received), rec.forward_level);
+  }
+  std::printf("\nevery member received exactly the encryptions it needs "
+              "(Lemma 3 + Theorem 2);\nwithout splitting each would have "
+              "received all %zu.\n",
+              msg.RekeyCost());
+  return 0;
+}

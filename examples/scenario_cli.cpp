@@ -1,0 +1,236 @@
+// scenario_cli: parameterized scenario runner — evaluate any Table-2 rekey
+// protocol on either evaluation topology with custom churn, loss, and
+// uplink settings, printing the metrics the paper reports.
+//
+//   ./scenario_cli --topology=gtitm --users=512 --joins=64 --leaves=64 \
+//                  --protocol=p1s --uplink-kbps=1024 --loss=0.05
+//
+// Protocols: p1 (modified tree + T-mesh), p1s (.. + splitting),
+//            p2 / p2s (.. + cluster heuristic), p0 / p0s (WGL + NICE),
+//            pip (WGL + IP multicast; GT-ITM only).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+#include "core/tmesh.h"
+#include "ipmc/ip_multicast.h"
+#include "keytree/wgl_key_tree.h"
+#include "protocols/group_session.h"
+#include "protocols/nice_accounting.h"
+#include "topology/gtitm.h"
+#include "topology/planetlab.h"
+
+namespace {
+
+using namespace tmesh;
+
+struct Args {
+  std::string topology = "planetlab";
+  std::string protocol = "p1s";
+  int users = 226;
+  int joins = 0;
+  int leaves = 28;
+  double loss = 0.0;
+  double uplink_kbps = 0.0;
+  std::uint64_t seed = 1;
+};
+
+bool Parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    auto val = [&](const char* key) -> const char* {
+      std::size_t n = std::strlen(key);
+      return std::strncmp(s, key, n) == 0 ? s + n : nullptr;
+    };
+    if (const char* v = val("--topology=")) {
+      a.topology = v;
+    } else if (const char* v = val("--protocol=")) {
+      a.protocol = v;
+    } else if (const char* v = val("--users=")) {
+      a.users = std::atoi(v);
+    } else if (const char* v = val("--joins=")) {
+      a.joins = std::atoi(v);
+    } else if (const char* v = val("--leaves=")) {
+      a.leaves = std::atoi(v);
+    } else if (const char* v = val("--loss=")) {
+      a.loss = std::atof(v);
+    } else if (const char* v = val("--uplink-kbps=")) {
+      a.uplink_kbps = std::atof(v);
+    } else if (const char* v = val("--seed=")) {
+      a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--topology=planetlab|gtitm] [--users=N] "
+                   "[--joins=N] [--leaves=N]\n  [--protocol=p0|p0s|p1|p1s|"
+                   "p2|p2s|pip] [--loss=P] [--uplink-kbps=R] [--seed=N]\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintStats(const char* label, std::vector<double> v) {
+  if (v.empty()) {
+    std::printf("  %-26s (none)\n", label);
+    return;
+  }
+  std::printf("  %-26s p50 %10.1f   p95 %10.1f   p99 %10.1f   max %10.1f\n",
+              label, Percentile(v, 50), Percentile(v, 95), Percentile(v, 99),
+              Percentile(v, 100));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, args)) return 2;
+
+  const bool gtitm = args.topology == "gtitm";
+  const int hosts = 1 + args.users + args.joins;
+  std::unique_ptr<Network> net;
+  if (gtitm) {
+    net = std::make_unique<GtItmNetwork>(GtItmParams{.seed = args.seed},
+                                         hosts, args.seed + 1);
+  } else {
+    PlanetLabParams p;
+    p.hosts = hosts;
+    p.seed = args.seed;
+    net = std::make_unique<PlanetLabNetwork>(p);
+  }
+
+  const bool nice_proto = args.protocol == "p0" || args.protocol == "p0s";
+  const bool ip_proto = args.protocol == "pip";
+  const bool cluster = args.protocol == "p2" || args.protocol == "p2s";
+  const bool split = args.protocol.back() == 's';
+  if (ip_proto && !gtitm) {
+    std::fprintf(stderr, "pip needs --topology=gtitm (router-level paths)\n");
+    return 2;
+  }
+
+  SessionConfig scfg;
+  scfg.group = GroupParams{5, 256, 4};
+  scfg.assign.thresholds_ms = {150.0, 30.0, 9.0, 3.0};
+  scfg.with_nice = nice_proto;
+  scfg.seed = args.seed * 3 + 7;
+  GroupSession session(*net, 0, scfg);
+  Rng rng(args.seed * 5 + 11);
+
+  std::printf("building group: %d users on %s...\n", args.users,
+              args.topology.c_str());
+  for (HostId h = 1; h <= args.users; ++h) {
+    if (!session.Join(h, h).has_value()) {
+      std::fprintf(stderr, "ID space exhausted\n");
+      return 1;
+    }
+  }
+  session.FlushRekeyState();
+
+  // Original key tree for the WGL-based protocols.
+  WglKeyTree wgl(4);
+  {
+    std::vector<MemberId> members;
+    for (HostId h = 1; h <= args.users; ++h) members.push_back(h);
+    wgl.BuildIncremental(members);
+  }
+
+  // Measured interval.
+  std::vector<MemberId> wgl_joins, wgl_leaves;
+  for (int i = 0; i < args.joins; ++i) {
+    HostId h = static_cast<HostId>(args.users + 1 + i);
+    if (!session.Join(h, 10000 + i).has_value()) break;
+    wgl_joins.push_back(h);
+  }
+  for (int i = 0; i < args.leaves; ++i) {
+    auto victim = session.directory().RandomAliveMember(rng);
+    if (!victim.has_value()) break;
+    HostId vh = session.directory().HostOf(*victim);
+    session.Leave(*victim);
+    // A join and leave of the same user within the interval cancel out in
+    // the WGL batch.
+    auto jit = std::find(wgl_joins.begin(), wgl_joins.end(), vh);
+    if (jit != wgl_joins.end()) {
+      wgl_joins.erase(jit);
+    } else {
+      wgl_leaves.push_back(vh);
+    }
+  }
+  RekeyMessage msg = cluster ? (void(session.key_tree().Rekey()),
+                                session.clusters().Rekey())
+                             : (void(session.clusters().Rekey()),
+                                session.key_tree().Rekey());
+  RekeyMessage wgl_msg = wgl.Rekey(wgl_joins, wgl_leaves);
+
+  std::printf("interval: %zu joins, %zu leaves; protocol %s\n",
+              wgl_joins.size(), wgl_leaves.size(), args.protocol.c_str());
+
+  std::vector<double> encs, delays, stress, links;
+  std::size_t cost = 0;
+  if (nice_proto) {
+    cost = wgl_msg.RekeyCost();
+    auto tree = session.nice()->RekeyFromServer(0);
+    NiceBandwidth bw = AccountNiceRekey(*net, tree, wgl, wgl_msg, split);
+    for (const auto& [id, info] : session.directory().members()) {
+      (void)id;
+      auto h = static_cast<std::size_t>(info.host);
+      encs.push_back(static_cast<double>(bw.encs_received[h]));
+      delays.push_back(tree.delay_ms[h]);
+      stress.push_back(tree.stress[h]);
+    }
+    links.assign(bw.link_encryptions.begin(), bw.link_encryptions.end());
+  } else if (ip_proto) {
+    cost = wgl_msg.RekeyCost();
+    auto& gnet = static_cast<GtItmNetwork&>(*net);
+    IpMulticast ipmc(gnet);
+    std::vector<HostId> receivers;
+    for (const auto& [id, info] : session.directory().members()) {
+      (void)id;
+      receivers.push_back(info.host);
+    }
+    auto res = ipmc.Multicast(0, receivers, cost);
+    for (HostId r : receivers) {
+      encs.push_back(static_cast<double>(cost));
+      delays.push_back(res.delay_ms[static_cast<std::size_t>(r)]);
+      stress.push_back(0);
+    }
+    links.assign(res.link_encryptions.begin(), res.link_encryptions.end());
+  } else {
+    cost = msg.RekeyCost();
+    Simulator sim;
+    TMesh tmesh(session.directory(), sim);
+    if (args.uplink_kbps > 0) {
+      TMesh::UplinkModel up;
+      up.kbps = args.uplink_kbps;
+      tmesh.SetUplinkModel(up);
+    }
+    TMesh::Options opts;
+    opts.split = split;
+    opts.clusters = cluster ? &session.clusters() : nullptr;
+    opts.track_links = net->HasRouterPaths();
+    opts.loss_prob = args.loss;
+    opts.loss_seed = args.seed + 99;
+    auto res = tmesh.MulticastRekey(msg, opts);
+    for (const auto& [id, info] : session.directory().members()) {
+      (void)id;
+      auto h = static_cast<std::size_t>(info.host);
+      encs.push_back(static_cast<double>(res.member[h].encs_received));
+      if (res.member[h].copies > 0) delays.push_back(res.member[h].delay_ms);
+      stress.push_back(res.member[h].stress);
+    }
+    links.assign(res.links.encryptions.begin(), res.links.encryptions.end());
+    std::printf("delivery: %d/%d members reached, %d transmissions "
+                "(%d lost)\n",
+                res.ReceivedCount(), session.directory().member_count(),
+                res.messages_sent, res.messages_lost);
+  }
+
+  std::printf("rekey message: %zu encryptions\n\n", cost);
+  PrintStats("encs received / user", encs);
+  PrintStats("delivery delay [ms]", delays);
+  PrintStats("user stress [msgs]", stress);
+  if (!links.empty()) PrintStats("encs / physical link", links);
+  return 0;
+}

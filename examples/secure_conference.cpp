@@ -1,0 +1,108 @@
+// Secure conference: concurrent rekey and data transport — the scenario the
+// paper's introduction motivates (teleconferences, multi-party games).
+//
+// 120 users join a conference over a PlanetLab-like network. Across several
+// rekey intervals, members join and leave; at each interval end the key
+// server batch-rekeys and multicasts the split rekey message, while a
+// random speaker simultaneously multicasts data over the same neighbor
+// tables (T-mesh builds per-source trees from the same tables, so rekey and
+// data transport coexist). Prints per-interval rekey cost, bandwidth, and
+// latency for both kinds of traffic.
+//
+// Run: ./secure_conference
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/tmesh.h"
+#include "protocols/group_session.h"
+#include "topology/planetlab.h"
+
+int main() {
+  using namespace tmesh;
+
+  PlanetLabParams net_params;
+  net_params.hosts = 241;  // server + up to 240 users
+  net_params.seed = 11;
+  PlanetLabNetwork net(net_params);
+
+  SessionConfig cfg;
+  cfg.group = GroupParams{5, 256, 4};
+  cfg.assign.thresholds_ms = {150.0, 30.0, 9.0, 3.0};
+  cfg.with_nice = false;
+  cfg.seed = 2024;
+  GroupSession session(net, 0, cfg);
+  Rng rng(99);
+
+  // Initial audience.
+  std::vector<HostId> free_hosts;
+  for (HostId h = 120 + 1; h <= 240; ++h) free_hosts.push_back(h);
+  SimTime now = 0;
+  for (HostId h = 1; h <= 120; ++h) {
+    now += FromSeconds(1);
+    if (!session.Join(h, now).has_value()) return 1;
+  }
+  session.FlushRekeyState();
+  std::printf("conference started: %d members\n",
+              session.directory().member_count());
+
+  std::printf("\n%-9s %-7s %-11s %-13s %-13s %-12s %-12s\n", "interval",
+              "joins", "leaves", "rekey_cost", "avg_encs/usr", "rekey_p95ms",
+              "data_p95ms");
+
+  for (int interval = 1; interval <= 8; ++interval) {
+    // Churn during the interval.
+    int joins = static_cast<int>(rng.UniformInt(2, 10));
+    int leaves = static_cast<int>(rng.UniformInt(2, 10));
+    int joined = 0, left = 0;
+    for (int i = 0; i < joins && !free_hosts.empty(); ++i) {
+      HostId h = free_hosts.back();
+      now += FromSeconds(rng.UniformReal(0.5, 5));
+      if (session.Join(h, now).has_value()) {
+        free_hosts.pop_back();
+        ++joined;
+      }
+    }
+    for (int i = 0; i < leaves; ++i) {
+      auto victim = session.directory().RandomAliveMember(rng);
+      if (!victim.has_value()) break;
+      free_hosts.push_back(session.directory().HostOf(*victim));
+      session.Leave(*victim);
+      ++left;
+    }
+
+    // Interval end: batch rekey + split multicast.
+    RekeyMessage msg = session.key_tree().Rekey();
+    (void)session.clusters().Rekey();
+    Simulator sim;
+    TMesh tmesh(session.directory(), sim);
+    TMesh::Options opts;
+    opts.split = true;
+    auto rekey_res = tmesh.MulticastRekey(msg, opts);
+
+    // A speaker multicasts data concurrently (separate session for metrics;
+    // same tables).
+    auto speaker = session.directory().RandomAliveMember(rng);
+    Simulator sim2;
+    TMesh tmesh2(session.directory(), sim2);
+    auto data_res = tmesh2.MulticastData(*speaker);
+
+    std::vector<double> encs, rekey_delay, data_delay;
+    for (const auto& [id, info] : session.directory().members()) {
+      auto h = static_cast<std::size_t>(info.host);
+      encs.push_back(static_cast<double>(rekey_res.member[h].encs_received));
+      rekey_delay.push_back(rekey_res.member[h].delay_ms);
+      if (id != *speaker) data_delay.push_back(data_res.member[h].delay_ms);
+    }
+    std::printf("%-9d %-7d %-11d %-13zu %-13.1f %-12.1f %-12.1f\n", interval,
+                joined, left, msg.RekeyCost(), Mean(encs),
+                Percentile(rekey_delay, 95), Percentile(data_delay, 95));
+  }
+
+  session.directory().CheckKConsistency();
+  std::printf("\nfinal membership: %d; neighbor tables K-consistent.\n",
+              session.directory().member_count());
+  std::printf("note: avg encryptions per user stays near the rekey cost's "
+              "logarithmic share\nthanks to rekey-message splitting, even "
+              "though the message itself holds hundreds.\n");
+  return 0;
+}

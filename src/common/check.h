@@ -1,0 +1,42 @@
+// Lightweight invariant-checking macros used across the library.
+//
+// TMESH_CHECK is always on (it guards protocol invariants whose violation
+// would silently corrupt a simulation); TMESH_DCHECK compiles out in
+// NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tmesh {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace tmesh
+
+#define TMESH_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) ::tmesh::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TMESH_CHECK_MSG(cond, msg)                                   \
+  do {                                                               \
+    if (!(cond)) ::tmesh::CheckFailed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TMESH_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define TMESH_DCHECK(cond) TMESH_CHECK(cond)
+#endif

@@ -1,0 +1,65 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component of the library (topology generators, workload
+// generators, protocol simulations) takes an explicit seed so that runs are
+// exactly reproducible; nothing in the library reads global entropy.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tmesh {
+
+// A seeded pseudo-random generator with the handful of distributions the
+// library needs. Thin wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    TMESH_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    TMESH_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Bernoulli trial with probability p of true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Index in [0, weights.size()) drawn proportionally to weights.
+  std::size_t Weighted(const std::vector<double>& weights) {
+    TMESH_DCHECK(!weights.empty());
+    return std::discrete_distribution<std::size_t>(weights.begin(),
+                                                   weights.end())(engine_);
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(0, i - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child generator (for giving each subsystem its own
+  // stream without coupling their consumption orders).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tmesh

@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+namespace tmesh {
+
+double Percentile(std::vector<double> values, double p) {
+  TMESH_CHECK(!values.empty());
+  TMESH_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  // Nearest-rank: the smallest value with at least ceil(p/100 * n) samples
+  // at or below it.
+  std::size_t n = values.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return values[rank - 1];
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+InverseCdf::InverseCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double InverseCdf::ValueAtFraction(double frac) const {
+  TMESH_CHECK(!sorted_.empty());
+  TMESH_CHECK(frac >= 0.0 && frac <= 1.0);
+  std::size_t n = sorted_.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(frac * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted_[rank - 1];
+}
+
+double InverseCdf::FractionAtOrBelow(double threshold) const {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+void RankedRunStats::AddRun(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  if (!runs_.empty()) {
+    TMESH_CHECK_MSG(samples.size() == runs_[0].size(),
+                    "all runs must have the same population size");
+  }
+  runs_.push_back(std::move(samples));
+}
+
+double RankedRunStats::MeanAtRank(std::size_t rank) const {
+  TMESH_CHECK(!runs_.empty());
+  TMESH_CHECK(rank < runs_[0].size());
+  double sum = 0.0;
+  for (const auto& run : runs_) sum += run[rank];
+  return sum / static_cast<double>(runs_.size());
+}
+
+double RankedRunStats::PercentileAtRank(std::size_t rank, double p) const {
+  TMESH_CHECK(!runs_.empty());
+  TMESH_CHECK(rank < runs_[0].size());
+  std::vector<double> at_rank;
+  at_rank.reserve(runs_.size());
+  for (const auto& run : runs_) at_rank.push_back(run[rank]);
+  return Percentile(std::move(at_rank), p);
+}
+
+}  // namespace tmesh

@@ -1,0 +1,66 @@
+// Small statistics helpers shared by the protocols and the benchmark
+// harness: percentiles (the ID-assignment protocol's F-percentile, §3.1.3)
+// and inverse cumulative distributions (every latency/bandwidth figure in
+// the paper's evaluation is an inverse CDF).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tmesh {
+
+// The p-percentile (p in [0,100]) of `values`, using nearest-rank on a
+// sorted copy. The paper's joining users use the 90-percentile of measured
+// RTTs to tolerate estimation error (§3.1.3).
+double Percentile(std::vector<double> values, double p);
+
+// Mean of values; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// An inverse cumulative distribution over per-user (or per-link) samples,
+// the presentation used by Figs. 6-11, 13, 14: a point (x, y) reads as
+// "fraction x of the population has value <= y".
+class InverseCdf {
+ public:
+  explicit InverseCdf(std::vector<double> samples);
+
+  // The value at population fraction `frac` in [0, 1]: the smallest y such
+  // that at least ceil(frac * n) samples are <= y. frac = 1 gives the max.
+  double ValueAtFraction(double frac) const;
+
+  // The fraction of samples <= threshold (e.g. "78% of users have an RDP
+  // less than 2").
+  double FractionAtOrBelow(double threshold) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Accumulates one sample vector per run and reports, for each population
+// rank, the cross-run mean and a high percentile — the presentation of
+// Fig. 6 ("average user stress ... across all runs, as well as the
+// 95-percentile value"). All runs must contribute vectors of equal length.
+class RankedRunStats {
+ public:
+  void AddRun(std::vector<double> samples);
+
+  std::size_t runs() const { return runs_.size(); }
+  std::size_t ranks() const { return runs_.empty() ? 0 : runs_[0].size(); }
+
+  // Mean across runs of the rank-th smallest sample.
+  double MeanAtRank(std::size_t rank) const;
+  // p-percentile across runs of the rank-th smallest sample.
+  double PercentileAtRank(std::size_t rank, double p) const;
+
+ private:
+  std::vector<std::vector<double>> runs_;  // each sorted ascending
+};
+
+}  // namespace tmesh

@@ -1,0 +1,124 @@
+#include "core/cluster_rekeying.h"
+
+#include <algorithm>
+
+namespace tmesh {
+
+ClusterRekeying::ClusterRekeying(int depth)
+    : depth_(depth), leader_tree_(depth) {}
+
+bool ClusterRekeying::Join(const UserId& u, SimTime join_time) {
+  DigitString c = ClusterOf(u);
+  Cluster& cluster = clusters_[c];
+  for (const Member& m : cluster.members) {
+    TMESH_CHECK_MSG(m.id != u, "duplicate cluster member");
+  }
+  cluster.members.push_back(Member{u, join_time});
+  ++member_count_;
+  if (cluster.members.size() == 1) {
+    // First user of the cluster: "a cluster leader is always the first join
+    // in its cluster. The key server follows the regular rekeying procedure
+    // to process its join."
+    cluster.leader = 0;
+    leader_tree_.Join(u);
+    return true;
+  }
+  return false;
+}
+
+bool ClusterRekeying::Leave(UserId u) {
+  DigitString c = ClusterOf(u);
+  auto it = clusters_.find(c);
+  TMESH_CHECK_MSG(it != clusters_.end(), "leave from unknown cluster");
+  Cluster& cluster = it->second;
+  auto pos = std::find_if(cluster.members.begin(), cluster.members.end(),
+                          [&](const Member& m) { return m.id == u; });
+  TMESH_CHECK_MSG(pos != cluster.members.end(), "leave of non-member");
+
+  bool was_leader =
+      static_cast<std::size_t>(pos - cluster.members.begin()) == cluster.leader;
+  // Remove, fixing the leader index if it shifts.
+  std::size_t removed = static_cast<std::size_t>(pos - cluster.members.begin());
+  cluster.members.erase(pos);
+  --member_count_;
+  if (!was_leader) {
+    if (removed < cluster.leader) --cluster.leader;
+    return false;
+  }
+
+  // Leader departure: rekey its path away; hand leadership to the earliest
+  // remaining joiner (Appendix B's handover), whose u-node now anchors the
+  // cluster's keys.
+  leader_tree_.Leave(u);
+  if (cluster.members.empty()) {
+    clusters_.erase(it);
+    return true;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cluster.members.size(); ++i) {
+    if (cluster.members[i].join_time < cluster.members[best].join_time) {
+      best = i;
+    }
+  }
+  cluster.leader = best;
+  leader_tree_.Join(cluster.members[best].id);
+  return true;
+}
+
+bool ClusterRekeying::IsLeader(const UserId& u) const {
+  auto it = clusters_.find(ClusterOf(u));
+  if (it == clusters_.end()) return false;
+  const Cluster& cluster = it->second;
+  return !cluster.members.empty() && cluster.members[cluster.leader].id == u;
+}
+
+UserId ClusterRekeying::LeaderOf(const UserId& u) const {
+  auto it = clusters_.find(ClusterOf(u));
+  TMESH_CHECK_MSG(it != clusters_.end(), "unknown cluster");
+  const Cluster& cluster = it->second;
+  TMESH_CHECK(!cluster.members.empty());
+  return cluster.members[cluster.leader].id;
+}
+
+std::vector<UserId> ClusterRekeying::ClusterMembers(
+    const DigitString& cluster) const {
+  auto it = clusters_.find(cluster);
+  if (it == clusters_.end()) return {};
+  std::vector<UserId> out;
+  out.reserve(it->second.members.size());
+  for (const Member& m : it->second.members) out.push_back(m.id);
+  return out;
+}
+
+std::vector<UserId> ClusterRekeying::PeersOf(const UserId& u) const {
+  std::vector<UserId> out = ClusterMembers(ClusterOf(u));
+  out.erase(std::remove(out.begin(), out.end(), u), out.end());
+  return out;
+}
+
+void ClusterRekeying::CheckInvariants() const {
+  int members = 0;
+  for (const auto& [prefix, cluster] : clusters_) {
+    TMESH_CHECK(prefix.size() == depth_ - 1);
+    TMESH_CHECK(!cluster.members.empty());
+    TMESH_CHECK(cluster.leader < cluster.members.size());
+    const Member& leader = cluster.members[cluster.leader];
+    TMESH_CHECK_MSG(leader_tree_.Contains(leader.id),
+                    "leader missing from leader tree");
+    for (const Member& m : cluster.members) {
+      TMESH_CHECK(prefix.IsPrefixOf(m.id));
+      // Leadership belongs to the earliest joiner.
+      TMESH_CHECK_MSG(leader.join_time <= m.join_time,
+                      "leader is not the earliest joiner");
+      if (m.id != leader.id) {
+        TMESH_CHECK_MSG(!leader_tree_.Contains(m.id),
+                        "non-leader present in leader tree");
+      }
+      ++members;
+    }
+  }
+  TMESH_CHECK(members == member_count_);
+  TMESH_CHECK(leader_tree_.user_count() == cluster_count());
+}
+
+}  // namespace tmesh

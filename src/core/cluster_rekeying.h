@@ -1,0 +1,77 @@
+// The cluster rekeying heuristic (§4.2 and Appendix B).
+//
+// All users of the same level-(D-1) ID subtree form a *bottom cluster*; the
+// member with the earliest joining time is its *leader*. Only leaders hold
+// the full root path of keys — the key tree effectively contains one u-node
+// per cluster (the leader's). A non-leader holds just three keys: the group
+// key, its individual key, and a pairwise key shared with its leader.
+//
+// Consequences the paper exploits:
+//   - a non-leader's join or leave incurs NO group rekeying;
+//   - a leader's join (first user of a new cluster) or leave (with
+//     leadership handover to the earliest remaining member) rekeys the
+//     leader tree's changed path;
+//   - during rekey multicast, the message stops at cluster granularity and
+//     each leader unicasts the new group key — one encryption under each
+//     member's pairwise key (the TMesh transport implements that last hop;
+//     this class tracks clusters, leaders and the leader key tree).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/digit_string.h"
+#include "core/modified_key_tree.h"
+#include "sim/simulator.h"
+
+namespace tmesh {
+
+class ClusterRekeying {
+ public:
+  explicit ClusterRekeying(int depth);
+
+  // Mirrors group membership. Join/Leave return true iff the event touches
+  // a leader (and therefore incurs group rekeying).
+  bool Join(const UserId& u, SimTime join_time);
+  bool Leave(UserId u);
+
+  // Rekey message over the leader key tree for the interval's accumulated
+  // leader changes.
+  RekeyMessage Rekey() { return leader_tree_.Rekey(); }
+
+  bool IsLeader(const UserId& u) const;
+  // The leader of u's bottom cluster.
+  UserId LeaderOf(const UserId& u) const;
+  // All members of the cluster identified by a level-(D-1) prefix.
+  std::vector<UserId> ClusterMembers(const DigitString& cluster) const;
+  // All members of u's cluster other than u itself.
+  std::vector<UserId> PeersOf(const UserId& u) const;
+
+  int cluster_count() const { return static_cast<int>(clusters_.size()); }
+  int member_count() const { return member_count_; }
+  const ModifiedKeyTree& leader_tree() const { return leader_tree_; }
+
+  void CheckInvariants() const;
+
+ private:
+  struct Member {
+    UserId id;
+    SimTime join_time;
+  };
+  struct Cluster {
+    std::vector<Member> members;  // unsorted; leader tracked by index
+    std::size_t leader = 0;
+  };
+
+  DigitString ClusterOf(const UserId& u) const {
+    TMESH_CHECK(u.size() == depth_);
+    return u.Prefix(depth_ - 1);
+  }
+
+  int depth_;
+  int member_count_ = 0;
+  ModifiedKeyTree leader_tree_;
+  std::unordered_map<DigitString, Cluster> clusters_;
+};
+
+}  // namespace tmesh

@@ -1,0 +1,257 @@
+#include "core/directory.h"
+
+#include <algorithm>
+
+namespace tmesh {
+
+Directory::Directory(const Network& net, const GroupParams& params,
+                     HostId server_host)
+    : net_(net),
+      params_(params),
+      server_host_(server_host),
+      id_tree_(params.digits, params.base),
+      server_table_(1, params.base, params.capacity) {
+  TMESH_CHECK(params.digits >= 1 && params.digits <= kMaxDigits);
+  TMESH_CHECK(params.base >= 2 && params.base <= kMaxBase);
+  TMESH_CHECK(params.capacity >= 1);
+  TMESH_CHECK(server_host >= 0 && server_host < net.host_count());
+}
+
+NeighborRecord Directory::MakeRecord(const MemberInfo& of,
+                                     HostId owner_host) const {
+  NeighborRecord rec;
+  rec.id = of.id;
+  rec.host = of.host;
+  rec.join_time = of.join_time;
+  rec.rtt_ms = net_.RttHosts(owner_host, of.host);
+  return rec;
+}
+
+void Directory::AddMember(const UserId& id, HostId host, SimTime join_time) {
+  TMESH_CHECK(id.size() == params_.digits);
+  TMESH_CHECK_MSG(!Contains(id), "duplicate member ID " + id.ToString());
+  TMESH_CHECK(host >= 0 && host < net_.host_count());
+  TMESH_CHECK_MSG(host_index_.count(host) == 0, "host already a member");
+  TMESH_CHECK(host != server_host_);
+
+  auto [it, inserted] = members_.try_emplace(
+      id, id, host, join_time, params_.digits, params_.base, params_.capacity);
+  TMESH_CHECK(inserted);
+  MemberInfo& me = it->second;
+
+  for (auto& [wid, w] : members_) {
+    if (wid == id || !w.alive) continue;
+    int cpl = id.CommonPrefixLen(wid);
+    TMESH_DCHECK(cpl < params_.digits);  // IDs are unique
+    // w belongs to my (cpl, wid[cpl])-ID subtree and vice versa.
+    me.table.Insert(cpl, wid.digit(cpl), MakeRecord(w, host));
+    w.table.Insert(cpl, id.digit(cpl), MakeRecord(me, w.host));
+  }
+
+  NeighborRecord server_rec;
+  server_rec.id = id;
+  server_rec.host = host;
+  server_rec.join_time = join_time;
+  server_rec.rtt_ms = net_.RttHosts(server_host_, host);
+  server_table_.Insert(0, id.digit(0), server_rec);
+
+  id_tree_.Insert(id);
+  host_index_[host] = id;
+  ++alive_count_;
+}
+
+bool Directory::IsAlive(const UserId& id) const {
+  auto it = members_.find(id);
+  return it != members_.end() && it->second.alive;
+}
+
+const MemberInfo& Directory::Info(const UserId& id) const {
+  auto it = members_.find(id);
+  TMESH_CHECK_MSG(it != members_.end(), "unknown member " + id.ToString());
+  return it->second;
+}
+
+const UserId* Directory::IdOfHost(HostId h) const {
+  auto it = host_index_.find(h);
+  return it == host_index_.end() ? nullptr : &it->second;
+}
+
+std::vector<UserId> Directory::AliveMembers() const {
+  std::vector<UserId> out;
+  out.reserve(members_.size());
+  for (const auto& [id, m] : members_) {
+    if (m.alive) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<UserId> Directory::RandomAliveMember(Rng& rng) const {
+  if (alive_count_ == 0) return std::nullopt;
+  // alive_count_ is small relative to rejection cost only when failures
+  // abound; a direct indexed draw over the alive list keeps it exact.
+  std::vector<UserId> alive = AliveMembers();
+  return alive[static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(alive.size()) - 1))];
+}
+
+void Directory::RemoveFromAllTables(const UserId& id) {
+  const MemberInfo& gone = Info(id);
+  for (auto& [wid, w] : members_) {
+    if (wid == id) continue;
+    int cpl = id.CommonPrefixLen(wid);
+    if (w.table.Remove(cpl, id.digit(cpl), id)) {
+      if (w.alive) Refill(w, cpl, id.digit(cpl));
+    }
+  }
+  if (server_table_.Remove(0, id.digit(0), id)) {
+    RefillServer(id.digit(0));
+  }
+  (void)gone;
+}
+
+void Directory::RemoveMember(UserId id) {
+  TMESH_CHECK_MSG(Contains(id), "removing unknown member");
+  bool was_alive = Info(id).alive;
+  HostId host = Info(id).host;
+  // Order matters: drop the member from the ID tree first so refills do not
+  // consider it a candidate.
+  id_tree_.Erase(id);
+  host_index_.erase(host);
+  if (was_alive) --alive_count_;
+  // Keep the MemberInfo alive during table cleanup (its digits drive the
+  // per-member entry lookups), then erase it.
+  RemoveFromAllTables(id);
+  members_.erase(id);
+}
+
+void Directory::MarkFailed(UserId id) {
+  auto it = members_.find(id);
+  TMESH_CHECK(it != members_.end());
+  TMESH_CHECK_MSG(it->second.alive, "member already failed");
+  it->second.alive = false;
+  --alive_count_;
+}
+
+void Directory::RepairFailure(UserId id) {
+  auto it = members_.find(id);
+  TMESH_CHECK(it != members_.end());
+  TMESH_CHECK_MSG(!it->second.alive, "repairing a live member");
+  id_tree_.Erase(id);
+  host_index_.erase(it->second.host);
+  RemoveFromAllTables(id);
+  members_.erase(it);
+}
+
+void Directory::Refill(MemberInfo& w, int row, int digit) {
+  const NeighborTable::Entry* e = w.table.entry(row, digit);
+  int have = e == nullptr ? 0 : static_cast<int>(e->size());
+  if (have >= params_.capacity) return;
+  DigitString subtree = w.id.Prefix(row).Child(digit);
+  // Candidates: alive members of the subtree not already in the entry.
+  const NeighborRecord* best = nullptr;
+  NeighborRecord best_rec;
+  for (const UserId& cand : id_tree_.UsersWithPrefix(subtree)) {
+    const MemberInfo& c = Info(cand);
+    if (!c.alive) continue;
+    if (w.table.ContainsNeighbor(row, digit, cand)) continue;
+    NeighborRecord rec = MakeRecord(c, w.host);
+    if (best == nullptr || rec.rtt_ms < best_rec.rtt_ms) {
+      best_rec = rec;
+      best = &best_rec;
+    }
+  }
+  if (best != nullptr) {
+    w.table.Insert(row, digit, best_rec);
+    Refill(w, row, digit);  // keep filling until K or candidates exhausted
+  }
+}
+
+void Directory::RefillServer(int digit) {
+  const NeighborTable::Entry* e = server_table_.entry(0, digit);
+  int have = e == nullptr ? 0 : static_cast<int>(e->size());
+  if (have >= params_.capacity) return;
+  DigitString subtree = DigitString{}.Child(digit);
+  const NeighborRecord* best = nullptr;
+  NeighborRecord best_rec;
+  for (const UserId& cand : id_tree_.UsersWithPrefix(subtree)) {
+    const MemberInfo& c = Info(cand);
+    if (!c.alive) continue;
+    if (server_table_.ContainsNeighbor(0, digit, cand)) continue;
+    NeighborRecord rec = MakeRecord(c, server_host_);
+    if (best == nullptr || rec.rtt_ms < best_rec.rtt_ms) {
+      best_rec = rec;
+      best = &best_rec;
+    }
+  }
+  if (best != nullptr) {
+    server_table_.Insert(0, digit, best_rec);
+    RefillServer(digit);
+  }
+}
+
+std::vector<NeighborRecord> Directory::QueryRecords(
+    const UserId& w, const DigitString& target_prefix) const {
+  const MemberInfo& info = Info(w);
+  std::vector<NeighborRecord> out;
+  if (target_prefix.IsPrefixOf(w)) {
+    out.push_back(MakeRecord(info, info.host));  // rtt 0 to self; id is what matters
+  }
+  for (int i = 0; i < info.table.rows(); ++i) {
+    for (const auto& [digit, entry] : info.table.row(i)) {
+      (void)digit;
+      for (const NeighborRecord& rec : entry) {
+        if (target_prefix.IsPrefixOf(rec.id)) out.push_back(rec);
+      }
+    }
+  }
+  return out;
+}
+
+void Directory::CheckKConsistency() const {
+  const int d = params_.digits;
+  const int k = params_.capacity;
+  auto check_table = [&](const NeighborTable& table, const UserId* owner_id,
+                         int rows) {
+    for (int i = 0; i < rows; ++i) {
+      DigitString prefix =
+          owner_id == nullptr ? DigitString{} : owner_id->Prefix(i);
+      const std::set<int>& digits = id_tree_.ChildDigits(prefix);
+      // (1) Entries present where the definition requires them.
+      for (int j : digits) {
+        if (owner_id != nullptr && j == owner_id->digit(i)) {
+          TMESH_CHECK_MSG(table.entry(i, j) == nullptr,
+                          "(i, own-digit) entry must be empty");
+          continue;
+        }
+        int m = id_tree_.CountWithPrefix(prefix.Child(j));
+        const NeighborTable::Entry* e = table.entry(i, j);
+        int have = e == nullptr ? 0 : static_cast<int>(e->size());
+        TMESH_CHECK_MSG(have == std::min(k, m),
+                        "entry must hold min(K, m) neighbors");
+        if (e == nullptr) continue;
+        double prev = -1.0;
+        for (const NeighborRecord& rec : *e) {
+          TMESH_CHECK_MSG(prefix.Child(j).IsPrefixOf(rec.id),
+                          "record outside the entry's ID subtree");
+          TMESH_CHECK_MSG(Contains(rec.id), "stale record of absent member");
+          TMESH_CHECK_MSG(rec.rtt_ms >= prev, "entry not sorted by RTT");
+          prev = rec.rtt_ms;
+        }
+      }
+      // (2) No entries outside existing subtrees.
+      for (const auto& [j, e] : table.row(i)) {
+        (void)e;
+        TMESH_CHECK_MSG(digits.count(j) > 0,
+                        "entry for an empty ID subtree");
+      }
+    }
+  };
+
+  for (const auto& [id, m] : members_) {
+    if (!m.alive) continue;
+    check_table(m.table, &id, d);
+  }
+  check_table(server_table_, nullptr, 1);
+}
+
+}  // namespace tmesh

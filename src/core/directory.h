@@ -1,0 +1,117 @@
+// Group membership and neighbor-table maintenance.
+//
+// The Directory plays the role the Silk join/leave protocols [15, 12] play
+// in the real system: it keeps every member's neighbor table K-consistent
+// (Definition 3) across joins, leaves, and failure recoveries. The paper
+// itself runs its simulations this way — "the join and leave protocols of
+// T-mesh are based on the Silk protocols, but simplified to improve
+// simulation efficiency" (§4) and "we use a centralized controller to
+// simulate the J joins and L leaves" (§4.2) — so a centralized, incrementally
+// maintained view is the faithful substrate here, and the K-consistency
+// property is what the tests pin down.
+//
+// Failure model: MarkFailed() marks a member dead *without* repairing any
+// tables (the window between a crash and its detection); forwarding then
+// relies on the K-1 backup neighbors per entry (§2.3). RepairFailure()
+// completes recovery, restoring K-consistency among the survivors.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/digit_string.h"
+#include "common/rng.h"
+#include "core/group_view.h"
+#include "core/id_tree.h"
+#include "core/neighbor_table.h"
+#include "sim/simulator.h"
+#include "topology/network.h"
+
+namespace tmesh {
+
+struct MemberInfo {
+  UserId id;
+  HostId host = kNoHost;
+  SimTime join_time = 0;
+  bool alive = true;
+  NeighborTable table;
+
+  MemberInfo(const UserId& u, HostId h, SimTime t, int rows, int base, int cap)
+      : id(u), host(h), join_time(t), table(rows, base, cap) {}
+};
+
+class Directory : public GroupView {
+ public:
+  Directory(const Network& net, const GroupParams& params, HostId server_host);
+
+  const GroupParams& params() const override { return params_; }
+  HostId server_host() const override { return server_host_; }
+  const Network& network() const override { return net_; }
+
+  // --- membership -----------------------------------------------------
+  void AddMember(const UserId& id, HostId host, SimTime join_time);
+  // Graceful leave: the member's record is deleted from all tables and
+  // every shrunk entry is refilled (§3.2, Silk leave protocol).
+  void RemoveMember(UserId id);  // by value: callers often pass references
+                                 // into storage this call mutates
+  // Crash: member stops responding; no table is updated yet.
+  void MarkFailed(UserId id);
+  // Failure recovery: the failed member's records are purged and entries
+  // refilled from live members (§3.2, [13]).
+  void RepairFailure(UserId id);
+
+  bool Contains(const UserId& id) const override {
+    return members_.count(id) > 0;
+  }
+  bool IsAlive(const UserId& id) const override;
+  int member_count() const { return static_cast<int>(members_.size()); }
+  int alive_count() const { return alive_count_; }
+
+  // --- lookup ----------------------------------------------------------
+  const MemberInfo& Info(const UserId& id) const;
+  const NeighborTable& TableOf(const UserId& id) const override {
+    return Info(id).table;
+  }
+  const NeighborTable& ServerTable() const override { return server_table_; }
+  HostId HostOf(const UserId& id) const override { return Info(id).host; }
+  const UserId* IdOfHost(HostId h) const;
+  const IdTree& id_tree() const { return id_tree_; }
+  const std::map<UserId, MemberInfo>& members() const { return members_; }
+
+  std::vector<UserId> AliveMembers() const;
+  // A uniformly random alive member (what the key server hands a joining
+  // user as its first contact, §3.1.1). Nullopt if the group is empty.
+  std::optional<UserId> RandomAliveMember(Rng& rng) const;
+
+  // The records a member `w` would return for a query with `target_prefix`
+  // (§3.1.1): every neighbor in w's table whose ID has the prefix, plus w's
+  // own record if it matches. Only alive neighbors respond to the follow-up
+  // RTT probes, but the query returns whatever the table holds.
+  std::vector<NeighborRecord> QueryRecords(const UserId& w,
+                                           const DigitString& target_prefix) const;
+
+  // --- invariants -------------------------------------------------------
+  // Verifies Definition 3 (K-consistency) for every alive member and the
+  // key server's table; throws on any violation. Only meaningful when no
+  // unrepaired failures are outstanding.
+  void CheckKConsistency() const;
+
+ private:
+  void Refill(MemberInfo& w, int row, int digit);
+  void RefillServer(int digit);
+  NeighborRecord MakeRecord(const MemberInfo& of, HostId owner_host) const;
+  void RemoveFromAllTables(const UserId& id);
+
+  const Network& net_;
+  GroupParams params_;
+  HostId server_host_;
+  IdTree id_tree_;
+  std::map<UserId, MemberInfo> members_;
+  std::unordered_map<HostId, UserId> host_index_;
+  NeighborTable server_table_;
+  int alive_count_ = 0;
+};
+
+}  // namespace tmesh

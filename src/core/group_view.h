@@ -1,0 +1,41 @@
+// The read-side interface of a T-mesh group: everything the multicast
+// transport needs to route — group parameters, host mapping, liveness, and
+// the neighbor tables.
+//
+// Two implementations exist:
+//   - Directory: the centralized membership oracle (the paper's own
+//     simulation simplification, §4), which maintains K-consistency
+//     instantly and supports failure injection/repair;
+//   - SilkGroup: the message-driven join/leave protocol (simplified Silk,
+//     §3.2), where tables are built and updated by protocol messages over
+//     the simulator.
+#pragma once
+
+#include "common/digit_string.h"
+#include "core/neighbor_table.h"
+#include "topology/network.h"
+
+namespace tmesh {
+
+struct GroupParams {
+  int digits = 5;    // D
+  int base = 256;    // B
+  int capacity = 4;  // K (neighbors per entry)
+};
+
+class GroupView {
+ public:
+  virtual ~GroupView() = default;
+
+  virtual const GroupParams& params() const = 0;
+  virtual HostId server_host() const = 0;
+  virtual const Network& network() const = 0;
+
+  virtual bool Contains(const UserId& id) const = 0;
+  virtual bool IsAlive(const UserId& id) const = 0;
+  virtual HostId HostOf(const UserId& id) const = 0;
+  virtual const NeighborTable& TableOf(const UserId& id) const = 0;
+  virtual const NeighborTable& ServerTable() const = 0;
+};
+
+}  // namespace tmesh

@@ -1,0 +1,57 @@
+#include "core/id_tree.h"
+
+#include <algorithm>
+
+namespace tmesh {
+
+const std::set<int> IdTree::kEmptyDigits = {};
+
+void IdTree::Insert(const UserId& u) {
+  TMESH_CHECK(u.size() == depth_);
+  TMESH_CHECK_MSG(nodes_.count(u) == 0, "duplicate user ID");
+  for (int len = 0; len <= depth_; ++len) {
+    DigitString p = u.Prefix(len);
+    Node& node = nodes_[p];
+    node.users.push_back(u);
+    if (len < depth_) node.child_digits.insert(u.digit(len));
+  }
+  ++user_count_;
+}
+
+void IdTree::Erase(const UserId& u) {
+  TMESH_CHECK(u.size() == depth_);
+  TMESH_CHECK_MSG(nodes_.count(u) > 0, "erasing absent user ID");
+  for (int len = depth_; len >= 0; --len) {
+    DigitString p = u.Prefix(len);
+    auto it = nodes_.find(p);
+    TMESH_CHECK(it != nodes_.end());
+    Node& node = it->second;
+    node.users.erase(std::find(node.users.begin(), node.users.end(), u));
+    if (len < depth_) {
+      // Drop the child digit if that child subtree just vanished.
+      if (nodes_.count(p.Child(u.digit(len))) == 0) {
+        node.child_digits.erase(u.digit(len));
+      }
+    }
+    if (node.users.empty()) nodes_.erase(it);
+  }
+  --user_count_;
+}
+
+std::vector<UserId> IdTree::UsersWithPrefix(const DigitString& prefix) const {
+  auto it = nodes_.find(prefix);
+  if (it == nodes_.end()) return {};
+  return it->second.users;
+}
+
+int IdTree::CountWithPrefix(const DigitString& prefix) const {
+  auto it = nodes_.find(prefix);
+  return it == nodes_.end() ? 0 : static_cast<int>(it->second.users.size());
+}
+
+const std::set<int>& IdTree::ChildDigits(const DigitString& prefix) const {
+  auto it = nodes_.find(prefix);
+  return it == nodes_.end() ? kEmptyDigits : it->second.child_digits;
+}
+
+}  // namespace tmesh

@@ -1,0 +1,71 @@
+// The ID tree (Definitions 1 and 2 of the paper).
+//
+// "Note that an ID tree is not a data structure maintained by the key server
+// or any user. It is defined as a conceptual structure to guide us in
+// protocol design." — we materialize it anyway as a queryable index: the
+// Directory uses it to maintain K-consistent neighbor tables and the key
+// server uses it for unique-ID assignment; the tests use it to state the
+// paper's definitions directly.
+//
+// A node exists at level i (ID = an i-digit string) iff some user's ID has
+// that string as a prefix. Users are the leaves (level D).
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/digit_string.h"
+
+namespace tmesh {
+
+class IdTree {
+ public:
+  IdTree(int depth, int base) : depth_(depth), base_(base) {
+    TMESH_CHECK(depth >= 1 && depth <= kMaxDigits);
+    TMESH_CHECK(base >= 2 && base <= kMaxBase);
+  }
+
+  int depth() const { return depth_; }
+  int base() const { return base_; }
+
+  void Insert(const UserId& u);
+  void Erase(const UserId& u);
+  bool ContainsUser(const UserId& u) const {
+    return u.size() == depth_ && nodes_.count(u) > 0;
+  }
+  bool NodeExists(const DigitString& prefix) const {
+    return nodes_.count(prefix) > 0;
+  }
+  int user_count() const { return user_count_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  // All users belonging to the ID subtree rooted at `prefix` (Definition 1:
+  // users whose IDs have that prefix).
+  std::vector<UserId> UsersWithPrefix(const DigitString& prefix) const;
+  int CountWithPrefix(const DigitString& prefix) const;
+
+  // The digits j such that prefix+j is a node (the children of `prefix`).
+  const std::set<int>& ChildDigits(const DigitString& prefix) const;
+
+  // Definition 2: the users in u's (i,j)-ID subtree — those sharing the
+  // first i digits with u and whose i-th digit is j. Valid for any j,
+  // including j == u.ID[i] (then the subtree contains u itself).
+  std::vector<UserId> UsersInSubtree(const UserId& u, int i, int j) const {
+    TMESH_CHECK(i >= 0 && i < depth_);
+    return UsersWithPrefix(u.Prefix(i).Child(j));
+  }
+
+ private:
+  struct Node {
+    std::set<int> child_digits;
+    std::vector<UserId> users;  // users under this prefix
+  };
+  int depth_;
+  int base_;
+  int user_count_ = 0;
+  std::unordered_map<DigitString, Node> nodes_;
+  static const std::set<int> kEmptyDigits;
+};
+
+}  // namespace tmesh

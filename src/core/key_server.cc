@@ -1,0 +1,73 @@
+#include "core/key_server.h"
+
+namespace tmesh {
+
+KeyServer::KeyServer(const Network& net, HostId server_host, Simulator& sim,
+                     const Config& config)
+    : cfg_(config),
+      dir_(net, config.group, server_host),
+      assigner_(dir_, config.assign, config.seed),
+      mtree_(config.group.digits),
+      clusters_(config.group.digits),
+      sim_(sim),
+      tmesh_(dir_, sim) {}
+
+void KeyServer::Start() {
+  TMESH_CHECK_MSG(!running_, "already started");
+  running_ = true;
+  sim_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
+}
+
+std::optional<UserId> KeyServer::RequestJoin(HostId host) {
+  std::optional<UserId> id = assigner_.AssignId(host);
+  if (!id.has_value()) return std::nullopt;
+  dir_.AddMember(*id, host, sim_.Now());
+  mtree_.Join(*id);
+  clusters_.Join(*id, sim_.Now());
+  ++interval_joins_;
+  // The server unicasts the joiner its ID and current path keys (§3.1 and
+  // footnote 1); key state is modeled by the tree's live versions, so
+  // nothing further to do here.
+  return id;
+}
+
+void KeyServer::RequestLeave(UserId id) {
+  TMESH_CHECK_MSG(dir_.Contains(id), "leave of unknown member");
+  dir_.RemoveMember(id);
+  mtree_.Leave(id);
+  clusters_.Leave(id);
+  ++interval_leaves_;
+}
+
+void KeyServer::EndInterval() {
+  IntervalRecord rec;
+  rec.when = sim_.Now();
+  rec.joins = interval_joins_;
+  rec.leaves = interval_leaves_;
+  interval_joins_ = 0;
+  interval_leaves_ = 0;
+
+  // Both trees track the full membership; the distributed message comes
+  // from whichever scheme is active.
+  RekeyMessage full = mtree_.Rekey();
+  RekeyMessage clustered = clusters_.Rekey();
+  RekeyMessage& chosen = cfg_.cluster_heuristic ? clustered : full;
+  rec.rekey_cost = chosen.RekeyCost();
+
+  if (rec.rekey_cost > 0 && dir_.alive_count() > 0) {
+    messages_.push_back(std::make_unique<RekeyMessage>(std::move(chosen)));
+    TMesh::Options opts;
+    opts.split = cfg_.split;
+    opts.clusters = cfg_.cluster_heuristic ? &clusters_ : nullptr;
+    opts.record_encryptions = cfg_.record_encryptions;
+    deliveries_.push_back(tmesh_.BeginRekey(*messages_.back(), opts));
+    rec.delivery = static_cast<int>(deliveries_.size()) - 1;
+  }
+  history_.push_back(rec);
+
+  if (running_) {
+    sim_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
+  }
+}
+
+}  // namespace tmesh

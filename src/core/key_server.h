@@ -1,0 +1,119 @@
+// The key server: the online orchestration of the paper's system.
+//
+// "In batch rekeying, the key server processes the join and leave requests
+// during a rekey interval as a batch, and generates a single rekey message
+// at the end of the rekey interval. The rekey message is then sent to all
+// users immediately" (§1). This class runs that loop on the simulator:
+//
+//   - RequestJoin(host): runs ID assignment (§3.1), admits the member to
+//     the directory (neighbor tables), adds its u-node to the key tree(s),
+//     and unicasts the user its current path keys — footnote 1's rule that
+//     a joiner that completes mid-interval receives the current group key
+//     by unicast is modeled by granting the joiner the live key versions.
+//   - RequestLeave(id): removes the member everywhere; its path re-keys at
+//     the interval end.
+//   - Every `rekey_interval`, the accumulated batch is processed: the key
+//     tree emits the rekey message and T-mesh multicasts it (with
+//     splitting, and Appendix-B cluster forwarding when the heuristic is
+//     enabled). Delivery results are retained per interval.
+//
+// The server never blocks the simulator: interval work is scheduled as
+// events, so application traffic (data multicasts via the same TMesh) runs
+// concurrently — the paper's concurrent rekey + data transport.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/cluster_rekeying.h"
+#include "core/directory.h"
+#include "core/id_assignment.h"
+#include "core/modified_key_tree.h"
+#include "core/tmesh.h"
+
+namespace tmesh {
+
+class KeyServer {
+ public:
+  struct Config {
+    GroupParams group;
+    IdAssignParams assign;
+    SimTime rekey_interval = FromSeconds(512);  // the paper's §4.3 value
+    bool split = true;
+    bool cluster_heuristic = false;
+    bool record_encryptions = false;  // pass through to delivery results
+    std::uint64_t seed = 1;
+  };
+
+  struct IntervalRecord {
+    SimTime when = 0;
+    int joins = 0;
+    int leaves = 0;
+    std::size_t rekey_cost = 0;
+    // Index into deliveries() for the interval's multicast; -1 if the
+    // interval was quiet (no rekey message sent).
+    int delivery = -1;
+  };
+
+  KeyServer(const Network& net, HostId server_host, Simulator& sim,
+            const Config& config);
+
+  // Starts the periodic rekey timer (first interval ends one
+  // rekey_interval from now).
+  void Start();
+  // Stops scheduling further intervals after the next tick fires.
+  void Stop() { running_ = false; }
+
+  // --- client-facing operations (invoked at simulator-now) ---------------
+  // Admits a new user; returns its assigned ID, or nullopt if the ID space
+  // is exhausted. The joiner is granted the current path keys (modeled by
+  // the key tree's live versions).
+  std::optional<UserId> RequestJoin(HostId host);
+  void RequestLeave(UserId id);
+
+  // Concurrent application traffic over the same tables and uplinks.
+  TMesh::Handle MulticastData(const UserId& sender) {
+    return tmesh_.BeginData(sender);
+  }
+
+  // --- state --------------------------------------------------------------
+  Directory& directory() { return dir_; }
+  const Directory& directory() const { return dir_; }
+  const ModifiedKeyTree& key_tree() const { return mtree_; }
+  const ClusterRekeying& clusters() const { return clusters_; }
+  TMesh& transport() { return tmesh_; }
+  std::uint32_t group_key_version() const {
+    return cfg_.cluster_heuristic
+               ? clusters_.leader_tree().KeyVersion(DigitString{})
+               : mtree_.KeyVersion(DigitString{});
+  }
+
+  const std::vector<IntervalRecord>& history() const { return history_; }
+  const TMesh::Result& delivery(int index) const {
+    return deliveries_[static_cast<std::size_t>(index)].result();
+  }
+  // The rekey message distributed in interval `index` (alive as long as the
+  // server; split results reference it).
+  const RekeyMessage& message(int index) const {
+    return *messages_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  void EndInterval();
+
+  Config cfg_;
+  Directory dir_;
+  IdAssigner assigner_;
+  ModifiedKeyTree mtree_;
+  ClusterRekeying clusters_;
+  Simulator& sim_;
+  TMesh tmesh_;
+  bool running_ = false;
+  int interval_joins_ = 0;
+  int interval_leaves_ = 0;
+  std::vector<IntervalRecord> history_;
+  std::vector<TMesh::Handle> deliveries_;
+  std::vector<std::unique_ptr<RekeyMessage>> messages_;
+};
+
+}  // namespace tmesh

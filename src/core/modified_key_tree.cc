@@ -1,0 +1,134 @@
+#include "core/modified_key_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace tmesh {
+
+ModifiedKeyTree::ModifiedKeyTree(int depth) : depth_(depth) {
+  TMESH_CHECK(depth >= 1 && depth <= kMaxDigits);
+}
+
+void ModifiedKeyTree::Join(const UserId& u) {
+  TMESH_CHECK(u.size() == depth_);
+  TMESH_CHECK_MSG(nodes_.count(u) == 0, "join of present user " + u.ToString());
+  for (int len = 0; len <= depth_; ++len) {
+    DigitString p = u.Prefix(len);
+    Node& node = nodes_[p];  // creates missing k-nodes (and the u-node)
+    if (len < depth_) node.children.insert(u.digit(len));
+  }
+  changed_.insert(u);
+  ++user_count_;
+}
+
+void ModifiedKeyTree::Leave(UserId u) {
+  TMESH_CHECK(u.size() == depth_);
+  TMESH_CHECK_MSG(nodes_.count(u) > 0, "leave of absent user " + u.ToString());
+  nodes_.erase(u);
+  // Prune childless k-nodes bottom-up.
+  for (int len = depth_ - 1; len >= 0; --len) {
+    DigitString p = u.Prefix(len);
+    Node& node = nodes_.at(p);
+    int child_digit = u.digit(len);
+    if (nodes_.count(p.Child(child_digit)) == 0) {
+      node.children.erase(child_digit);
+    }
+    if (node.children.empty()) {
+      nodes_.erase(p);
+    }
+  }
+  changed_.insert(u);
+  --user_count_;
+}
+
+RekeyMessage ModifiedKeyTree::Rekey() {
+  // Updated k-nodes: every *existing* k-node on the path from a changed
+  // leaf position to the root (k-nodes deleted by pruning need no new key —
+  // they have no remaining users).
+  std::unordered_set<DigitString> updated;
+  for (const UserId& u : changed_) {
+    for (int len = 0; len < depth_; ++len) {
+      DigitString p = u.Prefix(len);
+      if (nodes_.count(p) > 0) updated.insert(p);
+    }
+  }
+  changed_.clear();
+
+  // Deterministic deep-first order: children's new keys exist before they
+  // encrypt their parents' new keys.
+  std::vector<DigitString> order(updated.begin(), updated.end());
+  std::sort(order.begin(), order.end(), [](const DigitString& a,
+                                           const DigitString& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a < b;
+  });
+
+  RekeyMessage msg;
+  for (const DigitString& p : order) {
+    Node& node = nodes_.at(p);
+    ++node.version;
+    for (int digit : std::set<int>(node.children.begin(),
+                                   node.children.end())) {
+      DigitString child = p.Child(digit);
+      Encryption e;
+      e.enc_key_id = child;  // "the ID of an encryption is the ID of the
+                             // encrypting key" (§2.4)
+      e.new_key_id = p;
+      e.new_key_version = node.version;
+      e.enc_key_version = nodes_.at(child).version;
+      msg.encryptions.push_back(e);
+    }
+  }
+  return msg;
+}
+
+std::vector<KeyId> ModifiedKeyTree::KeysOf(const UserId& u) const {
+  TMESH_CHECK_MSG(Contains(u), "not a member: " + u.ToString());
+  std::vector<KeyId> keys;
+  keys.reserve(static_cast<std::size_t>(depth_) + 1);
+  for (int len = 0; len <= depth_; ++len) keys.push_back(u.Prefix(len));
+  return keys;
+}
+
+std::uint32_t ModifiedKeyTree::KeyVersion(const KeyId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.version;
+}
+
+int ModifiedKeyTree::knode_count() const {
+  int n = 0;
+  for (const auto& [id, node] : nodes_) {
+    (void)node;
+    if (id.size() < depth_) ++n;
+  }
+  return n;
+}
+
+void ModifiedKeyTree::CheckInvariants() const {
+  int users = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (id.size() == depth_) {
+      TMESH_CHECK_MSG(node.children.empty(), "u-node with children");
+      ++users;
+    } else {
+      TMESH_CHECK_MSG(!node.children.empty(), "childless k-node survived");
+    }
+    if (id.size() > 0) {
+      auto parent = nodes_.find(id.Parent());
+      TMESH_CHECK_MSG(parent != nodes_.end(), "orphan node");
+      TMESH_CHECK_MSG(parent->second.children.count(id.LastDigit()) > 0,
+                      "parent unaware of child");
+    }
+  }
+  for (const auto& [id, node] : nodes_) {
+    for (int digit : node.children) {
+      TMESH_CHECK_MSG(nodes_.count(id.Child(digit)) > 0,
+                      "child digit without child node");
+    }
+  }
+  TMESH_CHECK(users == user_count_);
+}
+
+}  // namespace tmesh

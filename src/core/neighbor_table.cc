@@ -1,0 +1,61 @@
+#include "core/neighbor_table.h"
+
+#include <algorithm>
+
+namespace tmesh {
+
+bool NeighborTable::Insert(int row, int digit, const NeighborRecord& rec) {
+  auto& r = rows_[CheckedRow(row, digit)];
+  Entry& e = r[digit];
+  TMESH_DCHECK(!std::any_of(e.begin(), e.end(), [&](const NeighborRecord& x) {
+    return x.id == rec.id;
+  }));
+  auto pos = std::upper_bound(
+      e.begin(), e.end(), rec,
+      [](const NeighborRecord& a, const NeighborRecord& b) {
+        return a.rtt_ms < b.rtt_ms;
+      });
+  e.insert(pos, rec);
+  if (static_cast<int>(e.size()) > capacity_) {
+    bool kept = e.back().id != rec.id;
+    e.pop_back();
+    return kept;
+  }
+  return true;
+}
+
+bool NeighborTable::Remove(int row, int digit, const UserId& id) {
+  auto& r = rows_[CheckedRow(row, digit)];
+  auto it = r.find(digit);
+  if (it == r.end()) return false;
+  Entry& e = it->second;
+  auto pos = std::find_if(e.begin(), e.end(), [&](const NeighborRecord& x) {
+    return x.id == id;
+  });
+  if (pos == e.end()) return false;
+  e.erase(pos);
+  if (e.empty()) r.erase(it);
+  return true;
+}
+
+bool NeighborTable::ContainsNeighbor(int row, int digit,
+                                     const UserId& id) const {
+  const Entry* e = entry(row, digit);
+  if (e == nullptr) return false;
+  return std::any_of(e->begin(), e->end(), [&](const NeighborRecord& x) {
+    return x.id == id;
+  });
+}
+
+int NeighborTable::TotalRecords() const {
+  int n = 0;
+  for (const auto& r : rows_) {
+    for (const auto& [digit, e] : r) {
+      (void)digit;
+      n += static_cast<int>(e.size());
+    }
+  }
+  return n;
+}
+
+}  // namespace tmesh

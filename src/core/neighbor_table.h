@@ -1,0 +1,84 @@
+// Neighbor tables (§2.2) supporting hypercube routing.
+//
+// A user's table has D rows of B entries. The (i,j)-entry holds up to K
+// records of users from the owner's (i,j)-ID subtree, "arranged in
+// increasing order of their RTTs"; the first record of an entry is that
+// entry's *primary neighbor*. The key server's table is a single row of B
+// entries (its ID is the null string).
+//
+// Entries are stored sparsely (digit -> entry maps per row): with B = 256
+// and realistic group sizes, almost all entries are empty.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/digit_string.h"
+#include "sim/simulator.h"
+#include "topology/network.h"
+
+namespace tmesh {
+
+// What a user record carries (§2.2: "IP address, ID, and some other
+// information"; Appendix B adds the joining time).
+struct NeighborRecord {
+  UserId id;
+  HostId host = kNoHost;
+  double rtt_ms = 0.0;  // RTT between the table owner and this neighbor
+  SimTime join_time = 0;
+};
+
+class NeighborTable {
+ public:
+  // `rows` is D for a user table, 1 for the key server's table.
+  NeighborTable(int rows, int base, int capacity)
+      : base_(base), capacity_(capacity), rows_(static_cast<std::size_t>(rows)) {
+    TMESH_CHECK(rows >= 1 && base >= 2 && capacity >= 1);
+  }
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+  int base() const { return base_; }
+  int capacity() const { return capacity_; }
+
+  using Entry = std::vector<NeighborRecord>;  // ascending rtt_ms
+
+  // Null if the (row, digit) entry is empty.
+  const Entry* entry(int row, int digit) const {
+    const auto& r = rows_[CheckedRow(row, digit)];
+    auto it = r.find(digit);
+    return it == r.end() ? nullptr : &it->second;
+  }
+
+  // All non-empty entries of a row, keyed by digit.
+  const std::map<int, Entry>& row(int i) const {
+    TMESH_CHECK(i >= 0 && i < rows());
+    return rows_[static_cast<std::size_t>(i)];
+  }
+
+  // Inserts a record keeping ascending-RTT order; evicts the worst record if
+  // the entry exceeds capacity. Returns false if the record was not retained
+  // (entry full of closer neighbors) — still K-consistent, since the entry
+  // then holds K records from the right subtree.
+  bool Insert(int row, int digit, const NeighborRecord& rec);
+
+  // Removes the record with this user ID if present; returns true if removed.
+  bool Remove(int row, int digit, const UserId& id);
+
+  bool ContainsNeighbor(int row, int digit, const UserId& id) const;
+
+  // Total records across all entries.
+  int TotalRecords() const;
+
+ private:
+  std::size_t CheckedRow(int row, int digit) const {
+    TMESH_CHECK(row >= 0 && row < rows());
+    TMESH_CHECK(digit >= 0 && digit < base_);
+    return static_cast<std::size_t>(row);
+  }
+
+  int base_;
+  int capacity_;
+  std::vector<std::map<int, Entry>> rows_;
+};
+
+}  // namespace tmesh

@@ -1,0 +1,372 @@
+#include "core/silk.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "core/id_tree.h"
+
+namespace tmesh {
+
+SilkGroup::SilkGroup(const Network& net, const GroupParams& params,
+                     HostId server_host, Simulator& sim)
+    : net_(net),
+      params_(params),
+      server_host_(server_host),
+      sim_(sim),
+      server_table_(1, params.base, params.capacity) {
+  TMESH_CHECK(params.digits >= 1 && params.digits <= kMaxDigits);
+  TMESH_CHECK(params.base >= 2 && params.base <= kMaxBase);
+  TMESH_CHECK(params.capacity >= 1);
+  TMESH_CHECK(server_host >= 0 && server_host < net.host_count());
+}
+
+HostId SilkGroup::HostOf(const UserId& id) const {
+  auto it = members_.find(id);
+  TMESH_CHECK_MSG(it != members_.end(), "unknown member " + id.ToString());
+  return it->second.host;
+}
+
+const NeighborTable& SilkGroup::TableOf(const UserId& id) const {
+  auto it = members_.find(id);
+  TMESH_CHECK_MSG(it != members_.end(), "unknown member " + id.ToString());
+  return it->second.table;
+}
+
+SilkGroup::Member& SilkGroup::MemberRef(const UserId& id) {
+  auto it = members_.find(id);
+  TMESH_CHECK(it != members_.end());
+  return it->second;
+}
+
+NeighborRecord SilkGroup::RecordOf(const Member& m, HostId owner) const {
+  NeighborRecord rec;
+  rec.id = m.id;
+  rec.host = m.host;
+  rec.join_time = m.join_time;
+  rec.rtt_ms = net_.RttHosts(owner, m.host);
+  return rec;
+}
+
+void SilkGroup::Message(HostId from, HostId to, std::function<void()> fn) {
+  ++stats_.messages;
+  sim_.ScheduleIn(FromMillis(net_.OneWayDelayMs(from, to)), std::move(fn));
+}
+
+void SilkGroup::Broadcast(const UserId& origin,
+                          std::function<void(const UserId& at)> fn) {
+  // FORWARD (Fig. 2) over the live tables, with a per-broadcast visited set
+  // (the moral equivalent of Silk's message sequence numbers): membership
+  // changes mid-flood must not double-deliver or loop.
+  auto visited = std::make_shared<std::set<UserId>>();
+  auto shared_fn = std::make_shared<std::function<void(const UserId&)>>(
+      std::move(fn));
+  visited->insert(origin);
+
+  // Recursive forwarding closure.
+  auto forward = std::make_shared<std::function<void(const UserId&, int)>>();
+  *forward = [this, visited, shared_fn, forward](const UserId& at,
+                                                 int level) {
+    if (!Contains(at)) return;
+    const Member& m = members_.at(at);
+    for (int i = level; i < params_.digits; ++i) {
+      for (const auto& [digit, entry] : m.table.row(i)) {
+        (void)digit;
+        const NeighborRecord* primary = nullptr;
+        for (const NeighborRecord& rec : entry) {
+          if (Contains(rec.id)) {
+            primary = &rec;
+            break;
+          }
+        }
+        if (primary == nullptr) continue;
+        const UserId next = primary->id;
+        const int next_level = i + 1;
+        Message(m.host, primary->host,
+                [this, visited, shared_fn, forward, next, next_level]() {
+                  if (!Contains(next)) return;
+                  if (!visited->insert(next).second) return;
+                  (*shared_fn)(next);
+                  (*forward)(next, next_level);
+                });
+      }
+    }
+  };
+  (*forward)(origin, 0);
+}
+
+void SilkGroup::AcceptAnnouncement(const UserId& w, const NeighborRecord& rec) {
+  if (w == rec.id || !Contains(w) || !Contains(rec.id)) return;
+  Member& m = MemberRef(w);
+  int cpl = w.CommonPrefixLen(rec.id);
+  if (m.table.ContainsNeighbor(cpl, rec.id.digit(cpl), rec.id)) return;
+  // w measures its own RTT to the announced member.
+  NeighborRecord mine = rec;
+  mine.rtt_ms = net_.RttHosts(m.host, rec.host);
+  ++stats_.rtt_probes;
+  m.table.Insert(cpl, rec.id.digit(cpl), mine);
+}
+
+void SilkGroup::AcceptLeave(const UserId& w, const UserId& gone,
+                            const std::vector<NeighborRecord>& candidates) {
+  if (!Contains(w)) return;
+  Member& m = MemberRef(w);
+  int cpl = w.CommonPrefixLen(gone);
+  int digit = gone.digit(cpl);
+  if (!m.table.Remove(cpl, digit, gone)) return;
+  // Refill from the departing member's candidates: those in the same
+  // (cpl, digit)-ID subtree of w, closest first.
+  DigitString subtree = w.Prefix(cpl).Child(digit);
+  std::vector<NeighborRecord> fits;
+  for (const NeighborRecord& c : candidates) {
+    if (c.id == gone || c.id == w) continue;
+    if (!Contains(c.id)) continue;
+    if (!subtree.IsPrefixOf(c.id)) continue;
+    if (m.table.ContainsNeighbor(cpl, digit, c.id)) continue;
+    NeighborRecord mine = c;
+    mine.rtt_ms = net_.RttHosts(m.host, c.host);
+    ++stats_.rtt_probes;
+    fits.push_back(mine);
+  }
+  std::sort(fits.begin(), fits.end(),
+            [](const NeighborRecord& a, const NeighborRecord& b) {
+              return a.rtt_ms < b.rtt_ms;
+            });
+  const NeighborTable::Entry* e = m.table.entry(cpl, digit);
+  int have = e == nullptr ? 0 : static_cast<int>(e->size());
+  for (const NeighborRecord& c : fits) {
+    if (have >= params_.capacity) break;
+    m.table.Insert(cpl, digit, c);
+    ++have;
+  }
+}
+
+void SilkGroup::Join(const UserId& id, HostId host, SimTime join_time) {
+  TMESH_CHECK(id.size() == params_.digits);
+  TMESH_CHECK_MSG(!Contains(id), "duplicate member " + id.ToString());
+  TMESH_CHECK(host >= 0 && host < net_.host_count());
+  TMESH_CHECK(host != server_host_);
+  TMESH_CHECK_MSG(host_index_.count(host) == 0, "host already a member");
+
+  if (members_.empty()) {
+    auto [it, ok] = members_.try_emplace(id, id, host, join_time,
+                                         params_.digits, params_.base,
+                                         params_.capacity);
+    TMESH_CHECK(ok);
+    host_index_[host] = id;
+    // Register with the key server.
+    Member& me = it->second;
+    NeighborRecord rec = RecordOf(me, server_host_);
+    Message(host, server_host_, [this, rec, id]() {
+      if (Contains(id)) server_table_.Insert(0, rec.id.digit(0), rec);
+    });
+    return;
+  }
+
+  // The joiner's protocol state, shared across its message events.
+  struct JoinCtx {
+    UserId id;
+    HostId host;
+    SimTime join_time;
+    std::map<UserId, NeighborRecord> candidates;  // dedup by id
+    std::set<UserId> queried;
+    int best_cpl = -1;
+  };
+  auto ctx = std::make_shared<JoinCtx>();
+  ctx->id = id;
+  ctx->host = host;
+  ctx->join_time = join_time;
+
+  // Completion: build the table from candidates, install, and announce.
+  auto finish = [this, ctx]() {
+    auto [it, ok] = members_.try_emplace(
+        ctx->id, ctx->id, ctx->host, ctx->join_time, params_.digits,
+        params_.base, params_.capacity);
+    TMESH_CHECK(ok);
+    host_index_[ctx->host] = ctx->id;
+    Member& me = it->second;
+    for (const auto& [cid, crec] : ctx->candidates) {
+      if (cid == ctx->id || !Contains(cid)) continue;
+      int cpl = ctx->id.CommonPrefixLen(cid);
+      NeighborRecord mine = crec;
+      mine.rtt_ms = net_.RttHosts(ctx->host, crec.host);
+      ++stats_.rtt_probes;
+      me.table.Insert(cpl, cid.digit(cpl), mine);
+    }
+    // Register with the key server and announce to the group over the
+    // joiner's own (fresh, K-consistent) table.
+    NeighborRecord rec = RecordOf(me, server_host_);
+    UserId jid = ctx->id;
+    Message(ctx->host, server_host_, [this, rec, jid]() {
+      if (Contains(jid)) server_table_.Insert(0, rec.id.digit(0), rec);
+    });
+    NeighborRecord announce;
+    announce.id = me.id;
+    announce.host = me.host;
+    announce.join_time = me.join_time;
+    Broadcast(ctx->id, [this, announce](const UserId& at) {
+      AcceptAnnouncement(at, announce);
+    });
+  };
+
+  // Gateway chain: repeatedly query the known member sharing the longest
+  // prefix, absorbing its table, until no better gateway appears.
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, ctx, finish, step]() {
+    // Pick the unqueried candidate with the longest shared prefix.
+    const UserId* gw = nullptr;
+    int gw_cpl = -1;
+    for (const auto& [cid, crec] : ctx->candidates) {
+      (void)crec;
+      if (!Contains(cid) || ctx->queried.count(cid) > 0) continue;
+      int cpl = ctx->id.CommonPrefixLen(cid);
+      if (cpl > gw_cpl) {
+        gw_cpl = cpl;
+        gw = &cid;
+      }
+    }
+    if (gw == nullptr || gw_cpl <= ctx->best_cpl) {
+      finish();
+      return;
+    }
+    ctx->best_cpl = gw_cpl;
+    UserId gateway = *gw;
+    ctx->queried.insert(gateway);
+    HostId gw_host = members_.at(gateway).host;
+    // Request/response round trip, then absorb and iterate.
+    Message(ctx->host, gw_host, [this, ctx, gateway, gw_host, step]() {
+      if (!Contains(gateway)) {
+        sim_.ScheduleIn(0, *step);  // gateway vanished; try another
+        return;
+      }
+      const Member& g = members_.at(gateway);
+      // Response: g's own record plus every record in its table.
+      std::vector<NeighborRecord> response;
+      response.push_back(RecordOf(g, g.host));
+      for (int i = 0; i < g.table.rows(); ++i) {
+        for (const auto& [digit, entry] : g.table.row(i)) {
+          (void)digit;
+          response.insert(response.end(), entry.begin(), entry.end());
+        }
+      }
+      Message(gw_host, ctx->host, [this, ctx, response, step]() {
+        for (const NeighborRecord& rec : response) {
+          ctx->candidates.emplace(rec.id, rec);
+        }
+        (*step)();
+      });
+    });
+  };
+
+  // Seed: the key server hands out the record of one existing member (we
+  // use the earliest member for determinism).
+  const Member& contact = members_.begin()->second;
+  ctx->candidates.emplace(contact.id, RecordOf(contact, host));
+  (*step)();
+}
+
+void SilkGroup::Leave(UserId id) {
+  TMESH_CHECK_MSG(Contains(id), "leave of unknown member " + id.ToString());
+  Member& me = MemberRef(id);
+
+  // Replacement candidates: everything the leaver knows.
+  auto candidates = std::make_shared<std::vector<NeighborRecord>>();
+  for (int i = 0; i < me.table.rows(); ++i) {
+    for (const auto& [digit, entry] : me.table.row(i)) {
+      (void)digit;
+      candidates->insert(candidates->end(), entry.begin(), entry.end());
+    }
+  }
+
+  UserId gone = id;
+  Broadcast(id, [this, gone, candidates](const UserId& at) {
+    AcceptLeave(at, gone, *candidates);
+  });
+  // Notify the key server with the same candidates.
+  Message(me.host, server_host_, [this, gone, candidates]() {
+    int digit = gone.digit(0);
+    if (!server_table_.Remove(0, digit, gone)) return;
+    std::vector<NeighborRecord> fits;
+    for (const NeighborRecord& c : *candidates) {
+      if (c.id == gone || !Contains(c.id)) continue;
+      if (c.id.digit(0) != digit) continue;
+      if (server_table_.ContainsNeighbor(0, digit, c.id)) continue;
+      NeighborRecord mine = c;
+      mine.rtt_ms = net_.RttHosts(server_host_, c.host);
+      fits.push_back(mine);
+    }
+    std::sort(fits.begin(), fits.end(),
+              [](const NeighborRecord& a, const NeighborRecord& b) {
+                return a.rtt_ms < b.rtt_ms;
+              });
+    const NeighborTable::Entry* e = server_table_.entry(0, digit);
+    int have = e == nullptr ? 0 : static_cast<int>(e->size());
+    for (const NeighborRecord& c : fits) {
+      if (have >= params_.capacity) break;
+      server_table_.Insert(0, digit, c);
+      ++have;
+    }
+  });
+
+  // The leaver departs immediately; in-flight floods route around it via
+  // backup neighbors (requires K > 1, §2.2).
+  host_index_.erase(me.host);
+  members_.erase(id);
+}
+
+void SilkGroup::CheckConsistency(int strength) const {
+  TMESH_CHECK(strength >= 1 && strength <= params_.capacity);
+  // Ground truth: an ID tree over the current membership.
+  IdTree truth(params_.digits, params_.base);
+  for (const auto& [id, m] : members_) {
+    (void)m;
+    truth.Insert(id);
+  }
+
+  auto check_table = [&](const NeighborTable& table, const UserId* owner,
+                         int rows) {
+    for (int i = 0; i < rows; ++i) {
+      DigitString prefix = owner == nullptr ? DigitString{} : owner->Prefix(i);
+      const std::set<int>& digits = truth.ChildDigits(prefix);
+      for (int j : digits) {
+        if (owner != nullptr && j == owner->digit(i)) {
+          TMESH_CHECK_MSG(table.entry(i, j) == nullptr,
+                          "(i, own-digit) entry must be empty");
+          continue;
+        }
+        int m = truth.CountWithPrefix(prefix.Child(j));
+        const NeighborTable::Entry* e = table.entry(i, j);
+        int live = 0;
+        if (e != nullptr) {
+          for (const NeighborRecord& rec : *e) {
+            TMESH_CHECK_MSG(prefix.Child(j).IsPrefixOf(rec.id),
+                            "record outside the entry's subtree");
+            if (Contains(rec.id)) ++live;
+          }
+        }
+        TMESH_CHECK_MSG(live >= std::min(strength, m),
+                        "entry below required strength");
+        TMESH_CHECK_MSG(live <= std::min(params_.capacity, m),
+                        "entry above capacity / population");
+      }
+      for (const auto& [j, e] : table.row(i)) {
+        (void)e;
+        // Entries for emptied subtrees may linger only if every record in
+        // them is stale; strength-1 checking tolerates them, full strength
+        // does not.
+        if (strength >= params_.capacity) {
+          TMESH_CHECK_MSG(digits.count(j) > 0,
+                          "entry for an empty ID subtree");
+        }
+      }
+    }
+  };
+
+  for (const auto& [id, m] : members_) {
+    check_table(m.table, &id, params_.digits);
+  }
+  check_table(server_table_, nullptr, 1);
+}
+
+}  // namespace tmesh

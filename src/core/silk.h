@@ -1,0 +1,125 @@
+// SilkGroup: message-driven neighbor-table construction and update — a
+// simplified version of the Silk join/leave protocols [15, 12] the paper's
+// §3.2 builds on.
+//
+// Where the Directory is the centralized oracle (what the paper's own
+// simulator used), SilkGroup maintains the tables purely through protocol
+// messages exchanged over the discrete-event simulator:
+//
+//   Join (u, with an already-assigned ID):
+//     1. Row copying — u walks a gateway chain g_0, g_1, ... where g_i
+//        shares at least i digits with u (each g_i is found in g_{i-1}'s
+//        response): u requests each gateway's table and absorbs every
+//        record (plus the gateway's own). Because g_i's row i holds
+//        min(K, m) members of each of u's (i, j)-ID subtrees, the absorbed
+//        candidate set suffices to build a K-consistent table for u.
+//     2. Table build — u measures RTTs to its candidates and fills each
+//        (i, j)-entry with up to K closest members of that subtree.
+//     3. Announcement — u multicasts its user record over its *own* fresh
+//        table (routine FORWARD); by Theorem 1 the announcement reaches
+//        every member exactly once, and each member inserts u into the one
+//        entry u belongs to. The key server is notified directly.
+//
+//   Leave (u):
+//     u multicasts a leave notice carrying its own table's records as
+//     replacement candidates; each member removes u and refills the shrunk
+//     entry from the carried candidates (u's table holds at least one
+//     member of every non-empty subtree u belongs to, so 1-consistency
+//     survives). The key server refills its entry the same way.
+//
+// Guarantees (as proved for Silk and checked by the tests):
+//   - after an arbitrary sequence of joins with reliable delivery and no
+//     leaves, all tables are K-consistent (Definition 3);
+//   - with interleaved leaves, tables remain 1-consistent (every non-empty
+//     entry keeps at least one live member), which is what Theorem 1 needs.
+//
+// Operations are sequential: each Join/Leave schedules its messages and the
+// caller drains the simulator before issuing the next operation (the same
+// serialization the paper applies to NICE joins).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/digit_string.h"
+#include "core/group_view.h"
+#include "sim/simulator.h"
+
+namespace tmesh {
+
+class SilkGroup : public GroupView {
+ public:
+  SilkGroup(const Network& net, const GroupParams& params, HostId server_host,
+            Simulator& sim);
+
+  // --- GroupView --------------------------------------------------------
+  const GroupParams& params() const override { return params_; }
+  HostId server_host() const override { return server_host_; }
+  const Network& network() const override { return net_; }
+  bool Contains(const UserId& id) const override {
+    return members_.count(id) > 0;
+  }
+  bool IsAlive(const UserId& id) const override { return Contains(id); }
+  HostId HostOf(const UserId& id) const override;
+  const NeighborTable& TableOf(const UserId& id) const override;
+  const NeighborTable& ServerTable() const override { return server_table_; }
+
+  // --- protocol operations ----------------------------------------------
+  // Schedules the join protocol for (id, host); `contact` is the record the
+  // key server hands out (ignored for the first member). Drain the
+  // simulator to complete the operation before the next one.
+  void Join(const UserId& id, HostId host, SimTime join_time);
+  void Leave(UserId id);
+
+  int member_count() const { return static_cast<int>(members_.size()); }
+
+  // Cumulative protocol cost.
+  struct Stats {
+    std::int64_t messages = 0;    // protocol messages sent
+    std::int64_t rtt_probes = 0;  // RTT measurements by joiners
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Verifies Definition 3 at the given strength: `capacity` = K checks full
+  // K-consistency; 1 checks 1-consistency (entries non-empty whenever their
+  // subtree is). Throws on violation.
+  void CheckConsistency(int strength) const;
+
+ private:
+  struct Member {
+    UserId id;
+    HostId host = kNoHost;
+    SimTime join_time = 0;
+    NeighborTable table;
+    Member(const UserId& u, HostId h, SimTime t, int rows, int base, int cap)
+        : id(u), host(h), join_time(t), table(rows, base, cap) {}
+  };
+
+  NeighborRecord RecordOf(const Member& m, HostId owner) const;
+  Member& MemberRef(const UserId& id);
+  // Delivers `rec`'s insertion at member w (one protocol message).
+  void AcceptAnnouncement(const UserId& w, const NeighborRecord& rec);
+  // Delivers u's leave notice with replacement candidates at member w.
+  void AcceptLeave(const UserId& w, const UserId& gone,
+                   const std::vector<NeighborRecord>& candidates);
+  // FORWARD-based flood of a closure over the current tables, starting at
+  // `origin` (which must be a member); fn runs at each *other* member upon
+  // delivery. Returns immediately; effects land as simulator events.
+  void Broadcast(const UserId& origin,
+                 std::function<void(const UserId& at)> fn);
+  // Messages between two hosts take one-way network latency.
+  void Message(HostId from, HostId to, std::function<void()> fn);
+
+  const Network& net_;
+  GroupParams params_;
+  HostId server_host_;
+  Simulator& sim_;
+  std::map<UserId, Member> members_;
+  std::unordered_map<HostId, UserId> host_index_;
+  NeighborTable server_table_;
+  Stats stats_;
+};
+
+}  // namespace tmesh

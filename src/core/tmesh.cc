@@ -1,0 +1,352 @@
+#include "core/tmesh.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tmesh {
+
+// One multicast session: owns the result, the loss-model RNG, and the
+// immutable per-session options. Heap-allocated so concurrent sessions can
+// coexist and so scheduled events can safely reference it through the
+// Handle that keeps it alive.
+struct TMesh::Handle::Session {
+  const RekeyMessage* msg = nullptr;
+  Options opts;
+  HostId source_host = kNoHost;
+  bool is_rekey = false;
+  Result result;
+  Rng loss_rng{1};
+};
+
+TMesh::Handle::Handle(std::unique_ptr<Session> s) : session_(std::move(s)) {}
+TMesh::Handle::Handle(Handle&&) noexcept = default;
+TMesh::Handle& TMesh::Handle::operator=(Handle&&) noexcept = default;
+TMesh::Handle::~Handle() = default;
+
+const TMesh::Result& TMesh::Handle::result() const {
+  TMESH_CHECK(session_ != nullptr);
+  return session_->result;
+}
+
+TMesh::Result TMesh::Handle::TakeResult() {
+  TMESH_CHECK(session_ != nullptr);
+  return std::move(session_->result);
+}
+
+void TMesh::SetUplinkModel(const UplinkModel& model) {
+  TMESH_CHECK(model.kbps >= 0.0);
+  uplink_ = model;
+  uplink_free_.assign(static_cast<std::size_t>(dir_.network().host_count()),
+                      0);
+}
+
+std::vector<UserId> TMesh::CandidatesOf(const NeighborTable::Entry& entry,
+                                        int row, bool cluster_mode) const {
+  std::vector<UserId> out;
+  out.reserve(entry.size());
+  if (cluster_mode && row == dir_.params().digits - 2) {
+    // Footnote 8: at the (D-2)th row prefer the earliest joiner so that
+    // cluster leaders receive rekey messages at forwarding level D-1.
+    std::vector<const NeighborRecord*> live;
+    for (const NeighborRecord& rec : entry) {
+      if (dir_.IsAlive(rec.id)) live.push_back(&rec);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const NeighborRecord* a, const NeighborRecord* b) {
+                if (a->join_time != b->join_time) {
+                  return a->join_time < b->join_time;
+                }
+                return a->rtt_ms < b->rtt_ms;
+              });
+    for (const NeighborRecord* rec : live) out.push_back(rec->id);
+    return out;
+  }
+  for (const NeighborRecord& rec : entry) {  // entries are RTT-sorted
+    if (dir_.IsAlive(rec.id)) out.push_back(rec.id);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> TMesh::SplitFor(
+    const Session& s, const std::vector<std::int32_t>& encs,
+    const DigitString& w_prefix) const {
+  auto passes = [&](std::int32_t idx) {
+    const Encryption& e = s.msg->encryptions[static_cast<std::size_t>(idx)];
+    return e.enc_key_id.IsPrefixOf(w_prefix) ||
+           w_prefix.IsPrefixOf(e.enc_key_id);
+  };
+  std::vector<std::int32_t> out;
+  out.reserve(encs.size());
+  const int pkt = s.opts.split_packet_encs;
+  if (pkt <= 1) {
+    // Unit-of-encryption splitting (the paper's main scheme, Fig. 5).
+    for (std::int32_t idx : encs) {
+      if (passes(idx)) out.push_back(idx);
+    }
+    return out;
+  }
+  // Packet-level splitting: a packet (consecutive indices of the original
+  // message) travels whole if any of its encryptions is needed downstream.
+  std::unordered_set<std::int32_t> keep_packets;
+  for (std::int32_t idx : encs) {
+    if (passes(idx)) keep_packets.insert(idx / pkt);
+  }
+  for (std::int32_t idx : encs) {
+    if (keep_packets.count(idx / pkt) > 0) out.push_back(idx);
+  }
+  return out;
+}
+
+double TMesh::PacketBytes(const Packet& pkt) const {
+  if (!pkt.is_rekey) return uplink_.data_bytes;
+  return uplink_.header_bytes +
+         static_cast<double>(EncCount(pkt)) * uplink_.bytes_per_encryption;
+}
+
+std::pair<SimTime, SimTime> TMesh::OccupyUplink(HostId from, double bytes) {
+  if (uplink_.kbps <= 0.0) return {sim_.Now(), 0};
+  auto f = static_cast<std::size_t>(from);
+  SimTime depart = std::max(sim_.Now(), uplink_free_[f]);
+  SimTime tx = FromMillis(bytes * 8.0 / uplink_.kbps);
+  uplink_free_[f] = depart + tx;
+  return {depart, tx};
+}
+
+void TMesh::SendWithRetry(Session& s, const UserId* from, HostId from_host,
+                          std::vector<UserId> candidates, Packet pkt,
+                          int attempt) {
+  // Drop candidates that died since the last attempt.
+  while (!candidates.empty()) {
+    std::size_t i = static_cast<std::size_t>(attempt) % candidates.size();
+    if (dir_.IsAlive(candidates[i])) break;
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  if (candidates.empty() || attempt >= s.opts.max_send_attempts) {
+    if (attempt > 0) ++s.result.deliveries_failed;
+    return;
+  }
+  const UserId to =
+      candidates[static_cast<std::size_t>(attempt) % candidates.size()];
+
+  bool lost = s.opts.loss_prob > 0.0 && s.loss_rng.Bernoulli(s.opts.loss_prob);
+  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(pkt));
+  Transmit(s, from, from_host, to, pkt, lost, depart, tx);
+
+  if (lost) {
+    // §2.3: after detecting the loss (an RTT-scaled timeout), forward to
+    // another neighbor in the same table entry.
+    double rtt = dir_.network().RttHosts(from_host, dir_.HostOf(to));
+    SimTime timeout =
+        depart + tx + FromMillis(std::max(1.0, rtt * s.opts.retry_rtt_factor));
+    Session* sp = &s;
+    const UserId from_copy = from != nullptr ? *from : UserId{};
+    const bool has_from = from != nullptr;
+    sim_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
+                              candidates = std::move(candidates),
+                              pkt = std::move(pkt), attempt]() mutable {
+      SendWithRetry(*sp, has_from ? &from_copy : nullptr, from_host,
+                    std::move(candidates), std::move(pkt), attempt + 1);
+    });
+  }
+}
+
+void TMesh::Transmit(Session& s, const UserId* from, HostId from_host,
+                     const UserId& to, const Packet& pkt, bool lost,
+                     SimTime depart, SimTime tx_time) {
+  const std::size_t encs = EncCount(pkt);
+  HostId to_host = dir_.HostOf(to);
+
+  ++s.result.messages_sent;
+  if (lost) ++s.result.messages_lost;
+  if (from != nullptr) {
+    MemberDeliveryRecord& rec =
+        s.result.member[static_cast<std::size_t>(from_host)];
+    ++rec.stress;
+    rec.encs_forwarded += static_cast<std::int64_t>(encs);
+  }
+  if (s.opts.track_links && dir_.network().HasRouterPaths()) {
+    std::vector<LinkId> path;
+    dir_.network().AppendPathLinks(from_host, to_host, path);
+    for (LinkId l : path) {
+      s.result.links.encryptions[static_cast<std::size_t>(l)] +=
+          static_cast<std::int64_t>(encs);
+      ++s.result.links.messages[static_cast<std::size_t>(l)];
+    }
+  }
+  if (lost) return;
+
+  SimTime arrive = depart + tx_time +
+                   FromMillis(dir_.network().OneWayDelayMs(from_host, to_host));
+  Session* sp = &s;
+  sim_.ScheduleAt(arrive, [this, sp, to, pkt, from_host]() {
+    Deliver(*sp, to, pkt, from_host);
+  });
+}
+
+void TMesh::Deliver(Session& s, const UserId& user, const Packet& pkt,
+                    HostId from_host) {
+  if (!dir_.Contains(user) || !dir_.IsAlive(user)) return;  // raced a leave
+  HostId host = dir_.HostOf(user);
+  MemberDeliveryRecord& rec = s.result.member[static_cast<std::size_t>(host)];
+  ++rec.copies;
+  if (pkt.group_key_unicast) ++rec.group_key_copies;
+  rec.encs_received += static_cast<std::int64_t>(EncCount(pkt));
+  if (s.opts.record_encryptions && !pkt.group_key_unicast) {
+    auto& got = s.result.member_encs[static_cast<std::size_t>(host)];
+    got.insert(got.end(), pkt.encs.begin(), pkt.encs.end());
+  }
+  bool first = rec.copies == 1;
+  if (first) {
+    rec.delay_ms = ToMillis(sim_.Now() - s.result.start);
+    rec.forward_level = pkt.forward_level;
+    rec.from = from_host;
+    double unicast = dir_.network().OneWayDelayMs(s.source_host, host);
+    rec.rdp = unicast > 0.0 ? rec.delay_ms / unicast : 1.0;
+  }
+
+  if (pkt.group_key_unicast) return;  // terminal hop; nothing to forward
+
+  Forward(s, user, pkt);
+  if (s.opts.clusters != nullptr && pkt.is_rekey && first) {
+    ClusterDuty(s, user, pkt);
+  }
+}
+
+void TMesh::Forward(Session& s, const UserId& user, const Packet& pkt) {
+  const int d = dir_.params().digits;
+  const bool cluster_mode = s.opts.clusters != nullptr && pkt.is_rekey;
+  // Appendix B: "the message multicast process is as usual when forwarding
+  // level is less than D-1" — i.e. rows up to D-2; the last level is the
+  // leaders' pairwise unicast instead.
+  const int max_row = cluster_mode ? d - 2 : d - 1;
+  if (pkt.forward_level >= d) return;
+
+  const NeighborTable& table = dir_.TableOf(user);
+  HostId host = dir_.HostOf(user);
+  for (int i = pkt.forward_level; i <= max_row; ++i) {
+    for (const auto& [digit, entry] : table.row(i)) {
+      (void)digit;
+      std::vector<UserId> candidates = CandidatesOf(entry, i, cluster_mode);
+      if (candidates.empty()) continue;  // all entry records failed
+      Packet child = pkt;
+      child.forward_level = i + 1;
+      if (pkt.is_rekey && s.opts.split) {
+        // All candidates of an (i,j)-entry share the owner's first i digits
+        // plus digit j, so Fig. 5's filter is identical for every backup.
+        child.encs = SplitFor(s, pkt.encs, candidates[0].Prefix(i + 1));
+      }
+      SendWithRetry(s, &user, host, std::move(candidates), std::move(child),
+                    /*attempt=*/0);
+    }
+  }
+}
+
+void TMesh::ClusterDuty(Session& s, const UserId& user, const Packet& pkt) {
+  const ClusterRekeying& clusters = *s.opts.clusters;
+  HostId host = dir_.HostOf(user);
+  if (clusters.IsLeader(user)) {
+    // Unicast the new group key to each cluster member under its pairwise
+    // key: one encryption per member (Appendix B).
+    Packet gk;
+    gk.forward_level = dir_.params().digits;
+    gk.group_key_unicast = true;
+    gk.is_rekey = true;
+    for (const UserId& peer : clusters.PeersOf(user)) {
+      if (!dir_.IsAlive(peer)) continue;
+      SendWithRetry(s, &user, host, {peer}, gk, /*attempt=*/0);
+    }
+  } else if (!pkt.leader_relay) {
+    // The single in-cluster receiver of the multicast copy relays the full
+    // message to its leader.
+    UserId leader = clusters.LeaderOf(user);
+    if (leader != user && dir_.IsAlive(leader)) {
+      Packet relay = pkt;
+      relay.forward_level = dir_.params().digits;  // no further FORWARD rows
+      relay.leader_relay = true;
+      SendWithRetry(s, &user, host, {leader}, std::move(relay),
+                    /*attempt=*/0);
+    }
+  }
+}
+
+TMesh::Handle TMesh::MakeSession(const Options& opts, HostId source_host,
+                                 bool is_rekey, const RekeyMessage* msg) {
+  auto session = std::make_unique<Session>();
+  session->msg = msg;
+  session->opts = opts;
+  session->source_host = source_host;
+  session->is_rekey = is_rekey;
+  session->loss_rng = Rng(opts.loss_seed);
+  auto& result = session->result;
+  result.member.resize(static_cast<std::size_t>(dir_.network().host_count()));
+  if (opts.record_encryptions) {
+    result.member_encs.resize(
+        static_cast<std::size_t>(dir_.network().host_count()));
+  }
+  if (opts.track_links) {
+    result.links.encryptions.assign(
+        static_cast<std::size_t>(dir_.network().link_count()), 0);
+    result.links.messages.assign(
+        static_cast<std::size_t>(dir_.network().link_count()), 0);
+  }
+  result.start = sim_.Now();
+  return Handle(std::move(session));
+}
+
+TMesh::Handle TMesh::BeginRekey(const RekeyMessage& msg, const Options& opts) {
+  Handle handle = MakeSession(opts, dir_.server_host(), /*is_rekey=*/true,
+                              &msg);
+  Session& s = *handle.session_;
+
+  // All encryptions, by index.
+  std::vector<std::int32_t> all(msg.encryptions.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<std::int32_t>(i);
+  }
+
+  // The key server executes FORWARD at level 0: one copy per non-empty
+  // (0,j)-entry of its one-row table (Fig. 2 lines 3-5), each split for its
+  // next hop (Fig. 5 with s = 0).
+  const NeighborTable& st = dir_.ServerTable();
+  for (const auto& [digit, entry] : st.row(0)) {
+    (void)digit;
+    std::vector<UserId> candidates =
+        CandidatesOf(entry, 0, /*cluster_mode=*/false);
+    if (candidates.empty()) continue;
+    Packet pkt;
+    pkt.forward_level = 1;
+    pkt.is_rekey = true;
+    pkt.encs = opts.split ? SplitFor(s, all, candidates[0].Prefix(1)) : all;
+    SendWithRetry(s, nullptr, dir_.server_host(), std::move(candidates),
+                  std::move(pkt), /*attempt=*/0);
+  }
+  return handle;
+}
+
+TMesh::Handle TMesh::BeginData(const UserId& sender, const Options& opts) {
+  TMESH_CHECK_MSG(dir_.IsAlive(sender), "data sender must be a live member");
+  TMESH_CHECK_MSG(!opts.split, "splitting applies to rekey transport only");
+  Handle handle =
+      MakeSession(opts, dir_.HostOf(sender), /*is_rekey=*/false, nullptr);
+  // The sender runs FORWARD at level 0 over its own table (Fig. 2 lines
+  // 6-9): rows 0..D-1.
+  Packet pkt;
+  pkt.forward_level = 0;
+  Forward(*handle.session_, sender, pkt);
+  return handle;
+}
+
+TMesh::Result TMesh::MulticastRekey(const RekeyMessage& msg,
+                                    const Options& opts) {
+  Handle handle = BeginRekey(msg, opts);
+  sim_.Run();
+  return handle.TakeResult();
+}
+
+TMesh::Result TMesh::MulticastData(const UserId& sender) {
+  Handle handle = BeginData(sender, Options{});
+  sim_.Run();
+  return handle.TakeResult();
+}
+
+}  // namespace tmesh

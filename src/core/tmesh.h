@@ -1,0 +1,216 @@
+// T-mesh: the paper's multicast scheme over neighbor tables (§2.3), with
+// rekey-message splitting (§2.5, Fig. 5), the cluster-rekeying forwarding
+// rule (Appendix B), loss recovery via backup neighbors, and an optional
+// access-link model for studying rekey/data interference.
+//
+// A multicast message carries a forward_level field. The sender emits at
+// level 0; a user receiving at level i forwards, for each row i..D-1 of its
+// neighbor table, one copy per non-empty entry to that entry's primary
+// neighbor, tagged level i+1 (routine FORWARD, Fig. 2). With 1-consistent
+// tables and no loss every member except the sender receives exactly one
+// copy (Theorem 1) — the tests assert this for every session.
+//
+// Splitting (rekey transport only): a forwarder at level s copies an
+// encryption e into the message for next hop w iff e.ID is a prefix of
+// w.ID[0:s] or w.ID[0:s] is a prefix of e.ID (routine REKEY-MESSAGE-SPLIT,
+// Fig. 5). Messages are split in units of encryptions by default; packet-
+// granularity splitting (§2.5's coarser alternative) is available for the
+// ablation benches. Split messages carry indices into the original rekey
+// message, never copies.
+//
+// Failure and loss recovery (§2.3): entries hold up to K neighbors. A
+// forwarder skips neighbors already marked failed; when per-hop loss is
+// simulated, an unacknowledged transmission is retried after an RTT-scaled
+// timeout on the *next* neighbor of the same entry — "it can simply forward
+// messages to another neighbor in the same table entry".
+//
+// Concurrent sessions: the paper's goal is concurrent rekey and data
+// transport over the same tables. Begin* starts a session without running
+// the simulator, so several sessions (e.g. a rekey burst plus a data
+// stream) can progress together; when the access-link model is enabled,
+// all sessions of one TMesh share each host's uplink, so a bulky rekey
+// message delays concurrent data — unless splitting shrinks it. That is
+// the paper's §1 motivation, quantified in bench/ablation_congestion.
+//
+// Cluster mode (Appendix B): forwarding stops at row D-2; the one member of
+// each bottom cluster that receives the message relays it to its cluster
+// leader if it is not the leader itself; the leader then unicasts the new
+// group key (one encryption under each pairwise key) to every other member
+// of its cluster. Per footnote 8, row-(D-2) primaries prefer the earliest
+// joiner (the leader) among live entry records.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cluster_rekeying.h"
+#include "core/group_view.h"
+#include "keytree/rekey_types.h"
+#include "sim/simulator.h"
+
+namespace tmesh {
+
+struct MemberDeliveryRecord {
+  int copies = 0;        // multicast copies received (Theorem 1: exactly 1)
+  double delay_ms = -1.0;  // application-layer delay of the first copy
+  double rdp = -1.0;       // relative delay penalty of the first copy
+  int forward_level = -1;  // forwarding level of the first copy
+  HostId from = kNoHost;   // previous hop of the first copy
+  int stress = 0;          // messages this user sent or forwarded
+  int group_key_copies = 0;  // Appendix-B pairwise group-key unicasts got
+  std::int64_t encs_received = 0;
+  std::int64_t encs_forwarded = 0;
+};
+
+struct LinkLoad {
+  std::vector<std::int64_t> encryptions;  // per LinkId
+  std::vector<std::int32_t> messages;     // per LinkId
+};
+
+class TMesh {
+ public:
+  struct Options {
+    // Apply REKEY-MESSAGE-SPLIT (rekey sessions only).
+    bool split = false;
+    // When > 0 (and split is on), split at *packet* granularity instead of
+    // encryption granularity: encryptions are packed `split_packet_encs`
+    // per packet in message order, and a whole packet is forwarded if any
+    // of its encryptions passes the Fig. 5 test (§2.5's alternative; the
+    // ablation bench quantifies the overhead).
+    int split_packet_encs = 0;
+    // Non-null enables Appendix-B cluster forwarding for rekey sessions.
+    const ClusterRekeying* clusters = nullptr;
+    // Account per-link encryption/message counts (needs router paths).
+    bool track_links = false;
+    // Record, per member, the indices (into the rekey message) of every
+    // encryption received — used by the correctness tests (Corollary 1 and
+    // the decryption-closure property).
+    bool record_encryptions = false;
+    // Per-transmission loss probability. A lost transmission is retried on
+    // the next live neighbor of the same entry after a timeout of
+    // retry_rtt_factor × the hop RTT (§2.3's burst-loss recovery).
+    double loss_prob = 0.0;
+    std::uint64_t loss_seed = 1;
+    int max_send_attempts = 8;
+    double retry_rtt_factor = 3.0;
+  };
+
+  struct Result {
+    std::vector<MemberDeliveryRecord> member;  // indexed by HostId
+    LinkLoad links;                            // sized iff track_links
+    // Per-host received encryption indices (iff record_encryptions).
+    std::vector<std::vector<std::int32_t>> member_encs;
+    int messages_sent = 0;   // transmissions (including lost ones)
+    int messages_lost = 0;   // transmissions dropped by the loss model
+    int deliveries_failed = 0;  // sends abandoned after max_send_attempts
+    SimTime start = 0;
+
+    int ReceivedCount() const {
+      int n = 0;
+      for (const auto& r : member) n += r.copies > 0 ? 1 : 0;
+      return n;
+    }
+  };
+
+  // Optional access-link model: each host's uplink serializes its outgoing
+  // messages at `kbps`; a message of E encryptions occupies the uplink for
+  // (header_bytes + E × bytes_per_encryption) × 8 / kbps milliseconds.
+  // Shared across all concurrent sessions of this TMesh — this is what
+  // makes a bulky rekey burst delay a concurrent data stream (§1).
+  struct UplinkModel {
+    double kbps = 0.0;  // 0 disables the model
+    int header_bytes = 48;
+    int bytes_per_encryption = 24;  // 16-byte key + ID/version overhead
+    // Transmission size of a non-rekey (data) message in bytes.
+    int data_bytes = 1024;
+  };
+
+  TMesh(const GroupView& dir, Simulator& sim) : dir_(dir), sim_(sim) {}
+
+  void SetUplinkModel(const UplinkModel& model);
+
+  // A running multicast session. Keep the handle alive until the simulator
+  // has drained; read result() afterwards. For rekey sessions the message
+  // must outlive the handle.
+  class Handle {
+   public:
+    const Result& result() const;
+    Result TakeResult();
+
+   private:
+    friend class TMesh;
+    struct Session;
+    explicit Handle(std::unique_ptr<Session> s);
+    std::unique_ptr<Session> session_;
+
+   public:
+    Handle(Handle&&) noexcept;
+    Handle& operator=(Handle&&) noexcept;
+    ~Handle();
+  };
+
+  // Starts a rekey multicast from the key server (events are scheduled but
+  // the simulator is NOT run — drive it yourself for concurrent sessions).
+  Handle BeginRekey(const RekeyMessage& msg, const Options& opts);
+  // Starts a data multicast from `sender`.
+  Handle BeginData(const UserId& sender, const Options& opts);
+  Handle BeginData(const UserId& sender) { return BeginData(sender, {}); }
+
+  // Convenience: begin + run the simulator to completion + return results.
+  Result MulticastRekey(const RekeyMessage& msg, const Options& opts);
+  Result MulticastData(const UserId& sender);
+
+ private:
+  struct Packet {
+    int forward_level = 0;
+    std::vector<std::int32_t> encs;  // indices into the rekey message
+    bool group_key_unicast = false;  // Appendix-B last hop (1 encryption)
+    bool leader_relay = false;       // non-leader -> leader full-message hop
+    bool is_rekey = false;
+  };
+
+  using Session = Handle::Session;
+
+  // Transmits `pkt` to the attempt-th candidate of `candidates`; on
+  // simulated loss, schedules a retry on the next candidate.
+  void SendWithRetry(Session& s, const UserId* from, HostId from_host,
+                     std::vector<UserId> candidates, Packet pkt, int attempt);
+  void Transmit(Session& s, const UserId* from, HostId from_host,
+                const UserId& to, const Packet& pkt, bool lost,
+                SimTime depart, SimTime tx_time);
+  void Deliver(Session& s, const UserId& user, const Packet& pkt,
+               HostId from_host);
+  void Forward(Session& s, const UserId& user, const Packet& pkt);
+  void ClusterDuty(Session& s, const UserId& user, const Packet& pkt);
+
+  // Fig. 5's per-next-hop filter: encryptions needed within w's level-(s+1)
+  // subtree, where `w_prefix` = w.ID[0:s].
+  std::vector<std::int32_t> SplitFor(const Session& s,
+                                     const std::vector<std::int32_t>& encs,
+                                     const DigitString& w_prefix) const;
+
+  // Live candidates of an entry, preference-ordered: RTT order, except in
+  // cluster mode at row D-2 where the earliest joiner leads (footnote 8).
+  std::vector<UserId> CandidatesOf(const NeighborTable::Entry& entry, int row,
+                                   bool cluster_mode) const;
+
+  std::size_t EncCount(const Packet& pkt) const {
+    return pkt.group_key_unicast ? 1 : pkt.encs.size();
+  }
+  // Bytes on the wire for the uplink model.
+  double PacketBytes(const Packet& pkt) const;
+  // Occupies the sender's uplink; returns {depart, tx_time}.
+  std::pair<SimTime, SimTime> OccupyUplink(HostId from, double bytes);
+
+  Handle MakeSession(const Options& opts, HostId source_host, bool is_rekey,
+                     const RekeyMessage* msg);
+
+  const GroupView& dir_;
+  Simulator& sim_;
+  UplinkModel uplink_;
+  std::vector<SimTime> uplink_free_;  // per host; sized when model enabled
+};
+
+}  // namespace tmesh

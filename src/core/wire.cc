@@ -1,0 +1,163 @@
+#include "core/wire.h"
+
+#include <cstring>
+
+namespace tmesh {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'T', 'M', 'R', 'K'};
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void I64(std::int64_t v) {
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+  }
+  void Digits(const DigitString& s) {
+    U8(static_cast<std::uint8_t>(s.size()));
+    for (int i = 0; i < s.size(); ++i) {
+      U8(static_cast<std::uint8_t>(s.digit(i)));
+    }
+  }
+  void Zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
+  std::vector<std::uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  bool U8(std::uint8_t& v) {
+    if (pos_ + 1 > in_.size()) return false;
+    v = in_[pos_++];
+    return true;
+  }
+  bool U32(std::uint32_t& v) {
+    if (pos_ + 4 > in_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool I64(std::int64_t& v) {
+    if (pos_ + 8 > in_.size()) return false;
+    std::uint64_t u = 0;
+    for (int i = 0; i < 8; ++i) {
+      u |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
+    }
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+  bool Digits(DigitString& s) {
+    std::uint8_t len;
+    if (!U8(len) || len > kMaxDigits) return false;
+    if (pos_ + len > in_.size()) return false;
+    s = DigitString::FromDigits(in_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool Skip(std::size_t n) {
+    if (pos_ + n > in_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == in_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t WireSize(const Encryption& e) {
+  return 1 + static_cast<std::size_t>(e.enc_key_id.size()) +  // enc_key_id
+         1 + static_cast<std::size_t>(e.new_key_id.size()) +  // new_key_id
+         4 + 4 +                                              // versions
+         kKeyBytes;                                           // payload
+}
+
+std::size_t WireSize(const RekeyMessage& msg) {
+  std::size_t n = sizeof kMagic + 4;
+  for (const Encryption& e : msg.encryptions) n += WireSize(e);
+  return n;
+}
+
+std::size_t WireSize(const NeighborRecord& rec) {
+  return 1 + static_cast<std::size_t>(rec.id.size()) + 4 + 4 + 8;
+}
+
+std::vector<std::uint8_t> EncodeRekeyMessage(const RekeyMessage& msg) {
+  Writer w;
+  for (std::uint8_t b : kMagic) w.U8(b);
+  w.U32(static_cast<std::uint32_t>(msg.encryptions.size()));
+  for (const Encryption& e : msg.encryptions) {
+    w.Digits(e.enc_key_id);
+    w.Digits(e.new_key_id);
+    w.U32(e.new_key_version);
+    w.U32(e.enc_key_version);
+    w.Zeros(kKeyBytes);  // the ciphertext itself (mocked as zeros)
+  }
+  return w.Take();
+}
+
+std::optional<RekeyMessage> DecodeRekeyMessage(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  for (std::uint8_t expected : kMagic) {
+    std::uint8_t b;
+    if (!r.U8(b) || b != expected) return std::nullopt;
+  }
+  std::uint32_t count;
+  if (!r.U32(count)) return std::nullopt;
+  RekeyMessage msg;
+  // Guard against absurd counts before reserving.
+  if (count > bytes.size()) return std::nullopt;
+  msg.encryptions.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Encryption e;
+    if (!r.Digits(e.enc_key_id)) return std::nullopt;
+    if (!r.Digits(e.new_key_id)) return std::nullopt;
+    if (!r.U32(e.new_key_version)) return std::nullopt;
+    if (!r.U32(e.enc_key_version)) return std::nullopt;
+    if (!r.Skip(kKeyBytes)) return std::nullopt;
+    msg.encryptions.push_back(e);
+  }
+  if (!r.AtEnd()) return std::nullopt;  // trailing garbage
+  return msg;
+}
+
+std::vector<std::uint8_t> EncodeNeighborRecord(const NeighborRecord& rec) {
+  Writer w;
+  w.Digits(rec.id);
+  w.U32(static_cast<std::uint32_t>(rec.host));
+  w.U32(static_cast<std::uint32_t>(rec.rtt_ms * 1000.0 + 0.5));  // microseconds
+  w.I64(rec.join_time);
+  return w.Take();
+}
+
+std::optional<NeighborRecord> DecodeNeighborRecord(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  NeighborRecord rec;
+  std::uint32_t host, rtt_us;
+  if (!r.Digits(rec.id)) return std::nullopt;
+  if (!r.U32(host)) return std::nullopt;
+  if (!r.U32(rtt_us)) return std::nullopt;
+  if (!r.I64(rec.join_time)) return std::nullopt;
+  if (!r.AtEnd()) return std::nullopt;
+  rec.host = static_cast<HostId>(host);
+  rec.rtt_ms = rtt_us / 1000.0;
+  return rec;
+}
+
+}  // namespace tmesh

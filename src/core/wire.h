@@ -1,0 +1,49 @@
+// Binary wire format for the protocol payloads.
+//
+// The paper attaches IDs to every encryption ("The ID is attached to each
+// encryption", §2.4) and ships user records inside query responses and
+// announcements (§2.2, §3.1). This module defines the byte encoding a
+// deployment would put on the wire, so message sizes in the access-link
+// model are honest and a real transport could be dropped in:
+//
+//   DigitString    := u8 length, then `length` digit bytes
+//   Encryption     := enc_key_id  DigitString
+//                     new_key_id  DigitString
+//                     new_key_version u32le
+//                     enc_key_version u32le
+//                     payload (the encrypted key itself): kKeyBytes bytes
+//   RekeyMessage   := "TMRK" magic, u32le count, encryptions...
+//   NeighborRecord := id DigitString, host u32le (stand-in for an IP
+//                     address), rtt_us u32le, join_time i64le
+//
+// Decoding is total: any byte string either decodes cleanly or returns
+// nullopt — no partial state, no exceptions, no reads past the buffer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/neighbor_table.h"
+#include "keytree/rekey_types.h"
+
+namespace tmesh {
+
+// Size of the (mock) encrypted key payload carried per encryption.
+inline constexpr std::size_t kKeyBytes = 16;
+
+std::vector<std::uint8_t> EncodeRekeyMessage(const RekeyMessage& msg);
+std::optional<RekeyMessage> DecodeRekeyMessage(
+    const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> EncodeNeighborRecord(const NeighborRecord& rec);
+std::optional<NeighborRecord> DecodeNeighborRecord(
+    const std::vector<std::uint8_t>& bytes);
+
+// Exact on-the-wire sizes (used by tests and available to the uplink
+// model's calibration).
+std::size_t WireSize(const Encryption& e);
+std::size_t WireSize(const RekeyMessage& msg);
+std::size_t WireSize(const NeighborRecord& rec);
+
+}  // namespace tmesh

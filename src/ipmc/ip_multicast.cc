@@ -1,0 +1,35 @@
+#include "ipmc/ip_multicast.h"
+
+namespace tmesh {
+
+IpMulticast::Result IpMulticast::Multicast(
+    HostId source, const std::vector<HostId>& receivers,
+    std::size_t encryptions) const {
+  Result res;
+  res.delay_ms.assign(static_cast<std::size_t>(net_.host_count()), -1.0);
+  res.link_encryptions.assign(static_cast<std::size_t>(net_.link_count()), 0);
+  res.link_messages.assign(static_cast<std::size_t>(net_.link_count()), 0);
+
+  const Graph::SptResult& spt = net_.SptFromHost(source);
+  std::vector<char> on_tree(static_cast<std::size_t>(net_.link_count()), 0);
+  std::vector<LinkId> path;
+  for (HostId r : receivers) {
+    if (r == source) continue;
+    res.delay_ms[static_cast<std::size_t>(r)] =
+        static_cast<double>(
+            spt.dist_ms[static_cast<std::size_t>(net_.attach_router(r))]) /
+        2.0;
+    path.clear();
+    net_.AppendPathLinks(r == source ? r : source, r, path);
+    for (LinkId l : path) on_tree[static_cast<std::size_t>(l)] = 1;
+  }
+  for (std::size_t l = 0; l < on_tree.size(); ++l) {
+    if (!on_tree[l]) continue;
+    ++res.tree_links;
+    res.link_messages[l] = 1;
+    res.link_encryptions[l] = static_cast<std::int64_t>(encryptions);
+  }
+  return res;
+}
+
+}  // namespace tmesh

@@ -1,0 +1,38 @@
+// IP-multicast rekey transport baseline (protocol P_ip of Table 2).
+//
+// "The IP multicast scheme used in P_ip is based on the DVMRP multicast
+// routing algorithm" (§4.3): routers forward along a source-rooted
+// shortest-path tree, so each physical link of the tree carries exactly one
+// copy of the rekey message. End hosts receive the full message (no
+// application-layer splitting is possible below the routing layer) and
+// forward nothing themselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/gtitm.h"
+
+namespace tmesh {
+
+class IpMulticast {
+ public:
+  explicit IpMulticast(const GtItmNetwork& net) : net_(net) {}
+
+  struct Result {
+    std::vector<double> delay_ms;  // per host; -1 for non-receivers
+    std::vector<std::int64_t> link_encryptions;  // per LinkId
+    std::vector<std::int32_t> link_messages;
+    int tree_links = 0;
+  };
+
+  // Multicasts a message of `encryptions` encryptions from `source`'s
+  // router to every receiver's router along the shortest-path tree.
+  Result Multicast(HostId source, const std::vector<HostId>& receivers,
+                   std::size_t encryptions) const;
+
+ private:
+  const GtItmNetwork& net_;
+};
+
+}  // namespace tmesh

@@ -1,0 +1,52 @@
+// Types shared by both key trees and the rekey transport protocols.
+//
+// The paper's rekey message is a sequence of "encryptions" {k'}_k — a new
+// key k' encrypted under a key k the receiver already holds (§2.4). All
+// evaluated metrics are counts of encryptions and message latencies, so an
+// Encryption here is a counted record, not ciphertext:
+//   - enc_key_id: the ID of the *encrypting* key k. The paper defines "the
+//     ID of an encryption ... to be the ID of the encrypting key" — this is
+//     the field the splitting scheme (Fig. 5) tests prefixes against.
+//   - new_key_id / new_key_version: which key is being distributed.
+//   - wgl_enc_node: for the original (WGL) key tree, whose keys have no
+//     prefix IDs, the node index of the encrypting key instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/digit_string.h"
+
+namespace tmesh {
+
+// Index of a member as the key server numbers them (we use the HostId).
+using MemberId = std::int32_t;
+inline constexpr MemberId kNoMember = -1;
+
+struct Encryption {
+  KeyId enc_key_id;            // the encryption's ID (modified key tree)
+  KeyId new_key_id;            // the key being distributed
+  std::uint32_t new_key_version = 0;
+  // Version of the encrypting key at emission time (a receiver can only
+  // decrypt if it holds exactly this version) — lets tests verify that the
+  // emitted message is decryption-complete for every member.
+  std::uint32_t enc_key_version = 0;
+  std::int32_t wgl_enc_node = -1;  // encrypting node (original key tree only)
+  std::int32_t wgl_new_node = -1;  // node whose new key is carried (WGL only)
+};
+
+struct RekeyMessage {
+  std::vector<Encryption> encryptions;
+
+  // The paper's "rekey cost": the number of encryptions contained in a rekey
+  // message (§4.2).
+  std::size_t RekeyCost() const { return encryptions.size(); }
+};
+
+// Lemma 3: a user needs the key carried in an encryption if and only if the
+// encryption's ID is a prefix of the user's ID. (Modified key tree only.)
+inline bool UserNeedsEncryption(const UserId& user, const Encryption& e) {
+  return e.enc_key_id.IsPrefixOf(user);
+}
+
+}  // namespace tmesh

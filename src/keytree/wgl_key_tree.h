@@ -1,0 +1,100 @@
+// The original key tree: Wong-Gouda-Lam key graph with periodic batch
+// rekeying — the paper's baseline key-management scheme (§4.2).
+//
+// "The original key tree is based on the Wong-Gouda-Lam key tree [28] with
+// degree 4 and the batch rekeying algorithm proposed in [32]. A degree of 4
+// is proved to be optimal in terms of rekey cost per join or leave. After
+// the initial 1024 users join the group, we assume that the original key
+// tree is full and balanced."
+//
+// Unlike the modified key tree (whose shape is pinned to the ID tree), this
+// tree has a fixed degree and grows/shrinks with membership:
+//   - a joining u-node first takes the position of a departed u-node;
+//   - extra joins split a shallowest u-node into a k-node holding the old
+//     and new u-nodes;
+//   - extra departures are pruned (k-nodes that lose all children vanish).
+// At the end of a rekey interval the server updates every key on the path
+// from each changed position to the root and emits, per updated k-node, one
+// encryption per child (encrypted under the child's current/new key).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "keytree/rekey_types.h"
+
+namespace tmesh {
+
+class WglKeyTree {
+ public:
+  explicit WglKeyTree(int degree = 4);
+
+  // Builds a full, balanced tree over `members` (requires |members| to be a
+  // power of the degree, as in the paper's 4^5 = 1024 setup). Replaces any
+  // existing tree; no encryptions are emitted for the initial build (the
+  // server unicasts initial keys at join time, §3.1).
+  void BuildFullBalanced(const std::vector<MemberId>& members);
+
+  // Starts empty and inserts members one by one (for non-power-of-degree
+  // populations); equivalent to a sequence of batch joins.
+  void BuildIncremental(const std::vector<MemberId>& members);
+
+  // Processes one rekey interval: J joins and L leaves as a batch. Returns
+  // the rekey message. All leave members must be present; all join members
+  // absent.
+  RekeyMessage Rekey(const std::vector<MemberId>& joins,
+                     const std::vector<MemberId>& leaves);
+
+  bool Contains(MemberId m) const { return leaf_of_.count(m) > 0; }
+  int member_count() const { return static_cast<int>(leaf_of_.size()); }
+  int degree() const { return degree_; }
+
+  // Depth of the member's u-node (root = 0).
+  int LeafDepth(MemberId m) const;
+
+  // Number of keys the member holds (k-node keys on its root path, incl.
+  // the group key, plus its individual key).
+  int KeysHeld(MemberId m) const;
+
+  // Members holding the encrypting key of `e` — exactly the members that
+  // need `e` (the key being distributed sits on all of their root paths).
+  // Used by the idealized splitting baseline P0'.
+  std::vector<MemberId> MembersNeeding(const Encryption& e) const;
+
+  // True iff the member's u-node lies below (or at) node `n`.
+  bool MemberUnder(MemberId m, std::int32_t n) const;
+
+  // (node id, key version) for every node on m's root path, leaf first —
+  // exactly the keys the server unicasts to m when it joins. Used by the
+  // decryption-closure tests.
+  std::vector<std::pair<std::int32_t, std::uint32_t>> PathNodes(
+      MemberId m) const;
+
+  // Structural invariants (for tests): parent/child links consistent,
+  // every u-node mapped, no empty k-nodes.
+  void CheckInvariants() const;
+
+ private:
+  struct Node {
+    std::int32_t parent = -1;
+    std::vector<std::int32_t> children;  // empty for u-nodes
+    MemberId member = kNoMember;         // set for u-nodes only
+    std::uint32_t version = 0;           // bumped when the key is renewed
+    bool alive = true;
+    bool IsLeaf() const { return member != kNoMember; }
+  };
+
+  std::int32_t NewNode();
+  void MarkPathUpdated(std::int32_t node, std::vector<char>& updated) const;
+  std::int32_t ShallowLeaf() const;  // a u-node of minimum depth
+  void DetachLeaf(std::int32_t leaf, std::vector<char>& updated);
+
+  int degree_;
+  std::int32_t root_ = -1;
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> free_list_;
+  std::unordered_map<MemberId, std::int32_t> leaf_of_;
+};
+
+}  // namespace tmesh

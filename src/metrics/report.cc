@@ -1,0 +1,92 @@
+#include "metrics/report.h"
+
+#include <cstdio>
+
+namespace tmesh {
+
+std::vector<double> DefaultFractions() {
+  std::vector<double> f;
+  for (int i = 1; i <= 20; ++i) f.push_back(0.05 * i);
+  return f;
+}
+
+std::vector<double> TailFractions(double from, int steps) {
+  TMESH_CHECK(from > 0.0 && from < 1.0 && steps >= 1);
+  std::vector<double> f;
+  for (int i = 1; i <= steps; ++i) {
+    f.push_back(from + (1.0 - from) * static_cast<double>(i) /
+                           static_cast<double>(steps));
+  }
+  return f;
+}
+
+namespace {
+std::string FormatCell(double v) {
+  char buf[32];
+  if (v >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%12.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%12.3f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+void PrintInverseCdfTable(
+    std::ostream& os, const std::string& title,
+    const std::vector<double>& fractions,
+    const std::vector<std::pair<std::string, const InverseCdf*>>& series) {
+  os << "# " << title << "\n";
+  os << "  frac_of_population";
+  for (const auto& [name, cdf] : series) {
+    (void)cdf;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%12s", name.c_str());
+    os << buf;
+  }
+  os << "\n";
+  for (double f : fractions) {
+    char fb[32];
+    std::snprintf(fb, sizeof fb, "  %18.3f", f);
+    os << fb;
+    for (const auto& [name, cdf] : series) {
+      (void)name;
+      os << FormatCell(cdf->ValueAtFraction(f));
+    }
+    os << "\n";
+  }
+}
+
+void PrintRankedTable(
+    std::ostream& os, const std::string& title,
+    const std::vector<double>& fractions,
+    const std::vector<std::pair<std::string, const RankedRunStats*>>& series,
+    double percentile) {
+  os << "# " << title << " (mean and p" << percentile << " across runs)\n";
+  os << "  frac_of_population";
+  for (const auto& [name, s] : series) {
+    (void)s;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%12s%12s", (name + "_avg").c_str(),
+                  (name + "_p95").c_str());
+    os << buf;
+  }
+  os << "\n";
+  for (double f : fractions) {
+    char fb[32];
+    std::snprintf(fb, sizeof fb, "  %18.3f", f);
+    os << fb;
+    for (const auto& [name, s] : series) {
+      (void)name;
+      std::size_t n = s->ranks();
+      TMESH_CHECK(n > 0);
+      std::size_t rank = static_cast<std::size_t>(f * static_cast<double>(n));
+      if (rank >= n) rank = n - 1;
+      os << FormatCell(s->MeanAtRank(rank))
+         << FormatCell(s->PercentileAtRank(rank, percentile));
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace tmesh

@@ -1,0 +1,39 @@
+// Table printers for the benchmark harness.
+//
+// Every evaluation figure in the paper is an inverse cumulative
+// distribution ("x fraction of users have ... less than or equal to y"),
+// sometimes with cross-run mean + 95th-percentile bars (Fig. 6). These
+// helpers print such figures as aligned text tables that the bench binaries
+// emit, one per paper figure.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace tmesh {
+
+// Default fraction axis used by the latency figures.
+std::vector<double> DefaultFractions();
+// Fraction axis zoomed on the loaded tail (Fig. 13 starts at 0.9 / 0.96).
+std::vector<double> TailFractions(double from, int steps = 10);
+
+// Prints: header, then one row per fraction with each series' inverse-CDF
+// value at that fraction.
+void PrintInverseCdfTable(
+    std::ostream& os, const std::string& title,
+    const std::vector<double>& fractions,
+    const std::vector<std::pair<std::string, const InverseCdf*>>& series);
+
+// Fig. 6 presentation: per population-rank fraction, the cross-run mean and
+// the cross-run 95th percentile of each series.
+void PrintRankedTable(
+    std::ostream& os, const std::string& title,
+    const std::vector<double>& fractions,
+    const std::vector<std::pair<std::string, const RankedRunStats*>>& series,
+    double percentile = 95.0);
+
+}  // namespace tmesh

@@ -1,0 +1,402 @@
+#include "nice/nice_overlay.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace tmesh {
+
+NiceOverlay::NiceOverlay(const Network& net, NiceParams params)
+    : net_(net), params_(params) {
+  TMESH_CHECK(params_.k >= 2);
+}
+
+HostId NiceOverlay::CenterOf(const std::vector<HostId>& members) const {
+  TMESH_CHECK(!members.empty());
+  HostId best = members[0];
+  double best_radius = -1.0;
+  for (HostId c : members) {
+    double radius = 0.0;
+    for (HostId m : members) {
+      if (m != c) radius = std::max(radius, Rtt(c, m));
+    }
+    if (best_radius < 0.0 || radius < best_radius ||
+        (radius == best_radius && c < best)) {
+      best = c;
+      best_radius = radius;
+    }
+  }
+  return best;
+}
+
+int NiceOverlay::ClusterIdOf(HostId h, int layer) const {
+  auto it = pos_.find(h);
+  TMESH_CHECK(it != pos_.end());
+  TMESH_CHECK(layer >= 0 &&
+              layer < static_cast<int>(it->second.size()));
+  return it->second[static_cast<std::size_t>(layer)];
+}
+
+int NiceOverlay::NewCluster(int layer) {
+  int cid = next_cid_++;
+  Cluster c;
+  c.layer = layer;
+  clusters_.emplace(cid, std::move(c));
+  if (static_cast<int>(layers_.size()) <= layer) {
+    layers_.resize(static_cast<std::size_t>(layer) + 1);
+  }
+  layers_[static_cast<std::size_t>(layer)].push_back(cid);
+  return cid;
+}
+
+void NiceOverlay::EraseCluster(int cid) {
+  int layer = ClusterAt(cid).layer;
+  auto& row = layers_[static_cast<std::size_t>(layer)];
+  row.erase(std::find(row.begin(), row.end(), cid));
+  clusters_.erase(cid);
+  while (!layers_.empty() && layers_.back().empty()) layers_.pop_back();
+}
+
+void NiceOverlay::AddMember(HostId h, int cid) {
+  Cluster& c = ClusterAt(cid);
+  auto& p = pos_[h];
+  TMESH_CHECK_MSG(static_cast<int>(p.size()) == c.layer,
+                  "member must enter layers bottom-up");
+  p.push_back(cid);
+  c.members.push_back(h);
+  FixUp(cid);
+}
+
+void NiceOverlay::ReelectLeader(int cid) {
+  Cluster& c = ClusterAt(cid);
+  HostId center = CenterOf(c.members);
+  if (center != c.leader) ChangeLeader(cid, center);
+}
+
+void NiceOverlay::ChangeLeader(int cid, HostId next) {
+  Cluster& c = ClusterAt(cid);
+  HostId old = c.leader;
+  if (old == next) return;
+  c.leader = next;
+  if (c.layer == static_cast<int>(layers_.size()) - 1) {
+    return;  // top layer: no super-cluster to adjust
+  }
+  // The old leader sits in a layer-(l+1) cluster; the new one replaces it.
+  TMESH_CHECK(old != kNoHost);
+  TMESH_CHECK(static_cast<int>(pos_.at(old).size()) > c.layer + 1);
+  int parent = pos_.at(old)[static_cast<std::size_t>(c.layer) + 1];
+  AddMember(next, parent);
+  RemoveFromLayer(old, c.layer + 1);
+}
+
+void NiceOverlay::RemoveFromLayer(HostId h, int layer) {
+  int cid = ClusterIdOf(h, layer);
+  Cluster& c = ClusterAt(cid);
+  auto& p = pos_.at(h);
+  bool had_above = static_cast<int>(p.size()) > layer + 1;
+
+  if (c.leader == h) {
+    if (c.members.size() == 1) {
+      // The cluster vanishes with its only member.
+      c.members.clear();
+      p.resize(static_cast<std::size_t>(layer));
+      EraseCluster(cid);
+      if (had_above) RemoveFromLayer(h, layer + 1);
+      CollapseTop();
+      return;
+    }
+    // Hand leadership to the center of the remaining members first; this
+    // also swaps the upper-layer slot from h to the new leader.
+    std::vector<HostId> rest;
+    rest.reserve(c.members.size() - 1);
+    for (HostId m : c.members) {
+      if (m != h) rest.push_back(m);
+    }
+    ChangeLeader(cid, CenterOf(rest));
+  }
+  // h is now a plain member of this cluster and absent from upper layers.
+  Cluster& c2 = ClusterAt(cid);
+  c2.members.erase(std::find(c2.members.begin(), c2.members.end(), h));
+  pos_.at(h).resize(static_cast<std::size_t>(layer));
+  FixUp(cid);
+  CollapseTop();
+}
+
+void NiceOverlay::FixUp(int cid) {
+  if (clusters_.count(cid) == 0) return;
+  const Cluster& c = ClusterAt(cid);
+  const int hi = 3 * params_.k - 1;
+  if (static_cast<int>(c.members.size()) > hi) {
+    MaybeSplit(cid);
+    return;
+  }
+  if (static_cast<int>(c.members.size()) < params_.k &&
+      layers_[static_cast<std::size_t>(c.layer)].size() > 1) {
+    MaybeMerge(cid);
+    return;
+  }
+  ReelectLeader(cid);
+}
+
+void NiceOverlay::MaybeSplit(int cid) {
+  Cluster& c = ClusterAt(cid);
+  const int layer = c.layer;
+  HostId old = c.leader;
+
+  // Seeds: the farthest pair of members.
+  std::vector<HostId> members = c.members;
+  HostId sa = members[0], sb = members[1];
+  double far = -1.0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      double d = Rtt(members[i], members[j]);
+      if (d > far) {
+        far = d;
+        sa = members[i];
+        sb = members[j];
+      }
+    }
+  }
+  // Balanced locality split: order by affinity delta, halve.
+  std::sort(members.begin(), members.end(), [&](HostId x, HostId y) {
+    double dx = Rtt(x, sa) - Rtt(x, sb);
+    double dy = Rtt(y, sa) - Rtt(y, sb);
+    if (dx != dy) return dx < dy;
+    return x < y;
+  });
+  std::size_t half = members.size() / 2;
+  std::vector<HostId> a(members.begin(), members.begin() + half);
+  std::vector<HostId> b(members.begin() + half, members.end());
+
+  c.members = a;
+  int cid_b = NewCluster(layer);
+  ClusterAt(cid_b).members = b;
+  for (HostId m : b) {
+    pos_.at(m)[static_cast<std::size_t>(layer)] = cid_b;
+  }
+  HostId la = CenterOf(a);
+  HostId lb = CenterOf(b);
+  ClusterAt(cid).leader = la;
+  ClusterAt(cid_b).leader = lb;
+
+  bool was_top = layer == static_cast<int>(layers_.size()) - 1;
+  if (was_top) {
+    // The split top cluster spawns a new top layer over the two leaders.
+    int top = NewCluster(layer + 1);
+    AddMember(la, top);
+    AddMember(lb, top);
+    ReelectLeader(top);
+    return;
+  }
+  // Replace `old` by the (up to two) new leaders in the parent cluster.
+  int parent = pos_.at(old)[static_cast<std::size_t>(layer) + 1];
+  if (la != old) {
+    AddMember(la, parent);
+    parent = pos_.at(old)[static_cast<std::size_t>(layer) + 1];
+  }
+  if (lb != old) {
+    AddMember(lb, parent);
+  }
+  if (la != old && lb != old) {
+    RemoveFromLayer(old, layer + 1);
+  }
+}
+
+void NiceOverlay::MaybeMerge(int cid) {
+  Cluster snapshot = ClusterAt(cid);
+  const int layer = snapshot.layer;
+  auto& row = layers_[static_cast<std::size_t>(layer)];
+  TMESH_CHECK(row.size() > 1);
+
+  // Merge into the cluster whose leader is nearest to ours.
+  int target = -1;
+  double best = 0.0;
+  for (int other : row) {
+    if (other == cid) continue;
+    double d = Rtt(snapshot.leader, ClusterAt(other).leader);
+    if (target == -1 || d < best) {
+      target = other;
+      best = d;
+    }
+  }
+  TMESH_CHECK(target != -1);
+
+  EraseCluster(cid);
+  Cluster& t = ClusterAt(target);
+  for (HostId m : snapshot.members) {
+    pos_.at(m)[static_cast<std::size_t>(layer)] = target;
+    t.members.push_back(m);
+  }
+  // Our old leader no longer leads anything; pull it out of upper layers
+  // before re-evaluating the merged cluster.
+  if (static_cast<int>(pos_.at(snapshot.leader).size()) > layer + 1) {
+    RemoveFromLayer(snapshot.leader, layer + 1);
+  }
+  FixUp(target);
+  CollapseTop();
+}
+
+void NiceOverlay::CollapseTop() {
+  // A top layer whose single cluster has a single member is redundant: that
+  // member is the leader of the single cluster below.
+  while (layers_.size() > 1) {
+    auto& top = layers_.back();
+    if (top.size() != 1) break;
+    Cluster& c = ClusterAt(top[0]);
+    if (c.members.size() != 1) break;
+    HostId h = c.members[0];
+    c.members.clear();
+    pos_.at(h).resize(layers_.size() - 1);
+    EraseCluster(top[0]);
+  }
+}
+
+void NiceOverlay::Join(HostId h) {
+  TMESH_CHECK(h >= 0 && h < net_.host_count());
+  TMESH_CHECK_MSG(!Contains(h), "host already joined");
+  if (pos_.empty()) {
+    int cid = NewCluster(0);
+    Cluster& c = ClusterAt(cid);
+    c.members.push_back(h);
+    c.leader = h;
+    pos_[h] = {cid};
+    return;
+  }
+  // Descend leader-wise from the root (the joiner probes each layer's
+  // cluster and picks the closest member).
+  int top = static_cast<int>(layers_.size()) - 1;
+  TMESH_CHECK(layers_[static_cast<std::size_t>(top)].size() == 1);
+  int cid = layers_[static_cast<std::size_t>(top)][0];
+  for (int l = top; l >= 1; --l) {
+    const Cluster& c = ClusterAt(cid);
+    HostId best = c.members[0];
+    for (HostId m : c.members) {
+      if (Rtt(h, m) < Rtt(h, best) || (Rtt(h, m) == Rtt(h, best) && m < best)) {
+        best = m;
+      }
+    }
+    cid = pos_.at(best)[static_cast<std::size_t>(l) - 1];
+  }
+  AddMember(h, cid);
+}
+
+void NiceOverlay::Leave(HostId h) {
+  TMESH_CHECK_MSG(Contains(h), "leave of non-member");
+  RemoveFromLayer(h, 0);
+  auto it = pos_.find(h);
+  if (it != pos_.end() && it->second.empty()) pos_.erase(it);
+}
+
+HostId NiceOverlay::root() const {
+  TMESH_CHECK_MSG(!pos_.empty(), "empty overlay has no root");
+  const auto& top = layers_.back();
+  TMESH_CHECK(top.size() == 1);
+  return ClusterAt(top[0]).leader;
+}
+
+NiceOverlay::Delivery NiceOverlay::Flood(HostId origin,
+                                         double initial_delay_ms,
+                                         HostId external_parent) const {
+  Delivery d;
+  std::size_t n = static_cast<std::size_t>(net_.host_count());
+  d.copies.assign(n, 0);
+  d.parent.assign(n, kNoHost);
+  d.delay_ms.assign(n, -1.0);
+  d.stress.assign(n, 0);
+  d.origin = origin;
+
+  // (time, seq, to, from_host, from_cid)
+  using Item = std::tuple<double, std::uint64_t, HostId, HostId, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  std::uint64_t seq = 0;
+  pq.push({initial_delay_ms, seq++, origin, external_parent, -1});
+
+  while (!pq.empty()) {
+    auto [t, s, h, from, from_cid] = pq.top();
+    (void)s;
+    pq.pop();
+    auto hi = static_cast<std::size_t>(h);
+    ++d.copies[hi];
+    if (d.copies[hi] > 1) continue;  // duplicate: count, don't forward
+    d.delay_ms[hi] = t;
+    d.parent[hi] = from;
+    // Forward to every cluster this member belongs to except the one the
+    // message came from.
+    auto it = pos_.find(h);
+    TMESH_CHECK(it != pos_.end());
+    for (int cid : it->second) {
+      if (cid == from_cid) continue;
+      const Cluster& c = ClusterAt(cid);
+      for (HostId m : c.members) {
+        if (m == h) continue;
+        ++d.stress[hi];
+        ++d.messages;
+        pq.push({t + net_.OneWayDelayMs(h, m), seq++, m, h, cid});
+      }
+    }
+  }
+  return d;
+}
+
+NiceOverlay::Delivery NiceOverlay::RekeyFromServer(HostId server) const {
+  TMESH_CHECK_MSG(!pos_.empty(), "empty overlay");
+  HostId r = root();
+  return Flood(r, net_.OneWayDelayMs(server, r), server);
+}
+
+NiceOverlay::Delivery NiceOverlay::DataFrom(HostId sender) const {
+  TMESH_CHECK_MSG(Contains(sender), "data sender must be a member");
+  return Flood(sender, 0.0, kNoHost);
+}
+
+void NiceOverlay::CheckInvariants() const {
+  if (pos_.empty()) {
+    TMESH_CHECK(layers_.empty());
+    TMESH_CHECK(clusters_.empty());
+    return;
+  }
+  TMESH_CHECK(!layers_.empty());
+  // Top layer: exactly one cluster.
+  TMESH_CHECK(layers_.back().size() == 1);
+  const int hi = 3 * params_.k - 1;
+
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    for (int cid : layers_[l]) {
+      const Cluster& c = ClusterAt(cid);
+      TMESH_CHECK(c.layer == static_cast<int>(l));
+      TMESH_CHECK(!c.members.empty());
+      TMESH_CHECK_MSG(static_cast<int>(c.members.size()) <= hi,
+                      "cluster above size bound");
+      if (layers_[l].size() > 1) {
+        TMESH_CHECK_MSG(static_cast<int>(c.members.size()) >= params_.k,
+                        "undersized cluster in a multi-cluster layer");
+      }
+      TMESH_CHECK(std::find(c.members.begin(), c.members.end(), c.leader) !=
+                  c.members.end());
+      for (HostId m : c.members) {
+        TMESH_CHECK(ClusterIdOf(m, static_cast<int>(l)) == cid);
+        // A member appears at layer l+1 iff it leads its layer-l cluster.
+        bool above = pos_.at(m).size() > l + 1;
+        bool is_top = l + 1 == layers_.size();
+        if (m == c.leader) {
+          TMESH_CHECK(is_top ? !above : above);
+        } else {
+          TMESH_CHECK(!above);
+        }
+      }
+    }
+  }
+  // Every member is in exactly one cluster per layer 0..top(h): implied by
+  // pos_ being the single source of cluster ids, checked above; also check
+  // every member appears at layer 0.
+  for (const auto& [h, p] : pos_) {
+    (void)h;
+    TMESH_CHECK(!p.empty());
+  }
+  // Total layer-0 membership equals the member count.
+  std::size_t total = 0;
+  for (int cid : layers_[0]) total += ClusterAt(cid).members.size();
+  TMESH_CHECK(total == pos_.size());
+}
+
+}  // namespace tmesh

@@ -1,0 +1,120 @@
+// The NICE application-layer multicast protocol (Banerjee, Bhattacharjee,
+// Kommareddy, SIGCOMM 2002) — the paper's comparison ALM scheme (§4).
+//
+// Re-implemented from the protocol description, as the paper itself did
+// ("we simulate the NICE protocol based on its protocol description and the
+// authors' simulation code"; §4 fn. 7). Members form clusters of size
+// [k, 3k-1] (k = 3, so "each cluster contains three to eight users") in
+// layers: every member is in layer 0; the leader (graph-theoretic center)
+// of each layer-i cluster also belongs to layer i+1; the top layer is a
+// single cluster whose leader is the root of the hierarchy.
+//
+// Joins are sequential (§4: "a user will not join or leave the group until
+// the previous join or leave terminates"): a joiner descends from the root,
+// at each layer picking the cluster leader closest to it, and joins that
+// leader's layer-0 cluster. Oversized clusters split, undersized clusters
+// merge with the nearest cluster of their layer, and leadership follows the
+// cluster center.
+//
+// Delivery: the control hierarchy implies the data paths. A member
+// receiving a message from one of its clusters forwards it to every other
+// cluster it belongs to; since the member-cluster incidence graph is a
+// tree, every member receives exactly one copy. A data sender floods from
+// its own clusters (the paper's "bottom-up and then top-down fashion"); a
+// rekey message is unicast by the key server to the root first (§4.1.1:
+// NICE has no notion of a key server, so the server "unicasts the message
+// to the root of the NICE tree").
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "topology/network.h"
+
+namespace tmesh {
+
+struct NiceParams {
+  int k = 3;  // cluster size bounds [k, 3k-1]
+};
+
+class NiceOverlay {
+ public:
+  NiceOverlay(const Network& net, NiceParams params = {});
+
+  void Join(HostId h);
+  void Leave(HostId h);
+  bool Contains(HostId h) const { return pos_.count(h) > 0; }
+  int member_count() const { return static_cast<int>(pos_.size()); }
+  int layer_count() const { return static_cast<int>(layers_.size()); }
+  // The leader of the single top-layer cluster — "the topological center of
+  // all the users in the group".
+  HostId root() const;
+
+  // One multicast session's outcome, per host id.
+  struct Delivery {
+    std::vector<int> copies;       // exact-once: 1 for every member
+    std::vector<HostId> parent;    // kNoHost for the origin
+    std::vector<double> delay_ms;  // from session start
+    std::vector<int> stress;       // copies sent (the paper's user stress)
+    HostId origin = kNoHost;
+    int messages = 0;
+
+    int ReceivedCount() const {
+      int n = 0;
+      for (int c : copies) n += c > 0 ? 1 : 0;
+      return n;
+    }
+  };
+
+  // Rekey transport: server -> root unicast, then top-down flood. `server`
+  // is a host outside the overlay.
+  Delivery RekeyFromServer(HostId server) const;
+  // Data transport: member `sender` floods from its own clusters.
+  Delivery DataFrom(HostId sender) const;
+
+  // Structural invariants; throws on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Cluster {
+    int layer = 0;
+    std::vector<HostId> members;
+    HostId leader = kNoHost;
+  };
+
+  double Rtt(HostId a, HostId b) const { return net_.RttHosts(a, b); }
+  HostId CenterOf(const std::vector<HostId>& members) const;
+  int ClusterIdOf(HostId h, int layer) const;
+  Cluster& ClusterAt(int cid) { return clusters_.at(cid); }
+  const Cluster& ClusterAt(int cid) const { return clusters_.at(cid); }
+
+  int NewCluster(int layer);
+  void EraseCluster(int cid);
+
+  // Places h into the given cluster (bookkeeping only), then fixes bounds
+  // and leadership.
+  void AddMember(HostId h, int cid);
+  // Removes h from its cluster at `layer`, reassigning leadership and
+  // cascading through upper layers as needed.
+  void RemoveFromLayer(HostId h, int layer);
+
+  void FixUp(int cid);
+  void MaybeSplit(int cid);
+  void MaybeMerge(int cid);
+  void ReelectLeader(int cid);
+  void ChangeLeader(int cid, HostId next);
+  void CollapseTop();
+
+  Delivery Flood(HostId origin, double initial_delay_ms,
+                 HostId external_parent) const;
+
+  const Network& net_;
+  NiceParams params_;
+  std::unordered_map<int, Cluster> clusters_;
+  std::vector<std::vector<int>> layers_;           // cids per layer
+  std::unordered_map<HostId, std::vector<int>> pos_;  // cid per layer, 0..top
+  int next_cid_ = 0;
+};
+
+}  // namespace tmesh

@@ -1,0 +1,67 @@
+#include "protocols/group_session.h"
+
+namespace tmesh {
+
+GroupSession::GroupSession(const Network& net, HostId server_host,
+                           SessionConfig cfg)
+    : cfg_(cfg),
+      dir_(net, cfg.group, server_host),
+      assigner_(dir_, cfg.assign, cfg.seed),
+      id_rng_(cfg.seed * 977 + 3),
+      mtree_(cfg.group.digits),
+      clusters_(cfg.group.digits) {
+  if (cfg.with_nice) nice_.emplace(net, cfg.nice);
+}
+
+std::optional<UserId> GroupSession::RandomUnusedId() {
+  // Rejection-sample only while the space is sparsely used; otherwise fall
+  // back to the server's exhaustive search.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    UserId id;
+    for (int i = 0; i < cfg_.group.digits; ++i) {
+      id.Append(static_cast<int>(id_rng_.UniformInt(0, cfg_.group.base - 1)));
+    }
+    if (!dir_.Contains(id)) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<UserId> GroupSession::Join(HostId h, SimTime t,
+                                         IdAssignStats* stats) {
+  std::optional<UserId> id;
+  if (cfg_.random_ids) {
+    id = RandomUnusedId();
+    if (stats != nullptr) *stats = IdAssignStats{};
+  } else if (cfg_.centralized_assignment) {
+    id = assigner_.AssignIdCentralized(h, stats);
+  } else {
+    id = assigner_.AssignId(h, stats);
+  }
+  if (!id.has_value()) return std::nullopt;
+  dir_.AddMember(*id, h, t);
+  mtree_.Join(*id);
+  clusters_.Join(*id, t);
+  if (nice_) nice_->Join(h);
+  return id;
+}
+
+void GroupSession::Leave(UserId id) {
+  HostId h = dir_.HostOf(id);
+  dir_.RemoveMember(id);
+  mtree_.Leave(id);
+  clusters_.Leave(id);
+  if (nice_) nice_->Leave(h);
+}
+
+void GroupSession::LeaveHost(HostId h) {
+  const UserId* id = dir_.IdOfHost(h);
+  TMESH_CHECK_MSG(id != nullptr, "host is not a member");
+  Leave(*id);
+}
+
+void GroupSession::FlushRekeyState() {
+  (void)mtree_.Rekey();
+  (void)clusters_.Rekey();
+}
+
+}  // namespace tmesh

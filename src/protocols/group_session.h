@@ -1,0 +1,68 @@
+// A co-maintained group: one membership stream driving every state machine
+// the experiments compare — the Directory (T-mesh neighbor tables), the
+// modified key tree, the cluster-rekeying state, and optionally a NICE
+// overlay over the same hosts. The paper's workloads ("users follow the
+// same join and leave order in T-mesh and NICE", §4) need exactly this.
+#pragma once
+
+#include <optional>
+
+#include "core/cluster_rekeying.h"
+#include "core/directory.h"
+#include "common/rng.h"
+#include "core/id_assignment.h"
+#include "core/modified_key_tree.h"
+#include "nice/nice_overlay.h"
+
+namespace tmesh {
+
+struct SessionConfig {
+  GroupParams group;
+  IdAssignParams assign;
+  NiceParams nice;
+  bool with_nice = true;
+  // Use the §5 centralized (GNP-style) ID assignment instead of the
+  // distributed 4-step protocol.
+  bool centralized_assignment = false;
+  // Bypass proximity entirely: IDs drawn uniformly at random (the §2.6
+  // strawman the ablation benches compare against).
+  bool random_ids = false;
+  std::uint64_t seed = 1;
+};
+
+class GroupSession {
+ public:
+  GroupSession(const Network& net, HostId server_host, SessionConfig cfg);
+
+  // Runs the ID-assignment protocol for `h` and admits it everywhere.
+  // Returns the assigned ID (nullopt iff the ID space is exhausted).
+  std::optional<UserId> Join(HostId h, SimTime t, IdAssignStats* stats = nullptr);
+  void Leave(UserId id);  // by value: the reference may live in storage
+                          // the leave mutates
+  void LeaveHost(HostId h);
+
+  // Clears pending key-tree changes without emitting a message (the initial
+  // population's keys are delivered by unicast at join time, §3.1, so the
+  // first measured interval starts clean).
+  void FlushRekeyState();
+
+  Directory& directory() { return dir_; }
+  const Directory& directory() const { return dir_; }
+  ModifiedKeyTree& key_tree() { return mtree_; }
+  ClusterRekeying& clusters() { return clusters_; }
+  NiceOverlay* nice() { return nice_ ? &*nice_ : nullptr; }
+  const NiceOverlay* nice() const { return nice_ ? &*nice_ : nullptr; }
+
+ private:
+  std::optional<UserId> RandomUnusedId();
+
+  SessionConfig cfg_;
+  Directory dir_;
+  IdAssigner assigner_;
+  Rng id_rng_;
+  ModifiedKeyTree mtree_;
+  ClusterRekeying clusters_;
+  std::optional<NiceOverlay> nice_;
+};
+
+}  // namespace tmesh

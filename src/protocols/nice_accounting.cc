@@ -1,0 +1,86 @@
+#include "protocols/nice_accounting.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tmesh {
+
+NiceBandwidth AccountNiceRekey(const Network& net,
+                               const NiceOverlay::Delivery& tree,
+                               const WglKeyTree& keytree,
+                               const RekeyMessage& msg, bool split) {
+  const std::size_t hosts = tree.copies.size();
+  NiceBandwidth out;
+  out.encs_received.assign(hosts, 0);
+  out.encs_forwarded.assign(hosts, 0);
+  if (net.HasRouterPaths()) {
+    out.link_encryptions.assign(static_cast<std::size_t>(net.link_count()), 0);
+  }
+
+  // Members in delivery order (parents strictly precede children because a
+  // child's delivery time exceeds its parent's).
+  std::vector<HostId> order;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    if (tree.copies[h] > 0) order.push_back(static_cast<HostId>(h));
+  }
+  std::sort(order.begin(), order.end(), [&](HostId a, HostId b) {
+    double da = tree.delay_ms[static_cast<std::size_t>(a)];
+    double db = tree.delay_ms[static_cast<std::size_t>(b)];
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  // Encryptions carried by each member's incoming edge.
+  std::vector<std::int64_t> edge_count(hosts, 0);
+  if (!split) {
+    for (HostId m : order) {
+      edge_count[static_cast<std::size_t>(m)] =
+          static_cast<std::int64_t>(msg.encryptions.size());
+    }
+  } else {
+    // Per encryption: mark needing members, aggregate subtree sums
+    // bottom-up (reverse delivery order), and charge every edge whose
+    // subtree needs the encryption.
+    std::vector<std::int32_t> subtree(hosts, 0);
+    for (const Encryption& e : msg.encryptions) {
+      std::fill(subtree.begin(), subtree.end(), 0);
+      for (MemberId m : keytree.MembersNeeding(e)) {
+        if (static_cast<std::size_t>(m) < hosts && tree.copies[static_cast<std::size_t>(m)] > 0) {
+          subtree[static_cast<std::size_t>(m)] = 1;
+        }
+      }
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        HostId m = *it;
+        if (subtree[static_cast<std::size_t>(m)] == 0) continue;
+        ++edge_count[static_cast<std::size_t>(m)];
+        HostId p = tree.parent[static_cast<std::size_t>(m)];
+        if (p != kNoHost && static_cast<std::size_t>(p) < hosts &&
+            tree.copies[static_cast<std::size_t>(p)] > 0) {
+          subtree[static_cast<std::size_t>(p)] = 1;
+        }
+      }
+    }
+  }
+
+  std::vector<LinkId> path;
+  for (HostId m : order) {
+    std::int64_t count = edge_count[static_cast<std::size_t>(m)];
+    out.encs_received[static_cast<std::size_t>(m)] = count;
+    HostId p = tree.parent[static_cast<std::size_t>(m)];
+    if (p != kNoHost && static_cast<std::size_t>(p) < hosts &&
+        tree.copies[static_cast<std::size_t>(p)] > 0) {
+      out.encs_forwarded[static_cast<std::size_t>(p)] += count;
+    }
+    if (net.HasRouterPaths() && p != kNoHost && count > 0) {
+      path.clear();
+      net.AppendPathLinks(p, m, path);
+      for (LinkId l : path) {
+        out.link_encryptions[static_cast<std::size_t>(l)] += count;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tmesh

@@ -1,0 +1,36 @@
+// Per-user and per-link encryption accounting for rekey transport over a
+// NICE delivery tree (protocols P0 / P0' of Table 2).
+//
+// NICE has no identification scheme, so splitting there requires each
+// forwarder to know its downstream users and the encryptions they need —
+// the O(N)-state scheme §2.6 describes. We grant the baseline that
+// knowledge for free (as the paper did: "we did not count such maintenance
+// cost") and compute the *ideal* split: an encryption travels an edge iff
+// some member in the edge's subtree needs it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "keytree/rekey_types.h"
+#include "keytree/wgl_key_tree.h"
+#include "nice/nice_overlay.h"
+#include "topology/network.h"
+
+namespace tmesh {
+
+struct NiceBandwidth {
+  std::vector<std::int64_t> encs_received;   // per host
+  std::vector<std::int64_t> encs_forwarded;  // per host
+  std::vector<std::int64_t> link_encryptions;  // per link (empty w/o paths)
+};
+
+// `tree` must be a rekey delivery (origin = root, parent of root = server).
+// `keytree` is the original key tree that produced `msg`; member ids are
+// host ids.
+NiceBandwidth AccountNiceRekey(const Network& net,
+                               const NiceOverlay::Delivery& tree,
+                               const WglKeyTree& keytree,
+                               const RekeyMessage& msg, bool split);
+
+}  // namespace tmesh

@@ -1,0 +1,124 @@
+#include "protocols/rekey_cost_experiment.h"
+
+#include <algorithm>
+
+#include "keytree/wgl_key_tree.h"
+
+namespace tmesh {
+
+std::vector<RekeyCostCell> RunRekeyCostExperiment(const RekeyCostConfig& cfg) {
+  TMESH_CHECK(!cfg.grid.empty());
+  TMESH_CHECK(cfg.runs >= 1);
+  const int max_joins = *std::max_element(cfg.grid.begin(), cfg.grid.end());
+
+  std::vector<RekeyCostCell> cells;
+  for (int j : cfg.grid) {
+    for (int l : cfg.grid) {
+      cells.push_back(RekeyCostCell{j, l, 0.0, 0.0, 0.0});
+    }
+  }
+
+  Rng master(cfg.seed);
+  for (int run = 0; run < cfg.runs; ++run) {
+    Rng rng = master.Fork();
+    const int total_hosts = 1 + cfg.initial_users + max_joins;
+    GtItmNetwork net(cfg.topology, total_hosts, rng.Fork().engine()());
+
+    // Base group: 1024 users with protocol-assigned IDs; NICE not needed.
+    SessionConfig scfg = cfg.session;
+    scfg.with_nice = false;
+    scfg.seed = rng.Fork().engine()();
+    GroupSession base(net, /*server=*/0, scfg);
+    std::vector<std::pair<SimTime, HostId>> joins;
+    for (HostId h = 1; h <= cfg.initial_users; ++h) {
+      joins.push_back(
+          {FromSeconds(rng.UniformReal(0.0, cfg.join_window_s)), h});
+    }
+    std::sort(joins.begin(), joins.end());
+    for (const auto& [t, h] : joins) {
+      auto id = base.Join(h, t);
+      TMESH_CHECK(id.has_value());
+    }
+    base.FlushRekeyState();
+
+    std::vector<MemberId> wgl_members;
+    for (HostId h = 1; h <= cfg.initial_users; ++h) wgl_members.push_back(h);
+    std::size_t w = 1;
+    while (w < wgl_members.size()) {
+      w *= static_cast<std::size_t>(cfg.wgl_degree);
+    }
+    const bool full = w == wgl_members.size();
+
+    for (RekeyCostCell& cell : cells) {
+      Rng cell_rng = rng.Fork();
+      // Independent copies of every key-management state machine.
+      Directory dir = base.directory();
+      IdAssigner assigner(dir, cfg.session.assign, cell_rng.engine()());
+      ModifiedKeyTree mtree = base.key_tree();
+      ClusterRekeying clusters = base.clusters();
+      WglKeyTree wgl(cfg.wgl_degree);
+      if (full) {
+        wgl.BuildFullBalanced(wgl_members);
+      } else {
+        wgl.BuildIncremental(wgl_members);
+      }
+
+      // Interleave J joins and L leaves at random interval offsets.
+      struct Ev {
+        double t;
+        bool join;
+        HostId host;
+      };
+      std::vector<Ev> events;
+      for (int i = 0; i < cell.joins; ++i) {
+        events.push_back({cell_rng.UniformReal(0.0, 1.0), true,
+                          static_cast<HostId>(cfg.initial_users + 1 + i)});
+      }
+      for (int i = 0; i < cell.leaves; ++i) {
+        events.push_back({cell_rng.UniformReal(0.0, 1.0), false, kNoHost});
+      }
+      std::sort(events.begin(), events.end(),
+                [](const Ev& a, const Ev& b) { return a.t < b.t; });
+
+      std::vector<MemberId> wgl_joins, wgl_leaves;
+      SimTime tbase = FromSeconds(cfg.join_window_s);
+      for (const Ev& ev : events) {
+        if (ev.join) {
+          auto id = assigner.AssignId(ev.host);
+          TMESH_CHECK(id.has_value());
+          dir.AddMember(*id, ev.host, tbase + FromSeconds(ev.t));
+          mtree.Join(*id);
+          clusters.Join(*id, tbase + FromSeconds(ev.t));
+          wgl_joins.push_back(ev.host);
+        } else {
+          auto victim = dir.RandomAliveMember(cell_rng);
+          TMESH_CHECK(victim.has_value());
+          HostId vh = dir.HostOf(*victim);
+          dir.RemoveMember(*victim);
+          mtree.Leave(*victim);
+          clusters.Leave(*victim);
+          auto jit = std::find(wgl_joins.begin(), wgl_joins.end(), vh);
+          if (jit != wgl_joins.end()) {
+            wgl_joins.erase(jit);
+          } else {
+            wgl_leaves.push_back(vh);
+          }
+        }
+      }
+
+      cell.modified += static_cast<double>(mtree.Rekey().RekeyCost());
+      cell.cluster += static_cast<double>(clusters.Rekey().RekeyCost());
+      cell.original +=
+          static_cast<double>(wgl.Rekey(wgl_joins, wgl_leaves).RekeyCost());
+    }
+  }
+
+  for (RekeyCostCell& cell : cells) {
+    cell.modified /= cfg.runs;
+    cell.original /= cfg.runs;
+    cell.cluster /= cfg.runs;
+  }
+  return cells;
+}
+
+}  // namespace tmesh

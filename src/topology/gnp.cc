@@ -1,0 +1,168 @@
+#include "topology/gnp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tmesh {
+
+GnpModel::GnpModel(const Network& net, const Params& params)
+    : dims_(params.dimensions), iterations_(params.iterations) {
+  TMESH_CHECK(params.dimensions >= 1);
+  TMESH_CHECK(params.landmarks >= params.dimensions + 1);
+  TMESH_CHECK(params.landmarks <= net.host_count());
+  Rng rng(params.seed);
+
+  // Landmarks: a random spread of hosts.
+  std::vector<HostId> all(static_cast<std::size_t>(net.host_count()));
+  for (HostId h = 0; h < net.host_count(); ++h) all[static_cast<std::size_t>(h)] = h;
+  rng.Shuffle(all);
+  landmarks_.assign(all.begin(), all.begin() + params.landmarks);
+  std::sort(landmarks_.begin(), landmarks_.end());
+
+  coords_.assign(static_cast<std::size_t>(net.host_count()),
+                 std::vector<double>(static_cast<std::size_t>(dims_), 0.0));
+
+  // Phase 1: landmark coordinates against landmark-pair RTTs. Seed them
+  // randomly in a box scaled to the largest measured RTT, then iterate:
+  // each landmark re-solves its coordinates against the (current) others.
+  double max_rtt = 1.0;
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < landmarks_.size(); ++j) {
+      max_rtt = std::max(max_rtt,
+                         net.RttGateways(landmarks_[i], landmarks_[j]));
+    }
+  }
+  for (HostId l : landmarks_) {
+    for (double& c : coords_[static_cast<std::size_t>(l)]) {
+      c = rng.UniformReal(0.0, max_rtt);
+    }
+  }
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    for (HostId l : landmarks_) {
+      std::vector<const std::vector<double>*> points;
+      std::vector<double> targets;
+      for (HostId other : landmarks_) {
+        if (other == l) continue;
+        points.push_back(&coords_[static_cast<std::size_t>(other)]);
+        targets.push_back(net.RttGateways(l, other));
+      }
+      Solve(coords_[static_cast<std::size_t>(l)], points, targets, rng);
+    }
+  }
+
+  // Phase 2: every other host solves against the fixed landmarks (this is
+  // the per-host "L probes" step of GNP).
+  for (HostId h = 0; h < net.host_count(); ++h) {
+    if (std::binary_search(landmarks_.begin(), landmarks_.end(), h)) continue;
+    std::vector<const std::vector<double>*> points;
+    std::vector<double> targets;
+    for (HostId l : landmarks_) {
+      points.push_back(&coords_[static_cast<std::size_t>(l)]);
+      targets.push_back(net.RttGateways(h, l));
+    }
+    // Start near the closest landmark.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < targets.size(); ++i) {
+      if (targets[i] < targets[best]) best = i;
+    }
+    coords_[static_cast<std::size_t>(h)] = *points[best];
+    Solve(coords_[static_cast<std::size_t>(h)], points, targets, rng);
+  }
+}
+
+double GnpModel::Distance(const std::vector<double>& a,
+                          const std::vector<double>& b) const {
+  double s = 0.0;
+  for (int d = 0; d < dims_; ++d) {
+    double diff = a[static_cast<std::size_t>(d)] - b[static_cast<std::size_t>(d)];
+    s += diff * diff;
+  }
+  return std::sqrt(s);
+}
+
+double GnpModel::Objective(
+    const std::vector<double>& coords,
+    const std::vector<const std::vector<double>*>& points,
+    const std::vector<double>& targets) const {
+  double err = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double est = Distance(coords, *points[i]);
+    double t = std::max(targets[i], 0.1);
+    double rel = (est - targets[i]) / t;
+    err += rel * rel;
+  }
+  return err;
+}
+
+void GnpModel::Solve(std::vector<double>& coords,
+                     const std::vector<const std::vector<double>*>& points,
+                     const std::vector<double>& targets, Rng& rng) {
+  double best = Objective(coords, points, targets);
+  // Geometric cooling of the per-axis step, starting at the scale of the
+  // largest target distance.
+  double step = 1.0;
+  for (double t : targets) step = std::max(step, t);
+  for (int it = 0; it < iterations_; ++it) {
+    bool improved = false;
+    for (int d = 0; d < dims_; ++d) {
+      for (double dir : {+1.0, -1.0}) {
+        auto& c = coords[static_cast<std::size_t>(d)];
+        double old = c;
+        c = old + dir * step;
+        double e = Objective(coords, points, targets);
+        if (e < best) {
+          best = e;
+          improved = true;
+        } else {
+          c = old;
+        }
+      }
+    }
+    if (!improved) {
+      step *= 0.5;
+      if (step < 1e-3) break;
+    }
+    // A rare random kick escapes shallow local minima deterministically.
+    if (it % 16 == 15 && rng.Bernoulli(0.25)) {
+      int d = static_cast<int>(rng.UniformInt(0, dims_ - 1));
+      auto& c = coords[static_cast<std::size_t>(d)];
+      double old = c;
+      c = old + rng.UniformReal(-step, step);
+      double e = Objective(coords, points, targets);
+      if (e < best) {
+        best = e;
+      } else {
+        c = old;
+      }
+    }
+  }
+}
+
+double GnpModel::EstimatedRtt(HostId a, HostId b) const {
+  if (a == b) return 0.0;
+  return Distance(coords_[static_cast<std::size_t>(a)],
+                  coords_[static_cast<std::size_t>(b)]);
+}
+
+const std::vector<double>& GnpModel::CoordinatesOf(HostId h) const {
+  return coords_[static_cast<std::size_t>(h)];
+}
+
+double GnpModel::MeanRelativeError(const Network& net, int samples,
+                                   std::uint64_t seed) const {
+  Rng rng(seed);
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < samples; ++i) {
+    HostId a = static_cast<HostId>(rng.UniformInt(0, net.host_count() - 1));
+    HostId b = static_cast<HostId>(rng.UniformInt(0, net.host_count() - 1));
+    if (a == b) continue;
+    double truth = net.RttGateways(a, b);
+    if (truth < 0.5) continue;
+    sum += std::abs(EstimatedRtt(a, b) - truth) / truth;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace tmesh

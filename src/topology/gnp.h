@@ -1,0 +1,71 @@
+// Global Network Positioning (GNP) — Ng & Zhang, INFOCOM 2002.
+//
+// §5 of the paper: "Ng and Zhang proposed a global network positioning
+// scheme. With this scheme, the delay between two hosts can be estimated
+// using their GNP coordinates. This scheme can be used in our system to
+// reduce the probing cost of each joining user. For example, if the key
+// server knows the GNP coordinates of all the users, it can determine the
+// ID for a joining user by centralized computing."
+//
+// This module implements the landmark-based embedding: a small set of
+// landmark hosts fits coordinates in a low-dimensional space against their
+// measured pairwise RTTs; every other host then solves its own coordinates
+// against the landmarks only (L probes per host instead of N). Estimated
+// RTT = Euclidean distance. Fitting minimizes squared relative error by
+// randomized coordinate descent — simple, deterministic per seed, and
+// faithful to the original scheme's structure.
+//
+// IdAssignParams::gnp can point at a fitted model: the ID-assignment
+// protocols then use coordinate-based RTT estimates (with their real
+// estimation error) instead of fresh probes.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/network.h"
+
+namespace tmesh {
+
+class GnpModel {
+ public:
+  struct Params {
+    int dimensions = 5;   // the original paper's sweet spot is 5-7
+    int landmarks = 15;
+    int iterations = 60;  // coordinate-descent sweeps
+    std::uint64_t seed = 1;
+  };
+
+  // Fits coordinates for every host of `net` using gateway RTTs (the
+  // quantity the ID-assignment protocol estimates, §3.1.2).
+  GnpModel(const Network& net, const Params& params);
+
+  double EstimatedRtt(HostId a, HostId b) const;
+  const std::vector<double>& CoordinatesOf(HostId h) const;
+  const std::vector<HostId>& landmarks() const { return landmarks_; }
+
+  // Mean relative estimation error |est - true| / true over `samples`
+  // random host pairs — the standard GNP quality metric.
+  double MeanRelativeError(const Network& net, int samples,
+                           std::uint64_t seed) const;
+
+ private:
+  double Distance(const std::vector<double>& a,
+                  const std::vector<double>& b) const;
+  // Relative-error objective of placing `coords` at distance targets
+  // (targets[i] against points[i]).
+  double Objective(const std::vector<double>& coords,
+                   const std::vector<const std::vector<double>*>& points,
+                   const std::vector<double>& targets) const;
+  // Randomized coordinate descent from a seeded start.
+  void Solve(std::vector<double>& coords,
+             const std::vector<const std::vector<double>*>& points,
+             const std::vector<double>& targets, Rng& rng);
+
+  int dims_;
+  int iterations_;
+  std::vector<HostId> landmarks_;
+  std::vector<std::vector<double>> coords_;  // per host
+};
+
+}  // namespace tmesh

@@ -1,0 +1,89 @@
+#include "topology/graph.h"
+
+#include <queue>
+
+namespace tmesh {
+
+RouterId Graph::AddNode() {
+  adj_.emplace_back();
+  return static_cast<RouterId>(adj_.size() - 1);
+}
+
+LinkId Graph::AddEdge(RouterId a, RouterId b, double rtt_ms) {
+  TMESH_CHECK(a >= 0 && a < node_count());
+  TMESH_CHECK(b >= 0 && b < node_count());
+  TMESH_CHECK(a != b);
+  TMESH_CHECK(rtt_ms > 0.0);
+  LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, rtt_ms});
+  float w = static_cast<float>(rtt_ms);
+  adj_[static_cast<std::size_t>(a)].push_back(Arc{b, id, w});
+  adj_[static_cast<std::size_t>(b)].push_back(Arc{a, id, w});
+  return id;
+}
+
+Graph::SptResult Graph::Dijkstra(RouterId source) const {
+  TMESH_CHECK(source >= 0 && source < node_count());
+  const std::size_t n = adj_.size();
+  SptResult res;
+  res.source = source;
+  res.dist_ms.assign(n, std::numeric_limits<float>::infinity());
+  res.parent.assign(n, kNoRouter);
+  res.parent_link.assign(n, kNoLink);
+
+  using Item = std::pair<float, RouterId>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  res.dist_ms[static_cast<std::size_t>(source)] = 0.0f;
+  pq.push({0.0f, source});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > res.dist_ms[static_cast<std::size_t>(u)]) continue;  // stale
+    for (const Arc& arc : adj_[static_cast<std::size_t>(u)]) {
+      float nd = d + arc.w;
+      auto v = static_cast<std::size_t>(arc.to);
+      if (nd < res.dist_ms[v]) {
+        res.dist_ms[v] = nd;
+        res.parent[v] = u;
+        res.parent_link[v] = arc.link;
+        pq.push({nd, arc.to});
+      }
+    }
+  }
+  return res;
+}
+
+void Graph::AppendPathLinks(const SptResult& spt, RouterId dest,
+                            std::vector<LinkId>& out) const {
+  TMESH_CHECK(dest >= 0 && dest < node_count());
+  TMESH_CHECK_MSG(spt.Reachable(dest), "destination unreachable from source");
+  RouterId cur = dest;
+  while (cur != spt.source) {
+    LinkId l = spt.parent_link[static_cast<std::size_t>(cur)];
+    TMESH_DCHECK(l != kNoLink);
+    out.push_back(l);
+    cur = spt.parent[static_cast<std::size_t>(cur)];
+  }
+}
+
+bool Graph::IsConnected() const {
+  if (adj_.empty()) return true;
+  std::vector<char> seen(adj_.size(), 0);
+  std::vector<RouterId> stack{0};
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    RouterId u = stack.back();
+    stack.pop_back();
+    for (const Arc& arc : adj_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(arc.to)]) {
+        seen[static_cast<std::size_t>(arc.to)] = 1;
+        ++count;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  return count == adj_.size();
+}
+
+}  // namespace tmesh

@@ -1,0 +1,79 @@
+// Weighted undirected router graph with single-source shortest paths.
+//
+// The evaluation topologies (§4) need two queries: the RTT between any two
+// attachment routers (edge weights are two-way propagation delays, per the
+// paper's GT-ITM setup, so a shortest-path distance *is* an RTT), and the
+// router-level link path between two routers (for the link-stress metric of
+// Fig. 13(c)).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tmesh {
+
+using RouterId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr RouterId kNoRouter = -1;
+inline constexpr LinkId kNoLink = -1;
+
+class Graph {
+ public:
+  RouterId AddNode();
+  // Adds an undirected edge with weight `rtt_ms` (a two-way delay). Returns
+  // its LinkId; link ids are dense in [0, link_count()).
+  LinkId AddEdge(RouterId a, RouterId b, double rtt_ms);
+
+  int node_count() const { return static_cast<int>(adj_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+
+  struct Link {
+    RouterId a;
+    RouterId b;
+    double rtt_ms;
+  };
+  const Link& link(LinkId id) const {
+    TMESH_DCHECK(id >= 0 && id < link_count());
+    return links_[static_cast<std::size_t>(id)];
+  }
+
+  // The shortest-path tree rooted at one source: distance (ms, two-way),
+  // parent router and parent link toward the source for every reachable node.
+  struct SptResult {
+    RouterId source = kNoRouter;
+    std::vector<float> dist_ms;
+    std::vector<RouterId> parent;
+    std::vector<LinkId> parent_link;
+
+    bool Reachable(RouterId r) const {
+      return parent[static_cast<std::size_t>(r)] != kNoRouter ||
+             r == source;
+    }
+  };
+
+  SptResult Dijkstra(RouterId source) const;
+
+  // Appends the link ids on the shortest path from spt.source to `dest`
+  // (order: dest-side first). Precondition: dest reachable.
+  void AppendPathLinks(const SptResult& spt, RouterId dest,
+                       std::vector<LinkId>& out) const;
+
+  // True iff every node is reachable from node 0 (graphs we generate must be
+  // connected or RTTs would be infinite).
+  bool IsConnected() const;
+
+ private:
+  struct Arc {
+    RouterId to;
+    LinkId link;
+    float w;
+  };
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<Link> links_;
+};
+
+}  // namespace tmesh

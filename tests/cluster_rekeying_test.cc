@@ -1,0 +1,134 @@
+#include "core/cluster_rekeying.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace tmesh {
+namespace {
+
+TEST(ClusterRekeying, FirstJoinerLeadsItsCluster) {
+  ClusterRekeying cr(3);
+  EXPECT_TRUE(cr.Join(UserId{0, 0, 0}, 10));   // leader join: rekeys
+  EXPECT_FALSE(cr.Join(UserId{0, 0, 1}, 20));  // non-leader: free
+  EXPECT_FALSE(cr.Join(UserId{0, 0, 2}, 30));
+  EXPECT_TRUE(cr.IsLeader(UserId{0, 0, 0}));
+  EXPECT_FALSE(cr.IsLeader(UserId{0, 0, 1}));
+  EXPECT_EQ(cr.LeaderOf(UserId{0, 0, 2}), (UserId{0, 0, 0}));
+  EXPECT_EQ(cr.cluster_count(), 1);
+  cr.CheckInvariants();
+}
+
+TEST(ClusterRekeying, DistinctClustersPerLevelDMinus1Prefix) {
+  ClusterRekeying cr(3);
+  cr.Join(UserId{0, 0, 0}, 1);
+  cr.Join(UserId{0, 1, 0}, 2);
+  cr.Join(UserId{1, 0, 0}, 3);
+  EXPECT_EQ(cr.cluster_count(), 3);
+  EXPECT_TRUE(cr.IsLeader(UserId{0, 1, 0}));
+  cr.CheckInvariants();
+}
+
+TEST(ClusterRekeying, NonLeaderChurnIsFree) {
+  ClusterRekeying cr(2);
+  cr.Join(UserId{5, 0}, 1);
+  (void)cr.Rekey();
+  cr.Join(UserId{5, 1}, 2);
+  EXPECT_FALSE(cr.Leave(UserId{5, 1}));
+  RekeyMessage msg = cr.Rekey();
+  // "A non-leader user's join or leave does not incur group rekeying."
+  EXPECT_EQ(msg.RekeyCost(), 0u);
+  cr.CheckInvariants();
+}
+
+TEST(ClusterRekeying, LeaderLeaveHandsOverToEarliestJoiner) {
+  ClusterRekeying cr(2);
+  cr.Join(UserId{3, 0}, 10);
+  cr.Join(UserId{3, 1}, 30);
+  cr.Join(UserId{3, 2}, 20);
+  EXPECT_TRUE(cr.Leave(UserId{3, 0}));
+  // New leader: earliest remaining joining time ([3,2] at t=20).
+  EXPECT_TRUE(cr.IsLeader(UserId{3, 2}));
+  EXPECT_TRUE(cr.leader_tree().Contains(UserId{3, 2}));
+  EXPECT_FALSE(cr.leader_tree().Contains(UserId{3, 0}));
+  cr.CheckInvariants();
+  RekeyMessage msg = cr.Rekey();
+  EXPECT_GT(msg.RekeyCost(), 0u);
+}
+
+TEST(ClusterRekeying, LastMemberLeaveDissolvesCluster) {
+  ClusterRekeying cr(2);
+  cr.Join(UserId{7, 7}, 1);
+  EXPECT_TRUE(cr.Leave(UserId{7, 7}));
+  EXPECT_EQ(cr.cluster_count(), 0);
+  EXPECT_EQ(cr.member_count(), 0);
+  EXPECT_FALSE(cr.IsLeader(UserId{7, 7}));
+  cr.CheckInvariants();
+}
+
+TEST(ClusterRekeying, PeersExcludeSelf) {
+  ClusterRekeying cr(2);
+  cr.Join(UserId{1, 0}, 1);
+  cr.Join(UserId{1, 1}, 2);
+  cr.Join(UserId{1, 2}, 3);
+  auto peers = cr.PeersOf(UserId{1, 1});
+  EXPECT_EQ(peers.size(), 2u);
+  EXPECT_TRUE(std::find(peers.begin(), peers.end(), UserId{1, 1}) ==
+              peers.end());
+}
+
+TEST(ClusterRekeying, LeaderTreeCostOnlyCountsLeaderPaths) {
+  ClusterRekeying cr(2);
+  // Two clusters, several members each.
+  cr.Join(UserId{0, 0}, 1);
+  cr.Join(UserId{0, 1}, 2);
+  cr.Join(UserId{0, 2}, 3);
+  cr.Join(UserId{1, 0}, 4);
+  cr.Join(UserId{1, 1}, 5);
+  (void)cr.Rekey();
+  // A non-leader leaves, then a leader leaves: only the latter costs.
+  cr.Leave(UserId{0, 2});
+  EXPECT_EQ(cr.Rekey().RekeyCost(), 0u);
+  cr.Leave(UserId{1, 0});
+  RekeyMessage msg = cr.Rekey();
+  // Leader tree: root + clusters [0],[1]; handover re-keys [1]'s path:
+  // updated nodes root (2 children) and [1] (1 child) = 3 encryptions.
+  EXPECT_EQ(msg.RekeyCost(), 3u);
+}
+
+TEST(ClusterRekeying, RandomChurnKeepsInvariants) {
+  Rng rng(8);
+  ClusterRekeying cr(3);
+  std::vector<UserId> present;
+  SimTime t = 0;
+  for (int step = 0; step < 500; ++step) {
+    ++t;
+    if (present.empty() || rng.Bernoulli(0.55)) {
+      UserId id;
+      for (int i = 0; i < 3; ++i) {
+        id.Append(static_cast<int>(rng.UniformInt(0, 3)));
+      }
+      if (std::find(present.begin(), present.end(), id) != present.end()) {
+        continue;
+      }
+      cr.Join(id, t);
+      present.push_back(id);
+    } else {
+      std::size_t i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(present.size()) - 1));
+      cr.Leave(present[i]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (step % 25 == 0) {
+      cr.CheckInvariants();
+      (void)cr.Rekey();
+    }
+  }
+  cr.CheckInvariants();
+  EXPECT_EQ(cr.member_count(), static_cast<int>(present.size()));
+}
+
+}  // namespace
+}  // namespace tmesh

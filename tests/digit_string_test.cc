@@ -1,0 +1,129 @@
+#include "common/digit_string.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace tmesh {
+namespace {
+
+TEST(DigitString, EmptyIsNullString) {
+  DigitString s;
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.ToString(), "[]");
+}
+
+TEST(DigitString, ConstructionAndDigits) {
+  DigitString s{0, 2, 255};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.digit(0), 0);
+  EXPECT_EQ(s.digit(1), 2);
+  EXPECT_EQ(s.digit(2), 255);
+  EXPECT_EQ(s.ToString(), "[0,2,255]");
+}
+
+TEST(DigitString, PrefixSemanticsMatchPaper) {
+  // "an ID is a prefix of itself, and a null string is a prefix of any ID."
+  DigitString id{2, 1};
+  EXPECT_TRUE(id.IsPrefixOf(id));
+  EXPECT_TRUE(DigitString{}.IsPrefixOf(id));
+  EXPECT_TRUE((DigitString{2}).IsPrefixOf(id));
+  EXPECT_FALSE((DigitString{1}).IsPrefixOf(id));
+  EXPECT_FALSE((DigitString{2, 1, 0}).IsPrefixOf(id));
+}
+
+TEST(DigitString, PrefixExtractsLeadingDigits) {
+  DigitString id{3, 1, 4, 1, 5};
+  EXPECT_EQ(id.Prefix(0), DigitString{});
+  EXPECT_EQ(id.Prefix(2), (DigitString{3, 1}));
+  EXPECT_EQ(id.Prefix(5), id);
+}
+
+TEST(DigitString, ChildAndParentRoundTrip) {
+  DigitString p{7};
+  DigitString c = p.Child(9);
+  EXPECT_EQ(c, (DigitString{7, 9}));
+  EXPECT_EQ(c.Parent(), p);
+  EXPECT_EQ(c.LastDigit(), 9);
+}
+
+TEST(DigitString, CommonPrefixLen) {
+  DigitString a{1, 2, 3};
+  DigitString b{1, 2, 4};
+  EXPECT_EQ(a.CommonPrefixLen(b), 2);
+  EXPECT_EQ(a.CommonPrefixLen(a), 3);
+  EXPECT_EQ(a.CommonPrefixLen(DigitString{}), 0);
+  EXPECT_EQ(a.CommonPrefixLen(DigitString{9}), 0);
+}
+
+TEST(DigitString, OrderingIsShorterPrefixFirst) {
+  DigitString a{1};
+  DigitString ab{1, 0};
+  EXPECT_LT(a, ab);
+  EXPECT_LT(ab, (DigitString{1, 1}));
+  EXPECT_LT(DigitString{}, a);
+}
+
+TEST(DigitString, SetDigitMutates) {
+  DigitString s{0, 0};
+  s.SetDigit(1, 5);
+  EXPECT_EQ(s, (DigitString{0, 5}));
+}
+
+TEST(DigitString, HashDistinguishesLengthAndContent) {
+  std::unordered_set<DigitString> set;
+  set.insert(DigitString{});
+  set.insert(DigitString{0});
+  set.insert(DigitString{0, 0});
+  set.insert(DigitString{1});
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.count(DigitString{0, 0}) > 0);
+}
+
+TEST(DigitString, AppendRejectsOutOfRangeDigit) {
+  DigitString s;
+  EXPECT_THROW(s.Append(-1), std::logic_error);
+  EXPECT_THROW(s.Append(kMaxBase), std::logic_error);
+}
+
+TEST(DigitString, AppendRejectsOverflowLength) {
+  DigitString s;
+  for (int i = 0; i < kMaxDigits; ++i) s.Append(0);
+  EXPECT_THROW(s.Append(0), std::logic_error);
+}
+
+class DigitStringPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigitStringPropertyTest, PrefixRelationIsConsistentWithCommonPrefix) {
+  const int base = GetParam();
+  Rng rng(42 + static_cast<std::uint64_t>(base));
+  for (int iter = 0; iter < 500; ++iter) {
+    DigitString a, b;
+    int la = static_cast<int>(rng.UniformInt(0, kMaxDigits));
+    int lb = static_cast<int>(rng.UniformInt(0, kMaxDigits));
+    for (int i = 0; i < la; ++i) a.Append(static_cast<int>(rng.UniformInt(0, base - 1)));
+    for (int i = 0; i < lb; ++i) b.Append(static_cast<int>(rng.UniformInt(0, base - 1)));
+    bool prefix = a.IsPrefixOf(b);
+    EXPECT_EQ(prefix, a.CommonPrefixLen(b) == a.size());
+    if (prefix) {
+      EXPECT_EQ(b.Prefix(a.size()), a);
+    }
+    // Hash/equality agreement.
+    if (a == b) {
+      EXPECT_EQ(a.Hash(), b.Hash());
+    }
+    // Total order sanity: exactly one of <, >, == holds.
+    int rel = (a < b ? 1 : 0) + (b < a ? 1 : 0) + (a == b ? 1 : 0);
+    EXPECT_EQ(rel, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, DigitStringPropertyTest,
+                         ::testing::Values(2, 4, 16, 256));
+
+}  // namespace
+}  // namespace tmesh

@@ -1,0 +1,191 @@
+#include "core/directory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+PlanetLabNetwork MakeNet(int hosts, std::uint64_t seed = 5) {
+  PlanetLabParams p;
+  p.hosts = hosts;
+  p.seed = seed;
+  return PlanetLabNetwork(p);
+}
+
+UserId RandomId(Rng& rng, int d, int b) {
+  UserId id;
+  for (int i = 0; i < d; ++i) {
+    id.Append(static_cast<int>(rng.UniformInt(0, b - 1)));
+  }
+  return id;
+}
+
+TEST(Directory, AddMemberBuildsMutualEntries) {
+  auto net = MakeNet(4);
+  Directory dir(net, GroupParams{2, 4, 2}, 0);
+  dir.AddMember(UserId{0, 0}, 1, 10);
+  dir.AddMember(UserId{0, 1}, 2, 20);
+  dir.AddMember(UserId{2, 0}, 3, 30);
+
+  // [0,0] sees [0,1] at row 1 digit 1, and [2,0] at row 0 digit 2.
+  const NeighborTable& t = dir.TableOf(UserId{0, 0});
+  EXPECT_TRUE(t.ContainsNeighbor(1, 1, UserId{0, 1}));
+  EXPECT_TRUE(t.ContainsNeighbor(0, 2, UserId{2, 0}));
+  // And vice versa.
+  EXPECT_TRUE(dir.TableOf(UserId{2, 0}).ContainsNeighbor(0, 0, UserId{0, 0}));
+  dir.CheckKConsistency();
+}
+
+TEST(Directory, ServerTableTracksClosestPerDigit) {
+  auto net = MakeNet(6);
+  Directory dir(net, GroupParams{2, 4, 1}, 0);
+  dir.AddMember(UserId{1, 0}, 1, 1);
+  dir.AddMember(UserId{1, 1}, 2, 2);
+  dir.AddMember(UserId{1, 2}, 3, 3);
+  const auto* e = dir.ServerTable().entry(0, 1);
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->size(), 1u);  // K = 1
+  // The retained record is the closest of the three to the server.
+  double best = std::min({net.RttHosts(0, 1), net.RttHosts(0, 2),
+                          net.RttHosts(0, 3)});
+  EXPECT_DOUBLE_EQ((*e)[0].rtt_ms, best);
+}
+
+TEST(Directory, RemoveMemberRefillsEntries) {
+  auto net = MakeNet(8);
+  // K = 1 so the single record's removal forces a refill.
+  Directory dir(net, GroupParams{2, 4, 1}, 0);
+  dir.AddMember(UserId{0, 0}, 1, 1);
+  dir.AddMember(UserId{1, 0}, 2, 2);
+  dir.AddMember(UserId{1, 1}, 3, 3);
+  dir.AddMember(UserId{1, 2}, 4, 4);
+  dir.CheckKConsistency();
+
+  const NeighborTable& t = dir.TableOf(UserId{0, 0});
+  const auto* e = t.entry(0, 1);
+  ASSERT_NE(e, nullptr);
+  UserId present = (*e)[0].id;
+  dir.RemoveMember(present);
+  // Entry refilled from the two remaining members of the [1]-subtree.
+  const auto* e2 = dir.TableOf(UserId{0, 0}).entry(0, 1);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->size(), 1u);
+  EXPECT_NE((*e2)[0].id, present);
+  dir.CheckKConsistency();
+}
+
+TEST(Directory, QueryRecordsReturnsMatchingPrefixes) {
+  auto net = MakeNet(5);
+  Directory dir(net, GroupParams{2, 4, 4}, 0);
+  dir.AddMember(UserId{0, 0}, 1, 1);
+  dir.AddMember(UserId{0, 1}, 2, 2);
+  dir.AddMember(UserId{1, 0}, 3, 3);
+
+  auto recs = dir.QueryRecords(UserId{0, 0}, DigitString{0});
+  // Its own record plus [0,1]; never [1,0].
+  ASSERT_EQ(recs.size(), 2u);
+  for (const auto& r : recs) {
+    EXPECT_TRUE((DigitString{0}).IsPrefixOf(r.id));
+  }
+}
+
+TEST(Directory, RejectsDuplicatesAndUnknowns) {
+  auto net = MakeNet(4);
+  Directory dir(net, GroupParams{2, 4, 2}, 0);
+  dir.AddMember(UserId{0, 0}, 1, 1);
+  EXPECT_THROW(dir.AddMember(UserId{0, 0}, 2, 2), std::logic_error);
+  EXPECT_THROW(dir.AddMember(UserId{0, 1}, 1, 2), std::logic_error);  // host reuse
+  EXPECT_THROW(dir.RemoveMember(UserId{3, 3}), std::logic_error);
+  EXPECT_THROW(dir.AddMember(UserId{1, 1}, 0, 1), std::logic_error);  // server host
+}
+
+TEST(Directory, FailureThenRepairRestoresConsistency) {
+  auto net = MakeNet(10);
+  Directory dir(net, GroupParams{2, 4, 2}, 0);
+  Rng rng(3);
+  std::vector<UserId> ids;
+  for (HostId h = 1; h < 10; ++h) {
+    UserId id;
+    do {
+      id = RandomId(rng, 2, 4);
+    } while (dir.Contains(id));
+    dir.AddMember(id, h, h);
+    ids.push_back(id);
+  }
+  dir.CheckKConsistency();
+
+  UserId failed = ids[4];
+  dir.MarkFailed(failed);
+  EXPECT_FALSE(dir.IsAlive(failed));
+  EXPECT_TRUE(dir.Contains(failed));
+  EXPECT_EQ(dir.alive_count(), 8);
+
+  dir.RepairFailure(failed);
+  EXPECT_FALSE(dir.Contains(failed));
+  dir.CheckKConsistency();
+}
+
+TEST(Directory, HostIndexRoundTrip) {
+  auto net = MakeNet(4);
+  Directory dir(net, GroupParams{2, 4, 2}, 0);
+  dir.AddMember(UserId{1, 2}, 3, 5);
+  ASSERT_NE(dir.IdOfHost(3), nullptr);
+  EXPECT_EQ(*dir.IdOfHost(3), (UserId{1, 2}));
+  EXPECT_EQ(dir.IdOfHost(2), nullptr);
+  EXPECT_EQ(dir.HostOf(UserId{1, 2}), 3);
+}
+
+// Definition 3 (K-consistency) holds through arbitrary join/leave churn.
+struct ChurnShape {
+  int depth;
+  int base;
+  int capacity;
+  int hosts;
+};
+
+class DirectoryChurnTest : public ::testing::TestWithParam<ChurnShape> {};
+
+TEST_P(DirectoryChurnTest, KConsistencyUnderRandomChurn) {
+  const ChurnShape shape = GetParam();
+  auto net = MakeNet(shape.hosts, 17);
+  Directory dir(net, GroupParams{shape.depth, shape.base, shape.capacity}, 0);
+  Rng rng(shape.hosts * 31ull + static_cast<std::uint64_t>(shape.base));
+
+  std::vector<UserId> present;
+  std::vector<HostId> free_hosts;
+  for (HostId h = 1; h < shape.hosts; ++h) free_hosts.push_back(h);
+
+  for (int step = 0; step < 300; ++step) {
+    bool join = present.empty() ||
+                (!free_hosts.empty() && rng.Bernoulli(0.6));
+    if (join) {
+      UserId id = RandomId(rng, shape.depth, shape.base);
+      if (dir.Contains(id)) continue;
+      HostId h = free_hosts.back();
+      free_hosts.pop_back();
+      dir.AddMember(id, h, step);
+      present.push_back(id);
+    } else {
+      std::size_t i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(present.size()) - 1));
+      free_hosts.push_back(dir.HostOf(present[i]));
+      dir.RemoveMember(present[i]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (step % 10 == 0) dir.CheckKConsistency();
+  }
+  dir.CheckKConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DirectoryChurnTest,
+    ::testing::Values(ChurnShape{2, 4, 1, 20}, ChurnShape{2, 4, 2, 30},
+                      ChurnShape{3, 4, 2, 40}, ChurnShape{3, 8, 4, 50},
+                      ChurnShape{5, 256, 4, 40}));
+
+}  // namespace
+}  // namespace tmesh

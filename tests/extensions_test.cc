@@ -1,0 +1,202 @@
+// Tests for the optional/extension features: packet-level rekey splitting
+// (§2.5's coarser alternative) and the §5 centralized (GNP-style) ID
+// assignment, plus the random-ID strawman used by the ablation benches.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/tmesh.h"
+#include "protocols/group_session.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+PlanetLabNetwork MakeNet(int hosts, std::uint64_t seed = 19) {
+  PlanetLabParams p;
+  p.hosts = hosts;
+  p.seed = seed;
+  return PlanetLabNetwork(p);
+}
+
+SessionConfig SmallSession() {
+  SessionConfig s;
+  s.group = GroupParams{3, 8, 2};
+  s.assign.collect_target = 4;
+  s.assign.thresholds_ms = {60.0, 20.0};
+  s.with_nice = false;
+  s.seed = 3;
+  return s;
+}
+
+struct SplitSetup {
+  PlanetLabNetwork net;
+  GroupSession session;
+  RekeyMessage msg;
+
+  explicit SplitSetup(std::uint64_t seed)
+      : net(MakeNet(51, seed)), session(net, 0, [&] {
+          SessionConfig s = SmallSession();
+          s.seed = seed;
+          return s;
+        }()) {
+    Rng rng(seed);
+    for (HostId h = 1; h <= 50; ++h) {
+      EXPECT_TRUE(session.Join(h, h).has_value());
+    }
+    session.FlushRekeyState();
+    for (int i = 0; i < 10; ++i) {
+      auto victim = session.directory().RandomAliveMember(rng);
+      session.Leave(*victim);
+    }
+    msg = session.key_tree().Rekey();
+  }
+};
+
+TEST(PacketSplit, ReceivedSetIsSupersetOfEncryptionLevelAndSubsetOfFull) {
+  SplitSetup setup(7);
+  ASSERT_GT(setup.msg.RekeyCost(), 0u);
+
+  auto run = [&](bool split, int packet) {
+    Simulator sim;
+    TMesh tmesh(setup.session.directory(), sim);
+    TMesh::Options opts;
+    opts.split = split;
+    opts.split_packet_encs = packet;
+    opts.record_encryptions = true;
+    return tmesh.MulticastRekey(setup.msg, opts);
+  };
+  auto fine = run(true, 0);
+  auto coarse = run(true, 8);
+  auto full = run(false, 0);
+
+  for (const auto& [id, info] : setup.session.directory().members()) {
+    (void)id;
+    auto h = static_cast<std::size_t>(info.host);
+    std::set<std::int32_t> fine_set(fine.member_encs[h].begin(),
+                                    fine.member_encs[h].end());
+    std::set<std::int32_t> coarse_set(coarse.member_encs[h].begin(),
+                                      coarse.member_encs[h].end());
+    // Packet-level keeps everything encryption-level keeps...
+    for (std::int32_t e : fine_set) {
+      EXPECT_TRUE(coarse_set.count(e) > 0);
+    }
+    // ...but never more than the unsplit message, and no duplicates.
+    EXPECT_LE(coarse.member[h].encs_received, full.member[h].encs_received);
+    EXPECT_EQ(coarse_set.size(), coarse.member_encs[h].size());
+    // Exact-once delivery is unaffected.
+    EXPECT_EQ(coarse.member[h].copies, 1);
+  }
+}
+
+TEST(PacketSplit, BandwidthGrowsWithPacketSize) {
+  SplitSetup setup(9);
+  auto total = [&](int packet) {
+    Simulator sim;
+    TMesh tmesh(setup.session.directory(), sim);
+    TMesh::Options opts;
+    opts.split = true;
+    opts.split_packet_encs = packet;
+    auto res = tmesh.MulticastRekey(setup.msg, opts);
+    std::int64_t sum = 0;
+    for (const auto& r : res.member) sum += r.encs_received;
+    return sum;
+  };
+  std::int64_t fine = total(0);
+  std::int64_t p4 = total(4);
+  std::int64_t p16 = total(16);
+  EXPECT_LE(fine, p4);
+  EXPECT_LE(p4, p16);
+}
+
+TEST(PacketSplit, PacketSizeOneEqualsEncryptionLevel) {
+  SplitSetup setup(11);
+  auto run = [&](int packet) {
+    Simulator sim;
+    TMesh tmesh(setup.session.directory(), sim);
+    TMesh::Options opts;
+    opts.split = true;
+    opts.split_packet_encs = packet;
+    auto res = tmesh.MulticastRekey(setup.msg, opts);
+    std::int64_t sum = 0;
+    for (const auto& r : res.member) sum += r.encs_received;
+    return sum;
+  };
+  EXPECT_EQ(run(0), run(1));
+}
+
+TEST(CentralizedAssignment, ProducesUniqueIdsAndConsistentTables) {
+  auto net = MakeNet(60);
+  SessionConfig cfg = SmallSession();
+  cfg.centralized_assignment = true;
+  GroupSession session(net, 0, cfg);
+  std::set<UserId> seen;
+  for (HostId h = 1; h <= 59; ++h) {
+    IdAssignStats stats;
+    auto id = session.Join(h, h, &stats);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_TRUE(seen.insert(*id).second);
+    // Centralized assignment makes no user-to-user queries.
+    EXPECT_EQ(stats.queries, 0);
+  }
+  session.directory().CheckKConsistency();
+}
+
+TEST(CentralizedAssignment, GroupsLikeDistributed) {
+  // Both policies should place same-site hosts into shared subtrees; we
+  // compare the average common-prefix length of same-site pairs.
+  PlanetLabParams p;
+  p.hosts = 100;
+  p.seed = 33;
+  PlanetLabNetwork net(p);
+
+  auto avg_same_site_cpl = [&](bool centralized) {
+    SessionConfig cfg;
+    cfg.group = GroupParams{5, 256, 4};
+    cfg.assign.thresholds_ms = {150.0, 30.0, 9.0, 3.0};
+    cfg.with_nice = false;
+    cfg.centralized_assignment = centralized;
+    cfg.seed = 4;
+    GroupSession session(net, 0, cfg);
+    std::map<HostId, UserId> ids;
+    for (HostId h = 1; h < 100; ++h) {
+      auto id = session.Join(h, h);
+      EXPECT_TRUE(id.has_value());
+      ids[h] = *id;
+    }
+    double cpl = 0;
+    int pairs = 0;
+    for (HostId a = 1; a < 100; ++a) {
+      for (HostId b = a + 1; b < 100; ++b) {
+        if (net.site_of(a) != net.site_of(b)) continue;
+        cpl += ids[a].CommonPrefixLen(ids[b]);
+        ++pairs;
+      }
+    }
+    return pairs > 0 ? cpl / pairs : 0.0;
+  };
+
+  double central = avg_same_site_cpl(true);
+  double distributed = avg_same_site_cpl(false);
+  EXPECT_GT(central, 2.0);
+  EXPECT_GT(distributed, 2.0);
+}
+
+TEST(RandomIds, SessionModeStillDeliversCorrectly) {
+  auto net = MakeNet(41);
+  SessionConfig cfg = SmallSession();
+  cfg.random_ids = true;
+  GroupSession session(net, 0, cfg);
+  for (HostId h = 1; h <= 40; ++h) {
+    ASSERT_TRUE(session.Join(h, h).has_value());
+  }
+  session.directory().CheckKConsistency();
+  Simulator sim;
+  TMesh tmesh(session.directory(), sim);
+  auto res = tmesh.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  EXPECT_EQ(res.ReceivedCount(), 40);
+}
+
+}  // namespace
+}  // namespace tmesh

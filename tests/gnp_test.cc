@@ -1,0 +1,152 @@
+// Tests for the GNP coordinate embedding (§5) and its use inside the
+// ID-assignment protocols.
+#include "topology/gnp.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/id_assignment.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+PlanetLabNetwork MakeNet(int hosts, std::uint64_t seed = 5) {
+  PlanetLabParams p;
+  p.hosts = hosts;
+  p.seed = seed;
+  return PlanetLabNetwork(p);
+}
+
+TEST(Gnp, EmbeddingHasBoundedRelativeError) {
+  auto net = MakeNet(120, 9);
+  GnpModel::Params params;
+  params.seed = 3;
+  GnpModel model(net, params);
+  // GNP on clustered Internet-like RTTs typically lands well under 100%
+  // mean relative error; require a sane bound.
+  double err = model.MeanRelativeError(net, 2000, 7);
+  EXPECT_LT(err, 0.6) << "embedding too inaccurate";
+  EXPECT_GT(err, 0.0) << "estimates suspiciously perfect";
+}
+
+TEST(Gnp, PreservesNearVsFarOrdering) {
+  auto net = MakeNet(100, 11);
+  GnpModel::Params params;
+  params.seed = 5;
+  GnpModel model(net, params);
+  // Same-site pairs must be estimated far closer than cross-continent
+  // pairs, on average — that's all the threshold tests of §3.1.3 need.
+  double near_sum = 0, far_sum = 0;
+  int near_n = 0, far_n = 0;
+  for (HostId a = 0; a < 100; ++a) {
+    for (HostId b = a + 1; b < 100; ++b) {
+      if (net.site_of(a) == net.site_of(b)) {
+        near_sum += model.EstimatedRtt(a, b);
+        ++near_n;
+      } else if (net.continent_of(a) != net.continent_of(b)) {
+        far_sum += model.EstimatedRtt(a, b);
+        ++far_n;
+      }
+    }
+  }
+  ASSERT_GT(near_n, 0);
+  ASSERT_GT(far_n, 0);
+  EXPECT_LT(near_sum / near_n, 0.3 * (far_sum / far_n));
+}
+
+TEST(Gnp, SelfDistanceZeroAndSymmetric) {
+  auto net = MakeNet(40);
+  GnpModel model(net, GnpModel::Params{});
+  for (HostId a = 0; a < 40; a += 7) {
+    EXPECT_DOUBLE_EQ(model.EstimatedRtt(a, a), 0.0);
+    for (HostId b = 0; b < 40; b += 5) {
+      EXPECT_DOUBLE_EQ(model.EstimatedRtt(a, b), model.EstimatedRtt(b, a));
+    }
+  }
+}
+
+TEST(Gnp, DeterministicPerSeed) {
+  auto net = MakeNet(50);
+  GnpModel::Params params;
+  params.seed = 21;
+  GnpModel m1(net, params), m2(net, params);
+  for (HostId a = 0; a < 50; a += 3) {
+    for (HostId b = 0; b < 50; b += 11) {
+      EXPECT_DOUBLE_EQ(m1.EstimatedRtt(a, b), m2.EstimatedRtt(a, b));
+    }
+  }
+}
+
+TEST(Gnp, RejectsDegenerateParams) {
+  auto net = MakeNet(10);
+  GnpModel::Params p;
+  p.landmarks = 3;
+  p.dimensions = 5;  // needs dims+1 landmarks
+  EXPECT_THROW(GnpModel(net, p), std::logic_error);
+  p.landmarks = 100;  // more landmarks than hosts
+  EXPECT_THROW(GnpModel(net, p), std::logic_error);
+}
+
+TEST(Gnp, CentralizedAssignmentOverCoordinatesStillGroups) {
+  // §5's punchline: the key server assigns IDs from coordinates alone —
+  // zero probes — and proximity grouping survives the estimation error.
+  auto net = MakeNet(100, 31);
+  GnpModel::Params gparams;
+  gparams.seed = 13;
+  GnpModel model(net, gparams);
+
+  Directory dir(net, GroupParams{5, 256, 4}, 0);
+  IdAssignParams ap;
+  ap.thresholds_ms = {150.0, 30.0, 9.0, 3.0};
+  ap.gnp = &model;
+  IdAssigner assigner(dir, ap, 17);
+
+  std::map<HostId, UserId> ids;
+  for (HostId h = 1; h < 100; ++h) {
+    IdAssignStats stats;
+    auto id = assigner.AssignIdCentralized(h, &stats);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(stats.queries, 0);
+    EXPECT_EQ(stats.rtt_probes, 0);  // estimates, not probes
+    dir.AddMember(*id, h, h);
+    ids[h] = *id;
+  }
+
+  double same_site_cpl = 0, cross_cpl = 0;
+  int same_n = 0, cross_n = 0;
+  for (HostId a = 1; a < 100; ++a) {
+    for (HostId b = a + 1; b < 100; ++b) {
+      int cpl = ids[a].CommonPrefixLen(ids[b]);
+      if (net.site_of(a) == net.site_of(b)) {
+        same_site_cpl += cpl;
+        ++same_n;
+      } else if (net.continent_of(a) != net.continent_of(b)) {
+        cross_cpl += cpl;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same_site_cpl / same_n, 1.5);
+  EXPECT_LT(cross_cpl / cross_n, 1.0);
+}
+
+class GnpDimsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GnpDimsTest, HigherDimensionsDoNotBlowUpError) {
+  auto net = MakeNet(80, 41);
+  GnpModel::Params p;
+  p.dimensions = GetParam();
+  p.landmarks = std::max(12, GetParam() + 2);
+  p.seed = 2;
+  GnpModel model(net, p);
+  EXPECT_LT(model.MeanRelativeError(net, 1000, 3), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GnpDimsTest, ::testing::Values(2, 3, 5, 7));
+
+}  // namespace
+}  // namespace tmesh

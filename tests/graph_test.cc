@@ -1,0 +1,137 @@
+#include "topology/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tmesh {
+namespace {
+
+TEST(Graph, SingleEdgeDistance) {
+  Graph g;
+  RouterId a = g.AddNode(), b = g.AddNode();
+  g.AddEdge(a, b, 5.0);
+  auto spt = g.Dijkstra(a);
+  EXPECT_FLOAT_EQ(spt.dist_ms[static_cast<std::size_t>(b)], 5.0f);
+  EXPECT_EQ(spt.parent[static_cast<std::size_t>(b)], a);
+}
+
+TEST(Graph, ChoosesShorterOfTwoRoutes) {
+  // a - b - c (1+1) vs a - c (3)
+  Graph g;
+  RouterId a = g.AddNode(), b = g.AddNode(), c = g.AddNode();
+  g.AddEdge(a, b, 1.0);
+  g.AddEdge(b, c, 1.0);
+  LinkId direct = g.AddEdge(a, c, 3.0);
+  auto spt = g.Dijkstra(a);
+  EXPECT_FLOAT_EQ(spt.dist_ms[static_cast<std::size_t>(c)], 2.0f);
+  std::vector<LinkId> path;
+  g.AppendPathLinks(spt, c, path);
+  EXPECT_EQ(path.size(), 2u);
+  for (LinkId l : path) EXPECT_NE(l, direct);
+}
+
+TEST(Graph, PathLinksConnectSourceToDest) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode();
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(2, 3, 1);
+  g.AddEdge(3, 4, 1);
+  auto spt = g.Dijkstra(0);
+  std::vector<LinkId> path;
+  g.AppendPathLinks(spt, 4, path);
+  EXPECT_EQ(path.size(), 4u);
+  double total = 0;
+  for (LinkId l : path) total += g.link(l).rtt_ms;
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+TEST(Graph, DisconnectedNodeUnreachable) {
+  Graph g;
+  RouterId a = g.AddNode();
+  RouterId b = g.AddNode();
+  (void)b;
+  auto spt = g.Dijkstra(a);
+  EXPECT_FALSE(spt.Reachable(1));
+  EXPECT_FALSE(g.IsConnected());
+}
+
+TEST(Graph, ConnectedDetection) {
+  Graph g;
+  RouterId a = g.AddNode(), b = g.AddNode(), c = g.AddNode();
+  g.AddEdge(a, b, 1);
+  EXPECT_FALSE(g.IsConnected());
+  g.AddEdge(b, c, 1);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Graph, RejectsSelfLoopAndBadWeight) {
+  Graph g;
+  RouterId a = g.AddNode();
+  RouterId b = g.AddNode();
+  EXPECT_THROW(g.AddEdge(a, a, 1.0), std::logic_error);
+  EXPECT_THROW(g.AddEdge(a, b, 0.0), std::logic_error);
+  EXPECT_THROW(g.AddEdge(a, b, -2.0), std::logic_error);
+}
+
+// Property: Dijkstra distances equal brute-force Bellman-Ford distances on
+// random connected graphs, and extracted paths sum to the distance.
+class GraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphPropertyTest, MatchesBellmanFordOnRandomGraphs) {
+  const int n = GetParam();
+  Rng rng(1234 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g;
+    for (int i = 0; i < n; ++i) g.AddNode();
+    // Random tree for connectivity + extra random edges.
+    for (int i = 1; i < n; ++i) {
+      g.AddEdge(i, static_cast<RouterId>(rng.UniformInt(0, i - 1)),
+                rng.UniformReal(0.5, 10.0));
+    }
+    int extra = n;
+    for (int e = 0; e < extra; ++e) {
+      int a = static_cast<int>(rng.UniformInt(0, n - 1));
+      int b = static_cast<int>(rng.UniformInt(0, n - 1));
+      if (a != b) g.AddEdge(a, b, rng.UniformReal(0.5, 10.0));
+    }
+    ASSERT_TRUE(g.IsConnected());
+
+    int src = static_cast<int>(rng.UniformInt(0, n - 1));
+    auto spt = g.Dijkstra(src);
+
+    // Bellman-Ford.
+    std::vector<double> dist(static_cast<std::size_t>(n), 1e18);
+    dist[static_cast<std::size_t>(src)] = 0;
+    for (int round = 0; round < n; ++round) {
+      for (int l = 0; l < g.link_count(); ++l) {
+        const auto& link = g.link(l);
+        double w = link.rtt_ms;
+        auto a = static_cast<std::size_t>(link.a);
+        auto b = static_cast<std::size_t>(link.b);
+        if (dist[a] + w < dist[b]) dist[b] = dist[a] + w;
+        if (dist[b] + w < dist[a]) dist[a] = dist[b] + w;
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      EXPECT_NEAR(spt.dist_ms[static_cast<std::size_t>(v)],
+                  dist[static_cast<std::size_t>(v)], 1e-3);
+      if (v != src) {
+        std::vector<LinkId> path;
+        g.AppendPathLinks(spt, v, path);
+        double total = 0;
+        for (LinkId l : path) total += g.link(l).rtt_ms;
+        EXPECT_NEAR(total, dist[static_cast<std::size_t>(v)], 1e-3);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GraphPropertyTest,
+                         ::testing::Values(2, 5, 20, 60));
+
+}  // namespace
+}  // namespace tmesh

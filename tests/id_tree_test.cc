@@ -1,0 +1,133 @@
+#include "core/id_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace tmesh {
+namespace {
+
+// The running example of Fig. 1: five users with IDs [0,0], [0,1], [2,0],
+// [2,1], [2,2] and D = 2.
+class Fig1IdTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (auto id : {UserId{0, 0}, UserId{0, 1}, UserId{2, 0}, UserId{2, 1},
+                    UserId{2, 2}}) {
+      tree_.Insert(id);
+    }
+  }
+  IdTree tree_{2, 256};
+};
+
+TEST_F(Fig1IdTree, NodesExistForAllPrefixes) {
+  EXPECT_TRUE(tree_.NodeExists(DigitString{}));
+  EXPECT_TRUE(tree_.NodeExists(DigitString{0}));
+  EXPECT_TRUE(tree_.NodeExists(DigitString{2}));
+  EXPECT_FALSE(tree_.NodeExists(DigitString{1}));
+  EXPECT_TRUE(tree_.NodeExists(UserId{2, 1}));
+  EXPECT_EQ(tree_.user_count(), 5);
+}
+
+TEST_F(Fig1IdTree, SubtreeMembershipMatchesPaperExample) {
+  // "userss u3, u4, and u5 belong to u1's (0,2)-ID subtree, and u2 belongs
+  // to u1's (1,1)-ID subtree."
+  UserId u1{0, 0};
+  auto sub02 = tree_.UsersInSubtree(u1, 0, 2);
+  EXPECT_EQ(sub02.size(), 3u);
+  EXPECT_TRUE(std::count(sub02.begin(), sub02.end(), UserId{2, 0}) == 1);
+  EXPECT_TRUE(std::count(sub02.begin(), sub02.end(), UserId{2, 1}) == 1);
+  EXPECT_TRUE(std::count(sub02.begin(), sub02.end(), UserId{2, 2}) == 1);
+  auto sub11 = tree_.UsersInSubtree(u1, 1, 1);
+  ASSERT_EQ(sub11.size(), 1u);
+  EXPECT_EQ(sub11[0], (UserId{0, 1}));
+}
+
+TEST_F(Fig1IdTree, ChildDigits) {
+  EXPECT_EQ(tree_.ChildDigits(DigitString{}), (std::set<int>{0, 2}));
+  EXPECT_EQ(tree_.ChildDigits(DigitString{2}), (std::set<int>{0, 1, 2}));
+  EXPECT_TRUE(tree_.ChildDigits(DigitString{7}).empty());
+}
+
+TEST_F(Fig1IdTree, EraseRemovesEmptyNodes) {
+  tree_.Erase(UserId{0, 0});
+  tree_.Erase(UserId{0, 1});
+  EXPECT_FALSE(tree_.NodeExists(DigitString{0}));
+  EXPECT_TRUE(tree_.NodeExists(DigitString{}));
+  EXPECT_EQ(tree_.user_count(), 3);
+  EXPECT_EQ(tree_.ChildDigits(DigitString{}), (std::set<int>{2}));
+}
+
+TEST_F(Fig1IdTree, DuplicateInsertAndMissingEraseThrow) {
+  EXPECT_THROW(tree_.Insert(UserId{0, 0}), std::logic_error);
+  EXPECT_THROW(tree_.Erase(UserId{9, 9}), std::logic_error);
+}
+
+TEST(IdTree, CountWithPrefix) {
+  IdTree t(3, 4);
+  t.Insert(UserId{0, 1, 2});
+  t.Insert(UserId{0, 1, 3});
+  t.Insert(UserId{0, 2, 0});
+  EXPECT_EQ(t.CountWithPrefix(DigitString{}), 3);
+  EXPECT_EQ(t.CountWithPrefix(DigitString{0}), 3);
+  EXPECT_EQ(t.CountWithPrefix(DigitString{0, 1}), 2);
+  EXPECT_EQ(t.CountWithPrefix(DigitString{3}), 0);
+}
+
+class IdTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IdTreePropertyTest, RandomChurnKeepsDefinitionsConsistent) {
+  auto [depth, base] = GetParam();
+  IdTree tree(depth, base);
+  Rng rng(99);
+  std::vector<UserId> present;
+
+  for (int step = 0; step < 400; ++step) {
+    bool insert = present.empty() || rng.Bernoulli(0.6);
+    if (insert) {
+      UserId id;
+      for (int i = 0; i < depth; ++i) {
+        id.Append(static_cast<int>(rng.UniformInt(0, base - 1)));
+      }
+      if (std::find(present.begin(), present.end(), id) != present.end()) {
+        continue;
+      }
+      tree.Insert(id);
+      present.push_back(id);
+    } else {
+      std::size_t idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(present.size()) - 1));
+      tree.Erase(present[idx]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+
+    // Definition 1: a node with ID v exists iff v prefixes some user.
+    ASSERT_EQ(tree.user_count(), static_cast<int>(present.size()));
+    for (const UserId& u : present) {
+      for (int len = 0; len <= depth; ++len) {
+        ASSERT_TRUE(tree.NodeExists(u.Prefix(len)));
+      }
+    }
+    // Spot-check counts against brute force.
+    if (step % 50 == 0 && !present.empty()) {
+      UserId probe = present[0];
+      for (int len = 0; len <= depth; ++len) {
+        DigitString p = probe.Prefix(len);
+        int expected = 0;
+        for (const UserId& u : present) expected += p.IsPrefixOf(u) ? 1 : 0;
+        ASSERT_EQ(tree.CountWithPrefix(p), expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IdTreePropertyTest,
+    ::testing::Values(std::make_tuple(2, 4), std::make_tuple(3, 3),
+                      std::make_tuple(5, 8), std::make_tuple(4, 256)));
+
+}  // namespace
+}  // namespace tmesh

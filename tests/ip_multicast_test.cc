@@ -1,0 +1,84 @@
+#include "ipmc/ip_multicast.h"
+
+#include <gtest/gtest.h>
+
+namespace tmesh {
+namespace {
+
+GtItmParams SmallGtItm() {
+  GtItmParams p;
+  p.transit_domains = 3;
+  p.transit_routers_per_domain = 3;
+  p.stub_domains_per_transit_router = 2;
+  p.stub_routers_min = 3;
+  p.stub_routers_max = 5;
+  return p;
+}
+
+TEST(IpMulticast, EveryLinkCarriesAtMostOneCopy) {
+  GtItmNetwork net(SmallGtItm(), 20, 2);
+  IpMulticast ipmc(net);
+  std::vector<HostId> receivers;
+  for (HostId h = 1; h < 20; ++h) receivers.push_back(h);
+  auto res = ipmc.Multicast(0, receivers, 500);
+  int loaded = 0;
+  for (int l = 0; l < net.link_count(); ++l) {
+    auto msgs = res.link_messages[static_cast<std::size_t>(l)];
+    EXPECT_LE(msgs, 1);  // DVMRP: one copy per tree link
+    if (msgs == 1) {
+      EXPECT_EQ(res.link_encryptions[static_cast<std::size_t>(l)], 500);
+      ++loaded;
+    } else {
+      EXPECT_EQ(res.link_encryptions[static_cast<std::size_t>(l)], 0);
+    }
+  }
+  EXPECT_EQ(loaded, res.tree_links);
+  EXPECT_GT(loaded, 0);
+}
+
+TEST(IpMulticast, TreeIsNoWiderThanUnionOfPathsAndCoversThem) {
+  GtItmNetwork net(SmallGtItm(), 12, 4);
+  IpMulticast ipmc(net);
+  std::vector<HostId> receivers{1, 2, 3, 4, 5};
+  auto res = ipmc.Multicast(0, receivers, 7);
+  // Every unicast path link is on the tree.
+  for (HostId r : receivers) {
+    std::vector<LinkId> path;
+    net.AppendPathLinks(0, r, path);
+    for (LinkId l : path) {
+      EXPECT_EQ(res.link_messages[static_cast<std::size_t>(l)], 1);
+    }
+  }
+}
+
+TEST(IpMulticast, DelaysAreHalfRtt) {
+  GtItmNetwork net(SmallGtItm(), 10, 6);
+  IpMulticast ipmc(net);
+  std::vector<HostId> receivers{1, 2, 3};
+  auto res = ipmc.Multicast(0, receivers, 1);
+  for (HostId r : receivers) {
+    EXPECT_NEAR(res.delay_ms[static_cast<std::size_t>(r)],
+                net.RttHosts(0, r) / 2.0, 1e-3);
+  }
+  EXPECT_DOUBLE_EQ(res.delay_ms[5], -1.0);  // non-receiver untouched
+}
+
+TEST(IpMulticast, SharedPathSegmentsNotDoubleCounted) {
+  // Total tree links <= sum of individual path lengths.
+  GtItmNetwork net(SmallGtItm(), 15, 8);
+  IpMulticast ipmc(net);
+  std::vector<HostId> receivers;
+  for (HostId h = 1; h < 15; ++h) receivers.push_back(h);
+  auto res = ipmc.Multicast(0, receivers, 1);
+  std::size_t total_path_links = 0;
+  for (HostId r : receivers) {
+    std::vector<LinkId> path;
+    net.AppendPathLinks(0, r, path);
+    total_path_links += path.size();
+  }
+  EXPECT_LE(static_cast<std::size_t>(res.tree_links), total_path_links);
+  EXPECT_LT(res.tree_links, net.link_count());
+}
+
+}  // namespace
+}  // namespace tmesh

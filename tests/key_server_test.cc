@@ -1,0 +1,248 @@
+// Tests for the online KeyServer: periodic batch rekeying over the
+// simulator, concurrent with membership churn and data traffic.
+#include "core/key_server.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+PlanetLabNetwork MakeNet(int hosts, std::uint64_t seed = 3) {
+  PlanetLabParams p;
+  p.hosts = hosts;
+  p.seed = seed;
+  return PlanetLabNetwork(p);
+}
+
+KeyServer::Config SmallConfig() {
+  KeyServer::Config c;
+  c.group = GroupParams{3, 8, 2};
+  c.assign.collect_target = 4;
+  c.assign.thresholds_ms = {60.0, 20.0};
+  c.rekey_interval = FromSeconds(10);
+  c.seed = 5;
+  return c;
+}
+
+TEST(KeyServer, QuietIntervalsEmitNothing) {
+  auto net = MakeNet(10);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  server.Start();
+  sim.RunUntil(FromSeconds(35));  // 3 intervals, no membership activity
+  server.Stop();
+  sim.Run();
+  ASSERT_GE(server.history().size(), 3u);
+  for (const auto& rec : server.history()) {
+    EXPECT_EQ(rec.rekey_cost, 0u);
+    EXPECT_EQ(rec.delivery, -1);
+  }
+}
+
+TEST(KeyServer, BatchesChurnIntoOneIntervalMessage) {
+  auto net = MakeNet(20);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  // Joins land before the first interval tick.
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 12; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(5));
+  server.RequestLeave(members[3]);
+  server.RequestLeave(members[7]);
+  sim.RunUntil(FromSeconds(15));
+  server.Stop();
+  sim.Run();
+
+  ASSERT_GE(server.history().size(), 1u);
+  const auto& first = server.history()[0];
+  EXPECT_EQ(first.joins, 12);
+  EXPECT_EQ(first.leaves, 2);
+  EXPECT_GT(first.rekey_cost, 0u);
+  ASSERT_GE(first.delivery, 0);
+  // Everyone still present received the interval's message exactly once.
+  const TMesh::Result& res = server.delivery(first.delivery);
+  EXPECT_EQ(res.ReceivedCount(), 10);
+}
+
+TEST(KeyServer, GroupKeyVersionAdvancesOnlyWithChurn) {
+  auto net = MakeNet(12);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  for (HostId h = 1; h <= 6; ++h) {
+    ASSERT_TRUE(server.RequestJoin(h).has_value());
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(15));
+  std::uint32_t v1 = server.group_key_version();
+  sim.RunUntil(FromSeconds(25));  // quiet interval
+  EXPECT_EQ(server.group_key_version(), v1);
+  server.RequestLeave(*server.directory().IdOfHost(3));
+  sim.RunUntil(FromSeconds(35));
+  EXPECT_EQ(server.group_key_version(), v1 + 1);
+  server.Stop();
+  sim.Run();
+}
+
+TEST(KeyServer, SplitDeliveryIsDecryptionCompletePerInterval) {
+  auto net = MakeNet(40, 7);
+  Simulator sim;
+  KeyServer::Config cfg = SmallConfig();
+  cfg.record_encryptions = true;
+  KeyServer server(net, 0, sim, cfg);
+  Rng rng(9);
+
+  // Track held keys per member.
+  std::map<UserId, std::map<KeyId, std::uint32_t>> held;
+  auto grant = [&](const UserId& u) {
+    for (const KeyId& k : server.key_tree().KeysOf(u)) {
+      held[u][k] = server.key_tree().KeyVersion(k);
+    }
+  };
+
+  for (HostId h = 1; h <= 25; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    grant(*id);
+  }
+  server.Start();
+
+  HostId next_host = 26;
+  for (int interval = 0; interval < 5; ++interval) {
+    sim.RunUntil(FromSeconds(10 * interval + 3));
+    // Mid-interval churn.
+    if (next_host < 40) {
+      auto id = server.RequestJoin(next_host++);
+      ASSERT_TRUE(id.has_value());
+      grant(*id);
+    }
+    auto victim = server.directory().RandomAliveMember(rng);
+    held.erase(*victim);
+    server.RequestLeave(*victim);
+    sim.RunUntil(FromSeconds(10 * (interval + 1) + 5));  // past the tick
+
+    const auto& rec = server.history().back();
+    if (rec.delivery < 0) continue;
+    const TMesh::Result& res = server.delivery(rec.delivery);
+    const RekeyMessage& msg = server.message(rec.delivery);
+    for (const auto& [id, info] : server.directory().members()) {
+      auto h = static_cast<std::size_t>(info.host);
+      ASSERT_EQ(res.member[h].copies, 1);
+      auto& keys = held[id];
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (std::int32_t idx : res.member_encs[h]) {
+          const Encryption& e =
+              msg.encryptions[static_cast<std::size_t>(idx)];
+          auto it = keys.find(e.enc_key_id);
+          if (it == keys.end() || it->second != e.enc_key_version) continue;
+          auto cur = keys.find(e.new_key_id);
+          if (cur != keys.end() && cur->second >= e.new_key_version) continue;
+          keys[e.new_key_id] = e.new_key_version;
+          progress = true;
+        }
+      }
+      for (const KeyId& k : server.key_tree().KeysOf(id)) {
+        ASSERT_EQ(keys.at(k), server.key_tree().KeyVersion(k))
+            << "interval " << interval << " member " << id.ToString();
+      }
+    }
+  }
+  server.Stop();
+  sim.Run();
+}
+
+TEST(KeyServer, ClusterHeuristicModeDistributesGroupKey) {
+  auto net = MakeNet(30, 11);
+  Simulator sim;
+  KeyServer::Config cfg = SmallConfig();
+  cfg.cluster_heuristic = true;
+  KeyServer server(net, 0, sim, cfg);
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 20; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(2));
+  // Force leader churn: remove a leader.
+  for (const UserId& id : members) {
+    if (server.directory().Contains(id) && server.clusters().IsLeader(id)) {
+      server.RequestLeave(id);
+      break;
+    }
+  }
+  sim.RunUntil(FromSeconds(15));
+  server.Stop();
+  sim.Run();
+
+  const auto& rec = server.history()[0];
+  ASSERT_GE(rec.delivery, 0);
+  const TMesh::Result& res = server.delivery(rec.delivery);
+  for (const auto& [id, info] : server.directory().members()) {
+    auto h = static_cast<std::size_t>(info.host);
+    // Every member got something: the split leader message or a pairwise
+    // group-key unicast.
+    EXPECT_GE(res.member[h].copies, 1) << id.ToString();
+    if (!server.clusters().IsLeader(id)) {
+      EXPECT_GE(res.member[h].group_key_copies, 1) << id.ToString();
+    }
+  }
+}
+
+TEST(KeyServer, ConcurrentDataTrafficDeliversDuringRekey) {
+  auto net = MakeNet(25, 13);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  for (HostId h = 1; h <= 15; ++h) {
+    ASSERT_TRUE(server.RequestJoin(h).has_value());
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(8));
+  server.RequestLeave(*server.directory().IdOfHost(5));
+  sim.RunUntil(FromSeconds(10) - 1);  // just before the interval tick
+  auto sender = server.directory().IdOfHost(1);
+  ASSERT_NE(sender, nullptr);
+  auto data = server.MulticastData(*sender);
+  server.Stop();
+  sim.Run();
+
+  // Data reached everyone but the sender even while the rekey fired.
+  int received = 0;
+  for (const auto& [id, info] : server.directory().members()) {
+    if (id == *sender) continue;
+    received +=
+        data.result().member[static_cast<std::size_t>(info.host)].copies;
+  }
+  EXPECT_EQ(received, server.directory().member_count() - 1);
+  ASSERT_FALSE(server.history().empty());
+  EXPECT_GE(server.history()[0].delivery, 0);
+}
+
+TEST(KeyServer, StopHaltsFurtherIntervals) {
+  auto net = MakeNet(8);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  ASSERT_TRUE(server.RequestJoin(1).has_value());
+  server.Start();
+  sim.RunUntil(FromSeconds(12));
+  server.Stop();
+  sim.Run();
+  std::size_t n = server.history().size();
+  // No further events exist; time cannot produce more intervals.
+  EXPECT_TRUE(sim.Empty());
+  EXPECT_LE(n, 2u);
+}
+
+}  // namespace
+}  // namespace tmesh

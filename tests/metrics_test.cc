@@ -1,0 +1,196 @@
+// Tests for the report printers and cross-cutting accounting invariants
+// (message conservation, link-load consistency) that the figure harness
+// relies on.
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/directory.h"
+#include "core/tmesh.h"
+#include "topology/gtitm.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+TEST(Fractions, DefaultAxisCoversUnitInterval) {
+  auto f = DefaultFractions();
+  ASSERT_EQ(f.size(), 20u);
+  EXPECT_DOUBLE_EQ(f.front(), 0.05);
+  EXPECT_DOUBLE_EQ(f.back(), 1.0);
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_GT(f[i], f[i - 1]);
+}
+
+TEST(Fractions, TailAxisStartsPastFrom) {
+  auto f = TailFractions(0.9, 5);
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_GT(f.front(), 0.9);
+  EXPECT_DOUBLE_EQ(f.back(), 1.0);
+  EXPECT_THROW(TailFractions(0.0, 5), std::logic_error);
+  EXPECT_THROW(TailFractions(1.0, 5), std::logic_error);
+}
+
+TEST(Printers, InverseCdfTableHasHeaderAndRows) {
+  InverseCdf a({1, 2, 3, 4}), b({10, 20, 30, 40});
+  std::ostringstream os;
+  PrintInverseCdfTable(os, "demo", {0.25, 0.5, 1.0},
+                       {{"alpha", &a}, {"beta", &b}});
+  std::string out = os.str();
+  EXPECT_NE(out.find("# demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  // 1 title + 1 header + 3 data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(Printers, RankedTablePrintsMeanAndPercentile) {
+  RankedRunStats s;
+  s.AddRun({1, 2, 3});
+  s.AddRun({3, 4, 5});
+  std::ostringstream os;
+  PrintRankedTable(os, "demo", {0.5, 1.0}, {{"x", &s}});
+  std::string out = os.str();
+  EXPECT_NE(out.find("x_avg"), std::string::npos);
+  EXPECT_NE(out.find("x_p95"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+// --- accounting invariants over a real multicast -------------------------
+
+GtItmParams SmallGtItm() {
+  GtItmParams p;
+  p.transit_domains = 3;
+  p.transit_routers_per_domain = 3;
+  p.stub_domains_per_transit_router = 2;
+  p.stub_routers_min = 4;
+  p.stub_routers_max = 6;
+  return p;
+}
+
+UserId RandomId(Rng& rng, int d, int b) {
+  UserId id;
+  for (int i = 0; i < d; ++i) {
+    id.Append(static_cast<int>(rng.UniformInt(0, b - 1)));
+  }
+  return id;
+}
+
+TEST(Accounting, MessageAndEncryptionConservation) {
+  GtItmNetwork net(SmallGtItm(), 41, 3);
+  Directory dir(net, GroupParams{3, 8, 2}, 0);
+  ModifiedKeyTree tree(3);
+  Rng rng(5);
+  for (HostId h = 1; h <= 40; ++h) {
+    UserId id;
+    do {
+      id = RandomId(rng, 3, 8);
+    } while (dir.Contains(id));
+    dir.AddMember(id, h, h);
+    tree.Join(id);
+  }
+  (void)tree.Rekey();
+  for (int i = 0; i < 8; ++i) {
+    auto victim = dir.RandomAliveMember(rng);
+    tree.Leave(*victim);
+    dir.RemoveMember(*victim);
+  }
+  RekeyMessage msg = tree.Rekey();
+
+  Simulator sim;
+  TMesh tmesh(dir, sim);
+  TMesh::Options opts;
+  opts.split = true;
+  opts.track_links = true;
+  auto res = tmesh.MulticastRekey(msg, opts);
+
+  // Conservation 1: total transmissions = server sends + member forwards.
+  int member_sends = 0;
+  int server_sends = 0;
+  for (const auto& [id, info] : dir.members()) {
+    (void)id;
+    member_sends += res.member[static_cast<std::size_t>(info.host)].stress;
+  }
+  // Server sends = deliveries at forwarding level 1.
+  for (const auto& [id, info] : dir.members()) {
+    (void)id;
+    if (res.member[static_cast<std::size_t>(info.host)].forward_level == 1) {
+      ++server_sends;
+    }
+  }
+  EXPECT_EQ(res.messages_sent, member_sends + server_sends);
+
+  // Conservation 2: everyone's received encryptions equal what their
+  // parents forwarded plus what the server emitted.
+  std::int64_t total_received = 0, total_forwarded = 0, server_encs = 0;
+  for (const auto& [id, info] : dir.members()) {
+    auto h = static_cast<std::size_t>(info.host);
+    total_received += res.member[h].encs_received;
+    total_forwarded += res.member[h].encs_forwarded;
+    if (res.member[h].forward_level == 1) {
+      // This member's incoming encryptions came from the server.
+      server_encs += res.member[h].encs_received;
+    }
+    (void)id;
+  }
+  EXPECT_EQ(total_received, total_forwarded + server_encs);
+
+  // Conservation 3: per-link message counts at least cover every overlay
+  // hop that crossed a link, and no link carries more encryptions than
+  // total transmissions could put on it.
+  std::int64_t max_link = 0;
+  for (std::size_t l = 0; l < res.links.encryptions.size(); ++l) {
+    max_link = std::max(max_link, res.links.encryptions[l]);
+    if (res.links.messages[l] == 0) {
+      EXPECT_EQ(res.links.encryptions[l], 0);
+    }
+  }
+  EXPECT_LE(max_link, total_received);
+}
+
+TEST(Accounting, LinkLoadMatchesPathRecomputation) {
+  // For a tiny group, recompute the expected per-link encryption load from
+  // the delivery tree and compare with TMesh's accounting.
+  GtItmNetwork net(SmallGtItm(), 9, 7);
+  Directory dir(net, GroupParams{2, 4, 2}, 0);
+  ModifiedKeyTree tree(2);
+  Rng rng(9);
+  for (HostId h = 1; h <= 8; ++h) {
+    UserId id;
+    do {
+      id = RandomId(rng, 2, 4);
+    } while (dir.Contains(id));
+    dir.AddMember(id, h, h);
+    tree.Join(id);
+  }
+  RekeyMessage msg = tree.Rekey();
+
+  Simulator sim;
+  TMesh tmesh(dir, sim);
+  TMesh::Options opts;
+  opts.split = true;
+  opts.track_links = true;
+  opts.record_encryptions = true;
+  auto res = tmesh.MulticastRekey(msg, opts);
+
+  std::vector<std::int64_t> expected(
+      static_cast<std::size_t>(net.link_count()), 0);
+  for (const auto& [id, info] : dir.members()) {
+    (void)id;
+    auto h = static_cast<std::size_t>(info.host);
+    ASSERT_EQ(res.member[h].copies, 1);
+    std::vector<LinkId> path;
+    net.AppendPathLinks(res.member[h].from, info.host, path);
+    for (LinkId l : path) {
+      expected[static_cast<std::size_t>(l)] +=
+          static_cast<std::int64_t>(res.member_encs[h].size());
+    }
+  }
+  for (std::size_t l = 0; l < expected.size(); ++l) {
+    EXPECT_EQ(res.links.encryptions[l], expected[l]) << "link " << l;
+  }
+}
+
+}  // namespace
+}  // namespace tmesh

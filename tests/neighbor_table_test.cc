@@ -1,0 +1,88 @@
+#include "core/neighbor_table.h"
+
+#include <gtest/gtest.h>
+
+namespace tmesh {
+namespace {
+
+NeighborRecord Rec(UserId id, HostId host, double rtt) {
+  NeighborRecord r;
+  r.id = id;
+  r.host = host;
+  r.rtt_ms = rtt;
+  return r;
+}
+
+TEST(NeighborTable, EmptyEntriesAreNull) {
+  NeighborTable t(3, 8, 4);
+  EXPECT_EQ(t.entry(0, 0), nullptr);
+  EXPECT_TRUE(t.row(1).empty());
+  EXPECT_EQ(t.TotalRecords(), 0);
+}
+
+TEST(NeighborTable, InsertKeepsAscendingRttOrder) {
+  NeighborTable t(2, 8, 4);
+  t.Insert(0, 3, Rec(UserId{3, 0}, 1, 20.0));
+  t.Insert(0, 3, Rec(UserId{3, 1}, 2, 5.0));
+  t.Insert(0, 3, Rec(UserId{3, 2}, 3, 12.0));
+  const auto* e = t.entry(0, 3);
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->size(), 3u);
+  // "All the neighbors in the same entry are arranged in increasing order
+  // of their RTTs"; the first is the primary neighbor.
+  EXPECT_DOUBLE_EQ((*e)[0].rtt_ms, 5.0);
+  EXPECT_DOUBLE_EQ((*e)[1].rtt_ms, 12.0);
+  EXPECT_DOUBLE_EQ((*e)[2].rtt_ms, 20.0);
+}
+
+TEST(NeighborTable, CapacityEvictsWorst) {
+  NeighborTable t(1, 4, 2);
+  EXPECT_TRUE(t.Insert(0, 1, Rec(UserId{1, 0}, 1, 10)));
+  EXPECT_TRUE(t.Insert(0, 1, Rec(UserId{1, 1}, 2, 20)));
+  // Closer record bumps the farthest out.
+  EXPECT_TRUE(t.Insert(0, 1, Rec(UserId{1, 2}, 3, 5)));
+  const auto* e = t.entry(0, 1);
+  ASSERT_EQ(e->size(), 2u);
+  EXPECT_EQ((*e)[0].id, (UserId{1, 2}));
+  EXPECT_EQ((*e)[1].id, (UserId{1, 0}));
+  // Farther record is rejected outright.
+  EXPECT_FALSE(t.Insert(0, 1, Rec(UserId{1, 3}, 4, 100)));
+  EXPECT_EQ(t.entry(0, 1)->size(), 2u);
+}
+
+TEST(NeighborTable, RemoveAndContains) {
+  NeighborTable t(2, 4, 4);
+  t.Insert(1, 2, Rec(UserId{0, 2}, 1, 3.0));
+  EXPECT_TRUE(t.ContainsNeighbor(1, 2, UserId{0, 2}));
+  EXPECT_FALSE(t.ContainsNeighbor(1, 2, UserId{0, 3}));
+  EXPECT_FALSE(t.Remove(1, 2, UserId{0, 3}));
+  EXPECT_TRUE(t.Remove(1, 2, UserId{0, 2}));
+  EXPECT_EQ(t.entry(1, 2), nullptr);  // empty entries disappear
+  EXPECT_FALSE(t.Remove(1, 2, UserId{0, 2}));
+}
+
+TEST(NeighborTable, RowIterationListsNonEmptyEntries) {
+  NeighborTable t(2, 16, 4);
+  t.Insert(0, 5, Rec(UserId{5, 0}, 1, 1));
+  t.Insert(0, 9, Rec(UserId{9, 0}, 2, 1));
+  const auto& row = t.row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_TRUE(row.count(5) == 1 && row.count(9) == 1);
+}
+
+TEST(NeighborTable, BoundsChecked) {
+  NeighborTable t(2, 4, 2);
+  EXPECT_THROW(t.entry(2, 0), std::logic_error);
+  EXPECT_THROW(t.entry(0, 4), std::logic_error);
+  EXPECT_THROW(t.Insert(-1, 0, Rec(UserId{0, 0}, 1, 1)), std::logic_error);
+}
+
+TEST(NeighborTable, ServerTableShapeIsSingleRow) {
+  NeighborTable server(1, 256, 4);
+  EXPECT_EQ(server.rows(), 1);
+  server.Insert(0, 200, Rec(UserId{200, 0, 0, 0, 0}, 3, 9.0));
+  EXPECT_EQ(server.TotalRecords(), 1);
+}
+
+}  // namespace
+}  // namespace tmesh

@@ -1,0 +1,211 @@
+#include "nice/nice_overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+PlanetLabNetwork MakeNet(int hosts, std::uint64_t seed = 3) {
+  PlanetLabParams p;
+  p.hosts = hosts;
+  p.seed = seed;
+  return PlanetLabNetwork(p);
+}
+
+TEST(Nice, SingleMemberIsRoot) {
+  auto net = MakeNet(3);
+  NiceOverlay nice(net);
+  nice.Join(1);
+  EXPECT_EQ(nice.member_count(), 1);
+  EXPECT_EQ(nice.root(), 1);
+  nice.CheckInvariants();
+}
+
+TEST(Nice, SequentialJoinsKeepInvariants) {
+  auto net = MakeNet(64);
+  NiceOverlay nice(net);
+  for (HostId h = 1; h < 64; ++h) {
+    nice.Join(h);
+    nice.CheckInvariants();
+  }
+  EXPECT_EQ(nice.member_count(), 63);
+  // With k = 3 and 63 members there must be at least two layers.
+  EXPECT_GE(nice.layer_count(), 2);
+}
+
+TEST(Nice, ClusterSizesStayWithinBounds) {
+  // CheckInvariants enforces [k, 3k-1]; this test exercises enough joins to
+  // force repeated splits.
+  auto net = MakeNet(120, 9);
+  NiceOverlay nice(net);
+  for (HostId h = 0; h < 120; ++h) nice.Join(h);
+  nice.CheckInvariants();
+  EXPECT_EQ(nice.member_count(), 120);
+}
+
+TEST(Nice, LeavesShrinkAndMerge) {
+  auto net = MakeNet(40, 5);
+  NiceOverlay nice(net);
+  for (HostId h = 0; h < 40; ++h) nice.Join(h);
+  Rng rng(4);
+  std::vector<HostId> present;
+  for (HostId h = 0; h < 40; ++h) present.push_back(h);
+  while (present.size() > 1) {
+    std::size_t i = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(present.size()) - 1));
+    nice.Leave(present[i]);
+    present.erase(present.begin() + static_cast<std::ptrdiff_t>(i));
+    nice.CheckInvariants();
+    ASSERT_EQ(nice.member_count(), static_cast<int>(present.size()));
+  }
+  EXPECT_EQ(nice.root(), present[0]);
+}
+
+TEST(Nice, RejectsDuplicateJoinAndUnknownLeave) {
+  auto net = MakeNet(5);
+  NiceOverlay nice(net);
+  nice.Join(1);
+  EXPECT_THROW(nice.Join(1), std::logic_error);
+  EXPECT_THROW(nice.Leave(2), std::logic_error);
+}
+
+class NiceChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NiceChurnTest, RandomChurnKeepsInvariantsAndDelivery) {
+  const int hosts = GetParam();
+  auto net = MakeNet(hosts, 11);
+  NiceOverlay nice(net);
+  Rng rng(static_cast<std::uint64_t>(hosts));
+  std::vector<HostId> present, absent;
+  for (HostId h = 1; h < hosts; ++h) absent.push_back(h);
+
+  for (int step = 0; step < 300; ++step) {
+    bool join = present.empty() || (!absent.empty() && rng.Bernoulli(0.55));
+    if (join) {
+      std::size_t i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(absent.size()) - 1));
+      nice.Join(absent[i]);
+      present.push_back(absent[i]);
+      absent.erase(absent.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      std::size_t i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(present.size()) - 1));
+      nice.Leave(present[i]);
+      absent.push_back(present[i]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (step % 20 == 0) nice.CheckInvariants();
+    if (step % 60 == 0 && !present.empty()) {
+      auto d = nice.RekeyFromServer(0);
+      EXPECT_EQ(d.ReceivedCount(), static_cast<int>(present.size()));
+      for (HostId h : present) {
+        EXPECT_EQ(d.copies[static_cast<std::size_t>(h)], 1);
+      }
+    }
+  }
+  nice.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NiceChurnTest,
+                         ::testing::Values(12, 30, 60, 140));
+
+TEST(Nice, RekeyDeliveryExactOnceWithSaneDelays) {
+  auto net = MakeNet(80, 13);
+  NiceOverlay nice(net);
+  for (HostId h = 1; h < 80; ++h) nice.Join(h);
+  auto d = nice.RekeyFromServer(0);
+  EXPECT_EQ(d.origin, nice.root());
+  for (HostId h = 1; h < 80; ++h) {
+    ASSERT_EQ(d.copies[static_cast<std::size_t>(h)], 1);
+    // Delay at least the server->root unicast leg.
+    EXPECT_GE(d.delay_ms[static_cast<std::size_t>(h)],
+              net.OneWayDelayMs(0, nice.root()) - 1e-9);
+    // Parent chain terminates at the server.
+    HostId cur = h;
+    int hops = 0;
+    while (cur != 0) {
+      cur = d.parent[static_cast<std::size_t>(cur)];
+      ASSERT_NE(cur, kNoHost);
+      ASSERT_LT(++hops, 100);
+    }
+  }
+}
+
+TEST(Nice, DataDeliveryBottomUpTopDown) {
+  auto net = MakeNet(50, 15);
+  NiceOverlay nice(net);
+  for (HostId h = 0; h < 50; ++h) nice.Join(h);
+  HostId sender = 27;
+  auto d = nice.DataFrom(sender);
+  EXPECT_EQ(d.origin, sender);
+  int received = 0;
+  for (HostId h = 0; h < 50; ++h) {
+    if (h == sender) continue;
+    EXPECT_EQ(d.copies[static_cast<std::size_t>(h)], 1);
+    ++received;
+  }
+  EXPECT_EQ(received, 49);
+  // Leaders carry more stress than leaf members on average; at minimum the
+  // total stress equals total deliveries.
+  int total_stress = 0;
+  for (HostId h = 0; h < 50; ++h) {
+    total_stress += d.stress[static_cast<std::size_t>(h)];
+  }
+  EXPECT_EQ(total_stress, d.messages);
+  EXPECT_GE(d.messages, 49);
+}
+
+TEST(Nice, RootIsTopologicallyCentralish) {
+  // The root should not be a pessimal choice: its mean RTT to members must
+  // not exceed twice the best member's mean RTT.
+  auto net = MakeNet(60, 21);
+  NiceOverlay nice(net);
+  for (HostId h = 0; h < 60; ++h) nice.Join(h);
+  auto mean_rtt = [&](HostId c) {
+    double sum = 0;
+    for (HostId h = 0; h < 60; ++h) sum += net.RttHosts(c, h);
+    return sum / 59.0;
+  };
+  double best = 1e18;
+  for (HostId h = 0; h < 60; ++h) best = std::min(best, mean_rtt(h));
+  EXPECT_LE(mean_rtt(nice.root()), 2.5 * best);
+}
+
+TEST(Nice, DeliveryRespectsTreeCausality) {
+  // A member's delivery time strictly exceeds its parent's (messages take
+  // positive one-way latency per hop).
+  auto net = MakeNet(70, 27);
+  NiceOverlay nice(net);
+  for (HostId h = 1; h < 70; ++h) nice.Join(h);
+  auto d = nice.RekeyFromServer(0);
+  for (HostId h = 1; h < 70; ++h) {
+    HostId p = d.parent[static_cast<std::size_t>(h)];
+    if (p == kNoHost || p == 0) continue;
+    EXPECT_GT(d.delay_ms[static_cast<std::size_t>(h)],
+              d.delay_ms[static_cast<std::size_t>(p)]);
+  }
+}
+
+TEST(Nice, StressConcentratesOnLeaders) {
+  // The root (top leader) belongs to every layer on its chain and must
+  // forward at least as much as the median member.
+  auto net = MakeNet(90, 33);
+  NiceOverlay nice(net);
+  for (HostId h = 1; h < 90; ++h) nice.Join(h);
+  auto d = nice.RekeyFromServer(0);
+  std::vector<int> stress;
+  for (HostId h = 1; h < 90; ++h) {
+    stress.push_back(d.stress[static_cast<std::size_t>(h)]);
+  }
+  std::sort(stress.begin(), stress.end());
+  int median = stress[stress.size() / 2];
+  EXPECT_GE(d.stress[static_cast<std::size_t>(nice.root())], median);
+}
+
+}  // namespace
+}  // namespace tmesh

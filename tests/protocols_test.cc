@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/tmesh.h"
+#include "protocols/latency_experiment.h"
+#include "protocols/rekey_cost_experiment.h"
+#include "protocols/rekey_protocols.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+GtItmParams TestGtItm() {
+  GtItmParams p;
+  p.transit_domains = 3;
+  p.transit_routers_per_domain = 4;
+  p.stub_domains_per_transit_router = 2;
+  p.stub_routers_min = 4;
+  p.stub_routers_max = 7;
+  return p;
+}
+
+SessionConfig TestSession(int depth = 3, int base = 8) {
+  SessionConfig s;
+  s.group = GroupParams{depth, base, 2};
+  s.assign.collect_target = 4;
+  s.assign.thresholds_ms.assign(static_cast<std::size_t>(depth - 1), 40.0);
+  return s;
+}
+
+TEST(LatencyExperiment, RekeyPathProducesFullSeries) {
+  PlanetLabParams np;
+  np.hosts = 41;
+  PlanetLabNetwork net(np);
+  LatencyRunConfig cfg;
+  cfg.users = 40;
+  cfg.session = TestSession();
+  auto res = RunLatencyExperiment(net, cfg, 7);
+  EXPECT_EQ(res.tmesh.delay_ms.size(), 40u);
+  EXPECT_EQ(res.tmesh.stress.size(), 40u);
+  EXPECT_EQ(res.nice.delay_ms.size(), 40u);
+  // Synthetic RTT matrices carry mild triangle-inequality violations, so
+  // RDP can dip slightly below 1 (as with real measured RTTs).
+  for (double r : res.tmesh.rdp) EXPECT_GT(r, 0.5);
+  for (double r : res.nice.rdp) EXPECT_GT(r, 0.5);
+  for (double d : res.tmesh.delay_ms) EXPECT_GT(d, 0.0);
+}
+
+TEST(LatencyExperiment, DataPathExcludesSender) {
+  PlanetLabParams np;
+  np.hosts = 31;
+  PlanetLabNetwork net(np);
+  LatencyRunConfig cfg;
+  cfg.users = 30;
+  cfg.data_path = true;
+  cfg.session = TestSession();
+  auto res = RunLatencyExperiment(net, cfg, 11);
+  EXPECT_EQ(res.tmesh.delay_ms.size(), 29u);  // sender excluded
+  EXPECT_EQ(res.nice.delay_ms.size(), 29u);
+  EXPECT_EQ(res.tmesh.stress.size(), 30u);
+}
+
+TEST(LatencyExperiment, DeterministicForSameSeed) {
+  PlanetLabParams np;
+  np.hosts = 25;
+  PlanetLabNetwork net(np);
+  LatencyRunConfig cfg;
+  cfg.users = 24;
+  cfg.session = TestSession();
+  auto a = RunLatencyExperiment(net, cfg, 99);
+  auto b = RunLatencyExperiment(net, cfg, 99);
+  EXPECT_EQ(a.tmesh.delay_ms, b.tmesh.delay_ms);
+  EXPECT_EQ(a.nice.delay_ms, b.nice.delay_ms);
+}
+
+TEST(BandwidthExperiment, SevenProtocolsWithExpectedOrdering) {
+  BandwidthConfig cfg;
+  cfg.seed = 5;
+  cfg.initial_users = 48;
+  cfg.batch_joins = 12;
+  cfg.batch_leaves = 12;
+  cfg.session = TestSession();
+  cfg.topology = TestGtItm();
+  RekeyBandwidthExperiment exp(cfg);
+  auto reports = exp.Run();
+  ASSERT_EQ(reports.size(), 7u);
+  std::vector<std::string> names;
+  for (const auto& r : reports) names.push_back(r.protocol);
+  EXPECT_EQ(names, (std::vector<std::string>{"P0", "P0'", "P1", "P1'", "P2",
+                                             "P2'", "Pip"}));
+
+  std::map<std::string, const BandwidthReport*> by_name;
+  for (const auto& r : reports) by_name[r.protocol] = &r;
+
+  const std::size_t users = by_name["P0"]->encs_received_per_user.size();
+  EXPECT_EQ(users, 48u);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.encs_received_per_user.size(), users) << r.protocol;
+    // P2/P2' may legitimately have an empty rekey message: if no cluster
+    // *leader* joined or left, the heuristic re-keys nothing (Appendix B).
+    if (r.protocol != "P2" && r.protocol != "P2'") {
+      EXPECT_GT(r.rekey_cost, 0u) << r.protocol;
+    }
+    EXPECT_FALSE(r.encs_per_link.empty()) << r.protocol;
+  }
+
+  auto sum = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return s;
+  };
+  // Splitting reduces aggregate bandwidth.
+  EXPECT_LT(sum(by_name["P0'"]->encs_received_per_user),
+            sum(by_name["P0"]->encs_received_per_user));
+  EXPECT_LT(sum(by_name["P1'"]->encs_received_per_user),
+            sum(by_name["P1"]->encs_received_per_user));
+  EXPECT_LE(sum(by_name["P2'"]->encs_received_per_user),
+            sum(by_name["P2"]->encs_received_per_user));
+  // Without splitting every user receives the whole message.
+  for (double v : by_name["P1"]->encs_received_per_user) {
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(by_name["P1"]->rekey_cost));
+  }
+  for (double v : by_name["Pip"]->encs_received_per_user) {
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(by_name["Pip"]->rekey_cost));
+  }
+  // IP multicast users forward nothing.
+  EXPECT_DOUBLE_EQ(sum(by_name["Pip"]->encs_forwarded_per_user), 0.0);
+  // Every user still learns the new group key under splitting (for P2'
+  // only when the heuristic actually re-keyed, i.e. a leader churned).
+  for (double v : by_name["P1'"]->encs_received_per_user) {
+    EXPECT_GE(v, 1.0);
+  }
+  if (by_name["P2'"]->rekey_cost > 0) {
+    for (double v : by_name["P2'"]->encs_received_per_user) {
+      EXPECT_GE(v, 1.0);
+    }
+  }
+}
+
+TEST(RekeyCostExperiment, GridShapesAndZeroCell) {
+  RekeyCostConfig cfg;
+  cfg.seed = 3;
+  cfg.initial_users = 32;
+  cfg.grid = {0, 8, 16};
+  cfg.runs = 1;
+  cfg.session = TestSession();
+  cfg.topology = TestGtItm();
+  auto cells = RunRekeyCostExperiment(cfg);
+  ASSERT_EQ(cells.size(), 9u);
+  for (const auto& c : cells) {
+    if (c.joins == 0 && c.leaves == 0) {
+      EXPECT_DOUBLE_EQ(c.modified, 0.0);
+      EXPECT_DOUBLE_EQ(c.original, 0.0);
+      EXPECT_DOUBLE_EQ(c.cluster, 0.0);
+    } else {
+      EXPECT_GT(c.modified, 0.0);
+      EXPECT_GT(c.original, 0.0);
+      // The cluster heuristic never costs more than the full modified tree.
+      EXPECT_LE(c.cluster, c.modified);
+    }
+  }
+  // More churn, more cost (coarse monotonicity along the diagonal).
+  auto cell = [&](int j, int l) {
+    for (const auto& c : cells) {
+      if (c.joins == j && c.leaves == l) return c;
+    }
+    throw std::logic_error("missing cell");
+  };
+  EXPECT_LT(cell(0, 8).modified, cell(16, 16).modified + 1e-9);
+}
+
+// End-to-end: after a batch of joins/leaves, distribute the split rekey
+// message over T-mesh and verify every member can decrypt its entire new
+// key path from ONLY the encryptions it received (Lemma 3 + Theorem 2 +
+// decryption closure, across the whole stack).
+TEST(Integration, SplitDeliveryIsDecryptionComplete) {
+  PlanetLabParams np;
+  np.hosts = 61;
+  np.seed = 31;
+  PlanetLabNetwork net(np);
+  SessionConfig scfg = TestSession(4, 8);
+  scfg.with_nice = false;
+  scfg.seed = 17;
+  GroupSession session(net, 0, scfg);
+  Rng rng(23);
+
+  // Initial population.
+  for (HostId h = 1; h <= 40; ++h) {
+    ASSERT_TRUE(session.Join(h, h).has_value());
+  }
+  session.FlushRekeyState();
+
+  // Members' key state before the batch.
+  std::map<UserId, std::map<KeyId, std::uint32_t>> held;
+  ModifiedKeyTree& tree = session.key_tree();
+  for (const auto& [id, info] : session.directory().members()) {
+    (void)info;
+    for (const KeyId& k : tree.KeysOf(id)) held[id][k] = tree.KeyVersion(k);
+  }
+
+  // Batch: 10 joins, 10 leaves.
+  for (HostId h = 41; h <= 50; ++h) {
+    auto id = session.Join(h, 1000 + h);
+    ASSERT_TRUE(id.has_value());
+    for (const KeyId& k : tree.KeysOf(*id)) {
+      held[*id][k] = tree.KeyVersion(k);  // server unicast at join
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto victim = session.directory().RandomAliveMember(rng);
+    ASSERT_TRUE(victim.has_value());
+    held.erase(*victim);
+    session.Leave(*victim);
+  }
+
+  RekeyMessage msg = tree.Rekey();
+  ASSERT_GT(msg.RekeyCost(), 0u);
+
+  Simulator sim;
+  TMesh tmesh(session.directory(), sim);
+  TMesh::Options opts;
+  opts.split = true;
+  opts.record_encryptions = true;
+  auto res = tmesh.MulticastRekey(msg, opts);
+
+  for (const auto& [id, info] : session.directory().members()) {
+    ASSERT_EQ(res.member[static_cast<std::size_t>(info.host)].copies, 1);
+    auto& keys = held[id];
+    const auto& got = res.member_encs[static_cast<std::size_t>(info.host)];
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::int32_t idx : got) {
+        const Encryption& e = msg.encryptions[static_cast<std::size_t>(idx)];
+        auto it = keys.find(e.enc_key_id);
+        if (it == keys.end() || it->second != e.enc_key_version) continue;
+        auto cur = keys.find(e.new_key_id);
+        if (cur != keys.end() && cur->second >= e.new_key_version) continue;
+        keys[e.new_key_id] = e.new_key_version;
+        progress = true;
+      }
+    }
+    for (const KeyId& k : tree.KeysOf(id)) {
+      ASSERT_EQ(keys.at(k), tree.KeyVersion(k))
+          << "member " << id.ToString() << " cannot decrypt "
+          << k.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmesh

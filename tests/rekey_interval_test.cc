@@ -1,0 +1,262 @@
+// Long-horizon integration tests: the full system across many rekey
+// intervals, with churn and failures, on both evaluation topologies. Each
+// interval is checked against the paper's correctness properties:
+// Definition 3 (K-consistency), Theorem 1 (exact-once), Corollary 1 via
+// decryption closure (every member reconstructs its key path from only the
+// encryptions it received), and the Appendix-B group-key completeness.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/tmesh.h"
+#include "protocols/group_session.h"
+#include "topology/gtitm.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+std::unique_ptr<Network> MakeNet(bool gtitm, int hosts, std::uint64_t seed) {
+  if (gtitm) {
+    GtItmParams p;
+    p.transit_domains = 3;
+    p.transit_routers_per_domain = 4;
+    p.stub_domains_per_transit_router = 2;
+    p.stub_routers_min = 5;
+    p.stub_routers_max = 8;
+    p.seed = seed;
+    return std::make_unique<GtItmNetwork>(p, hosts, seed + 1);
+  }
+  PlanetLabParams p;
+  p.hosts = hosts;
+  p.seed = seed;
+  return std::make_unique<PlanetLabNetwork>(p);
+}
+
+struct IntervalShape {
+  bool gtitm;
+  int depth;
+  int base;
+  int capacity;
+};
+
+class MultiIntervalTest : public ::testing::TestWithParam<IntervalShape> {};
+
+TEST_P(MultiIntervalTest, SystemStaysCorrectAcrossIntervals) {
+  const IntervalShape shape = GetParam();
+  const int max_hosts = 90;
+  auto net = MakeNet(shape.gtitm, max_hosts + 1, 5);
+
+  SessionConfig cfg;
+  cfg.group = GroupParams{shape.depth, shape.base, shape.capacity};
+  cfg.assign.collect_target = 5;
+  cfg.assign.thresholds_ms.assign(static_cast<std::size_t>(shape.depth - 1),
+                                  60.0);
+  cfg.with_nice = false;
+  cfg.seed = 17;
+  GroupSession session(*net, 0, cfg);
+  Rng rng(23);
+
+  // Key state per member, as the decryption-closure oracle.
+  std::map<UserId, std::map<KeyId, std::uint32_t>> held;
+  ModifiedKeyTree& tree = session.key_tree();
+  auto grant = [&](const UserId& u) {
+    for (const KeyId& k : tree.KeysOf(u)) held[u][k] = tree.KeyVersion(k);
+  };
+
+  std::vector<HostId> free_hosts;
+  for (HostId h = max_hosts; h >= 1; --h) free_hosts.push_back(h);
+
+  // Bootstrap.
+  for (int i = 0; i < 40; ++i) {
+    HostId h = free_hosts.back();
+    free_hosts.pop_back();
+    auto id = session.Join(h, i);
+    ASSERT_TRUE(id.has_value());
+    grant(*id);
+  }
+  session.FlushRekeyState();
+  held.clear();
+  for (const auto& [id, info] : session.directory().members()) {
+    (void)info;
+    grant(id);
+  }
+
+  SimTime t = 1000;
+  for (int interval = 0; interval < 12; ++interval) {
+    // Churn: joins, leaves, and an occasional crash + repair.
+    int joins = static_cast<int>(rng.UniformInt(0, 5));
+    int leaves = static_cast<int>(rng.UniformInt(0, 5));
+    for (int i = 0; i < joins && !free_hosts.empty(); ++i) {
+      HostId h = free_hosts.back();
+      auto id = session.Join(h, ++t);
+      if (!id.has_value()) break;
+      free_hosts.pop_back();
+      grant(*id);
+    }
+    for (int i = 0; i < leaves; ++i) {
+      if (session.directory().member_count() <= 5) break;
+      auto victim = session.directory().RandomAliveMember(rng);
+      ASSERT_TRUE(victim.has_value());
+      free_hosts.push_back(session.directory().HostOf(*victim));
+      held.erase(*victim);
+      session.Leave(*victim);
+    }
+    if (interval % 4 == 3 && session.directory().member_count() > 8) {
+      // A crash handled by failure recovery between intervals: the failed
+      // member must also be evicted from the key tree (its keys leak).
+      auto victim = session.directory().RandomAliveMember(rng);
+      ASSERT_TRUE(victim.has_value());
+      free_hosts.push_back(session.directory().HostOf(*victim));
+      held.erase(*victim);
+      session.directory().MarkFailed(*victim);
+      session.directory().RepairFailure(*victim);
+      session.key_tree().Leave(*victim);
+      session.clusters().Leave(*victim);
+    }
+
+    session.directory().CheckKConsistency();
+    session.key_tree().CheckInvariants();
+    session.clusters().CheckInvariants();
+
+    RekeyMessage msg = session.key_tree().Rekey();
+    (void)session.clusters().Rekey();
+    if (msg.RekeyCost() == 0) continue;  // quiet interval
+
+    Simulator sim;
+    TMesh tmesh(session.directory(), sim);
+    TMesh::Options opts;
+    opts.split = true;
+    opts.record_encryptions = true;
+    auto res = tmesh.MulticastRekey(msg, opts);
+
+    for (const auto& [id, info] : session.directory().members()) {
+      auto h = static_cast<std::size_t>(info.host);
+      ASSERT_EQ(res.member[h].copies, 1) << "interval " << interval;
+      // Closure from exactly the received encryptions.
+      auto& keys = held[id];
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (std::int32_t idx : res.member_encs[h]) {
+          const Encryption& e =
+              msg.encryptions[static_cast<std::size_t>(idx)];
+          auto it = keys.find(e.enc_key_id);
+          if (it == keys.end() || it->second != e.enc_key_version) continue;
+          auto cur = keys.find(e.new_key_id);
+          if (cur != keys.end() && cur->second >= e.new_key_version) continue;
+          keys[e.new_key_id] = e.new_key_version;
+          progress = true;
+        }
+      }
+      for (const KeyId& k : tree.KeysOf(id)) {
+        ASSERT_EQ(keys.at(k), tree.KeyVersion(k))
+            << "interval " << interval << ", member " << id.ToString()
+            << ", key " << k.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultiIntervalTest,
+    ::testing::Values(IntervalShape{false, 3, 8, 2},
+                      IntervalShape{false, 4, 8, 4},
+                      IntervalShape{true, 3, 8, 2},
+                      IntervalShape{true, 5, 16, 4}));
+
+// Appendix-B completeness: under the cluster heuristic every member ends
+// the interval with the new group key — leaders by decrypting the (split)
+// leader-tree message, everyone else via a pairwise group-key unicast.
+TEST(ClusterInterval, EveryMemberObtainsTheNewGroupKey) {
+  auto net = MakeNet(false, 81, 9);
+  SessionConfig cfg;
+  cfg.group = GroupParams{3, 8, 4};
+  cfg.assign.collect_target = 5;
+  cfg.assign.thresholds_ms = {60.0, 20.0};
+  cfg.with_nice = false;
+  cfg.seed = 29;
+  GroupSession session(*net, 0, cfg);
+  Rng rng(31);
+  for (HostId h = 1; h <= 80; ++h) {
+    ASSERT_TRUE(session.Join(h, h).has_value());
+  }
+  session.FlushRekeyState();
+
+  // Force leader churn: remove a known leader plus random members.
+  int removed = 0;
+  for (const auto& [id, info] : session.directory().members()) {
+    (void)info;
+    if (session.clusters().IsLeader(id)) {
+      UserId leader = id;
+      session.Leave(leader);
+      ++removed;
+      break;
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto victim = session.directory().RandomAliveMember(rng);
+    session.Leave(*victim);
+    ++removed;
+  }
+  ASSERT_EQ(removed, 11);
+
+  // Snapshot every current leader's key state BEFORE the interval's rekey:
+  // leaders hold their full leader-tree path (new leaders received it from
+  // the departing leader during handover, Appendix B).
+  const ModifiedKeyTree& ltree = session.clusters().leader_tree();
+  std::map<UserId, std::map<KeyId, std::uint32_t>> leader_keys;
+  for (const auto& [id, info] : session.directory().members()) {
+    (void)info;
+    if (!session.clusters().IsLeader(id)) continue;
+    for (const KeyId& k : ltree.KeysOf(id)) {
+      leader_keys[id][k] = ltree.KeyVersion(k);
+    }
+  }
+
+  RekeyMessage msg = session.clusters().Rekey();
+  (void)session.key_tree().Rekey();
+  ASSERT_GT(msg.RekeyCost(), 0u);
+
+  Simulator sim;
+  TMesh tmesh(session.directory(), sim);
+  TMesh::Options opts;
+  opts.split = true;
+  opts.clusters = &session.clusters();
+  opts.record_encryptions = true;
+  auto res = tmesh.MulticastRekey(msg, opts);
+
+  for (const auto& [id, info] : session.directory().members()) {
+    auto h = static_cast<std::size_t>(info.host);
+    if (session.clusters().IsLeader(id)) {
+      // The leader decrypts its whole new path — including the group key —
+      // from only the encryptions it received.
+      auto& keys = leader_keys[id];
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (std::int32_t idx : res.member_encs[h]) {
+          const Encryption& e =
+              msg.encryptions[static_cast<std::size_t>(idx)];
+          auto it = keys.find(e.enc_key_id);
+          if (it == keys.end() || it->second != e.enc_key_version) continue;
+          auto cur = keys.find(e.new_key_id);
+          if (cur != keys.end() && cur->second >= e.new_key_version) continue;
+          keys[e.new_key_id] = e.new_key_version;
+          progress = true;
+        }
+      }
+      for (const KeyId& k : ltree.KeysOf(id)) {
+        ASSERT_EQ(keys.at(k), ltree.KeyVersion(k))
+            << "leader " << id.ToString() << " stuck at " << k.ToString();
+      }
+    } else {
+      // Non-leaders learn the group key from their leader's unicast.
+      EXPECT_GE(res.member[h].group_key_copies, 1) << id.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmesh

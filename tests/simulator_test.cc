@@ -1,0 +1,100 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tmesh {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(FromMillis(1.5), 1500);
+  EXPECT_DOUBLE_EQ(ToMillis(2500), 2.5);
+  EXPECT_EQ(FromSeconds(2.0), 2000000);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleIn(300, [&] { order.push_back(3); });
+  sim.ScheduleIn(100, [&] { order.push_back(1); });
+  sim.ScheduleIn(200, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleIn(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ReentrantScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.ScheduleIn(10, [&] {
+    times.push_back(sim.Now());
+    sim.ScheduleIn(5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleIn(10, [&] { ++ran; });
+  sim.ScheduleIn(20, [&] { ++ran; });
+  EXPECT_EQ(sim.RunUntil(15), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.Now(), 15);
+  EXPECT_EQ(sim.Pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleIn(100, [&] {
+    sim.ScheduleIn(0, [&] { seen = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, RejectsSchedulingIntoThePast) {
+  Simulator sim;
+  sim.ScheduleIn(10, [] {});
+  sim.Run();
+  EXPECT_THROW(sim.ScheduleAt(5, [] {}), std::logic_error);
+  EXPECT_THROW(sim.ScheduleIn(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, ClockNeverGoesBackward) {
+  Simulator sim;
+  SimTime last = 0;
+  bool monotone = true;
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleIn(i % 7 * 10, [&, i] {
+      if (sim.Now() < last) monotone = false;
+      last = sim.Now();
+      if (i % 3 == 0) {
+        sim.ScheduleIn(1, [&] {
+          if (sim.Now() < last) monotone = false;
+          last = sim.Now();
+        });
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace tmesh

@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tmesh {
+namespace {
+
+TEST(Percentile, NearestRankBasics) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90), 9.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 91), 10.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 90), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0), 7.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 100), 3.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  EXPECT_THROW(Percentile({}, 50), std::logic_error);
+  EXPECT_THROW(Percentile({1.0}, -1), std::logic_error);
+  EXPECT_THROW(Percentile({1.0}, 101), std::logic_error);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2, 4}), 3.0);
+}
+
+TEST(InverseCdf, ValueAtFraction) {
+  InverseCdf cdf({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(cdf.ValueAtFraction(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.ValueAtFraction(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.ValueAtFraction(1.0), 5.0);
+  // Between ranks: smallest value covering at least that fraction.
+  EXPECT_DOUBLE_EQ(cdf.ValueAtFraction(0.41), 3.0);
+}
+
+TEST(InverseCdf, FractionAtOrBelow) {
+  InverseCdf cdf({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(3.0), 1.0);
+}
+
+TEST(RankedRunStats, MeanAndPercentileAcrossRuns) {
+  RankedRunStats s;
+  s.AddRun({3, 1, 2});  // sorted: 1 2 3
+  s.AddRun({6, 4, 5});  // sorted: 4 5 6
+  ASSERT_EQ(s.runs(), 2u);
+  ASSERT_EQ(s.ranks(), 3u);
+  EXPECT_DOUBLE_EQ(s.MeanAtRank(0), 2.5);
+  EXPECT_DOUBLE_EQ(s.MeanAtRank(2), 4.5);
+  EXPECT_DOUBLE_EQ(s.PercentileAtRank(0, 100), 4.0);
+}
+
+TEST(RankedRunStats, RejectsMismatchedRunSizes) {
+  RankedRunStats s;
+  s.AddRun({1, 2});
+  EXPECT_THROW(s.AddRun({1, 2, 3}), std::logic_error);
+}
+
+TEST(InverseCdfProperty, MonotoneInFraction) {
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.UniformReal(0, 100));
+  InverseCdf cdf(samples);
+  double prev = cdf.ValueAtFraction(0.01);
+  for (double f = 0.05; f <= 1.0; f += 0.05) {
+    double v = cdf.ValueAtFraction(f);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace tmesh

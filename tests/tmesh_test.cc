@@ -1,0 +1,367 @@
+#include "core/tmesh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/directory.h"
+#include "core/modified_key_tree.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+UserId RandomId(Rng& rng, int d, int b) {
+  UserId id;
+  for (int i = 0; i < d; ++i) {
+    id.Append(static_cast<int>(rng.UniformInt(0, b - 1)));
+  }
+  return id;
+}
+
+struct Group {
+  PlanetLabNetwork net;
+  Directory dir;
+  ModifiedKeyTree tree;
+  ClusterRekeying clusters;
+  std::vector<UserId> ids;
+
+  Group(int users, GroupParams gp, std::uint64_t seed)
+      : net([&] {
+          PlanetLabParams p;
+          p.hosts = users + 1;
+          p.seed = seed;
+          return p;
+        }()),
+        dir(net, gp, 0),
+        tree(gp.digits),
+        clusters(gp.digits) {
+    Rng rng(seed * 131 + 7);
+    for (HostId h = 1; h <= users; ++h) {
+      UserId id;
+      do {
+        id = RandomId(rng, gp.digits, gp.base);
+      } while (dir.Contains(id));
+      dir.AddMember(id, h, h);
+      tree.Join(id);
+      clusters.Join(id, h);
+      ids.push_back(id);
+    }
+  }
+};
+
+// --- Theorem 1: exact-once delivery -----------------------------------
+
+struct Shape {
+  int depth;
+  int base;
+  int capacity;
+  int users;
+};
+
+class TMeshDeliveryTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TMeshDeliveryTest, RekeyMulticastReachesEveryMemberExactlyOnce) {
+  const Shape s = GetParam();
+  Group g(s.users, GroupParams{s.depth, s.base, s.capacity}, 42);
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  auto res = tmesh.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  for (const UserId& id : g.ids) {
+    const auto& rec = res.member[static_cast<std::size_t>(g.dir.HostOf(id))];
+    EXPECT_EQ(rec.copies, 1) << "member " << id.ToString();
+    EXPECT_GE(rec.delay_ms, 0.0);
+    // RDP is ~>= 1; synthetic RTT matrices (like real ones) have mild
+    // triangle-inequality violations, so slightly below 1 is legitimate.
+    EXPECT_GT(rec.rdp, 0.5);
+    EXPECT_GE(rec.forward_level, 1);
+    EXPECT_LE(rec.forward_level, s.depth);
+  }
+}
+
+TEST_P(TMeshDeliveryTest, DataMulticastReachesEveryoneButSender) {
+  const Shape s = GetParam();
+  Group g(s.users, GroupParams{s.depth, s.base, s.capacity}, 43);
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  const UserId& sender = g.ids[g.ids.size() / 2];
+  auto res = tmesh.MulticastData(sender);
+  for (const UserId& id : g.ids) {
+    const auto& rec = res.member[static_cast<std::size_t>(g.dir.HostOf(id))];
+    if (id == sender) {
+      EXPECT_EQ(rec.copies, 0);
+      EXPECT_GT(rec.stress, 0);  // the sender forwards at level 0
+    } else {
+      EXPECT_EQ(rec.copies, 1) << "member " << id.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TMeshDeliveryTest,
+    ::testing::Values(Shape{2, 4, 1, 10}, Shape{2, 4, 2, 15},
+                      Shape{3, 4, 2, 40}, Shape{3, 8, 4, 80},
+                      Shape{5, 256, 4, 60}, Shape{4, 16, 1, 100}));
+
+// --- Lemma 1 consequence: hop prefix structure -------------------------
+
+TEST(TMesh, ForwardingHopsFollowPrefixStructure) {
+  Group g(60, GroupParams{3, 4, 2}, 77);
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  auto res = tmesh.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  for (const UserId& id : g.ids) {
+    const auto& rec = res.member[static_cast<std::size_t>(g.dir.HostOf(id))];
+    ASSERT_EQ(rec.copies, 1);
+    int i = rec.forward_level;
+    if (rec.from == g.dir.server_host()) {
+      EXPECT_EQ(i, 1);
+      continue;
+    }
+    // w at level i was the (i-1, w.ID[i-1])-primary of its previous hop p:
+    // they share exactly the first i-1 digits.
+    const UserId* from_id = g.dir.IdOfHost(rec.from);
+    ASSERT_NE(from_id, nullptr);
+    EXPECT_EQ(from_id->CommonPrefixLen(id), i - 1);
+  }
+}
+
+TEST(TMesh, SingleMemberGroupStillDelivered) {
+  Group g(1, GroupParams{2, 4, 2}, 5);
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  auto res = tmesh.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  EXPECT_EQ(res.ReceivedCount(), 1);
+}
+
+// --- Corollary 1: splitting delivers exactly the needed encryptions ----
+
+TEST(TMesh, SplittingSatisfiesCorollary1) {
+  GroupParams gp{3, 4, 2};
+  Group g(50, gp, 11);
+  // Churn to get a real rekey message.
+  (void)g.tree.Rekey();
+  for (int k = 0; k < 8; ++k) {
+    g.dir.RemoveMember(g.ids.back());
+    g.tree.Leave(g.ids.back());
+    g.clusters.Leave(g.ids.back());
+    g.ids.pop_back();
+  }
+  RekeyMessage msg = g.tree.Rekey();
+  ASSERT_GT(msg.RekeyCost(), 0u);
+
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  TMesh::Options opts;
+  opts.split = true;
+  opts.record_encryptions = true;
+  auto res = tmesh.MulticastRekey(msg, opts);
+
+  // Downstream sets from the recorded delivery parents.
+  std::map<HostId, std::vector<HostId>> children;
+  for (const UserId& id : g.ids) {
+    HostId h = g.dir.HostOf(id);
+    children[res.member[static_cast<std::size_t>(h)].from].push_back(h);
+  }
+  // subtree(u) = u + descendants.
+  std::map<HostId, std::set<HostId>> subtree;
+  std::function<const std::set<HostId>&(HostId)> compute =
+      [&](HostId h) -> const std::set<HostId>& {
+    auto& s = subtree[h];
+    if (!s.empty()) return s;
+    s.insert(h);
+    for (HostId c : children[h]) {
+      const auto& cs = compute(c);
+      s.insert(cs.begin(), cs.end());
+    }
+    return s;
+  };
+
+  for (const UserId& id : g.ids) {
+    HostId h = g.dir.HostOf(id);
+    std::set<std::int32_t> got(
+        res.member_encs[static_cast<std::size_t>(h)].begin(),
+        res.member_encs[static_cast<std::size_t>(h)].end());
+    // No duplicates (Corollary 1: "a single copy").
+    EXPECT_EQ(got.size(), res.member_encs[static_cast<std::size_t>(h)].size());
+    // Expected: e iff needed by u or a downstream user of u.
+    for (std::size_t e = 0; e < msg.encryptions.size(); ++e) {
+      bool needed = false;
+      for (HostId w : compute(h)) {
+        const UserId* wid = g.dir.IdOfHost(w);
+        ASSERT_NE(wid, nullptr);
+        if (UserNeedsEncryption(*wid, msg.encryptions[e])) {
+          needed = true;
+          break;
+        }
+      }
+      EXPECT_EQ(got.count(static_cast<std::int32_t>(e)) > 0, needed)
+          << "member " << id.ToString() << " encryption "
+          << msg.encryptions[e].enc_key_id.ToString();
+    }
+  }
+}
+
+TEST(TMesh, WithoutSplittingEveryoneGetsWholeMessage) {
+  GroupParams gp{3, 4, 2};
+  Group g(30, gp, 13);
+  (void)g.tree.Rekey();
+  g.dir.RemoveMember(g.ids.back());
+  g.tree.Leave(g.ids.back());
+  g.ids.pop_back();
+  RekeyMessage msg = g.tree.Rekey();
+  ASSERT_GT(msg.RekeyCost(), 0u);
+
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  auto res = tmesh.MulticastRekey(msg, TMesh::Options{});
+  for (const UserId& id : g.ids) {
+    const auto& rec = res.member[static_cast<std::size_t>(g.dir.HostOf(id))];
+    EXPECT_EQ(rec.encs_received,
+              static_cast<std::int64_t>(msg.RekeyCost()));
+  }
+}
+
+TEST(TMesh, SplittingNeverIncreasesBandwidth) {
+  GroupParams gp{3, 8, 2};
+  Group g(60, gp, 17);
+  (void)g.tree.Rekey();
+  for (int k = 0; k < 5; ++k) {
+    g.dir.RemoveMember(g.ids.back());
+    g.tree.Leave(g.ids.back());
+    g.ids.pop_back();
+  }
+  RekeyMessage msg = g.tree.Rekey();
+
+  Simulator sim1, sim2;
+  TMesh t1(g.dir, sim1), t2(g.dir, sim2);
+  TMesh::Options split;
+  split.split = true;
+  auto full = t1.MulticastRekey(msg, TMesh::Options{});
+  auto sp = t2.MulticastRekey(msg, split);
+  for (const UserId& id : g.ids) {
+    std::size_t h = static_cast<std::size_t>(g.dir.HostOf(id));
+    EXPECT_LE(sp.member[h].encs_received, full.member[h].encs_received);
+    EXPECT_LE(sp.member[h].encs_forwarded, full.member[h].encs_forwarded);
+    // Delivery itself is unaffected by splitting.
+    EXPECT_EQ(sp.member[h].copies, 1);
+    EXPECT_DOUBLE_EQ(sp.member[h].delay_ms, full.member[h].delay_ms);
+  }
+}
+
+// --- Failure recovery ---------------------------------------------------
+
+TEST(TMesh, SurvivesFailuresUsingBackupNeighbors) {
+  GroupParams gp{3, 4, 4};  // K = 4 backups per entry
+  Group g(40, gp, 23);
+  // Fail three members; tables are NOT repaired yet.
+  std::vector<UserId> failed{g.ids[3], g.ids[17], g.ids[29]};
+  for (const UserId& f : failed) g.dir.MarkFailed(f);
+
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  auto res = tmesh.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  for (const UserId& id : g.ids) {
+    const auto& rec = res.member[static_cast<std::size_t>(g.dir.HostOf(id))];
+    bool is_failed =
+        std::find(failed.begin(), failed.end(), id) != failed.end();
+    if (is_failed) {
+      EXPECT_EQ(rec.copies, 0) << "failed member received traffic";
+    } else {
+      EXPECT_EQ(rec.copies, 1) << "live member missed: " << id.ToString();
+    }
+  }
+  // After repair, consistency is restored and delivery still works.
+  for (const UserId& f : failed) g.dir.RepairFailure(f);
+  g.dir.CheckKConsistency();
+  Simulator sim2;
+  TMesh tmesh2(g.dir, sim2);
+  auto res2 = tmesh2.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  EXPECT_EQ(res2.ReceivedCount(), static_cast<int>(g.ids.size()) - 3);
+}
+
+// --- Cluster mode (Appendix B) ------------------------------------------
+
+TEST(TMesh, ClusterModeDeliversGroupKeyToEveryMember) {
+  GroupParams gp{3, 4, 2};
+  Group g(50, gp, 31);
+  (void)g.clusters.Rekey();
+  (void)g.tree.Rekey();
+  // A leader leave forces a real leader-tree rekey.
+  UserId leader_victim;
+  bool found = false;
+  for (const UserId& id : g.ids) {
+    if (g.clusters.IsLeader(id)) {
+      leader_victim = id;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  g.dir.RemoveMember(leader_victim);
+  g.clusters.Leave(leader_victim);
+  g.tree.Leave(leader_victim);
+  g.ids.erase(std::find(g.ids.begin(), g.ids.end(), leader_victim));
+  RekeyMessage msg = g.clusters.Rekey();
+  ASSERT_GT(msg.RekeyCost(), 0u);
+
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  TMesh::Options opts;
+  opts.split = true;
+  opts.clusters = &g.clusters;
+  auto res = tmesh.MulticastRekey(msg, opts);
+
+  for (const UserId& id : g.ids) {
+    const auto& rec = res.member[static_cast<std::size_t>(g.dir.HostOf(id))];
+    // Every member learns the new group key: either it received the rekey
+    // message (cluster entry point / leader) or a pairwise-encrypted group
+    // key from its leader.
+    EXPECT_GE(rec.copies, 1) << id.ToString();
+    EXPECT_GE(rec.encs_received, 1) << id.ToString();
+    // Bounded duplication: at most the multicast copy + the leader unicast.
+    EXPECT_LE(rec.copies, 2) << id.ToString();
+  }
+}
+
+TEST(TMesh, ClusterModeShrinksNonLeaderTraffic) {
+  GroupParams gp{3, 4, 2};
+  Group g(60, gp, 37);
+  (void)g.clusters.Rekey();
+  (void)g.tree.Rekey();
+  // Some churn.
+  for (int k = 0; k < 6; ++k) {
+    UserId victim = g.ids.back();
+    g.dir.RemoveMember(victim);
+    g.clusters.Leave(victim);
+    g.tree.Leave(victim);
+    g.ids.pop_back();
+  }
+  RekeyMessage full_msg = g.tree.Rekey();
+  RekeyMessage cluster_msg = g.clusters.Rekey();
+  // Cluster heuristic's message covers leaders only: no larger than the
+  // full modified-tree message.
+  EXPECT_LE(cluster_msg.RekeyCost(), full_msg.RekeyCost());
+
+  Simulator sim;
+  TMesh tmesh(g.dir, sim);
+  TMesh::Options opts;
+  opts.split = true;
+  opts.clusters = &g.clusters;
+  auto res = tmesh.MulticastRekey(cluster_msg, opts);
+  // Non-leader members that were not entry points receive exactly one
+  // encryption (the pairwise group key).
+  int tiny = 0;
+  for (const UserId& id : g.ids) {
+    const auto& rec = res.member[static_cast<std::size_t>(g.dir.HostOf(id))];
+    if (!g.clusters.IsLeader(id) && rec.copies == 1 && rec.forward_level == gp.digits) {
+      EXPECT_EQ(rec.encs_received, 1);
+      ++tiny;
+    }
+  }
+  EXPECT_GT(tiny, 0);
+}
+
+}  // namespace
+}  // namespace tmesh

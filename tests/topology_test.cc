@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/gtitm.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+GtItmParams SmallGtItm() {
+  GtItmParams p;
+  p.transit_domains = 3;
+  p.transit_routers_per_domain = 3;
+  p.stub_domains_per_transit_router = 2;
+  p.stub_routers_min = 3;
+  p.stub_routers_max = 5;
+  return p;
+}
+
+TEST(GtItm, PaperScaleSizes) {
+  // "The topology consists of 5000 routers and 13000 network links."
+  GtItmParams p;
+  GtItmNetwork net(p, 10, 1);
+  EXPECT_GE(net.router_count(), 4200);
+  EXPECT_LE(net.router_count(), 5800);
+  EXPECT_GE(net.link_count(), 10500);
+  EXPECT_LE(net.link_count(), 15500);
+  EXPECT_TRUE(net.graph().IsConnected());
+}
+
+TEST(GtItm, LinkDelaysRespectClassBands) {
+  GtItmNetwork net(SmallGtItm(), 5, 1);
+  const Graph& g = net.graph();
+  for (int l = 0; l < g.link_count(); ++l) {
+    double d = g.link(l).rtt_ms;
+    bool in_band = (d >= 0.1 && d <= 1.0) || (d >= 2.0 && d <= 3.0) ||
+                   (d >= 10.0 && d <= 15.0) || (d >= 75.0 && d <= 85.0);
+    EXPECT_TRUE(in_band) << "link delay " << d << " outside all classes";
+  }
+}
+
+TEST(GtItm, HostsAttachToDistinctRouters) {
+  GtItmNetwork net(SmallGtItm(), 20, 7);
+  std::set<RouterId> routers;
+  for (HostId h = 0; h < net.host_count(); ++h) {
+    routers.insert(net.attach_router(h));
+  }
+  EXPECT_EQ(routers.size(), 20u);
+}
+
+TEST(GtItm, RttSymmetricPositiveAndZeroOnSelf) {
+  GtItmNetwork net(SmallGtItm(), 10, 3);
+  for (HostId a = 0; a < 10; ++a) {
+    EXPECT_DOUBLE_EQ(net.RttHosts(a, a), 0.0);
+    for (HostId b = a + 1; b < 10; ++b) {
+      double ab = net.RttHosts(a, b);
+      double ba = net.RttHosts(b, a);
+      EXPECT_GT(ab, 0.0);
+      EXPECT_NEAR(ab, ba, 1e-3);
+    }
+  }
+}
+
+TEST(GtItm, GatewayRttEqualsHostRtt) {
+  // GT-ITM members attach directly to routers: no access-link delay.
+  GtItmNetwork net(SmallGtItm(), 6, 3);
+  for (HostId a = 0; a < 6; ++a) {
+    EXPECT_DOUBLE_EQ(net.RttHostGateway(a), 0.0);
+    for (HostId b = 0; b < 6; ++b) {
+      EXPECT_DOUBLE_EQ(net.RttHosts(a, b), net.RttGateways(a, b));
+    }
+  }
+}
+
+TEST(GtItm, PathLinksSumToRtt) {
+  GtItmNetwork net(SmallGtItm(), 8, 5);
+  ASSERT_TRUE(net.HasRouterPaths());
+  for (HostId a = 0; a < 8; ++a) {
+    for (HostId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      std::vector<LinkId> path;
+      net.AppendPathLinks(a, b, path);
+      double total = 0;
+      for (LinkId l : path) total += net.graph().link(l).rtt_ms;
+      EXPECT_NEAR(total, net.RttHosts(a, b), 1e-3);
+    }
+  }
+}
+
+TEST(GtItm, DeterministicForSeed) {
+  GtItmNetwork n1(SmallGtItm(), 10, 9);
+  GtItmNetwork n2(SmallGtItm(), 10, 9);
+  ASSERT_EQ(n1.link_count(), n2.link_count());
+  for (HostId a = 0; a < 10; ++a) {
+    for (HostId b = 0; b < 10; ++b) {
+      EXPECT_DOUBLE_EQ(n1.RttHosts(a, b), n2.RttHosts(a, b));
+    }
+  }
+}
+
+TEST(GtItm, RejectsMoreHostsThanRouters) {
+  GtItmParams p = SmallGtItm();
+  EXPECT_THROW(GtItmNetwork(p, 100000, 1), std::logic_error);
+}
+
+TEST(PlanetLab, SizeAndSymmetry) {
+  PlanetLabParams p;
+  p.hosts = 50;
+  PlanetLabNetwork net(p);
+  EXPECT_EQ(net.host_count(), 50);
+  for (HostId a = 0; a < 50; ++a) {
+    EXPECT_DOUBLE_EQ(net.RttHosts(a, a), 0.0);
+    for (HostId b = a + 1; b < 50; ++b) {
+      EXPECT_NEAR(net.RttHosts(a, b), net.RttHosts(b, a), 1e-9);
+      EXPECT_GT(net.RttGateways(a, b), 0.0);
+    }
+  }
+}
+
+TEST(PlanetLab, HostRttIncludesAccessLinks) {
+  PlanetLabParams p;
+  p.hosts = 30;
+  PlanetLabNetwork net(p);
+  for (HostId a = 0; a < 30; ++a) {
+    double acc_a = net.RttHostGateway(a);
+    EXPECT_GE(acc_a, p.access_rtt_min);
+    EXPECT_LE(acc_a, p.access_rtt_max);
+    for (HostId b = 0; b < 30; ++b) {
+      if (a == b) continue;
+      EXPECT_NEAR(net.RttHosts(a, b),
+                  net.RttGateways(a, b) + acc_a + net.RttHostGateway(b), 1e-9);
+    }
+  }
+}
+
+TEST(PlanetLab, RttBandsReflectGeography) {
+  PlanetLabParams p;
+  p.hosts = 227;
+  p.seed = 11;
+  PlanetLabNetwork net(p);
+  for (HostId a = 0; a < net.host_count(); ++a) {
+    for (HostId b = a + 1; b < net.host_count(); ++b) {
+      double gw = net.RttGateways(a, b);
+      if (net.site_of(a) == net.site_of(b)) {
+        EXPECT_LE(gw, p.same_site_rtt_max + 1e-9);
+      } else if (net.continent_of(a) == net.continent_of(b)) {
+        EXPECT_GE(gw, p.intra_continent_rtt_min - 1e-9);
+        EXPECT_LE(gw, p.intra_continent_rtt_max + p.pair_jitter_max + 1e-9);
+      } else {
+        // Cross-continent: at least the smallest base minus jitter.
+        EXPECT_GE(gw, 95.0 - 15.0 - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PlanetLab, AllContinentsPopulatedAtPaperScale) {
+  PlanetLabParams p;  // 227 hosts
+  PlanetLabNetwork net(p);
+  std::set<int> continents;
+  for (HostId h = 0; h < net.host_count(); ++h) {
+    continents.insert(net.continent_of(h));
+  }
+  EXPECT_EQ(continents.size(), 4u);
+  EXPECT_GT(net.site_count(), 10);
+}
+
+TEST(PlanetLab, DeterministicForSeed) {
+  PlanetLabParams p;
+  p.hosts = 40;
+  p.seed = 77;
+  PlanetLabNetwork n1(p), n2(p);
+  for (HostId a = 0; a < 40; ++a) {
+    for (HostId b = 0; b < 40; ++b) {
+      EXPECT_DOUBLE_EQ(n1.RttHosts(a, b), n2.RttHosts(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmesh

@@ -1,0 +1,265 @@
+// Tests for the transport-level extensions: per-hop loss with
+// backup-neighbor retransmission (§2.3), the access-link
+// serialization/queueing model, and concurrent rekey + data sessions
+// (the paper's headline scenario).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/tmesh.h"
+#include "protocols/group_session.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+struct Env {
+  PlanetLabNetwork net;
+  GroupSession session;
+
+  Env(int users, std::uint64_t seed, int capacity = 4)
+      : net([&] {
+          PlanetLabParams p;
+          p.hosts = users + 1;
+          p.seed = seed;
+          return PlanetLabNetwork(p);
+        }()),
+        session(net, 0, [&] {
+          SessionConfig s;
+          s.group = GroupParams{3, 8, capacity};
+          s.assign.collect_target = 4;
+          s.assign.thresholds_ms = {60.0, 20.0};
+          s.with_nice = false;
+          s.seed = seed;
+          return s;
+        }()) {
+    for (HostId h = 1; h <= users; ++h) {
+      EXPECT_TRUE(session.Join(h, h).has_value());
+    }
+    session.FlushRekeyState();
+  }
+
+  RekeyMessage Churn(int leaves, std::uint64_t seed) {
+    Rng rng(seed);
+    for (int i = 0; i < leaves; ++i) {
+      auto victim = session.directory().RandomAliveMember(rng);
+      session.Leave(*victim);
+    }
+    return session.key_tree().Rekey();
+  }
+};
+
+TEST(LossRecovery, BackupNeighborsMaskModerateLoss) {
+  Env env(50, 3);
+  Simulator sim;
+  TMesh tmesh(env.session.directory(), sim);
+  TMesh::Options opts;
+  opts.loss_prob = 0.2;
+  opts.loss_seed = 7;
+  opts.max_send_attempts = 12;
+  auto res = tmesh.MulticastRekey(RekeyMessage{}, opts);
+  EXPECT_EQ(res.ReceivedCount(), 50);  // every member still reached
+  EXPECT_GT(res.messages_lost, 0);     // the loss model did fire
+  EXPECT_GT(res.messages_sent, 50);    // retransmissions happened
+  EXPECT_EQ(res.deliveries_failed, 0);
+}
+
+TEST(LossRecovery, TotalLossDeliversNothing) {
+  Env env(30, 5);
+  Simulator sim;
+  TMesh tmesh(env.session.directory(), sim);
+  TMesh::Options opts;
+  opts.loss_prob = 1.0;
+  opts.max_send_attempts = 4;
+  auto res = tmesh.MulticastRekey(RekeyMessage{}, opts);
+  EXPECT_EQ(res.ReceivedCount(), 0);
+  EXPECT_EQ(res.messages_lost, res.messages_sent);
+  EXPECT_GT(res.deliveries_failed, 0);
+}
+
+TEST(LossRecovery, ZeroLossMatchesBaseline) {
+  Env env(40, 9);
+  Simulator sim1, sim2;
+  TMesh t1(env.session.directory(), sim1), t2(env.session.directory(), sim2);
+  TMesh::Options lossy;
+  lossy.loss_prob = 0.0;
+  auto a = t1.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  auto b = t2.MulticastRekey(RekeyMessage{}, lossy);
+  ASSERT_EQ(a.member.size(), b.member.size());
+  for (std::size_t h = 0; h < a.member.size(); ++h) {
+    EXPECT_EQ(a.member[h].copies, b.member[h].copies);
+    EXPECT_DOUBLE_EQ(a.member[h].delay_ms, b.member[h].delay_ms);
+  }
+  EXPECT_EQ(b.messages_lost, 0);
+}
+
+TEST(LossRecovery, RetriesIncreaseDelayButPreserveExactOnce) {
+  Env env(45, 11);
+  Simulator sim1, sim2;
+  TMesh t1(env.session.directory(), sim1), t2(env.session.directory(), sim2);
+  auto clean = t1.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  TMesh::Options lossy;
+  lossy.loss_prob = 0.25;
+  lossy.loss_seed = 13;
+  lossy.max_send_attempts = 16;
+  auto noisy = t2.MulticastRekey(RekeyMessage{}, lossy);
+  double clean_sum = 0, noisy_sum = 0;
+  for (std::size_t h = 1; h < clean.member.size(); ++h) {
+    if (noisy.member[h].copies == 0) continue;
+    EXPECT_EQ(noisy.member[h].copies, 1);  // retransmit != duplicate
+    clean_sum += clean.member[h].delay_ms;
+    noisy_sum += noisy.member[h].delay_ms;
+  }
+  EXPECT_GT(noisy_sum, clean_sum);
+}
+
+TEST(UplinkModel, SerializationDelaysScaleWithMessageSize) {
+  Env env(40, 17);
+  RekeyMessage msg = env.Churn(8, 3);
+  ASSERT_GT(msg.RekeyCost(), 0u);
+
+  auto mean_delay = [&](bool model, bool split) {
+    Simulator sim;
+    TMesh tmesh(env.session.directory(), sim);
+    if (model) {
+      TMesh::UplinkModel up;
+      up.kbps = 128.0;  // slow uplinks: serialization dominates
+      tmesh.SetUplinkModel(up);
+    }
+    TMesh::Options opts;
+    opts.split = split;
+    auto res = tmesh.MulticastRekey(msg, opts);
+    double sum = 0;
+    int n = 0;
+    for (const auto& r : res.member) {
+      if (r.copies > 0) {
+        sum += r.delay_ms;
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+
+  double base = mean_delay(false, false);
+  double congested_full = mean_delay(true, false);
+  double congested_split = mean_delay(true, true);
+  // The model adds delay; splitting reclaims most of it (smaller messages
+  // serialize faster) — §1's motivation.
+  EXPECT_GT(congested_full, base);
+  EXPECT_GT(congested_full, congested_split);
+}
+
+TEST(UplinkModel, DisabledModelAddsNothing) {
+  Env env(25, 19);
+  Simulator sim1, sim2;
+  TMesh t1(env.session.directory(), sim1), t2(env.session.directory(), sim2);
+  t2.SetUplinkModel(TMesh::UplinkModel{});  // kbps = 0 -> disabled
+  auto a = t1.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  auto b = t2.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+  for (std::size_t h = 0; h < a.member.size(); ++h) {
+    EXPECT_DOUBLE_EQ(a.member[h].delay_ms, b.member[h].delay_ms);
+  }
+}
+
+TEST(ConcurrentSessions, RekeyBurstDelaysDataUnlessSplit) {
+  Env env(60, 23);
+  RekeyMessage msg = env.Churn(12, 5);
+  ASSERT_GT(msg.RekeyCost(), 20u);
+  auto sender = env.session.directory().IdOfHost(1);
+  ASSERT_NE(sender, nullptr);
+
+  auto data_delay_during_rekey = [&](bool split,
+                                     bool with_rekey) -> double {
+    Simulator sim;
+    TMesh tmesh(env.session.directory(), sim);
+    TMesh::UplinkModel up;
+    up.kbps = 256.0;
+    tmesh.SetUplinkModel(up);
+    TMesh::Options ropts;
+    ropts.split = split;
+    std::vector<TMesh::Handle> handles;
+    if (with_rekey) handles.push_back(tmesh.BeginRekey(msg, ropts));
+    handles.push_back(tmesh.BeginData(*sender));
+    sim.Run();
+    const TMesh::Result& data = handles.back().result();
+    double sum = 0;
+    int n = 0;
+    for (std::size_t h = 1; h < data.member.size(); ++h) {
+      if (data.member[h].copies > 0) {
+        sum += data.member[h].delay_ms;
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+
+  double alone = data_delay_during_rekey(false, false);
+  double with_full_rekey = data_delay_during_rekey(false, true);
+  double with_split_rekey = data_delay_during_rekey(true, true);
+  // A concurrent unsplit rekey burst hogs uplinks and delays data; the
+  // split burst interferes far less — the paper's core motivation (§1).
+  EXPECT_GT(with_full_rekey, alone);
+  EXPECT_LT(with_split_rekey, with_full_rekey);
+}
+
+TEST(ConcurrentSessions, BothSessionsDeliverExactOnce) {
+  Env env(50, 29);
+  RekeyMessage msg = env.Churn(10, 7);
+  auto sender = env.session.directory().IdOfHost(2);
+  ASSERT_NE(sender, nullptr);
+
+  Simulator sim;
+  TMesh tmesh(env.session.directory(), sim);
+  TMesh::Options ropts;
+  ropts.split = true;
+  auto rekey = tmesh.BeginRekey(msg, ropts);
+  auto data = tmesh.BeginData(*sender);
+  sim.Run();
+
+  HostId sender_host = env.session.directory().HostOf(*sender);
+  for (const auto& [id, info] : env.session.directory().members()) {
+    auto h = static_cast<std::size_t>(info.host);
+    EXPECT_EQ(rekey.result().member[h].copies, 1) << id.ToString();
+    if (info.host != sender_host) {
+      EXPECT_EQ(data.result().member[h].copies, 1) << id.ToString();
+    }
+  }
+}
+
+TEST(Handle, TakeResultMovesOutResult) {
+  Env env(10, 31);
+  Simulator sim;
+  TMesh tmesh(env.session.directory(), sim);
+  auto handle = tmesh.BeginRekey(RekeyMessage{}, TMesh::Options{});
+  sim.Run();
+  TMesh::Result res = handle.TakeResult();
+  EXPECT_EQ(res.ReceivedCount(), 10);
+}
+
+class LossSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweepTest, DeliveryDegradesGracefully) {
+  const double loss = GetParam();
+  Env env(40, 37);
+  Simulator sim;
+  TMesh tmesh(env.session.directory(), sim);
+  TMesh::Options opts;
+  opts.loss_prob = loss;
+  opts.loss_seed = 41;
+  opts.max_send_attempts = 10;
+  auto res = tmesh.MulticastRekey(RekeyMessage{}, opts);
+  // With K = 4 backups and 10 attempts, moderate loss should still reach
+  // (nearly) everyone; duplicates must never appear.
+  for (const auto& r : res.member) {
+    EXPECT_LE(r.copies, 1);
+  }
+  if (loss <= 0.3) {
+    EXPECT_EQ(res.ReceivedCount(), 40);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweepTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.5));
+
+}  // namespace
+}  // namespace tmesh

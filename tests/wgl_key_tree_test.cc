@@ -1,0 +1,231 @@
+#include "keytree/wgl_key_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace tmesh {
+namespace {
+
+std::vector<MemberId> Iota(int n, int from = 0) {
+  std::vector<MemberId> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = from + i;
+  return v;
+}
+
+TEST(WglKeyTree, FullBalancedBuild) {
+  WglKeyTree t(4);
+  t.BuildFullBalanced(Iota(64));
+  EXPECT_EQ(t.member_count(), 64);
+  for (MemberId m = 0; m < 64; ++m) {
+    EXPECT_TRUE(t.Contains(m));
+    EXPECT_EQ(t.LeafDepth(m), 3);  // 4^3 = 64
+    EXPECT_EQ(t.KeysHeld(m), 4);   // 3 k-node keys + individual
+  }
+  t.CheckInvariants();
+}
+
+TEST(WglKeyTree, FullBalancedRejectsNonPower) {
+  WglKeyTree t(4);
+  EXPECT_THROW(t.BuildFullBalanced(Iota(60)), std::logic_error);
+}
+
+TEST(WglKeyTree, SingleMemberTree) {
+  WglKeyTree t(4);
+  t.BuildFullBalanced(Iota(1));
+  EXPECT_EQ(t.member_count(), 1);
+  EXPECT_EQ(t.LeafDepth(0), 1);  // root k-node + u-node child
+  t.CheckInvariants();
+}
+
+TEST(WglKeyTree, PureLeaveCostMatchesWGLFormula) {
+  // Degree-4 full tree of 64; one leave updates 3 k-nodes; the leaf level
+  // k-node has 3 remaining children, the others 4: cost = 3 + 4 + 4 = 11.
+  WglKeyTree t(4);
+  t.BuildFullBalanced(Iota(64));
+  RekeyMessage msg = t.Rekey({}, {0});
+  EXPECT_EQ(msg.RekeyCost(), 11u);
+  EXPECT_EQ(t.member_count(), 63);
+  t.CheckInvariants();
+}
+
+TEST(WglKeyTree, JoinReplacesDepartedPosition) {
+  // Batch with J = L = 1: the joiner takes the leaver's leaf; cost =
+  // 4 + 4 + 4 = 12 (all three path k-nodes keep 4 children).
+  WglKeyTree t(4);
+  t.BuildFullBalanced(Iota(64));
+  RekeyMessage msg = t.Rekey({100}, {0});
+  EXPECT_EQ(msg.RekeyCost(), 12u);
+  EXPECT_TRUE(t.Contains(100));
+  EXPECT_FALSE(t.Contains(0));
+  EXPECT_EQ(t.member_count(), 64);
+  EXPECT_EQ(t.LeafDepth(100), 3);
+  t.CheckInvariants();
+}
+
+TEST(WglKeyTree, PureJoinGrowsTree) {
+  WglKeyTree t(4);
+  t.BuildFullBalanced(Iota(16));  // full: every k-node has 4 children
+  RekeyMessage msg = t.Rekey({100}, {});
+  EXPECT_TRUE(t.Contains(100));
+  EXPECT_EQ(t.member_count(), 17);
+  // A shallowest u-node was split into a k-node of two: updated k-nodes are
+  // the 2 path nodes (4 children each) + the new k-node (2 children).
+  EXPECT_EQ(msg.RekeyCost(), 10u);
+  t.CheckInvariants();
+}
+
+TEST(WglKeyTree, IncrementalBuildKeepsDegreeBound) {
+  WglKeyTree t(4);
+  t.BuildIncremental(Iota(23));
+  EXPECT_EQ(t.member_count(), 23);
+  t.CheckInvariants();
+  // Depth stays logarithmic-ish: every leaf within ceil(log4(23)) + 1.
+  for (MemberId m = 0; m < 23; ++m) {
+    EXPECT_LE(t.LeafDepth(m), 5);
+  }
+}
+
+TEST(WglKeyTree, MembersNeedingIsSubtreeOfEncryptingNode) {
+  WglKeyTree t(2);
+  t.BuildFullBalanced(Iota(8));
+  RekeyMessage msg = t.Rekey({}, {3});
+  for (const Encryption& e : msg.encryptions) {
+    auto needing = t.MembersNeeding(e);
+    EXPECT_FALSE(needing.empty());
+    for (MemberId m : needing) {
+      EXPECT_TRUE(t.MemberUnder(m, e.wgl_enc_node));
+    }
+  }
+}
+
+TEST(WglKeyTree, EmptyBatchEmitsNothing) {
+  WglKeyTree t(4);
+  t.BuildFullBalanced(Iota(16));
+  EXPECT_EQ(t.Rekey({}, {}).RekeyCost(), 0u);
+}
+
+TEST(WglKeyTree, RejectsBadBatch) {
+  WglKeyTree t(4);
+  t.BuildFullBalanced(Iota(16));
+  EXPECT_THROW(t.Rekey({3}, {}), std::logic_error);    // join of present
+  EXPECT_THROW(t.Rekey({}, {99}), std::logic_error);   // leave of absent
+}
+
+TEST(WglKeyTree, DrainToEmptyAndRegrow) {
+  WglKeyTree t(3);
+  t.BuildFullBalanced(Iota(9));
+  (void)t.Rekey({}, Iota(9));
+  EXPECT_EQ(t.member_count(), 0);
+  t.CheckInvariants();
+  (void)t.Rekey(Iota(5, 100), {});
+  EXPECT_EQ(t.member_count(), 5);
+  t.CheckInvariants();
+}
+
+// Closure: every current member can reach all its new path keys from the
+// emitted encryptions, starting from the keys it held before the batch (or
+// the keys the server unicast to it when it joined during the batch).
+TEST(WglKeyTree, DecryptionClosureAcrossRandomBatches) {
+  Rng rng(5);
+  WglKeyTree t(3);
+  t.BuildFullBalanced(Iota(27));
+  std::vector<MemberId> present = Iota(27);
+  int next_id = 100;
+
+  // held[m]: (node id -> key version) known to member m.
+  std::map<MemberId, std::map<std::int32_t, std::uint32_t>> held;
+  for (MemberId m : present) {
+    for (auto [node, version] : t.PathNodes(m)) held[m][node] = version;
+  }
+
+  for (int interval = 0; interval < 20; ++interval) {
+    int nj = static_cast<int>(rng.UniformInt(0, 6));
+    int nl = static_cast<int>(
+        rng.UniformInt(0, std::min<std::int64_t>(6, present.size())));
+    std::vector<MemberId> joins, leaves;
+    for (int i = 0; i < nj; ++i) joins.push_back(next_id++);
+    Rng r2 = rng.Fork();
+    std::vector<MemberId> shuffled = present;
+    r2.Shuffle(shuffled);
+    leaves.assign(shuffled.begin(), shuffled.begin() + nl);
+
+    RekeyMessage msg = t.Rekey(joins, leaves);
+    t.CheckInvariants();
+
+    for (MemberId m : leaves) {
+      present.erase(std::find(present.begin(), present.end(), m));
+      held.erase(m);
+    }
+    for (MemberId m : joins) {
+      present.push_back(m);
+      // The server unicasts the joiner its (already re-keyed) path.
+      for (auto [node, version] : t.PathNodes(m)) held[m][node] = version;
+    }
+    ASSERT_EQ(static_cast<int>(present.size()), t.member_count());
+
+    // No encryption is useless, and every member decrypts its new path.
+    for (const Encryption& e : msg.encryptions) {
+      EXPECT_FALSE(t.MembersNeeding(e).empty())
+          << "encryption under node " << e.wgl_enc_node << " wasted";
+    }
+    for (MemberId m : present) {
+      auto& keys = held[m];
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (const Encryption& e : msg.encryptions) {
+          auto it = keys.find(e.wgl_enc_node);
+          if (it == keys.end() || it->second != e.enc_key_version) continue;
+          auto cur = keys.find(e.wgl_new_node);
+          if (cur != keys.end() && cur->second >= e.new_key_version) continue;
+          keys[e.wgl_new_node] = e.new_key_version;
+          progress = true;
+        }
+      }
+      for (auto [node, version] : t.PathNodes(m)) {
+        ASSERT_TRUE(keys.count(node) && keys[node] >= version)
+            << "member " << m << " cannot decrypt node " << node;
+      }
+    }
+  }
+}
+
+// Parameterized sweep: tree invariants and cost positivity across degrees.
+class WglBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WglBatchTest, RandomBatchesKeepInvariants) {
+  const int degree = GetParam();
+  Rng rng(degree);
+  WglKeyTree t(degree);
+  std::vector<MemberId> present;
+  int next_id = 0;
+  for (int interval = 0; interval < 30; ++interval) {
+    int nj = static_cast<int>(rng.UniformInt(0, 8));
+    int nl = static_cast<int>(
+        rng.UniformInt(0, std::min<std::int64_t>(8, present.size())));
+    std::vector<MemberId> joins;
+    for (int i = 0; i < nj; ++i) joins.push_back(next_id++);
+    std::vector<MemberId> shuffled = present;
+    rng.Shuffle(shuffled);
+    std::vector<MemberId> leaves(shuffled.begin(), shuffled.begin() + nl);
+
+    RekeyMessage msg = t.Rekey(joins, leaves);
+    t.CheckInvariants();
+    if (nj + nl > 0 && t.member_count() > 0) {
+      EXPECT_GT(msg.RekeyCost(), 0u);
+    }
+    for (MemberId m : leaves) {
+      present.erase(std::find(present.begin(), present.end(), m));
+    }
+    for (MemberId m : joins) present.push_back(m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, WglBatchTest, ::testing::Values(2, 3, 4, 8));
+
+}  // namespace
+}  // namespace tmesh

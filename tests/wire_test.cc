@@ -1,0 +1,174 @@
+// Tests for the binary wire format: exact round trips, size accounting,
+// and total decoding (corruption, truncation, and garbage never crash or
+// return partial state).
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/modified_key_tree.h"
+
+namespace tmesh {
+namespace {
+
+Encryption MakeEnc(KeyId enc, KeyId key, std::uint32_t nv, std::uint32_t ev) {
+  Encryption e;
+  e.enc_key_id = enc;
+  e.new_key_id = key;
+  e.new_key_version = nv;
+  e.enc_key_version = ev;
+  return e;
+}
+
+TEST(Wire, EmptyMessageRoundTrips) {
+  RekeyMessage msg;
+  auto bytes = EncodeRekeyMessage(msg);
+  EXPECT_EQ(bytes.size(), WireSize(msg));
+  auto decoded = DecodeRekeyMessage(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->encryptions.empty());
+}
+
+TEST(Wire, MessageRoundTripPreservesEverything) {
+  RekeyMessage msg;
+  msg.encryptions.push_back(MakeEnc(KeyId{2, 0}, KeyId{2}, 7, 3));
+  msg.encryptions.push_back(MakeEnc(KeyId{}, KeyId{}, 1, 1));
+  msg.encryptions.push_back(
+      MakeEnc(KeyId{255, 0, 255, 1, 9}, KeyId{255, 0, 255, 1}, 42, 41));
+  auto bytes = EncodeRekeyMessage(msg);
+  EXPECT_EQ(bytes.size(), WireSize(msg));
+  auto decoded = DecodeRekeyMessage(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->encryptions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->encryptions[i].enc_key_id,
+              msg.encryptions[i].enc_key_id);
+    EXPECT_EQ(decoded->encryptions[i].new_key_id,
+              msg.encryptions[i].new_key_id);
+    EXPECT_EQ(decoded->encryptions[i].new_key_version,
+              msg.encryptions[i].new_key_version);
+    EXPECT_EQ(decoded->encryptions[i].enc_key_version,
+              msg.encryptions[i].enc_key_version);
+  }
+}
+
+TEST(Wire, RealKeyTreeMessageRoundTrips) {
+  ModifiedKeyTree tree(3);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 2; ++b) tree.Join(UserId{a, b, 0});
+  }
+  (void)tree.Rekey();
+  tree.Leave(UserId{1, 0, 0});
+  RekeyMessage msg = tree.Rekey();
+  ASSERT_GT(msg.RekeyCost(), 0u);
+  auto decoded = DecodeRekeyMessage(EncodeRekeyMessage(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->RekeyCost(), msg.RekeyCost());
+}
+
+TEST(Wire, RejectsBadMagic) {
+  auto bytes = EncodeRekeyMessage(RekeyMessage{});
+  bytes[0] = 'X';
+  EXPECT_FALSE(DecodeRekeyMessage(bytes).has_value());
+}
+
+TEST(Wire, RejectsTruncationAtEveryPoint) {
+  RekeyMessage msg;
+  msg.encryptions.push_back(MakeEnc(KeyId{1, 2, 3}, KeyId{1, 2}, 5, 4));
+  auto bytes = EncodeRekeyMessage(msg);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> partial(bytes.begin(),
+                                      bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeRekeyMessage(partial).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  auto bytes = EncodeRekeyMessage(RekeyMessage{});
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeRekeyMessage(bytes).has_value());
+}
+
+TEST(Wire, RejectsOverlongDigitString) {
+  RekeyMessage msg;
+  msg.encryptions.push_back(MakeEnc(KeyId{1}, KeyId{}, 1, 1));
+  auto bytes = EncodeRekeyMessage(msg);
+  // Corrupt the enc_key_id length byte (right after magic + count).
+  bytes[8] = kMaxDigits + 1;
+  EXPECT_FALSE(DecodeRekeyMessage(bytes).has_value());
+}
+
+TEST(Wire, RandomBytesNeverCrash) {
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.UniformInt(0, 64)));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    }
+    (void)DecodeRekeyMessage(junk);  // must not throw or crash
+    (void)DecodeNeighborRecord(junk);
+  }
+}
+
+TEST(Wire, NeighborRecordRoundTrip) {
+  NeighborRecord rec;
+  rec.id = UserId{9, 8, 7, 6, 5};
+  rec.host = 1234;
+  rec.rtt_ms = 88.125;
+  rec.join_time = FromSeconds(123.5);
+  auto bytes = EncodeNeighborRecord(rec);
+  EXPECT_EQ(bytes.size(), WireSize(rec));
+  auto decoded = DecodeNeighborRecord(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, rec.id);
+  EXPECT_EQ(decoded->host, rec.host);
+  EXPECT_NEAR(decoded->rtt_ms, rec.rtt_ms, 1e-3);  // microsecond precision
+  EXPECT_EQ(decoded->join_time, rec.join_time);
+}
+
+TEST(Wire, SizeMatchesUplinkModelScale) {
+  // One encryption's wire size should be close to the uplink model's
+  // default bytes_per_encryption estimate (24 B): ID bytes + versions +
+  // 16-byte key.
+  Encryption e = MakeEnc(KeyId{1, 2, 3, 4, 5}, KeyId{1, 2, 3, 4}, 2, 1);
+  EXPECT_GE(WireSize(e), 24u);
+  EXPECT_LE(WireSize(e), 48u);
+}
+
+class WireFuzzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireFuzzRoundTrip, RandomMessagesRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    RekeyMessage msg;
+    int n = static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < n; ++i) {
+      KeyId parent;
+      int len = static_cast<int>(rng.UniformInt(0, kMaxDigits - 1));
+      for (int d = 0; d < len; ++d) {
+        parent.Append(static_cast<int>(rng.UniformInt(0, 255)));
+      }
+      KeyId child = parent.Child(static_cast<int>(rng.UniformInt(0, 255)));
+      msg.encryptions.push_back(MakeEnc(
+          child, parent, static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 30)),
+          static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 30))));
+    }
+    auto bytes = EncodeRekeyMessage(msg);
+    ASSERT_EQ(bytes.size(), WireSize(msg));
+    auto decoded = DecodeRekeyMessage(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->encryptions.size(), msg.encryptions.size());
+    for (std::size_t i = 0; i < msg.encryptions.size(); ++i) {
+      ASSERT_EQ(decoded->encryptions[i].enc_key_id,
+                msg.encryptions[i].enc_key_id);
+      ASSERT_EQ(decoded->encryptions[i].new_key_version,
+                msg.encryptions[i].new_key_version);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzRoundTrip, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace tmesh
