@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_id_assignment.dir/ablation_id_assignment.cc.o"
+  "CMakeFiles/ablation_id_assignment.dir/ablation_id_assignment.cc.o.d"
+  "ablation_id_assignment"
+  "ablation_id_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_id_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

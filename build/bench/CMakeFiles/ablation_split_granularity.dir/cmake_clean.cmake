@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_granularity.dir/ablation_split_granularity.cc.o"
+  "CMakeFiles/ablation_split_granularity.dir/ablation_split_granularity.cc.o.d"
+  "ablation_split_granularity"
+  "ablation_split_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_rekey_latency_planetlab.dir/fig06_rekey_latency_planetlab.cc.o"
+  "CMakeFiles/fig06_rekey_latency_planetlab.dir/fig06_rekey_latency_planetlab.cc.o.d"
+  "fig06_rekey_latency_planetlab"
+  "fig06_rekey_latency_planetlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rekey_latency_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_rekey_latency_gtitm256.dir/fig07_rekey_latency_gtitm256.cc.o"
+  "CMakeFiles/fig07_rekey_latency_gtitm256.dir/fig07_rekey_latency_gtitm256.cc.o.d"
+  "fig07_rekey_latency_gtitm256"
+  "fig07_rekey_latency_gtitm256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_rekey_latency_gtitm256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

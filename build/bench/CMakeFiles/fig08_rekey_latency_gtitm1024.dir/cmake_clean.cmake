@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rekey_latency_gtitm1024.dir/fig08_rekey_latency_gtitm1024.cc.o"
+  "CMakeFiles/fig08_rekey_latency_gtitm1024.dir/fig08_rekey_latency_gtitm1024.cc.o.d"
+  "fig08_rekey_latency_gtitm1024"
+  "fig08_rekey_latency_gtitm1024.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rekey_latency_gtitm1024.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

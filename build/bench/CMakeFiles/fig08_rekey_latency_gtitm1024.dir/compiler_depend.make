@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_rekey_latency_gtitm1024.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_data_latency_planetlab.dir/fig09_data_latency_planetlab.cc.o"
+  "CMakeFiles/fig09_data_latency_planetlab.dir/fig09_data_latency_planetlab.cc.o.d"
+  "fig09_data_latency_planetlab"
+  "fig09_data_latency_planetlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_data_latency_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

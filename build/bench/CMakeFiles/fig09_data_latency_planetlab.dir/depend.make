@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_data_latency_planetlab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_data_latency_gtitm256.dir/fig10_data_latency_gtitm256.cc.o"
+  "CMakeFiles/fig10_data_latency_gtitm256.dir/fig10_data_latency_gtitm256.cc.o.d"
+  "fig10_data_latency_gtitm256"
+  "fig10_data_latency_gtitm256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_data_latency_gtitm256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_data_latency_gtitm256.
+# This may be replaced when dependencies are built.

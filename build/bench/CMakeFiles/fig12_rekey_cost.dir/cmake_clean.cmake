@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rekey_cost.dir/fig12_rekey_cost.cc.o"
+  "CMakeFiles/fig12_rekey_cost.dir/fig12_rekey_cost.cc.o.d"
+  "fig12_rekey_cost"
+  "fig12_rekey_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rekey_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_delay_thresholds.dir/fig14_delay_thresholds.cc.o"
+  "CMakeFiles/fig14_delay_thresholds.dir/fig14_delay_thresholds.cc.o.d"
+  "fig14_delay_thresholds"
+  "fig14_delay_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_delay_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_join_cost.dir/micro_join_cost.cc.o"
+  "CMakeFiles/micro_join_cost.dir/micro_join_cost.cc.o.d"
+  "micro_join_cost"
+  "micro_join_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_join_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

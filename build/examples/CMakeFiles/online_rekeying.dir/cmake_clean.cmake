@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_rekeying.dir/online_rekeying.cpp.o"
+  "CMakeFiles/online_rekeying.dir/online_rekeying.cpp.o.d"
+  "online_rekeying"
+  "online_rekeying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_rekeying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payperview_churn.dir/payperview_churn.cpp.o"
+  "CMakeFiles/payperview_churn.dir/payperview_churn.cpp.o.d"
+  "payperview_churn"
+  "payperview_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payperview_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

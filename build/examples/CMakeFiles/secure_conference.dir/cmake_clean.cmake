@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_conference.dir/secure_conference.cpp.o"
+  "CMakeFiles/secure_conference.dir/secure_conference.cpp.o.d"
+  "secure_conference"
+  "secure_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_common.dir/stats.cc.o"
+  "CMakeFiles/tmesh_common.dir/stats.cc.o.d"
+  "libtmesh_common.a"
+  "libtmesh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmesh_common.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_rekeying.cc" "src/core/CMakeFiles/tmesh_core.dir/cluster_rekeying.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/cluster_rekeying.cc.o.d"
+  "/root/repo/src/core/directory.cc" "src/core/CMakeFiles/tmesh_core.dir/directory.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/directory.cc.o.d"
+  "/root/repo/src/core/id_assignment.cc" "src/core/CMakeFiles/tmesh_core.dir/id_assignment.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/id_assignment.cc.o.d"
+  "/root/repo/src/core/id_tree.cc" "src/core/CMakeFiles/tmesh_core.dir/id_tree.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/id_tree.cc.o.d"
+  "/root/repo/src/core/key_server.cc" "src/core/CMakeFiles/tmesh_core.dir/key_server.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/key_server.cc.o.d"
+  "/root/repo/src/core/modified_key_tree.cc" "src/core/CMakeFiles/tmesh_core.dir/modified_key_tree.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/modified_key_tree.cc.o.d"
+  "/root/repo/src/core/neighbor_table.cc" "src/core/CMakeFiles/tmesh_core.dir/neighbor_table.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/neighbor_table.cc.o.d"
+  "/root/repo/src/core/silk.cc" "src/core/CMakeFiles/tmesh_core.dir/silk.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/silk.cc.o.d"
+  "/root/repo/src/core/tmesh.cc" "src/core/CMakeFiles/tmesh_core.dir/tmesh.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/tmesh.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/tmesh_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/tmesh_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmesh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tmesh_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/keytree/CMakeFiles/tmesh_keytree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

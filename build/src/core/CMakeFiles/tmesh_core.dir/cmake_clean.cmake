@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_core.dir/cluster_rekeying.cc.o"
+  "CMakeFiles/tmesh_core.dir/cluster_rekeying.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/directory.cc.o"
+  "CMakeFiles/tmesh_core.dir/directory.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/id_assignment.cc.o"
+  "CMakeFiles/tmesh_core.dir/id_assignment.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/id_tree.cc.o"
+  "CMakeFiles/tmesh_core.dir/id_tree.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/key_server.cc.o"
+  "CMakeFiles/tmesh_core.dir/key_server.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/modified_key_tree.cc.o"
+  "CMakeFiles/tmesh_core.dir/modified_key_tree.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/neighbor_table.cc.o"
+  "CMakeFiles/tmesh_core.dir/neighbor_table.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/silk.cc.o"
+  "CMakeFiles/tmesh_core.dir/silk.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/tmesh.cc.o"
+  "CMakeFiles/tmesh_core.dir/tmesh.cc.o.d"
+  "CMakeFiles/tmesh_core.dir/wire.cc.o"
+  "CMakeFiles/tmesh_core.dir/wire.cc.o.d"
+  "libtmesh_core.a"
+  "libtmesh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_ipmc.dir/ip_multicast.cc.o"
+  "CMakeFiles/tmesh_ipmc.dir/ip_multicast.cc.o.d"
+  "libtmesh_ipmc.a"
+  "libtmesh_ipmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_ipmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

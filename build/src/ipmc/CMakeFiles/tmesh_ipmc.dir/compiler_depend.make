@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tmesh_ipmc.
+# This may be replaced when dependencies are built.

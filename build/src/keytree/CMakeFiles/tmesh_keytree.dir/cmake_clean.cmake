@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_keytree.dir/wgl_key_tree.cc.o"
+  "CMakeFiles/tmesh_keytree.dir/wgl_key_tree.cc.o.d"
+  "libtmesh_keytree.a"
+  "libtmesh_keytree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_keytree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

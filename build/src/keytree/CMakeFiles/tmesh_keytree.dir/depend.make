@@ -1,0 +1,2 @@
+# Empty dependencies file for tmesh_keytree.
+# This may be replaced when dependencies are built.

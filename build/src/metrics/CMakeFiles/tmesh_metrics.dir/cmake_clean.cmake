@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_metrics.dir/report.cc.o"
+  "CMakeFiles/tmesh_metrics.dir/report.cc.o.d"
+  "libtmesh_metrics.a"
+  "libtmesh_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

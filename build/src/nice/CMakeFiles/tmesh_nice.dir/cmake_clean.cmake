@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_nice.dir/nice_overlay.cc.o"
+  "CMakeFiles/tmesh_nice.dir/nice_overlay.cc.o.d"
+  "libtmesh_nice.a"
+  "libtmesh_nice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_nice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

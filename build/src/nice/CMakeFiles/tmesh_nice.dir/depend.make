@@ -1,0 +1,2 @@
+# Empty dependencies file for tmesh_nice.
+# This may be replaced when dependencies are built.

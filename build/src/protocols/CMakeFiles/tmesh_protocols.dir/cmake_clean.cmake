@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_protocols.dir/group_session.cc.o"
+  "CMakeFiles/tmesh_protocols.dir/group_session.cc.o.d"
+  "CMakeFiles/tmesh_protocols.dir/latency_experiment.cc.o"
+  "CMakeFiles/tmesh_protocols.dir/latency_experiment.cc.o.d"
+  "CMakeFiles/tmesh_protocols.dir/nice_accounting.cc.o"
+  "CMakeFiles/tmesh_protocols.dir/nice_accounting.cc.o.d"
+  "CMakeFiles/tmesh_protocols.dir/rekey_cost_experiment.cc.o"
+  "CMakeFiles/tmesh_protocols.dir/rekey_cost_experiment.cc.o.d"
+  "CMakeFiles/tmesh_protocols.dir/rekey_protocols.cc.o"
+  "CMakeFiles/tmesh_protocols.dir/rekey_protocols.cc.o.d"
+  "libtmesh_protocols.a"
+  "libtmesh_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

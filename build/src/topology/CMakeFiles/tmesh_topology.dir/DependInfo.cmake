@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/gnp.cc" "src/topology/CMakeFiles/tmesh_topology.dir/gnp.cc.o" "gcc" "src/topology/CMakeFiles/tmesh_topology.dir/gnp.cc.o.d"
+  "/root/repo/src/topology/graph.cc" "src/topology/CMakeFiles/tmesh_topology.dir/graph.cc.o" "gcc" "src/topology/CMakeFiles/tmesh_topology.dir/graph.cc.o.d"
+  "/root/repo/src/topology/gtitm.cc" "src/topology/CMakeFiles/tmesh_topology.dir/gtitm.cc.o" "gcc" "src/topology/CMakeFiles/tmesh_topology.dir/gtitm.cc.o.d"
+  "/root/repo/src/topology/planetlab.cc" "src/topology/CMakeFiles/tmesh_topology.dir/planetlab.cc.o" "gcc" "src/topology/CMakeFiles/tmesh_topology.dir/planetlab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_topology.dir/gnp.cc.o"
+  "CMakeFiles/tmesh_topology.dir/gnp.cc.o.d"
+  "CMakeFiles/tmesh_topology.dir/graph.cc.o"
+  "CMakeFiles/tmesh_topology.dir/graph.cc.o.d"
+  "CMakeFiles/tmesh_topology.dir/gtitm.cc.o"
+  "CMakeFiles/tmesh_topology.dir/gtitm.cc.o.d"
+  "CMakeFiles/tmesh_topology.dir/planetlab.cc.o"
+  "CMakeFiles/tmesh_topology.dir/planetlab.cc.o.d"
+  "libtmesh_topology.a"
+  "libtmesh_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

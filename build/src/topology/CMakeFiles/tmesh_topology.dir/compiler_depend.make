@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tmesh_topology.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_rekeying_test.dir/cluster_rekeying_test.cc.o"
+  "CMakeFiles/cluster_rekeying_test.dir/cluster_rekeying_test.cc.o.d"
+  "cluster_rekeying_test"
+  "cluster_rekeying_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_rekeying_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

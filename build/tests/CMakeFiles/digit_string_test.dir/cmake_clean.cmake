@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_string_test.dir/digit_string_test.cc.o"
+  "CMakeFiles/digit_string_test.dir/digit_string_test.cc.o.d"
+  "digit_string_test"
+  "digit_string_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/tmesh_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tmesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nice/CMakeFiles/tmesh_nice.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmc/CMakeFiles/tmesh_ipmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/keytree/CMakeFiles/tmesh_keytree.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tmesh_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tmesh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnp_test.dir/gnp_test.cc.o"
+  "CMakeFiles/gnp_test.dir/gnp_test.cc.o.d"
+  "gnp_test"
+  "gnp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_assignment_test.dir/id_assignment_test.cc.o"
+  "CMakeFiles/id_assignment_test.dir/id_assignment_test.cc.o.d"
+  "id_assignment_test"
+  "id_assignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

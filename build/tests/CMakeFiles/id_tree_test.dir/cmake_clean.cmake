@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_tree_test.dir/id_tree_test.cc.o"
+  "CMakeFiles/id_tree_test.dir/id_tree_test.cc.o.d"
+  "id_tree_test"
+  "id_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_multicast_test.dir/ip_multicast_test.cc.o"
+  "CMakeFiles/ip_multicast_test.dir/ip_multicast_test.cc.o.d"
+  "ip_multicast_test"
+  "ip_multicast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_multicast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

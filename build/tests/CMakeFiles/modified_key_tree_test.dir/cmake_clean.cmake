@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modified_key_tree_test.dir/modified_key_tree_test.cc.o"
+  "CMakeFiles/modified_key_tree_test.dir/modified_key_tree_test.cc.o.d"
+  "modified_key_tree_test"
+  "modified_key_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modified_key_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rekey_interval_test.dir/rekey_interval_test.cc.o"
+  "CMakeFiles/rekey_interval_test.dir/rekey_interval_test.cc.o.d"
+  "rekey_interval_test"
+  "rekey_interval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rekey_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

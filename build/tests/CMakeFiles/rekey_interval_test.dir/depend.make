@@ -1,0 +1,2 @@
+# Empty dependencies file for rekey_interval_test.
+# This may be replaced when dependencies are built.

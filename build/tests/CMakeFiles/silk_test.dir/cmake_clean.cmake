@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silk_test.dir/silk_test.cc.o"
+  "CMakeFiles/silk_test.dir/silk_test.cc.o.d"
+  "silk_test"
+  "silk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

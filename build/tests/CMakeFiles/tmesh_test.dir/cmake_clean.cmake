@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmesh_test.dir/tmesh_test.cc.o"
+  "CMakeFiles/tmesh_test.dir/tmesh_test.cc.o.d"
+  "tmesh_test"
+  "tmesh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgl_key_tree_test.dir/wgl_key_tree_test.cc.o"
+  "CMakeFiles/wgl_key_tree_test.dir/wgl_key_tree_test.cc.o.d"
+  "wgl_key_tree_test"
+  "wgl_key_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgl_key_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
