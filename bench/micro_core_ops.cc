@@ -107,6 +107,34 @@ void BM_TMeshRekeyMulticast(benchmark::State& state) {
 }
 BENCHMARK(BM_TMeshRekeyMulticast)->Arg(128)->Arg(512);
 
+// The forwarding hot path in isolation: data multicast has no splitting and
+// no key-tree work, so nearly all time is Forward/SendFirst/Deliver plus the
+// scheduler — the paths the scratch buffers and payload snapshots target.
+void BM_TMeshDataMulticast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PlanetLabParams p;
+  p.hosts = n + 1;
+  PlanetLabNetwork net(p);
+  Directory dir(net, GroupParams{5, 256, 4}, 0);
+  Rng rng(11);
+  std::vector<UserId> ids;
+  for (HostId h = 1; h <= n; ++h) {
+    UserId id;
+    do {
+      id = RandomId(rng, 5, 256);
+    } while (dir.Contains(id));
+    dir.AddMember(id, h, h);
+    ids.push_back(id);
+  }
+  for (auto _ : state) {
+    Simulator sim;
+    TMesh tmesh(dir, sim);
+    benchmark::DoNotOptimize(tmesh.MulticastData(ids[ids.size() / 2]));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TMeshDataMulticast)->Arg(128)->Arg(512);
+
 void BM_GtItmDijkstra(benchmark::State& state) {
   GtItmParams p;
   GtItmNetwork net(p, 10, 1);

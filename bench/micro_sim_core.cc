@@ -1,0 +1,127 @@
+// Scheduler-core microbench: events/sec through the three event queues.
+//
+//   LegacySim — the seed implementation (binary heap of std::function; one
+//               heap allocation per scheduled event).
+//   HeapSim   — pooled event records + small-buffer closures, binary-heap
+//               discipline (isolates the allocation win from the queue win).
+//   CalSim    — pooled records + calendar queue (the default Simulator).
+//
+// Three workload shapes cover the simulator's real usage:
+//   FloodDrain    — pre-schedule a big batch at mixed times, then drain
+//                   (BeginRekey's initial fan-out).
+//   Ripple        — the classic hold model: a steady population of events,
+//                   each execution schedules a successor at a random offset
+//                   (message forwarding through the mesh).
+//   SameTimeBurst — many events at identical instants (synchronized rekey
+//                   rounds; exercises the calendar queue's FIFO appends and
+//                   the (time, seq) tie-breaking).
+//
+// BENCH_sim_core.json records the resulting events/sec; the determinism
+// suite (tests/simulator_determinism_test.cc) proves all three queues run
+// identical workloads in an identical order, so this is a fair race.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/legacy_simulator.h"
+#include "sim/simulator.h"
+
+namespace tmesh {
+namespace {
+
+using LegacySim = LegacySimulator;
+
+struct CalSim : Simulator {
+  CalSim() : Simulator(QueueDiscipline::kCalendar) {}
+};
+
+struct HeapSim : Simulator {
+  HeapSim() : Simulator(QueueDiscipline::kBinaryHeap) {}
+};
+
+template <class Sim>
+void BM_FloodDrain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng times(42);
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    Sim sim;
+    Rng rng = times;  // identical schedule every iteration and every queue
+    std::int64_t ran = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAt(rng.UniformInt(0, 1'000'000), [&ran] { ++ran; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(ran);
+    events += ran;
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK_TEMPLATE(BM_FloodDrain, LegacySim)->Arg(8192)->Arg(131072);
+BENCHMARK_TEMPLATE(BM_FloodDrain, HeapSim)->Arg(8192)->Arg(131072);
+BENCHMARK_TEMPLATE(BM_FloodDrain, CalSim)->Arg(8192)->Arg(131072);
+
+// Self-rescheduling event: the hold model's unit of work. Copyable so it
+// fits both std::function (legacy) and the pooled inline closures.
+template <class Sim>
+struct Rippler {
+  Sim* sim;
+  Rng* rng;
+  std::int64_t* budget;
+  void operator()() const {
+    if (*budget <= 0) return;
+    --*budget;
+    sim->ScheduleIn(rng->UniformInt(1, 10'000), *this);
+  }
+};
+
+template <class Sim>
+void BM_Ripple(benchmark::State& state) {
+  const int population = static_cast<int>(state.range(0));
+  const std::int64_t holds = 1 << 16;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    Sim sim;
+    Rng rng(7);
+    std::int64_t budget = holds;
+    for (int i = 0; i < population; ++i) {
+      sim.ScheduleIn(rng.UniformInt(1, 10'000),
+                     Rippler<Sim>{&sim, &rng, &budget});
+    }
+    events += static_cast<std::int64_t>(sim.Run());
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK_TEMPLATE(BM_Ripple, LegacySim)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK_TEMPLATE(BM_Ripple, HeapSim)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK_TEMPLATE(BM_Ripple, CalSim)->Arg(64)->Arg(4096)->Arg(65536);
+
+template <class Sim>
+void BM_SameTimeBurst(benchmark::State& state) {
+  const int bursts = 64;
+  const int per_burst = static_cast<int>(state.range(0));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    Sim sim;
+    std::int64_t ran = 0;
+    for (int b = 0; b < bursts; ++b) {
+      const SimTime when = static_cast<SimTime>(b) * 1000;
+      for (int i = 0; i < per_burst; ++i) {
+        sim.ScheduleAt(when, [&ran] { ++ran; });
+      }
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(ran);
+    events += ran;
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK_TEMPLATE(BM_SameTimeBurst, LegacySim)->Arg(256);
+BENCHMARK_TEMPLATE(BM_SameTimeBurst, HeapSim)->Arg(256);
+BENCHMARK_TEMPLATE(BM_SameTimeBurst, CalSim)->Arg(256);
+
+}  // namespace
+}  // namespace tmesh
+
+BENCHMARK_MAIN();

@@ -49,11 +49,6 @@ NeighborRecord SilkGroup::RecordOf(const Member& m, HostId owner) const {
   return rec;
 }
 
-void SilkGroup::Message(HostId from, HostId to, std::function<void()> fn) {
-  ++stats_.messages;
-  sim_.ScheduleIn(FromMillis(net_.OneWayDelayMs(from, to)), std::move(fn));
-}
-
 void SilkGroup::Broadcast(const UserId& origin,
                           std::function<void(const UserId& at)> fn) {
   // FORWARD (Fig. 2) over the live tables, with a per-broadcast visited set
@@ -64,11 +59,18 @@ void SilkGroup::Broadcast(const UserId& origin,
       std::move(fn));
   visited->insert(origin);
 
-  // Recursive forwarding closure.
-  auto forward = std::make_shared<std::function<void(const UserId&, int)>>();
-  *forward = [this, visited, shared_fn, forward](const UserId& at,
-                                                 int level) {
-    if (!Contains(at)) return;
+  // Recursive forwarding closure. It captures itself weakly: every
+  // invocation comes from a scheduled event holding a strong copy (or from
+  // the local `forward` below), so the lock always succeeds, and the
+  // closure is freed once the flood drains instead of leaking in a
+  // shared_ptr cycle.
+  using ForwardFn = std::function<void(const UserId&, int)>;
+  auto forward = std::make_shared<ForwardFn>();
+  *forward = [this, visited, shared_fn,
+              weak = std::weak_ptr<ForwardFn>(forward)](const UserId& at,
+                                                        int level) {
+    auto forward = weak.lock();
+    if (forward == nullptr || !Contains(at)) return;
     const Member& m = members_.at(at);
     for (int i = level; i < params_.digits; ++i) {
       for (const auto& [digit, entry] : m.table.row(i)) {
@@ -212,8 +214,13 @@ void SilkGroup::Join(const UserId& id, HostId host, SimTime join_time) {
 
   // Gateway chain: repeatedly query the known member sharing the longest
   // prefix, absorbing its table, until no better gateway appears.
+  // Like Broadcast's forwarding closure, `step` captures itself weakly to
+  // avoid a shared_ptr cycle; each continuation event carries a strong copy.
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, ctx, finish, step]() {
+  *step = [this, ctx, finish,
+           weak = std::weak_ptr<std::function<void()>>(step)]() {
+    auto step = weak.lock();
+    if (step == nullptr) return;
     // Pick the unqueried candidate with the longest shared prefix.
     const UserId* gw = nullptr;
     int gw_cpl = -1;
@@ -237,25 +244,29 @@ void SilkGroup::Join(const UserId& id, HostId host, SimTime join_time) {
     // Request/response round trip, then absorb and iterate.
     Message(ctx->host, gw_host, [this, ctx, gateway, gw_host, step]() {
       if (!Contains(gateway)) {
-        sim_.ScheduleIn(0, *step);  // gateway vanished; try another
+        // Gateway vanished; try another. The retry must hold a strong ref
+        // (a bare copy of *step would carry only the weak self-reference).
+        sim_.ScheduleIn(0, [step]() { (*step)(); });
         return;
       }
       const Member& g = members_.at(gateway);
-      // Response: g's own record plus every record in its table.
-      std::vector<NeighborRecord> response;
-      response.push_back(RecordOf(g, g.host));
+      // Response: g's own record plus every record in its table, built once
+      // as a shared immutable snapshot instead of copied into the closure.
+      auto response = std::make_shared<std::vector<NeighborRecord>>();
+      response->push_back(RecordOf(g, g.host));
       for (int i = 0; i < g.table.rows(); ++i) {
         for (const auto& [digit, entry] : g.table.row(i)) {
           (void)digit;
-          response.insert(response.end(), entry.begin(), entry.end());
+          response->insert(response->end(), entry.begin(), entry.end());
         }
       }
-      Message(gw_host, ctx->host, [this, ctx, response, step]() {
-        for (const NeighborRecord& rec : response) {
-          ctx->candidates.emplace(rec.id, rec);
-        }
-        (*step)();
-      });
+      Message(gw_host, ctx->host,
+              [this, ctx, response = std::move(response), step]() {
+                for (const NeighborRecord& rec : *response) {
+                  ctx->candidates.emplace(rec.id, rec);
+                }
+                (*step)();
+              });
     });
   };
 

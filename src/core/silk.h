@@ -109,8 +109,15 @@ class SilkGroup : public GroupView {
   // delivery. Returns immediately; effects land as simulator events.
   void Broadcast(const UserId& origin,
                  std::function<void(const UserId& at)> fn);
-  // Messages between two hosts take one-way network latency.
-  void Message(HostId from, HostId to, std::function<void()> fn);
+  // Messages between two hosts take one-way network latency. Templated so
+  // the closure lands directly in the simulator's pooled event record
+  // (usually inline) instead of being wrapped in a std::function first.
+  template <class Fn>
+  void Message(HostId from, HostId to, Fn&& fn) {
+    ++stats_.messages;
+    sim_.ScheduleIn(FromMillis(net_.OneWayDelayMs(from, to)),
+                    std::forward<Fn>(fn));
+  }
 
   const Network& net_;
   GroupParams params_;

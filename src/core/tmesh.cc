@@ -40,50 +40,46 @@ void TMesh::SetUplinkModel(const UplinkModel& model) {
                       0);
 }
 
-std::vector<UserId> TMesh::CandidatesOf(const NeighborTable::Entry& entry,
-                                        int row, bool cluster_mode) const {
-  std::vector<UserId> out;
-  out.reserve(entry.size());
+void TMesh::CandidatesOf(const NeighborTable::Entry& entry, int row,
+                         bool cluster_mode, std::vector<UserId>& out) {
+  out.clear();
   if (cluster_mode && row == dir_.params().digits - 2) {
     // Footnote 8: at the (D-2)th row prefer the earliest joiner so that
     // cluster leaders receive rekey messages at forwarding level D-1.
-    std::vector<const NeighborRecord*> live;
+    live_scratch_.clear();
     for (const NeighborRecord& rec : entry) {
-      if (dir_.IsAlive(rec.id)) live.push_back(&rec);
+      if (dir_.IsAlive(rec.id)) live_scratch_.push_back(&rec);
     }
-    std::sort(live.begin(), live.end(),
+    std::sort(live_scratch_.begin(), live_scratch_.end(),
               [](const NeighborRecord* a, const NeighborRecord* b) {
                 if (a->join_time != b->join_time) {
                   return a->join_time < b->join_time;
                 }
                 return a->rtt_ms < b->rtt_ms;
               });
-    for (const NeighborRecord* rec : live) out.push_back(rec->id);
-    return out;
+    for (const NeighborRecord* rec : live_scratch_) out.push_back(rec->id);
+    return;
   }
   for (const NeighborRecord& rec : entry) {  // entries are RTT-sorted
     if (dir_.IsAlive(rec.id)) out.push_back(rec.id);
   }
-  return out;
 }
 
-std::vector<std::int32_t> TMesh::SplitFor(
-    const Session& s, const std::vector<std::int32_t>& encs,
-    const DigitString& w_prefix) const {
+void TMesh::SplitFor(const Session& s, const EncList& encs,
+                     const DigitString& w_prefix, EncList& out) {
   auto passes = [&](std::int32_t idx) {
     const Encryption& e = s.msg->encryptions[static_cast<std::size_t>(idx)];
     return e.enc_key_id.IsPrefixOf(w_prefix) ||
            w_prefix.IsPrefixOf(e.enc_key_id);
   };
-  std::vector<std::int32_t> out;
-  out.reserve(encs.size());
+  out.clear();
   const int pkt = s.opts.split_packet_encs;
   if (pkt <= 1) {
     // Unit-of-encryption splitting (the paper's main scheme, Fig. 5).
     for (std::int32_t idx : encs) {
       if (passes(idx)) out.push_back(idx);
     }
-    return out;
+    return;
   }
   // Packet-level splitting: a packet (consecutive indices of the original
   // message) travels whole if any of its encryptions is needed downstream.
@@ -94,7 +90,15 @@ std::vector<std::int32_t> TMesh::SplitFor(
   for (std::int32_t idx : encs) {
     if (keep_packets.count(idx / pkt) > 0) out.push_back(idx);
   }
-  return out;
+}
+
+TMesh::EncSnapshot TMesh::SplitSnapshot(Session& s, const EncSnapshot& parent,
+                                        const DigitString& prefix) {
+  SplitFor(s, *parent, prefix, split_scratch_);
+  // The filter keeps a subsequence, so equal size means identical contents:
+  // share the parent snapshot instead of allocating a copy.
+  if (split_scratch_.size() == parent->size()) return parent;
+  return std::make_shared<const EncList>(split_scratch_);
 }
 
 double TMesh::PacketBytes(const Packet& pkt) const {
@@ -112,21 +116,13 @@ std::pair<SimTime, SimTime> TMesh::OccupyUplink(HostId from, double bytes) {
   return {depart, tx};
 }
 
-void TMesh::SendWithRetry(Session& s, const UserId* from, HostId from_host,
-                          std::vector<UserId> candidates, Packet pkt,
-                          int attempt) {
-  // Drop candidates that died since the last attempt.
-  while (!candidates.empty()) {
-    std::size_t i = static_cast<std::size_t>(attempt) % candidates.size();
-    if (dir_.IsAlive(candidates[i])) break;
-    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(i));
-  }
-  if (candidates.empty() || attempt >= s.opts.max_send_attempts) {
-    if (attempt > 0) ++s.result.deliveries_failed;
-    return;
-  }
-  const UserId to =
-      candidates[static_cast<std::size_t>(attempt) % candidates.size()];
+void TMesh::SendFirst(Session& s, const UserId* from, HostId from_host,
+                      const std::vector<UserId>& candidates, Packet pkt) {
+  // The caller just filtered `candidates` to live members; this first
+  // attempt borrows the scratch buffer and only copies it on the (rare)
+  // loss path, keeping the no-loss forwarding hot path allocation-free.
+  if (candidates.empty() || s.opts.max_send_attempts <= 0) return;
+  const UserId to = candidates.front();
 
   bool lost = s.opts.loss_prob > 0.0 && s.loss_rng.Bernoulli(s.opts.loss_prob);
   auto [depart, tx] = OccupyUplink(from_host, PacketBytes(pkt));
@@ -142,10 +138,46 @@ void TMesh::SendWithRetry(Session& s, const UserId* from, HostId from_host,
     const UserId from_copy = from != nullptr ? *from : UserId{};
     const bool has_from = from != nullptr;
     sim_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
+                              candidates = std::vector<UserId>(candidates),
+                              pkt = std::move(pkt)]() mutable {
+      RetrySend(*sp, has_from ? &from_copy : nullptr, from_host,
+                std::move(candidates), std::move(pkt), /*attempt=*/1);
+    });
+  }
+}
+
+void TMesh::RetrySend(Session& s, const UserId* from, HostId from_host,
+                      std::vector<UserId> candidates, Packet pkt,
+                      int attempt) {
+  // Drop candidates that died since the last attempt.
+  while (!candidates.empty()) {
+    std::size_t i = static_cast<std::size_t>(attempt) % candidates.size();
+    if (dir_.IsAlive(candidates[i])) break;
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  if (candidates.empty() || attempt >= s.opts.max_send_attempts) {
+    ++s.result.deliveries_failed;
+    return;
+  }
+  const UserId to =
+      candidates[static_cast<std::size_t>(attempt) % candidates.size()];
+
+  bool lost = s.opts.loss_prob > 0.0 && s.loss_rng.Bernoulli(s.opts.loss_prob);
+  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(pkt));
+  Transmit(s, from, from_host, to, pkt, lost, depart, tx);
+
+  if (lost) {
+    double rtt = dir_.network().RttHosts(from_host, dir_.HostOf(to));
+    SimTime timeout =
+        depart + tx + FromMillis(std::max(1.0, rtt * s.opts.retry_rtt_factor));
+    Session* sp = &s;
+    const UserId from_copy = from != nullptr ? *from : UserId{};
+    const bool has_from = from != nullptr;
+    sim_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
                               candidates = std::move(candidates),
                               pkt = std::move(pkt), attempt]() mutable {
-      SendWithRetry(*sp, has_from ? &from_copy : nullptr, from_host,
-                    std::move(candidates), std::move(pkt), attempt + 1);
+      RetrySend(*sp, has_from ? &from_copy : nullptr, from_host,
+                std::move(candidates), std::move(pkt), attempt + 1);
     });
   }
 }
@@ -165,9 +197,9 @@ void TMesh::Transmit(Session& s, const UserId* from, HostId from_host,
     rec.encs_forwarded += static_cast<std::int64_t>(encs);
   }
   if (s.opts.track_links && dir_.network().HasRouterPaths()) {
-    std::vector<LinkId> path;
-    dir_.network().AppendPathLinks(from_host, to_host, path);
-    for (LinkId l : path) {
+    path_scratch_.clear();
+    dir_.network().AppendPathLinks(from_host, to_host, path_scratch_);
+    for (LinkId l : path_scratch_) {
       s.result.links.encryptions[static_cast<std::size_t>(l)] +=
           static_cast<std::int64_t>(encs);
       ++s.result.links.messages[static_cast<std::size_t>(l)];
@@ -191,9 +223,10 @@ void TMesh::Deliver(Session& s, const UserId& user, const Packet& pkt,
   ++rec.copies;
   if (pkt.group_key_unicast) ++rec.group_key_copies;
   rec.encs_received += static_cast<std::int64_t>(EncCount(pkt));
-  if (s.opts.record_encryptions && !pkt.group_key_unicast) {
+  if (s.opts.record_encryptions && !pkt.group_key_unicast &&
+      pkt.encs != nullptr) {
     auto& got = s.result.member_encs[static_cast<std::size_t>(host)];
-    got.insert(got.end(), pkt.encs.begin(), pkt.encs.end());
+    got.insert(got.end(), pkt.encs->begin(), pkt.encs->end());
   }
   bool first = rec.copies == 1;
   if (first) {
@@ -226,17 +259,16 @@ void TMesh::Forward(Session& s, const UserId& user, const Packet& pkt) {
   for (int i = pkt.forward_level; i <= max_row; ++i) {
     for (const auto& [digit, entry] : table.row(i)) {
       (void)digit;
-      std::vector<UserId> candidates = CandidatesOf(entry, i, cluster_mode);
-      if (candidates.empty()) continue;  // all entry records failed
-      Packet child = pkt;
+      CandidatesOf(entry, i, cluster_mode, cand_scratch_);
+      if (cand_scratch_.empty()) continue;  // all entry records failed
+      Packet child = pkt;  // shares the parent payload snapshot
       child.forward_level = i + 1;
-      if (pkt.is_rekey && s.opts.split) {
+      if (pkt.is_rekey && s.opts.split && pkt.encs != nullptr) {
         // All candidates of an (i,j)-entry share the owner's first i digits
         // plus digit j, so Fig. 5's filter is identical for every backup.
-        child.encs = SplitFor(s, pkt.encs, candidates[0].Prefix(i + 1));
+        child.encs = SplitSnapshot(s, pkt.encs, cand_scratch_[0].Prefix(i + 1));
       }
-      SendWithRetry(s, &user, host, std::move(candidates), std::move(child),
-                    /*attempt=*/0);
+      SendFirst(s, &user, host, cand_scratch_, std::move(child));
     }
   }
 }
@@ -253,7 +285,8 @@ void TMesh::ClusterDuty(Session& s, const UserId& user, const Packet& pkt) {
     gk.is_rekey = true;
     for (const UserId& peer : clusters.PeersOf(user)) {
       if (!dir_.IsAlive(peer)) continue;
-      SendWithRetry(s, &user, host, {peer}, gk, /*attempt=*/0);
+      cand_scratch_.assign(1, peer);
+      SendFirst(s, &user, host, cand_scratch_, gk);
     }
   } else if (!pkt.leader_relay) {
     // The single in-cluster receiver of the multicast copy relays the full
@@ -263,8 +296,8 @@ void TMesh::ClusterDuty(Session& s, const UserId& user, const Packet& pkt) {
       Packet relay = pkt;
       relay.forward_level = dir_.params().digits;  // no further FORWARD rows
       relay.leader_relay = true;
-      SendWithRetry(s, &user, host, {leader}, std::move(relay),
-                    /*attempt=*/0);
+      cand_scratch_.assign(1, leader);
+      SendFirst(s, &user, host, cand_scratch_, std::move(relay));
     }
   }
 }
@@ -298,11 +331,13 @@ TMesh::Handle TMesh::BeginRekey(const RekeyMessage& msg, const Options& opts) {
                               &msg);
   Session& s = *handle.session_;
 
-  // All encryptions, by index.
-  std::vector<std::int32_t> all(msg.encryptions.size());
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    all[i] = static_cast<std::int32_t>(i);
+  // All encryptions, by index — one shared snapshot for every level-0 copy
+  // (and, when splitting is off, every downstream hop of the session).
+  auto all = std::make_shared<EncList>(msg.encryptions.size());
+  for (std::size_t i = 0; i < all->size(); ++i) {
+    (*all)[i] = static_cast<std::int32_t>(i);
   }
+  const EncSnapshot all_snap = std::move(all);
 
   // The key server executes FORWARD at level 0: one copy per non-empty
   // (0,j)-entry of its one-row table (Fig. 2 lines 3-5), each split for its
@@ -310,15 +345,14 @@ TMesh::Handle TMesh::BeginRekey(const RekeyMessage& msg, const Options& opts) {
   const NeighborTable& st = dir_.ServerTable();
   for (const auto& [digit, entry] : st.row(0)) {
     (void)digit;
-    std::vector<UserId> candidates =
-        CandidatesOf(entry, 0, /*cluster_mode=*/false);
-    if (candidates.empty()) continue;
+    CandidatesOf(entry, 0, /*cluster_mode=*/false, cand_scratch_);
+    if (cand_scratch_.empty()) continue;
     Packet pkt;
     pkt.forward_level = 1;
     pkt.is_rekey = true;
-    pkt.encs = opts.split ? SplitFor(s, all, candidates[0].Prefix(1)) : all;
-    SendWithRetry(s, nullptr, dir_.server_host(), std::move(candidates),
-                  std::move(pkt), /*attempt=*/0);
+    pkt.encs = opts.split ? SplitSnapshot(s, all_snap, cand_scratch_[0].Prefix(1))
+                          : all_snap;
+    SendFirst(s, nullptr, dir_.server_host(), cand_scratch_, std::move(pkt));
   }
   return handle;
 }

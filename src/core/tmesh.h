@@ -163,9 +163,17 @@ class TMesh {
   Result MulticastData(const UserId& sender);
 
  private:
+  // Encryption-index payloads travel as shared immutable snapshots: every
+  // hop that forwards the same index set (always, when splitting is off;
+  // whenever the Fig. 5 filter keeps everything, when it is on) shares one
+  // refcounted vector instead of copying it into each scheduled event.
+  using EncList = std::vector<std::int32_t>;
+  using EncSnapshot = std::shared_ptr<const EncList>;
+
   struct Packet {
     int forward_level = 0;
-    std::vector<std::int32_t> encs;  // indices into the rekey message
+    EncSnapshot encs;                // indices into the rekey message; may
+                                     // be null (data packets, key unicasts)
     bool group_key_unicast = false;  // Appendix-B last hop (1 encryption)
     bool leader_relay = false;       // non-leader -> leader full-message hop
     bool is_rekey = false;
@@ -173,10 +181,15 @@ class TMesh {
 
   using Session = Handle::Session;
 
-  // Transmits `pkt` to the attempt-th candidate of `candidates`; on
-  // simulated loss, schedules a retry on the next candidate.
-  void SendWithRetry(Session& s, const UserId* from, HostId from_host,
-                     std::vector<UserId> candidates, Packet pkt, int attempt);
+  // Transmits `pkt` to the first candidate (`candidates` is a scratch
+  // buffer the caller may reuse immediately after the call returns); on
+  // simulated loss, copies the candidates and schedules RetrySend.
+  void SendFirst(Session& s, const UserId* from, HostId from_host,
+                 const std::vector<UserId>& candidates, Packet pkt);
+  // Loss-recovery path (§2.3): transmits to the attempt-th live candidate;
+  // owns its candidate list across retries.
+  void RetrySend(Session& s, const UserId* from, HostId from_host,
+                 std::vector<UserId> candidates, Packet pkt, int attempt);
   void Transmit(Session& s, const UserId* from, HostId from_host,
                 const UserId& to, const Packet& pkt, bool lost,
                 SimTime depart, SimTime tx_time);
@@ -186,18 +199,25 @@ class TMesh {
   void ClusterDuty(Session& s, const UserId& user, const Packet& pkt);
 
   // Fig. 5's per-next-hop filter: encryptions needed within w's level-(s+1)
-  // subtree, where `w_prefix` = w.ID[0:s].
-  std::vector<std::int32_t> SplitFor(const Session& s,
-                                     const std::vector<std::int32_t>& encs,
-                                     const DigitString& w_prefix) const;
+  // subtree, where `w_prefix` = w.ID[0:s]. Writes the surviving indices
+  // into `out` (a scratch buffer; cleared first).
+  void SplitFor(const Session& s, const EncList& encs,
+                const DigitString& w_prefix, EncList& out);
 
   // Live candidates of an entry, preference-ordered: RTT order, except in
   // cluster mode at row D-2 where the earliest joiner leads (footnote 8).
-  std::vector<UserId> CandidatesOf(const NeighborTable::Entry& entry, int row,
-                                   bool cluster_mode) const;
+  // Writes into `out` (a scratch buffer; cleared first).
+  void CandidatesOf(const NeighborTable::Entry& entry, int row,
+                    bool cluster_mode, std::vector<UserId>& out);
+
+  // Splits the parent payload for the entry whose candidates share
+  // `prefix`, sharing the parent snapshot when the filter keeps everything.
+  EncSnapshot SplitSnapshot(Session& s, const EncSnapshot& parent,
+                            const DigitString& prefix);
 
   std::size_t EncCount(const Packet& pkt) const {
-    return pkt.group_key_unicast ? 1 : pkt.encs.size();
+    if (pkt.group_key_unicast) return 1;
+    return pkt.encs == nullptr ? 0 : pkt.encs->size();
   }
   // Bytes on the wire for the uplink model.
   double PacketBytes(const Packet& pkt) const;
@@ -211,6 +231,16 @@ class TMesh {
   Simulator& sim_;
   UplinkModel uplink_;
   std::vector<SimTime> uplink_free_;  // per host; sized when model enabled
+
+  // Forwarding-path scratch buffers, reused across hops so the no-loss
+  // message path performs no heap allocation (beyond at most one payload
+  // snapshot per hop when splitting actually shrinks the message). Safe
+  // because Forward/SendFirst complete synchronously within one event —
+  // nothing holds a scratch reference across scheduled events.
+  std::vector<UserId> cand_scratch_;
+  std::vector<const NeighborRecord*> live_scratch_;
+  EncList split_scratch_;
+  std::vector<LinkId> path_scratch_;
 };
 
 }  // namespace tmesh

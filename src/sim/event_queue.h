@@ -1,0 +1,401 @@
+// Pooled event records and the calendar queue that orders them.
+//
+// The simulator's hot loop is schedule → pop-min → invoke, millions of times
+// per run. This file provides the two pieces that make that loop cheap:
+//
+//  * EventNode / EventPool — intrusively linked event records with inline
+//    (small-buffer) closure storage, recycled through an arena free list.
+//    Scheduling an event whose closure fits kInlineClosureBytes performs no
+//    heap allocation once the pool is warm; oversized closures fall back to
+//    a boxed heap copy (correct, just slower).
+//
+//  * CalendarQueue — a calendar/bucket queue (R. Brown, CACM 1988) giving
+//    O(1) expected push/pop over the bucket ring, with a binary min-heap
+//    overflow for events beyond the current "year" (far-future events such
+//    as the key server's next batch-rekey tick). The queue preserves the
+//    simulator's exact ordering contract: events are popped in strictly
+//    increasing (when, seq) order, so simultaneous events always run in
+//    schedule order, bit-identically to a binary heap over the same keys.
+//
+// NodeHeap is the same (when, seq) discipline as a plain binary heap of
+// pooled records; the Simulator exposes it as a reference queue so tests can
+// cross-check the calendar queue against a structure with obvious ordering.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/sim_time.h"
+
+namespace tmesh {
+namespace simdetail {
+
+// Inline closure capacity per event record. Sized so every closure on the
+// T-mesh message path (delivery and retry continuations: a couple of
+// pointers, a UserId, a Packet with a shared encryption snapshot, an owned
+// candidate vector) fits without a heap allocation.
+inline constexpr std::size_t kInlineClosureBytes = 128;
+
+struct ClosureOps {
+  void (*invoke)(void* storage);
+  void (*destroy)(void* storage);
+};
+
+struct EventNode {
+  SimTime when = 0;
+  std::uint64_t seq = 0;
+  EventNode* next = nullptr;      // intrusive link: bucket list / free list
+  const ClosureOps* ops = nullptr;
+  alignas(std::max_align_t) std::byte storage[kInlineClosureBytes];
+
+  void Invoke() { ops->invoke(storage); }
+  void DestroyClosure() {
+    ops->destroy(storage);
+    ops = nullptr;
+  }
+};
+
+template <class F>
+struct InlineClosure {
+  static void Invoke(void* s) { (*std::launder(reinterpret_cast<F*>(s)))(); }
+  static void Destroy(void* s) { std::launder(reinterpret_cast<F*>(s))->~F(); }
+  static constexpr ClosureOps kOps{&Invoke, &Destroy};
+};
+
+// Fallback for callables larger than the inline buffer: the buffer holds a
+// single owning pointer to a heap copy.
+template <class F>
+struct BoxedClosure {
+  static void Invoke(void* s) { (**std::launder(reinterpret_cast<F**>(s)))(); }
+  static void Destroy(void* s) {
+    delete *std::launder(reinterpret_cast<F**>(s));
+  }
+  static constexpr ClosureOps kOps{&Invoke, &Destroy};
+};
+
+template <class Fn>
+void EmplaceClosure(EventNode& node, Fn&& fn) {
+  using F = std::decay_t<Fn>;
+  static_assert(std::is_invocable_r_v<void, F&>);
+  if constexpr (sizeof(F) <= kInlineClosureBytes &&
+                alignof(F) <= alignof(std::max_align_t)) {
+    ::new (static_cast<void*>(node.storage)) F(std::forward<Fn>(fn));
+    node.ops = &InlineClosure<F>::kOps;
+  } else {
+    ::new (static_cast<void*>(node.storage)) F*(new F(std::forward<Fn>(fn)));
+    node.ops = &BoxedClosure<F>::kOps;
+  }
+}
+
+// Arena of EventNodes: block-allocated, recycled through a free list. Nodes
+// are stable in memory for the pool's lifetime; the pool never runs closure
+// destructors (the queue owning the nodes does that).
+class EventPool {
+ public:
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  EventNode* Allocate() {
+    if (free_ != nullptr) {
+      EventNode* n = free_;
+      free_ = n->next;
+      n->next = nullptr;
+      return n;
+    }
+    if (brk_ == kBlockNodes) {
+      blocks_.push_back(std::make_unique<EventNode[]>(kBlockNodes));
+      brk_ = 0;
+    }
+    return &blocks_.back()[brk_++];
+  }
+
+  void Release(EventNode* n) {
+    n->next = free_;
+    free_ = n;
+  }
+
+ private:
+  static constexpr std::size_t kBlockNodes = 256;
+  std::vector<std::unique_ptr<EventNode[]>> blocks_;
+  std::size_t brk_ = kBlockNodes;  // next unused node in blocks_.back()
+  EventNode* free_ = nullptr;
+};
+
+inline bool NodeBefore(const EventNode* a, const EventNode* b) {
+  if (a->when != b->when) return a->when < b->when;
+  return a->seq < b->seq;
+}
+
+// Binary min-heap of pooled event records keyed by (when, seq). Used both
+// as the calendar queue's far-future overflow and as the Simulator's
+// reference discipline. Pointer elements mean pop needs no move-from-top
+// tricks (the seed implementation's const_cast is structurally impossible).
+class NodeHeap {
+ public:
+  bool Empty() const { return v_.empty(); }
+  std::size_t Size() const { return v_.size(); }
+  EventNode* Top() const { return v_.front(); }
+
+  void Push(EventNode* n) {
+    v_.push_back(n);
+    std::push_heap(v_.begin(), v_.end(), After);
+  }
+
+  EventNode* Pop() {
+    std::pop_heap(v_.begin(), v_.end(), After);
+    EventNode* n = v_.back();
+    v_.pop_back();
+    return n;
+  }
+
+  // For teardown: every queued node, in no particular order.
+  const std::vector<EventNode*>& Nodes() const { return v_; }
+
+ private:
+  static bool After(const EventNode* a, const EventNode* b) {
+    return NodeBefore(b, a);
+  }
+  std::vector<EventNode*> v_;
+};
+
+// Calendar queue with exact (when, seq) ordering.
+//
+// Geometry: `buckets_.size()` (a power of two) day-buckets of `width_`
+// microseconds each; an event at time t lives in bucket (t / width_) mod
+// nbuckets, in a list sorted by (when, seq). The cursor (day_, day_start_)
+// tracks the day currently being drained and is always at or before the
+// earliest queued event. Events at or beyond `horizon_` (one full "year"
+// past the cursor) wait in the overflow heap and migrate into buckets as
+// the cursor advances. Bucket count and width are retuned from the live
+// event population whenever occupancy leaves the efficient band.
+class CalendarQueue {
+ public:
+  CalendarQueue() {
+    buckets_.assign(kMinBuckets, nullptr);
+    tails_.assign(kMinBuckets, nullptr);
+    SetDayFor(0);
+  }
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  bool Empty() const { return count_ == 0; }
+  std::size_t Size() const { return count_; }
+
+  void Push(EventNode* n) {
+    ++count_;
+    if (n->when < day_start_) {
+      // Keep the cursor at or before the minimum: an event scheduled for
+      // "now" after the cursor coasted past empty days must still pop first.
+      SetDayFor(n->when);
+      InsertBucket(n);
+      return;
+    }
+    if (n->when >= horizon_) {
+      overflow_.Push(n);
+      return;
+    }
+    InsertBucket(n);
+    // Grow on the *total* population: a flood of far-future events parks in
+    // the overflow heap, and only a retune (which drains it) can re-derive a
+    // geometry that holds the flood in buckets.
+    if (count_ > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+      Retune();
+    }
+  }
+
+  // Smallest (when, seq) event, or nullptr. May advance the day cursor and
+  // migrate overflow events, but removes nothing; after a non-null return
+  // the minimum is the head of the cursor's bucket.
+  EventNode* PeekMin() {
+    if (count_ == 0) return nullptr;
+    if (calendar_count_ == 0) {
+      // Everything is far-future: re-anchor the year at the overflow
+      // minimum and pull the new year's events in.
+      SetDayFor(overflow_.Top()->when);
+      MigrateOverflow();
+    }
+    for (std::size_t steps = 0; steps < buckets_.size(); ++steps) {
+      EventNode* head = buckets_[day_];
+      if (head != nullptr && head->when < day_start_ + width_) return head;
+      AdvanceDay();
+    }
+    // Sparse population relative to the year: find the minimum directly
+    // (bucket lists are sorted, so it is one of the heads) and jump there.
+    EventNode* best = nullptr;
+    for (EventNode* head : buckets_) {
+      if (head != nullptr && (best == nullptr || NodeBefore(head, best))) {
+        best = head;
+      }
+    }
+    TMESH_DCHECK(best != nullptr);
+    // A cursor jump must not skip overflow events that became eligible
+    // while the cursor lagged (possible after a backward cursor move shrank
+    // the horizon): migrate anything that precedes the calendar minimum.
+    while (!overflow_.Empty() && NodeBefore(overflow_.Top(), best)) {
+      best = overflow_.Pop();
+      InsertBucket(best);
+    }
+    SetDayFor(best->when);
+    MigrateOverflow();
+    if (++direct_searches_ >= kDirectSearchLimit) {
+      // The spread outgrew the year repeatedly; widen the days so the
+      // normal scan works again.
+      Retune();
+    }
+    return buckets_[day_];
+  }
+
+  EventNode* PopMin() {
+    EventNode* n = PeekMin();
+    if (n == nullptr) return nullptr;
+    TMESH_DCHECK(n == buckets_[day_]);
+    buckets_[day_] = n->next;
+    if (n->next == nullptr) tails_[day_] = nullptr;
+    n->next = nullptr;
+    --calendar_count_;
+    --count_;
+    if (calendar_count_ * 8 < buckets_.size() && buckets_.size() > kMinBuckets) {
+      Retune();
+    }
+    return n;
+  }
+
+  // For teardown: appends every queued node to `out` in no particular order.
+  void CollectAll(std::vector<EventNode*>& out) const {
+    for (EventNode* head : buckets_) {
+      for (EventNode* n = head; n != nullptr; n = n->next) out.push_back(n);
+    }
+    const auto& o = overflow_.Nodes();
+    out.insert(out.end(), o.begin(), o.end());
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 32;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+  static constexpr int kDirectSearchLimit = 8;
+
+  void SetDayFor(SimTime t) {
+    day_start_ = (t / width_) * width_;
+    day_ = static_cast<std::size_t>(day_start_ / width_) & (buckets_.size() - 1);
+    horizon_ = day_start_ + width_ * static_cast<SimTime>(buckets_.size());
+  }
+
+  void AdvanceDay() {
+    day_ = (day_ + 1) & (buckets_.size() - 1);
+    day_start_ += width_;
+    horizon_ += width_;
+    MigrateOverflow();
+  }
+
+  void MigrateOverflow() {
+    while (!overflow_.Empty() && overflow_.Top()->when < horizon_) {
+      InsertBucket(overflow_.Pop());
+    }
+  }
+
+  void InsertBucket(EventNode* n) {
+    ++calendar_count_;
+    std::size_t b =
+        static_cast<std::size_t>(n->when / width_) & (buckets_.size() - 1);
+    EventNode* tail = tails_[b];
+    if (tail == nullptr) {
+      n->next = nullptr;
+      buckets_[b] = tails_[b] = n;
+      return;
+    }
+    if (NodeBefore(tail, n)) {  // FIFO fast path: same-time bursts append
+      n->next = nullptr;
+      tail->next = n;
+      tails_[b] = n;
+      return;
+    }
+    EventNode** p = &buckets_[b];
+    while (NodeBefore(*p, n)) p = &(*p)->next;  // stops at or before tail
+    n->next = *p;
+    *p = n;
+  }
+
+  static std::size_t NextPow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  // Re-derive bucket count and width from the live population (including
+  // the overflow heap), then redistribute. O(n log n), amortized across the
+  // occupancy doubling/halving that triggered it.
+  void Retune() {
+    direct_searches_ = 0;
+    std::vector<EventNode*> nodes;
+    nodes.reserve(count_);
+    for (auto& head : buckets_) {
+      for (EventNode* n = head; n != nullptr;) {
+        EventNode* next = n->next;
+        nodes.push_back(n);
+        n = next;
+      }
+      head = nullptr;
+    }
+    calendar_count_ = 0;
+    while (!overflow_.Empty()) nodes.push_back(overflow_.Pop());
+
+    if (nodes.empty()) {
+      buckets_.assign(kMinBuckets, nullptr);
+      tails_.assign(kMinBuckets, nullptr);
+      SetDayFor(day_start_);
+      return;
+    }
+    // Globally sorted reinsertion means every InsertBucket below hits the
+    // O(1) tail-append fast path.
+    std::sort(nodes.begin(), nodes.end(), NodeBefore);
+    const SimTime lo = nodes.front()->when;
+    const SimTime hi = nodes.back()->when;
+    const auto n = static_cast<SimTime>(nodes.size());
+    // Width ~ 3x the mean inter-event gap of the *near half* of the
+    // population (median-based, so one far-future outlier — the key
+    // server's next batch-rekey tick — cannot stretch the days until every
+    // near-term event piles into a handful of buckets). Far events the
+    // resulting year misses just go back to the overflow heap below. If the
+    // near half sits at one instant (a synchronized burst), fall back to
+    // the mean gap over the full span.
+    if (nodes.size() >= 2 && hi > lo) {
+      const SimTime half_span = nodes[nodes.size() / 2]->when - lo;
+      const SimTime width =
+          half_span > 0 ? 3 * 2 * half_span / n : 3 * (hi - lo) / n;
+      width_ = std::clamp<SimTime>(width, 1, hi - lo + 1);
+    }
+    std::size_t nb = NextPow2(std::clamp(nodes.size(), kMinBuckets, kMaxBuckets));
+    buckets_.assign(nb, nullptr);
+    tails_.assign(nb, nullptr);
+    SetDayFor(lo);
+    for (EventNode* n2 : nodes) {
+      if (n2->when >= horizon_) {
+        overflow_.Push(n2);
+      } else {
+        InsertBucket(n2);
+      }
+    }
+  }
+
+  std::vector<EventNode*> buckets_;  // heads of (when, seq)-sorted lists
+  std::vector<EventNode*> tails_;    // last node per bucket (FIFO appends)
+  NodeHeap overflow_;                // events at/beyond horizon_
+  SimTime width_ = 64;               // microseconds per day; retuned
+  SimTime day_start_ = 0;            // lower bound of the cursor's day
+  SimTime horizon_ = 0;              // day_start_ + width_ * nbuckets
+  std::size_t day_ = 0;              // cursor bucket index
+  std::size_t count_ = 0;            // total queued (buckets + overflow)
+  std::size_t calendar_count_ = 0;   // queued in buckets
+  int direct_searches_ = 0;          // sparse-population fallbacks since tune
+};
+
+}  // namespace simdetail
+}  // namespace tmesh

@@ -1,0 +1,113 @@
+// The seed simulator, kept verbatim in behaviour as a reference.
+//
+// This is the binary-heap-of-std::function implementation the repository
+// grew up on. It is no longer used by any protocol module — Simulator
+// (sim/simulator.h) replaced it with pooled event records and a calendar
+// queue — but it survives for two jobs:
+//
+//  * the golden-ordering fixture in simulator_determinism_test.cc proves
+//    the old→new queue migration preserved the exact (time, seq) ordering
+//    contract by replaying identical workloads on both;
+//  * bench/micro_sim_core.cc uses it as the "before" baseline so the
+//    recorded scheduler speedup (BENCH_sim_core.json) is measured against
+//    the real seed implementation, not a strawman.
+//
+// Ordering contract (shared with Simulator): events run in strictly
+// increasing (time, sequence-number) order; sequence numbers are assigned
+// at Schedule* time, so simultaneous events run in schedule order.
+//
+// One fix relative to the seed: the seed popped the heap by moving out of
+// priority_queue::top() through a const_cast, which is UB-adjacent (it
+// mutates an object the container only exposes as const). This copy manages
+// the heap directly with std::push_heap/std::pop_heap — std::pop_heap
+// legitimately hands us a mutable reference to the extracted element at the
+// back of the vector.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/sim_time.h"
+
+namespace tmesh {
+
+class LegacySimulator {
+ public:
+  LegacySimulator() = default;
+  LegacySimulator(const LegacySimulator&) = delete;
+  LegacySimulator& operator=(const LegacySimulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at Now() + delay. delay must be non-negative.
+  void ScheduleIn(SimTime delay, std::function<void()> fn) {
+    TMESH_CHECK(delay >= 0);
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at an absolute time >= Now().
+  void ScheduleAt(SimTime when, std::function<void()> fn) {
+    TMESH_CHECK_MSG(when >= now_, "cannot schedule into the past");
+    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  // Runs events until the queue drains. Returns the number of events run.
+  std::size_t Run() {
+    std::size_t n = 0;
+    while (!heap_.empty()) {
+      RunOne();
+      ++n;
+    }
+    return n;
+  }
+
+  // Runs events with time <= deadline; leaves later events queued and
+  // advances the clock to the deadline.
+  std::size_t RunUntil(SimTime deadline) {
+    std::size_t n = 0;
+    while (!heap_.empty() && heap_.front().when <= deadline) {
+      RunOne();
+      ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+  }
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-breaker: earlier-scheduled runs first
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void RunOne() {
+    // pop_heap moves the minimum to the back, where it is legitimately
+    // mutable; move the closure out before erasing so re-entrant
+    // scheduling is safe.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    TMESH_DCHECK(ev.when >= now_);
+    now_ = ev.when;
+    ev.fn();
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Event> heap_;  // min-heap under Later
+};
+
+}  // namespace tmesh

@@ -1,0 +1,26 @@
+// Simulated time in microseconds. Link delays in the paper are milliseconds
+// with sub-millisecond components (stub links are 0.1..1 ms), so integer
+// microseconds give exact, platform-independent arithmetic.
+//
+// Split out of simulator.h so low-level queue machinery and value types
+// (NeighborRecord carries a SimTime join_time) can name SimTime without
+// pulling in the scheduler.
+#pragma once
+
+#include <cstdint>
+
+namespace tmesh {
+
+using SimTime = std::int64_t;
+
+constexpr SimTime FromMillis(double ms) {
+  return static_cast<SimTime>(ms * 1000.0 + 0.5);
+}
+constexpr double ToMillis(SimTime t) {
+  return static_cast<double>(t) / 1000.0;
+}
+constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * 1e6 + 0.5);
+}
+
+}  // namespace tmesh

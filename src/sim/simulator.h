@@ -2,9 +2,24 @@
 //
 // The paper evaluates everything on a custom event-driven simulator that
 // models "the sending and the reception of a message as events" (§4). This
-// module provides that core: a virtual clock, an event queue ordered by
-// (time, sequence number) so that simultaneous events run in a deterministic
-// (schedule) order, and a run loop.
+// module provides that core: a virtual clock, an event queue, and a run
+// loop.
+//
+// Ordering contract (the determinism guarantee every experiment relies on):
+// events run in strictly increasing (time, sequence-number) order, where the
+// sequence number is assigned at Schedule* time. Two events scheduled for
+// the same instant therefore always run in the order they were scheduled,
+// on every platform, for every queue discipline. simulator_determinism_test
+// pins this contract against the seed implementation's golden ordering.
+//
+// Throughput: scheduling goes through an arena pool of intrusively linked
+// event records with small-buffer closure storage (sim/event_queue.h), so
+// the message path performs no per-event heap allocation, and the default
+// queue is a calendar queue with O(1) expected push/pop (a binary-heap
+// discipline over the same records is available for cross-checking). The
+// seed implementation (binary heap of std::function) survives as
+// LegacySimulator for the golden-ordering fixture and the scheduler
+// microbench baseline (bench/micro_sim_core.cc).
 //
 // Protocol modules schedule closures; there is no global node registry —
 // each protocol owns its endpoints and captures them in its events. This
@@ -12,56 +27,68 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
 
 namespace tmesh {
 
-// Simulated time in microseconds. Link delays in the paper are milliseconds
-// with sub-millisecond components (stub links are 0.1..1 ms), so integer
-// microseconds give exact, platform-independent arithmetic.
-using SimTime = std::int64_t;
-
-constexpr SimTime FromMillis(double ms) {
-  return static_cast<SimTime>(ms * 1000.0 + 0.5);
-}
-constexpr double ToMillis(SimTime t) {
-  return static_cast<double>(t) / 1000.0;
-}
-constexpr SimTime FromSeconds(double s) {
-  return static_cast<SimTime>(s * 1e6 + 0.5);
-}
+// Which structure orders the pooled event records. kCalendar is the fast
+// default; kBinaryHeap is the obviously correct reference the determinism
+// tests (and sceptical benchmarks) compare against. Both obey the exact
+// (time, seq) contract, so simulations are bit-identical across disciplines.
+enum class QueueDiscipline { kCalendar, kBinaryHeap };
 
 class Simulator {
  public:
   Simulator() = default;
+  explicit Simulator(QueueDiscipline discipline) : discipline_(discipline) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  ~Simulator() {
+    // Destroy the closures of any never-run events (they may own resources
+    // through captured smart pointers). The pool frees the records.
+    std::vector<simdetail::EventNode*> pending;
+    calendar_.CollectAll(pending);
+    const auto& h = heap_.Nodes();
+    pending.insert(pending.end(), h.begin(), h.end());
+    for (simdetail::EventNode* n : pending) n->DestroyClosure();
+  }
 
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run at Now() + delay. delay must be non-negative.
-  void ScheduleIn(SimTime delay, std::function<void()> fn) {
+  template <class Fn>
+  void ScheduleIn(SimTime delay, Fn&& fn) {
     TMESH_CHECK(delay >= 0);
-    ScheduleAt(now_ + delay, std::move(fn));
+    ScheduleAt(now_ + delay, std::forward<Fn>(fn));
   }
 
-  // Schedules `fn` at an absolute time >= Now().
-  void ScheduleAt(SimTime when, std::function<void()> fn) {
+  // Schedules `fn` at an absolute time >= Now(). The closure is constructed
+  // in place in a pooled event record; see event_queue.h for the inline
+  // capacity.
+  template <class Fn>
+  void ScheduleAt(SimTime when, Fn&& fn) {
     TMESH_CHECK_MSG(when >= now_, "cannot schedule into the past");
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    simdetail::EventNode* n = pool_.Allocate();
+    n->when = when;
+    n->seq = next_seq_++;
+    simdetail::EmplaceClosure(*n, std::forward<Fn>(fn));
+    if (discipline_ == QueueDiscipline::kCalendar) {
+      calendar_.Push(n);
+    } else {
+      heap_.Push(n);
+    }
   }
 
   // Runs events until the queue drains. Returns the number of events run.
   std::size_t Run() {
     std::size_t n = 0;
-    while (!queue_.empty()) {
-      RunOne();
-      ++n;
-    }
+    while (RunOne()) ++n;
     return n;
   }
 
@@ -69,7 +96,8 @@ class Simulator {
   // advances the clock to the deadline.
   std::size_t RunUntil(SimTime deadline) {
     std::size_t n = 0;
-    while (!queue_.empty() && queue_.top().when <= deadline) {
+    for (simdetail::EventNode* head = PeekMin();
+         head != nullptr && head->when <= deadline; head = PeekMin()) {
       RunOne();
       ++n;
     }
@@ -77,34 +105,51 @@ class Simulator {
     return n;
   }
 
-  bool Empty() const { return queue_.empty(); }
-  std::size_t Pending() const { return queue_.size(); }
-
- private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;  // tie-breaker: earlier-scheduled runs first
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  void RunOne() {
-    // Move the closure out before popping so re-entrant scheduling is safe.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    TMESH_DCHECK(ev.when >= now_);
-    now_ = ev.when;
-    ev.fn();
+  bool Empty() const { return Pending() == 0; }
+  std::size_t Pending() const {
+    return discipline_ == QueueDiscipline::kCalendar ? calendar_.Size()
+                                                     : heap_.Size();
   }
 
+  QueueDiscipline discipline() const { return discipline_; }
+
+ private:
+  simdetail::EventNode* PeekMin() {
+    if (discipline_ == QueueDiscipline::kCalendar) return calendar_.PeekMin();
+    return heap_.Empty() ? nullptr : heap_.Top();
+  }
+
+  bool RunOne() {
+    simdetail::EventNode* n;
+    if (discipline_ == QueueDiscipline::kCalendar) {
+      n = calendar_.PopMin();
+      if (n == nullptr) return false;
+    } else {
+      if (heap_.Empty()) return false;
+      n = heap_.Pop();
+    }
+    TMESH_DCHECK(n->when >= now_);
+    now_ = n->when;
+    // The record is already unlinked, so re-entrant scheduling is safe; the
+    // guard recycles it even if the closure throws (TMESH_CHECK).
+    struct Recycle {
+      simdetail::EventNode* n;
+      simdetail::EventPool* pool;
+      ~Recycle() {
+        n->DestroyClosure();
+        pool->Release(n);
+      }
+    } recycle{n, &pool_};
+    n->Invoke();
+    return true;
+  }
+
+  const QueueDiscipline discipline_ = QueueDiscipline::kCalendar;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  simdetail::EventPool pool_;
+  simdetail::CalendarQueue calendar_;
+  simdetail::NodeHeap heap_;  // used iff discipline_ == kBinaryHeap
 };
 
 }  // namespace tmesh

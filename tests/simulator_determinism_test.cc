@@ -1,0 +1,318 @@
+// Determinism suite for the simulator core and its queue migration.
+//
+// The repository's experiments all lean on one contract: events run in
+// strictly increasing (time, sequence-number) order, with sequence numbers
+// assigned at Schedule* time, so a seeded simulation is bit-for-bit
+// reproducible. This suite pins that contract three ways:
+//
+//  1. Golden ordering — a scripted workload has a hand-computed execution
+//     trace, asserted verbatim. If any queue reorders ties (or loses the
+//     contract in a refactor), this fails with the exact divergence.
+//  2. Queue migration — the same workloads (scripted and randomized) run on
+//     the seed implementation (LegacySimulator: binary heap of
+//     std::function) and on both disciplines of the pooled-record Simulator
+//     (calendar queue and binary heap), and must produce identical traces.
+//     The random workloads are built to stress calendar-queue internals:
+//     same-time bursts (FIFO bucket appends), dense ripples (day advance),
+//     far-future events (overflow heap + migration), and growth/shrink
+//     retunes.
+//  3. End to end — a full T-mesh rekey (splitting, loss + retries, uplink
+//     contention, cluster mode, a concurrent data session) run twice with
+//     the same seed yields byte-identical serialized MemberDeliveryRecord
+//     streams, and the calendar and binary-heap disciplines agree.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/directory.h"
+#include "core/modified_key_tree.h"
+#include "core/tmesh.h"
+#include "sim/legacy_simulator.h"
+#include "sim/simulator.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+using Trace = std::vector<std::pair<SimTime, int>>;
+
+// --- 1. golden ordering --------------------------------------------------
+
+// Scripted workload: ties, zero delays, re-entrant scheduling, and one
+// far-future event (2^40 past the clock — deep in the calendar queue's
+// overflow region).
+template <class Sim>
+Trace ScriptedTrace() {
+  Sim sim;
+  Trace trace;
+  auto hit = [&](int tag) { trace.emplace_back(sim.Now(), tag); };
+  sim.ScheduleIn(300, [&] { hit(0); });
+  sim.ScheduleIn(100, [&] {
+    hit(1);
+    sim.ScheduleIn(0, [&] { hit(5); });
+    sim.ScheduleIn(50, [&] { hit(6); });
+  });
+  sim.ScheduleIn(200, [&] {
+    hit(2);
+    sim.ScheduleIn(SimTime{1} << 40, [&] { hit(7); });
+  });
+  sim.ScheduleIn(100, [&] { hit(3); });  // tie with tag 1: schedule order
+  sim.ScheduleIn(0, [&] { hit(4); });
+  sim.Run();
+  return trace;
+}
+
+TEST(GoldenOrdering, ScriptedWorkloadMatchesHandComputedTrace) {
+  const Trace golden = {
+      {0, 4},   {100, 1}, {100, 3}, {100, 5},
+      {150, 6}, {200, 2}, {300, 0}, {(SimTime{1} << 40) + 200, 7},
+  };
+  EXPECT_EQ(ScriptedTrace<LegacySimulator>(), golden);
+  EXPECT_EQ(ScriptedTrace<Simulator>(), golden);
+}
+
+// --- 2. old -> new queue migration --------------------------------------
+
+// Self-driving random workload. Every event appends (Now, tag) to the trace
+// and may schedule children with delays drawn from four regimes: zero
+// (same-instant ties), short (intra-day ripple), long (multi-day hops), and
+// huge (overflow heap). Randomness is consumed *inside* events, so the
+// streams only stay aligned if the execution orders match — any reordering
+// derails the whole tail of the trace, which is exactly what we want to
+// detect.
+template <class Sim>
+struct RandomDriver {
+  Sim sim;
+  Rng rng;
+  Trace trace;
+  int next_tag = 0;
+
+  explicit RandomDriver(std::uint64_t seed) : rng(seed) {}
+
+  void Spawn(SimTime delay, int depth) {
+    const int tag = next_tag++;
+    sim.ScheduleIn(delay, [this, tag, depth] {
+      trace.emplace_back(sim.Now(), tag);
+      if (depth <= 0) return;
+      const int kids = static_cast<int>(rng.UniformInt(0, 2));
+      for (int k = 0; k < kids; ++k) {
+        const std::int64_t regime = rng.UniformInt(0, 9);
+        SimTime d;
+        if (regime < 3) {
+          d = 0;
+        } else if (regime < 7) {
+          d = rng.UniformInt(1, 64);
+        } else if (regime < 9) {
+          d = rng.UniformInt(1000, 50000);
+        } else {
+          d = rng.UniformInt(1, 4) << 30;
+        }
+        Spawn(d, depth - 1);
+      }
+    });
+  }
+};
+
+template <class Sim>
+Trace RandomTrace(std::uint64_t seed) {
+  RandomDriver<Sim> d(seed);
+  // A burst of simultaneous roots (bucket FIFO appends), a spread of
+  // near-term roots, and a few far-future ones.
+  for (int i = 0; i < 32; ++i) d.Spawn(500, 3);
+  for (int i = 0; i < 96; ++i) d.Spawn(d.rng.UniformInt(0, 20000), 3);
+  for (int i = 0; i < 8; ++i) d.Spawn(d.rng.UniformInt(1, 8) << 28, 2);
+  d.sim.Run();
+  return d.trace;
+}
+
+// The binary-heap discipline of the pooled Simulator is the "obviously
+// correct" reference the calendar queue is checked against.
+template <QueueDiscipline D>
+struct DisciplinedSimulator : Simulator {
+  DisciplinedSimulator() : Simulator(D) {}
+};
+
+TEST(QueueMigration, RandomWorkloadsAgreeAcrossAllThreeQueues) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234567ull}) {
+    Trace legacy = RandomTrace<LegacySimulator>(seed);
+    ASSERT_GT(legacy.size(), 200u) << "workload too small to be probing";
+    for (std::size_t i = 1; i < legacy.size(); ++i) {
+      ASSERT_GE(legacy[i].first, legacy[i - 1].first) << "time went backward";
+    }
+    EXPECT_EQ(
+        RandomTrace<DisciplinedSimulator<QueueDiscipline::kCalendar>>(seed),
+        legacy)
+        << "seed " << seed;
+    EXPECT_EQ(
+        RandomTrace<DisciplinedSimulator<QueueDiscipline::kBinaryHeap>>(seed),
+        legacy)
+        << "seed " << seed;
+  }
+}
+
+TEST(QueueMigration, RunUntilSemanticsAgree) {
+  auto run = [](auto&& sim) {
+    Trace trace;
+    for (int i = 0; i < 40; ++i) {
+      sim.ScheduleIn(i * 25, [&trace, &sim, i] {
+        trace.emplace_back(sim.Now(), i);
+      });
+    }
+    std::vector<std::size_t> counts;
+    for (SimTime deadline : {100, 100, 333, 5000}) {
+      counts.push_back(sim.RunUntil(deadline));
+      trace.emplace_back(sim.Now(), -1);  // clock checkpoints
+    }
+    counts.push_back(sim.Run());
+    return std::make_pair(trace, counts);
+  };
+  LegacySimulator legacy;
+  Simulator cal;
+  Simulator heap(QueueDiscipline::kBinaryHeap);
+  auto expect = run(legacy);
+  EXPECT_EQ(run(cal), expect);
+  EXPECT_EQ(run(heap), expect);
+}
+
+// --- 3. end-to-end byte-identical delivery records -----------------------
+
+template <class T>
+void Put(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+// Field-wise serialization (not memcmp of the structs: padding bytes are
+// indeterminate and would make the comparison flaky-by-construction).
+std::string Serialize(const TMesh::Result& res) {
+  std::string out;
+  Put(out, std::uint64_t{res.member.size()});
+  for (const MemberDeliveryRecord& r : res.member) {
+    Put(out, r.copies);
+    Put(out, r.delay_ms);
+    Put(out, r.rdp);
+    Put(out, r.forward_level);
+    Put(out, r.from);
+    Put(out, r.stress);
+    Put(out, r.group_key_copies);
+    Put(out, r.encs_received);
+    Put(out, r.encs_forwarded);
+  }
+  Put(out, std::uint64_t{res.member_encs.size()});
+  for (const auto& encs : res.member_encs) {
+    Put(out, std::uint64_t{encs.size()});
+    for (std::int32_t e : encs) Put(out, e);
+  }
+  Put(out, res.messages_sent);
+  Put(out, res.messages_lost);
+  Put(out, res.deliveries_failed);
+  Put(out, res.start);
+  return out;
+}
+
+UserId RandomId(Rng& rng, int d, int b) {
+  UserId id;
+  for (int i = 0; i < d; ++i) {
+    id.Append(static_cast<int>(rng.UniformInt(0, b - 1)));
+  }
+  return id;
+}
+
+struct Group {
+  PlanetLabNetwork net;
+  Directory dir;
+  ModifiedKeyTree tree;
+  ClusterRekeying clusters;
+  std::vector<UserId> ids;
+
+  Group(int users, GroupParams gp, std::uint64_t seed)
+      : net([&] {
+          PlanetLabParams p;
+          p.hosts = users + 1;
+          p.seed = seed;
+          return p;
+        }()),
+        dir(net, gp, 0),
+        tree(gp.digits),
+        clusters(gp.digits) {
+    Rng rng(seed * 131 + 7);
+    for (HostId h = 1; h <= users; ++h) {
+      UserId id;
+      do {
+        id = RandomId(rng, gp.digits, gp.base);
+      } while (dir.Contains(id));
+      dir.AddMember(id, h, h);
+      tree.Join(id);
+      clusters.Join(id, h);
+      ids.push_back(id);
+    }
+  }
+};
+
+// One full scenario: churned group, split rekey with loss + retries under
+// an uplink model, plus a concurrent data session sharing the uplinks.
+// Returns the serialized records of both sessions.
+std::string RekeyScenario(QueueDiscipline discipline, bool cluster_mode) {
+  GroupParams gp{3, 4, 2};
+  Group g(60, gp, 2026);
+  (void)g.tree.Rekey();
+  (void)g.clusters.Rekey();
+  for (int k = 0; k < 10; ++k) {
+    UserId victim = g.ids.back();
+    g.dir.RemoveMember(victim);
+    g.tree.Leave(victim);
+    g.clusters.Leave(victim);
+    g.ids.pop_back();
+  }
+  RekeyMessage msg = cluster_mode ? g.clusters.Rekey() : g.tree.Rekey();
+
+  Simulator sim(discipline);
+  TMesh tmesh(g.dir, sim);
+  TMesh::UplinkModel uplink;
+  uplink.kbps = 512.0;
+  tmesh.SetUplinkModel(uplink);
+
+  TMesh::Options opts;
+  opts.split = true;
+  opts.record_encryptions = true;
+  opts.loss_prob = 0.15;
+  opts.loss_seed = 99;
+  if (cluster_mode) opts.clusters = &g.clusters;
+
+  auto rekey = tmesh.BeginRekey(msg, opts);
+  TMesh::Options data_opts;
+  data_opts.loss_prob = 0.10;
+  data_opts.loss_seed = 7;
+  auto data = tmesh.BeginData(g.ids.front(), data_opts);
+  sim.Run();
+  return Serialize(rekey.result()) + Serialize(data.result());
+}
+
+TEST(EndToEndDeterminism, SameSeedSameBytesAcrossRuns) {
+  for (bool cluster_mode : {false, true}) {
+    std::string a = RekeyScenario(QueueDiscipline::kCalendar, cluster_mode);
+    std::string b = RekeyScenario(QueueDiscipline::kCalendar, cluster_mode);
+    EXPECT_EQ(a, b) << "cluster_mode=" << cluster_mode;
+    EXPECT_GT(a.size(), 1000u);
+  }
+}
+
+TEST(EndToEndDeterminism, SameBytesAcrossQueueDisciplines) {
+  for (bool cluster_mode : {false, true}) {
+    std::string cal = RekeyScenario(QueueDiscipline::kCalendar, cluster_mode);
+    std::string heap =
+        RekeyScenario(QueueDiscipline::kBinaryHeap, cluster_mode);
+    EXPECT_EQ(cal, heap) << "cluster_mode=" << cluster_mode;
+  }
+}
+
+}  // namespace
+}  // namespace tmesh

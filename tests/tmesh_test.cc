@@ -104,6 +104,78 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{3, 4, 2, 40}, Shape{3, 8, 4, 80},
                       Shape{5, 256, 4, 60}, Shape{4, 16, 1, 100}));
 
+// --- Property test: Theorem 1 + decryption closure over random shapes ---
+//
+// ~50 seeded random (depth, base, capacity, users) shapes. For each:
+//  * Theorem 1 — the rekey multicast reaches every member exactly once;
+//  * decryption closure — with Fig. 5 splitting on, every member receives
+//    every encryption it needs to decrypt per the key-tree semantics
+//    (UserNeedsEncryption), with no duplicates. Corollary 1 says members
+//    may additionally receive encryptions needed only downstream; the
+//    closure property is the user-visible guarantee rekeying correctness
+//    rests on, so that is what we assert for arbitrary shapes.
+TEST(TMeshProperty, ExactOnceDeliveryAndDecryptionClosureOnRandomShapes) {
+  Rng shape_rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int depth = static_cast<int>(shape_rng.UniformInt(2, 4));
+    const int base = static_cast<int>(shape_rng.UniformInt(2, 8));
+    const int capacity = static_cast<int>(shape_rng.UniformInt(1, 4));
+    // Keep the population well below base^depth so RandomId in the Group
+    // builder finds free IDs quickly.
+    std::int64_t space = 1;
+    for (int i = 0; i < depth; ++i) space *= base;
+    const int users = static_cast<int>(
+        shape_rng.UniformInt(2, std::min<std::int64_t>(60, space / 2 + 1)));
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": depth " +
+                 std::to_string(depth) + " base " + std::to_string(base) +
+                 " capacity " + std::to_string(capacity) + " users " +
+                 std::to_string(users));
+
+    Group g(users, GroupParams{depth, base, capacity},
+            1000 + static_cast<std::uint64_t>(trial));
+    // Churn a random slice of the membership to get a real rekey message.
+    (void)g.tree.Rekey();
+    const int leavers =
+        static_cast<int>(shape_rng.UniformInt(1, (users - 1) / 2 + 1));
+    for (int k = 0; k < leavers; ++k) {
+      std::size_t pick = static_cast<std::size_t>(
+          shape_rng.UniformInt(0, static_cast<int>(g.ids.size()) - 1));
+      UserId victim = g.ids[pick];
+      g.dir.RemoveMember(victim);
+      g.tree.Leave(victim);
+      g.clusters.Leave(victim);
+      g.ids.erase(g.ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    RekeyMessage msg = g.tree.Rekey();
+
+    Simulator sim;
+    TMesh tmesh(g.dir, sim);
+    TMesh::Options opts;
+    opts.split = true;
+    opts.record_encryptions = true;
+    auto res = tmesh.MulticastRekey(msg, opts);
+
+    for (const UserId& id : g.ids) {
+      const std::size_t h = static_cast<std::size_t>(g.dir.HostOf(id));
+      // Theorem 1: exactly one copy per member.
+      ASSERT_EQ(res.member[h].copies, 1) << "member " << id.ToString();
+      // No duplicate encryptions (Corollary 1: "a single copy").
+      std::set<std::int32_t> got(res.member_encs[h].begin(),
+                                 res.member_encs[h].end());
+      ASSERT_EQ(got.size(), res.member_encs[h].size())
+          << "duplicate encryptions at " << id.ToString();
+      // Decryption closure: everything the member needs arrived.
+      for (std::size_t e = 0; e < msg.encryptions.size(); ++e) {
+        if (UserNeedsEncryption(id, msg.encryptions[e])) {
+          ASSERT_TRUE(got.count(static_cast<std::int32_t>(e)) > 0)
+              << "member " << id.ToString() << " missing encryption "
+              << msg.encryptions[e].enc_key_id.ToString();
+        }
+      }
+    }
+  }
+}
+
 // --- Lemma 1 consequence: hop prefix structure -------------------------
 
 TEST(TMesh, ForwardingHopsFollowPrefixStructure) {

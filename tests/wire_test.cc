@@ -111,6 +111,124 @@ TEST(Wire, RandomBytesNeverCrash) {
   }
 }
 
+TEST(Wire, RejectsHugeCountField) {
+  RekeyMessage msg;
+  msg.encryptions.push_back(MakeEnc(KeyId{1, 2}, KeyId{1}, 2, 1));
+  auto bytes = EncodeRekeyMessage(msg);
+  // The count lives right after the 4-byte magic. A huge claimed count must
+  // fail cleanly — decoding is bounded by the buffer, never by the count
+  // (the asan-ubsan preset verifies no read past the end).
+  for (std::uint32_t claimed :
+       {0u, 2u, 0xFFu, 0xFFFFu, 0x7FFFFFFFu, 0xFFFFFFFFu}) {
+    auto corrupt = bytes;
+    corrupt[4] = static_cast<std::uint8_t>(claimed);
+    corrupt[5] = static_cast<std::uint8_t>(claimed >> 8);
+    corrupt[6] = static_cast<std::uint8_t>(claimed >> 16);
+    corrupt[7] = static_cast<std::uint8_t>(claimed >> 24);
+    EXPECT_FALSE(DecodeRekeyMessage(corrupt).has_value())
+        << "claimed count " << claimed;
+  }
+}
+
+// Every single-bit flip either fails cleanly or decodes to a message that
+// re-encodes at the same size and survives a second round trip (the format
+// is canonical except the mocked ciphertext payload, which encodes as
+// zeros). Either way: no crash, no partial state, no out-of-bounds access —
+// the asan-ubsan preset runs this sweep under AddressSanitizer to make
+// "never reads past the buffer" a checked claim.
+TEST(Wire, BitFlipSweepNeverCrashesAndStaysCanonical) {
+  ModifiedKeyTree tree(3);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) tree.Join(UserId{a, b, 0});
+  }
+  (void)tree.Rekey();
+  tree.Leave(UserId{0, 1, 0});
+  auto bytes = EncodeRekeyMessage(tree.Rekey());
+  ASSERT_GT(bytes.size(), 12u);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = bytes;
+      flipped[i] = static_cast<std::uint8_t>(flipped[i] ^ (1u << bit));
+      auto decoded = DecodeRekeyMessage(flipped);
+      if (decoded.has_value()) {
+        auto reenc = EncodeRekeyMessage(*decoded);
+        EXPECT_EQ(reenc.size(), flipped.size()) << "byte " << i << " bit "
+                                                << bit;
+        auto redec = DecodeRekeyMessage(reenc);
+        ASSERT_TRUE(redec.has_value()) << "byte " << i << " bit " << bit;
+        EXPECT_EQ(redec->encryptions.size(), decoded->encryptions.size());
+      }
+      if (i < 4) {
+        EXPECT_FALSE(decoded.has_value()) << "magic byte " << i << " survived";
+      }
+    }
+  }
+}
+
+// Corrupting any DigitString length byte to an out-of-range value must be
+// rejected without reading the phantom digits.
+TEST(Wire, RejectsCorruptedLengthFieldsEverywhere) {
+  RekeyMessage msg;
+  msg.encryptions.push_back(MakeEnc(KeyId{1, 2, 3}, KeyId{1, 2}, 5, 4));
+  msg.encryptions.push_back(MakeEnc(KeyId{7}, KeyId{}, 2, 1));
+  auto bytes = EncodeRekeyMessage(msg);
+  for (std::size_t i = 8; i < bytes.size(); ++i) {
+    auto corrupt = bytes;
+    corrupt[i] = 0xFF;  // far beyond kMaxDigits and any in-buffer length
+    auto decoded = DecodeRekeyMessage(corrupt);
+    if (decoded.has_value()) {
+      // 0xFF landed in a digit/payload/version byte, not a length byte.
+      EXPECT_EQ(EncodeRekeyMessage(*decoded).size(), corrupt.size())
+          << "byte " << i;
+    }
+  }
+}
+
+TEST(Wire, NeighborRecordRejectsTruncationAtEveryPoint) {
+  NeighborRecord rec;
+  rec.id = UserId{3, 1, 4, 1, 5};
+  rec.host = 42;
+  rec.rtt_ms = 12.25;
+  rec.join_time = FromSeconds(9.0);
+  auto bytes = EncodeNeighborRecord(rec);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> partial(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeNeighborRecord(partial).has_value()) << "cut " << cut;
+  }
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(DecodeNeighborRecord(bytes).has_value());
+}
+
+TEST(Wire, NeighborRecordBitFlipSweepStaysCanonical) {
+  NeighborRecord rec;
+  rec.id = UserId{9, 8, 7};
+  rec.host = 77;
+  rec.rtt_ms = 3.5;
+  rec.join_time = FromSeconds(1.25);
+  auto bytes = EncodeNeighborRecord(rec);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = bytes;
+      flipped[i] = static_cast<std::uint8_t>(flipped[i] ^ (1u << bit));
+      auto decoded = DecodeNeighborRecord(flipped);
+      if (decoded.has_value()) {
+        // Canonical up to the rtt microsecond rounding: a second round trip
+        // must preserve every field exactly.
+        auto reenc = EncodeNeighborRecord(*decoded);
+        EXPECT_EQ(reenc.size(), flipped.size()) << "byte " << i << " bit "
+                                                << bit;
+        auto redec = DecodeNeighborRecord(reenc);
+        ASSERT_TRUE(redec.has_value()) << "byte " << i << " bit " << bit;
+        EXPECT_EQ(redec->id, decoded->id);
+        EXPECT_EQ(redec->host, decoded->host);
+        EXPECT_EQ(redec->join_time, decoded->join_time);
+        EXPECT_NEAR(redec->rtt_ms, decoded->rtt_ms, 1e-3);
+      }
+    }
+  }
+}
+
 TEST(Wire, NeighborRecordRoundTrip) {
   NeighborRecord rec;
   rec.id = UserId{9, 8, 7, 6, 5};
