@@ -9,6 +9,8 @@
 // burst inflates data latency — with and without rekey-message splitting,
 // across uplink speeds.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/tmesh.h"
@@ -44,40 +46,54 @@ int main(int argc, char** argv) {
               "data_w_full_rekey_ms", "data_w_split_rekey_ms",
               "split_gain");
 
-  for (double kbps : {64.0, 256.0, 1024.0, 10240.0}) {
-    auto run = [&](int mode) {  // 0: data alone, 1: +full rekey, 2: +split
-      Simulator sim;
-      TMesh tmesh(session.directory(), sim);
-      TMesh::UplinkModel up;
-      up.kbps = kbps;
-      up.data_bytes = 256;  // a small audio/control packet
-      tmesh.SetUplinkModel(up);
-      std::vector<TMesh::Handle> handles;
-      if (mode > 0) {
-        TMesh::Options ropts;
-        ropts.split = mode == 2;
-        handles.push_back(tmesh.BeginRekey(msg, ropts));
-      }
-      // Launch the data stream while the rekey burst is mid-flight through
-      // the overlay (after the server has pushed out its first copies).
-      double msg_ms =
-          (48.0 + 24.0 * static_cast<double>(msg.RekeyCost())) * 8.0 / kbps;
-      sim.RunUntil(sim.Now() + FromMillis(1.5 * msg_ms + 50.0));
-      handles.push_back(tmesh.BeginData(*sender));
-      sim.Run();
-      const TMesh::Result& data = handles.back().result();
-      std::vector<double> delays;
-      for (const auto& r : data.member) {
-        if (r.copies > 0) delays.push_back(r.delay_ms);
-      }
-      return Percentile(delays, 95);
-    };
-    double alone = run(0);
-    double full = run(1);
-    double split = run(2);
-    std::printf("%12.0f%18.1f%22.1f%22.1f%13.1fx\n", kbps, alone, full,
-                split, full / split);
-  }
+  // One replica per uplink speed (the rows share only the immutable
+  // session and rekey message); each row runs its three modes back-to-back
+  // on the worker's simulator, Reset() between modes standing in for the
+  // per-mode `Simulator sim;` the sequential loop constructed. Rows print
+  // in speed order regardless of --threads.
+  const std::vector<double> speeds = {64.0, 256.0, 1024.0, 10240.0};
+  ReplicaRunner runner(f.Threads());
+  runner.Run(
+      static_cast<int>(speeds.size()),
+      [&](ReplicaRunner::Replica& rep) {
+        const double kbps = speeds[static_cast<std::size_t>(rep.index)];
+        auto run = [&](int mode) {  // 0: data alone, 1: +full rekey, 2: +split
+          rep.sim.Reset();
+          TMesh tmesh(session.directory(), rep.sim);
+          TMesh::UplinkModel up;
+          up.kbps = kbps;
+          up.data_bytes = 256;  // a small audio/control packet
+          tmesh.SetUplinkModel(up);
+          std::vector<TMesh::Handle> handles;
+          if (mode > 0) {
+            TMesh::Options ropts;
+            ropts.split = mode == 2;
+            handles.push_back(tmesh.BeginRekey(msg, ropts));
+          }
+          // Launch the data stream while the rekey burst is mid-flight
+          // through the overlay (after the server has pushed out its first
+          // copies).
+          double msg_ms = (48.0 + 24.0 * static_cast<double>(msg.RekeyCost())) *
+                          8.0 / kbps;
+          rep.sim.RunUntil(rep.sim.Now() + FromMillis(1.5 * msg_ms + 50.0));
+          handles.push_back(tmesh.BeginData(*sender));
+          rep.sim.Run();
+          const TMesh::Result& data = handles.back().result();
+          std::vector<double> delays;
+          for (const auto& r : data.member) {
+            if (r.copies > 0) delays.push_back(r.delay_ms);
+          }
+          return Percentile(delays, 95);
+        };
+        double alone = run(0);
+        double full = run(1);
+        double split = run(2);
+        char row[160];
+        std::snprintf(row, sizeof(row), "%12.0f%18.1f%22.1f%22.1f%13.1fx\n",
+                      kbps, alone, full, split, full / split);
+        return std::string(row);
+      },
+      [](int, std::string&& row) { std::fputs(row.c_str(), stdout); });
   std::printf(
       "\n# expected: where the unsplit burst's forwarders overlap the data "
       "tree in time, data\n# latency multiplies; the split burst never "

@@ -10,6 +10,8 @@
 //   random       — location-independent IDs (PRR/Pastry/Tapestry style)
 // and report rekey latency (RDP), split-rekey bandwidth, and join cost.
 #include <cstdio>
+#include <iterator>
+#include <string>
 
 #include "bench_common.h"
 #include "core/tmesh.h"
@@ -40,57 +42,68 @@ int main(int argc, char** argv) {
               "rdp_p95", "rekey_cost", "encs_avg", "encs_max", "srv_fanout",
               "stress_max", "quer/join");
 
-  for (const Mode& mode : modes) {
-    auto net = MakeNetwork(Topo::kPlanetLab, users + 1, f.seed);
-    std::unique_ptr<GnpModel> gnp;
-    if (mode.gnp) {
-      GnpModel::Params gp;
-      gp.seed = f.seed + 7;
-      gnp = std::make_unique<GnpModel>(*net, gp);
-    }
-    SessionConfig cfg = PaperSession();
-    cfg.with_nice = false;
-    cfg.centralized_assignment = mode.centralized;
-    cfg.random_ids = mode.random;
-    cfg.assign.gnp = gnp.get();
-    cfg.seed = f.seed * 5 + 1;
-    GroupSession session(*net, 0, cfg);
-    Rng rng(f.seed * 11 + 2);
+  // One replica per policy; every replica builds its own network, session,
+  // and (via the worker) simulator, so the four policies run concurrently.
+  // Each returns its formatted table row; rows print in policy order.
+  ReplicaRunner runner(f.Threads());
+  runner.Run(
+      static_cast<int>(std::size(modes)),
+      [&](ReplicaRunner::Replica& rep) {
+        const Mode& mode = modes[rep.index];
+        auto net = MakeNetwork(Topo::kPlanetLab, users + 1, f.seed);
+        std::unique_ptr<GnpModel> gnp;
+        if (mode.gnp) {
+          GnpModel::Params gp;
+          gp.seed = f.seed + 7;
+          gnp = std::make_unique<GnpModel>(*net, gp);
+        }
+        SessionConfig cfg = PaperSession();
+        cfg.with_nice = false;
+        cfg.centralized_assignment = mode.centralized;
+        cfg.random_ids = mode.random;
+        cfg.assign.gnp = gnp.get();
+        cfg.seed = f.seed * 5 + 1;
+        GroupSession session(*net, 0, cfg);
+        Rng rng(f.seed * 11 + 2);
 
-    double queries = 0;
-    for (HostId h = 1; h <= users; ++h) {
-      IdAssignStats stats;
-      if (!session.Join(h, h, &stats).has_value()) return 1;
-      queries += stats.queries;
-    }
-    session.FlushRekeyState();
-    for (int i = 0; i < churn; ++i) {
-      auto victim = session.directory().RandomAliveMember(rng);
-      session.Leave(*victim);
-    }
-    RekeyMessage msg = session.key_tree().Rekey();
+        double queries = 0;
+        for (HostId h = 1; h <= users; ++h) {
+          IdAssignStats stats;
+          TMESH_CHECK_MSG(session.Join(h, h, &stats).has_value(),
+                          "ID space exhausted");
+          queries += stats.queries;
+        }
+        session.FlushRekeyState();
+        for (int i = 0; i < churn; ++i) {
+          auto victim = session.directory().RandomAliveMember(rng);
+          session.Leave(*victim);
+        }
+        RekeyMessage msg = session.key_tree().Rekey();
 
-    Simulator sim;
-    TMesh tmesh(session.directory(), sim);
-    TMesh::Options opts;
-    opts.split = true;
-    auto res = tmesh.MulticastRekey(msg, opts);
+        TMesh tmesh(session.directory(), rep.sim);
+        TMesh::Options opts;
+        opts.split = true;
+        auto res = tmesh.MulticastRekey(msg, opts);
 
-    std::vector<double> rdp, encs, stress;
-    int srv_fanout = 0;
-    for (const auto& [id, info] : session.directory().members()) {
-      (void)id;
-      auto h = static_cast<std::size_t>(info.host);
-      rdp.push_back(res.member[h].rdp);
-      encs.push_back(static_cast<double>(res.member[h].encs_received));
-      stress.push_back(static_cast<double>(res.member[h].stress));
-      if (res.member[h].forward_level == 1) ++srv_fanout;
-    }
-    std::printf("%-14s%10.2f%10.2f%12zu%12.1f%12.0f%12d%12.0f%12.1f\n",
-                mode.name, Percentile(rdp, 50), Percentile(rdp, 95),
-                msg.RekeyCost(), Mean(encs), Percentile(encs, 100),
-                srv_fanout, Percentile(stress, 100), queries / users);
-  }
+        std::vector<double> rdp, encs, stress;
+        int srv_fanout = 0;
+        for (const auto& [id, info] : session.directory().members()) {
+          (void)id;
+          auto h = static_cast<std::size_t>(info.host);
+          rdp.push_back(res.member[h].rdp);
+          encs.push_back(static_cast<double>(res.member[h].encs_received));
+          stress.push_back(static_cast<double>(res.member[h].stress));
+          if (res.member[h].forward_level == 1) ++srv_fanout;
+        }
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%-14s%10.2f%10.2f%12zu%12.1f%12.0f%12d%12.0f%12.1f\n",
+                      mode.name, Percentile(rdp, 50), Percentile(rdp, 95),
+                      msg.RekeyCost(), Mean(encs), Percentile(encs, 100),
+                      srv_fanout, Percentile(stress, 100), queries / users);
+        return std::string(row);
+      },
+      [](int, std::string&& row) { std::fputs(row.c_str(), stdout); });
   std::printf(
       "\n# expected (§2.6): random IDs flatten the ID tree — the rekey "
       "message balloons and the\n# key server must unicast to hundreds of "

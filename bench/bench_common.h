@@ -3,21 +3,29 @@
 // Every fig* binary reproduces one figure of the paper's evaluation as a
 // text table (see EXPERIMENTS.md for the mapping and the expected shapes).
 // Common flags:
-//   --runs=N   number of simulation runs to aggregate (paper run counts are
-//              larger; defaults here keep the full bench suite fast)
-//   --seed=N   master seed
-//   --users=N  override the population where applicable
+//   --runs=N     number of simulation runs to aggregate (paper run counts
+//                are larger; defaults here keep the full bench suite fast)
+//   --seed=N     master seed
+//   --users=N    override the population where applicable
+//   --threads=N  replica worker threads (default: hardware concurrency;
+//                1 runs the old sequential loop). Stdout is byte-identical
+//                for every N — only wall-clock and the ordering of stderr
+//                progress notes change.
+//   --full       paper-scale settings
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 
 #include "metrics/report.h"
-#include "protocols/latency_experiment.h"
+#include "protocols/latency_figure.h"
+#include "sim/replica_runner.h"
 #include "topology/gtitm.h"
 #include "topology/planetlab.h"
 
@@ -26,33 +34,73 @@ namespace tmesh::bench {
 struct Flags {
   int runs = -1;          // -1: driver default
   int users = -1;
+  int threads = 0;        // 0: hardware concurrency
   std::uint64_t seed = 1;
   bool full = false;      // paper-scale settings
+
+  // Replica pool width after defaulting.
+  int Threads() const {
+    return threads > 0 ? threads : ReplicaRunner::HardwareThreads();
+  }
+
+  static void Usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--runs=N] [--users=N] [--seed=N] [--threads=N] "
+                 "[--full]\n"
+                 "  --threads=N  replica worker threads (default: hardware "
+                 "concurrency;\n"
+                 "               1 = sequential; stdout is identical for "
+                 "every N)\n",
+                 argv0);
+    std::exit(2);
+  }
+
+  // Strict numeric parse: the whole token must be a decimal number in
+  // [min_v, max_v]. (std::atoi silently yielded 0 for malformed input,
+  // which turned e.g. --runs=1O into a zero-run bench.)
+  static long long ParseNum(const char* argv0, const char* flag,
+                            const char* text, long long min_v,
+                            long long max_v) {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || v < min_v ||
+        v > max_v) {
+      std::fprintf(stderr, "%s: invalid value for %s: '%s'\n", argv0, flag,
+                   text);
+      Usage(argv0);
+    }
+    return v;
+  }
 
   static Flags Parse(int argc, char** argv) {
     Flags f;
     for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
       if (std::strncmp(a, "--runs=", 7) == 0) {
-        f.runs = std::atoi(a + 7);
+        f.runs = static_cast<int>(
+            ParseNum(argv[0], "--runs", a + 7, 1, 1 << 20));
       } else if (std::strncmp(a, "--users=", 8) == 0) {
-        f.users = std::atoi(a + 8);
+        f.users = static_cast<int>(
+            ParseNum(argv[0], "--users", a + 8, 2, 1 << 20));
+      } else if (std::strncmp(a, "--threads=", 10) == 0) {
+        f.threads = static_cast<int>(
+            ParseNum(argv[0], "--threads", a + 10, 1, 4096));
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
-        f.seed = static_cast<std::uint64_t>(std::atoll(a + 7));
+        f.seed = static_cast<std::uint64_t>(ParseNum(
+            argv[0], "--seed", a + 7, 0,
+            std::numeric_limits<long long>::max()));
       } else if (std::strcmp(a, "--full") == 0) {
         f.full = true;
       } else {
-        std::fprintf(stderr,
-                     "usage: %s [--runs=N] [--users=N] [--seed=N] [--full]\n",
-                     argv[0]);
-        std::exit(2);
+        Usage(argv[0]);
       }
     }
     return f;
   }
 };
 
-enum class Topo { kPlanetLab, kGtItm };
+using Topo = FigureTopology;
 
 // The paper's T-mesh defaults: D=5, B=256, K=4, P=10, F=90,
 // R=(150,30,9,3) ms, NICE k=3.
@@ -68,65 +116,25 @@ inline SessionConfig PaperSession() {
 
 inline std::unique_ptr<Network> MakeNetwork(Topo topo, int hosts,
                                             std::uint64_t seed) {
-  if (topo == Topo::kPlanetLab) {
-    PlanetLabParams p;
-    p.hosts = hosts;
-    p.seed = seed;
-    return std::make_unique<PlanetLabNetwork>(p);
-  }
-  GtItmParams p;
-  p.seed = seed;
-  return std::make_unique<GtItmNetwork>(p, hosts, seed * 31 + 1);
+  return MakeFigureNetwork(topo, hosts, seed);
 }
 
-// Runs a Figs. 6-11 style latency figure: `runs` simulations, then three
-// inverse-CDF tables (user stress / application-layer delay / RDP) with
-// cross-run mean and 95th percentile, T-mesh vs NICE (Fig. 6
-// presentation), plus the headline RDP fractions the paper quotes.
+// Runs a Figs. 6-11 style latency figure on the replica pool; see
+// protocols/latency_figure.h for the workload and the determinism contract.
 inline void RunLatencyFigure(const std::string& title, Topo topo, int users,
-                             bool data_path, int runs, std::uint64_t seed) {
-  RankedRunStats t_stress, t_delay, t_rdp, n_stress, n_delay, n_rdp;
-  std::vector<double> t_rdp_all, n_rdp_all;
-
-  for (int run = 0; run < runs; ++run) {
-    std::uint64_t run_seed = seed + static_cast<std::uint64_t>(run) * 1000003;
-    auto net = MakeNetwork(topo, users + 1, run_seed);
-    LatencyRunConfig cfg;
-    cfg.users = users;
-    cfg.data_path = data_path;
-    cfg.join_window_s = topo == Topo::kPlanetLab ? 452.0 : 2048.0;
-    cfg.session = PaperSession();
-    auto res = RunLatencyExperiment(*net, cfg, run_seed * 7 + 13);
-    t_stress.AddRun(res.tmesh.stress);
-    t_delay.AddRun(res.tmesh.delay_ms);
-    t_rdp.AddRun(res.tmesh.rdp);
-    n_stress.AddRun(res.nice.stress);
-    n_delay.AddRun(res.nice.delay_ms);
-    n_rdp.AddRun(res.nice.rdp);
-    t_rdp_all.insert(t_rdp_all.end(), res.tmesh.rdp.begin(),
-                     res.tmesh.rdp.end());
-    n_rdp_all.insert(n_rdp_all.end(), res.nice.rdp.begin(),
-                     res.nice.rdp.end());
-    std::fprintf(stderr, "  run %d/%d done\n", run + 1, runs);
-  }
-
-  auto fr = DefaultFractions();
-  PrintRankedTable(std::cout, title + " (a): user stress", fr,
-                   {{"T-mesh", &t_stress}, {"NICE", &n_stress}});
-  std::cout << "\n";
-  PrintRankedTable(std::cout, title + " (b): application-layer delay [ms]",
-                   fr, {{"T-mesh", &t_delay}, {"NICE", &n_delay}});
-  std::cout << "\n";
-  PrintRankedTable(std::cout, title + " (c): relative delay penalty (RDP)",
-                   fr, {{"T-mesh", &t_rdp}, {"NICE", &n_rdp}});
-
-  InverseCdf tc(t_rdp_all), nc(n_rdp_all);
-  std::printf(
-      "\n# headline: T-mesh RDP<2: %.0f%%, RDP<3: %.0f%%  |  NICE RDP<2: "
-      "%.0f%%, RDP<3: %.0f%%\n"
-      "#   (paper, Fig. 6: T-mesh 78%% / 95%%; NICE 23%% / 47%%)\n",
-      100 * tc.FractionAtOrBelow(2.0), 100 * tc.FractionAtOrBelow(3.0),
-      100 * nc.FractionAtOrBelow(2.0), 100 * nc.FractionAtOrBelow(3.0));
+                             bool data_path, int runs, std::uint64_t seed,
+                             int threads) {
+  LatencyFigureConfig cfg;
+  cfg.title = title;
+  cfg.topo = topo;
+  cfg.users = users;
+  cfg.data_path = data_path;
+  cfg.runs = runs;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.session = PaperSession();
+  cfg.progress = true;
+  PrintLatencyFigure(std::cout, cfg);
 }
 
 }  // namespace tmesh::bench

@@ -12,6 +12,6 @@ int main(int argc, char** argv) {
   int users = f.users > 0 ? f.users : 226;
   RunLatencyFigure("Fig 6: rekey path latency, PlanetLab, " +
                        std::to_string(users) + " joins",
-                   Topo::kPlanetLab, users, /*data_path=*/false, runs, f.seed);
+                   Topo::kPlanetLab, users, /*data_path=*/false, runs, f.seed, f.Threads());
   return 0;
 }

@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   int users = f.users > 0 ? f.users : 1024;
   RunLatencyFigure("Fig 8: rekey path latency, GT-ITM, " +
                        std::to_string(users) + " joins",
-                   Topo::kGtItm, users, /*data_path=*/false, runs, f.seed);
+                   Topo::kGtItm, users, /*data_path=*/false, runs, f.seed, f.Threads());
   return 0;
 }

@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   int users = f.users > 0 ? f.users : 226;
   RunLatencyFigure("Fig 9: data path latency, PlanetLab, " +
                        std::to_string(users) + " joins",
-                   Topo::kPlanetLab, users, /*data_path=*/true, runs, f.seed);
+                   Topo::kPlanetLab, users, /*data_path=*/true, runs, f.seed, f.Threads());
   return 0;
 }

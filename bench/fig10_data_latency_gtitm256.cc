@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   int users = f.users > 0 ? f.users : 256;
   RunLatencyFigure("Fig 10: data path latency, GT-ITM, " +
                        std::to_string(users) + " joins",
-                   Topo::kGtItm, users, /*data_path=*/true, runs, f.seed);
+                   Topo::kGtItm, users, /*data_path=*/true, runs, f.seed, f.Threads());
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   RekeyCostConfig cfg;
   cfg.seed = f.seed;
   cfg.initial_users = f.users > 0 ? f.users : 1024;
+  cfg.threads = f.Threads();
   cfg.session = PaperSession();
   if (f.full) {
     cfg.grid = {0, 128, 256, 384, 512, 640, 768, 896, 1024};

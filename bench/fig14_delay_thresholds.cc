@@ -26,22 +26,33 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<InverseCdf>> keep;
   std::vector<std::pair<std::string, const InverseCdf*>> delays, rdps;
 
-  for (const Variant& v : variants) {
-    auto net = MakeNetwork(Topo::kPlanetLab, users + 1, f.seed);
-    LatencyRunConfig cfg;
-    cfg.users = users;
-    cfg.join_window_s = 452.0;
-    cfg.session = PaperSession();
-    cfg.session.with_nice = false;
-    cfg.session.group.digits = v.digits;
-    cfg.session.assign.thresholds_ms = v.thresholds;
-    auto res = RunLatencyExperiment(*net, cfg, f.seed * 7 + 13);
-    keep.push_back(std::make_unique<InverseCdf>(res.tmesh.delay_ms));
-    delays.push_back({v.name, keep.back().get()});
-    keep.push_back(std::make_unique<InverseCdf>(res.tmesh.rdp));
-    rdps.push_back({v.name, keep.back().get()});
-    std::fprintf(stderr, "  variant %s done\n", v.name.c_str());
-  }
+  // One replica per variant; each builds its own network and session, so
+  // the pool may run them concurrently. Merging in variant order keeps the
+  // tables' series order (and the output bytes) fixed for any --threads.
+  ReplicaRunner runner(f.Threads());
+  runner.Run(
+      static_cast<int>(variants.size()),
+      [&](ReplicaRunner::Replica& rep) {
+        const Variant& v = variants[static_cast<std::size_t>(rep.index)];
+        auto net = MakeNetwork(Topo::kPlanetLab, users + 1, f.seed);
+        LatencyRunConfig cfg;
+        cfg.users = users;
+        cfg.join_window_s = 452.0;
+        cfg.session = PaperSession();
+        cfg.session.with_nice = false;
+        cfg.session.group.digits = v.digits;
+        cfg.session.assign.thresholds_ms = v.thresholds;
+        auto res = RunLatencyExperiment(*net, cfg, f.seed * 7 + 13, &rep.sim);
+        std::fprintf(stderr, "  variant %s done\n", v.name.c_str());
+        return res;
+      },
+      [&](int i, LatencyRunResult&& res) {
+        const Variant& v = variants[static_cast<std::size_t>(i)];
+        keep.push_back(std::make_unique<InverseCdf>(res.tmesh.delay_ms));
+        delays.push_back({v.name, keep.back().get()});
+        keep.push_back(std::make_unique<InverseCdf>(res.tmesh.rdp));
+        rdps.push_back({v.name, keep.back().get()});
+      });
 
   auto fr = DefaultFractions();
   PrintInverseCdfTable(

@@ -1,0 +1,81 @@
+// Replica-throughput scaling of the ReplicaRunner on the Fig. 8 workload
+// (rekey-path latency, GT-ITM, 1024 users). For each thread count in the
+// sweep the driver runs the same `--runs` replicas through the figure
+// pipeline into a string sink, reports wall-clock, replicas/sec, and the
+// speedup over the sequential (--threads=1) pass, and verifies that the
+// figure bytes are identical to the sequential output — the determinism
+// contract the tier1 replica_runner_test pins on a smaller workload.
+//
+// Defaults keep the sweep tractable on small machines (--users=1024
+// --runs=4, threads 1/2/4/8 capped at 2 x hardware concurrency; --full
+// lifts the cap and uses 8 runs). BENCH_replica_runs.json records a
+// measured curve.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tmesh;
+  using namespace tmesh::bench;
+  Flags f = Flags::Parse(argc, argv);
+  const int users = f.users > 0 ? f.users : 1024;
+  const int runs = f.runs > 0 ? f.runs : (f.full ? 8 : 4);
+
+  std::vector<int> sweep;
+  const int hw = ReplicaRunner::HardwareThreads();
+  for (int t : {1, 2, 4, 8}) {
+    if (f.full || t <= 2 * hw) sweep.push_back(t);
+  }
+  if (f.threads > 0) sweep = {1, f.threads};
+
+  std::printf("# replica scaling: Fig 8 workload (GT-ITM, %d users), %d "
+              "replicas per point\n"
+              "# hardware concurrency: %d\n",
+              users, runs, hw);
+  std::printf("%10s%14s%16s%12s%12s\n", "threads", "wall_sec",
+              "replicas_per_s", "speedup", "identical");
+
+  std::string baseline;
+  double base_sec = 0.0;
+  for (int t : sweep) {
+    LatencyFigureConfig cfg;
+    cfg.title = "Fig 8: rekey path latency, GT-ITM, " +
+                std::to_string(users) + " joins";
+    cfg.topo = Topo::kGtItm;
+    cfg.users = users;
+    cfg.data_path = false;
+    cfg.runs = runs;
+    cfg.seed = f.seed;
+    cfg.threads = t;
+    cfg.session = PaperSession();
+
+    std::ostringstream sink;
+    const auto t0 = std::chrono::steady_clock::now();
+    PrintLatencyFigure(sink, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+
+    bool identical = true;
+    if (t == sweep.front()) {
+      baseline = sink.str();
+      base_sec = sec;
+    } else {
+      identical = sink.str() == baseline;
+    }
+    std::printf("%10d%14.2f%16.2f%11.2fx%12s\n", t, sec, runs / sec,
+                base_sec / sec, identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: --threads=%d output diverged from --threads=%d\n",
+                   t, sweep.front());
+      return 1;
+    }
+  }
+  std::printf("\n# expected: near-linear speedup up to the number of "
+              "physical cores (replicas\n# share nothing but the config); "
+              "identical must read 'yes' on every row.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Regenerate bench_output.txt: rebuild the default preset and rerun every
+# bench binary with its default (EXPERIMENTS.md) settings.
+#
+# Usage:
+#   scripts/regen_experiments.sh              # rebuild + all benches
+#   scripts/regen_experiments.sh --tsan       # also run the ThreadSanitizer
+#                                             # pass over the replica-runner
+#                                             # and simulator tests first
+#   BENCH_THREADS=4 scripts/regen_experiments.sh   # pin --threads for the
+#                                             # replica-parallel figure runs
+#                                             # (default: all hardware threads)
+#
+# Output is deterministic per seed and per --threads-invariant by
+# construction (see DESIGN.md "Parallel replica runs"), so a diff of
+# bench_output.txt against a committed copy is a meaningful regression
+# signal regardless of the machine's core count. Wall-clock notes in
+# EXPERIMENTS.md do depend on the machine.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "usage: $0 [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== ThreadSanitizer pass (replica runner + simulator tests) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --preset tsan
+fi
+
+echo "== Rebuild (default preset) =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+# Benches in EXPERIMENTS.md order. Flags beyond the defaults are listed
+# explicitly so the file documents exactly how it was produced.
+threads_flag=""
+if [[ -n "${BENCH_THREADS:-}" ]]; then
+  threads_flag="--threads=${BENCH_THREADS}"
+fi
+
+benches=(
+  fig06_rekey_latency_planetlab
+  fig07_rekey_latency_gtitm256
+  fig08_rekey_latency_gtitm1024
+  fig09_data_latency_planetlab
+  fig10_data_latency_gtitm256
+  fig11_data_latency_gtitm1024
+  fig12_rekey_cost
+  fig13_rekey_bandwidth
+  fig14_delay_thresholds
+  micro_join_cost
+  ablation_id_assignment
+  ablation_split_granularity
+  ablation_congestion
+)
+
+out=bench_output.txt
+: > "$out"
+for b in "${benches[@]}"; do
+  start=$SECONDS
+  {
+    echo "===== $b ${threads_flag} ====="
+    ./build/bench/"$b" ${threads_flag}
+    echo
+  } >> "$out"
+  echo "== $b: $((SECONDS - start))s =="
+done
+
+# micro_core_ops (google-benchmark) reports wall times, which are not
+# deterministic; keep it out of bench_output.txt but still smoke-run it.
+echo "== micro_core_ops (smoke, not recorded) =="
+./build/bench/micro_core_ops --benchmark_min_time=0.01s > /dev/null
+
+echo "Wrote $out"

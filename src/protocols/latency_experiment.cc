@@ -8,8 +8,10 @@ namespace tmesh {
 
 LatencyRunResult RunLatencyExperiment(const Network& net,
                                       const LatencyRunConfig& cfg,
-                                      std::uint64_t run_seed) {
+                                      std::uint64_t run_seed, Simulator* sim) {
   TMESH_CHECK(cfg.users >= 2);
+  TMESH_CHECK_MSG(sim == nullptr || (sim->Empty() && sim->Now() == 0),
+                  "external Simulator must be fresh or Reset()");
   TMESH_CHECK(net.host_count() >= cfg.users + 1);
   Rng rng(run_seed);
 
@@ -32,8 +34,8 @@ LatencyRunResult RunLatencyExperiment(const Network& net,
   session.FlushRekeyState();
 
   LatencyRunResult out;
-  Simulator sim;
-  TMesh tmesh(session.directory(), sim);
+  Simulator local_sim;
+  TMesh tmesh(session.directory(), sim != nullptr ? *sim : local_sim);
 
   HostId sender_host = server;
   TMesh::Result tresult;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "protocols/group_session.h"
+#include "sim/simulator.h"
 #include "topology/network.h"
 
 namespace tmesh {
@@ -38,9 +39,14 @@ struct LatencyRunResult {
 
 // One simulation run: hosts 1..users join (host 0 is the key server); the
 // session's group/NICE parameters come from cfg.session; `run_seed` drives
-// the join times/order and the data sender choice.
+// the join times/order and the data sender choice. When `sim` is non-null
+// the run uses it instead of a run-local Simulator — it must be idle in its
+// freshly-constructed/Reset() state, and results are identical either way
+// (ReplicaRunner workers pass their pooled Simulator here so the event
+// arenas stay warm across replicas).
 LatencyRunResult RunLatencyExperiment(const Network& net,
                                       const LatencyRunConfig& cfg,
-                                      std::uint64_t run_seed);
+                                      std::uint64_t run_seed,
+                                      Simulator* sim = nullptr);
 
 }  // namespace tmesh

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "keytree/wgl_key_tree.h"
+#include "sim/replica_runner.h"
 
 namespace tmesh {
 
@@ -18,9 +19,28 @@ std::vector<RekeyCostCell> RunRekeyCostExperiment(const RekeyCostConfig& cfg) {
     }
   }
 
+  // Per-run generators are forked from the master sequentially — exactly
+  // the stream the old sequential loop drew — then each run executes
+  // independently on the replica pool. A run's contribution is a local copy
+  // of the cell grid; contributions merge in run order, so the averages are
+  // bit-identical to the sequential loop for any thread count.
   Rng master(cfg.seed);
-  for (int run = 0; run < cfg.runs; ++run) {
-    Rng rng = master.Fork();
+  std::vector<Rng> run_rngs;
+  run_rngs.reserve(static_cast<std::size_t>(cfg.runs));
+  for (int run = 0; run < cfg.runs; ++run) run_rngs.push_back(master.Fork());
+
+  ReplicaRunner runner(cfg.threads);
+  runner.Run(
+      cfg.runs,
+      [&](ReplicaRunner::Replica& rep) {
+    // A zeroed copy of the grid: merge may already have folded earlier
+    // runs into `cells`, so only the (j, l) coordinates carry over.
+    std::vector<RekeyCostCell> local;
+    local.reserve(cells.size());
+    for (const RekeyCostCell& c : cells) {
+      local.push_back(RekeyCostCell{c.joins, c.leaves, 0.0, 0.0, 0.0});
+    }
+    Rng rng = run_rngs[static_cast<std::size_t>(rep.index)];
     const int total_hosts = 1 + cfg.initial_users + max_joins;
     GtItmNetwork net(cfg.topology, total_hosts, rng.Fork().engine()());
 
@@ -49,7 +69,7 @@ std::vector<RekeyCostCell> RunRekeyCostExperiment(const RekeyCostConfig& cfg) {
     }
     const bool full = w == wgl_members.size();
 
-    for (RekeyCostCell& cell : cells) {
+    for (RekeyCostCell& cell : local) {
       Rng cell_rng = rng.Fork();
       // Independent copies of every key-management state machine.
       Directory dir = base.directory();
@@ -111,7 +131,15 @@ std::vector<RekeyCostCell> RunRekeyCostExperiment(const RekeyCostConfig& cfg) {
       cell.original +=
           static_cast<double>(wgl.Rekey(wgl_joins, wgl_leaves).RekeyCost());
     }
-  }
+    return local;
+      },
+      [&](int, std::vector<RekeyCostCell>&& local) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          cells[i].modified += local[i].modified;
+          cells[i].original += local[i].original;
+          cells[i].cluster += local[i].cluster;
+        }
+      });
 
   for (RekeyCostCell& cell : cells) {
     cell.modified /= cfg.runs;

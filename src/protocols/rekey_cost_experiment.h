@@ -25,6 +25,11 @@ struct RekeyCostConfig {
   int runs = 3;
   int wgl_degree = 4;
   double join_window_s = 2048.0;
+  // Replica pool width (ReplicaRunner semantics: <= 0 selects hardware
+  // concurrency). Per-run RNGs are pre-forked from the master seed in run
+  // order and cells merge in run order, so results are identical for any
+  // value.
+  int threads = 1;
   SessionConfig session;
   GtItmParams topology;
 };

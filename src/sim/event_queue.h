@@ -159,6 +159,9 @@ class NodeHeap {
   // For teardown: every queued node, in no particular order.
   const std::vector<EventNode*>& Nodes() const { return v_; }
 
+  // Forgets every node (the caller owns their closures/records).
+  void Clear() { v_.clear(); }
+
  private:
   static bool After(const EventNode* a, const EventNode* b) {
     return NodeBefore(b, a);
@@ -266,6 +269,20 @@ class CalendarQueue {
       Retune();
     }
     return n;
+  }
+
+  // Forgets every queued node (the caller owns their closures/records) and
+  // restores the pristine geometry, so a cleared queue is indistinguishable
+  // from a freshly constructed one.
+  void Clear() {
+    buckets_.assign(kMinBuckets, nullptr);
+    tails_.assign(kMinBuckets, nullptr);
+    overflow_.Clear();
+    width_ = 64;
+    count_ = 0;
+    calendar_count_ = 0;
+    direct_searches_ = 0;
+    SetDayFor(0);
   }
 
   // For teardown: appends every queued node to `out` in no particular order.

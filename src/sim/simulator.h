@@ -52,11 +52,23 @@ class Simulator {
   ~Simulator() {
     // Destroy the closures of any never-run events (they may own resources
     // through captured smart pointers). The pool frees the records.
-    std::vector<simdetail::EventNode*> pending;
-    calendar_.CollectAll(pending);
-    const auto& h = heap_.Nodes();
-    pending.insert(pending.end(), h.begin(), h.end());
-    for (simdetail::EventNode* n : pending) n->DestroyClosure();
+    DestroyPending();
+  }
+
+  // Returns the simulator to its freshly-constructed observable state —
+  // pending events destroyed, clock at 0, sequence counter at 0, queues
+  // back to pristine geometry — while keeping the event pool's arenas
+  // allocated. A Reset() simulator runs any workload bit-identically to a
+  // brand-new one (the ordering contract depends only on (time, seq), never
+  // on queue geometry or pool layout); reusing the arenas is what lets a
+  // ReplicaRunner worker execute thousands of replicas without re-warming
+  // the allocator each time.
+  void Reset() {
+    DestroyPending();
+    calendar_.Clear();
+    heap_.Clear();
+    now_ = 0;
+    next_seq_ = 0;
   }
 
   SimTime Now() const { return now_; }
@@ -114,6 +126,20 @@ class Simulator {
   QueueDiscipline discipline() const { return discipline_; }
 
  private:
+  // Destroys the closures of all never-run events and recycles their
+  // records. Leaves the queue structures' bookkeeping untouched (the caller
+  // clears or destroys them next).
+  void DestroyPending() {
+    std::vector<simdetail::EventNode*> pending;
+    calendar_.CollectAll(pending);
+    const auto& h = heap_.Nodes();
+    pending.insert(pending.end(), h.begin(), h.end());
+    for (simdetail::EventNode* n : pending) {
+      n->DestroyClosure();
+      pool_.Release(n);
+    }
+  }
+
   simdetail::EventNode* PeekMin() {
     if (discipline_ == QueueDiscipline::kCalendar) return calendar_.PeekMin();
     return heap_.Empty() ? nullptr : heap_.Top();

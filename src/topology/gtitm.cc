@@ -1,6 +1,7 @@
 #include "topology/gtitm.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace tmesh {
 
@@ -132,12 +133,17 @@ void GtItmNetwork::Generate(const GtItmParams& params) {
 }
 
 const Graph::SptResult& GtItmNetwork::SptFromRouter(RouterId r) const {
-  auto it = spt_cache_.find(r);
-  if (it == spt_cache_.end()) {
-    it = spt_cache_
-             .emplace(r, std::make_unique<Graph::SptResult>(graph_.Dijkstra(r)))
-             .first;
+  {
+    std::shared_lock<std::shared_mutex> lk(spt_mu_);
+    auto it = spt_cache_.find(r);
+    if (it != spt_cache_.end()) return *it->second;
   }
+  // Compute outside the lock (Dijkstra over ~5000 routers dwarfs any lock
+  // cost); racing computations of the same root produce identical trees and
+  // the first emplace wins.
+  auto spt = std::make_unique<Graph::SptResult>(graph_.Dijkstra(r));
+  std::unique_lock<std::shared_mutex> lk(spt_mu_);
+  auto [it, inserted] = spt_cache_.emplace(r, std::move(spt));
   return *it->second;
 }
 

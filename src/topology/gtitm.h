@@ -20,6 +20,7 @@
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -85,7 +86,11 @@ class GtItmNetwork : public Network {
 
   // The cached shortest-path tree rooted at a host's attachment router
   // (computed on demand; shared by RTT queries, path extraction, and the
-  // IP-multicast baseline).
+  // IP-multicast baseline). Thread-safe: concurrent replicas sharing one
+  // network (the ablation benches under ReplicaRunner) may query in
+  // parallel; a cache miss computes the Dijkstra outside the lock and the
+  // first insert wins, so the returned reference is stable for the
+  // network's lifetime either way.
   const Graph::SptResult& SptFromHost(HostId h) const;
   const Graph::SptResult& SptFromRouter(RouterId r) const;
 
@@ -95,6 +100,7 @@ class GtItmNetwork : public Network {
   Graph graph_;
   int transit_router_count_ = 0;
   std::vector<RouterId> attach_router_;
+  mutable std::shared_mutex spt_mu_;
   mutable std::unordered_map<RouterId, std::unique_ptr<Graph::SptResult>>
       spt_cache_;
 };

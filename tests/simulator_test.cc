@@ -76,6 +76,72 @@ TEST(Simulator, RejectsSchedulingIntoThePast) {
   EXPECT_THROW(sim.ScheduleIn(-1, [] {}), std::logic_error);
 }
 
+TEST(Simulator, ResetRestoresFreshObservableState) {
+  Simulator sim;
+  int destroyed = 0;
+  struct CountDestroy {
+    int* n;
+    CountDestroy(int* n) : n(n) {}
+    CountDestroy(const CountDestroy& o) : n(o.n) {}
+    CountDestroy(CountDestroy&& o) noexcept : n(o.n) { o.n = nullptr; }
+    ~CountDestroy() {
+      if (n) ++*n;
+    }
+    void operator()() const {}
+  };
+  sim.ScheduleIn(5, [] {});
+  sim.ScheduleIn(50, CountDestroy(&destroyed));   // will still be pending
+  sim.ScheduleIn(900, CountDestroy(&destroyed));  // far-future, also pending
+  sim.RunUntil(10);
+  EXPECT_EQ(sim.Now(), 10);
+  EXPECT_FALSE(sim.Empty());
+
+  sim.Reset();
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Empty());
+  EXPECT_EQ(sim.Pending(), 0u);
+  // Pending closures were destroyed exactly once (they may own resources).
+  EXPECT_EQ(destroyed, 2);
+}
+
+// A Reset() simulator must execute a workload bit-identically to a brand
+// new one — the property ReplicaRunner workers rely on when reusing one
+// Simulator across replicas.
+template <class Sim>
+std::vector<std::pair<SimTime, int>> ReplayTrace(Sim& sim) {
+  std::vector<std::pair<SimTime, int>> trace;
+  auto hit = [&](int tag) { trace.emplace_back(sim.Now(), tag); };
+  for (int i = 0; i < 64; ++i) {
+    sim.ScheduleIn(i % 9 * 7, [&, i] {
+      hit(i);
+      if (i % 4 == 0) {
+        sim.ScheduleIn(0, [&, i] { hit(1000 + i); });
+        sim.ScheduleIn(1 << (i % 13), [&, i] { hit(2000 + i); });
+      }
+    });
+  }
+  sim.Run();
+  return trace;
+}
+
+TEST(Simulator, ResetSimulatorReplaysIdentically) {
+  for (QueueDiscipline d :
+       {QueueDiscipline::kCalendar, QueueDiscipline::kBinaryHeap}) {
+    Simulator fresh(d);
+    auto expected = ReplayTrace(fresh);
+
+    Simulator reused(d);
+    // Dirty it thoroughly: run a different workload, leave events pending.
+    for (int i = 0; i < 200; ++i) reused.ScheduleIn(i * 3, [] {});
+    reused.ScheduleIn(1'000'000'000, [] {});
+    reused.RunUntil(300);
+    for (int round = 0; round < 3; ++round) {
+      reused.Reset();
+      EXPECT_EQ(ReplayTrace(reused), expected) << "round " << round;
+    }
+  }
+}
+
 TEST(Simulator, ClockNeverGoesBackward) {
   Simulator sim;
   SimTime last = 0;
