@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Nightly churn-fuzzing campaign: long randomized interleavings over both
+# substrates, both silk regimes, and the K/loss grid the acceptance matrix
+# calls for. Any violation is delta-debugged by fuzz_churn itself; the
+# 1-minimal repro lands in $OUT_DIR, ready to be fixed and then checked in
+# under tests/fuzz_repros/.
+#
+# Usage:
+#   scripts/fuzz_nightly.sh                 # default: 10k ops x 3 seeds/config
+#   FUZZ_OPS=50000 scripts/fuzz_nightly.sh  # longer traces
+#   FUZZ_SEEDS=10 scripts/fuzz_nightly.sh   # more seeds per config
+#   FUZZ_SEED0=$(date +%j) scripts/fuzz_nightly.sh   # rotate the seed base
+#
+# Exit status: 0 iff every campaign ran clean.
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+OPS="${FUZZ_OPS:-10000}"
+SEEDS="${FUZZ_SEEDS:-3}"
+SEED0="${FUZZ_SEED0:-1}"
+OUT_DIR="${FUZZ_OUT:-fuzz-out}"
+
+cmake --preset default >/dev/null
+cmake --build --preset default --target fuzz_churn -j "$(nproc)" >/dev/null
+mkdir -p "$OUT_DIR"
+
+FUZZ=build/src/fuzz/fuzz_churn
+failures=0
+
+run() {
+  echo "== fuzz_churn $* --ops=$OPS --seed=$SEED0 --seeds=$SEEDS --out=$OUT_DIR"
+  if ! "$FUZZ" "$@" --ops="$OPS" --seed="$SEED0" --seeds="$SEEDS" \
+      --out="$OUT_DIR"; then
+    failures=$((failures + 1))
+  fi
+}
+
+# Directory substrate: K x loss grid, plus the Appendix-B cluster mode.
+for k in 2 4; do
+  for loss in 0 0.05; do
+    run --substrate=directory --k="$k" --loss="$loss"
+  done
+done
+run --substrate=directory --k=2 --cluster
+
+# Silk substrate: dense ID spaces so subtrees have depth. The default
+# (capped) regime holds leave concurrency within Definition 3's K-1
+# tolerance and asserts sharply; the uncapped regime pushes bursts past it
+# and relies on the soft-state maintenance sweep.
+for k in 2 4; do
+  run --substrate=silk --digits=3 --base=4 --hosts=48 --k="$k"
+  run --substrate=silk --digits=3 --base=4 --hosts=48 --k="$k" --uncapped
+done
+run --substrate=silk --digits=2 --base=4 --hosts=24 --k=2 --uncapped
+
+# Alternate queue discipline: same seeds must land on the same verdicts.
+run --substrate=directory --k=2 --discipline=heap
+run --substrate=silk --digits=3 --base=4 --hosts=48 --k=2 --discipline=heap
+
+if [ "$failures" -ne 0 ]; then
+  echo "FUZZ NIGHTLY: $failures campaign(s) found violations; repros in $OUT_DIR/"
+  exit 1
+fi
+echo "FUZZ NIGHTLY: all campaigns clean"

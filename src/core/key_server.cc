@@ -39,6 +39,14 @@ void KeyServer::RequestLeave(UserId id) {
   ++interval_leaves_;
 }
 
+void KeyServer::RepairFailure(UserId id) {
+  TMESH_CHECK_MSG(dir_.Contains(id), "repair of unknown member");
+  dir_.RepairFailure(id);
+  mtree_.Leave(id);
+  clusters_.Leave(id);
+  ++interval_leaves_;
+}
+
 void KeyServer::EndInterval() {
   IntervalRecord rec;
   rec.when = sim_.Now();
@@ -60,6 +68,10 @@ void KeyServer::EndInterval() {
     opts.split = cfg_.split;
     opts.clusters = cfg_.cluster_heuristic ? &clusters_ : nullptr;
     opts.record_encryptions = cfg_.record_encryptions;
+    opts.loss_prob = cfg_.loss_prob;
+    opts.max_send_attempts = cfg_.max_send_attempts;
+    opts.loss_seed = cfg_.seed * 0x9E3779B97F4A7C15ull +
+                     static_cast<std::uint64_t>(deliveries_.size());
     deliveries_.push_back(tmesh_.BeginRekey(*messages_.back(), opts));
     rec.delivery = static_cast<int>(deliveries_.size()) - 1;
   }

@@ -42,6 +42,11 @@ class KeyServer {
     bool split = true;
     bool cluster_heuristic = false;
     bool record_encryptions = false;  // pass through to delivery results
+    // Loss model for the interval rekey multicasts (per-transmission loss
+    // with §2.3 backup-neighbor retries). Each interval's session gets a
+    // distinct loss stream derived from `seed` and the interval index.
+    double loss_prob = 0.0;
+    int max_send_attempts = 8;
     std::uint64_t seed = 1;
   };
 
@@ -70,6 +75,17 @@ class KeyServer {
   // the key tree's live versions).
   std::optional<UserId> RequestJoin(HostId host);
   void RequestLeave(UserId id);
+
+  // Crash/repair pass-throughs that keep the key tree and cluster map in
+  // step with the directory. MarkFailed opens the §2.3 failure window — the
+  // member is still a group member cryptographically, so no key state
+  // changes. RepairFailure completes detection: the member is evicted
+  // everywhere and its path re-keys at the interval end exactly like a
+  // leave (otherwise the crashed member would keep a decryptable path to
+  // every future group key — found by the churn fuzzer, repro
+  // tests/fuzz_repros/keyserver_repair_forward_secrecy.repro).
+  void MarkFailed(const UserId& id) { dir_.MarkFailed(id); }
+  void RepairFailure(UserId id);
 
   // Concurrent application traffic over the same tables and uplinks.
   TMesh::Handle MulticastData(const UserId& sender) {

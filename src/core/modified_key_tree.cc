@@ -16,8 +16,19 @@ void ModifiedKeyTree::Join(const UserId& u) {
   TMESH_CHECK_MSG(nodes_.count(u) == 0, "join of present user " + u.ToString());
   for (int len = 0; len <= depth_; ++len) {
     DigitString p = u.Prefix(len);
-    Node& node = nodes_[p];  // creates missing k-nodes (and the u-node)
-    if (len < depth_) node.children.insert(u.digit(len));
+    // Creates missing k-nodes (and the u-node). A re-created node must not
+    // reuse the versions its previous incarnation handed out — a departed
+    // member still holds those keys, and a version collision would let it
+    // decrypt the new key chain (fuzzer find; repro
+    // tests/fuzz_repros/keytree_version_reuse_forward_secrecy.repro).
+    auto [it, created] = nodes_.try_emplace(p);
+    if (created) {
+      auto retired = retired_versions_.find(p);
+      if (retired != retired_versions_.end()) {
+        it->second.version = retired->second + 1;
+      }
+    }
+    if (len < depth_) it->second.children.insert(u.digit(len));
   }
   changed_.insert(u);
   ++user_count_;
@@ -25,9 +36,12 @@ void ModifiedKeyTree::Join(const UserId& u) {
 
 void ModifiedKeyTree::Leave(UserId u) {
   TMESH_CHECK(u.size() == depth_);
-  TMESH_CHECK_MSG(nodes_.count(u) > 0, "leave of absent user " + u.ToString());
-  nodes_.erase(u);
-  // Prune childless k-nodes bottom-up.
+  auto leaf = nodes_.find(u);
+  TMESH_CHECK_MSG(leaf != nodes_.end(), "leave of absent user " + u.ToString());
+  retired_versions_[u] = leaf->second.version;
+  nodes_.erase(leaf);
+  // Prune childless k-nodes bottom-up, retiring their versions so a later
+  // re-creation cannot repeat them.
   for (int len = depth_ - 1; len >= 0; --len) {
     DigitString p = u.Prefix(len);
     Node& node = nodes_.at(p);
@@ -36,6 +50,7 @@ void ModifiedKeyTree::Leave(UserId u) {
       node.children.erase(child_digit);
     }
     if (node.children.empty()) {
+      retired_versions_[p] = node.version;
       nodes_.erase(p);
     }
   }

@@ -76,6 +76,10 @@ class ModifiedKeyTree {
   int user_count_ = 0;
   std::unordered_map<DigitString, Node> nodes_;  // levels 0..D
   std::unordered_set<UserId> changed_;           // changed leaf IDs
+  // Last version of every pruned node: re-created nodes resume one past it,
+  // so no (key ID, version) pair is ever issued twice — a departed member
+  // holding the old keys must not be able to decrypt a later chain.
+  std::unordered_map<DigitString, std::uint32_t> retired_versions_;
 };
 
 }  // namespace tmesh

@@ -116,7 +116,12 @@ void SilkGroup::AcceptLeave(const UserId& w, const UserId& gone,
   Member& m = MemberRef(w);
   int cpl = w.CommonPrefixLen(gone);
   int digit = gone.digit(cpl);
-  if (!m.table.Remove(cpl, digit, gone)) return;
+  // Top up from the candidates even when `gone` was not in w's entry: under
+  // concurrent leaves the entry may have been emptied by an earlier notice
+  // whose candidates were all dead, and this notice can be the only carrier
+  // of a live replacement (fuzzer find; repro
+  // tests/fuzz_repros/silk_leave_refill_dead_candidates.repro).
+  bool removed = m.table.Remove(cpl, digit, gone);
   // Refill from the departing member's candidates: those in the same
   // (cpl, digit)-ID subtree of w, closest first.
   DigitString subtree = w.Prefix(cpl).Child(digit);
@@ -141,6 +146,55 @@ void SilkGroup::AcceptLeave(const UserId& w, const UserId& gone,
     if (have >= params_.capacity) break;
     m.table.Insert(cpl, digit, c);
     ++have;
+  }
+  // A removal that leaves the entry empty with no live candidate to refill
+  // from is the failure mode 1-consistency cannot absorb: if the subtree
+  // still has members, w has lost its last route to them. Ask the
+  // neighbors that keep a parallel entry for the same subtree.
+  if (removed && have == 0) RecoverEntry(w, cpl, digit);
+}
+
+void SilkGroup::RecoverEntry(const UserId& w, int cpl, int digit) {
+  const Member& m = MemberRef(w);
+  // Every live neighbor in rows >= cpl shares w's first cpl digits, so its
+  // table has its own (cpl, digit)-entry covering the same ID subtree.
+  std::vector<NeighborRecord> peers;
+  for (int i = cpl; i < params_.digits; ++i) {
+    for (const auto& [d, entry] : m.table.row(i)) {
+      if (i == cpl && d == digit) continue;  // the hole being repaired
+      for (const NeighborRecord& rec : entry) {
+        if (Contains(rec.id)) peers.push_back(rec);
+      }
+    }
+  }
+  UserId wid = w;
+  for (const NeighborRecord& peer : peers) {
+    UserId pid = peer.id;
+    Message(m.host, peer.host, [this, wid, pid, cpl, digit]() {
+      if (!Contains(pid) || !Contains(wid)) return;
+      const Member& q = members_.at(pid);
+      const NeighborTable::Entry* e = q.table.entry(cpl, digit);
+      if (e == nullptr || e->empty()) return;
+      auto recs = std::make_shared<std::vector<NeighborRecord>>(*e);
+      Message(q.host, members_.at(wid).host,
+              [this, wid, cpl, digit, recs]() {
+                if (!Contains(wid)) return;
+                Member& me = MemberRef(wid);
+                const NeighborTable::Entry* mine = me.table.entry(cpl, digit);
+                int have = mine == nullptr ? 0
+                                           : static_cast<int>(mine->size());
+                for (const NeighborRecord& rec : *recs) {
+                  if (have >= params_.capacity) break;
+                  if (rec.id == wid || !Contains(rec.id)) continue;
+                  if (me.table.ContainsNeighbor(cpl, digit, rec.id)) continue;
+                  NeighborRecord probed = rec;
+                  probed.rtt_ms = net_.RttHosts(me.host, rec.host);
+                  ++stats_.rtt_probes;
+                  me.table.Insert(cpl, digit, probed);
+                  ++have;
+                }
+              });
+    });
   }
 }
 
@@ -297,7 +351,9 @@ void SilkGroup::Leave(UserId id) {
   // Notify the key server with the same candidates.
   Message(me.host, server_host_, [this, gone, candidates]() {
     int digit = gone.digit(0);
-    if (!server_table_.Remove(0, digit, gone)) return;
+    // Same top-up-on-any-notice rule as AcceptLeave: a notice whose subject
+    // was already removed can still carry the only live replacement.
+    server_table_.Remove(0, digit, gone);
     std::vector<NeighborRecord> fits;
     for (const NeighborRecord& c : *candidates) {
       if (c.id == gone || !Contains(c.id)) continue;
@@ -324,6 +380,127 @@ void SilkGroup::Leave(UserId id) {
   // backup neighbors (requires K > 1, §2.2).
   host_index_.erase(me.host);
   members_.erase(id);
+}
+
+bool SilkGroup::RunMaintenance() {
+  bool changed = false;
+  // Phase 1: heartbeat probes. Snapshot each row before mutating it.
+  for (auto& [id, m] : members_) {
+    for (int i = 0; i < params_.digits; ++i) {
+      std::vector<std::pair<int, UserId>> dead;
+      std::vector<NeighborRecord> live;
+      for (const auto& [d, entry] : m.table.row(i)) {
+        for (const NeighborRecord& rec : entry) {
+          stats_.messages += 2;  // ping + pong (or timeout)
+          if (Contains(rec.id)) {
+            live.push_back(rec);
+          } else {
+            dead.emplace_back(d, rec.id);
+          }
+        }
+      }
+      for (const auto& [d, uid] : dead) {
+        m.table.Remove(i, d, uid);
+        changed = true;
+      }
+      // A successful probe tells the neighbor the prober is alive; it
+      // records the prober if the matching entry has room (no eviction, so
+      // the sweep stays monotone).
+      for (const NeighborRecord& rec : live) {
+        Member& peer = MemberRef(rec.id);
+        int cpl = rec.id.CommonPrefixLen(id);
+        int digit = id.digit(cpl);
+        if (peer.table.ContainsNeighbor(cpl, digit, id)) continue;
+        const NeighborTable::Entry* e = peer.table.entry(cpl, digit);
+        if (e != nullptr && static_cast<int>(e->size()) >= params_.capacity) {
+          continue;
+        }
+        NeighborRecord mine = RecordOf(m, peer.host);
+        ++stats_.rtt_probes;
+        peer.table.Insert(cpl, digit, mine);
+        changed = true;
+      }
+    }
+  }
+  // Phase 2: repair. An entry position with no record at all queries the
+  // neighbors that keep a parallel entry for the same subtree; the first
+  // peer with records answers (one round trip per peer asked).
+  for (auto& [id, m] : members_) {
+    for (int i = 0; i < params_.digits; ++i) {
+      for (int j = 0; j < params_.base; ++j) {
+        if (j == id.digit(i)) continue;
+        const NeighborTable::Entry* e = m.table.entry(i, j);
+        if (e != nullptr && !e->empty()) continue;
+        bool filled = false;
+        for (int r = i; r < params_.digits && !filled; ++r) {
+          for (const auto& [d, entry] : m.table.row(r)) {
+            if (r == i && d == j) continue;
+            if (filled) break;
+            for (const NeighborRecord& peer_rec : entry) {
+              if (!Contains(peer_rec.id)) continue;
+              stats_.messages += 2;  // query + response
+              const Member& q = members_.at(peer_rec.id);
+              const NeighborTable::Entry* qe = q.table.entry(i, j);
+              if (qe == nullptr) continue;
+              for (const NeighborRecord& rec : *qe) {
+                if (rec.id == id || !Contains(rec.id)) continue;
+                if (m.table.ContainsNeighbor(i, j, rec.id)) continue;
+                NeighborRecord mine = rec;
+                mine.rtt_ms = net_.RttHosts(m.host, rec.host);
+                ++stats_.rtt_probes;
+                m.table.Insert(i, j, mine);
+                changed = true;
+                filled = true;
+              }
+              if (filled) break;
+            }
+          }
+        }
+      }
+    }
+  }
+  // The server's row-0 table gets the same treatment.
+  for (int j = 0; j < params_.base; ++j) {
+    const NeighborTable::Entry* e = server_table_.entry(0, j);
+    if (e == nullptr) continue;
+    std::vector<UserId> dead;
+    for (const NeighborRecord& rec : *e) {
+      stats_.messages += 2;
+      if (!Contains(rec.id)) dead.push_back(rec.id);
+    }
+    for (const UserId& uid : dead) {
+      server_table_.Remove(0, j, uid);
+      changed = true;
+    }
+  }
+  for (int j = 0; j < params_.base; ++j) {
+    const NeighborTable::Entry* e = server_table_.entry(0, j);
+    if (e != nullptr && !e->empty()) continue;
+    bool filled = false;
+    for (int d = 0; d < params_.base && !filled; ++d) {
+      if (d == j) continue;
+      const NeighborTable::Entry* other = server_table_.entry(0, d);
+      if (other == nullptr) continue;
+      for (const NeighborRecord& peer_rec : *other) {
+        if (!Contains(peer_rec.id)) continue;
+        stats_.messages += 2;
+        const Member& q = members_.at(peer_rec.id);
+        const NeighborTable::Entry* qe = q.table.entry(0, j);
+        if (qe == nullptr) continue;
+        for (const NeighborRecord& rec : *qe) {
+          if (!Contains(rec.id)) continue;
+          if (server_table_.ContainsNeighbor(0, j, rec.id)) continue;
+          NeighborRecord mine = rec;
+          mine.rtt_ms = net_.RttHosts(server_host_, rec.host);
+          server_table_.Insert(0, j, mine);
+          changed = true;
+          filled = true;
+        }
+        if (filled) break;
+      }
+    }
+  }
+  return changed;
 }
 
 void SilkGroup::CheckConsistency(int strength) const {
@@ -357,7 +534,14 @@ void SilkGroup::CheckConsistency(int strength) const {
           }
         }
         TMESH_CHECK_MSG(live >= std::min(strength, m),
-                        "entry below required strength");
+                        "entry below required strength: owner=" +
+                            (owner == nullptr ? std::string("server")
+                                              : owner->ToString()) +
+                            " row=" + std::to_string(i) + " digit=" +
+                            std::to_string(j) + " live=" +
+                            std::to_string(live) + " records=" +
+                            std::to_string(e == nullptr ? 0 : e->size()) +
+                            " population=" + std::to_string(m));
         TMESH_CHECK_MSG(live <= std::min(params_.capacity, m),
                         "entry above capacity / population");
       }

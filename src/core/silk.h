@@ -87,6 +87,20 @@ class SilkGroup : public GroupView {
   // subtree is). Throws on violation.
   void CheckConsistency(int strength) const;
 
+  // One synchronous soft-state maintenance sweep — the model of Silk's
+  // periodic neighbor heartbeats, which are what repairs tables after
+  // churn bursts beyond Definition 3's K-1 concurrent-departure tolerance
+  // (leave floods can lose their only route into a subtree then).
+  //   1. Probe: every member pings each record in its table; dead
+  //      neighbors are scrubbed (the timeout), live ones learn the prober
+  //      is alive and record it if the matching entry has room.
+  //   2. Repair: entries left without a single record query the neighbors
+  //      that keep a parallel entry for the same subtree.
+  // All probes/queries are charged to stats().messages. Returns true if
+  // any table changed; callers iterate to a fixpoint (insertions never
+  // evict, so the sweep is monotone and terminates).
+  bool RunMaintenance();
+
  private:
   struct Member {
     UserId id;
@@ -104,6 +118,11 @@ class SilkGroup : public GroupView {
   // Delivers u's leave notice with replacement candidates at member w.
   void AcceptLeave(const UserId& w, const UserId& gone,
                    const std::vector<NeighborRecord>& candidates);
+  // Repairs w's emptied (cpl, digit)-entry by querying live neighbors that
+  // share at least cpl digits with w — each keeps its own entry for the
+  // same ID subtree. Runs when a leave notice removes the entry's last
+  // record and its carried candidates are all dead.
+  void RecoverEntry(const UserId& w, int cpl, int digit);
   // FORWARD-based flood of a closure over the current tables, starting at
   // `origin` (which must be a member); fn runs at each *other* member upon
   // delivery. Returns immediately; effects land as simulator events.

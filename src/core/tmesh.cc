@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/wire.h"
+
 namespace tmesh {
 
 // One multicast session: owns the result, the loss-model RNG, and the
@@ -16,6 +18,12 @@ struct TMesh::Handle::Session {
   bool is_rekey = false;
   Result result;
   Rng loss_rng{1};
+  // Exact wire.cc size of each encryption in `msg`, indexed like
+  // msg->encryptions; summed per packet by the uplink model.
+  std::vector<std::uint32_t> enc_bytes;
+  // Size of the Appendix-B group-key unicast's single encryption (group
+  // key under the receiver's D-digit individual key).
+  std::uint32_t group_key_enc_bytes = 0;
 };
 
 TMesh::Handle::Handle(std::unique_ptr<Session> s) : session_(std::move(s)) {}
@@ -101,10 +109,16 @@ TMesh::EncSnapshot TMesh::SplitSnapshot(Session& s, const EncSnapshot& parent,
   return std::make_shared<const EncList>(split_scratch_);
 }
 
-double TMesh::PacketBytes(const Packet& pkt) const {
+double TMesh::PacketBytes(const Session& s, const Packet& pkt) const {
   if (!pkt.is_rekey) return uplink_.data_bytes;
-  return uplink_.header_bytes +
-         static_cast<double>(EncCount(pkt)) * uplink_.bytes_per_encryption;
+  double bytes = uplink_.header_bytes;
+  if (pkt.group_key_unicast) return bytes + s.group_key_enc_bytes;
+  if (pkt.encs != nullptr) {
+    for (std::int32_t idx : *pkt.encs) {
+      bytes += s.enc_bytes[static_cast<std::size_t>(idx)];
+    }
+  }
+  return bytes;
 }
 
 std::pair<SimTime, SimTime> TMesh::OccupyUplink(HostId from, double bytes) {
@@ -125,7 +139,7 @@ void TMesh::SendFirst(Session& s, const UserId* from, HostId from_host,
   const UserId to = candidates.front();
 
   bool lost = s.opts.loss_prob > 0.0 && s.loss_rng.Bernoulli(s.opts.loss_prob);
-  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(pkt));
+  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(s, pkt));
   Transmit(s, from, from_host, to, pkt, lost, depart, tx);
 
   if (lost) {
@@ -163,7 +177,7 @@ void TMesh::RetrySend(Session& s, const UserId* from, HostId from_host,
       candidates[static_cast<std::size_t>(attempt) % candidates.size()];
 
   bool lost = s.opts.loss_prob > 0.0 && s.loss_rng.Bernoulli(s.opts.loss_prob);
-  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(pkt));
+  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(s, pkt));
   Transmit(s, from, from_host, to, pkt, lost, depart, tx);
 
   if (lost) {
@@ -310,6 +324,21 @@ TMesh::Handle TMesh::MakeSession(const Options& opts, HostId source_host,
   session->source_host = source_host;
   session->is_rekey = is_rekey;
   session->loss_rng = Rng(opts.loss_seed);
+  if (msg != nullptr) {
+    session->enc_bytes.reserve(msg->encryptions.size());
+    for (const Encryption& e : msg->encryptions) {
+      session->enc_bytes.push_back(static_cast<std::uint32_t>(WireSize(e)));
+    }
+    // Appendix-B last hop: the group key (root ID, empty) encrypted under
+    // the receiver's individual key (D digits).
+    Encryption unicast;
+    unicast.enc_key_id = DigitString{};
+    for (int i = 0; i < dir_.params().digits; ++i) {
+      unicast.enc_key_id.Append(0);
+    }
+    session->group_key_enc_bytes =
+        static_cast<std::uint32_t>(WireSize(unicast));
+  }
   auto& result = session->result;
   result.member.resize(static_cast<std::size_t>(dir_.network().host_count()));
   if (opts.record_encryptions) {

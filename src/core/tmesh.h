@@ -115,14 +115,15 @@ class TMesh {
   };
 
   // Optional access-link model: each host's uplink serializes its outgoing
-  // messages at `kbps`; a message of E encryptions occupies the uplink for
-  // (header_bytes + E × bytes_per_encryption) × 8 / kbps milliseconds.
+  // messages at `kbps`; a rekey packet of encryptions {e} occupies the
+  // uplink for (header_bytes + Σ WireSize(e)) × 8 / kbps milliseconds,
+  // using each encryption's exact wire.cc size (IDs are depth-dependent, so
+  // a flat per-encryption estimate misstates congestion at other depths).
   // Shared across all concurrent sessions of this TMesh — this is what
   // makes a bulky rekey burst delay a concurrent data stream (§1).
   struct UplinkModel {
     double kbps = 0.0;  // 0 disables the model
     int header_bytes = 48;
-    int bytes_per_encryption = 24;  // 16-byte key + ID/version overhead
     // Transmission size of a non-rekey (data) message in bytes.
     int data_bytes = 1024;
   };
@@ -219,8 +220,9 @@ class TMesh {
     if (pkt.group_key_unicast) return 1;
     return pkt.encs == nullptr ? 0 : pkt.encs->size();
   }
-  // Bytes on the wire for the uplink model.
-  double PacketBytes(const Packet& pkt) const;
+  // Bytes on the wire for the uplink model (exact wire.cc sizes, summed
+  // from the session's per-encryption table).
+  double PacketBytes(const Session& s, const Packet& pkt) const;
   // Occupies the sender's uplink; returns {depart, tx_time}.
   std::pair<SimTime, SimTime> OccupyUplink(HostId from, double bytes);
 

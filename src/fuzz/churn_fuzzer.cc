@@ -1,0 +1,962 @@
+#include "fuzz/churn_fuzzer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/key_server.h"
+#include "core/silk.h"
+#include "core/tmesh.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace fuzz {
+namespace {
+
+// A violation that already carries its invariant label. Guard() tags the
+// TMESH_CHECK throws of whichever check region was running; op execution
+// itself is a region too (a CHECK tripping inside e.g. SilkGroup::Leave is
+// as much a finding as a failed consistency assertion).
+struct TaggedViolation {
+  std::string invariant;
+  std::string message;
+};
+
+template <class Fn>
+void Guard(const char* label, Fn&& fn) {
+  try {
+    fn();
+  } catch (const TaggedViolation&) {
+    throw;
+  } catch (const std::logic_error& e) {
+    throw TaggedViolation{label, e.what()};
+  }
+}
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Fixed-point decryption closure (Lemma 3 / Corollary 1 semantics): grows
+// `held` (key ID -> version) with every key reachable from the given
+// encryptions. An encryption is decryptable iff the holder has the
+// encrypting key at exactly the emitted version. `indices` restricts the
+// usable encryptions (a member's actual receipts); nullptr means all of
+// them (the perfect-reception entitlement).
+void Close(std::map<KeyId, std::uint32_t>& held,
+           const std::vector<Encryption>& encs,
+           const std::vector<std::int32_t>* indices) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    auto usable = [&](const Encryption& e) {
+      auto it = held.find(e.enc_key_id);
+      if (it == held.end() || it->second != e.enc_key_version) return false;
+      auto have = held.find(e.new_key_id);
+      return have == held.end() || have->second < e.new_key_version;
+    };
+    if (indices == nullptr) {
+      for (const Encryption& e : encs) {
+        if (usable(e)) {
+          held[e.new_key_id] = e.new_key_version;
+          progress = true;
+        }
+      }
+    } else {
+      for (std::int32_t i : *indices) {
+        const Encryption& e = encs[static_cast<std::size_t>(i)];
+        if (usable(e)) {
+          held[e.new_key_id] = e.new_key_version;
+          progress = true;
+        }
+      }
+    }
+  }
+}
+
+// Version the message distributes for key `k`; 0 if `k` is not renewed.
+std::uint32_t VersionInMessage(const RekeyMessage& msg, const KeyId& k) {
+  for (const Encryption& e : msg.encryptions) {
+    if (e.new_key_id == k) return e.new_key_version;
+  }
+  return 0;
+}
+
+PlanetLabParams NetParams(const FuzzConfig& cfg) {
+  PlanetLabParams p;
+  p.hosts = cfg.hosts;
+  p.seed = cfg.seed * 2654435761ull + 17;
+  return p;
+}
+
+// Delay thresholds scaled to the configured depth (the paper's R vector is
+// for D=5; shallower fuzz groups take its prefix).
+std::vector<double> ThresholdsFor(int digits) {
+  static const double kDefaults[] = {150.0, 30.0, 9.0, 3.0, 1.5, 0.8, 0.4};
+  TMESH_CHECK(digits >= 2 && digits <= 8);
+  return std::vector<double>(kDefaults, kDefaults + (digits - 1));
+}
+
+void Line(std::string& log, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  log += buf;
+  log += '\n';
+}
+
+// ---------------------------------------------------------------------------
+// kDirectory substrate: the online KeyServer (periodic batch rekeys over the
+// Directory oracle) under joins, leaves, crash/repair, concurrent data
+// sessions and per-transmission loss.
+//
+// Op semantics: membership ops are instant (the Directory is the paper's
+// centralized controller); only kAdvance moves simulated time, so in-flight
+// rekey/data packets race every membership change issued between advances.
+// A point is *quiescent* when only the server's interval timer remains
+// queued; all delivery/consistency invariants are asserted there.
+//
+// Strictness bookkeeping: a session's results are checked in full only if
+// no membership op happened between its start and the quiescent point
+// (churn_epoch_ unchanged) and no crash is outstanding — exactly the
+// hypotheses of Theorem 1 / Corollary 1. Sessions overlapping churn still
+// must execute without tripping any internal CHECK, and their encryption
+// payloads still feed the entitlement model and the forward-secrecy check.
+// ---------------------------------------------------------------------------
+class DirectoryHarness {
+ public:
+  explicit DirectoryHarness(const FuzzConfig& cfg)
+      : cfg_(cfg),
+        net_(NetParams(cfg)),
+        sim_(cfg.discipline),
+        server_(net_, 0, sim_, ServerConfig(cfg)) {
+    for (HostId h = 1; h < cfg.hosts; ++h) free_hosts_.push_back(h);
+    server_.Start();
+  }
+
+  static KeyServer::Config ServerConfig(const FuzzConfig& cfg) {
+    KeyServer::Config c;
+    c.group = cfg.group;
+    c.assign.collect_target = 4;
+    c.assign.thresholds_ms = ThresholdsFor(cfg.group.digits);
+    c.rekey_interval = cfg.rekey_interval;
+    c.split = cfg.split;
+    c.cluster_heuristic = cfg.cluster_heuristic;
+    c.record_encryptions = true;
+    c.loss_prob = cfg.loss_prob;
+    c.seed = cfg.seed;
+    return c;
+  }
+
+  void Apply(int index, const Op& op, std::string& log) {
+    const Directory& dir = server_.directory();
+    switch (op.kind) {
+      case OpKind::kJoin: {
+        if (free_hosts_.empty()) break;
+        std::size_t pick = op.arg % free_hosts_.size();
+        HostId host = free_hosts_[pick];
+        std::optional<UserId> id;
+        Guard("op", [&] { id = server_.RequestJoin(host); });
+        if (!id.has_value()) break;
+        free_hosts_.erase(free_hosts_.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+        ++epoch_;
+        if (!cfg_.cluster_heuristic) GrantKeys(*id);
+        break;
+      }
+      case OpKind::kLeave: {
+        std::vector<UserId> alive = dir.AliveMembers();
+        if (alive.empty()) break;
+        UserId victim = alive[op.arg % alive.size()];
+        HostId host = dir.HostOf(victim);
+        SnapshotDeparture(victim);
+        Guard("op", [&] { server_.RequestLeave(victim); });
+        free_hosts_.push_back(host);
+        ++epoch_;
+        break;
+      }
+      case OpKind::kFail: {
+        std::vector<UserId> alive = dir.AliveMembers();
+        if (alive.empty()) break;
+        UserId victim = alive[op.arg % alive.size()];
+        Guard("op", [&] { server_.MarkFailed(victim); });
+        failed_.push_back(victim);
+        ++epoch_;
+        break;
+      }
+      case OpKind::kRepair: {
+        if (failed_.empty()) break;
+        std::size_t pick = op.arg % failed_.size();
+        UserId victim = failed_[pick];
+        failed_.erase(failed_.begin() + static_cast<std::ptrdiff_t>(pick));
+        HostId host = dir.HostOf(victim);
+        SnapshotDeparture(victim);
+        Guard("op", [&] { server_.RepairFailure(victim); });
+        free_hosts_.push_back(host);
+        ++epoch_;
+        break;
+      }
+      case OpKind::kData: {
+        std::vector<UserId> alive = dir.AliveMembers();
+        if (alive.empty()) break;
+        UserId sender = alive[op.arg % alive.size()];
+        TMesh::Options opts;
+        opts.loss_prob = cfg_.loss_prob;
+        opts.loss_seed = cfg_.seed * 0xD1B54A32D192ED03ull +
+                         static_cast<std::uint64_t>(++data_count_);
+        DataSession s;
+        s.sender = sender;
+        s.sender_host = dir.HostOf(sender);
+        s.epoch = epoch_;
+        Guard("op", [&] {
+          open_data_.push_back(server_.transport().BeginData(sender, opts));
+        });
+        data_meta_.push_back(s);
+        break;
+      }
+      case OpKind::kAdvance: {
+        SimTime iv = cfg_.rekey_interval;
+        SimTime dt = iv;
+        switch (op.arg % 4) {
+          case 0: dt = iv / 3; break;
+          case 1: dt = iv / 2; break;
+          case 2: dt = iv; break;
+          case 3: dt = 2 * iv + 1709; break;
+        }
+        Guard("op", [&] { sim_.RunUntil(sim_.Now() + dt); });
+        ScanHistory();
+        if (sim_.Pending() <= 1) CheckQuiescent();
+        break;
+      }
+    }
+    Line(log, "#%d %s(%u) n=%d alive=%d failed=%d t_us=%" PRId64 " pend=%zu",
+         index, ToString(op.kind), op.arg, dir.member_count(),
+         dir.alive_count(), static_cast<int>(failed_.size()),
+         static_cast<std::int64_t>(sim_.Now()), sim_.Pending());
+    CheckPlant();
+  }
+
+  void Finish(std::string& log) {
+    for (int round = 0; round < 4; ++round) {
+      Guard("op",
+            [&] { sim_.RunUntil(sim_.Now() + cfg_.rekey_interval + 1709); });
+      ScanHistory();
+      if (sim_.Pending() <= 1) {
+        CheckQuiescent();
+        break;
+      }
+    }
+    Line(log, "final n=%d alive=%d t_us=%" PRId64,
+         server_.directory().member_count(), server_.directory().alive_count(),
+         static_cast<std::int64_t>(sim_.Now()));
+  }
+
+ private:
+  struct DataSession {
+    UserId sender;
+    HostId sender_host = kNoHost;
+    int epoch = 0;
+  };
+  struct DeliveryMeta {
+    int epoch = 0;
+  };
+  struct Departed {
+    UserId id;
+    // Deliveries already emitted when the member departed; later messages
+    // must not let it recover the group key.
+    int deliveries_seen = 0;
+    std::map<KeyId, std::uint32_t> keys;
+  };
+
+  void CheckPlant() {
+    if (cfg_.plant_max_members <= 0) return;
+    Guard("planted", [&] {
+      TMESH_CHECK_MSG(server_.directory().member_count() <
+                          cfg_.plant_max_members,
+                      "planted membership bound exceeded");
+    });
+  }
+
+  void GrantKeys(const UserId& id) {
+    auto& held = held_[id];
+    for (const KeyId& k : server_.key_tree().KeysOf(id)) {
+      held[k] = server_.key_tree().KeyVersion(k);
+    }
+  }
+
+  // Records what a departing/evicted member knows: its tracked keys, closed
+  // over every message already emitted but not yet folded into held_.
+  void SnapshotDeparture(const UserId& id) {
+    if (cfg_.cluster_heuristic) return;
+    Departed d;
+    d.id = id;
+    d.deliveries_seen = static_cast<int>(delivery_meta_.size());
+    auto it = held_.find(id);
+    if (it == held_.end()) return;
+    d.keys = it->second;
+    held_.erase(it);
+    for (int m = next_validate_; m < d.deliveries_seen; ++m) {
+      Close(d.keys, server_.message(m).encryptions, nullptr);
+    }
+    departed_.push_back(std::move(d));
+    if (departed_.size() > 12) departed_.pop_front();
+  }
+
+  void ScanHistory() {
+    const auto& hist = server_.history();
+    for (; scanned_history_ < hist.size(); ++scanned_history_) {
+      if (hist[scanned_history_].delivery >= 0) {
+        delivery_meta_.push_back(DeliveryMeta{epoch_});
+      }
+    }
+  }
+
+  void CheckQuiescent() {
+    const Directory& dir = server_.directory();
+    // Data sessions are complete (nothing is in flight at a quiescent
+    // point); check Theorem 1 for the clean ones.
+    for (std::size_t i = 0; i < open_data_.size(); ++i) {
+      const DataSession& meta = data_meta_[i];
+      const TMesh::Result& res = open_data_[i].result();
+      bool strict = meta.epoch == epoch_ && failed_.empty();
+      if (!strict) continue;
+      Guard("theorem1-data", [&] {
+        for (const auto& [id, info] : dir.members()) {
+          const MemberDeliveryRecord& r =
+              res.member[static_cast<std::size_t>(info.host)];
+          TMESH_CHECK_MSG(r.copies <= 1, "duplicate data delivery");
+          if (res.deliveries_failed > 0) continue;
+          if (id == meta.sender) {
+            TMESH_CHECK_MSG(r.copies == 0, "sender received its own message");
+          } else {
+            TMESH_CHECK_MSG(r.copies == 1, "member missed a data message");
+          }
+        }
+      });
+    }
+    open_data_.clear();
+    data_meta_.clear();
+
+    // Rekey deliveries, in emission order.
+    for (; next_validate_ < static_cast<int>(delivery_meta_.size());
+         ++next_validate_) {
+      ValidateRekey(next_validate_);
+    }
+
+    if (failed_.empty()) {
+      Guard("k-consistency", [&] { dir.CheckKConsistency(); });
+    }
+    Guard("structure", [&] { CheckStructure(); });
+  }
+
+  void ValidateRekey(int d) {
+    const Directory& dir = server_.directory();
+    const TMesh::Result& res = server_.delivery(d);
+    const RekeyMessage& msg = server_.message(d);
+    bool strict = delivery_meta_[static_cast<std::size_t>(d)].epoch == epoch_ &&
+                  failed_.empty();
+
+    if (strict) {
+      Guard("theorem1-rekey", [&] {
+        for (const auto& [id, info] : dir.members()) {
+          const MemberDeliveryRecord& r =
+              res.member[static_cast<std::size_t>(info.host)];
+          if (cfg_.cluster_heuristic) {
+            // Appendix B: every member gets the split leader message or a
+            // pairwise group-key unicast; non-leaders always get the latter.
+            if (res.deliveries_failed > 0) continue;
+            TMESH_CHECK_MSG(r.copies >= 1, "member missed the rekey message");
+            if (!server_.clusters().IsLeader(id)) {
+              TMESH_CHECK_MSG(r.group_key_copies >= 1,
+                              "non-leader missed the group-key unicast");
+            }
+          } else {
+            TMESH_CHECK_MSG(r.copies <= 1, "duplicate rekey delivery");
+            if (res.deliveries_failed == 0) {
+              TMESH_CHECK_MSG(r.copies == 1, "member missed a rekey message");
+            }
+          }
+        }
+      });
+    }
+
+    if (cfg_.cluster_heuristic) return;
+
+    if (strict && res.deliveries_failed == 0) {
+      Guard("decryption-closure", [&] {
+        for (const auto& [id, info] : dir.members()) {
+          auto held_it = held_.find(id);
+          TMESH_CHECK_MSG(held_it != held_.end(), "member has no key state");
+          std::map<KeyId, std::uint32_t> actual = held_it->second;
+          Close(actual, msg.encryptions,
+                &res.member_encs[static_cast<std::size_t>(info.host)]);
+          for (const KeyId& k : server_.key_tree().KeysOf(id)) {
+            std::uint32_t renewed = VersionInMessage(msg, k);
+            std::uint32_t expect =
+                renewed != 0 ? renewed : held_it->second.at(k);
+            TMESH_CHECK_MSG(actual.count(k) > 0 && actual.at(k) == expect,
+                            "member cannot decrypt a path key: " +
+                                k.ToString() + " of " + id.ToString());
+          }
+        }
+      });
+    }
+
+    // Entitlement model update: every current member is entitled to the full
+    // message (failed-but-unevicted members included — they are still group
+    // members); fold it regardless of delivery quality.
+    for (auto& [id, held] : held_) {
+      (void)id;
+      Close(held, msg.encryptions, nullptr);
+    }
+
+    // Forward secrecy: no departed member — even one that received every
+    // message sent while it was a member — can reach the new group key.
+    std::uint32_t root_version = VersionInMessage(msg, KeyId{});
+    Guard("forward-secrecy", [&] {
+      for (Departed& dep : departed_) {
+        if (dep.deliveries_seen > d) continue;
+        Close(dep.keys, msg.encryptions, nullptr);
+        if (root_version == 0) continue;
+        auto it = dep.keys.find(KeyId{});
+        TMESH_CHECK_MSG(it == dep.keys.end() || it->second < root_version,
+                        "departed member " + dep.id.ToString() +
+                            " can decrypt the current group key");
+      }
+    });
+  }
+
+  void CheckStructure() {
+    const Directory& dir = server_.directory();
+    server_.key_tree().CheckInvariants();
+    server_.clusters().CheckInvariants();
+    const IdTree& idt = dir.id_tree();
+    TMESH_CHECK_MSG(idt.user_count() == dir.member_count(),
+                    "ID tree / directory user count mismatch");
+    TMESH_CHECK_MSG(server_.key_tree().user_count() == dir.member_count(),
+                    "key tree / directory user count mismatch");
+    TMESH_CHECK_MSG(server_.clusters().member_count() == dir.member_count(),
+                    "cluster map / directory user count mismatch");
+    TMESH_CHECK_MSG(
+        server_.key_tree().knode_count() == idt.node_count() - idt.user_count(),
+        "key tree / ID tree internal node count mismatch");
+    for (const auto& [id, info] : dir.members()) {
+      (void)info;
+      TMESH_CHECK_MSG(server_.key_tree().Contains(id),
+                      "member missing from the key tree: " + id.ToString());
+      TMESH_CHECK_MSG(idt.ContainsUser(id),
+                      "member missing from the ID tree: " + id.ToString());
+    }
+  }
+
+  FuzzConfig cfg_;
+  PlanetLabNetwork net_;
+  Simulator sim_;
+  KeyServer server_;
+  std::vector<HostId> free_hosts_;
+  std::vector<UserId> failed_;
+  int epoch_ = 0;  // bumped by every membership op
+  std::uint64_t data_count_ = 0;
+
+  std::vector<TMesh::Handle> open_data_;
+  std::vector<DataSession> data_meta_;
+
+  std::size_t scanned_history_ = 0;
+  std::vector<DeliveryMeta> delivery_meta_;  // one per emitted rekey delivery
+  int next_validate_ = 0;
+
+  // Decryption-closure tracking (non-cluster mode): per-member held keys and
+  // the knowledge snapshots of recently departed members.
+  std::map<UserId, std::map<KeyId, std::uint32_t>> held_;
+  std::deque<Departed> departed_;
+};
+
+// ---------------------------------------------------------------------------
+// kSilk substrate: the message-driven join/leave protocol. Joins are
+// serialized (the protocol's contract); leaves deliberately are NOT — a run
+// of kLeave ops without an intervening drain puts several leave floods in
+// flight at once, which is where 1-consistency earns its keep. Concurrency
+// is capped at K-1 in-flight departures, the tolerance Definition 3
+// actually promises; beyond that a flood can lose its only route into a
+// subtree and no local repair can recover. kData and kAdvance drain first,
+// so every delivery/consistency assertion runs at a quiescent point.
+// ---------------------------------------------------------------------------
+class SilkHarness {
+ public:
+  explicit SilkHarness(const FuzzConfig& cfg)
+      : cfg_(cfg),
+        net_(NetParams(cfg)),
+        sim_(cfg.discipline),
+        group_(net_, cfg.group, 0, sim_) {
+    for (HostId h = 1; h < cfg.hosts; ++h) free_hosts_.push_back(h);
+  }
+
+  void Apply(int index, const Op& op, std::string& log) {
+    switch (op.kind) {
+      case OpKind::kJoin: {
+        Guard("op", [&] { sim_.Run(); });
+        in_flight_leaves_ = 0;
+        if (free_hosts_.empty() || IdSpaceFull()) break;
+        std::size_t pick = op.arg % free_hosts_.size();
+        HostId host = free_hosts_[pick];
+        UserId id = FreshId(op.arg2);
+        Guard("op", [&] {
+          group_.Join(id, host, sim_.Now());
+          sim_.Run();
+        });
+        free_hosts_.erase(free_hosts_.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+        present_.insert(std::lower_bound(present_.begin(), present_.end(), id),
+                        id);
+        CheckConsistency();
+        break;
+      }
+      case OpKind::kLeave: {
+        if (present_.empty()) break;
+        // Definition 3's tolerance: a K-consistent table stays routable
+        // through at most K-1 concurrent departures. Batches beyond that
+        // can orphan whole subtrees mid-flood — outside the protocol's
+        // contract — so drain before the burst would exceed it, unless the
+        // script opted into the uncapped regime (checked with maintenance).
+        if (!cfg_.uncapped_leaves &&
+            in_flight_leaves_ >= cfg_.group.capacity - 1) {
+          Guard("op", [&] { sim_.Run(); });
+          in_flight_leaves_ = 0;
+        }
+        std::size_t pick;
+        if (op.arg2 != 0 && have_last_left_) {
+          // Correlated leave: pick among the live members sharing the
+          // longest ID prefix with the previous leaver. Batches of these are
+          // the adversarial case for AcceptLeave's refill — the departing
+          // members carry each other as replacement candidates, so a
+          // same-subtree burst can leave nothing live to refill from.
+          int best = -1;
+          std::vector<std::size_t> ties;
+          for (std::size_t j = 0; j < present_.size(); ++j) {
+            int cpl = present_[j].CommonPrefixLen(last_left_);
+            if (cpl > best) {
+              best = cpl;
+              ties.clear();
+            }
+            if (cpl == best) ties.push_back(j);
+          }
+          pick = ties[op.arg % ties.size()];
+        } else {
+          pick = op.arg % present_.size();
+        }
+        UserId victim = present_[pick];
+        last_left_ = victim;
+        have_last_left_ = true;
+        HostId host = group_.HostOf(victim);
+        // No drain (within the K-1 cap): consecutive kLeave ops put
+        // concurrent floods in flight.
+        Guard("op", [&] { group_.Leave(victim); });
+        present_.erase(present_.begin() + static_cast<std::ptrdiff_t>(pick));
+        free_hosts_.push_back(host);
+        any_leave_ = true;
+        ++in_flight_leaves_;
+        break;
+      }
+      case OpKind::kFail:
+      case OpKind::kRepair:
+        break;  // no failure model in the Silk substrate
+      case OpKind::kData: {
+        Guard("op", [&] { sim_.Run(); });
+        in_flight_leaves_ = 0;
+        if (present_.size() < 2) break;
+        UserId sender = present_[op.arg % present_.size()];
+        TMesh::Options opts;
+        opts.loss_prob = cfg_.loss_prob;
+        opts.loss_seed = cfg_.seed * 0xD1B54A32D192ED03ull +
+                         static_cast<std::uint64_t>(++data_count_);
+        TMesh mesh(group_, sim_);
+        TMesh::Handle h = mesh.BeginData(sender, opts);
+        Guard("op", [&] { sim_.Run(); });
+        in_flight_leaves_ = 0;
+        const TMesh::Result& res = h.result();
+        Guard("theorem1-data", [&] {
+          for (const UserId& u : present_) {
+            const MemberDeliveryRecord& r =
+                res.member[static_cast<std::size_t>(group_.HostOf(u))];
+            TMESH_CHECK_MSG(r.copies <= 1, "duplicate data delivery");
+            if (res.deliveries_failed > 0) continue;
+            if (u == sender) {
+              TMESH_CHECK_MSG(r.copies == 0,
+                              "sender received its own message");
+            } else {
+              TMESH_CHECK_MSG(r.copies == 1, "member missed a data message");
+            }
+          }
+        });
+        break;
+      }
+      case OpKind::kAdvance: {
+        Guard("op", [&] { sim_.Run(); });
+        in_flight_leaves_ = 0;
+        CheckConsistency();
+        break;
+      }
+    }
+    Line(log, "#%d %s(%u) n=%d msgs=%" PRId64 " t_us=%" PRId64, index,
+         ToString(op.kind), op.arg, group_.member_count(),
+         group_.stats().messages, static_cast<std::int64_t>(sim_.Now()));
+    if (cfg_.plant_max_members > 0) {
+      Guard("planted", [&] {
+        TMESH_CHECK_MSG(group_.member_count() < cfg_.plant_max_members,
+                        "planted membership bound exceeded");
+      });
+    }
+  }
+
+  void Finish(std::string& log) {
+    Guard("op", [&] { sim_.Run(); });
+    CheckConsistency();
+    Line(log, "final n=%d msgs=%" PRId64 " t_us=%" PRId64,
+         group_.member_count(), group_.stats().messages,
+         static_cast<std::int64_t>(sim_.Now()));
+  }
+
+ private:
+  void CheckConsistency() {
+    Guard("structure", [&] {
+      TMESH_CHECK_MSG(
+          group_.member_count() == static_cast<int>(present_.size()),
+          "membership drifted from the issued join/leave sequence");
+    });
+    if (any_leave_) {
+      if (cfg_.uncapped_leaves) {
+        // Beyond-contract churn: 1-consistency is only promised after the
+        // soft-state heartbeats repair the tables. Sweep to a fixpoint
+        // (monotone, so it terminates) before asserting.
+        Guard("op", [&] {
+          for (int round = 0; round < 64 && group_.RunMaintenance(); ++round) {
+          }
+        });
+      }
+      Guard("1-consistency", [&] { group_.CheckConsistency(1); });
+    } else {
+      Guard("k-consistency",
+            [&] { group_.CheckConsistency(cfg_.group.capacity); });
+    }
+  }
+
+  bool IdSpaceFull() const {
+    double space = 1.0;
+    for (int i = 0; i < cfg_.group.digits; ++i) space *= cfg_.group.base;
+    return static_cast<double>(present_.size()) >= space;
+  }
+
+  // Deterministic ID derivation: a pure function of (seed, arg2) modulo the
+  // current membership (uniqueness retries), so a trace subsequence replays
+  // to the same IDs wherever the membership prefix matches.
+  UserId FreshId(std::uint32_t arg2) {
+    for (std::uint64_t t = 0;; ++t) {
+      std::uint64_t h =
+          SplitMix64(cfg_.seed ^ (0x9E3779B97F4A7C15ull * (arg2 + 1) + t));
+      UserId cand;
+      for (int i = 0; i < cfg_.group.digits; ++i) {
+        cand.Append(static_cast<int>((h >> (8 * i)) %
+                                     static_cast<std::uint64_t>(
+                                         cfg_.group.base)));
+      }
+      if (!group_.Contains(cand)) return cand;
+    }
+  }
+
+  FuzzConfig cfg_;
+  PlanetLabNetwork net_;
+  Simulator sim_;
+  SilkGroup group_;
+  std::vector<HostId> free_hosts_;
+  std::vector<UserId> present_;  // sorted
+  UserId last_left_;
+  bool have_last_left_ = false;
+  int in_flight_leaves_ = 0;
+  bool any_leave_ = false;
+  std::uint64_t data_count_ = 0;
+};
+
+template <class Harness>
+RunResult RunWith(const FuzzConfig& cfg, const std::vector<Op>& trace) {
+  RunResult out;
+  Harness h(cfg);
+  int i = 0;
+  try {
+    for (; i < static_cast<int>(trace.size()); ++i) {
+      h.Apply(i, trace[static_cast<std::size_t>(i)], out.log);
+      ++out.ops_executed;
+    }
+    h.Finish(out.log);
+  } catch (const TaggedViolation& v) {
+    out.violation = Violation{i, v.invariant, v.message};
+  } catch (const std::logic_error& e) {
+    out.violation = Violation{i, "op", e.what()};
+  }
+  return out;
+}
+
+const char* SubstrateName(Substrate s) {
+  return s == Substrate::kDirectory ? "directory" : "silk";
+}
+
+}  // namespace
+
+const char* ToString(OpKind k) {
+  switch (k) {
+    case OpKind::kJoin: return "join";
+    case OpKind::kLeave: return "leave";
+    case OpKind::kFail: return "fail";
+    case OpKind::kRepair: return "repair";
+    case OpKind::kData: return "data";
+    case OpKind::kAdvance: return "advance";
+  }
+  return "?";
+}
+
+std::vector<Op> ChurnFuzzer::GenerateTrace(const FuzzConfig& cfg) {
+  Rng rng(cfg.seed * 0x2545F4914F6CDD1Dull + 1);
+  std::vector<Op> trace;
+  trace.reserve(static_cast<std::size_t>(cfg.ops));
+  const bool dir = cfg.substrate == Substrate::kDirectory;
+  while (static_cast<int>(trace.size()) < cfg.ops) {
+    Op op;
+    // Front-load joins so the group has substance before churn sets in.
+    int w = static_cast<int>(rng.UniformInt(0, 99));
+    bool ramp = static_cast<int>(trace.size()) < std::min(cfg.ops / 8, 24);
+    if (ramp && w < 70) {
+      op.kind = OpKind::kJoin;
+    } else if (dir) {
+      op.kind = w < 26   ? OpKind::kJoin
+                : w < 40 ? OpKind::kLeave
+                : w < 46 ? OpKind::kFail
+                : w < 54 ? OpKind::kRepair
+                : w < 66 ? OpKind::kData
+                         : OpKind::kAdvance;
+    } else {
+      op.kind = w < 32   ? OpKind::kJoin
+                : w < 52 ? OpKind::kLeave
+                : w < 66 ? OpKind::kData
+                         : OpKind::kAdvance;
+    }
+    op.arg = static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 30));
+    if (op.kind == OpKind::kJoin) {
+      op.arg2 = static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 30));
+    }
+    trace.push_back(op);
+    // Silk leaves come in same-subtree bursts half the time: correlated
+    // concurrent floods are the case AcceptLeave's refill has to survive.
+    if (!dir && op.kind == OpKind::kLeave) {
+      int burst = static_cast<int>(rng.UniformInt(0, 3));
+      for (int b = 0;
+           b < burst && static_cast<int>(trace.size()) < cfg.ops; ++b) {
+        Op extra;
+        extra.kind = OpKind::kLeave;
+        extra.arg = static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 30));
+        extra.arg2 = 1;
+        trace.push_back(extra);
+      }
+    }
+  }
+  return trace;
+}
+
+RunResult ChurnFuzzer::RunTrace(const FuzzConfig& cfg,
+                                const std::vector<Op>& trace) {
+  if (cfg.substrate == Substrate::kDirectory) {
+    return RunWith<DirectoryHarness>(cfg, trace);
+  }
+  return RunWith<SilkHarness>(cfg, trace);
+}
+
+std::vector<Op> ChurnFuzzer::Minimize(const FuzzConfig& cfg,
+                                      std::vector<Op> trace,
+                                      const Violation& violation) {
+  auto fails = [&](const std::vector<Op>& t) {
+    RunResult r = RunTrace(cfg, t);
+    return r.violation.has_value() &&
+           r.violation->invariant == violation.invariant;
+  };
+  if (!fails(trace)) return trace;  // not reproducible as claimed; keep as-is
+
+  // Ops after the faulting one never executed.
+  if (violation.op_index >= 0 &&
+      violation.op_index + 1 < static_cast<int>(trace.size())) {
+    std::vector<Op> cut(trace.begin(),
+                        trace.begin() + violation.op_index + 1);
+    if (fails(cut)) trace = std::move(cut);
+  }
+
+  // ddmin: remove ever finer chunks while the violation survives.
+  std::size_t n = 2;
+  while (trace.size() >= 2) {
+    std::size_t chunk = (trace.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < trace.size(); start += chunk) {
+      std::vector<Op> complement;
+      complement.reserve(trace.size());
+      complement.insert(complement.end(), trace.begin(),
+                        trace.begin() + static_cast<std::ptrdiff_t>(start));
+      std::size_t stop = std::min(start + chunk, trace.size());
+      complement.insert(complement.end(),
+                        trace.begin() + static_cast<std::ptrdiff_t>(stop),
+                        trace.end());
+      if (complement.size() < trace.size() && fails(complement)) {
+        trace = std::move(complement);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= trace.size()) break;
+      n = std::min(n * 2, trace.size());
+    }
+  }
+
+  // Final one-at-a-time pass: the result is 1-minimal.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      std::vector<Op> t2 = trace;
+      t2.erase(t2.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(t2)) {
+        trace = std::move(t2);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+std::string ChurnFuzzer::FormatScript(const FuzzConfig& cfg,
+                                      const std::vector<Op>& trace,
+                                      const std::string& comment) {
+  std::string out = "# tmesh churn-fuzz repro\n";
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) out += "# " + line + "\n";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "substrate %s\ndigits %d\nbase %d\ncapacity %d\nhosts %d\n"
+                "loss %.12g\nseed %" PRIu64 "\ninterval_us %" PRId64
+                "\nsplit %d\ncluster %d\nuncapped %d\n",
+                SubstrateName(cfg.substrate), cfg.group.digits, cfg.group.base,
+                cfg.group.capacity, cfg.hosts, cfg.loss_prob, cfg.seed,
+                static_cast<std::int64_t>(cfg.rekey_interval),
+                cfg.split ? 1 : 0, cfg.cluster_heuristic ? 1 : 0,
+                cfg.uncapped_leaves ? 1 : 0);
+  out += buf;
+  for (const Op& op : trace) {
+    std::snprintf(buf, sizeof buf, "op %s %u %u\n", ToString(op.kind), op.arg,
+                  op.arg2);
+    out += buf;
+  }
+  return out;
+}
+
+bool ChurnFuzzer::ParseScript(const std::string& text, FuzzConfig* cfg,
+                              std::vector<Op>* trace, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  *cfg = FuzzConfig{};
+  trace->clear();
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    auto bad = [&] {
+      return fail("line " + std::to_string(lineno) + ": cannot parse '" +
+                  line + "'");
+    };
+    if (key == "op") {
+      std::string kind;
+      Op op;
+      if (!(ls >> kind >> op.arg >> op.arg2)) return bad();
+      if (kind == "join") op.kind = OpKind::kJoin;
+      else if (kind == "leave") op.kind = OpKind::kLeave;
+      else if (kind == "fail") op.kind = OpKind::kFail;
+      else if (kind == "repair") op.kind = OpKind::kRepair;
+      else if (kind == "data") op.kind = OpKind::kData;
+      else if (kind == "advance") op.kind = OpKind::kAdvance;
+      else return bad();
+      trace->push_back(op);
+    } else if (key == "substrate") {
+      std::string s;
+      if (!(ls >> s)) return bad();
+      if (s == "directory") cfg->substrate = Substrate::kDirectory;
+      else if (s == "silk") cfg->substrate = Substrate::kSilk;
+      else return bad();
+    } else if (key == "digits") {
+      if (!(ls >> cfg->group.digits)) return bad();
+    } else if (key == "base") {
+      if (!(ls >> cfg->group.base)) return bad();
+    } else if (key == "capacity") {
+      if (!(ls >> cfg->group.capacity)) return bad();
+    } else if (key == "hosts") {
+      if (!(ls >> cfg->hosts)) return bad();
+    } else if (key == "loss") {
+      if (!(ls >> cfg->loss_prob)) return bad();
+    } else if (key == "seed") {
+      if (!(ls >> cfg->seed)) return bad();
+    } else if (key == "interval_us") {
+      if (!(ls >> cfg->rekey_interval)) return bad();
+    } else if (key == "split") {
+      int v;
+      if (!(ls >> v)) return bad();
+      cfg->split = v != 0;
+    } else if (key == "cluster") {
+      int v;
+      if (!(ls >> v)) return bad();
+      cfg->cluster_heuristic = v != 0;
+    } else if (key == "uncapped") {
+      int v;
+      if (!(ls >> v)) return bad();
+      cfg->uncapped_leaves = v != 0;
+    } else {
+      return fail("line " + std::to_string(lineno) + ": unknown key '" + key +
+                  "'");
+    }
+  }
+  return true;
+}
+
+std::optional<ChurnFuzzer::Report> ChurnFuzzer::RunCampaign(
+    const FuzzConfig& cfg) {
+  std::vector<Op> trace = GenerateTrace(cfg);
+  RunResult r = RunTrace(cfg, trace);
+  if (!r.violation.has_value()) return std::nullopt;
+  Report rep;
+  rep.violation = *r.violation;
+  rep.minimized = Minimize(cfg, std::move(trace), rep.violation);
+  rep.script = FormatScript(
+      cfg, rep.minimized,
+      "invariant: " + rep.violation.invariant + "\n" + rep.violation.message);
+  return rep;
+}
+
+}  // namespace fuzz
+}  // namespace tmesh

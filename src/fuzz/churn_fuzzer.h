@@ -1,0 +1,145 @@
+// Churn fuzzing harness with a seed-minimizing reducer.
+//
+// The paper's guarantees — K-consistency after join-only sequences and
+// 1-consistency under churn (Definition 3, §3.2), Theorem 1 exactly-once
+// delivery, and decryption closure after REKEY-MESSAGE-SPLIT (Theorem 2 /
+// Corollary 1) — are only as good as the interleavings they survive. This
+// module drives long randomized interleavings of membership churn, failures,
+// rekey intervals and data sessions against the event simulator and asserts
+// the full invariant set at every quiescent point.
+//
+// Design:
+//   - An operation trace is a flat list of `Op`s whose arguments are
+//     *selectors*, not absolute identities: "leave op" carries an index that
+//     the executor reduces modulo the current membership. Any subsequence of
+//     a valid trace is therefore itself a valid trace — exactly the property
+//     delta debugging needs.
+//   - Execution is a pure function of (config, trace): the simulator's
+//     (time, seq) ordering contract plus selector semantics make every
+//     replay — including replays of a ddmin-reduced subsequence — land on
+//     the identical violation. The execution log is byte-identical across
+//     QueueDiscipline::{kCalendar, kBinaryHeap}.
+//   - Invariant violations surface as TMESH_CHECK throws; RunTrace catches
+//     them and reports the op index. Minimize() then applies ddmin over the
+//     trace (subsequence removal at shrinking granularity, then a final
+//     one-at-a-time pass) and FormatScript() serializes the 1-minimal repro
+//     as a text script, which fuzz_churn writes for check-in under
+//     tests/fuzz_repros/.
+//
+// Two substrates are fuzzed:
+//   - kDirectory: the online KeyServer over the Directory oracle — joins,
+//     leaves, MarkFailed/RepairFailure, periodic batch rekeys (with
+//     splitting and optionally the cluster heuristic), concurrent data
+//     sessions, per-transmission loss. Invariants: Definition-3
+//     K-consistency whenever no failure is outstanding, Theorem-1 delivery
+//     per session, decryption closure for every live member after each
+//     interval, no decryption closure for departed members (forward
+//     secrecy), ID-tree/key-tree structural agreement, cluster invariants.
+//   - kSilk: the message-driven SilkGroup protocol — joins (serialized, as
+//     the protocol requires), leave *batches* (concurrent leave notices in
+//     flight), data sessions over the protocol-built tables. Invariants:
+//     K-consistency in the no-leave prefix, 1-consistency at every
+//     quiescent point afterwards, Theorem-1 delivery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/group_view.h"
+#include "sim/simulator.h"
+
+namespace tmesh {
+namespace fuzz {
+
+enum class Substrate { kDirectory, kSilk };
+
+enum class OpKind {
+  kJoin,     // admit a member (arg selects the host; arg2 seeds the Silk ID)
+  kLeave,    // graceful leave (arg selects among current members)
+  kFail,     // MarkFailed (kDirectory only; arg selects among alive members)
+  kRepair,   // RepairFailure (kDirectory only; arg selects among failed)
+  kData,     // quiesce, then run one data multicast and assert Theorem 1
+  kAdvance,  // drain / advance past rekey ticks, then assert all invariants
+};
+
+struct Op {
+  OpKind kind = OpKind::kAdvance;
+  std::uint32_t arg = 0;   // selector, reduced modulo the eligible set
+  std::uint32_t arg2 = 0;  // kJoin: ID-derivation seed (Silk substrate)
+};
+
+struct FuzzConfig {
+  Substrate substrate = Substrate::kDirectory;
+  GroupParams group{3, 8, 2};
+  int hosts = 64;                // host pool (host 0 is the key server)
+  double loss_prob = 0.0;        // per-transmission loss for data sessions
+  std::uint64_t seed = 1;        // trace generation + loss seeds
+  int ops = 1000;                // trace length for GenerateTrace
+  SimTime rekey_interval = FromSeconds(10);  // kDirectory batch interval
+  bool split = true;             // REKEY-MESSAGE-SPLIT on interval messages
+  // Silk only: allow leave bursts beyond the K-1 concurrent departures
+  // Definition 3 tolerates. In this regime flood coverage can tear, so the
+  // harness runs SilkGroup::RunMaintenance() to a fixpoint (the soft-state
+  // heartbeat model) before asserting 1-consistency.
+  bool uncapped_leaves = false;
+  bool cluster_heuristic = false;  // Appendix-B mode (kDirectory only)
+  QueueDiscipline discipline = QueueDiscipline::kCalendar;
+  // Test hook: when > 0, a deliberately bogus invariant "membership stays
+  // below this size" is asserted after every op. The reducer self-test
+  // plants a violation this way, because its 1-minimal repro has a known
+  // size (plant_max_members join operations, and nothing else).
+  int plant_max_members = 0;
+};
+
+struct Violation {
+  int op_index = -1;        // index into the trace whose execution threw
+  std::string invariant;    // which check tripped (best-effort label)
+  std::string message;      // the TMESH_CHECK diagnostic
+};
+
+struct RunResult {
+  std::optional<Violation> violation;  // nullopt: trace ran clean
+  std::string log;  // one line per executed op; byte-identical across
+                    // queue disciplines and across replays
+  int ops_executed = 0;
+};
+
+class ChurnFuzzer {
+ public:
+  // Deterministically generates a trace of cfg.ops operations from cfg.seed.
+  static std::vector<Op> GenerateTrace(const FuzzConfig& cfg);
+
+  // Executes a trace; stops at the first invariant violation. Deterministic:
+  // identical (cfg, trace) inputs produce identical RunResults, for either
+  // queue discipline.
+  static RunResult RunTrace(const FuzzConfig& cfg, const std::vector<Op>& trace);
+
+  // ddmin: reduces `trace` to a 1-minimal subsequence that still violates
+  // (same invariant label; the op index may shift as ops are removed).
+  static std::vector<Op> Minimize(const FuzzConfig& cfg,
+                                  std::vector<Op> trace,
+                                  const Violation& violation);
+
+  // Repro-script serialization (the tests/fuzz_repros/ format).
+  static std::string FormatScript(const FuzzConfig& cfg,
+                                  const std::vector<Op>& trace,
+                                  const std::string& comment = "");
+  static bool ParseScript(const std::string& text, FuzzConfig* cfg,
+                          std::vector<Op>* trace, std::string* error = nullptr);
+
+  // Convenience: generate, run, and on violation minimize. Returns nullopt
+  // if the campaign ran clean.
+  struct Report {
+    Violation violation;           // from the full trace
+    std::vector<Op> minimized;     // 1-minimal repro
+    std::string script;            // FormatScript(cfg, minimized)
+  };
+  static std::optional<Report> RunCampaign(const FuzzConfig& cfg);
+};
+
+const char* ToString(OpKind k);
+
+}  // namespace fuzz
+}  // namespace tmesh

@@ -1,0 +1,177 @@
+// fuzz_churn: churn-fuzzing campaign driver.
+//
+//   fuzz_churn [--substrate=directory|silk] [--seed=N] [--seeds=M]
+//              [--ops=N] [--hosts=N] [--digits=D] [--base=B] [--k=K]
+//              [--loss=P] [--interval-ms=N] [--cluster] [--no-split]
+//              [--uncapped] [--discipline=calendar|heap] [--out=DIR]
+//   fuzz_churn --replay=FILE [--discipline=calendar|heap]
+//
+// Campaign mode runs `--seeds` consecutive seeds starting at `--seed`; on
+// the first violation it delta-debugs the trace and writes the 1-minimal
+// repro script to --out (default: the working directory), then exits 1.
+// Replay mode re-executes a repro script and exits 1 iff it still violates.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/churn_fuzzer.h"
+
+namespace {
+
+using tmesh::fuzz::ChurnFuzzer;
+using tmesh::fuzz::FuzzConfig;
+using tmesh::fuzz::Substrate;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--substrate=directory|silk] [--seed=N] [--seeds=M] "
+      "[--ops=N]\n"
+      "          [--hosts=N] [--digits=D] [--base=B] [--k=K] [--loss=P]\n"
+      "          [--interval-ms=N] [--cluster] [--no-split] [--uncapped]\n"
+      "          [--discipline=calendar|heap] [--out=DIR]\n"
+      "       %s --replay=FILE [--discipline=calendar|heap]\n",
+      argv0, argv0);
+  std::exit(2);
+}
+
+long long ParseInt(const char* argv0, const char* value) {
+  char* end = nullptr;
+  long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') Usage(argv0);
+  return v;
+}
+
+double ParseDouble(const char* argv0, const char* value) {
+  char* end = nullptr;
+  double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') Usage(argv0);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzConfig cfg;
+  cfg.group = tmesh::GroupParams{3, 8, 2};
+  long long seeds = 1;
+  std::string out_dir = ".";
+  std::string replay;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      std::size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (const char* v = val("--substrate=")) {
+      if (std::strcmp(v, "directory") == 0) {
+        cfg.substrate = Substrate::kDirectory;
+      } else if (std::strcmp(v, "silk") == 0) {
+        cfg.substrate = Substrate::kSilk;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (const char* v = val("--seed=")) {
+      cfg.seed = static_cast<std::uint64_t>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--seeds=")) {
+      seeds = ParseInt(argv[0], v);
+    } else if (const char* v = val("--ops=")) {
+      cfg.ops = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--hosts=")) {
+      cfg.hosts = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--digits=")) {
+      cfg.group.digits = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--base=")) {
+      cfg.group.base = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--k=")) {
+      cfg.group.capacity = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--loss=")) {
+      cfg.loss_prob = ParseDouble(argv[0], v);
+    } else if (const char* v = val("--interval-ms=")) {
+      cfg.rekey_interval = tmesh::FromMillis(
+          static_cast<double>(ParseInt(argv[0], v)));
+    } else if (std::strcmp(a, "--cluster") == 0) {
+      cfg.cluster_heuristic = true;
+    } else if (std::strcmp(a, "--uncapped") == 0) {
+      cfg.uncapped_leaves = true;
+    } else if (std::strcmp(a, "--no-split") == 0) {
+      cfg.split = false;
+    } else if (const char* v = val("--discipline=")) {
+      if (std::strcmp(v, "calendar") == 0) {
+        cfg.discipline = tmesh::QueueDiscipline::kCalendar;
+      } else if (std::strcmp(v, "heap") == 0) {
+        cfg.discipline = tmesh::QueueDiscipline::kBinaryHeap;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (const char* v = val("--out=")) {
+      out_dir = v;
+    } else if (const char* v = val("--replay=")) {
+      replay = v;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  if (!replay.empty()) {
+    std::ifstream in(replay);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", replay.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    FuzzConfig rcfg;
+    std::vector<tmesh::fuzz::Op> trace;
+    std::string error;
+    if (!ChurnFuzzer::ParseScript(text.str(), &rcfg, &trace, &error)) {
+      std::fprintf(stderr, "parse error: %s\n", error.c_str());
+      return 2;
+    }
+    rcfg.discipline = cfg.discipline;
+    tmesh::fuzz::RunResult r = ChurnFuzzer::RunTrace(rcfg, trace);
+    if (r.violation.has_value()) {
+      std::printf("VIOLATION [%s] at op %d after %d ops:\n  %s\n",
+                  r.violation->invariant.c_str(), r.violation->op_index,
+                  r.ops_executed, r.violation->message.c_str());
+      return 1;
+    }
+    std::printf("clean: %d ops replayed\n", r.ops_executed);
+    return 0;
+  }
+
+  for (long long s = 0; s < seeds; ++s) {
+    FuzzConfig run = cfg;
+    run.seed = cfg.seed + static_cast<std::uint64_t>(s);
+    std::printf("campaign substrate=%s seed=%llu ops=%d k=%d loss=%g%s...\n",
+                run.substrate == Substrate::kDirectory ? "directory" : "silk",
+                static_cast<unsigned long long>(run.seed), run.ops,
+                run.group.capacity, run.loss_prob,
+                run.cluster_heuristic ? " cluster" : "");
+    std::fflush(stdout);
+    auto report = ChurnFuzzer::RunCampaign(run);
+    if (!report.has_value()) {
+      std::printf("  clean\n");
+      continue;
+    }
+    std::printf("  VIOLATION [%s] at op %d: %s\n",
+                report->violation.invariant.c_str(),
+                report->violation.op_index,
+                report->violation.message.c_str());
+    std::printf("  minimized to %zu ops\n", report->minimized.size());
+    std::string path = out_dir + "/fuzz_" +
+                       (run.substrate == Substrate::kDirectory ? "directory"
+                                                               : "silk") +
+                       "_seed" + std::to_string(run.seed) + ".repro";
+    std::ofstream out(path);
+    out << report->script;
+    out.close();
+    std::printf("  repro written to %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}

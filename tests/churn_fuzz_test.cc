@@ -1,0 +1,183 @@
+// Tests for the churn fuzzing harness itself, plus the tier-1 fixed-seed
+// smoke campaigns and the check-in repro corpus.
+//
+// The corpus scripts under tests/fuzz_repros/ are 1-minimal traces that
+// violated an invariant on pre-fix code; each must now replay clean. A
+// regression in any of the fixed paths re-trips its repro here, long
+// before a nightly campaign would rediscover it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/churn_fuzzer.h"
+
+namespace tmesh {
+namespace fuzz {
+namespace {
+
+FuzzConfig SmokeConfig(Substrate substrate, std::uint64_t seed) {
+  FuzzConfig cfg;
+  cfg.substrate = substrate;
+  cfg.group = GroupParams{3, 8, 2};
+  cfg.hosts = 48;
+  cfg.seed = seed;
+  cfg.ops = 600;
+  return cfg;
+}
+
+TEST(ChurnFuzzSmoke, DirectoryCampaignRunsClean) {
+  auto report = ChurnFuzzer::RunCampaign(SmokeConfig(Substrate::kDirectory, 101));
+  ASSERT_FALSE(report.has_value())
+      << report->violation.invariant << ": " << report->violation.message
+      << "\n"
+      << report->script;
+}
+
+TEST(ChurnFuzzSmoke, DirectoryCampaignWithLossRunsClean) {
+  FuzzConfig cfg = SmokeConfig(Substrate::kDirectory, 303);
+  cfg.loss_prob = 0.05;
+  auto report = ChurnFuzzer::RunCampaign(cfg);
+  ASSERT_FALSE(report.has_value())
+      << report->violation.invariant << ": " << report->violation.message;
+}
+
+TEST(ChurnFuzzSmoke, DirectoryClusterCampaignRunsClean) {
+  FuzzConfig cfg = SmokeConfig(Substrate::kDirectory, 404);
+  cfg.cluster_heuristic = true;
+  auto report = ChurnFuzzer::RunCampaign(cfg);
+  ASSERT_FALSE(report.has_value())
+      << report->violation.invariant << ": " << report->violation.message;
+}
+
+TEST(ChurnFuzzSmoke, SilkCampaignRunsClean) {
+  FuzzConfig cfg = SmokeConfig(Substrate::kSilk, 202);
+  cfg.group = GroupParams{3, 4, 2};  // dense ID space: subtrees have depth
+  auto report = ChurnFuzzer::RunCampaign(cfg);
+  ASSERT_FALSE(report.has_value())
+      << report->violation.invariant << ": " << report->violation.message;
+}
+
+TEST(ChurnFuzzSmoke, SilkUncappedCampaignRunsClean) {
+  // Leave bursts beyond Definition 3's K-1 tolerance; the harness sweeps
+  // SilkGroup::RunMaintenance() to a fixpoint before asserting.
+  FuzzConfig cfg = SmokeConfig(Substrate::kSilk, 205);
+  cfg.group = GroupParams{3, 4, 2};
+  cfg.uncapped_leaves = true;
+  auto report = ChurnFuzzer::RunCampaign(cfg);
+  ASSERT_FALSE(report.has_value())
+      << report->violation.invariant << ": " << report->violation.message;
+}
+
+TEST(ChurnFuzzReducer, ShrinksPlantedViolationToMinimum) {
+  // The planted invariant "membership stays below plant_max_members" has a
+  // known 1-minimal repro: exactly plant_max_members join operations.
+  FuzzConfig cfg = SmokeConfig(Substrate::kDirectory, 7);
+  cfg.ops = 400;
+  cfg.plant_max_members = 5;
+  auto report = ChurnFuzzer::RunCampaign(cfg);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->violation.invariant, "planted");
+  ASSERT_LE(report->minimized.size(), 5u);
+  for (const Op& op : report->minimized) {
+    EXPECT_EQ(op.kind, OpKind::kJoin);
+  }
+  // The reduced trace still trips the same invariant.
+  RunResult rerun = ChurnFuzzer::RunTrace(cfg, report->minimized);
+  ASSERT_TRUE(rerun.violation.has_value());
+  EXPECT_EQ(rerun.violation->invariant, "planted");
+}
+
+TEST(ChurnFuzzDeterminism, LogByteIdenticalAcrossQueueDisciplines) {
+  for (Substrate substrate : {Substrate::kDirectory, Substrate::kSilk}) {
+    FuzzConfig cfg = SmokeConfig(substrate, 11);
+    if (substrate == Substrate::kSilk) cfg.group = GroupParams{3, 4, 2};
+    cfg.ops = 400;
+    std::vector<Op> trace = ChurnFuzzer::GenerateTrace(cfg);
+
+    FuzzConfig calendar = cfg;
+    calendar.discipline = QueueDiscipline::kCalendar;
+    FuzzConfig heap = cfg;
+    heap.discipline = QueueDiscipline::kBinaryHeap;
+
+    RunResult a = ChurnFuzzer::RunTrace(calendar, trace);
+    RunResult b = ChurnFuzzer::RunTrace(heap, trace);
+    ASSERT_FALSE(a.violation.has_value());
+    ASSERT_FALSE(b.violation.has_value());
+    EXPECT_EQ(a.ops_executed, b.ops_executed);
+    EXPECT_EQ(a.log, b.log);
+
+    // And replays of the same discipline are byte-identical too.
+    RunResult c = ChurnFuzzer::RunTrace(calendar, trace);
+    EXPECT_EQ(a.log, c.log);
+  }
+}
+
+TEST(ChurnFuzzScript, FormatParseRoundTrip) {
+  FuzzConfig cfg = SmokeConfig(Substrate::kSilk, 42);
+  cfg.group = GroupParams{3, 4, 2};
+  cfg.uncapped_leaves = true;
+  cfg.ops = 60;
+  std::vector<Op> trace = ChurnFuzzer::GenerateTrace(cfg);
+  std::string script = ChurnFuzzer::FormatScript(cfg, trace, "round trip");
+
+  FuzzConfig parsed;
+  std::vector<Op> parsed_trace;
+  std::string error;
+  ASSERT_TRUE(ChurnFuzzer::ParseScript(script, &parsed, &parsed_trace, &error))
+      << error;
+  EXPECT_EQ(parsed.substrate, cfg.substrate);
+  EXPECT_EQ(parsed.group.digits, cfg.group.digits);
+  EXPECT_EQ(parsed.group.base, cfg.group.base);
+  EXPECT_EQ(parsed.group.capacity, cfg.group.capacity);
+  EXPECT_EQ(parsed.hosts, cfg.hosts);
+  EXPECT_EQ(parsed.seed, cfg.seed);
+  EXPECT_EQ(parsed.uncapped_leaves, cfg.uncapped_leaves);
+  ASSERT_EQ(parsed_trace.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed_trace[i].kind, trace[i].kind);
+    EXPECT_EQ(parsed_trace[i].arg, trace[i].arg);
+    EXPECT_EQ(parsed_trace[i].arg2, trace[i].arg2);
+  }
+}
+
+// Every minimized repro checked in under tests/fuzz_repros/ documents a
+// fixed bug; each must replay clean on current code.
+TEST(ChurnFuzzCorpus, ArchivedReprosReplayClean) {
+  const std::filesystem::path dir = FUZZ_REPRO_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".repro") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    FuzzConfig cfg;
+    std::vector<Op> trace;
+    std::string error;
+    ASSERT_TRUE(ChurnFuzzer::ParseScript(text.str(), &cfg, &trace, &error))
+        << error;
+    ASSERT_FALSE(trace.empty());
+
+    for (QueueDiscipline d :
+         {QueueDiscipline::kCalendar, QueueDiscipline::kBinaryHeap}) {
+      cfg.discipline = d;
+      RunResult r = ChurnFuzzer::RunTrace(cfg, trace);
+      EXPECT_FALSE(r.violation.has_value())
+          << r.violation->invariant << ": " << r.violation->message;
+      EXPECT_EQ(r.ops_executed, static_cast<int>(trace.size()));
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 3);  // the corpus this harness shipped with
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace tmesh

@@ -179,6 +179,11 @@ TEST(ConcurrentSessions, RekeyBurstDelaysDataUnlessSplit) {
     ropts.split = split;
     std::vector<TMesh::Handle> handles;
     if (with_rekey) handles.push_back(tmesh.BeginRekey(msg, ropts));
+    // Launch the data stream while the burst is mid-flight through the
+    // overlay (as the congestion ablation does) — launching both at t=0
+    // turns the overlap into a knife-edge race between the data wavefront
+    // and the server's slow first copies.
+    sim.RunUntil(FromMillis(100.0));
     handles.push_back(tmesh.BeginData(*sender));
     sim.Run();
     const TMesh::Result& data = handles.back().result();

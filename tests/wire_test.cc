@@ -246,12 +246,21 @@ TEST(Wire, NeighborRecordRoundTrip) {
 }
 
 TEST(Wire, SizeMatchesUplinkModelScale) {
-  // One encryption's wire size should be close to the uplink model's
-  // default bytes_per_encryption estimate (24 B): ID bytes + versions +
-  // 16-byte key.
+  // TMesh::UplinkModel charges each rekey packet the exact wire size of
+  // its encryptions. Pin the formula it depends on: two length-prefixed
+  // IDs, two 4-byte versions, and a kKeyBytes ciphertext.
   Encryption e = MakeEnc(KeyId{1, 2, 3, 4, 5}, KeyId{1, 2, 3, 4}, 2, 1);
-  EXPECT_GE(WireSize(e), 24u);
-  EXPECT_LE(WireSize(e), 48u);
+  EXPECT_EQ(WireSize(e),
+            static_cast<std::size_t>((1 + e.enc_key_id.size()) +
+                                     (1 + e.new_key_id.size()) + 4 + 4) +
+                kKeyBytes);
+  // The size is depth-dependent — a root-level and a leaf-level encryption
+  // must not be charged the same number of bytes.
+  Encryption shallow = MakeEnc(KeyId{1}, KeyId{}, 2, 1);
+  EXPECT_EQ(WireSize(e) - WireSize(shallow),
+            static_cast<std::size_t>(
+                (e.enc_key_id.size() - shallow.enc_key_id.size()) +
+                (e.new_key_id.size() - shallow.new_key_id.size())));
 }
 
 class WireFuzzRoundTrip : public ::testing::TestWithParam<int> {};
