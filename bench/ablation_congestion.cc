@@ -19,7 +19,10 @@
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
-  Flags f = Flags::Parse(argc, argv);
+  constexpr FigureSpec kSpec{
+      "ablation_congestion",
+      "Ablation: rekey/data interference on limited uplinks", 130};
+  Flags f = Flags::Parse(kSpec, argc, argv);
   const int users = f.users > 0 ? f.users : 226;
 
   auto net = MakeNetwork(Topo::kPlanetLab, users + 1, f.seed);
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
   // per-mode `Simulator sim;` the sequential loop constructed. Rows print
   // in speed order regardless of --threads.
   const std::vector<double> speeds = {64.0, 256.0, 1024.0, 10240.0};
-  ReplicaRunner runner(f.Threads());
+  ReplicaRunner runner(f.Threads(), f.SimOptions());
   runner.Run(
       static_cast<int>(speeds.size()),
       [&](ReplicaRunner::Replica& rep) {
@@ -85,9 +88,10 @@ int main(int argc, char** argv) {
             msg_bytes += static_cast<double>(WireSize(e));
           }
           double msg_ms = msg_bytes * 8.0 / kbps;
-          rep.sim.RunUntil(rep.sim.Now() + FromMillis(3.0 * msg_ms + 50.0));
+          RunUntilSliced(rep.sim, rep.sim.Now() + FromMillis(3.0 * msg_ms + 50.0),
+                         f.step);
           handles.push_back(tmesh.BeginData(*sender));
-          rep.sim.Run();
+          DrainSliced(rep.sim, f.step);
           const TMesh::Result& data = handles.back().result();
           std::vector<double> delays;
           for (const auto& r : data.member) {

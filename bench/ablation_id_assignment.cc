@@ -20,7 +20,10 @@
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
-  Flags f = Flags::Parse(argc, argv);
+  constexpr FigureSpec kSpec{"ablation_id_assignment",
+                             "Ablation: proximity-aware vs random user IDs",
+                             110};
+  Flags f = Flags::Parse(kSpec, argc, argv);
   const int users = f.users > 0 ? f.users : 226;
   const int churn = users / 8;
 
@@ -45,7 +48,7 @@ int main(int argc, char** argv) {
   // One replica per policy; every replica builds its own network, session,
   // and (via the worker) simulator, so the four policies run concurrently.
   // Each returns its formatted table row; rows print in policy order.
-  ReplicaRunner runner(f.Threads());
+  ReplicaRunner runner(f.Threads(), f.SimOptions());
   runner.Run(
       static_cast<int>(std::size(modes)),
       [&](ReplicaRunner::Replica& rep) {

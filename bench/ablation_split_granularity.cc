@@ -15,7 +15,10 @@
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
-  Flags f = Flags::Parse(argc, argv);
+  constexpr FigureSpec kSpec{
+      "ablation_split_granularity",
+      "Ablation: encryption-level vs packet-level splitting", 120};
+  Flags f = Flags::Parse(kSpec, argc, argv);
   const int users = f.users > 0 ? f.users : 256;
 
   auto net = MakeNetwork(Topo::kGtItm, users + 1, f.seed);
@@ -55,7 +58,7 @@ int main(int argc, char** argv) {
   // worker-owned simulator. Concurrent RTT queries against the shared
   // GT-ITM network are safe (its SPT cache is lock-guarded). Rows print in
   // variant order regardless of --threads.
-  ReplicaRunner runner(f.Threads());
+  ReplicaRunner runner(f.Threads(), f.SimOptions());
   runner.Run(
       static_cast<int>(std::size(variants)),
       [&](ReplicaRunner::Replica& rep) {

@@ -2,6 +2,12 @@
 //
 // Every fig* binary reproduces one figure of the paper's evaluation as a
 // text table (see EXPERIMENTS.md for the mapping and the expected shapes).
+// Each binary registers a FigureSpec {name, title, order, recorded} and
+// parses the one shared flag surface, so usage text, validation, and the
+// machine-readable --spec handshake are identical across the suite.
+// scripts/regen_experiments.sh discovers the benches by probing every
+// build/bench executable with --spec — no hard-coded list to drift.
+//
 // Common flags:
 //   --runs=N     number of simulation runs to aggregate (paper run counts
 //                are larger; defaults here keep the full bench suite fast)
@@ -11,7 +17,19 @@
 //                1 runs the old sequential loop). Stdout is byte-identical
 //                for every N — only wall-clock and the ordering of stderr
 //                progress notes change.
+//   --step=N     drive simulator drains in RunFor slices of N events
+//                (0 = monolithic). Stdout is byte-identical for every N.
+//   --discipline=calendar|heap
+//                event-queue discipline for every simulator the bench
+//                constructs. Stdout is byte-identical for either.
+//   --static-calendar
+//                disable the calendar queue's adaptive epoch retuning
+//                (geometry only; stdout is byte-identical). The
+//                chunked-execution acceptance sweep drives every bench
+//                across step x discipline x retuning and diffs the output.
 //   --full       paper-scale settings
+//   --spec       print "order<TAB>recorded<TAB>name<TAB>title" and exit 0
+//                (the regen-script discovery handshake)
 #pragma once
 
 #include <cerrno>
@@ -31,27 +49,58 @@
 
 namespace tmesh::bench {
 
+// One entry in the bench registry. `order` fixes the position in
+// bench_output.txt (EXPERIMENTS.md order); `recorded` is false for benches
+// whose output is wall-clock-dependent (they are smoke-run, not recorded).
+struct FigureSpec {
+  const char* name;   // binary name, as built under build/bench/
+  const char* title;  // one-line description, shown in usage and --spec
+  int order = 0;
+  bool recorded = true;
+};
+
 struct Flags {
   int runs = -1;          // -1: driver default
   int users = -1;
   int threads = 0;        // 0: hardware concurrency
+  std::size_t step = 0;   // RunFor slice size; 0: monolithic drains
   std::uint64_t seed = 1;
   bool full = false;      // paper-scale settings
+  QueueDiscipline discipline = QueueDiscipline::kCalendar;
+  bool adaptive_retune = true;
 
   // Replica pool width after defaulting.
   int Threads() const {
     return threads > 0 ? threads : ReplicaRunner::HardwareThreads();
   }
 
-  static void Usage(const char* argv0) {
+  // Construction options for every Simulator the bench builds (directly or
+  // through ReplicaRunner workers). Queue geometry cannot reorder events,
+  // so output is byte-identical for every combination.
+  Simulator::Options SimOptions() const {
+    return Simulator::Options{.discipline = discipline,
+                              .adaptive_retune = adaptive_retune};
+  }
+
+  static void Usage(const FigureSpec& spec, const char* argv0) {
     std::fprintf(stderr,
+                 "%s — %s\n"
                  "usage: %s [--runs=N] [--users=N] [--seed=N] [--threads=N] "
-                 "[--full]\n"
+                 "[--step=N] [--full]\n"
                  "  --threads=N  replica worker threads (default: hardware "
                  "concurrency;\n"
                  "               1 = sequential; stdout is identical for "
-                 "every N)\n",
-                 argv0);
+                 "every N)\n"
+                 "  --step=N     drive simulator drains in RunFor slices of "
+                 "N events\n"
+                 "               (0 = monolithic; stdout is identical for "
+                 "every N)\n"
+                 "  --discipline=calendar|heap  event-queue discipline "
+                 "(identical stdout)\n"
+                 "  --static-calendar  disable adaptive calendar retuning "
+                 "(identical stdout)\n"
+                 "  --spec       print the registry line and exit\n",
+                 spec.name, spec.title, argv0);
     std::exit(2);
   }
 
@@ -68,16 +117,22 @@ struct Flags {
         v > max_v) {
       std::fprintf(stderr, "%s: invalid value for %s: '%s'\n", argv0, flag,
                    text);
-      Usage(argv0);
+      std::exit(2);
     }
     return v;
   }
 
-  static Flags Parse(int argc, char** argv) {
+  static Flags Parse(const FigureSpec& spec, int argc, char** argv) {
     Flags f;
     for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
-      if (std::strncmp(a, "--runs=", 7) == 0) {
+      if (std::strcmp(a, "--spec") == 0) {
+        // Machine-readable registry line; regen_experiments.sh probes every
+        // bench executable with this to discover name/order/recorded.
+        std::printf("%d\t%d\t%s\t%s\n", spec.order, spec.recorded ? 1 : 0,
+                    spec.name, spec.title);
+        std::exit(0);
+      } else if (std::strncmp(a, "--runs=", 7) == 0) {
         f.runs = static_cast<int>(
             ParseNum(argv[0], "--runs", a + 7, 1, 1 << 20));
       } else if (std::strncmp(a, "--users=", 8) == 0) {
@@ -86,14 +141,27 @@ struct Flags {
       } else if (std::strncmp(a, "--threads=", 10) == 0) {
         f.threads = static_cast<int>(
             ParseNum(argv[0], "--threads", a + 10, 1, 4096));
+      } else if (std::strncmp(a, "--step=", 7) == 0) {
+        f.step = static_cast<std::size_t>(
+            ParseNum(argv[0], "--step", a + 7, 0, 1 << 30));
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
         f.seed = static_cast<std::uint64_t>(ParseNum(
             argv[0], "--seed", a + 7, 0,
             std::numeric_limits<long long>::max()));
+      } else if (std::strncmp(a, "--discipline=", 13) == 0) {
+        if (std::strcmp(a + 13, "calendar") == 0) {
+          f.discipline = QueueDiscipline::kCalendar;
+        } else if (std::strcmp(a + 13, "heap") == 0) {
+          f.discipline = QueueDiscipline::kBinaryHeap;
+        } else {
+          Usage(spec, argv[0]);
+        }
+      } else if (std::strcmp(a, "--static-calendar") == 0) {
+        f.adaptive_retune = false;
       } else if (std::strcmp(a, "--full") == 0) {
         f.full = true;
       } else {
-        Usage(argv[0]);
+        Usage(spec, argv[0]);
       }
     }
     return f;
@@ -123,7 +191,8 @@ inline std::unique_ptr<Network> MakeNetwork(Topo topo, int hosts,
 // protocols/latency_figure.h for the workload and the determinism contract.
 inline void RunLatencyFigure(const std::string& title, Topo topo, int users,
                              bool data_path, int runs, std::uint64_t seed,
-                             int threads) {
+                             int threads, std::size_t step = 0,
+                             const Simulator::Options& sim_options = {}) {
   LatencyFigureConfig cfg;
   cfg.title = title;
   cfg.topo = topo;
@@ -134,6 +203,8 @@ inline void RunLatencyFigure(const std::string& title, Topo topo, int users,
   cfg.threads = threads;
   cfg.session = PaperSession();
   cfg.progress = true;
+  cfg.step_events = step;
+  cfg.sim_options = sim_options;
   PrintLatencyFigure(std::cout, cfg);
 }
 

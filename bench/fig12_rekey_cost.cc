@@ -14,12 +14,15 @@
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
-  Flags f = Flags::Parse(argc, argv);
+  constexpr FigureSpec kSpec{"fig12_rekey_cost",
+                             "Fig. 12: rekey cost vs (J, L) batch shape", 70};
+  Flags f = Flags::Parse(kSpec, argc, argv);
 
   RekeyCostConfig cfg;
   cfg.seed = f.seed;
   cfg.initial_users = f.users > 0 ? f.users : 1024;
   cfg.threads = f.Threads();
+  cfg.sim_options = f.SimOptions();
   cfg.session = PaperSession();
   if (f.full) {
     cfg.grid = {0, 128, 256, 384, 512, 640, 768, 896, 1024};

@@ -10,7 +10,10 @@
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
-  Flags f = Flags::Parse(argc, argv);
+  constexpr FigureSpec kSpec{
+      "fig13_rekey_bandwidth",
+      "Fig. 13: rekey bandwidth under the Table-2 protocols", 80};
+  Flags f = Flags::Parse(kSpec, argc, argv);
 
   BandwidthConfig cfg;
   cfg.seed = f.seed;
@@ -18,6 +21,8 @@ int main(int argc, char** argv) {
   cfg.batch_joins = cfg.initial_users / 4;
   cfg.batch_leaves = cfg.initial_users / 4;
   cfg.session = PaperSession();
+  cfg.step_events = f.step;
+  cfg.sim_options = f.SimOptions();
 
   std::fprintf(stderr, "building %d-user group + %d joins/%d leaves...\n",
                cfg.initial_users, cfg.batch_joins, cfg.batch_leaves);

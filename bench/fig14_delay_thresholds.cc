@@ -8,7 +8,10 @@
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
-  Flags f = Flags::Parse(argc, argv);
+  constexpr FigureSpec kSpec{
+      "fig14_delay_thresholds",
+      "Fig. 14: sensitivity to ID digits and delay thresholds", 90};
+  Flags f = Flags::Parse(kSpec, argc, argv);
   int users = f.users > 0 ? f.users : 226;
 
   struct Variant {
@@ -29,7 +32,7 @@ int main(int argc, char** argv) {
   // One replica per variant; each builds its own network and session, so
   // the pool may run them concurrently. Merging in variant order keeps the
   // tables' series order (and the output bytes) fixed for any --threads.
-  ReplicaRunner runner(f.Threads());
+  ReplicaRunner runner(f.Threads(), f.SimOptions());
   runner.Run(
       static_cast<int>(variants.size()),
       [&](ReplicaRunner::Replica& rep) {
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
         cfg.session.with_nice = false;
         cfg.session.group.digits = v.digits;
         cfg.session.assign.thresholds_ms = v.thresholds;
+        cfg.step_events = f.step;
         auto res = RunLatencyExperiment(*net, cfg, f.seed * 7 + 13, &rep.sim);
         std::fprintf(stderr, "  variant %s done\n", v.name.c_str());
         return res;

@@ -11,7 +11,10 @@
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
-  Flags f = Flags::Parse(argc, argv);
+  constexpr FigureSpec kSpec{"micro_join_cost",
+                             "§3.1.4: probing cost per join vs group size",
+                             100};
+  Flags f = Flags::Parse(kSpec, argc, argv);
 
   std::vector<int> sizes = f.full ? std::vector<int>{64, 128, 256, 512, 1024}
                                   : std::vector<int>{64, 128, 256, 512};

@@ -20,7 +20,11 @@
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
-  Flags f = Flags::Parse(argc, argv);
+  constexpr FigureSpec kSpec{
+      "micro_replica_scaling",
+      "ReplicaRunner throughput scaling (wall-clock; not recorded)", 140,
+      /*recorded=*/false};
+  Flags f = Flags::Parse(kSpec, argc, argv);
   const int users = f.users > 0 ? f.users : 1024;
   const int runs = f.runs > 0 ? f.runs : (f.full ? 8 : 4);
 

@@ -33,11 +33,17 @@ namespace {
 using LegacySim = LegacySimulator;
 
 struct CalSim : Simulator {
-  CalSim() : Simulator(QueueDiscipline::kCalendar) {}
+  CalSim() : Simulator(Options{.discipline = QueueDiscipline::kCalendar}) {}
+};
+
+struct StaticCalSim : Simulator {
+  StaticCalSim()
+      : Simulator(Options{.discipline = QueueDiscipline::kCalendar,
+                          .adaptive_retune = false}) {}
 };
 
 struct HeapSim : Simulator {
-  HeapSim() : Simulator(QueueDiscipline::kBinaryHeap) {}
+  HeapSim() : Simulator(Options{.discipline = QueueDiscipline::kBinaryHeap}) {}
 };
 
 template <class Sim>
@@ -120,6 +126,82 @@ void BM_SameTimeBurst(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_SameTimeBurst, LegacySim)->Arg(256);
 BENCHMARK_TEMPLATE(BM_SameTimeBurst, HeapSim)->Arg(256);
 BENCHMARK_TEMPLATE(BM_SameTimeBurst, CalSim)->Arg(256);
+
+// The batch-rekey shape the paper's workload actually produces: a flash
+// crowd assembles first — every member arms a session timer across a 48ms
+// join window — and then the key server's rekey multicast turns the
+// simulation into a sustained storm of deliveries, forwards, and retries:
+// a constant 128k-event population rippling through a rolling ~82ms retry
+// horizon, several events per microsecond tick.
+//
+// That density regime shift is what separates the three queues:
+//
+//  * StaticCalSim tunes its day width only at occupancy-triggered
+//    retunes. The last one fires mid-assembly (the fill doubles the ring
+//    until it matches the population), deriving width 2 from a snapshot
+//    of the join spread — and then the storm holds the population
+//    *constant* (each delivery schedules its successor), occupancy never
+//    leaves the efficient band, and that width is frozen: every day holds
+//    two distinct instants, so roughly half of all storm inserts walk the
+//    earlier instant's whole sorted chain to reach their slot. A cache
+//    miss per walked node, forever.
+//
+//  * CalSim samples the inter-pop gap histogram, sees a sub-microsecond
+//    quartile gap, and collapses the days to width 1: single-instant
+//    buckets, where every insert is a pure FIFO tail append (same when,
+//    rising seq) and the chain walk disappears.
+//
+//  * LegacySim pays the population, not the geometry: a 128k-deep binary
+//    heap of std::function, with every closure boxed on the heap because
+//    it carries a 64-byte delivery record (packet header, key snapshot,
+//    candidate list stand-in). The record fits the pooled simulators'
+//    inline closure storage — the allocation the event pool exists to
+//    avoid is the one std::function cannot.
+struct DeliveryRecord {
+  std::uint64_t words[8];
+};
+
+template <class Sim>
+struct StormEvent {
+  Sim* sim;
+  Rng* rng;
+  std::int64_t* budget;
+  DeliveryRecord rec;
+  void operator()() const {
+    if (*budget <= 0) return;
+    --*budget;
+    // Forward/retry continuation: rekey traffic keeps the whole event
+    // population inside a rolling ~82ms window, ~3 events per tick.
+    sim->ScheduleIn(rng->UniformInt(1, 81'920), *this);
+  }
+};
+
+template <class Sim>
+void BM_BurstyRekey(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const std::int64_t storm_events = std::int64_t{1} << 20;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    Sim sim;
+    Rng rng(13);
+    std::int64_t budget = storm_events;
+    // Flash-crowd assembly: one session timer per member across the join
+    // window. The 48ms spread is what the static queue's last growth
+    // retune snapshots its day width from.
+    for (int i = 0; i < members; ++i) {
+      DeliveryRecord rec{};
+      rec.words[0] = static_cast<std::uint64_t>(i);
+      sim.ScheduleIn(rng.UniformInt(1, 48'000),
+                     StormEvent<Sim>{&sim, &rng, &budget, rec});
+    }
+    events += static_cast<std::int64_t>(sim.Run());
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK_TEMPLATE(BM_BurstyRekey, LegacySim)->Arg(131072);
+BENCHMARK_TEMPLATE(BM_BurstyRekey, HeapSim)->Arg(131072);
+BENCHMARK_TEMPLATE(BM_BurstyRekey, StaticCalSim)->Arg(131072);
+BENCHMARK_TEMPLATE(BM_BurstyRekey, CalSim)->Arg(131072);
 
 }  // namespace
 }  // namespace tmesh

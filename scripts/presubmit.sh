@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Presubmit: the three ROADMAP invocations in one command.
+#
+#   1. default   — RelWithDebInfo build + the full tier-1 ctest suite
+#   2. asan-ubsan — every tier-1 test under ASan+UBSan
+#                   (-fno-sanitize-recover=all)
+#   3. tsan      — the replica-runner and simulator suites under
+#                   ThreadSanitizer
+#
+# Usage: scripts/presubmit.sh [-j N]
+#   -j N   build parallelism (default: nproc)
+#
+# Each pass uses the CMake presets from CMakePresets.json, so the build
+# trees (build/, build-asan-ubsan/, build-tsan/) are the same ones the
+# README documents and stay warm across presubmit runs. The script stops
+# at the first failing configure/build/test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+run_preset() {
+  local preset="$1"
+  echo "==== [$preset] configure"
+  cmake --preset "$preset"
+  echo "==== [$preset] build (-j $jobs)"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==== [$preset] ctest"
+  ctest --preset "$preset"
+}
+
+run_preset default
+run_preset asan-ubsan
+run_preset tsan
+
+echo "==== presubmit OK: default + asan-ubsan + tsan all green"

@@ -39,43 +39,40 @@ echo "== Rebuild (default preset) =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
-# Benches in EXPERIMENTS.md order. Flags beyond the defaults are listed
-# explicitly so the file documents exactly how it was produced.
 threads_flag=""
 if [[ -n "${BENCH_THREADS:-}" ]]; then
   threads_flag="--threads=${BENCH_THREADS}"
 fi
 
-benches=(
-  fig06_rekey_latency_planetlab
-  fig07_rekey_latency_gtitm256
-  fig08_rekey_latency_gtitm1024
-  fig09_data_latency_planetlab
-  fig10_data_latency_gtitm256
-  fig11_data_latency_gtitm1024
-  fig12_rekey_cost
-  fig13_rekey_bandwidth
-  fig14_delay_thresholds
-  micro_join_cost
-  ablation_id_assignment
-  ablation_split_granularity
-  ablation_congestion
-)
+# Discover the suite: every build/bench executable that answers the --spec
+# handshake (bench_common.h) prints "order<TAB>recorded<TAB>name<TAB>title"
+# and is run in order. Binaries that don't speak --spec (the
+# google-benchmark micro benches) fall out of the probe; they report
+# non-deterministic wall times and are smoke-run separately below.
+specs=$(for b in ./build/bench/*; do
+  [[ -x "$b" && -f "$b" ]] || continue
+  "$b" --spec 2>/dev/null || true
+done | grep -E $'^[0-9]+\t[01]\t' | sort -n)
 
 out=bench_output.txt
 : > "$out"
-for b in "${benches[@]}"; do
+while IFS=$'\t' read -r order recorded name title; do
+  if [[ "$recorded" != 1 ]]; then
+    echo "== $name: skipped (not recorded: $title) =="
+    continue
+  fi
   start=$SECONDS
   {
-    echo "===== $b ${threads_flag} ====="
-    ./build/bench/"$b" ${threads_flag}
+    echo "===== $name ${threads_flag} ====="
+    ./build/bench/"$name" ${threads_flag}
     echo
   } >> "$out"
-  echo "== $b: $((SECONDS - start))s =="
-done
+  echo "== $name: $((SECONDS - start))s =="
+done <<< "$specs"
 
-# micro_core_ops (google-benchmark) reports wall times, which are not
-# deterministic; keep it out of bench_output.txt but still smoke-run it.
+# The google-benchmark binaries report wall times, which are not
+# deterministic; keep them out of bench_output.txt but still smoke-run the
+# core-ops suite.
 echo "== micro_core_ops (smoke, not recorded) =="
 ./build/bench/micro_core_ops --benchmark_min_time=0.01s > /dev/null
 

@@ -15,7 +15,12 @@ KeyServer::KeyServer(const Network& net, HostId server_host, Simulator& sim,
 void KeyServer::Start() {
   TMESH_CHECK_MSG(!running_, "already started");
   running_ = true;
-  sim_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
+  // A Stop()ped-but-unfired tick is still in flight; it will see running_
+  // and re-arm, so scheduling here would fork a second tick chain.
+  if (tick_at_ == kNoTime) {
+    tick_at_ = sim_.Now() + cfg_.rekey_interval;
+    sim_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
+  }
 }
 
 std::optional<UserId> KeyServer::RequestJoin(HostId host) {
@@ -48,6 +53,7 @@ void KeyServer::RepairFailure(UserId id) {
 }
 
 void KeyServer::EndInterval() {
+  tick_at_ = kNoTime;
   IntervalRecord rec;
   rec.when = sim_.Now();
   rec.joins = interval_joins_;
@@ -78,6 +84,7 @@ void KeyServer::EndInterval() {
   history_.push_back(rec);
 
   if (running_) {
+    tick_at_ = sim_.Now() + cfg_.rekey_interval;
     sim_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
   }
 }

@@ -64,10 +64,20 @@ class KeyServer {
             const Config& config);
 
   // Starts the periodic rekey timer (first interval ends one
-  // rekey_interval from now).
+  // rekey_interval from now). Checked lifecycle: Start() on a running
+  // server is a TMESH_CHECK failure, and a Start() after Stop() while the
+  // stopped tick is still in flight reuses that tick instead of scheduling
+  // a second one — the server can never double-schedule intervals.
   void Start();
-  // Stops scheduling further intervals after the next tick fires.
+  // Stops scheduling further intervals. Idempotent; an already-scheduled
+  // tick still fires once (processing the batch accumulated so far) but
+  // does not re-arm.
   void Stop() { running_ = false; }
+
+  bool running() const { return running_; }
+  // Simulated time of the next scheduled interval tick, kNoTime if none is
+  // in flight. The online driver loop uses this as its RunFor deadline.
+  SimTime next_interval_at() const { return tick_at_; }
 
   // --- client-facing operations (invoked at simulator-now) ---------------
   // Admits a new user; returns its assigned ID, or nullopt if the ID space
@@ -125,6 +135,7 @@ class KeyServer {
   Simulator& sim_;
   TMesh tmesh_;
   bool running_ = false;
+  SimTime tick_at_ = kNoTime;  // when the in-flight interval tick fires
   int interval_joins_ = 0;
   int interval_leaves_ = 0;
   std::vector<IntervalRecord> history_;

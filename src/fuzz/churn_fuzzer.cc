@@ -141,7 +141,8 @@ class DirectoryHarness {
   explicit DirectoryHarness(const FuzzConfig& cfg)
       : cfg_(cfg),
         net_(NetParams(cfg)),
-        sim_(cfg.discipline),
+        sim_(Simulator::Options{.discipline = cfg.discipline,
+                                .adaptive_retune = cfg.adaptive_retune}),
         server_(net_, 0, sim_, ServerConfig(cfg)) {
     for (HostId h = 1; h < cfg.hosts; ++h) free_hosts_.push_back(h);
     server_.Start();
@@ -236,7 +237,8 @@ class DirectoryHarness {
           case 2: dt = iv; break;
           case 3: dt = 2 * iv + 1709; break;
         }
-        Guard("op", [&] { sim_.RunUntil(sim_.Now() + dt); });
+        Guard("op",
+              [&] { RunUntilSliced(sim_, sim_.Now() + dt, cfg_.step_events); });
         ScanHistory();
         if (sim_.Pending() <= 1) CheckQuiescent();
         break;
@@ -251,8 +253,10 @@ class DirectoryHarness {
 
   void Finish(std::string& log) {
     for (int round = 0; round < 4; ++round) {
-      Guard("op",
-            [&] { sim_.RunUntil(sim_.Now() + cfg_.rekey_interval + 1709); });
+      Guard("op", [&] {
+        RunUntilSliced(sim_, sim_.Now() + cfg_.rekey_interval + 1709,
+                       cfg_.step_events);
+      });
       ScanHistory();
       if (sim_.Pending() <= 1) {
         CheckQuiescent();
@@ -499,7 +503,8 @@ class SilkHarness {
   explicit SilkHarness(const FuzzConfig& cfg)
       : cfg_(cfg),
         net_(NetParams(cfg)),
-        sim_(cfg.discipline),
+        sim_(Simulator::Options{.discipline = cfg.discipline,
+                                .adaptive_retune = cfg.adaptive_retune}),
         group_(net_, cfg.group, 0, sim_) {
     for (HostId h = 1; h < cfg.hosts; ++h) free_hosts_.push_back(h);
   }
@@ -507,7 +512,7 @@ class SilkHarness {
   void Apply(int index, const Op& op, std::string& log) {
     switch (op.kind) {
       case OpKind::kJoin: {
-        Guard("op", [&] { sim_.Run(); });
+        Guard("op", [&] { DrainSliced(sim_, cfg_.step_events); });
         in_flight_leaves_ = 0;
         if (free_hosts_.empty() || IdSpaceFull()) break;
         std::size_t pick = op.arg % free_hosts_.size();
@@ -515,7 +520,7 @@ class SilkHarness {
         UserId id = FreshId(op.arg2);
         Guard("op", [&] {
           group_.Join(id, host, sim_.Now());
-          sim_.Run();
+          DrainSliced(sim_, cfg_.step_events);
         });
         free_hosts_.erase(free_hosts_.begin() +
                           static_cast<std::ptrdiff_t>(pick));
@@ -533,7 +538,7 @@ class SilkHarness {
         // script opted into the uncapped regime (checked with maintenance).
         if (!cfg_.uncapped_leaves &&
             in_flight_leaves_ >= cfg_.group.capacity - 1) {
-          Guard("op", [&] { sim_.Run(); });
+          Guard("op", [&] { DrainSliced(sim_, cfg_.step_events); });
           in_flight_leaves_ = 0;
         }
         std::size_t pick;
@@ -574,7 +579,7 @@ class SilkHarness {
       case OpKind::kRepair:
         break;  // no failure model in the Silk substrate
       case OpKind::kData: {
-        Guard("op", [&] { sim_.Run(); });
+        Guard("op", [&] { DrainSliced(sim_, cfg_.step_events); });
         in_flight_leaves_ = 0;
         if (present_.size() < 2) break;
         UserId sender = present_[op.arg % present_.size()];
@@ -584,7 +589,7 @@ class SilkHarness {
                          static_cast<std::uint64_t>(++data_count_);
         TMesh mesh(group_, sim_);
         TMesh::Handle h = mesh.BeginData(sender, opts);
-        Guard("op", [&] { sim_.Run(); });
+        Guard("op", [&] { DrainSliced(sim_, cfg_.step_events); });
         in_flight_leaves_ = 0;
         const TMesh::Result& res = h.result();
         Guard("theorem1-data", [&] {
@@ -604,7 +609,7 @@ class SilkHarness {
         break;
       }
       case OpKind::kAdvance: {
-        Guard("op", [&] { sim_.Run(); });
+        Guard("op", [&] { DrainSliced(sim_, cfg_.step_events); });
         in_flight_leaves_ = 0;
         CheckConsistency();
         break;
@@ -622,7 +627,7 @@ class SilkHarness {
   }
 
   void Finish(std::string& log) {
-    Guard("op", [&] { sim_.Run(); });
+    Guard("op", [&] { DrainSliced(sim_, cfg_.step_events); });
     CheckConsistency();
     Line(log, "final n=%d msgs=%" PRId64 " t_us=%" PRId64,
          group_.member_count(), group_.stats().messages,
@@ -856,12 +861,14 @@ std::string ChurnFuzzer::FormatScript(const FuzzConfig& cfg,
   std::snprintf(buf, sizeof buf,
                 "substrate %s\ndigits %d\nbase %d\ncapacity %d\nhosts %d\n"
                 "loss %.12g\nseed %" PRIu64 "\ninterval_us %" PRId64
-                "\nsplit %d\ncluster %d\nuncapped %d\n",
+                "\nsplit %d\ncluster %d\nuncapped %d\nstep %zu"
+                "\nadaptive %d\n",
                 SubstrateName(cfg.substrate), cfg.group.digits, cfg.group.base,
                 cfg.group.capacity, cfg.hosts, cfg.loss_prob, cfg.seed,
                 static_cast<std::int64_t>(cfg.rekey_interval),
                 cfg.split ? 1 : 0, cfg.cluster_heuristic ? 1 : 0,
-                cfg.uncapped_leaves ? 1 : 0);
+                cfg.uncapped_leaves ? 1 : 0, cfg.step_events,
+                cfg.adaptive_retune ? 1 : 0);
   out += buf;
   for (const Op& op : trace) {
     std::snprintf(buf, sizeof buf, "op %s %u %u\n", ToString(op.kind), op.arg,
@@ -936,6 +943,12 @@ bool ChurnFuzzer::ParseScript(const std::string& text, FuzzConfig* cfg,
       int v;
       if (!(ls >> v)) return bad();
       cfg->uncapped_leaves = v != 0;
+    } else if (key == "step") {
+      if (!(ls >> cfg->step_events)) return bad();
+    } else if (key == "adaptive") {
+      int v;
+      if (!(ls >> v)) return bad();
+      cfg->adaptive_retune = v != 0;
     } else {
       return fail("line " + std::to_string(lineno) + ": unknown key '" + key +
                   "'");

@@ -86,6 +86,16 @@ struct FuzzConfig {
   bool uncapped_leaves = false;
   bool cluster_heuristic = false;  // Appendix-B mode (kDirectory only)
   QueueDiscipline discipline = QueueDiscipline::kCalendar;
+  // Calendar-queue epoch width adaptation (ignored by kBinaryHeap). Queue
+  // geometry can never change event order, so logs are byte-identical for
+  // either value — the chunked-execution acceptance test replays traces
+  // with it both on and off to prove that too.
+  bool adaptive_retune = true;
+  // RunFor slice size for every simulator drain/advance the harness issues
+  // (0: monolithic Run()/RunUntil()). Logs and violations are byte-identical
+  // for every value — the chunked-execution acceptance test replays traces
+  // across several step shapes to prove it.
+  std::size_t step_events = 0;
   // Test hook: when > 0, a deliberately bogus invariant "membership stays
   // below this size" is asserted after every op. The reducer self-test
   // plants a violation this way, because its 1-minimal repro has a known

@@ -3,8 +3,12 @@
 //   fuzz_churn [--substrate=directory|silk] [--seed=N] [--seeds=M]
 //              [--ops=N] [--hosts=N] [--digits=D] [--base=B] [--k=K]
 //              [--loss=P] [--interval-ms=N] [--cluster] [--no-split]
-//              [--uncapped] [--discipline=calendar|heap] [--out=DIR]
-//   fuzz_churn --replay=FILE [--discipline=calendar|heap]
+//              [--uncapped] [--discipline=calendar|heap] [--step=N]
+//              [--static-calendar] [--out=DIR]
+//   fuzz_churn --replay=FILE [--discipline=calendar|heap] [--step=N]
+//
+// --step=N drives every simulator drain in RunFor slices of N events
+// (0: monolithic); output is byte-identical for every value.
 //
 // Campaign mode runs `--seeds` consecutive seeds starting at `--seed`; on
 // the first violation it delta-debugs the trace and writes the 1-minimal
@@ -32,8 +36,8 @@ using tmesh::fuzz::Substrate;
       "[--ops=N]\n"
       "          [--hosts=N] [--digits=D] [--base=B] [--k=K] [--loss=P]\n"
       "          [--interval-ms=N] [--cluster] [--no-split] [--uncapped]\n"
-      "          [--discipline=calendar|heap] [--out=DIR]\n"
-      "       %s --replay=FILE [--discipline=calendar|heap]\n",
+      "          [--discipline=calendar|heap] [--step=N] [--out=DIR]\n"
+      "       %s --replay=FILE [--discipline=calendar|heap] [--step=N]\n",
       argv0, argv0);
   std::exit(2);
 }
@@ -108,6 +112,10 @@ int main(int argc, char** argv) {
       } else {
         Usage(argv[0]);
       }
+    } else if (const char* v = val("--step=")) {
+      cfg.step_events = static_cast<std::size_t>(ParseInt(argv[0], v));
+    } else if (std::strcmp(a, "--static-calendar") == 0) {
+      cfg.adaptive_retune = false;
     } else if (const char* v = val("--out=")) {
       out_dir = v;
     } else if (const char* v = val("--replay=")) {
@@ -133,6 +141,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     rcfg.discipline = cfg.discipline;
+    rcfg.step_events = cfg.step_events;
     tmesh::fuzz::RunResult r = ChurnFuzzer::RunTrace(rcfg, trace);
     if (r.violation.has_value()) {
       std::printf("VIOLATION [%s] at op %d after %d ops:\n  %s\n",

@@ -34,22 +34,38 @@ LatencyRunResult RunLatencyExperiment(const Network& net,
   session.FlushRekeyState();
 
   LatencyRunResult out;
-  Simulator local_sim;
+  Simulator local_sim(cfg.sim_options);
   TMesh tmesh(session.directory(), sim != nullptr ? *sim : local_sim);
 
   HostId sender_host = server;
-  TMesh::Result tresult;
-  if (cfg.data_path) {
-    // A random user multicasts a data message.
-    auto sender = session.directory().RandomAliveMember(rng);
-    TMESH_CHECK(sender.has_value());
-    sender_host = session.directory().HostOf(*sender);
-    tresult = tmesh.MulticastData(*sender);
-  } else {
+  Simulator& session_sim = sim != nullptr ? *sim : local_sim;
+  // The message must outlive the handle (rekey sessions reference it).
+  const RekeyMessage rekey_msg;
+  TMesh::Handle handle = [&] {
+    if (cfg.data_path) {
+      // A random user multicasts a data message.
+      auto sender = session.directory().RandomAliveMember(rng);
+      TMESH_CHECK(sender.has_value());
+      sender_host = session.directory().HostOf(*sender);
+      return tmesh.BeginData(*sender);
+    }
     // The key server multicasts a (rekey) message; splitting does not
     // change paths or timing, so an empty message suffices for latency.
-    tresult = tmesh.MulticastRekey(RekeyMessage{}, TMesh::Options{});
+    return tmesh.BeginRekey(rekey_msg, TMesh::Options{});
+  }();
+  if (cfg.step_events == 0 && !cfg.on_slice) {
+    session_sim.Run();
+  } else {
+    // Chunked drive: identical event order (one RunOne path underneath),
+    // with room between slices for the caller's poll.
+    const EventBudget chunk = EventBudget::Events(
+        cfg.step_events > 0 ? cfg.step_events : std::size_t{1024});
+    while (session_sim.RunFor(chunk).exhausted_reason == Exhausted::kEvents) {
+      if (cfg.on_slice) cfg.on_slice();
+    }
+    if (cfg.on_slice) cfg.on_slice();
   }
+  TMesh::Result tresult = handle.TakeResult();
 
   for (HostId h = 1; h <= cfg.users; ++h) {
     if (h == sender_host) continue;

@@ -11,6 +11,8 @@
 // from the sender.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "protocols/group_session.h"
@@ -30,6 +32,16 @@ struct LatencyRunConfig {
   double join_window_s = 452.0;
   bool data_path = false;  // false: rekey path from the key server
   SessionConfig session;
+  // When > 0, the session's simulator drain is sliced into RunFor chunks of
+  // this many events (0: one monolithic Run()). Results are bit-identical
+  // either way; `on_slice`, if set, runs between chunks — the figure
+  // harness installs a ReplicaRunner cancellation poll there.
+  std::size_t step_events = 0;
+  // Construction options for the internally-built Simulator (ignored when
+  // the caller passes an external one). Geometry only: results are
+  // byte-identical for every value.
+  Simulator::Options sim_options;
+  std::function<void()> on_slice;
 };
 
 struct LatencyRunResult {

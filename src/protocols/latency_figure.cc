@@ -26,7 +26,7 @@ void PrintLatencyFigure(std::ostream& os, const LatencyFigureConfig& cfg) {
   RankedRunStats t_stress, t_delay, t_rdp, n_stress, n_delay, n_rdp;
   std::vector<double> t_rdp_all, n_rdp_all;
 
-  ReplicaRunner runner(cfg.threads);
+  ReplicaRunner runner(cfg.threads, cfg.sim_options);
   runner.Run(
       cfg.runs,
       [&](ReplicaRunner::Replica& rep) {
@@ -39,6 +39,11 @@ void PrintLatencyFigure(std::ostream& os, const LatencyFigureConfig& cfg) {
         rcfg.join_window_s =
             cfg.topo == FigureTopology::kPlanetLab ? 452.0 : 2048.0;
         rcfg.session = cfg.session;
+        rcfg.step_events = cfg.step_events;
+        rcfg.sim_options = cfg.sim_options;
+        if (cfg.step_events > 0) {
+          rcfg.on_slice = [&rep]() { rep.CheckCancelled(); };
+        }
         auto res = RunLatencyExperiment(*net, rcfg, run_seed * 7 + 13,
                                         &rep.sim);
         if (cfg.progress) {

@@ -42,6 +42,13 @@ struct LatencyFigureConfig {
   // Per-replica progress notes on stderr ("run i/N done"); their ordering
   // across replicas is the only thread-count-dependent output.
   bool progress = false;
+  // RunFor slice size for each replica's simulator drain (0: monolithic).
+  // Bit-identical output either way; slicing also lets a pooled replica
+  // notice another replica's failure between chunks and stop early.
+  std::size_t step_events = 0;
+  // Worker-simulator construction options (discipline, calendar tuning);
+  // stdout is byte-identical for every value.
+  Simulator::Options sim_options;
 };
 
 // Runs the figure and prints it to `os`.

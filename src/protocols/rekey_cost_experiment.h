@@ -32,6 +32,9 @@ struct RekeyCostConfig {
   int threads = 1;
   SessionConfig session;
   GtItmParams topology;
+  // Worker-simulator construction options; cell values are identical for
+  // every value.
+  Simulator::Options sim_options;
 };
 
 struct RekeyCostCell {

@@ -143,13 +143,15 @@ std::vector<BandwidthReport> RekeyBandwidthExperiment::Run() {
     BandwidthReport rep;
     rep.protocol = name;
     rep.rekey_cost = msg.RekeyCost();
-    Simulator sim;
+    Simulator sim(cfg_.sim_options);
     TMesh tmesh(dir, sim);
     TMesh::Options opts;
     opts.split = split;
     opts.clusters = cluster ? &session.clusters() : nullptr;
     opts.track_links = true;
-    TMesh::Result res = tmesh.MulticastRekey(msg, opts);
+    TMesh::Handle handle = tmesh.BeginRekey(msg, opts);
+    DrainSliced(sim, cfg_.step_events);
+    TMesh::Result res = handle.TakeResult();
     FillFromTMesh(dir, res, rep);
     reports.push_back(std::move(rep));
   };

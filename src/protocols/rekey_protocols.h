@@ -16,6 +16,7 @@
 // per network link, the number of encryptions carried.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,12 @@ struct BandwidthConfig {
   int wgl_degree = 4;
   SessionConfig session;
   GtItmParams topology;
+  // RunFor slice size for the per-protocol simulator drains (0: one
+  // monolithic Run() each). Bit-identical reports either way.
+  std::size_t step_events = 0;
+  // Per-protocol simulator construction options; bit-identical reports for
+  // every value (queue geometry cannot reorder events).
+  Simulator::Options sim_options;
 };
 
 class RekeyBandwidthExperiment {

@@ -17,12 +17,26 @@
 //    increasing (when, seq) order, so simultaneous events always run in
 //    schedule order, bit-identically to a binary heap over the same keys.
 //
+//    In adaptive mode (Simulator::Options::adaptive_retune) the queue also
+//    re-estimates its day width per epoch from a sliding (exponentially
+//    decayed) histogram of observed inter-pop gaps — Brown's sampling idea,
+//    made robust to bimodal workloads — instead of trusting only the
+//    population snapshot a collapse/growth retune happens to see. The batch
+//    rekey workload is why: between interval ticks the queue pops sparse
+//    timers against a standing far-future population, so a snapshot-derived
+//    width balloons to interval scale, and the next tick's burst of
+//    deliveries then piles into one bucket whose sorted insert degenerates
+//    quadratically. The gap histogram remembers the burst cadence across
+//    the lull and keeps the days burst-sized. Adaptation can never change
+//    what order events pop in — only how much the geometry costs.
+//
 // NodeHeap is the same (when, seq) discipline as a plain binary heap of
 // pooled records; the Simulator exposes it as a reference queue so tests can
 // cross-check the calendar queue against a structure with obvious ordering.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -189,11 +203,31 @@ class CalendarQueue {
   CalendarQueue(const CalendarQueue&) = delete;
   CalendarQueue& operator=(const CalendarQueue&) = delete;
 
+  // One-time construction tuning, applied by the Simulator before any Push:
+  // `width_hint` overrides the initial (and Clear()-restored) day width in
+  // microseconds (0 keeps the default), `adaptive` enables the per-epoch
+  // width re-estimation described in the file header. Neither setting can
+  // affect the (when, seq) pop order — only the geometry behind it.
+  void Configure(SimTime width_hint, bool adaptive) {
+    TMESH_CHECK_MSG(count_ == 0, "Configure on a non-empty queue");
+    if (width_hint > 0) base_width_ = width_hint;
+    adaptive_ = adaptive;
+    width_ = base_width_;
+    SetDayFor(0);
+  }
+
   bool Empty() const { return count_ == 0; }
   std::size_t Size() const { return count_; }
 
   void Push(EventNode* n) {
+    MaybeAdapt();
     ++count_;
+    // Epoch push traffic counts only once the window has seen a pop: a fill
+    // tail that precedes the window's first pop is not interleaved with it,
+    // and it is the pop/push *interleaving* that makes a shrink profitable.
+    // Without this, the pushes of a big pre-scheduled flood leak into the
+    // first drain epoch and un-gate a redistribution of the whole backlog.
+    if (pops_since_adapt_ > 0) ++pushes_since_adapt_;
     if (n->when < day_start_) {
       // Keep the cursor at or before the minimum: an event scheduled for
       // "now" after the cursor coasted past empty days must still pop first.
@@ -248,6 +282,8 @@ class CalendarQueue {
     }
     SetDayFor(best->when);
     MigrateOverflow();
+    // A year-scale cursor jump is as much an epoch boundary as a rollover.
+    if (adaptive_) adapt_pending_ = true;
     if (++direct_searches_ >= kDirectSearchLimit) {
       // The spread outgrew the year repeatedly; widen the days so the
       // normal scan works again.
@@ -257,6 +293,7 @@ class CalendarQueue {
   }
 
   EventNode* PopMin() {
+    MaybeAdapt();
     EventNode* n = PeekMin();
     if (n == nullptr) return nullptr;
     TMESH_DCHECK(n == buckets_[day_]);
@@ -265,7 +302,15 @@ class CalendarQueue {
     n->next = nullptr;
     --calendar_count_;
     --count_;
-    if (calendar_count_ * 8 < buckets_.size() && buckets_.size() > kMinBuckets) {
+    // Sample before any shrink retune below, so the retune sees the
+    // freshest gap window.
+    if (adaptive_) RecordPopGap(n->when);
+    // Shrink on the *total* population, matching how Retune sizes the ring:
+    // triggering on the calendar count alone thrashes when most events sit
+    // in the overflow heap (a small-width geometry under a far-future
+    // standing population) — each retune re-derives the same big ring from
+    // the total, re-parks the far events, and immediately re-triggers.
+    if (count_ * 8 < buckets_.size() && buckets_.size() > kMinBuckets) {
       Retune();
     }
     return n;
@@ -278,10 +323,19 @@ class CalendarQueue {
     buckets_.assign(kMinBuckets, nullptr);
     tails_.assign(kMinBuckets, nullptr);
     overflow_.Clear();
-    width_ = 64;
+    width_ = base_width_;
     count_ = 0;
     calendar_count_ = 0;
     direct_searches_ = 0;
+    gap_hist_.fill(0);
+    gap_samples_ = 0;
+    recent_est_.fill(0);
+    recent_est_head_ = 0;
+    have_last_pop_ = false;
+    pops_since_adapt_ = 0;
+    pushes_since_adapt_ = 0;
+    day_steps_ = 0;
+    adapt_pending_ = false;
     SetDayFor(0);
   }
 
@@ -298,6 +352,17 @@ class CalendarQueue {
   static constexpr std::size_t kMinBuckets = 32;
   static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
   static constexpr int kDirectSearchLimit = 8;
+  // Adaptive-mode tuning. Gap samples live in a log2 histogram that is
+  // halved at each epoch, so the estimator's memory spans a couple of
+  // epochs of pops — long enough that a burst's gap samples survive a full
+  // inter-burst lull of sparse timer pops, which would scroll any
+  // fixed-length sample window into uselessness. An epoch is forced every
+  // kEpochPops pops so tight clumps (which never roll the year over) still
+  // adapt.
+  static constexpr std::size_t kGapHistBits = 40;
+  static constexpr std::uint64_t kMinGapSamples = 32;
+  static constexpr std::size_t kEpochPops = 1024;
+  static constexpr std::size_t kRecentEstimates = 3;
 
   void SetDayFor(SimTime t) {
     day_start_ = (t / width_) * width_;
@@ -309,6 +374,13 @@ class CalendarQueue {
     day_ = (day_ + 1) & (buckets_.size() - 1);
     day_start_ += width_;
     horizon_ += width_;
+    // A full trip around the ring is a year rollover — an epoch boundary
+    // for the width estimator. The adaptation itself is deferred to the
+    // next Push/PopMin entry: never resize the ring mid-scan.
+    if (adaptive_ && ++day_steps_ >= buckets_.size()) {
+      day_steps_ = 0;
+      adapt_pending_ = true;
+    }
     MigrateOverflow();
   }
 
@@ -346,28 +418,146 @@ class CalendarQueue {
     return p;
   }
 
-  // Re-derive bucket count and width from the live population (including
-  // the overflow heap), then redistribute. O(n log n), amortized across the
-  // occupancy doubling/halving that triggered it.
-  void Retune() {
+  // Per-pop gap sampling for the adaptive width estimator: each inter-pop
+  // gap lands in a log2-bucketed histogram, plus the pop counter that paces
+  // epochs.
+  void RecordPopGap(SimTime when) {
+    if (have_last_pop_) {
+      const SimTime gap = when - last_pop_when_;
+      std::size_t b = 0;
+      while ((SimTime{1} << b) < gap && b + 1 < kGapHistBits) ++b;
+      ++gap_hist_[b];
+      ++gap_samples_;
+    }
+    last_pop_when_ = when;
+    have_last_pop_ = true;
+    if (++pops_since_adapt_ >= kEpochPops) adapt_pending_ = true;
+  }
+
+  // Width rule over the decayed gap histogram: size days at ~1.5x the
+  // 25th-percentile gap. The low percentile deliberately biases toward the
+  // *dense* phase of a bimodal workload (rekey bursts interleaved with
+  // sparse timer pops): an oversized day degenerates into one quadratic
+  // sorted-insert chain at the next burst, while an undersized day only
+  // costs a linear walk over empty buckets, so when in doubt, size for the
+  // bursts. When the quartile gap is below one tick the days collapse to
+  // width 1 — single-instant buckets, where every insert is a pure FIFO
+  // append (same when, rising seq) and the sorted chain walk disappears
+  // entirely. Returns 0 when the histogram holds too few samples to trust.
+  SimTime EstimatedWidth() const {
+    if (gap_samples_ < kMinGapSamples) return 0;
+    const std::uint64_t quartile = (gap_samples_ + 3) / 4;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kGapHistBits; ++b) {
+      cum += gap_hist_[b];
+      if (cum >= quartile) {
+        return std::max<SimTime>(1, 3 * (SimTime{1} << b) / 2);
+      }
+    }
+    return 0;
+  }
+
+  // Epoch decay: halve every histogram bucket, so the estimate tracks a
+  // sliding (exponentially weighted) window of the last few epochs.
+  void DecayGapHist() {
+    gap_samples_ = 0;
+    for (std::uint32_t& c : gap_hist_) {
+      c >>= 1;
+      gap_samples_ += c;
+    }
+  }
+
+  // Deferred epoch adaptation, run at the next Push/PopMin entry after an
+  // epoch boundary (kEpochPops pops, a year rollover, or a cursor jump).
+  // Only a >= 2x drift between the sampled estimate and the current width
+  // pays for a redistribution, so a well-tuned queue re-checks for the cost
+  // of computing one mean.
+  void MaybeAdapt() {
+    if (!adapt_pending_) return;
+    adapt_pending_ = false;
+    pops_since_adapt_ = 0;
+    // A shrink pays off only through cheaper *inserts*: redistributing the
+    // calendar under a narrower width does nothing for a drain-only phase
+    // (pops without pushes, e.g. working through a pre-scheduled flood),
+    // where it would cost a full O(n) redistribution for zero benefit. So
+    // the shrink trigger requires the epoch to have carried real push
+    // traffic. Growth is not gated: it helps the pop side too (fewer
+    // empty-bucket steps per ring walk).
+    const bool pushes_active = pushes_since_adapt_ * 4 >= kEpochPops;
+    pushes_since_adapt_ = 0;
+    const SimTime est = EstimatedWidth();
+    DecayGapHist();
+    if (est == 0) return;
+    // Smooth with a min over the last few epoch estimates: an epoch that
+    // closes mid-lull sees only sparse timer gaps, and acting on it alone
+    // would balloon the days right before the next burst. The min keeps
+    // the burst-scale estimate alive across a whole interval of epochs,
+    // and biases small for the same cost-asymmetry reason as the
+    // percentile above.
+    recent_est_[recent_est_head_] = est;
+    recent_est_head_ = (recent_est_head_ + 1) % kRecentEstimates;
+    SimTime smoothed = est;
+    for (SimTime e : recent_est_) {
+      if (e > 0 && e < smoothed) smoothed = e;
+    }
+    // Asymmetric hysteresis: shrink on a 2x drift, grow only on 4x. The
+    // log2 histogram quantizes the estimate to power-of-two steps, so a
+    // gap distribution near a bucket boundary jitters its estimate 2x
+    // epoch to epoch; a symmetric 2x trigger would turn that jitter into
+    // a full redistribution every epoch. Growth gets the wide band
+    // because oversizing is the expensive mistake (quadratic chains at
+    // the next dense phase) while undersizing only costs linear ring
+    // walks — the same cost asymmetry as the percentile choice. Ratchet
+    // analysis: after a shrink to the 3-epoch min, growing back requires
+    // a sustained 4x density drop, so boundary jitter cannot oscillate
+    // the geometry.
+    if (smoothed >= 4 * width_ || (pushes_active && 2 * smoothed <= width_)) {
+      Retune(smoothed, /*calendar_only=*/true);
+    }
+  }
+
+  // Re-derive bucket count and width, then redistribute. O(n log n),
+  // amortized across the occupancy change (or epoch) that triggered it.
+  // Width comes from `forced_width` when given (the epoch estimator), else
+  // from the gap histogram when adaptive sampling has one (a population
+  // snapshot taken between bursts would balloon the days; the histogram
+  // remembers the burst cadence), else from the live population.
+  //
+  // `calendar_only` re-buckets just the in-calendar nodes under the new
+  // width and keeps the ring size: epoch adaptations fire every few
+  // thousand pops, and draining a large far-future standing population out
+  // of the overflow heap and straight back into it each time is the one
+  // cost that would make adaptation more expensive than the mis-tuned
+  // geometry it repairs.
+  void Retune(SimTime forced_width = 0, bool calendar_only = false) {
     direct_searches_ = 0;
+    adapt_pending_ = false;  // this retune is the epoch's adaptation
+    pops_since_adapt_ = 0;
+    pushes_since_adapt_ = 0;
     std::vector<EventNode*> nodes;
-    nodes.reserve(count_);
-    for (auto& head : buckets_) {
-      for (EventNode* n = head; n != nullptr;) {
+    nodes.reserve(calendar_only ? calendar_count_ : count_);
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      for (EventNode* n = buckets_[b]; n != nullptr;) {
         EventNode* next = n->next;
         nodes.push_back(n);
         n = next;
       }
-      head = nullptr;
+      buckets_[b] = nullptr;
+      tails_[b] = nullptr;
     }
     calendar_count_ = 0;
-    while (!overflow_.Empty()) nodes.push_back(overflow_.Pop());
+    if (!calendar_only) {
+      while (!overflow_.Empty()) nodes.push_back(overflow_.Pop());
+    }
 
     if (nodes.empty()) {
-      buckets_.assign(kMinBuckets, nullptr);
-      tails_.assign(kMinBuckets, nullptr);
+      if (!calendar_only) {
+        buckets_.assign(kMinBuckets, nullptr);
+        tails_.assign(kMinBuckets, nullptr);
+      }
+      if (forced_width > 0) width_ = forced_width;
       SetDayFor(day_start_);
+      MigrateOverflow();
       return;
     }
     // Globally sorted reinsertion means every InsertBucket below hits the
@@ -376,22 +566,28 @@ class CalendarQueue {
     const SimTime lo = nodes.front()->when;
     const SimTime hi = nodes.back()->when;
     const auto n = static_cast<SimTime>(nodes.size());
-    // Width ~ 3x the mean inter-event gap of the *near half* of the
-    // population (median-based, so one far-future outlier — the key
-    // server's next batch-rekey tick — cannot stretch the days until every
-    // near-term event piles into a handful of buckets). Far events the
-    // resulting year misses just go back to the overflow heap below. If the
-    // near half sits at one instant (a synchronized burst), fall back to
-    // the mean gap over the full span.
-    if (nodes.size() >= 2 && hi > lo) {
+    SimTime width = forced_width;
+    if (width == 0 && adaptive_) width = EstimatedWidth();
+    // Without a gap-histogram estimate: width ~ 3x the mean inter-event gap
+    // of the *near half* of the population (median-based, so one far-future
+    // outlier — the key server's next batch-rekey tick — cannot stretch the
+    // days until every near-term event piles into a handful of buckets).
+    // Far events the resulting year misses just go back to the overflow
+    // heap below. If the near half sits at one instant (a synchronized
+    // burst), fall back to the mean gap over the full span.
+    if (width == 0 && nodes.size() >= 2 && hi > lo) {
       const SimTime half_span = nodes[nodes.size() / 2]->when - lo;
-      const SimTime width =
-          half_span > 0 ? 3 * 2 * half_span / n : 3 * (hi - lo) / n;
-      width_ = std::clamp<SimTime>(width, 1, hi - lo + 1);
+      width = half_span > 0 ? 3 * 2 * half_span / n : 3 * (hi - lo) / n;
     }
-    std::size_t nb = NextPow2(std::clamp(nodes.size(), kMinBuckets, kMaxBuckets));
-    buckets_.assign(nb, nullptr);
-    tails_.assign(nb, nullptr);
+    if (width > 0) width_ = std::clamp<SimTime>(width, 1, hi - lo + 1);
+    if (!calendar_only) {
+      std::size_t nb =
+          NextPow2(std::clamp(nodes.size(), kMinBuckets, kMaxBuckets));
+      if (nb != buckets_.size()) {
+        buckets_.assign(nb, nullptr);
+        tails_.assign(nb, nullptr);
+      }
+    }
     SetDayFor(lo);
     for (EventNode* n2 : nodes) {
       if (n2->when >= horizon_) {
@@ -400,6 +596,10 @@ class CalendarQueue {
         InsertBucket(n2);
       }
     }
+    // A width change moves the horizon; pull in any overflow events the new
+    // (wider) year now covers so the "overflow is beyond the horizon"
+    // invariant keeps holding.
+    MigrateOverflow();
   }
 
   std::vector<EventNode*> buckets_;  // heads of (when, seq)-sorted lists
@@ -412,6 +612,20 @@ class CalendarQueue {
   std::size_t count_ = 0;            // total queued (buckets + overflow)
   std::size_t calendar_count_ = 0;   // queued in buckets
   int direct_searches_ = 0;          // sparse-population fallbacks since tune
+
+  // Adaptive width estimation (inert unless adaptive_ is set).
+  SimTime base_width_ = 64;          // Configure()d initial/Clear() width
+  bool adaptive_ = false;
+  std::array<std::uint32_t, kGapHistBits> gap_hist_{};  // log2 inter-pop gaps
+  std::uint64_t gap_samples_ = 0;    // sum of gap_hist_ (decays with it)
+  std::array<SimTime, kRecentEstimates> recent_est_{};  // last epoch widths
+  std::size_t recent_est_head_ = 0;
+  SimTime last_pop_when_ = 0;
+  bool have_last_pop_ = false;
+  std::size_t pops_since_adapt_ = 0;
+  std::size_t pushes_since_adapt_ = 0;
+  std::size_t day_steps_ = 0;        // AdvanceDay calls since last rollover
+  bool adapt_pending_ = false;       // epoch boundary seen; adapt on entry
 };
 
 }  // namespace simdetail

@@ -13,6 +13,11 @@ namespace tmesh {
 
 using SimTime = std::int64_t;
 
+// Sentinel for "no such instant": an absent deadline, an empty queue's next
+// event time, a key server with no interval tick armed. Simulated time
+// starts at 0 and never goes backward, so -1 can never be a real timestamp.
+inline constexpr SimTime kNoTime = -1;
+
 constexpr SimTime FromMillis(double ms) {
   return static_cast<SimTime>(ms * 1000.0 + 0.5);
 }

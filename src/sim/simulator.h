@@ -24,8 +24,18 @@
 // Protocol modules schedule closures; there is no global node registry —
 // each protocol owns its endpoints and captures them in its events. This
 // keeps the simulator reusable for T-mesh, NICE, and the workload drivers.
+//
+// Execution driver: Run() drains the world and RunUntil() drains a time
+// prefix, but the paper's key server is an *online* component — it batches
+// joins/leaves and rekeys on a periodic tick — so callers also get budgeted
+// execution: Step() runs exactly one event, and RunFor(EventBudget) runs
+// until an event-count cap and/or virtual-time deadline binds, returning a
+// RunStatus that says why it stopped and when the next event is due. All
+// four drivers share one RunOne() path, so slicing a run into arbitrary
+// RunFor chunks is bit-identical to a monolithic Run() by construction.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -42,10 +52,56 @@ namespace tmesh {
 // (time, seq) contract, so simulations are bit-identical across disciplines.
 enum class QueueDiscipline { kCalendar, kBinaryHeap };
 
+// Why a RunFor slice stopped.
+enum class Exhausted {
+  kDrained,   // queue empty: nothing left to run
+  kEvents,    // the max_events cap bound first
+  kDeadline,  // the head event lies beyond the deadline
+};
+
+// Budget for one RunFor slice. Both limits optional; when both are set the
+// event cap is checked first, so a status of kDeadline guarantees the time
+// limit (not the count) is what stopped the slice.
+struct EventBudget {
+  std::size_t max_events = 0;  // 0: no event cap
+  SimTime deadline = kNoTime;  // kNoTime: no deadline; else run when <= deadline
+
+  static EventBudget Events(std::size_t n) { return {n, kNoTime}; }
+  static EventBudget Until(SimTime d) { return {0, d}; }
+};
+
+struct RunStatus {
+  std::size_t events_run = 0;
+  SimTime next_event_time = kNoTime;  // head event's time, kNoTime if drained
+  Exhausted exhausted_reason = Exhausted::kDrained;
+};
+
 class Simulator {
  public:
-  Simulator() = default;
-  explicit Simulator(QueueDiscipline discipline) : discipline_(discipline) {}
+  // Construction-time tuning. The discipline selects the ordering structure;
+  // the remaining knobs configure the calendar queue's geometry (ignored by
+  // kBinaryHeap) and cannot affect event order, only its cost.
+  struct Options {
+    QueueDiscipline discipline = QueueDiscipline::kCalendar;
+    // Initial day width in microseconds; 0 keeps the built-in default.
+    SimTime bucket_width_hint = 0;
+    // Re-estimate the day width per epoch from observed inter-pop gaps
+    // (event_queue.h header). On by default — it can only change geometry
+    // cost, never event order, and the batch-rekey workloads this repo runs
+    // are exactly the bursty shape it exists for. Disable to pin the static
+    // collapse/growth-only retuning (the pre-adaptive behaviour).
+    bool adaptive_retune = true;
+  };
+
+  Simulator() : Simulator(Options{}) {}
+  explicit Simulator(const Options& opts) : discipline_(opts.discipline) {
+    calendar_.Configure(opts.bucket_width_hint, opts.adaptive_retune);
+  }
+  // Deprecated shim for the pre-Options constructor; migrate call sites to
+  // Simulator(Options{.discipline = d}). Removed next PR.
+  [[deprecated("use Simulator(Options{.discipline = ...})")]]
+  explicit Simulator(QueueDiscipline discipline)
+      : Simulator(Options{discipline}) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -97,24 +153,54 @@ class Simulator {
     }
   }
 
-  // Runs events until the queue drains. Returns the number of events run.
-  std::size_t Run() {
-    std::size_t n = 0;
-    while (RunOne()) ++n;
-    return n;
+  // Runs exactly one event (the (time, seq) minimum), advancing the clock
+  // to its timestamp. Returns false — and runs nothing — on an empty queue.
+  bool Step() { return RunOne(); }
+
+  // Runs events until the budget binds or the queue drains. The event cap
+  // is checked before the deadline, so exhausted_reason reports the binding
+  // constraint deterministically. When the slice stops for any reason other
+  // than the event cap, the clock advances to the deadline (if one was set
+  // and lies ahead) — this is what makes a deadline-sliced loop land on the
+  // same final Now() as one monolithic RunUntil(). An event-cap stop leaves
+  // the clock at the last event run, so resuming mid-slice never skews time.
+  RunStatus RunFor(const EventBudget& budget) {
+    RunStatus status;
+    for (;;) {
+      if (budget.max_events != 0 && status.events_run >= budget.max_events) {
+        status.exhausted_reason = Exhausted::kEvents;
+        break;
+      }
+      simdetail::EventNode* head = PeekMin();
+      if (head == nullptr) {
+        status.exhausted_reason = Exhausted::kDrained;
+        break;
+      }
+      if (budget.deadline != kNoTime && head->when > budget.deadline) {
+        status.exhausted_reason = Exhausted::kDeadline;
+        break;
+      }
+      RunOne();
+      ++status.events_run;
+    }
+    if (status.exhausted_reason != Exhausted::kEvents &&
+        budget.deadline != kNoTime && now_ < budget.deadline) {
+      now_ = budget.deadline;
+    }
+    if (simdetail::EventNode* head = PeekMin()) {
+      status.next_event_time = head->when;
+    }
+    return status;
   }
+
+  // Runs events until the queue drains. Returns the number of events run.
+  std::size_t Run() { return RunFor(EventBudget{}).events_run; }
 
   // Runs events with time <= deadline; leaves later events queued and
   // advances the clock to the deadline.
   std::size_t RunUntil(SimTime deadline) {
-    std::size_t n = 0;
-    for (simdetail::EventNode* head = PeekMin();
-         head != nullptr && head->when <= deadline; head = PeekMin()) {
-      RunOne();
-      ++n;
-    }
-    if (now_ < deadline) now_ = deadline;
-    return n;
+    TMESH_CHECK(deadline >= 0);  // kNoTime would mean "no deadline" to RunFor
+    return RunFor(EventBudget::Until(deadline)).events_run;
   }
 
   bool Empty() const { return Pending() == 0; }
@@ -177,5 +263,32 @@ class Simulator {
   simdetail::CalendarQueue calendar_;
   simdetail::NodeHeap heap_;  // used iff discipline_ == kBinaryHeap
 };
+
+// Chunked drivers for callers that want a --step knob without writing the
+// loop themselves: step == 0 delegates to the monolithic call, step > 0
+// slices the same work into event-capped RunFor chunks. Identical results
+// either way (one RunOne path underneath); the benches and the fuzzer use
+// these to *prove* that, not merely assume it.
+inline std::size_t DrainSliced(Simulator& sim, std::size_t step) {
+  if (step == 0) return sim.Run();
+  std::size_t total = 0;
+  for (;;) {
+    RunStatus s = sim.RunFor(EventBudget::Events(step));
+    total += s.events_run;
+    if (s.exhausted_reason != Exhausted::kEvents) return total;
+  }
+}
+
+inline std::size_t RunUntilSliced(Simulator& sim, SimTime deadline,
+                                  std::size_t step) {
+  if (step == 0) return sim.RunUntil(deadline);
+  TMESH_CHECK(deadline >= 0);
+  std::size_t total = 0;
+  for (;;) {
+    RunStatus s = sim.RunFor(EventBudget{step, deadline});
+    total += s.events_run;
+    if (s.exhausted_reason != Exhausted::kEvents) return total;
+  }
+}
 
 }  // namespace tmesh

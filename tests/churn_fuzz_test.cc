@@ -116,6 +116,39 @@ TEST(ChurnFuzzDeterminism, LogByteIdenticalAcrossQueueDisciplines) {
   }
 }
 
+// Chunked execution: replaying one trace with every simulator drain sliced
+// into RunFor chunks must be byte-identical to the monolithic replay, for
+// several slice sizes, on both queue disciplines, with adaptive calendar
+// retuning on and off. (The 10k-op version of this sweep is the PR's
+// acceptance run; this keeps a fast always-on guard in tier 1.)
+TEST(ChurnFuzzDeterminism, LogByteIdenticalAcrossRunForSliceShapes) {
+  FuzzConfig cfg = SmokeConfig(Substrate::kDirectory, 23);
+  cfg.ops = 300;
+  std::vector<Op> trace = ChurnFuzzer::GenerateTrace(cfg);
+
+  for (QueueDiscipline d :
+       {QueueDiscipline::kCalendar, QueueDiscipline::kBinaryHeap}) {
+    for (bool adaptive : {true, false}) {
+      FuzzConfig base = cfg;
+      base.discipline = d;
+      base.adaptive_retune = adaptive;
+      RunResult mono = ChurnFuzzer::RunTrace(base, trace);
+      ASSERT_FALSE(mono.violation.has_value());
+      for (std::size_t step : {std::size_t{1}, std::size_t{17},
+                               std::size_t{1024}}) {
+        FuzzConfig sliced = base;
+        sliced.step_events = step;
+        RunResult r = ChurnFuzzer::RunTrace(sliced, trace);
+        ASSERT_FALSE(r.violation.has_value());
+        EXPECT_EQ(r.ops_executed, mono.ops_executed)
+            << "step " << step << " adaptive " << adaptive;
+        EXPECT_EQ(r.log, mono.log)
+            << "step " << step << " adaptive " << adaptive;
+      }
+    }
+  }
+}
+
 TEST(ChurnFuzzScript, FormatParseRoundTrip) {
   FuzzConfig cfg = SmokeConfig(Substrate::kSilk, 42);
   cfg.group = GroupParams{3, 4, 2};

@@ -244,5 +244,59 @@ TEST(KeyServer, StopHaltsFurtherIntervals) {
   EXPECT_LE(n, 2u);
 }
 
+TEST(KeyServerLifecycle, DoubleStartIsChecked) {
+  auto net = MakeNet(8);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  EXPECT_FALSE(server.running());
+  server.Start();
+  EXPECT_TRUE(server.running());
+  EXPECT_THROW(server.Start(), std::logic_error);
+  // The failed Start left the server running and the tick chain intact.
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(server.next_interval_at(), kNoTime);
+}
+
+TEST(KeyServerLifecycle, StopIsIdempotent) {
+  auto net = MakeNet(8);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  server.Stop();  // never started: a no-op, not an error
+  server.Start();
+  server.Stop();
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // The already-scheduled tick fires once (processing the batch) but does
+  // not re-arm.
+  sim.Run();
+  EXPECT_EQ(server.history().size(), 1u);
+  EXPECT_EQ(server.next_interval_at(), kNoTime);
+}
+
+TEST(KeyServerLifecycle, RestartWhileTickInFlightDoesNotDoubleSchedule) {
+  auto net = MakeNet(8);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  server.Start();
+  const SimTime first_tick = server.next_interval_at();
+  server.Stop();
+  // Restart before the stopped tick fires: the in-flight tick must be
+  // reused, not duplicated — otherwise two tick chains would each rekey.
+  server.Start();
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(server.next_interval_at(), first_tick);
+  EXPECT_EQ(sim.Pending(), 1u);
+  sim.RunUntil(FromSeconds(35));
+  server.Stop();
+  sim.Run();
+  // One interval per rekey_interval: no doubled-up tick chain.
+  EXPECT_LE(server.history().size(), 4u);
+  ASSERT_GE(server.history().size(), 2u);
+  for (std::size_t i = 1; i < server.history().size(); ++i) {
+    EXPECT_EQ(server.history()[i].when - server.history()[i - 1].when,
+              FromSeconds(10));
+  }
+}
+
 }  // namespace
 }  // namespace tmesh

@@ -135,7 +135,7 @@ Trace RandomTrace(std::uint64_t seed) {
 // correct" reference the calendar queue is checked against.
 template <QueueDiscipline D>
 struct DisciplinedSimulator : Simulator {
-  DisciplinedSimulator() : Simulator(D) {}
+  DisciplinedSimulator() : Simulator(Options{.discipline = D}) {}
 };
 
 TEST(QueueMigration, RandomWorkloadsAgreeAcrossAllThreeQueues) {
@@ -174,10 +174,69 @@ TEST(QueueMigration, RunUntilSemanticsAgree) {
   };
   LegacySimulator legacy;
   Simulator cal;
-  Simulator heap(QueueDiscipline::kBinaryHeap);
+  Simulator heap(Simulator::Options{.discipline = QueueDiscipline::kBinaryHeap});
   auto expect = run(legacy);
   EXPECT_EQ(run(cal), expect);
   EXPECT_EQ(run(heap), expect);
+}
+
+// Chunked execution: RandomTrace's workload driven through RunFor slices of
+// several budget shapes must reproduce the monolithic Run() trace exactly,
+// for both disciplines and with adaptive calendar retuning on and off. The
+// slicing reuses RandomDriver so randomness still flows through the events
+// themselves — any order divergence derails the stream.
+template <class Sim>
+Trace RandomTraceSliced(std::uint64_t seed, const EventBudget& chunk) {
+  RandomDriver<Sim> d(seed);
+  for (int i = 0; i < 32; ++i) d.Spawn(500, 3);
+  for (int i = 0; i < 96; ++i) d.Spawn(d.rng.UniformInt(0, 20000), 3);
+  for (int i = 0; i < 8; ++i) d.Spawn(d.rng.UniformInt(1, 8) << 28, 2);
+  for (;;) {
+    EventBudget b = chunk;
+    if (b.deadline != kNoTime) {
+      // Rolling deadline: each slice covers another window of virtual time.
+      b.deadline += d.sim.Now();
+    }
+    RunStatus s = d.sim.RunFor(b);
+    if (s.next_event_time == kNoTime) break;
+  }
+  d.sim.Run();  // nothing left; proves the loop really drained
+  return d.trace;
+}
+
+template <QueueDiscipline D, bool Adaptive>
+struct TunedSimulator : Simulator {
+  TunedSimulator()
+      : Simulator(Options{.discipline = D, .adaptive_retune = Adaptive}) {}
+};
+
+TEST(ChunkedExecution, RunForSlicesReproduceMonolithicRunExactly) {
+  const std::uint64_t seed = 20260806;
+  const Trace golden = RandomTrace<LegacySimulator>(seed);
+  ASSERT_GT(golden.size(), 200u);
+
+  const EventBudget shapes[] = {
+      EventBudget::Events(1),            // single-step
+      EventBudget::Events(7),            // small odd chunks
+      EventBudget::Events(512),          // large chunks
+      EventBudget::Until(100'000),       // rolling time windows
+      EventBudget{13, 1'000'000},        // both limits at once
+  };
+  auto check = [&]<class Sim>(const char* name) {
+    EXPECT_EQ(RandomTrace<Sim>(seed), golden) << name << " monolithic";
+    int i = 0;
+    for (const EventBudget& b : shapes) {
+      EXPECT_EQ((RandomTraceSliced<Sim>(seed, b)), golden)
+          << name << " budget shape " << i;
+      ++i;
+    }
+  };
+  check.template operator()<TunedSimulator<QueueDiscipline::kCalendar, true>>(
+      "calendar/adaptive");
+  check.template operator()<TunedSimulator<QueueDiscipline::kCalendar, false>>(
+      "calendar/static");
+  check.template operator()<TunedSimulator<QueueDiscipline::kBinaryHeap, true>>(
+      "heap");
 }
 
 // --- 3. end-to-end byte-identical delivery records -----------------------
@@ -274,7 +333,7 @@ std::string RekeyScenario(QueueDiscipline discipline, bool cluster_mode) {
   }
   RekeyMessage msg = cluster_mode ? g.clusters.Rekey() : g.tree.Rekey();
 
-  Simulator sim(discipline);
+  Simulator sim(Simulator::Options{.discipline = discipline});
   TMesh tmesh(g.dir, sim);
   TMesh::UplinkModel uplink;
   uplink.kbps = 512.0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace tmesh {
@@ -127,10 +129,10 @@ std::vector<std::pair<SimTime, int>> ReplayTrace(Sim& sim) {
 TEST(Simulator, ResetSimulatorReplaysIdentically) {
   for (QueueDiscipline d :
        {QueueDiscipline::kCalendar, QueueDiscipline::kBinaryHeap}) {
-    Simulator fresh(d);
+    Simulator fresh(Simulator::Options{.discipline = d});
     auto expected = ReplayTrace(fresh);
 
-    Simulator reused(d);
+    Simulator reused(Simulator::Options{.discipline = d});
     // Dirty it thoroughly: run a different workload, leave events pending.
     for (int i = 0; i < 200; ++i) reused.ScheduleIn(i * 3, [] {});
     reused.ScheduleIn(1'000'000'000, [] {});
@@ -138,6 +140,141 @@ TEST(Simulator, ResetSimulatorReplaysIdentically) {
     for (int round = 0; round < 3; ++round) {
       reused.Reset();
       EXPECT_EQ(ReplayTrace(reused), expected) << "round " << round;
+    }
+  }
+}
+
+TEST(Step, RunsExactlyOneEventAndReportsEmptiness) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleIn(10, [&] { order.push_back(1); });
+  sim.ScheduleIn(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.Now(), 10);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.Now(), 20);
+  // Empty queue: Step runs nothing, returns false, leaves the clock alone.
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.Now(), 20);
+}
+
+TEST(RunFor, EventCapBindsBeforeDeadlineAndLeavesClockAtLastEvent) {
+  Simulator sim;
+  int ran = 0;
+  for (int i = 1; i <= 5; ++i) sim.ScheduleIn(i * 10, [&] { ++ran; });
+  RunStatus s = sim.RunFor(EventBudget{2, /*deadline=*/1000});
+  EXPECT_EQ(s.events_run, 2u);
+  EXPECT_EQ(s.exhausted_reason, Exhausted::kEvents);
+  EXPECT_EQ(s.next_event_time, 30);
+  // An event-cap stop must NOT advance the clock to the deadline: resuming
+  // mid-slice would otherwise skew Now() for the remaining events.
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(RunFor, DeadlineEqualToHeadEventTimeRunsTheEvent) {
+  // Boundary: RunUntil/RunFor are inclusive — an event AT the deadline runs.
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleIn(100, [&] { ++ran; });
+  sim.ScheduleIn(101, [&] { ++ran; });
+  RunStatus s = sim.RunFor(EventBudget::Until(100));
+  EXPECT_EQ(s.events_run, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.exhausted_reason, Exhausted::kDeadline);
+  EXPECT_EQ(s.next_event_time, 101);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(RunFor, ZeroMaxEventsMeansUncapped) {
+  // EventBudget{} (max_events 0, no deadline) is Run(): drain everything.
+  Simulator sim;
+  int ran = 0;
+  for (int i = 0; i < 7; ++i) sim.ScheduleIn(i, [&] { ++ran; });
+  RunStatus s = sim.RunFor(EventBudget{});
+  EXPECT_EQ(s.events_run, 7u);
+  EXPECT_EQ(ran, 7);
+  EXPECT_EQ(s.exhausted_reason, Exhausted::kDrained);
+  EXPECT_EQ(s.next_event_time, kNoTime);
+}
+
+TEST(RunFor, ExhaustedBudgetOnNonEmptyQueueRunsNothing) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleIn(10, [&] { ++ran; });
+  // A deadline strictly before the head event: nothing runs, the clock
+  // still advances to the deadline (same final Now() as RunUntil).
+  RunStatus s = sim.RunFor(EventBudget::Until(5));
+  EXPECT_EQ(s.events_run, 0u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(s.exhausted_reason, Exhausted::kDeadline);
+  EXPECT_EQ(s.next_event_time, 10);
+  EXPECT_EQ(sim.Now(), 5);
+  EXPECT_EQ(sim.Pending(), 1u);
+}
+
+TEST(RunFor, DrainedSliceWithDeadlineAdvancesClockToDeadline) {
+  Simulator sim;
+  sim.ScheduleIn(10, [] {});
+  RunStatus s = sim.RunFor(EventBudget{0, 50});
+  EXPECT_EQ(s.events_run, 1u);
+  EXPECT_EQ(s.exhausted_reason, Exhausted::kDrained);
+  EXPECT_EQ(s.next_event_time, kNoTime);
+  // Drained before the deadline: the slice still lands on the deadline, so
+  // a deadline-sliced loop ends at the same Now() as one RunUntil().
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+TEST(RunFor, ReentrantScheduleAtNowAtTheSliceBoundary) {
+  // An event at the slice's cap that schedules another event for the same
+  // instant: the child must be visible as next_event_time and run first in
+  // the next slice (same when, later seq).
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleIn(10, [&] {
+    order.push_back(1);
+    sim.ScheduleAt(sim.Now(), [&] { order.push_back(2); });
+  });
+  sim.ScheduleIn(20, [&] { order.push_back(3); });
+  RunStatus s = sim.RunFor(EventBudget::Events(1));
+  EXPECT_EQ(s.events_run, 1u);
+  EXPECT_EQ(s.exhausted_reason, Exhausted::kEvents);
+  EXPECT_EQ(s.next_event_time, 10);  // the re-entrant child, not the 20
+  EXPECT_EQ(sim.Now(), 10);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RunFor, ChunkedDrainMatchesMonolithicAcrossDisciplinesAndReset) {
+  // DrainSliced must reproduce Run() exactly for any slice size, on both
+  // disciplines, and on a Reset() simulator.
+  auto trace_of = [](Simulator& sim, std::size_t step) {
+    std::vector<std::pair<SimTime, int>> trace;
+    for (int i = 0; i < 40; ++i) {
+      sim.ScheduleIn(i % 7 * 11, [&trace, &sim, i] {
+        trace.emplace_back(sim.Now(), i);
+        if (i % 5 == 0) {
+          sim.ScheduleIn(3, [&trace, &sim, i] {
+            trace.emplace_back(sim.Now(), 100 + i);
+          });
+        }
+      });
+    }
+    DrainSliced(sim, step);
+    return trace;
+  };
+  for (QueueDiscipline d :
+       {QueueDiscipline::kCalendar, QueueDiscipline::kBinaryHeap}) {
+    Simulator mono(Simulator::Options{.discipline = d});
+    auto expected = trace_of(mono, 0);
+    for (std::size_t step : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+      Simulator sliced(Simulator::Options{.discipline = d});
+      EXPECT_EQ(trace_of(sliced, step), expected) << "step " << step;
+      sliced.Reset();
+      EXPECT_EQ(trace_of(sliced, step), expected)
+          << "step " << step << " after Reset";
     }
   }
 }
