@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "core/tmesh.h"
 #include "core/wire.h"
+#include "sim/sim_metrics.h"
 
 int main(int argc, char** argv) {
   using namespace tmesh;
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
       "ablation_congestion",
       "Ablation: rekey/data interference on limited uplinks", 130};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
   const int users = f.users > 0 ? f.users : 226;
 
   auto net = MakeNetwork(Topo::kPlanetLab, users + 1, f.seed);
@@ -55,15 +57,23 @@ int main(int argc, char** argv) {
   // on the worker's simulator, Reset() between modes standing in for the
   // per-mode `Simulator sim;` the sequential loop constructed. Rows print
   // in speed order regardless of --threads.
+  // Each row's metrics accumulate in a replica-local registry (all three
+  // modes of the row) and merge in speed order — thread-count-independent.
+  struct RowOut {
+    std::string row;
+    MetricsRegistry reg;
+  };
   const std::vector<double> speeds = {64.0, 256.0, 1024.0, 10240.0};
   ReplicaRunner runner(f.Threads(), f.SimOptions());
   runner.Run(
       static_cast<int>(speeds.size()),
       [&](ReplicaRunner::Replica& rep) {
         const double kbps = speeds[static_cast<std::size_t>(rep.index)];
+        RowOut out;
         auto run = [&](int mode) {  // 0: data alone, 1: +full rekey, 2: +split
           rep.sim.Reset();
           TMesh tmesh(session.directory(), rep.sim);
+          if (art.metrics() != nullptr) tmesh.SetMetrics(&out.reg);
           TMesh::UplinkModel up;
           up.kbps = kbps;
           up.data_bytes = 256;  // a small audio/control packet
@@ -92,6 +102,10 @@ int main(int argc, char** argv) {
                          f.step);
           handles.push_back(tmesh.BeginData(*sender));
           DrainSliced(rep.sim, f.step);
+          if (art.metrics() != nullptr) {
+            tmesh.FlushMetrics();
+            ExportSimMetrics(rep.sim, out.reg);
+          }
           const TMesh::Result& data = handles.back().result();
           std::vector<double> delays;
           for (const auto& r : data.member) {
@@ -105,9 +119,13 @@ int main(int argc, char** argv) {
         char row[160];
         std::snprintf(row, sizeof(row), "%12.0f%18.1f%22.1f%22.1f%13.1fx\n",
                       kbps, alone, full, split, full / split);
-        return std::string(row);
+        out.row = row;
+        return out;
       },
-      [](int, std::string&& row) { std::fputs(row.c_str(), stdout); });
+      [&](int, RowOut&& out) {
+        std::fputs(out.row.c_str(), stdout);
+        if (art.metrics() != nullptr) art.metrics()->MergeFrom(out.reg);
+      });
   std::printf(
       "\n# expected: on congested uplinks (all but the fastest row) data "
       "forwarders are still\n# serializing the unsplit burst when the data "
@@ -116,5 +134,6 @@ int main(int argc, char** argv) {
       "few encryptions, and per-source trees separate most remaining "
       "rekey/data\n# forwarders ('rekey transport and data transport choose "
       "different multicast trees\n# in T-mesh', §4.3).\n");
+  art.Write();
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "bench_common.h"
 #include "core/tmesh.h"
+#include "sim/sim_metrics.h"
 #include "topology/gnp.h"
 
 int main(int argc, char** argv) {
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
                              "Ablation: proximity-aware vs random user IDs",
                              110};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
   const int users = f.users > 0 ? f.users : 226;
   const int churn = users / 8;
 
@@ -47,7 +49,12 @@ int main(int argc, char** argv) {
 
   // One replica per policy; every replica builds its own network, session,
   // and (via the worker) simulator, so the four policies run concurrently.
-  // Each returns its formatted table row; rows print in policy order.
+  // Each returns its formatted table row; rows print in policy order, and
+  // per-policy metrics merge in the same order.
+  struct RowOut {
+    std::string row;
+    MetricsRegistry reg;
+  };
   ReplicaRunner runner(f.Threads(), f.SimOptions());
   runner.Run(
       static_cast<int>(std::size(modes)),
@@ -83,10 +90,16 @@ int main(int argc, char** argv) {
         }
         RekeyMessage msg = session.key_tree().Rekey();
 
+        RowOut out;
         TMesh tmesh(session.directory(), rep.sim);
+        if (art.metrics() != nullptr) tmesh.SetMetrics(&out.reg);
         TMesh::Options opts;
         opts.split = true;
         auto res = tmesh.MulticastRekey(msg, opts);
+        if (art.metrics() != nullptr) {
+          tmesh.FlushMetrics();
+          ExportSimMetrics(rep.sim, out.reg);
+        }
 
         std::vector<double> rdp, encs, stress;
         int srv_fanout = 0;
@@ -104,14 +117,19 @@ int main(int argc, char** argv) {
                       mode.name, Percentile(rdp, 50), Percentile(rdp, 95),
                       msg.RekeyCost(), Mean(encs), Percentile(encs, 100),
                       srv_fanout, Percentile(stress, 100), queries / users);
-        return std::string(row);
+        out.row = row;
+        return out;
       },
-      [](int, std::string&& row) { std::fputs(row.c_str(), stdout); });
+      [&](int, RowOut&& out) {
+        std::fputs(out.row.c_str(), stdout);
+        if (art.metrics() != nullptr) art.metrics()->MergeFrom(out.reg);
+      });
   std::printf(
       "\n# expected (§2.6): random IDs flatten the ID tree — the rekey "
       "message balloons and the\n# key server must unicast to hundreds of "
       "direct children (srv_fanout), the congestion\n# problem the "
       "proximity scheme exists to avoid; centralized matches distributed "
       "at zero\n# query cost; GNP coordinates (§5) keep grouping quality with zero probes AND zero\n# server-side measurements.\n");
+  art.Write();
   return 0;
 }

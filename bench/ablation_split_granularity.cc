@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "core/tmesh.h"
+#include "sim/sim_metrics.h"
 
 int main(int argc, char** argv) {
   using namespace tmesh;
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
       "ablation_split_granularity",
       "Ablation: encryption-level vs packet-level splitting", 120};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
   const int users = f.users > 0 ? f.users : 256;
 
   auto net = MakeNetwork(Topo::kGtItm, users + 1, f.seed);
@@ -57,17 +59,28 @@ int main(int argc, char** argv) {
   // rekey message; each replica reads them and multicasts on its own
   // worker-owned simulator. Concurrent RTT queries against the shared
   // GT-ITM network are safe (its SPT cache is lock-guarded). Rows print in
-  // variant order regardless of --threads.
+  // variant order regardless of --threads, and per-variant metrics merge in
+  // the same order.
+  struct RowOut {
+    std::string row;
+    MetricsRegistry reg;
+  };
   ReplicaRunner runner(f.Threads(), f.SimOptions());
   runner.Run(
       static_cast<int>(std::size(variants)),
       [&](ReplicaRunner::Replica& rep) {
         const Variant& v = variants[rep.index];
+        RowOut out;
         TMesh tmesh(session.directory(), rep.sim);
+        if (art.metrics() != nullptr) tmesh.SetMetrics(&out.reg);
         TMesh::Options opts;
         opts.split = v.split;
         opts.split_packet_encs = v.packet;
         auto res = tmesh.MulticastRekey(msg, opts);
+        if (art.metrics() != nullptr) {
+          tmesh.FlushMetrics();
+          ExportSimMetrics(rep.sim, out.reg);
+        }
         std::vector<double> encs;
         long long hops = 0;
         for (const auto& [id, info] : session.directory().members()) {
@@ -80,11 +93,16 @@ int main(int argc, char** argv) {
         std::snprintf(row, sizeof(row), "%-22s%14.1f%14.0f%14.0f%16lld\n",
                       v.name, Mean(encs), Percentile(encs, 99),
                       Percentile(encs, 100), hops);
-        return std::string(row);
+        out.row = row;
+        return out;
       },
-      [](int, std::string&& row) { std::fputs(row.c_str(), stdout); });
+      [&](int, RowOut&& out) {
+        std::fputs(out.row.c_str(), stdout);
+        if (art.metrics() != nullptr) art.metrics()->MergeFrom(out.reg);
+      });
   std::printf("\n# expected: bandwidth grows monotonically with packet size, "
               "from the per-encryption\n# optimum toward the no-splitting "
               "ceiling (§2.5).\n");
+  art.Write();
   return 0;
 }

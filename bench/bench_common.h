@@ -27,6 +27,14 @@
 //                (geometry only; stdout is byte-identical). The
 //                chunked-execution acceptance sweep drives every bench
 //                across step x discipline x retuning and diffs the output.
+//   --metrics-json=PATH
+//                write the bench's metrics-registry snapshot (counters,
+//                gauges, histograms — see src/metrics/registry.h) to PATH
+//                as JSON. Stdout is byte-identical with or without it.
+//   --trace-json=PATH
+//                write a chrome://tracing span dump of replica 0's message
+//                flow to PATH (latency figures only; others write an empty
+//                trace). Stdout is byte-identical with or without it.
 //   --full       paper-scale settings
 //   --spec       print "order<TAB>recorded<TAB>name<TAB>title" and exit 0
 //                (the regen-script discovery handshake)
@@ -36,12 +44,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <string>
 
+#include "metrics/registry.h"
 #include "metrics/report.h"
+#include "metrics/trace.h"
 #include "protocols/latency_figure.h"
 #include "sim/replica_runner.h"
 #include "topology/gtitm.h"
@@ -68,6 +79,8 @@ struct Flags {
   bool full = false;      // paper-scale settings
   QueueDiscipline discipline = QueueDiscipline::kCalendar;
   bool adaptive_retune = true;
+  std::string metrics_json;  // empty: no metrics artifact
+  std::string trace_json;    // empty: no trace artifact
 
   // Replica pool width after defaulting.
   int Threads() const {
@@ -99,6 +112,10 @@ struct Flags {
                  "(identical stdout)\n"
                  "  --static-calendar  disable adaptive calendar retuning "
                  "(identical stdout)\n"
+                 "  --metrics-json=PATH  write the metrics-registry JSON "
+                 "snapshot to PATH\n"
+                 "  --trace-json=PATH    write a chrome://tracing span dump "
+                 "to PATH\n"
                  "  --spec       print the registry line and exit\n",
                  spec.name, spec.title, argv0);
     std::exit(2);
@@ -158,6 +175,12 @@ struct Flags {
         }
       } else if (std::strcmp(a, "--static-calendar") == 0) {
         f.adaptive_retune = false;
+      } else if (std::strncmp(a, "--metrics-json=", 15) == 0) {
+        f.metrics_json = a + 15;
+        if (f.metrics_json.empty()) Usage(spec, argv[0]);
+      } else if (std::strncmp(a, "--trace-json=", 13) == 0) {
+        f.trace_json = a + 13;
+        if (f.trace_json.empty()) Usage(spec, argv[0]);
       } else if (std::strcmp(a, "--full") == 0) {
         f.full = true;
       } else {
@@ -166,6 +189,44 @@ struct Flags {
     }
     return f;
   }
+};
+
+// Owns the registry and tracer a bench threads through its experiment
+// configs when --metrics-json / --trace-json are set. The accessors return
+// null when the corresponding flag is absent, which keeps the experiment
+// hot paths untouched and the text output byte-identical either way.
+// Call Write() after the tables are printed to emit the artifacts.
+class Artifacts {
+ public:
+  explicit Artifacts(const Flags& f)
+      : metrics_path_(f.metrics_json), trace_path_(f.trace_json) {}
+
+  MetricsRegistry* metrics() {
+    return metrics_path_.empty() ? nullptr : &registry_;
+  }
+  MessageTracer* tracer() { return trace_path_.empty() ? nullptr : &tracer_; }
+
+  void Write() {
+    if (!metrics_path_.empty()) {
+      std::ofstream os(metrics_path_);
+      TMESH_CHECK_MSG(os.good(), "cannot open --metrics-json path");
+      registry_.WriteJson(os);
+      os << "\n";
+      TMESH_CHECK_MSG(os.good(), "write to --metrics-json path failed");
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream os(trace_path_);
+      TMESH_CHECK_MSG(os.good(), "cannot open --trace-json path");
+      tracer_.WriteChromeTrace(os);
+      os << "\n";
+      TMESH_CHECK_MSG(os.good(), "write to --trace-json path failed");
+    }
+  }
+
+ private:
+  std::string metrics_path_, trace_path_;
+  MetricsRegistry registry_;
+  MessageTracer tracer_;
 };
 
 using Topo = FigureTopology;
@@ -192,7 +253,8 @@ inline std::unique_ptr<Network> MakeNetwork(Topo topo, int hosts,
 inline void RunLatencyFigure(const std::string& title, Topo topo, int users,
                              bool data_path, int runs, std::uint64_t seed,
                              int threads, std::size_t step = 0,
-                             const Simulator::Options& sim_options = {}) {
+                             const Simulator::Options& sim_options = {},
+                             Artifacts* artifacts = nullptr) {
   LatencyFigureConfig cfg;
   cfg.title = title;
   cfg.topo = topo;
@@ -205,7 +267,12 @@ inline void RunLatencyFigure(const std::string& title, Topo topo, int users,
   cfg.progress = true;
   cfg.step_events = step;
   cfg.sim_options = sim_options;
+  if (artifacts != nullptr) {
+    cfg.metrics = artifacts->metrics();
+    cfg.tracer = artifacts->tracer();
+  }
   PrintLatencyFigure(std::cout, cfg);
+  if (artifacts != nullptr) artifacts->Write();
 }
 
 }  // namespace tmesh::bench

@@ -10,11 +10,12 @@ int main(int argc, char** argv) {
   constexpr FigureSpec kSpec{"fig06_rekey_latency_planetlab",
                              "Fig. 6: rekey path latency, PlanetLab", 10};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
   int runs = f.runs > 0 ? f.runs : (f.full ? 100 : 10);
   int users = f.users > 0 ? f.users : 226;
   RunLatencyFigure("Fig 6: rekey path latency, PlanetLab, " +
                        std::to_string(users) + " joins",
                    Topo::kPlanetLab, users, /*data_path=*/false, runs, f.seed,
-                   f.Threads(), f.step, f.SimOptions());
+                   f.Threads(), f.step, f.SimOptions(), &art);
   return 0;
 }

@@ -6,11 +6,12 @@ int main(int argc, char** argv) {
   constexpr FigureSpec kSpec{"fig10_data_latency_gtitm256",
                              "Fig. 10: data path latency, GT-ITM 256", 50};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
   int runs = f.runs > 0 ? f.runs : (f.full ? 20 : 5);
   int users = f.users > 0 ? f.users : 256;
   RunLatencyFigure("Fig 10: data path latency, GT-ITM, " +
                        std::to_string(users) + " joins",
                    Topo::kGtItm, users, /*data_path=*/true, runs, f.seed,
-                   f.Threads(), f.step, f.SimOptions());
+                   f.Threads(), f.step, f.SimOptions(), &art);
   return 0;
 }

@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   constexpr FigureSpec kSpec{"fig12_rekey_cost",
                              "Fig. 12: rekey cost vs (J, L) batch shape", 70};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
 
   RekeyCostConfig cfg;
+  cfg.metrics = art.metrics();
   cfg.seed = f.seed;
   cfg.initial_users = f.users > 0 ? f.users : 1024;
   cfg.threads = f.Threads();
@@ -53,5 +55,6 @@ int main(int argc, char** argv) {
       "\n# paper shape: (b) >= 0 everywhere (modified tree re-keys more); "
       "(c) < 0 when the\n# fraction of leaving users is small (non-leader "
       "churn is free under the heuristic).\n");
+  art.Write();
   return 0;
 }

@@ -14,8 +14,10 @@ int main(int argc, char** argv) {
       "fig13_rekey_bandwidth",
       "Fig. 13: rekey bandwidth under the Table-2 protocols", 80};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
 
   BandwidthConfig cfg;
+  cfg.metrics = art.metrics();
   cfg.seed = f.seed;
   cfg.initial_users = f.users > 0 ? f.users : 1024;
   cfg.batch_joins = cfg.initial_users / 4;
@@ -72,5 +74,6 @@ int main(int argc, char** argv) {
                 r.protocol.c_str(), 100 * cdf.FractionAtOrBelow(9.99),
                 cdf.ValueAtFraction(0.90), cdf.ValueAtFraction(1.0));
   }
+  art.Write();
   return 0;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
       "fig14_delay_thresholds",
       "Fig. 14: sensitivity to ID digits and delay thresholds", 90};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
   int users = f.users > 0 ? f.users : 226;
 
   struct Variant {
@@ -32,6 +33,12 @@ int main(int argc, char** argv) {
   // One replica per variant; each builds its own network and session, so
   // the pool may run them concurrently. Merging in variant order keeps the
   // tables' series order (and the output bytes) fixed for any --threads.
+  // Each variant's metrics ride in a replica-local registry merged in the
+  // same order, so the artifact is thread-count-independent too.
+  struct VariantOut {
+    LatencyRunResult res;
+    MetricsRegistry reg;
+  };
   ReplicaRunner runner(f.Threads(), f.SimOptions());
   runner.Run(
       static_cast<int>(variants.size()),
@@ -46,16 +53,20 @@ int main(int argc, char** argv) {
         cfg.session.group.digits = v.digits;
         cfg.session.assign.thresholds_ms = v.thresholds;
         cfg.step_events = f.step;
-        auto res = RunLatencyExperiment(*net, cfg, f.seed * 7 + 13, &rep.sim);
+        VariantOut out;
+        if (art.metrics() != nullptr) cfg.metrics = &out.reg;
+        out.res = RunLatencyExperiment(*net, cfg, f.seed * 7 + 13, &rep.sim);
         std::fprintf(stderr, "  variant %s done\n", v.name.c_str());
-        return res;
+        return out;
       },
-      [&](int i, LatencyRunResult&& res) {
+      [&](int i, VariantOut&& out) {
+        LatencyRunResult& res = out.res;
         const Variant& v = variants[static_cast<std::size_t>(i)];
         keep.push_back(std::make_unique<InverseCdf>(res.tmesh.delay_ms));
         delays.push_back({v.name, keep.back().get()});
         keep.push_back(std::make_unique<InverseCdf>(res.tmesh.rdp));
         rdps.push_back({v.name, keep.back().get()});
+        if (art.metrics() != nullptr) art.metrics()->MergeFrom(out.reg);
       });
 
   auto fr = DefaultFractions();
@@ -68,5 +79,6 @@ int main(int argc, char** argv) {
                        fr, rdps);
   std::printf("\n# paper shape: latency is not sensitive to the chosen D / "
               "threshold variants.\n");
+  art.Write();
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
                              "§3.1.4: probing cost per join vs group size",
                              100};
   Flags f = Flags::Parse(kSpec, argc, argv);
+  Artifacts art(f);
 
   std::vector<int> sizes = f.full ? std::vector<int>{64, 128, 256, 512, 1024}
                                   : std::vector<int>{64, 128, 256, 512};
@@ -49,6 +50,16 @@ int main(int argc, char** argv) {
         p * d * std::pow(static_cast<double>(n), 1.0 / static_cast<double>(d));
     std::printf("%8d%16.1f%16.1f%18.1f\n", n, queries / measured,
                 probes / measured, predicted);
+    // No simulator runs here; the artifact carries the table itself as
+    // per-group-size gauges.
+    if (MetricsRegistry* reg = art.metrics(); reg != nullptr) {
+      const std::string suffix = ".n" + std::to_string(n);
+      reg->GetGauge("joincost.avg_queries" + suffix)->Set(queries / measured);
+      reg->GetGauge("joincost.avg_rtt_probes" + suffix)
+          ->Set(probes / measured);
+      reg->GetGauge("joincost.predicted" + suffix)->Set(predicted);
+    }
   }
+  art.Write();
   return 0;
 }

@@ -55,7 +55,9 @@ specs=$(for b in ./build/bench/*; do
 done | grep -E $'^[0-9]+\t[01]\t' | sort -n)
 
 out=bench_output.txt
+artifacts=bench_artifacts
 : > "$out"
+mkdir -p "$artifacts"
 while IFS=$'\t' read -r order recorded name title; do
   if [[ "$recorded" != 1 ]]; then
     echo "== $name: skipped (not recorded: $title) =="
@@ -64,7 +66,11 @@ while IFS=$'\t' read -r order recorded name title; do
   start=$SECONDS
   {
     echo "===== $name ${threads_flag} ====="
-    ./build/bench/"$name" ${threads_flag}
+    # The JSON snapshot is the machine-readable twin of the text table;
+    # stdout is byte-identical with or without --metrics-json (asserted by
+    # the acceptance sweep), so the artifacts ride along for free.
+    ./build/bench/"$name" ${threads_flag} \
+      --metrics-json="$artifacts/$name.metrics.json"
     echo
   } >> "$out"
   echo "== $name: $((SECONDS - start))s =="
@@ -74,6 +80,8 @@ done <<< "$specs"
 # deterministic; keep them out of bench_output.txt but still smoke-run the
 # core-ops suite.
 echo "== micro_core_ops (smoke, not recorded) =="
-./build/bench/micro_core_ops --benchmark_min_time=0.01s > /dev/null
+# Plain double: the pinned google-benchmark predates the "0.01s" suffix
+# syntax and rejects it.
+./build/bench/micro_core_ops --benchmark_min_time=0.01 > /dev/null
 
-echo "Wrote $out"
+echo "Wrote $out and $artifacts/*.metrics.json"

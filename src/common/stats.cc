@@ -2,23 +2,25 @@
 
 namespace tmesh {
 
+std::size_t NearestRankIndex(double frac, std::size_t n) {
+  TMESH_CHECK(n > 0);
+  TMESH_CHECK(frac >= 0.0 && frac <= 1.0);
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(frac * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return rank - 1;
+}
+
 double Percentile(std::vector<double> values, double p) {
   TMESH_CHECK(!values.empty());
   TMESH_CHECK(p >= 0.0 && p <= 100.0);
   std::sort(values.begin(), values.end());
-  if (p <= 0.0) return values.front();
-  // Nearest-rank: the smallest value with at least ceil(p/100 * n) samples
-  // at or below it.
-  std::size_t n = values.size();
-  std::size_t rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(n)));
-  if (rank == 0) rank = 1;
-  if (rank > n) rank = n;
-  return values[rank - 1];
+  return values[NearestRankIndex(p / 100.0, values.size())];
 }
 
 double Mean(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
+  TMESH_CHECK(!values.empty());
   double sum = 0.0;
   for (double v : values) sum += v;
   return sum / static_cast<double>(values.size());
@@ -31,13 +33,7 @@ InverseCdf::InverseCdf(std::vector<double> samples)
 
 double InverseCdf::ValueAtFraction(double frac) const {
   TMESH_CHECK(!sorted_.empty());
-  TMESH_CHECK(frac >= 0.0 && frac <= 1.0);
-  std::size_t n = sorted_.size();
-  std::size_t rank = static_cast<std::size_t>(
-      std::ceil(frac * static_cast<double>(n)));
-  if (rank == 0) rank = 1;
-  if (rank > n) rank = n;
-  return sorted_[rank - 1];
+  return sorted_[NearestRankIndex(frac, sorted_.size())];
 }
 
 double InverseCdf::FractionAtOrBelow(double threshold) const {

@@ -18,8 +18,16 @@ namespace tmesh {
 // RTTs to tolerate estimation error (§3.1.3).
 double Percentile(std::vector<double> values, double p);
 
-// Mean of values; 0 for an empty vector.
+// Mean of values. CHECK-fails on an empty vector, matching Percentile's
+// contract — an empty population is a caller bug, not a zero.
 double Mean(const std::vector<double>& values);
+
+// The 0-based index into a sorted population of size n for population
+// fraction `frac` in [0, 1], nearest-rank convention: the smallest index
+// covering at least ceil(frac * n) samples. frac = 0 gives 0, frac = 1
+// gives n - 1. The single source of truth for fraction→rank mapping used
+// by Percentile, InverseCdf::ValueAtFraction, and PrintRankedTable.
+std::size_t NearestRankIndex(double frac, std::size_t n);
 
 // An inverse cumulative distribution over per-user (or per-link) samples,
 // the presentation used by Figs. 6-11, 13, 14: a point (x, y) reads as

@@ -12,6 +12,24 @@ KeyServer::KeyServer(const Network& net, HostId server_host, Simulator& sim,
       sim_(sim),
       tmesh_(dir_, sim) {}
 
+void KeyServer::SetMetrics(MetricsRegistry* metrics) {
+  tmesh_.SetMetrics(metrics);
+  if (metrics == nullptr) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  metrics_.joins = metrics->GetCounter("keyserver.joins");
+  metrics_.leaves = metrics->GetCounter("keyserver.leaves");
+  metrics_.failures_repaired =
+      metrics->GetCounter("keyserver.failures_repaired");
+  metrics_.intervals = metrics->GetCounter("keyserver.intervals");
+  metrics_.quiet_intervals = metrics->GetCounter("keyserver.quiet_intervals");
+  metrics_.encryptions = metrics->GetCounter("keyserver.encryptions");
+  metrics_.batch_size = metrics->GetHistogram("keyserver.batch_size");
+  metrics_.rekey_encryptions =
+      metrics->GetHistogram("keyserver.rekey_encryptions");
+}
+
 void KeyServer::Start() {
   TMESH_CHECK_MSG(!running_, "already started");
   running_ = true;
@@ -30,6 +48,7 @@ std::optional<UserId> KeyServer::RequestJoin(HostId host) {
   mtree_.Join(*id);
   clusters_.Join(*id, sim_.Now());
   ++interval_joins_;
+  if (metrics_.joins != nullptr) metrics_.joins->Increment();
   // The server unicasts the joiner its ID and current path keys (§3.1 and
   // footnote 1); key state is modeled by the tree's live versions, so
   // nothing further to do here.
@@ -42,6 +61,7 @@ void KeyServer::RequestLeave(UserId id) {
   mtree_.Leave(id);
   clusters_.Leave(id);
   ++interval_leaves_;
+  if (metrics_.leaves != nullptr) metrics_.leaves->Increment();
 }
 
 void KeyServer::RepairFailure(UserId id) {
@@ -50,6 +70,9 @@ void KeyServer::RepairFailure(UserId id) {
   mtree_.Leave(id);
   clusters_.Leave(id);
   ++interval_leaves_;
+  if (metrics_.failures_repaired != nullptr) {
+    metrics_.failures_repaired->Increment();
+  }
 }
 
 void KeyServer::EndInterval() {
@@ -67,6 +90,18 @@ void KeyServer::EndInterval() {
   RekeyMessage clustered = clusters_.Rekey();
   RekeyMessage& chosen = cfg_.cluster_heuristic ? clustered : full;
   rec.rekey_cost = chosen.RekeyCost();
+
+  if (metrics_.intervals != nullptr) {
+    metrics_.intervals->Increment();
+    metrics_.batch_size->Observe(static_cast<double>(rec.joins + rec.leaves));
+    if (rec.rekey_cost > 0) {
+      metrics_.encryptions->Add(static_cast<std::int64_t>(rec.rekey_cost));
+      metrics_.rekey_encryptions->Observe(
+          static_cast<double>(rec.rekey_cost));
+    } else {
+      metrics_.quiet_intervals->Increment();
+    }
+  }
 
   if (rec.rekey_cost > 0 && dir_.alive_count() > 0) {
     messages_.push_back(std::make_unique<RekeyMessage>(std::move(chosen)));

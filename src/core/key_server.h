@@ -63,6 +63,12 @@ class KeyServer {
   KeyServer(const Network& net, HostId server_host, Simulator& sim,
             const Config& config);
 
+  // Attaches a registry (null detaches): "keyserver." counters/histograms
+  // here (joins, leaves, repairs, per-interval batch sizes and encryption
+  // counts) and the "tmesh." transport counters on the internal TMesh. The
+  // registry must outlive the server or be detached first.
+  void SetMetrics(MetricsRegistry* metrics);
+
   // Starts the periodic rekey timer (first interval ends one
   // rekey_interval from now). Checked lifecycle: Start() on a running
   // server is a TMESH_CHECK failure, and a Start() after Stop() while the
@@ -138,6 +144,18 @@ class KeyServer {
   SimTime tick_at_ = kNoTime;  // when the in-flight interval tick fires
   int interval_joins_ = 0;
   int interval_leaves_ = 0;
+  // Resolved "keyserver." handles; all null when no registry is attached.
+  struct MetricHandles {
+    Counter* joins = nullptr;
+    Counter* leaves = nullptr;
+    Counter* failures_repaired = nullptr;
+    Counter* intervals = nullptr;
+    Counter* quiet_intervals = nullptr;
+    Counter* encryptions = nullptr;
+    Histogram* batch_size = nullptr;
+    Histogram* rekey_encryptions = nullptr;
+  };
+  MetricHandles metrics_;
   std::vector<IntervalRecord> history_;
   std::vector<TMesh::Handle> deliveries_;
   std::vector<std::unique_ptr<RekeyMessage>> messages_;

@@ -155,6 +155,7 @@ void SilkGroup::AcceptLeave(const UserId& w, const UserId& gone,
 }
 
 void SilkGroup::RecoverEntry(const UserId& w, int cpl, int digit) {
+  ++stats_.entry_recoveries;
   const Member& m = MemberRef(w);
   // Every live neighbor in rows >= cpl shares w's first cpl digits, so its
   // table has its own (cpl, digit)-entry covering the same ID subtree.
@@ -449,6 +450,7 @@ bool SilkGroup::RunMaintenance() {
                 mine.rtt_ms = net_.RttHosts(m.host, rec.host);
                 ++stats_.rtt_probes;
                 m.table.Insert(i, j, mine);
+                ++stats_.entry_recoveries;
                 changed = true;
                 filled = true;
               }

@@ -45,6 +45,7 @@
 
 #include "common/digit_string.h"
 #include "core/group_view.h"
+#include "metrics/registry.h"
 #include "sim/simulator.h"
 
 namespace tmesh {
@@ -79,8 +80,18 @@ class SilkGroup : public GroupView {
   struct Stats {
     std::int64_t messages = 0;    // protocol messages sent
     std::int64_t rtt_probes = 0;  // RTT measurements by joiners
+    // Recovery actions: RecoverEntry invocations (a leave notice emptied an
+    // entry with no live replacement) plus maintenance-sweep entry refills.
+    std::int64_t entry_recoveries = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  // Adds the cumulative stats into `reg` under "silk.". Call once per run.
+  void ExportMetrics(MetricsRegistry& reg) const {
+    reg.GetCounter("silk.messages")->Add(stats_.messages);
+    reg.GetCounter("silk.rtt_probes")->Add(stats_.rtt_probes);
+    reg.GetCounter("silk.entry_recoveries")->Add(stats_.entry_recoveries);
+  }
 
   // Verifies Definition 3 at the given strength: `capacity` = K checks full
   // K-consistency; 1 checks 1-consistency (entries non-empty whenever their

@@ -24,6 +24,8 @@ struct TMesh::Handle::Session {
   // Size of the Appendix-B group-key unicast's single encryption (group
   // key under the receiver's D-digit individual key).
   std::uint32_t group_key_enc_bytes = 0;
+  // Groups this session's trace spans (the chrome-trace pid).
+  std::int64_t trace_id = 0;
 };
 
 TMesh::Handle::Handle(std::unique_ptr<Session> s) : session_(std::move(s)) {}
@@ -46,6 +48,36 @@ void TMesh::SetUplinkModel(const UplinkModel& model) {
   uplink_ = model;
   uplink_free_.assign(static_cast<std::size_t>(dir_.network().host_count()),
                       0);
+}
+
+void TMesh::SetMetrics(MetricsRegistry* metrics) {
+  registry_ = metrics;
+  if (metrics == nullptr) {
+    metrics_ = MetricHandles{};
+    metric_uplink_bytes_.clear();
+    return;
+  }
+  metrics_.messages_sent = metrics->GetCounter("tmesh.messages_sent");
+  metrics_.messages_lost = metrics->GetCounter("tmesh.messages_lost");
+  metrics_.retries = metrics->GetCounter("tmesh.retries");
+  metrics_.deliveries_failed = metrics->GetCounter("tmesh.deliveries_failed");
+  metrics_.forwards = metrics->GetCounter("tmesh.forwards");
+  metrics_.deliveries = metrics->GetCounter("tmesh.deliveries");
+  metrics_.encs_sent = metrics->GetCounter("tmesh.encs_sent");
+  metrics_.split_messages = metrics->GetCounter("tmesh.split_messages");
+  metrics_.uplink_bytes = metrics->GetCounter("tmesh.uplink_bytes");
+  metrics_.sessions = metrics->GetCounter("tmesh.sessions");
+  metric_uplink_bytes_.assign(
+      static_cast<std::size_t>(dir_.network().host_count()), 0.0);
+}
+
+void TMesh::FlushMetrics() {
+  if (registry_ == nullptr) return;
+  Histogram* per_host = registry_->GetHistogram("tmesh.uplink_bytes_per_host");
+  for (double& bytes : metric_uplink_bytes_) {
+    if (bytes > 0.0) per_host->Observe(bytes);
+    bytes = 0.0;
+  }
 }
 
 void TMesh::CandidatesOf(const NeighborTable::Entry& entry, int row,
@@ -106,6 +138,7 @@ TMesh::EncSnapshot TMesh::SplitSnapshot(Session& s, const EncSnapshot& parent,
   // The filter keeps a subsequence, so equal size means identical contents:
   // share the parent snapshot instead of allocating a copy.
   if (split_scratch_.size() == parent->size()) return parent;
+  if (metrics_.split_messages != nullptr) metrics_.split_messages->Increment();
   return std::make_shared<const EncList>(split_scratch_);
 }
 
@@ -122,6 +155,11 @@ double TMesh::PacketBytes(const Session& s, const Packet& pkt) const {
 }
 
 std::pair<SimTime, SimTime> TMesh::OccupyUplink(HostId from, double bytes) {
+  if (metrics_.uplink_bytes != nullptr) {
+    // PacketBytes sums integers, so the cast is exact.
+    metrics_.uplink_bytes->Add(static_cast<std::int64_t>(bytes));
+    metric_uplink_bytes_[static_cast<std::size_t>(from)] += bytes;
+  }
   if (uplink_.kbps <= 0.0) return {sim_.Now(), 0};
   auto f = static_cast<std::size_t>(from);
   SimTime depart = std::max(sim_.Now(), uplink_free_[f]);
@@ -171,8 +209,12 @@ void TMesh::RetrySend(Session& s, const UserId* from, HostId from_host,
   }
   if (candidates.empty() || attempt >= s.opts.max_send_attempts) {
     ++s.result.deliveries_failed;
+    if (metrics_.deliveries_failed != nullptr) {
+      metrics_.deliveries_failed->Increment();
+    }
     return;
   }
+  if (metrics_.retries != nullptr) metrics_.retries->Increment();
   const UserId to =
       candidates[static_cast<std::size_t>(attempt) % candidates.size()];
 
@@ -204,6 +246,12 @@ void TMesh::Transmit(Session& s, const UserId* from, HostId from_host,
 
   ++s.result.messages_sent;
   if (lost) ++s.result.messages_lost;
+  if (metrics_.messages_sent != nullptr) {
+    metrics_.messages_sent->Increment();
+    if (lost) metrics_.messages_lost->Increment();
+    if (from != nullptr) metrics_.forwards->Increment();
+    metrics_.encs_sent->Add(static_cast<std::int64_t>(encs));
+  }
   if (from != nullptr) {
     MemberDeliveryRecord& rec =
         s.result.member[static_cast<std::size_t>(from_host)];
@@ -219,10 +267,22 @@ void TMesh::Transmit(Session& s, const UserId* from, HostId from_host,
       ++s.result.links.messages[static_cast<std::size_t>(l)];
     }
   }
-  if (lost) return;
+  if (lost) {
+    if (tracer_ != nullptr) {
+      tracer_->Record("forward-lost", s.trace_id,
+                      static_cast<std::int64_t>(from_host), ToMillis(depart),
+                      ToMillis(tx_time));
+    }
+    return;
+  }
 
   SimTime arrive = depart + tx_time +
                    FromMillis(dir_.network().OneWayDelayMs(from_host, to_host));
+  if (tracer_ != nullptr) {
+    tracer_->Record("forward", s.trace_id,
+                    static_cast<std::int64_t>(from_host), ToMillis(depart),
+                    ToMillis(arrive - depart));
+  }
   Session* sp = &s;
   sim_.ScheduleAt(arrive, [this, sp, to, pkt, from_host]() {
     Deliver(*sp, to, pkt, from_host);
@@ -233,6 +293,11 @@ void TMesh::Deliver(Session& s, const UserId& user, const Packet& pkt,
                     HostId from_host) {
   if (!dir_.Contains(user) || !dir_.IsAlive(user)) return;  // raced a leave
   HostId host = dir_.HostOf(user);
+  if (metrics_.deliveries != nullptr) metrics_.deliveries->Increment();
+  if (tracer_ != nullptr) {
+    tracer_->Record("deliver", s.trace_id, static_cast<std::int64_t>(host),
+                    ToMillis(sim_.Now()), 0.0);
+  }
   MemberDeliveryRecord& rec = s.result.member[static_cast<std::size_t>(host)];
   ++rec.copies;
   if (pkt.group_key_unicast) ++rec.group_key_copies;
@@ -352,6 +417,13 @@ TMesh::Handle TMesh::MakeSession(const Options& opts, HostId source_host,
         static_cast<std::size_t>(dir_.network().link_count()), 0);
   }
   result.start = sim_.Now();
+  session->trace_id = next_trace_id_++;
+  if (metrics_.sessions != nullptr) metrics_.sessions->Increment();
+  if (tracer_ != nullptr) {
+    tracer_->Record("birth", session->trace_id,
+                    static_cast<std::int64_t>(source_host),
+                    ToMillis(sim_.Now()), 0.0);
+  }
   return Handle(std::move(session));
 }
 

@@ -48,6 +48,8 @@
 #include "core/cluster_rekeying.h"
 #include "core/group_view.h"
 #include "keytree/rekey_types.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
 #include "sim/simulator.h"
 
 namespace tmesh {
@@ -92,6 +94,9 @@ class TMesh {
     // the next live neighbor of the same entry after a timeout of
     // retry_rtt_factor × the hop RTT (§2.3's burst-loss recovery).
     double loss_prob = 0.0;
+    // Seed for the loss draws. Multi-replica callers must derive this from
+    // the replica's base seed (as key_server.cc does per interval) —
+    // leaving the default correlates every replica's loss pattern.
     std::uint64_t loss_seed = 1;
     int max_send_attempts = 8;
     double retry_rtt_factor = 3.0;
@@ -131,6 +136,22 @@ class TMesh {
   TMesh(const GroupView& dir, Simulator& sim) : dir_(dir), sim_(sim) {}
 
   void SetUplinkModel(const UplinkModel& model);
+
+  // Attaches a registry (null detaches). Counter handles under "tmesh." are
+  // resolved once here; the forwarding hot path then pays one null check
+  // plus plain member increments per transmission. The registry must
+  // outlive the TMesh (or be detached first) and is typically the
+  // replica-local registry a ReplicaRunner body merges in run-index order.
+  void SetMetrics(MetricsRegistry* metrics);
+  // Observes the per-uplink byte totals accumulated since attach (or the
+  // last flush) into the "tmesh.uplink_bytes_per_host" histogram and resets
+  // them. Call once per run, after the simulator drains.
+  void FlushMetrics();
+
+  // Attaches a message tracer (null detaches): every session records a
+  // birth span, a forward span per transmission (uplink departure →
+  // arrival, lossy attempts included), and a zero-length delivery span.
+  void SetTracer(MessageTracer* tracer) { tracer_ = tracer; }
 
   // A running multicast session. Keep the handle alive until the simulator
   // has drained; read result() afterwards. For rekey sessions the message
@@ -233,6 +254,27 @@ class TMesh {
   Simulator& sim_;
   UplinkModel uplink_;
   std::vector<SimTime> uplink_free_;  // per host; sized when model enabled
+
+  // Resolved metric handles ("tmesh." namespace); all null when detached,
+  // so the hot path tests one pointer. Sessions share these handles — the
+  // registry aggregates across concurrent sessions of this TMesh.
+  struct MetricHandles {
+    Counter* messages_sent = nullptr;
+    Counter* messages_lost = nullptr;
+    Counter* retries = nullptr;
+    Counter* deliveries_failed = nullptr;
+    Counter* forwards = nullptr;
+    Counter* deliveries = nullptr;
+    Counter* encs_sent = nullptr;
+    Counter* split_messages = nullptr;
+    Counter* uplink_bytes = nullptr;
+    Counter* sessions = nullptr;
+  };
+  MetricHandles metrics_;
+  MetricsRegistry* registry_ = nullptr;
+  std::vector<double> metric_uplink_bytes_;  // per host since last flush
+  MessageTracer* tracer_ = nullptr;
+  std::int64_t next_trace_id_ = 0;
 
   // Forwarding-path scratch buffers, reused across hops so the no-loss
   // message path performs no heap allocation (beyond at most one payload

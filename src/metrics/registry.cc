@@ -1,0 +1,327 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace tmesh {
+namespace {
+
+// Shortest round-trip formatting (std::to_chars), so a written snapshot
+// parses back to the same bits and re-serializes byte-identically.
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  auto res = std::to_chars(buf, buf + sizeof buf, v);
+  TMESH_CHECK(res.ec == std::errc());
+  out.append(buf, res.ptr);
+}
+
+void AppendInt(std::string& out, std::int64_t v) {
+  char buf[32];
+  auto res = std::to_chars(buf, buf + sizeof buf, v);
+  TMESH_CHECK(res.ec == std::errc());
+  out.append(buf, res.ptr);
+}
+
+void AppendQuoted(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+std::string BucketLabel(std::size_t b) {
+  return "<=" + std::to_string(std::uint64_t{1} << b);
+}
+
+// Minimal cursor over the WriteJson() schema: objects, strings, numbers.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& s) : s_(s) {}
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        c = s_[pos_++];
+        if (c != '"' && c != '\\') return false;
+      }
+      out->push_back(c);
+    }
+    return false;
+  }
+
+  bool ParseInt(std::int64_t* out) {
+    SkipWs();
+    auto res = std::from_chars(s_.data() + pos_, s_.data() + s_.size(), *out);
+    if (res.ec != std::errc()) return false;
+    pos_ = static_cast<std::size_t>(res.ptr - s_.data());
+    return true;
+  }
+
+  bool ParseDouble(double* out) {
+    SkipWs();
+    auto res = std::from_chars(s_.data() + pos_, s_.data() + s_.size(), *out);
+    if (res.ec != std::errc()) return false;
+    pos_ = static_cast<std::size_t>(res.ptr - s_.data());
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+MetricsRegistry::Metric* MetricsRegistry::Resolve(const std::string& name,
+                                                 Kind kind) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    auto m = std::make_unique<Metric>();
+    m->kind = kind;
+    it = metrics_.emplace(name, std::move(m)).first;
+  }
+  TMESH_CHECK_MSG(it->second->kind == kind,
+                  "metric re-resolved as a different kind");
+  return it->second.get();
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::Find(const std::string& name,
+                                                     Kind kind) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second->kind != kind) return nullptr;
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &Resolve(name, Kind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return &Resolve(name, Kind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return &Resolve(name, Kind::kHistogram)->histogram;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const Metric* m = Find(name, Kind::kCounter);
+  return m ? &m->counter : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const Metric* m = Find(name, Kind::kGauge);
+  return m ? &m->gauge : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  const Metric* m = Find(name, Kind::kHistogram);
+  return m ? &m->histogram : nullptr;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, src] : other.metrics_) {
+    Metric* dst = Resolve(name, src->kind);
+    switch (src->kind) {
+      case Kind::kCounter:
+        dst->counter.value_ += src->counter.value_;
+        break;
+      case Kind::kGauge:
+        if (src->gauge.set_) dst->gauge.Set(src->gauge.value_);
+        break;
+      case Kind::kHistogram: {
+        Histogram& d = dst->histogram;
+        const Histogram& s = src->histogram;
+        if (s.count_ == 0) break;
+        if (d.count_ == 0) {
+          d.min_ = s.min_;
+          d.max_ = s.max_;
+        } else {
+          d.min_ = std::min(d.min_, s.min_);
+          d.max_ = std::max(d.max_, s.max_);
+        }
+        d.count_ += s.count_;
+        d.sum_ += s.sum_;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          d.buckets_[b] += s.buckets_[b];
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out;
+  out.push_back('{');
+
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (m->kind != Kind::kCounter) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendQuoted(out, name);
+    out.push_back(':');
+    AppendInt(out, m->counter.value_);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (m->kind != Kind::kGauge) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendQuoted(out, name);
+    out.push_back(':');
+    AppendDouble(out, m->gauge.value_);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (m->kind != Kind::kHistogram) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    const Histogram& h = m->histogram;
+    AppendQuoted(out, name);
+    out += ":{\"count\":";
+    AppendInt(out, h.count_);
+    out += ",\"sum\":";
+    AppendDouble(out, h.sum_);
+    out += ",\"min\":";
+    AppendDouble(out, h.min());
+    out += ",\"max\":";
+    AppendDouble(out, h.max());
+    out += ",\"buckets\":{";
+    bool first_b = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets_[b] == 0) continue;
+      if (!first_b) out.push_back(',');
+      first_b = false;
+      AppendQuoted(out, BucketLabel(b));
+      out.push_back(':');
+      AppendInt(out, h.buckets_[b]);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const { os << ToJson(); }
+
+bool MetricsRegistry::ParseJson(const std::string& json) {
+  MetricsRegistry parsed;
+  JsonCursor c(json);
+  if (!c.Consume('{')) return false;
+  bool first_section = true;
+  for (;;) {
+    if (c.Consume('}')) break;
+    if (!first_section && !c.Consume(',')) return false;
+    first_section = false;
+    std::string section;
+    if (!c.ParseString(&section) || !c.Consume(':') || !c.Consume('{')) {
+      return false;
+    }
+    bool first_entry = true;
+    for (;;) {
+      if (c.Consume('}')) break;
+      if (!first_entry && !c.Consume(',')) return false;
+      first_entry = false;
+      std::string name;
+      if (!c.ParseString(&name) || !c.Consume(':')) return false;
+      if (section == "counters") {
+        std::int64_t v = 0;
+        if (!c.ParseInt(&v)) return false;
+        parsed.GetCounter(name)->Add(v);
+      } else if (section == "gauges") {
+        double v = 0.0;
+        if (!c.ParseDouble(&v)) return false;
+        parsed.GetGauge(name)->Set(v);
+      } else if (section == "histograms") {
+        Histogram* h = parsed.GetHistogram(name);
+        if (!c.Consume('{')) return false;
+        bool first_field = true;
+        for (;;) {
+          if (c.Consume('}')) break;
+          if (!first_field && !c.Consume(',')) return false;
+          first_field = false;
+          std::string field;
+          if (!c.ParseString(&field) || !c.Consume(':')) return false;
+          if (field == "count") {
+            if (!c.ParseInt(&h->count_)) return false;
+          } else if (field == "sum") {
+            if (!c.ParseDouble(&h->sum_)) return false;
+          } else if (field == "min") {
+            if (!c.ParseDouble(&h->min_)) return false;
+          } else if (field == "max") {
+            if (!c.ParseDouble(&h->max_)) return false;
+          } else if (field == "buckets") {
+            if (!c.Consume('{')) return false;
+            bool first_bucket = true;
+            for (;;) {
+              if (c.Consume('}')) break;
+              if (!first_bucket && !c.Consume(',')) return false;
+              first_bucket = false;
+              std::string label;
+              std::int64_t n = 0;
+              if (!c.ParseString(&label) || !c.Consume(':') ||
+                  !c.ParseInt(&n)) {
+                return false;
+              }
+              bool found = false;
+              for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+                if (label == BucketLabel(b)) {
+                  h->buckets_[b] += n;
+                  found = true;
+                  break;
+                }
+              }
+              if (!found) return false;
+            }
+          } else {
+            return false;
+          }
+        }
+      } else {
+        return false;
+      }
+    }
+  }
+  if (!c.AtEnd()) return false;
+  MergeFrom(parsed);
+  return true;
+}
+
+}  // namespace tmesh

@@ -1,0 +1,179 @@
+// Counter / gauge / histogram registry: the observability layer behind
+// every evaluation figure.
+//
+// Every figure in the paper (§4, Figs. 6-14) is derived from counters and
+// latency samples; this registry gives them one first-class home with three
+// properties the simulation stack needs:
+//
+//  * Cheap hot-path updates. GetCounter()/GetGauge()/GetHistogram() resolve
+//    a name to a stable handle ONCE (a map lookup at wiring time); from then
+//    on the owner updates through the handle with plain member arithmetic —
+//    no locks, no lookups, no atomics on the event path. A registry is
+//    single-threaded by construction: each ReplicaRunner worker populates
+//    its own replica-local registry, exactly like the result vectors the
+//    figure pipeline already returns.
+//
+//  * Deterministic cross-replica merge. MergeFrom() combines two snapshots
+//    (counters and histogram buckets add, gauges take the donor's value
+//    when the donor ever set one). Merging replica registries in strictly
+//    increasing run index — the ReplicaRunner merge contract — makes the
+//    aggregate byte-identical for every --threads=N.
+//
+//  * Machine-readable export. WriteJson() emits a stable, name-sorted JSON
+//    snapshot (the artifact scripts/regen_experiments.sh collects next to
+//    bench_output.txt); ParseJson() reads one back, so artifacts round-trip
+//    through tooling without loss.
+//
+// Histograms use a fixed power-of-two magnitude geometry, so any two
+// histograms (any replica, any run length) merge by bucket addition without
+// rebinning — the property that keeps the merge associative and exact.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+
+namespace tmesh {
+
+// Monotonic event count. Hot-path handle: plain int64 adds.
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::int64_t value_ = 0;
+};
+
+// Last-written level (a config knob, a final total, a headline fraction).
+class Gauge {
+ public:
+  void Set(double v) {
+    value_ = v;
+    set_ = true;
+  }
+  double value() const { return value_; }
+  bool set() const { return set_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0.0;
+  bool set_ = false;
+};
+
+// Distribution sketch over non-negative samples: count/sum/min/max plus a
+// power-of-two magnitude histogram (bucket b counts samples <= 2^b, first
+// bucket <= 1, values above the last bound land in the final bucket).
+// Fixed geometry means two histograms always merge by bucket addition.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void Observe(double v) {
+    TMESH_DCHECK(v >= 0.0);
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    ++buckets_[BucketOf(v)];
+  }
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  std::int64_t bucket(std::size_t b) const { return buckets_[b]; }
+  // Upper bound of bucket b (inclusive): 2^b.
+  static double BucketBound(std::size_t b) {
+    return static_cast<double>(std::uint64_t{1} << b);
+  }
+  static std::size_t BucketOf(double v) {
+    std::size_t b = 0;
+    while (BucketBound(b) < v && b + 1 < kBuckets) ++b;
+    return b;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::int64_t, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Resolve a name to a handle, creating the metric on first use. Handles
+  // stay valid (and keep pointing at the same metric) for the registry's
+  // lifetime, including across moves. Re-resolving a name as a different
+  // kind is a TMESH_CHECK failure.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Read-only lookups; null when the name is absent or of another kind.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  bool empty() const { return metrics_.empty(); }
+  std::size_t size() const { return metrics_.size(); }
+  // Drops every metric (handles become dangling; re-resolve after).
+  void Clear() { metrics_.clear(); }
+
+  // Adds `other` into this registry: counters and histogram buckets add,
+  // gauges take other's value whenever other ever Set() one (so the last
+  // merged replica in run-index order wins — a deterministic convention).
+  // Merging metrics of mismatched kinds is a TMESH_CHECK failure.
+  void MergeFrom(const MetricsRegistry& other);
+
+  // Stable name-sorted JSON snapshot:
+  //   {"counters":{...},"gauges":{...},
+  //    "histograms":{"n":{"count":c,"sum":s,"min":m,"max":M,
+  //                       "buckets":{"<=1":c0,"<=2":c1,...}}}}
+  // Numbers print via shortest-round-trip formatting, so WriteJson ∘
+  // ParseJson ∘ WriteJson is byte-stable.
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
+  // Parses a WriteJson() snapshot into this registry (merging into any
+  // existing metrics, same rules as MergeFrom). Returns false — leaving the
+  // registry unchanged — on input that does not match the schema.
+  bool ParseJson(const std::string& json);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Metric* Resolve(const std::string& name, Kind kind);
+  const Metric* Find(const std::string& name, Kind kind) const;
+
+  // Name-sorted for stable JSON; unique_ptr for handle stability across
+  // rebalancing and moves.
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+};
+
+}  // namespace tmesh

@@ -1,5 +1,6 @@
 #include "metrics/report.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace tmesh {
@@ -23,7 +24,9 @@ std::vector<double> TailFractions(double from, int steps) {
 namespace {
 std::string FormatCell(double v) {
   char buf[32];
-  if (v >= 1000.0) {
+  // Magnitude decides the precision, so -1234.5 drops decimals exactly
+  // like 1234.5 does and still fits the 12-character column.
+  if (std::fabs(v) >= 1000.0) {
     std::snprintf(buf, sizeof buf, "%12.0f", v);
   } else {
     std::snprintf(buf, sizeof buf, "%12.3f", v);
@@ -64,11 +67,13 @@ void PrintRankedTable(
     double percentile) {
   os << "# " << title << " (mean and p" << percentile << " across runs)\n";
   os << "  frac_of_population";
+  char pbuf[32];
+  std::snprintf(pbuf, sizeof pbuf, "%g", percentile);
   for (const auto& [name, s] : series) {
     (void)s;
     char buf[64];
     std::snprintf(buf, sizeof buf, "%12s%12s", (name + "_avg").c_str(),
-                  (name + "_p95").c_str());
+                  (name + "_p" + pbuf).c_str());
     os << buf;
   }
   os << "\n";
@@ -80,8 +85,10 @@ void PrintRankedTable(
       (void)name;
       std::size_t n = s->ranks();
       TMESH_CHECK(n > 0);
-      std::size_t rank = static_cast<std::size_t>(f * static_cast<double>(n));
-      if (rank >= n) rank = n - 1;
+      // Same nearest-rank convention as InverseCdf::ValueAtFraction, so a
+      // ranked table and an inverse-CDF table at the same fraction read
+      // the same population rank.
+      std::size_t rank = NearestRankIndex(f, n);
       os << FormatCell(s->MeanAtRank(rank))
          << FormatCell(s->PercentileAtRank(rank, percentile));
     }

@@ -1,0 +1,52 @@
+#include "metrics/trace.h"
+
+#include <charconv>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+
+namespace tmesh {
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  auto res = std::to_chars(buf, buf + sizeof buf, v);
+  TMESH_CHECK(res.ec == std::errc());
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+const TraceSpan& MessageTracer::span(std::size_t i) const {
+  TMESH_CHECK(i < size_);
+  // Oldest span sits at head_ once the ring has wrapped, at 0 before.
+  std::size_t start = size_ == spans_.size() ? head_ : 0;
+  std::size_t idx = start + i;
+  if (idx >= spans_.size()) idx -= spans_.size();
+  return spans_[idx];
+}
+
+void MessageTracer::WriteChromeTrace(std::ostream& os) const {
+  std::string out;
+  out += "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceSpan& s = span(i);
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":\"";
+    out += s.name;
+    out += "\",\"ph\":\"X\",\"ts\":";
+    AppendDouble(out, s.start_ms * 1000.0);
+    out += ",\"dur\":";
+    AppendDouble(out, s.duration_ms * 1000.0);
+    out += ",\"pid\":";
+    out += std::to_string(s.message);
+    out += ",\"tid\":";
+    out += std::to_string(s.host);
+    out += "}";
+  }
+  out += "]}";
+  os << out;
+}
+
+}  // namespace tmesh

@@ -1,0 +1,80 @@
+// Optional per-message trace: birth → per-hop forward → delivery spans,
+// ring-buffered and dumpable as chrome-tracing JSON (load the file at
+// chrome://tracing or https://ui.perfetto.dev to see a per-host timeline of
+// one rekey interval).
+//
+// The tracer is off the hot path unless attached: TMesh records spans only
+// when a MessageTracer pointer is set, and Record() itself is a handful of
+// stores into a fixed ring (static-string names, no allocation). When the
+// ring wraps, the oldest spans are dropped and counted — the trace is a
+// recent-history window, not an unbounded log.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace tmesh {
+
+// One complete span ("ph":"X" in the chrome trace format). `name` must be a
+// string with static storage duration (call sites pass literals). Grouping
+// follows chrome-tracing semantics: pid groups spans per message, tid is the
+// host the span ran on. Times are simulator milliseconds.
+struct TraceSpan {
+  const char* name = "";
+  std::int64_t message = 0;  // exported as pid
+  std::int64_t host = 0;     // exported as tid
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+class MessageTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 14;
+
+  explicit MessageTracer(std::size_t capacity = kDefaultCapacity)
+      : spans_(capacity == 0 ? 1 : capacity) {}
+
+  void Record(const char* name, std::int64_t message, std::int64_t host,
+              double start_ms, double duration_ms) {
+    TraceSpan& s = spans_[head_];
+    s.name = name;
+    s.message = message;
+    s.host = host;
+    s.start_ms = start_ms;
+    s.duration_ms = duration_ms;
+    head_ = head_ + 1 == spans_.size() ? 0 : head_ + 1;
+    if (size_ < spans_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return spans_.size(); }
+  // Spans overwritten after the ring filled.
+  std::uint64_t dropped() const { return dropped_; }
+
+  // i-th retained span, oldest first (i < size()).
+  const TraceSpan& span(std::size_t i) const;
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  // Chrome-tracing JSON: {"traceEvents":[{"name":...,"ph":"X","ts":...,
+  // "dur":...,"pid":...,"tid":...},...]}, ts/dur in microseconds, spans
+  // oldest first.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace tmesh

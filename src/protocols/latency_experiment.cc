@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/tmesh.h"
+#include "sim/sim_metrics.h"
 
 namespace tmesh {
 
@@ -36,6 +37,8 @@ LatencyRunResult RunLatencyExperiment(const Network& net,
   LatencyRunResult out;
   Simulator local_sim(cfg.sim_options);
   TMesh tmesh(session.directory(), sim != nullptr ? *sim : local_sim);
+  tmesh.SetMetrics(cfg.metrics);
+  tmesh.SetTracer(cfg.tracer);
 
   HostId sender_host = server;
   Simulator& session_sim = sim != nullptr ? *sim : local_sim;
@@ -66,6 +69,10 @@ LatencyRunResult RunLatencyExperiment(const Network& net,
     if (cfg.on_slice) cfg.on_slice();
   }
   TMesh::Result tresult = handle.TakeResult();
+  if (cfg.metrics != nullptr) {
+    tmesh.FlushMetrics();
+    ExportSimMetrics(session_sim, *cfg.metrics);
+  }
 
   for (HostId h = 1; h <= cfg.users; ++h) {
     if (h == sender_host) continue;

@@ -15,6 +15,8 @@
 #include <functional>
 #include <vector>
 
+#include "metrics/registry.h"
+#include "metrics/trace.h"
 #include "protocols/group_session.h"
 #include "sim/simulator.h"
 #include "topology/network.h"
@@ -42,6 +44,13 @@ struct LatencyRunConfig {
   // byte-identical for every value.
   Simulator::Options sim_options;
   std::function<void()> on_slice;
+  // When non-null, the run's TMesh counters ("tmesh.") and simulator
+  // counters ("sim.") are recorded here. Pure observation: the printed
+  // results are byte-identical with or without a registry attached.
+  MetricsRegistry* metrics = nullptr;
+  // When non-null, the run's multicast session records birth/forward/
+  // delivery spans here (metrics/trace.h).
+  MessageTracer* tracer = nullptr;
 };
 
 struct LatencyRunResult {

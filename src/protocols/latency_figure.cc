@@ -26,6 +26,14 @@ void PrintLatencyFigure(std::ostream& os, const LatencyFigureConfig& cfg) {
   RankedRunStats t_stress, t_delay, t_rdp, n_stress, n_delay, n_rdp;
   std::vector<double> t_rdp_all, n_rdp_all;
 
+  // A replica's tables AND its metrics travel together and merge in
+  // run-index order, so the aggregate registry — like the printed tables —
+  // is byte-identical for every thread count.
+  struct ReplicaOut {
+    LatencyRunResult res;
+    MetricsRegistry reg;
+  };
+
   ReplicaRunner runner(cfg.threads, cfg.sim_options);
   runner.Run(
       cfg.runs,
@@ -44,14 +52,18 @@ void PrintLatencyFigure(std::ostream& os, const LatencyFigureConfig& cfg) {
         if (cfg.step_events > 0) {
           rcfg.on_slice = [&rep]() { rep.CheckCancelled(); };
         }
-        auto res = RunLatencyExperiment(*net, rcfg, run_seed * 7 + 13,
-                                        &rep.sim);
+        ReplicaOut out;
+        if (cfg.metrics != nullptr) rcfg.metrics = &out.reg;
+        if (cfg.tracer != nullptr && rep.index == 0) rcfg.tracer = cfg.tracer;
+        out.res = RunLatencyExperiment(*net, rcfg, run_seed * 7 + 13,
+                                       &rep.sim);
         if (cfg.progress) {
           std::fprintf(stderr, "  run %d/%d done\n", rep.index + 1, cfg.runs);
         }
-        return res;
+        return out;
       },
-      [&](int, LatencyRunResult&& res) {
+      [&](int, ReplicaOut&& out) {
+        LatencyRunResult& res = out.res;
         t_stress.AddRun(res.tmesh.stress);
         t_delay.AddRun(res.tmesh.delay_ms);
         t_rdp.AddRun(res.tmesh.rdp);
@@ -62,6 +74,7 @@ void PrintLatencyFigure(std::ostream& os, const LatencyFigureConfig& cfg) {
                          res.tmesh.rdp.end());
         n_rdp_all.insert(n_rdp_all.end(), res.nice.rdp.begin(),
                          res.nice.rdp.end());
+        if (cfg.metrics != nullptr) cfg.metrics->MergeFrom(out.reg);
       });
 
   auto fr = DefaultFractions();

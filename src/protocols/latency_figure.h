@@ -49,6 +49,16 @@ struct LatencyFigureConfig {
   // Worker-simulator construction options (discipline, calendar tuning);
   // stdout is byte-identical for every value.
   Simulator::Options sim_options;
+  // When non-null, every replica's "tmesh."/"sim." counters are recorded
+  // into a replica-local registry and merged here in run-index order — the
+  // same contract that makes the tables thread-count-independent, so the
+  // aggregate is byte-identical for every --threads=N. The figure's text
+  // output is byte-identical with or without a registry attached.
+  MetricsRegistry* metrics = nullptr;
+  // When non-null, replica 0's multicast session is traced here (only
+  // replica 0, so the trace is deterministic across thread counts and the
+  // tracer needs no synchronization).
+  MessageTracer* tracer = nullptr;
 };
 
 // Runs the figure and prints it to `os`.

@@ -24,6 +24,13 @@ std::vector<RekeyCostCell> RunRekeyCostExperiment(const RekeyCostConfig& cfg) {
   // independently on the replica pool. A run's contribution is a local copy
   // of the cell grid; contributions merge in run order, so the averages are
   // bit-identical to the sequential loop for any thread count.
+  // Each run's cells and its metric observations travel together and merge
+  // in run order, keeping the registry thread-count-independent.
+  struct RunOut {
+    std::vector<RekeyCostCell> cells;
+    MetricsRegistry reg;
+  };
+
   Rng master(cfg.seed);
   std::vector<Rng> run_rngs;
   run_rngs.reserve(static_cast<std::size_t>(cfg.runs));
@@ -35,7 +42,8 @@ std::vector<RekeyCostCell> RunRekeyCostExperiment(const RekeyCostConfig& cfg) {
       [&](ReplicaRunner::Replica& rep) {
     // A zeroed copy of the grid: merge may already have folded earlier
     // runs into `cells`, so only the (j, l) coordinates carry over.
-    std::vector<RekeyCostCell> local;
+    RunOut out;
+    std::vector<RekeyCostCell>& local = out.cells;
     local.reserve(cells.size());
     for (const RekeyCostCell& c : cells) {
       local.push_back(RekeyCostCell{c.joins, c.leaves, 0.0, 0.0, 0.0});
@@ -130,15 +138,22 @@ std::vector<RekeyCostCell> RunRekeyCostExperiment(const RekeyCostConfig& cfg) {
       cell.cluster += static_cast<double>(clusters.Rekey().RekeyCost());
       cell.original +=
           static_cast<double>(wgl.Rekey(wgl_joins, wgl_leaves).RekeyCost());
+      if (cfg.metrics != nullptr) {
+        out.reg.GetHistogram("rekeycost.modified")->Observe(cell.modified);
+        out.reg.GetHistogram("rekeycost.original")->Observe(cell.original);
+        out.reg.GetHistogram("rekeycost.cluster")->Observe(cell.cluster);
+      }
     }
-    return local;
+    return out;
       },
-      [&](int, std::vector<RekeyCostCell>&& local) {
+      [&](int, RunOut&& out) {
+        const std::vector<RekeyCostCell>& local = out.cells;
         for (std::size_t i = 0; i < cells.size(); ++i) {
           cells[i].modified += local[i].modified;
           cells[i].original += local[i].original;
           cells[i].cluster += local[i].cluster;
         }
+        if (cfg.metrics != nullptr) cfg.metrics->MergeFrom(out.reg);
       });
 
   for (RekeyCostCell& cell : cells) {

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "metrics/registry.h"
 #include "protocols/group_session.h"
 #include "topology/gtitm.h"
 
@@ -35,6 +36,10 @@ struct RekeyCostConfig {
   // Worker-simulator construction options; cell values are identical for
   // every value.
   Simulator::Options sim_options;
+  // When non-null, per-run per-cell rekey costs are recorded into
+  // "rekeycost.{modified,original,cluster}" histograms via replica-local
+  // registries merged in run order (identical for every thread count).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct RekeyCostCell {

@@ -6,6 +6,7 @@
 #include "ipmc/ip_multicast.h"
 #include "keytree/wgl_key_tree.h"
 #include "protocols/nice_accounting.h"
+#include "sim/sim_metrics.h"
 
 namespace tmesh {
 
@@ -120,10 +121,18 @@ std::vector<BandwidthReport> RekeyBandwidthExperiment::Run() {
   std::vector<BandwidthReport> reports;
   Directory& dir = session.directory();
 
+  auto note_cost = [&](std::size_t cost) {
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->GetHistogram("bandwidth.rekey_cost")
+          ->Observe(static_cast<double>(cost));
+    }
+  };
+
   auto run_nice = [&](const std::string& name, bool split) {
     BandwidthReport rep;
     rep.protocol = name;
     rep.rekey_cost = msg_wgl.RekeyCost();
+    note_cost(rep.rekey_cost);
     NiceOverlay::Delivery tree = session.nice()->RekeyFromServer(server);
     NiceBandwidth bw = AccountNiceRekey(net, tree, wgl, msg_wgl, split);
     for (const auto& [id, info] : dir.members()) {
@@ -143,8 +152,10 @@ std::vector<BandwidthReport> RekeyBandwidthExperiment::Run() {
     BandwidthReport rep;
     rep.protocol = name;
     rep.rekey_cost = msg.RekeyCost();
+    note_cost(rep.rekey_cost);
     Simulator sim(cfg_.sim_options);
     TMesh tmesh(dir, sim);
+    tmesh.SetMetrics(cfg_.metrics);
     TMesh::Options opts;
     opts.split = split;
     opts.clusters = cluster ? &session.clusters() : nullptr;
@@ -152,6 +163,10 @@ std::vector<BandwidthReport> RekeyBandwidthExperiment::Run() {
     TMesh::Handle handle = tmesh.BeginRekey(msg, opts);
     DrainSliced(sim, cfg_.step_events);
     TMesh::Result res = handle.TakeResult();
+    if (cfg_.metrics != nullptr) {
+      tmesh.FlushMetrics();
+      ExportSimMetrics(sim, *cfg_.metrics);
+    }
     FillFromTMesh(dir, res, rep);
     reports.push_back(std::move(rep));
   };
@@ -167,6 +182,7 @@ std::vector<BandwidthReport> RekeyBandwidthExperiment::Run() {
     BandwidthReport rep;
     rep.protocol = "Pip";
     rep.rekey_cost = msg_wgl.RekeyCost();
+    note_cost(rep.rekey_cost);
     IpMulticast ipmc(net);
     std::vector<HostId> receivers;
     for (const auto& [id, info] : dir.members()) {

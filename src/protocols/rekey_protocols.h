@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/registry.h"
 #include "protocols/group_session.h"
 #include "topology/gtitm.h"
 
@@ -49,6 +50,11 @@ struct BandwidthConfig {
   // Per-protocol simulator construction options; bit-identical reports for
   // every value (queue geometry cannot reorder events).
   Simulator::Options sim_options;
+  // When non-null, the T-mesh protocols' "tmesh."/"sim." counters
+  // accumulate here (the experiment is sequential, so one shared registry
+  // is race-free) and every protocol's rekey cost lands in the
+  // "bandwidth.rekey_cost" histogram. Reports are identical either way.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class RekeyBandwidthExperiment {

@@ -219,6 +219,10 @@ class CalendarQueue {
   bool Empty() const { return count_ == 0; }
   std::size_t Size() const { return count_; }
 
+  // Retune() invocations (occupancy-triggered and epoch adaptations) since
+  // construction or Clear(). Observability only — never drives behaviour.
+  std::uint64_t Retunes() const { return retunes_; }
+
   void Push(EventNode* n) {
     MaybeAdapt();
     ++count_;
@@ -336,6 +340,7 @@ class CalendarQueue {
     pushes_since_adapt_ = 0;
     day_steps_ = 0;
     adapt_pending_ = false;
+    retunes_ = 0;
     SetDayFor(0);
   }
 
@@ -530,6 +535,7 @@ class CalendarQueue {
   // cost that would make adaptation more expensive than the mis-tuned
   // geometry it repairs.
   void Retune(SimTime forced_width = 0, bool calendar_only = false) {
+    ++retunes_;
     direct_searches_ = 0;
     adapt_pending_ = false;  // this retune is the epoch's adaptation
     pops_since_adapt_ = 0;
@@ -612,6 +618,7 @@ class CalendarQueue {
   std::size_t count_ = 0;            // total queued (buckets + overflow)
   std::size_t calendar_count_ = 0;   // queued in buckets
   int direct_searches_ = 0;          // sparse-population fallbacks since tune
+  std::uint64_t retunes_ = 0;        // Retune() calls since Clear()
 
   // Adaptive width estimation (inert unless adaptive_ is set).
   SimTime base_width_ = 64;          // Configure()d initial/Clear() width

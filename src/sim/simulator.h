@@ -125,9 +125,23 @@ class Simulator {
     heap_.Clear();
     now_ = 0;
     next_seq_ = 0;
+    events_run_ = 0;
   }
 
   SimTime Now() const { return now_; }
+
+  // Lifetime scheduler counters since construction or Reset(). Kept as a
+  // plain struct (not a MetricsRegistry dependency) so the sim layer stays
+  // standalone; experiments export these into their replica registries.
+  // events_scheduled counts every Schedule* call (== queue pushes),
+  // events_run every event popped and invoked, calendar_retunes every
+  // calendar-geometry rebuild (0 under kBinaryHeap).
+  struct Stats {
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t events_run = 0;
+    std::uint64_t calendar_retunes = 0;
+  };
+  Stats stats() const { return {next_seq_, events_run_, calendar_.Retunes()}; }
 
   // Schedules `fn` to run at Now() + delay. delay must be non-negative.
   template <class Fn>
@@ -242,6 +256,7 @@ class Simulator {
     }
     TMESH_DCHECK(n->when >= now_);
     now_ = n->when;
+    ++events_run_;
     // The record is already unlinked, so re-entrant scheduling is safe; the
     // guard recycles it even if the closure throws (TMESH_CHECK).
     struct Recycle {
@@ -258,7 +273,8 @@ class Simulator {
 
   const QueueDiscipline discipline_ = QueueDiscipline::kCalendar;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;  // doubles as the events-scheduled count
+  std::uint64_t events_run_ = 0;
   simdetail::EventPool pool_;
   simdetail::CalendarQueue calendar_;
   simdetail::NodeHeap heap_;  // used iff discipline_ == kBinaryHeap

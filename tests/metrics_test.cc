@@ -57,6 +57,53 @@ TEST(Printers, RankedTablePrintsMeanAndPercentile) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
 }
 
+TEST(Printers, RankedTableHeaderFollowsPercentileParam) {
+  // Regression: the header used to hardcode "_p95" whatever percentile the
+  // caller asked for.
+  RankedRunStats s;
+  s.AddRun({1, 2});
+  std::ostringstream os;
+  PrintRankedTable(os, "demo", {1.0}, {{"x", &s}}, 90.0);
+  std::string out = os.str();
+  EXPECT_NE(out.find("x_p90"), std::string::npos);
+  EXPECT_EQ(out.find("x_p95"), std::string::npos);
+  EXPECT_NE(out.find("(mean and p90 across runs)"), std::string::npos);
+}
+
+TEST(Printers, RankedTableGoldenOutput) {
+  // Exact-bytes golden: covers the nearest-rank row selection (0.5 over 4
+  // ranks reads rank index 1, not floor's 2) and both FormatCell regimes —
+  // three decimals under 1000 and integer formatting at >= 1000 magnitude,
+  // for negative values too.
+  RankedRunStats s;
+  s.AddRun({-2000, -2, 4, 1000});
+  s.AddRun({-1000, 0, 6, 3000});
+  std::ostringstream os;
+  PrintRankedTable(os, "g", {0.25, 0.5, 0.75, 1.0}, {{"x", &s}}, 90.0);
+  EXPECT_EQ(os.str(),
+            "# g (mean and p90 across runs)\n"
+            "  frac_of_population       x_avg       x_p90\n"
+            "               0.250       -1500       -1000\n"
+            "               0.500      -1.000       0.000\n"
+            "               0.750       5.000       6.000\n"
+            "               1.000        2000        3000\n");
+}
+
+TEST(Printers, RankedTableRankMatchesInverseCdf) {
+  // A ranked table with one run and an inverse-CDF table over the same
+  // population must read the same value at every fraction (the shared
+  // NearestRankIndex convention).
+  std::vector<double> pop = {5, 1, 9, 3, 7, 2, 8, 4, 6, 10};
+  RankedRunStats s;
+  s.AddRun(pop);
+  InverseCdf cdf(pop);
+  for (double f : DefaultFractions()) {
+    EXPECT_DOUBLE_EQ(s.MeanAtRank(NearestRankIndex(f, pop.size())),
+                     cdf.ValueAtFraction(f))
+        << "fraction " << f;
+  }
+}
+
 // --- accounting invariants over a real multicast -------------------------
 
 GtItmParams SmallGtItm() {

@@ -32,8 +32,29 @@ TEST(Percentile, RejectsEmptyAndBadP) {
 }
 
 TEST(Mean, Basics) {
-  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
   EXPECT_DOUBLE_EQ(Mean({2, 4}), 3.0);
+  EXPECT_DOUBLE_EQ(Mean({7.0}), 7.0);
+}
+
+TEST(Mean, RejectsEmpty) {
+  // Same contract as Percentile: an empty population is a caller bug.
+  EXPECT_THROW(Mean({}), std::logic_error);
+}
+
+TEST(NearestRankIndex, KnownPopulation) {
+  // The shared fraction→rank convention used by Percentile,
+  // InverseCdf::ValueAtFraction, and PrintRankedTable.
+  EXPECT_EQ(NearestRankIndex(0.0, 10), 0u);
+  EXPECT_EQ(NearestRankIndex(0.05, 10), 0u);   // ceil(0.5) = 1
+  EXPECT_EQ(NearestRankIndex(0.1, 10), 0u);    // ceil(1) = 1
+  EXPECT_EQ(NearestRankIndex(0.11, 10), 1u);   // ceil(1.1) = 2
+  EXPECT_EQ(NearestRankIndex(0.5, 10), 4u);    // ceil(5) = 5, NOT floor's 5
+  EXPECT_EQ(NearestRankIndex(0.51, 10), 5u);
+  EXPECT_EQ(NearestRankIndex(1.0, 10), 9u);
+  EXPECT_EQ(NearestRankIndex(1.0, 1), 0u);
+  EXPECT_THROW(NearestRankIndex(0.5, 0), std::logic_error);
+  EXPECT_THROW(NearestRankIndex(-0.1, 10), std::logic_error);
+  EXPECT_THROW(NearestRankIndex(1.1, 10), std::logic_error);
 }
 
 TEST(InverseCdf, ValueAtFraction) {

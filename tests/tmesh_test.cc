@@ -353,6 +353,43 @@ TEST(TMesh, SurvivesFailuresUsingBackupNeighbors) {
   EXPECT_EQ(res2.ReceivedCount(), static_cast<int>(g.ids.size()) - 3);
 }
 
+// --- Loss model seeding -------------------------------------------------
+
+// Two runs with different loss seeds must observe different loss patterns
+// (and equal seeds identical ones): replicas that left Options::loss_seed
+// at its default of 1 would silently draw correlated losses, defeating
+// cross-run averaging. Experiment code must derive the seed from the run's
+// base seed whenever it enables loss.
+TEST(TMesh, LossSeedSelectsTheLossPattern) {
+  Group g(40, GroupParams{3, 8, 2}, 31);
+  RekeyMessage msg = g.tree.Rekey();
+
+  struct Outcome {
+    std::vector<double> delays;
+    int messages_lost;
+    bool operator==(const Outcome&) const = default;
+  };
+  auto run = [&](std::uint64_t loss_seed) {
+    Simulator sim;
+    TMesh tmesh(g.dir, sim);
+    TMesh::Options opts;
+    opts.loss_prob = 0.3;
+    opts.loss_seed = loss_seed;
+    auto res = tmesh.MulticastRekey(msg, opts);
+    Outcome out;
+    out.messages_lost = res.messages_lost;
+    for (const auto& rec : res.member) {
+      if (rec.copies > 0) out.delays.push_back(rec.delay_ms);
+    }
+    return out;
+  };
+
+  const Outcome base = run(1);
+  EXPECT_GT(base.messages_lost, 0) << "loss model inactive, test is vacuous";
+  EXPECT_EQ(run(1), base) << "equal seeds must replay the same losses";
+  EXPECT_NE(run(2), base) << "different seeds drew identical loss patterns";
+}
+
 // --- Cluster mode (Appendix B) ------------------------------------------
 
 TEST(TMesh, ClusterModeDeliversGroupKeyToEveryMember) {
