@@ -10,6 +10,8 @@
 #   FUZZ_OPS=50000 scripts/fuzz_nightly.sh  # longer traces
 #   FUZZ_SEEDS=10 scripts/fuzz_nightly.sh   # more seeds per config
 #   FUZZ_SEED0=$(date +%j) scripts/fuzz_nightly.sh   # rotate the seed base
+#   FUZZ_SCALE_USERS=100000 scripts/fuzz_nightly.sh  # smaller big-N campaign
+#   FUZZ_SCALE_RSS_KB=4194304 scripts/fuzz_nightly.sh  # looser RSS bound
 #
 # Exit status: 0 iff every campaign ran clean.
 
@@ -57,6 +59,24 @@ run --substrate=silk --digits=2 --base=4 --hosts=24 --k=2 --uncapped
 # Alternate queue discipline: same seeds must land on the same verdicts.
 run --substrate=directory --k=2 --discipline=heap
 run --substrate=silk --digits=3 --base=4 --hosts=48 --k=2 --discipline=heap
+
+# Big-N scale mode: the flat key trees must complete a full 10^6-user rekey
+# interval plus churn epochs with streamed (O(affected-subtree)) per-epoch
+# work and bounded memory. The RSS limit and the built-in marked-node
+# allowance are the invariant hooks that catch accidental O(N)-per-epoch
+# regressions. Measured headroom: ~1.05 GiB peak at 10^6 (RelWithDebInfo).
+SCALE_USERS="${FUZZ_SCALE_USERS:-1000000}"
+SCALE_RSS_KB="${FUZZ_SCALE_RSS_KB:-2621440}"
+run_scale() {
+  echo "== fuzz_churn --scale $*"
+  if ! "$FUZZ" --scale "$@"; then
+    failures=$((failures + 1))
+  fi
+}
+run_scale --users="$SCALE_USERS" --epochs=5 --batch=2000 --shards=4 \
+  --rss-limit-kb="$SCALE_RSS_KB" --seed="$SEED0"
+run_scale --users=100000 --epochs=5 --batch=1000 --shards=1 \
+  --rss-limit-kb=524288 --seed="$SEED0"
 
 if [ "$failures" -ne 0 ]; then
   echo "FUZZ NIGHTLY: $failures campaign(s) found violations; repros in $OUT_DIR/"

@@ -57,7 +57,19 @@ void Directory::AddMember(const UserId& id, HostId host, SimTime join_time) {
 
   id_tree_.Insert(id);
   host_index_[host] = id;
+  AliveInsert(id);
   ++alive_count_;
+}
+
+void Directory::AliveInsert(const UserId& id) {
+  alive_ids_.insert(
+      std::lower_bound(alive_ids_.begin(), alive_ids_.end(), id), id);
+}
+
+void Directory::AliveErase(const UserId& id) {
+  auto it = std::lower_bound(alive_ids_.begin(), alive_ids_.end(), id);
+  TMESH_CHECK(it != alive_ids_.end() && *it == id);
+  alive_ids_.erase(it);
 }
 
 bool Directory::IsAlive(const UserId& id) const {
@@ -77,21 +89,18 @@ const UserId* Directory::IdOfHost(HostId h) const {
 }
 
 std::vector<UserId> Directory::AliveMembers() const {
-  std::vector<UserId> out;
-  out.reserve(members_.size());
-  for (const auto& [id, m] : members_) {
-    if (m.alive) out.push_back(id);
-  }
-  return out;
+  // alive_ids_ is kept sorted, which is exactly the old walk's std::map
+  // iteration order.
+  return alive_ids_;
 }
 
 std::optional<UserId> Directory::RandomAliveMember(Rng& rng) const {
   if (alive_count_ == 0) return std::nullopt;
-  // alive_count_ is small relative to rejection cost only when failures
-  // abound; a direct indexed draw over the alive list keeps it exact.
-  std::vector<UserId> alive = AliveMembers();
-  return alive[static_cast<std::size_t>(
-      rng.UniformInt(0, static_cast<std::int64_t>(alive.size()) - 1))];
+  // A direct indexed draw over the maintained sorted alive list: O(log N)
+  // per call instead of materializing all members, same draw for the same
+  // rng state as the previous implementation.
+  return alive_ids_[static_cast<std::size_t>(rng.UniformInt(
+      0, static_cast<std::int64_t>(alive_ids_.size()) - 1))];
 }
 
 void Directory::RemoveFromAllTables(const UserId& id) {
@@ -117,7 +126,10 @@ void Directory::RemoveMember(UserId id) {
   // consider it a candidate.
   id_tree_.Erase(id);
   host_index_.erase(host);
-  if (was_alive) --alive_count_;
+  if (was_alive) {
+    AliveErase(id);
+    --alive_count_;
+  }
   // Keep the MemberInfo alive during table cleanup (its digits drive the
   // per-member entry lookups), then erase it.
   RemoveFromAllTables(id);
@@ -129,6 +141,7 @@ void Directory::MarkFailed(UserId id) {
   TMESH_CHECK(it != members_.end());
   TMESH_CHECK_MSG(it->second.alive, "member already failed");
   it->second.alive = false;
+  AliveErase(id);
   --alive_count_;
 }
 

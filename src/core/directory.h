@@ -104,6 +104,14 @@ class Directory : public GroupView {
   NeighborRecord MakeRecord(const MemberInfo& of, HostId owner_host) const;
   void RemoveFromAllTables(const UserId& id);
 
+  // Incremental maintenance of the sorted alive-ID list (insert/erase by
+  // binary search). Keeping it sorted makes AliveMembers() O(1)-per-element
+  // and RandomAliveMember() a single indexed draw, while preserving the
+  // exact order (and therefore the exact random picks) of the previous
+  // materialize-from-std::map implementation.
+  void AliveInsert(const UserId& id);
+  void AliveErase(const UserId& id);
+
   const Network& net_;
   GroupParams params_;
   HostId server_host_;
@@ -111,6 +119,7 @@ class Directory : public GroupView {
   std::map<UserId, MemberInfo> members_;
   std::unordered_map<HostId, UserId> host_index_;
   NeighborTable server_table_;
+  std::vector<UserId> alive_ids_;  // sorted; mirrors {id : Info(id).alive}
   int alive_count_ = 0;
 };
 

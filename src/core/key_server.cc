@@ -86,7 +86,7 @@ void KeyServer::EndInterval() {
 
   // Both trees track the full membership; the distributed message comes
   // from whichever scheme is active.
-  RekeyMessage full = mtree_.Rekey();
+  RekeyMessage full = mtree_.Rekey(cfg_.rekey_shards);
   RekeyMessage clustered = clusters_.Rekey();
   RekeyMessage& chosen = cfg_.cluster_heuristic ? clustered : full;
   rec.rekey_cost = chosen.RekeyCost();

@@ -48,6 +48,10 @@ class KeyServer {
     double loss_prob = 0.0;
     int max_send_attempts = 8;
     std::uint64_t seed = 1;
+    // Worker threads for the end-of-interval key-tree rekey (level-1
+    // subtree sharding). The rekey message is byte-identical for every
+    // value; > 1 only pays off at very large batch sizes.
+    int rekey_shards = 1;
   };
 
   struct IntervalRecord {

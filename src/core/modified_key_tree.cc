@@ -1,7 +1,7 @@
 #include "core/modified_key_tree.h"
 
 #include <algorithm>
-#include <set>
+#include <thread>
 
 #include "common/check.h"
 
@@ -11,24 +11,59 @@ ModifiedKeyTree::ModifiedKeyTree(int depth) : depth_(depth) {
   TMESH_CHECK(depth >= 1 && depth <= kMaxDigits);
 }
 
+std::int32_t ModifiedKeyTree::NewNode(const DigitString& id) {
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    pool_.emplace_back();
+    slot = static_cast<std::int32_t>(pool_.size() - 1);
+  }
+  Node& n = pool_[static_cast<std::size_t>(slot)];
+  n = Node{};
+  n.id = id;
+  n.in_use = true;
+  // A re-created node must not reuse the versions its previous incarnation
+  // handed out — a departed member still holds those keys, and a version
+  // collision would let it decrypt the new key chain (fuzzer find; repro
+  // tests/fuzz_repros/keytree_version_reuse_forward_secrecy.repro).
+  auto retired = retired_versions_.find(id);
+  if (retired != retired_versions_.end()) {
+    n.version = retired->second + 1;
+  }
+  index_[id] = slot;
+  if (id.size() < depth_) ++knode_count_;
+  return slot;
+}
+
+void ModifiedKeyTree::FreeNode(std::int32_t slot) {
+  Node& n = pool_[static_cast<std::size_t>(slot)];
+  if (n.id.size() < depth_) --knode_count_;
+  index_.erase(n.id);
+  n = Node{};  // clears the dirty stamp: freed slots must not be collected
+  free_slots_.push_back(slot);
+}
+
+void ModifiedKeyTree::MarkDirty(std::int32_t slot) {
+  Node& n = pool_[static_cast<std::size_t>(slot)];
+  if (n.dirty_epoch != epoch_) {
+    n.dirty_epoch = epoch_;
+    dirty_.push_back(slot);
+  }
+}
+
 void ModifiedKeyTree::Join(const UserId& u) {
   TMESH_CHECK(u.size() == depth_);
-  TMESH_CHECK_MSG(nodes_.count(u) == 0, "join of present user " + u.ToString());
+  TMESH_CHECK_MSG(Find(u) == -1, "join of present user " + u.ToString());
   for (int len = 0; len <= depth_; ++len) {
     DigitString p = u.Prefix(len);
-    // Creates missing k-nodes (and the u-node). A re-created node must not
-    // reuse the versions its previous incarnation handed out — a departed
-    // member still holds those keys, and a version collision would let it
-    // decrypt the new key chain (fuzzer find; repro
-    // tests/fuzz_repros/keytree_version_reuse_forward_secrecy.repro).
-    auto [it, created] = nodes_.try_emplace(p);
-    if (created) {
-      auto retired = retired_versions_.find(p);
-      if (retired != retired_versions_.end()) {
-        it->second.version = retired->second + 1;
-      }
+    std::int32_t slot = Find(p);
+    if (slot == -1) slot = NewNode(p);
+    if (len < depth_) {
+      pool_[static_cast<std::size_t>(slot)].SetChild(u.digit(len));
+      MarkDirty(slot);
     }
-    if (len < depth_) it->second.children.insert(u.digit(len));
   }
   changed_.insert(u);
   ++user_count_;
@@ -36,66 +71,160 @@ void ModifiedKeyTree::Join(const UserId& u) {
 
 void ModifiedKeyTree::Leave(UserId u) {
   TMESH_CHECK(u.size() == depth_);
-  auto leaf = nodes_.find(u);
-  TMESH_CHECK_MSG(leaf != nodes_.end(), "leave of absent user " + u.ToString());
-  retired_versions_[u] = leaf->second.version;
-  nodes_.erase(leaf);
+  std::int32_t leaf = Find(u);
+  TMESH_CHECK_MSG(leaf != -1, "leave of absent user " + u.ToString());
+  retired_versions_[u] = pool_[static_cast<std::size_t>(leaf)].version;
+  FreeNode(leaf);
   // Prune childless k-nodes bottom-up, retiring their versions so a later
   // re-creation cannot repeat them.
   for (int len = depth_ - 1; len >= 0; --len) {
     DigitString p = u.Prefix(len);
-    Node& node = nodes_.at(p);
+    std::int32_t slot = Find(p);
+    TMESH_CHECK(slot != -1);  // prefix closure: shorter prefixes survive
+    Node& node = pool_[static_cast<std::size_t>(slot)];
     int child_digit = u.digit(len);
-    if (nodes_.count(p.Child(child_digit)) == 0) {
-      node.children.erase(child_digit);
-    }
-    if (node.children.empty()) {
+    if (Find(p.Child(child_digit)) == -1) node.ClearChild(child_digit);
+    if (node.child_count == 0) {
       retired_versions_[p] = node.version;
-      nodes_.erase(p);
+      FreeNode(slot);
     }
+  }
+  // The surviving path still guards remaining users: stamp it for the next
+  // rekey (pruned prefixes need no new key — they have no users left).
+  for (int len = 0; len < depth_; ++len) {
+    std::int32_t slot = Find(u.Prefix(len));
+    if (slot != -1) MarkDirty(slot);
   }
   changed_.insert(u);
   --user_count_;
 }
 
-RekeyMessage ModifiedKeyTree::Rekey() {
-  // Updated k-nodes: every *existing* k-node on the path from a changed
-  // leaf position to the root (k-nodes deleted by pruning need no new key —
-  // they have no remaining users).
-  std::unordered_set<DigitString> updated;
-  for (const UserId& u : changed_) {
-    for (int len = 0; len < depth_; ++len) {
-      DigitString p = u.Prefix(len);
-      if (nodes_.count(p) > 0) updated.insert(p);
+void ModifiedKeyTree::EmitNode(std::int32_t slot,
+                               std::vector<Encryption>& out) {
+  Node& node = pool_[static_cast<std::size_t>(slot)];
+  ++node.version;
+  // Ascending-digit child order (the seed's std::set iteration).
+  for (int w = 0; w < kChildWords; ++w) {
+    std::uint64_t bits = node.child_bits[w];
+    while (bits != 0) {
+      int digit = w * 64 + __builtin_ctzll(bits);
+      bits &= bits - 1;
+      DigitString child = node.id.Child(digit);
+      Encryption e;
+      e.enc_key_id = child;  // "the ID of an encryption is the ID of the
+                             // encrypting key" (§2.4)
+      e.new_key_id = node.id;
+      e.new_key_version = node.version;
+      e.enc_key_version = pool_[static_cast<std::size_t>(Find(child))].version;
+      out.push_back(e);
     }
   }
+}
+
+RekeyMessage ModifiedKeyTree::Rekey(int shards) {
+  TMESH_CHECK(shards >= 1);
+  // Stream the dirty list: every stamped, still-alive k-node gets a new
+  // key. Slots pruned after stamping were reset (stamp cleared); slots
+  // reused by a new node carry a fresh stamp iff that node was re-marked.
+  std::vector<std::int32_t> updated;
+  updated.reserve(dirty_.size());
+  for (std::int32_t slot : dirty_) {
+    Node& n = pool_[static_cast<std::size_t>(slot)];
+    if (n.in_use && n.dirty_epoch == epoch_ && n.id.size() < depth_) {
+      n.dirty_epoch = 0;  // consume: duplicates in dirty_ collect once
+      updated.push_back(slot);
+    }
+  }
+  dirty_.clear();
+  ++epoch_;
   changed_.clear();
 
   // Deterministic deep-first order: children's new keys exist before they
   // encrypt their parents' new keys.
-  std::vector<DigitString> order(updated.begin(), updated.end());
-  std::sort(order.begin(), order.end(), [](const DigitString& a,
-                                           const DigitString& b) {
-    if (a.size() != b.size()) return a.size() > b.size();
-    return a < b;
-  });
+  auto deep_first = [this](std::int32_t a, std::int32_t b) {
+    const DigitString& ia = pool_[static_cast<std::size_t>(a)].id;
+    const DigitString& ib = pool_[static_cast<std::size_t>(b)].id;
+    if (ia.size() != ib.size()) return ia.size() > ib.size();
+    return ia < ib;
+  };
 
   RekeyMessage msg;
-  for (const DigitString& p : order) {
-    Node& node = nodes_.at(p);
-    ++node.version;
-    for (int digit : std::set<int>(node.children.begin(),
-                                   node.children.end())) {
-      DigitString child = p.Child(digit);
-      Encryption e;
-      e.enc_key_id = child;  // "the ID of an encryption is the ID of the
-                             // encrypting key" (§2.4)
-      e.new_key_id = p;
-      e.new_key_version = node.version;
-      e.enc_key_version = nodes_.at(child).version;
-      msg.encryptions.push_back(e);
+  if (shards <= 1 || depth_ < 2) {
+    std::sort(updated.begin(), updated.end(), deep_first);
+    for (std::int32_t slot : updated) EmitNode(slot, msg.encryptions);
+    return msg;
+  }
+
+  // Sharded: bucket the non-root nodes by level-1 digit. Each bucket is a
+  // vertex-disjoint subtree, so bucket workers write disjoint version
+  // fields and read child versions only from their own bucket (or from
+  // u-nodes, which no rekey writes). The root reads level-1 versions, so
+  // it is renewed after the join barrier.
+  std::int32_t root_slot = -1;
+  std::unordered_map<int, std::size_t> bucket_of;  // digit -> buckets index
+  std::vector<int> bucket_digits;
+  std::vector<std::vector<std::int32_t>> buckets;
+  for (std::int32_t slot : updated) {
+    const DigitString& id = pool_[static_cast<std::size_t>(slot)].id;
+    if (id.size() == 0) {
+      root_slot = slot;
+      continue;
+    }
+    auto [it, created] = bucket_of.try_emplace(id.digit(0), buckets.size());
+    if (created) {
+      bucket_digits.push_back(id.digit(0));
+      buckets.emplace_back();
+    }
+    buckets[it->second].push_back(slot);
+  }
+
+  // Per-bucket output, segmented by level so the merge can reproduce the
+  // global (size desc, lex asc) order: at a fixed size, lexicographic order
+  // groups by the leading digit.
+  std::vector<std::vector<std::vector<Encryption>>> by_level(
+      buckets.size(),
+      std::vector<std::vector<Encryption>>(static_cast<std::size_t>(depth_)));
+  const int workers =
+      std::min<int>(shards, static_cast<int>(buckets.size()));
+  auto run_bucket = [&](std::size_t b) {
+    std::sort(buckets[b].begin(), buckets[b].end(), deep_first);
+    for (std::int32_t slot : buckets[b]) {
+      int level = pool_[static_cast<std::size_t>(slot)].id.size();
+      EmitNode(slot, by_level[b][static_cast<std::size_t>(level)]);
+    }
+  };
+  if (workers <= 1) {
+    for (std::size_t b = 0; b < buckets.size(); ++b) run_bucket(b);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (std::size_t b = static_cast<std::size_t>(w); b < buckets.size();
+             b += static_cast<std::size_t>(workers)) {
+          run_bucket(b);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Merge: levels deep-first; within a level, buckets by ascending leading
+  // digit (== lexicographic order); bucket-internal order is already
+  // lexicographic. The root comes last (size 0 sorts after everything).
+  std::vector<std::size_t> bucket_order(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) bucket_order[i] = i;
+  std::sort(bucket_order.begin(), bucket_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return bucket_digits[a] < bucket_digits[b];
+            });
+  for (int level = depth_ - 1; level >= 1; --level) {
+    for (std::size_t b : bucket_order) {
+      auto& seg = by_level[b][static_cast<std::size_t>(level)];
+      msg.encryptions.insert(msg.encryptions.end(), seg.begin(), seg.end());
     }
   }
+  if (root_slot != -1) EmitNode(root_slot, msg.encryptions);
   return msg;
 }
 
@@ -108,42 +237,46 @@ std::vector<KeyId> ModifiedKeyTree::KeysOf(const UserId& u) const {
 }
 
 std::uint32_t ModifiedKeyTree::KeyVersion(const KeyId& id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.version;
-}
-
-int ModifiedKeyTree::knode_count() const {
-  int n = 0;
-  for (const auto& [id, node] : nodes_) {
-    (void)node;
-    if (id.size() < depth_) ++n;
-  }
-  return n;
+  std::int32_t slot = Find(id);
+  return slot == -1 ? 0 : pool_[static_cast<std::size_t>(slot)].version;
 }
 
 void ModifiedKeyTree::CheckInvariants() const {
   int users = 0;
-  for (const auto& [id, node] : nodes_) {
+  int knodes = 0;
+  for (const auto& [id, slot] : index_) {
+    const Node& node = pool_[static_cast<std::size_t>(slot)];
+    TMESH_CHECK_MSG(node.in_use && node.id == id, "index/pool mismatch");
     if (id.size() == depth_) {
-      TMESH_CHECK_MSG(node.children.empty(), "u-node with children");
+      TMESH_CHECK_MSG(node.child_count == 0, "u-node with children");
       ++users;
     } else {
-      TMESH_CHECK_MSG(!node.children.empty(), "childless k-node survived");
+      TMESH_CHECK_MSG(node.child_count > 0, "childless k-node survived");
+      ++knodes;
     }
     if (id.size() > 0) {
-      auto parent = nodes_.find(id.Parent());
-      TMESH_CHECK_MSG(parent != nodes_.end(), "orphan node");
-      TMESH_CHECK_MSG(parent->second.children.count(id.LastDigit()) > 0,
-                      "parent unaware of child");
+      std::int32_t parent = Find(id.Parent());
+      TMESH_CHECK_MSG(parent != -1, "orphan node");
+      TMESH_CHECK_MSG(
+          pool_[static_cast<std::size_t>(parent)].HasChild(id.LastDigit()),
+          "parent unaware of child");
     }
-  }
-  for (const auto& [id, node] : nodes_) {
-    for (int digit : node.children) {
-      TMESH_CHECK_MSG(nodes_.count(id.Child(digit)) > 0,
+    int bits = 0;
+    for (int d = 0; d < kMaxBase; ++d) {
+      if (!node.HasChild(d)) continue;
+      ++bits;
+      TMESH_CHECK_MSG(Find(id.Child(d)) != -1,
                       "child digit without child node");
     }
+    TMESH_CHECK_MSG(bits == node.child_count, "child_count drift");
   }
+  std::size_t in_use = 0;
+  for (const Node& n : pool_) {
+    if (n.in_use) ++in_use;
+  }
+  TMESH_CHECK(in_use == index_.size());
   TMESH_CHECK(users == user_count_);
+  TMESH_CHECK(knodes == knode_count_);
 }
 
 }  // namespace tmesh

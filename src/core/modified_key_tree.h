@@ -16,8 +16,28 @@
 // per updated k-node, one encryption per child — the new key encrypted
 // under the child's key (the child's *new* key if the child was updated
 // too). The encryption's ID is the encrypting child's ID.
+//
+// Flat layout (million-user scale). Nodes are compact records in one pool
+// (child digits as a 256-bit bitmap, no per-node set/vector), addressed
+// through a single id → slot index. Join/Leave stamp the touched k-nodes
+// into a dirty list as they go, so Rekey() streams over exactly the
+// affected nodes — no per-interval changed-leaf prefix probing, no
+// materialized update set — and costs O(affected · depth), independent of
+// the population.
+//
+// Sharded rekeying: Rekey(shards) with shards > 1 partitions the updated
+// k-nodes by their level-1 digit and renews the buckets on worker threads.
+// Buckets are vertex-disjoint subtrees (every descendant of [d] shares the
+// digit), each thread only writes versions inside its own buckets, and
+// child-version reads stay bucket-local (u-node versions are frozen during
+// an interval); the root is renewed after the join barrier since it reads
+// all level-1 keys. Bucket outputs are concatenated per (level desc, digit
+// asc) segment, which equals the serial (size desc, lex asc) sort — the
+// message is byte-identical to Rekey(1) and to the retained
+// SeedModifiedKeyTree (pinned by tests/keytree_differential_test.cc).
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -34,7 +54,7 @@ class ModifiedKeyTree {
   int depth() const { return depth_; }
   int user_count() const { return user_count_; }
   bool Contains(const UserId& u) const {
-    return u.size() == depth_ && nodes_.count(u) > 0;
+    return u.size() == depth_ && Find(u) != -1;
   }
 
   // Adds the u-node for `u` (and any missing k-nodes on its path); the
@@ -46,8 +66,10 @@ class ModifiedKeyTree {
   void Leave(UserId u);
 
   // Ends the rekey interval: renews keys on all changed paths, emits the
-  // rekey message, clears the pending-change set.
-  RekeyMessage Rekey();
+  // rekey message, clears the pending-change set. `shards` > 1 renews the
+  // level-1 subtrees on that many worker threads; the message is identical
+  // for every shard count.
+  RekeyMessage Rekey(int shards = 1);
 
   // Number of pending changed paths (joined or departed user IDs).
   int pending_changes() const { return static_cast<int>(changed_.size()); }
@@ -60,22 +82,66 @@ class ModifiedKeyTree {
   // Current version of a key; 0 if the node does not exist.
   std::uint32_t KeyVersion(const KeyId& id) const;
 
-  int knode_count() const;  // internal nodes, levels 0..D-1
+  int knode_count() const { return knode_count_; }  // levels 0..D-1, O(1)
 
-  // Structural check: node set is prefix-closed, children sets consistent,
-  // u-nodes exactly at level D.
+  // Structural check: node set is prefix-closed, child bitmaps consistent,
+  // u-nodes exactly at level D, counters exact.
   void CheckInvariants() const;
 
  private:
+  static constexpr int kChildWords = kMaxBase / 64;
+
   struct Node {
-    std::unordered_set<int> children;  // next digits (levels 0..D-1 only)
+    KeyId id;
     std::uint32_t version = 1;
+    std::uint32_t dirty_epoch = 0;  // 0 = clean
+    std::int32_t child_count = 0;
+    std::uint64_t child_bits[kChildWords] = {};  // next digits (k-nodes)
+    bool in_use = false;
+
+    bool HasChild(int d) const {
+      return (child_bits[d >> 6] >> (d & 63)) & 1u;
+    }
+    void SetChild(int d) {
+      std::uint64_t& w = child_bits[d >> 6];
+      std::uint64_t bit = std::uint64_t{1} << (d & 63);
+      if (!(w & bit)) {
+        w |= bit;
+        ++child_count;
+      }
+    }
+    void ClearChild(int d) {
+      std::uint64_t& w = child_bits[d >> 6];
+      std::uint64_t bit = std::uint64_t{1} << (d & 63);
+      if (w & bit) {
+        w &= ~bit;
+        --child_count;
+      }
+    }
   };
+
+  std::int32_t Find(const DigitString& id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? -1 : it->second;
+  }
+  std::int32_t NewNode(const DigitString& id);
+  void FreeNode(std::int32_t slot);
+  void MarkDirty(std::int32_t slot);
+  // Renews one node's key and appends its encryptions to `out`. Touches
+  // only the node's record plus its children's versions (read-only).
+  void EmitNode(std::int32_t slot, std::vector<Encryption>& out);
 
   int depth_;
   int user_count_ = 0;
-  std::unordered_map<DigitString, Node> nodes_;  // levels 0..D
-  std::unordered_set<UserId> changed_;           // changed leaf IDs
+  int knode_count_ = 0;
+  std::vector<Node> pool_;
+  std::vector<std::int32_t> free_slots_;
+  std::unordered_map<DigitString, std::int32_t> index_;  // levels 0..D
+  // K-nodes touched this interval, stamped with epoch_ (streamed at Rekey;
+  // stale entries for since-pruned slots are filtered by the stamp).
+  std::vector<std::int32_t> dirty_;
+  std::uint32_t epoch_ = 1;
+  std::unordered_set<UserId> changed_;  // changed leaf IDs (pending count)
   // Last version of every pruned node: re-created nodes resume one past it,
   // so no (key ID, version) pair is ever issued twice — a departed member
   // holding the old keys must not be able to decrypt a later chain.

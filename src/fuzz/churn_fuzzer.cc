@@ -1,6 +1,9 @@
 #include "fuzz/churn_fuzzer.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -13,8 +16,10 @@
 #include <utility>
 
 #include "core/key_server.h"
+#include "core/modified_key_tree.h"
 #include "core/silk.h"
 #include "core/tmesh.h"
+#include "keytree/wgl_key_tree.h"
 #include "topology/planetlab.h"
 
 namespace tmesh {
@@ -968,6 +973,209 @@ std::optional<ChurnFuzzer::Report> ChurnFuzzer::RunCampaign(
   rep.script = FormatScript(
       cfg, rep.minimized,
       "invariant: " + rep.violation.invariant + "\n" + rep.violation.message);
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Big-N scale mode.
+
+namespace {
+
+std::size_t PeakRssKb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::size_t>(ru.ru_maxrss);  // KiB on Linux
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Derives a fresh (not-yet-present) user ID from the hash stream; rehashes
+// on collision, so the sequence is deterministic for a fixed seed.
+UserId FreshUserId(const ModifiedKeyTree& mtree, const GroupParams& g,
+                   std::uint64_t* state) {
+  for (;;) {
+    std::uint64_t h = SplitMix64((*state)++);
+    UserId id;
+    for (int d = 0; d < g.digits; ++d) {
+      id = id.Child(static_cast<int>(h % static_cast<std::uint64_t>(g.base)));
+      h = SplitMix64(h);
+    }
+    if (!mtree.Contains(id)) return id;
+  }
+}
+
+}  // namespace
+
+ScaleReport ChurnFuzzer::RunScaleCampaign(const ScaleConfig& cfg) {
+  using Clock = std::chrono::steady_clock;
+  ScaleReport rep;
+  rep.users = cfg.users;
+  auto fail = [&](std::string msg) {
+    rep.ok = false;
+    rep.error = std::move(msg);
+    rep.peak_rss_kb = PeakRssKb();
+    return rep;
+  };
+
+  if (cfg.users < 0 || cfg.epochs < 0 || cfg.batch_joins < 0 ||
+      cfg.batch_leaves < 0 || cfg.wgl_degree < 2 || cfg.shards < 1 ||
+      cfg.group.digits < 1 || cfg.group.digits > kMaxDigits ||
+      cfg.group.base < 2 || cfg.group.base > kMaxBase) {
+    return fail("invalid scale config");
+  }
+  const long long peak_pop =
+      cfg.users + static_cast<long long>(cfg.epochs) * cfg.batch_joins;
+  // The hash-derived ID space must stay sparse or FreshUserId degenerates
+  // into collision rehashing (break early: base^digits overflows at B=256,
+  // D=8).
+  long long space = 1;
+  for (int d = 0; d < cfg.group.digits && space < 4 * peak_pop; ++d) {
+    space *= cfg.group.base;
+  }
+  if (space < 4 * peak_pop) {
+    return fail("ID space base^digits too small for the peak population");
+  }
+
+  try {
+    WglKeyTree wgl(cfg.wgl_degree);
+    ModifiedKeyTree mtree(cfg.group.digits);
+    std::uint64_t id_state = SplitMix64(cfg.seed ^ 0x5ca1ab1eull);
+    std::uint64_t pick_state = SplitMix64(cfg.seed + 0x9e3779b9ull);
+    auto pick = [&](std::size_t n) {
+      return static_cast<std::size_t>(SplitMix64(pick_state++) % n);
+    };
+
+    std::vector<MemberId> wgl_present;
+    std::vector<UserId> mtree_present;
+    wgl_present.reserve(static_cast<std::size_t>(peak_pop));
+    mtree_present.reserve(static_cast<std::size_t>(peak_pop));
+    MemberId next_member = 0;
+
+    // Build: the whole initial population joins in ONE batch interval —
+    // this is the paper-scale rekey the flat layout exists for.
+    auto t0 = Clock::now();
+    {
+      std::vector<MemberId> joins(static_cast<std::size_t>(cfg.users));
+      for (auto& m : joins) m = next_member++;
+      rep.build_encryptions += wgl.Rekey(joins, {}).RekeyCost();
+      wgl_present = std::move(joins);
+      for (int i = 0; i < cfg.users; ++i) {
+        UserId id = FreshUserId(mtree, cfg.group, &id_state);
+        mtree.Join(id);
+        mtree_present.push_back(id);
+      }
+      rep.build_encryptions += mtree.Rekey(cfg.shards).RekeyCost();
+    }
+    rep.build_seconds = SecondsSince(t0);
+    wgl.ResetOpStats();
+
+    // Streamed-work allowance: a churn epoch may stamp at most
+    // slack * batch * O(log_degree N) nodes. An O(N) sweep regression
+    // blows through this as soon as N >> batch.
+    int log_bound = 1;
+    for (long long cap = 1; cap < peak_pop; cap *= cfg.wgl_degree) {
+      ++log_bound;
+    }
+    const double allowance = cfg.work_slack *
+                             (cfg.batch_joins + cfg.batch_leaves) *
+                             (log_bound + 2);
+
+    std::uint64_t marked_before = 0;
+    for (int e = 0; e < cfg.epochs; ++e) {
+      ScaleEpochStats es;
+
+      // Batch selection is untimed harness work.
+      std::vector<MemberId> joins;
+      std::vector<MemberId> leaves;
+      for (int j = 0; j < cfg.batch_joins; ++j) joins.push_back(next_member++);
+      const int want =
+          std::min<int>(cfg.batch_leaves,
+                        static_cast<int>(wgl_present.size()));
+      for (int l = 0; l < want; ++l) {
+        std::size_t i = pick(wgl_present.size());
+        leaves.push_back(wgl_present[i]);
+        wgl_present[i] = wgl_present.back();
+        wgl_present.pop_back();
+      }
+      es.joins = static_cast<int>(joins.size());
+      es.leaves = static_cast<int>(leaves.size());
+
+      auto e0 = Clock::now();
+      es.wgl_encryptions = wgl.Rekey(joins, leaves).RekeyCost();
+      wgl_present.insert(wgl_present.end(), joins.begin(), joins.end());
+      for (int j = 0; j < cfg.batch_joins; ++j) {
+        UserId id = FreshUserId(mtree, cfg.group, &id_state);
+        mtree.Join(id);
+        mtree_present.push_back(id);
+      }
+      for (int l = 0; l < want; ++l) {
+        std::size_t i = pick(mtree_present.size());
+        mtree.Leave(mtree_present[i]);
+        mtree_present[i] = mtree_present.back();
+        mtree_present.pop_back();
+      }
+      es.seconds = SecondsSince(e0);
+
+      // Sharded-vs-serial cross-check: rekey a copy serially, untimed, and
+      // demand the identical message from the sharded run.
+      std::optional<ModifiedKeyTree> serial_ref;
+      if (cfg.shards > 1 && cfg.cross_check_shards) serial_ref = mtree;
+      auto e1 = Clock::now();
+      RekeyMessage mm = mtree.Rekey(cfg.shards);
+      es.seconds += SecondsSince(e1);
+      es.mtree_encryptions = mm.RekeyCost();
+      if (serial_ref.has_value()) {
+        RekeyMessage sm = serial_ref->Rekey(1);
+        if (!(sm.encryptions == mm.encryptions)) {
+          return fail("epoch " + std::to_string(e) +
+                      ": sharded rekey message differs from serial");
+        }
+      }
+
+      const std::uint64_t marked_now = wgl.op_stats().rekey_marked_nodes;
+      es.wgl_marked_nodes = marked_now - marked_before;
+      marked_before = marked_now;
+      if (static_cast<double>(es.wgl_marked_nodes) > allowance) {
+        return fail("epoch " + std::to_string(e) + ": streamed rekey marked " +
+                    std::to_string(es.wgl_marked_nodes) +
+                    " nodes, allowance " +
+                    std::to_string(static_cast<std::uint64_t>(allowance)) +
+                    " (O(N) sweep regression?)");
+      }
+
+      if (cfg.check_invariants) {
+        wgl.CheckInvariants();
+        mtree.CheckInvariants();
+        if (wgl.member_count() != static_cast<int>(wgl_present.size()) ||
+            mtree.user_count() != static_cast<int>(mtree_present.size())) {
+          return fail("epoch " + std::to_string(e) +
+                      ": population count drifted from the harness view");
+        }
+      }
+
+      rep.churn_seconds += es.seconds;
+      rep.epochs.push_back(es);
+
+      if (cfg.max_peak_rss_kb != 0 && PeakRssKb() > cfg.max_peak_rss_kb) {
+        return fail("epoch " + std::to_string(e) + ": peak RSS " +
+                    std::to_string(PeakRssKb()) + " KiB exceeds bound " +
+                    std::to_string(cfg.max_peak_rss_kb) + " KiB");
+      }
+    }
+
+    const double events = static_cast<double>(cfg.epochs) *
+                          (cfg.batch_joins + cfg.batch_leaves);
+    rep.events_per_sec =
+        rep.churn_seconds > 0.0 ? events / rep.churn_seconds : 0.0;
+  } catch (const std::logic_error& e) {
+    return fail(std::string("invariant: ") + e.what());
+  }
+
+  rep.peak_rss_kb = PeakRssKb();
+  rep.ok = true;
   return rep;
 }
 

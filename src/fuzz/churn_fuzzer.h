@@ -109,6 +109,61 @@ struct Violation {
   std::string message;      // the TMESH_CHECK diagnostic
 };
 
+// ---------------------------------------------------------------------------
+// Big-N scale mode.
+//
+// Drives the flat key trees *directly* — no Directory, no simulator. The
+// online membership oracle costs O(N) per admission, which would drown the
+// very O(affected-subtree) property under test. The campaign builds an
+// N-member population in one batch rekey interval, then applies `epochs`
+// randomized join/leave batches, rekeying both trees after each, and
+// asserts the scale invariants:
+//   - streamed work: the WGL tree's rekey_marked_nodes counter per epoch
+//     must stay within work_slack * batch * O(log N). An accidental
+//     O(N)-per-epoch sweep trips this immediately at large N.
+//   - peak RSS: getrusage(RUSAGE_SELF).ru_maxrss must stay under
+//     max_peak_rss_kb (0: unbounded) — the nightly hook against
+//     materializing O(N) per-epoch state.
+//   - sharding: when shards > 1, the modified tree's sharded rekey message
+//     is compared element-wise against a serial rekey of a copied tree.
+//   - structure: optional full CheckInvariants() pass per epoch (O(N),
+//     untimed).
+struct ScaleConfig {
+  int users = 100000;            // initial population (one batch interval)
+  int epochs = 5;                // churn intervals after the build
+  int batch_joins = 1000;        // joins per churn epoch
+  int batch_leaves = 1000;       // leaves per churn epoch
+  int wgl_degree = 4;            // WGL key-tree degree (paper: 4)
+  GroupParams group{5, 256, 4};  // modified-tree ID space (paper: D=5, B=256)
+  int shards = 1;                // ModifiedKeyTree::Rekey worker threads
+  std::uint64_t seed = 1;        // drives ID derivation and leave selection
+  double work_slack = 4.0;       // slack factor on the streamed-work bound
+  std::size_t max_peak_rss_kb = 0;  // 0: no RSS bound
+  bool check_invariants = true;  // O(N) structural check after each epoch
+  bool cross_check_shards = true;  // sharded-vs-serial message equality
+};
+
+struct ScaleEpochStats {
+  int joins = 0;
+  int leaves = 0;
+  std::size_t wgl_encryptions = 0;
+  std::size_t mtree_encryptions = 0;
+  std::uint64_t wgl_marked_nodes = 0;  // streaming-walk stamps this epoch
+  double seconds = 0.0;                // batch application + both rekeys
+};
+
+struct ScaleReport {
+  bool ok = false;
+  std::string error;            // first violated invariant when !ok
+  int users = 0;                // initial population actually built
+  double build_seconds = 0.0;   // the N-join build interval (both trees)
+  double churn_seconds = 0.0;   // sum of epoch seconds
+  double events_per_sec = 0.0;  // churn events / churn_seconds
+  std::size_t build_encryptions = 0;  // WGL + mtree build-interval message
+  std::size_t peak_rss_kb = 0;  // process peak RSS at campaign end
+  std::vector<ScaleEpochStats> epochs;
+};
+
 struct RunResult {
   std::optional<Violation> violation;  // nullopt: trace ran clean
   std::string log;  // one line per executed op; byte-identical across
@@ -147,6 +202,11 @@ class ChurnFuzzer {
     std::string script;            // FormatScript(cfg, minimized)
   };
   static std::optional<Report> RunCampaign(const FuzzConfig& cfg);
+
+  // Big-N smoke: builds an N-member population and churns it for
+  // cfg.epochs batch intervals, asserting the scale invariants described
+  // at ScaleConfig. Deterministic for a fixed config (timings aside).
+  static ScaleReport RunScaleCampaign(const ScaleConfig& cfg);
 };
 
 const char* ToString(OpKind k);

@@ -6,9 +6,17 @@
 //              [--uncapped] [--discipline=calendar|heap] [--step=N]
 //              [--static-calendar] [--out=DIR]
 //   fuzz_churn --replay=FILE [--discipline=calendar|heap] [--step=N]
+//   fuzz_churn --scale [--users=N] [--epochs=N] [--batch=N] [--shards=N]
+//              [--degree=D] [--digits=D] [--base=B] [--seed=N]
+//              [--rss-limit-kb=N] [--slack=X] [--no-check]
 //
 // --step=N drives every simulator drain in RunFor slices of N events
 // (0: monolithic); output is byte-identical for every value.
+//
+// --scale runs the big-N smoke campaign over the flat key trees directly
+// (no simulator): one N-user build interval plus --epochs churn batches,
+// asserting the streamed-work, sharding, and peak-RSS invariants. Exits 1
+// on any violation.
 //
 // Campaign mode runs `--seeds` consecutive seeds starting at `--seed`; on
 // the first violation it delta-debugs the trace and writes the 1-minimal
@@ -37,8 +45,11 @@ using tmesh::fuzz::Substrate;
       "          [--hosts=N] [--digits=D] [--base=B] [--k=K] [--loss=P]\n"
       "          [--interval-ms=N] [--cluster] [--no-split] [--uncapped]\n"
       "          [--discipline=calendar|heap] [--step=N] [--out=DIR]\n"
-      "       %s --replay=FILE [--discipline=calendar|heap] [--step=N]\n",
-      argv0, argv0);
+      "       %s --replay=FILE [--discipline=calendar|heap] [--step=N]\n"
+      "       %s --scale [--users=N] [--epochs=N] [--batch=N] [--shards=N]\n"
+      "          [--degree=D] [--digits=D] [--base=B] [--seed=N]\n"
+      "          [--rss-limit-kb=N] [--slack=X] [--no-check]\n",
+      argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -64,6 +75,9 @@ int main(int argc, char** argv) {
   long long seeds = 1;
   std::string out_dir = ".";
   std::string replay;
+  bool scale = false;
+  bool id_shape_set = false;  // --digits/--base given explicitly
+  tmesh::fuzz::ScaleConfig scfg;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -89,8 +103,10 @@ int main(int argc, char** argv) {
       cfg.hosts = static_cast<int>(ParseInt(argv[0], v));
     } else if (const char* v = val("--digits=")) {
       cfg.group.digits = static_cast<int>(ParseInt(argv[0], v));
+      id_shape_set = true;
     } else if (const char* v = val("--base=")) {
       cfg.group.base = static_cast<int>(ParseInt(argv[0], v));
+      id_shape_set = true;
     } else if (const char* v = val("--k=")) {
       cfg.group.capacity = static_cast<int>(ParseInt(argv[0], v));
     } else if (const char* v = val("--loss=")) {
@@ -120,9 +136,64 @@ int main(int argc, char** argv) {
       out_dir = v;
     } else if (const char* v = val("--replay=")) {
       replay = v;
+    } else if (std::strcmp(a, "--scale") == 0) {
+      scale = true;
+    } else if (const char* v = val("--users=")) {
+      scfg.users = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--epochs=")) {
+      scfg.epochs = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--batch=")) {
+      scfg.batch_joins = static_cast<int>(ParseInt(argv[0], v));
+      scfg.batch_leaves = scfg.batch_joins;
+    } else if (const char* v = val("--shards=")) {
+      scfg.shards = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--degree=")) {
+      scfg.wgl_degree = static_cast<int>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--rss-limit-kb=")) {
+      scfg.max_peak_rss_kb = static_cast<std::size_t>(ParseInt(argv[0], v));
+    } else if (const char* v = val("--slack=")) {
+      scfg.work_slack = ParseDouble(argv[0], v);
+    } else if (std::strcmp(a, "--no-check") == 0) {
+      scfg.check_invariants = false;
+      scfg.cross_check_shards = false;
     } else {
       Usage(argv[0]);
     }
+  }
+
+  if (scale) {
+    scfg.seed = cfg.seed;
+    // --digits/--base carry over; otherwise scale mode defaults to the
+    // paper-scale ID space (D=5, B=256) rather than the tiny fuzzing one.
+    if (id_shape_set) scfg.group = cfg.group;
+    std::printf(
+        "scale users=%d epochs=%d batch=%d+%d shards=%d degree=%d "
+        "id-space=%d^%d seed=%llu\n",
+        scfg.users, scfg.epochs, scfg.batch_joins, scfg.batch_leaves,
+        scfg.shards, scfg.wgl_degree, scfg.group.base, scfg.group.digits,
+        static_cast<unsigned long long>(scfg.seed));
+    std::fflush(stdout);
+    tmesh::fuzz::ScaleReport rep =
+        ChurnFuzzer::RunScaleCampaign(scfg);
+    std::printf("  build: %.3fs (%zu encryptions)\n", rep.build_seconds,
+                rep.build_encryptions);
+    for (std::size_t e = 0; e < rep.epochs.size(); ++e) {
+      const auto& es = rep.epochs[e];
+      std::printf(
+          "  epoch %zu: %d joins + %d leaves, %zu + %zu encryptions, "
+          "%llu marked, %.3fs\n",
+          e + 1, es.joins, es.leaves, es.wgl_encryptions,
+          es.mtree_encryptions,
+          static_cast<unsigned long long>(es.wgl_marked_nodes), es.seconds);
+    }
+    std::printf("  events/sec: %.0f  peak RSS: %zu KiB\n", rep.events_per_sec,
+                rep.peak_rss_kb);
+    if (!rep.ok) {
+      std::printf("  SCALE VIOLATION: %s\n", rep.error.c_str());
+      return 1;
+    }
+    std::printf("  clean\n");
+    return 0;
   }
 
   if (!replay.empty()) {

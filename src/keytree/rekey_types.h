@@ -35,6 +35,19 @@ struct Encryption {
   std::int32_t wgl_new_node = -1;  // node whose new key is carried (WGL only)
 };
 
+// Field-wise equality: two encryptions are the same record. The
+// differential equivalence suite compares whole rekey messages this way to
+// pin the flat key trees byte-for-byte against the frozen seed baselines.
+inline bool operator==(const Encryption& a, const Encryption& b) {
+  return a.enc_key_id == b.enc_key_id && a.new_key_id == b.new_key_id &&
+         a.new_key_version == b.new_key_version &&
+         a.enc_key_version == b.enc_key_version &&
+         a.wgl_enc_node == b.wgl_enc_node && a.wgl_new_node == b.wgl_new_node;
+}
+inline bool operator!=(const Encryption& a, const Encryption& b) {
+  return !(a == b);
+}
+
 struct RekeyMessage {
   std::vector<Encryption> encryptions;
 

@@ -1,0 +1,149 @@
+#include "keytree/seed_modified_key_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace tmesh {
+
+SeedModifiedKeyTree::SeedModifiedKeyTree(int depth) : depth_(depth) {
+  TMESH_CHECK(depth >= 1 && depth <= kMaxDigits);
+}
+
+void SeedModifiedKeyTree::Join(const UserId& u) {
+  TMESH_CHECK(u.size() == depth_);
+  TMESH_CHECK_MSG(nodes_.count(u) == 0, "join of present user " + u.ToString());
+  for (int len = 0; len <= depth_; ++len) {
+    DigitString p = u.Prefix(len);
+    // Creates missing k-nodes (and the u-node). A re-created node must not
+    // reuse the versions its previous incarnation handed out — a departed
+    // member still holds those keys, and a version collision would let it
+    // decrypt the new key chain (fuzzer find; repro
+    // tests/fuzz_repros/keytree_version_reuse_forward_secrecy.repro).
+    auto [it, created] = nodes_.try_emplace(p);
+    if (created) {
+      auto retired = retired_versions_.find(p);
+      if (retired != retired_versions_.end()) {
+        it->second.version = retired->second + 1;
+      }
+    }
+    if (len < depth_) it->second.children.insert(u.digit(len));
+  }
+  changed_.insert(u);
+  ++user_count_;
+}
+
+void SeedModifiedKeyTree::Leave(UserId u) {
+  TMESH_CHECK(u.size() == depth_);
+  auto leaf = nodes_.find(u);
+  TMESH_CHECK_MSG(leaf != nodes_.end(), "leave of absent user " + u.ToString());
+  retired_versions_[u] = leaf->second.version;
+  nodes_.erase(leaf);
+  // Prune childless k-nodes bottom-up, retiring their versions so a later
+  // re-creation cannot repeat them.
+  for (int len = depth_ - 1; len >= 0; --len) {
+    DigitString p = u.Prefix(len);
+    Node& node = nodes_.at(p);
+    int child_digit = u.digit(len);
+    if (nodes_.count(p.Child(child_digit)) == 0) {
+      node.children.erase(child_digit);
+    }
+    if (node.children.empty()) {
+      retired_versions_[p] = node.version;
+      nodes_.erase(p);
+    }
+  }
+  changed_.insert(u);
+  --user_count_;
+}
+
+RekeyMessage SeedModifiedKeyTree::Rekey() {
+  // Updated k-nodes: every *existing* k-node on the path from a changed
+  // leaf position to the root (k-nodes deleted by pruning need no new key —
+  // they have no remaining users).
+  std::unordered_set<DigitString> updated;
+  for (const UserId& u : changed_) {
+    for (int len = 0; len < depth_; ++len) {
+      DigitString p = u.Prefix(len);
+      if (nodes_.count(p) > 0) updated.insert(p);
+    }
+  }
+  changed_.clear();
+
+  // Deterministic deep-first order: children's new keys exist before they
+  // encrypt their parents' new keys.
+  std::vector<DigitString> order(updated.begin(), updated.end());
+  std::sort(order.begin(), order.end(), [](const DigitString& a,
+                                           const DigitString& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a < b;
+  });
+
+  RekeyMessage msg;
+  for (const DigitString& p : order) {
+    Node& node = nodes_.at(p);
+    ++node.version;
+    for (int digit : std::set<int>(node.children.begin(),
+                                   node.children.end())) {
+      DigitString child = p.Child(digit);
+      Encryption e;
+      e.enc_key_id = child;  // "the ID of an encryption is the ID of the
+                             // encrypting key" (§2.4)
+      e.new_key_id = p;
+      e.new_key_version = node.version;
+      e.enc_key_version = nodes_.at(child).version;
+      msg.encryptions.push_back(e);
+    }
+  }
+  return msg;
+}
+
+std::vector<KeyId> SeedModifiedKeyTree::KeysOf(const UserId& u) const {
+  TMESH_CHECK_MSG(Contains(u), "not a member: " + u.ToString());
+  std::vector<KeyId> keys;
+  keys.reserve(static_cast<std::size_t>(depth_) + 1);
+  for (int len = 0; len <= depth_; ++len) keys.push_back(u.Prefix(len));
+  return keys;
+}
+
+std::uint32_t SeedModifiedKeyTree::KeyVersion(const KeyId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.version;
+}
+
+int SeedModifiedKeyTree::knode_count() const {
+  int n = 0;
+  for (const auto& [id, node] : nodes_) {
+    (void)node;
+    if (id.size() < depth_) ++n;
+  }
+  return n;
+}
+
+void SeedModifiedKeyTree::CheckInvariants() const {
+  int users = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (id.size() == depth_) {
+      TMESH_CHECK_MSG(node.children.empty(), "u-node with children");
+      ++users;
+    } else {
+      TMESH_CHECK_MSG(!node.children.empty(), "childless k-node survived");
+    }
+    if (id.size() > 0) {
+      auto parent = nodes_.find(id.Parent());
+      TMESH_CHECK_MSG(parent != nodes_.end(), "orphan node");
+      TMESH_CHECK_MSG(parent->second.children.count(id.LastDigit()) > 0,
+                      "parent unaware of child");
+    }
+  }
+  for (const auto& [id, node] : nodes_) {
+    for (int digit : node.children) {
+      TMESH_CHECK_MSG(nodes_.count(id.Child(digit)) > 0,
+                      "child digit without child node");
+    }
+  }
+  TMESH_CHECK(users == user_count_);
+}
+
+}  // namespace tmesh

@@ -1,0 +1,357 @@
+#include "keytree/seed_wgl_key_tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace tmesh {
+
+SeedWglKeyTree::SeedWglKeyTree(int degree) : degree_(degree) {
+  TMESH_CHECK(degree >= 2);
+}
+
+std::int32_t SeedWglKeyTree::NewNode() {
+  if (!free_list_.empty()) {
+    std::int32_t id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[static_cast<std::size_t>(id)] = Node{};
+    return id;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void SeedWglKeyTree::BuildFullBalanced(const std::vector<MemberId>& members) {
+  nodes_.clear();
+  free_list_.clear();
+  leaf_of_.clear();
+  root_ = -1;
+  if (members.empty()) return;
+
+  // |members| must be degree^h for some h >= 0.
+  std::size_t n = members.size();
+  std::size_t w = 1;
+  while (w < n) w *= static_cast<std::size_t>(degree_);
+  TMESH_CHECK_MSG(w == n, "full balanced tree needs degree^h members");
+
+  root_ = NewNode();
+  // Build level by level until the widths match the member count.
+  std::vector<std::int32_t> frontier{root_};
+  std::size_t width = 1;
+  while (width < n) {
+    std::vector<std::int32_t> next;
+    next.reserve(width * static_cast<std::size_t>(degree_));
+    for (std::int32_t p : frontier) {
+      for (int c = 0; c < degree_; ++c) {
+        std::int32_t id = NewNode();
+        nodes_[static_cast<std::size_t>(id)].parent = p;
+        nodes_[static_cast<std::size_t>(p)].children.push_back(id);
+        next.push_back(id);
+      }
+    }
+    frontier = std::move(next);
+    width *= static_cast<std::size_t>(degree_);
+  }
+  TMESH_CHECK(frontier.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_[static_cast<std::size_t>(frontier[i])].member = members[i];
+    leaf_of_[members[i]] = frontier[i];
+  }
+  // Degenerate single-member case: the root itself cannot be a u-node (the
+  // group key lives there), so wrap it.
+  if (n == 1) {
+    // frontier[0] == root_; rebuild as root k-node with one u-node child.
+    nodes_.clear();
+    free_list_.clear();
+    leaf_of_.clear();
+    root_ = NewNode();
+    std::int32_t leaf = NewNode();
+    nodes_[static_cast<std::size_t>(leaf)].parent = root_;
+    nodes_[static_cast<std::size_t>(leaf)].member = members[0];
+    nodes_[static_cast<std::size_t>(root_)].children.push_back(leaf);
+    leaf_of_[members[0]] = leaf;
+  }
+}
+
+void SeedWglKeyTree::BuildIncremental(const std::vector<MemberId>& members) {
+  nodes_.clear();
+  free_list_.clear();
+  leaf_of_.clear();
+  root_ = -1;
+  for (MemberId m : members) {
+    (void)Rekey({m}, {});
+  }
+}
+
+int SeedWglKeyTree::LeafDepth(MemberId m) const {
+  auto it = leaf_of_.find(m);
+  TMESH_CHECK(it != leaf_of_.end());
+  int d = 0;
+  std::int32_t cur = it->second;
+  while (nodes_[static_cast<std::size_t>(cur)].parent != -1) {
+    cur = nodes_[static_cast<std::size_t>(cur)].parent;
+    ++d;
+  }
+  return d;
+}
+
+int SeedWglKeyTree::KeysHeld(MemberId m) const {
+  // k-node keys on the root path plus the individual key.
+  return LeafDepth(m) + 1;
+}
+
+bool SeedWglKeyTree::MemberUnder(MemberId m, std::int32_t n) const {
+  auto it = leaf_of_.find(m);
+  if (it == leaf_of_.end()) return false;
+  std::int32_t cur = it->second;
+  while (cur != -1) {
+    if (cur == n) return true;
+    cur = nodes_[static_cast<std::size_t>(cur)].parent;
+  }
+  return false;
+}
+
+std::vector<MemberId> SeedWglKeyTree::MembersNeeding(const Encryption& e) const {
+  TMESH_CHECK_MSG(e.wgl_enc_node >= 0, "not a WGL-tree encryption");
+  std::vector<MemberId> out;
+  std::vector<std::int32_t> stack{e.wgl_enc_node};
+  while (!stack.empty()) {
+    std::int32_t n = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.IsLeaf()) {
+      out.push_back(node.member);
+    } else {
+      for (std::int32_t c : node.children) stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::int32_t, std::uint32_t>> SeedWglKeyTree::PathNodes(
+    MemberId m) const {
+  auto it = leaf_of_.find(m);
+  TMESH_CHECK(it != leaf_of_.end());
+  std::vector<std::pair<std::int32_t, std::uint32_t>> out;
+  std::int32_t cur = it->second;
+  while (cur != -1) {
+    out.push_back({cur, nodes_[static_cast<std::size_t>(cur)].version});
+    cur = nodes_[static_cast<std::size_t>(cur)].parent;
+  }
+  return out;
+}
+
+void SeedWglKeyTree::DetachLeaf(std::int32_t leaf, std::vector<char>& updated) {
+  Node& ln = nodes_[static_cast<std::size_t>(leaf)];
+  TMESH_CHECK(ln.IsLeaf());
+  leaf_of_.erase(ln.member);
+  std::int32_t cur = leaf;
+  // Remove the leaf, then prune k-nodes left childless (but keep the root:
+  // the group key node persists even through an empty instant).
+  while (cur != root_) {
+    std::int32_t p = nodes_[static_cast<std::size_t>(cur)].parent;
+    Node& pn = nodes_[static_cast<std::size_t>(p)];
+    pn.children.erase(
+        std::find(pn.children.begin(), pn.children.end(), cur));
+    nodes_[static_cast<std::size_t>(cur)].alive = false;
+    free_list_.push_back(cur);
+    if (!pn.children.empty()) {
+      if (static_cast<std::size_t>(p) < updated.size()) updated[static_cast<std::size_t>(p)] = 1;
+      return;
+    }
+    cur = p;
+  }
+}
+
+std::int32_t SeedWglKeyTree::ShallowLeaf() const {
+  std::deque<std::int32_t> q{root_};
+  while (!q.empty()) {
+    std::int32_t n = q.front();
+    q.pop_front();
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.IsLeaf()) return n;
+    for (std::int32_t c : node.children) q.push_back(c);
+  }
+  return -1;
+}
+
+RekeyMessage SeedWglKeyTree::Rekey(const std::vector<MemberId>& joins,
+                               const std::vector<MemberId>& leaves) {
+  for (MemberId m : joins) TMESH_CHECK_MSG(!Contains(m), "join of present member");
+  for (MemberId m : leaves) TMESH_CHECK_MSG(Contains(m), "leave of absent member");
+
+  if (root_ == -1 && !joins.empty()) root_ = NewNode();
+
+  // `updated` marks nodes whose subtree changed; it is grown as nodes are
+  // created. Indexed by node id.
+  std::vector<char> updated(nodes_.size(), 0);
+  auto mark = [&updated, this](std::int32_t n) {
+    if (static_cast<std::size_t>(n) >= updated.size()) {
+      updated.resize(nodes_.size(), 0);
+    }
+    updated[static_cast<std::size_t>(n)] = 1;
+  };
+
+  const std::size_t nj = joins.size(), nl = leaves.size();
+  const std::size_t reuse = std::min(nj, nl);
+
+  // 1. Joins take the positions of departed members [32].
+  for (std::size_t i = 0; i < reuse; ++i) {
+    std::int32_t leaf = leaf_of_.at(leaves[i]);
+    leaf_of_.erase(leaves[i]);
+    nodes_[static_cast<std::size_t>(leaf)].member = joins[i];
+    leaf_of_[joins[i]] = leaf;
+    mark(leaf);
+  }
+
+  // 2. Extra departures are pruned.
+  for (std::size_t i = reuse; i < nl; ++i) {
+    std::int32_t leaf = leaf_of_.at(leaves[i]);
+    // Mark the parent path before detaching (DetachLeaf marks the surviving
+    // parent too, but the path marking happens in the sweep below via the
+    // surviving parent).
+    DetachLeaf(leaf, updated);
+  }
+
+  // 3. Extra joins attach at the shallowest spot: a k-node with spare
+  // capacity if one is at least as shallow as the shallowest u-node,
+  // otherwise by splitting the shallowest u-node.
+  for (std::size_t i = reuse; i < nj; ++i) {
+    MemberId m = joins[i];
+    // Breadth-first scan for the shallowest k-node with space and the
+    // shallowest u-node.
+    std::int32_t k_space = -1, shallow_leaf = -1;
+    int k_depth = 0, leaf_depth = 0;
+    std::deque<std::pair<std::int32_t, int>> q{{root_, 0}};
+    while (!q.empty() && (k_space == -1 || shallow_leaf == -1)) {
+      auto [n, d] = q.front();
+      q.pop_front();
+      const Node& node = nodes_[static_cast<std::size_t>(n)];
+      if (node.IsLeaf()) {
+        if (shallow_leaf == -1) {
+          shallow_leaf = n;
+          leaf_depth = d;
+        }
+      } else {
+        if (k_space == -1 &&
+            static_cast<int>(node.children.size()) < degree_) {
+          k_space = n;
+          k_depth = d;
+        }
+        for (std::int32_t c : node.children) q.push_back({c, d + 1});
+      }
+    }
+    std::int32_t new_leaf = NewNode();
+    nodes_[static_cast<std::size_t>(new_leaf)].member = m;
+    leaf_of_[m] = new_leaf;
+    if (k_space != -1 && (shallow_leaf == -1 || k_depth <= leaf_depth)) {
+      nodes_[static_cast<std::size_t>(new_leaf)].parent = k_space;
+      nodes_[static_cast<std::size_t>(k_space)].children.push_back(new_leaf);
+      mark(k_space);
+    } else {
+      TMESH_CHECK(shallow_leaf != -1);
+      // Split: replace the u-node with a k-node holding {old, new}.
+      std::int32_t p = nodes_[static_cast<std::size_t>(shallow_leaf)].parent;
+      std::int32_t knode = NewNode();
+      Node& kn = nodes_[static_cast<std::size_t>(knode)];
+      kn.parent = p;
+      kn.children = {shallow_leaf, new_leaf};
+      nodes_[static_cast<std::size_t>(shallow_leaf)].parent = knode;
+      nodes_[static_cast<std::size_t>(new_leaf)].parent = knode;
+      TMESH_CHECK(p != -1);  // root is always a k-node
+      Node& pn = nodes_[static_cast<std::size_t>(p)];
+      *std::find(pn.children.begin(), pn.children.end(), shallow_leaf) = knode;
+      mark(knode);
+    }
+    mark(new_leaf);
+  }
+
+  // 4. Sweep: every alive k-node on the path from a marked node to the root
+  // gets a new key.
+  updated.resize(nodes_.size(), 0);
+  std::vector<std::int32_t> updated_knodes;
+  std::vector<char> on_path(nodes_.size(), 0);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (!updated[n]) continue;
+    std::int32_t cur = static_cast<std::int32_t>(n);
+    while (cur != -1 && !on_path[static_cast<std::size_t>(cur)]) {
+      on_path[static_cast<std::size_t>(cur)] = 1;
+      cur = nodes_[static_cast<std::size_t>(cur)].parent;
+    }
+  }
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    if (on_path[n] && node.alive && !node.IsLeaf()) {
+      updated_knodes.push_back(static_cast<std::int32_t>(n));
+    }
+  }
+
+  // 5. Emit: per updated k-node, one encryption per child. Deterministic
+  // order: deeper nodes first (children's new keys are distributed before
+  // they are used to encrypt, mirroring how a receiver decrypts).
+  auto depth_of = [this](std::int32_t n) {
+    int d = 0;
+    while (nodes_[static_cast<std::size_t>(n)].parent != -1) {
+      n = nodes_[static_cast<std::size_t>(n)].parent;
+      ++d;
+    }
+    return d;
+  };
+  std::sort(updated_knodes.begin(), updated_knodes.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              int da = depth_of(a), db = depth_of(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+
+  RekeyMessage msg;
+  for (std::int32_t n : updated_knodes) {
+    Node& node = nodes_[static_cast<std::size_t>(n)];
+    ++node.version;
+    for (std::int32_t c : node.children) {
+      Encryption e;
+      e.wgl_enc_node = c;
+      e.wgl_new_node = n;
+      e.new_key_version = node.version;
+      // Deep-first emission order means an updated child was already
+      // re-versioned, so this is the key the receiver will actually hold.
+      e.enc_key_version = nodes_[static_cast<std::size_t>(c)].version;
+      msg.encryptions.push_back(e);
+    }
+  }
+  return msg;
+}
+
+void SeedWglKeyTree::CheckInvariants() const {
+  if (root_ == -1) {
+    TMESH_CHECK(leaf_of_.empty());
+    return;
+  }
+  std::unordered_set<std::int32_t> seen;
+  std::size_t members_seen = 0;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    std::int32_t n = stack.back();
+    stack.pop_back();
+    TMESH_CHECK(seen.insert(n).second);
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    TMESH_CHECK(node.alive);
+    if (node.IsLeaf()) {
+      auto it = leaf_of_.find(node.member);
+      TMESH_CHECK(it != leaf_of_.end() && it->second == n);
+      ++members_seen;
+    } else {
+      TMESH_CHECK(n == root_ || !node.children.empty());
+      TMESH_CHECK(static_cast<int>(node.children.size()) <= degree_);
+      for (std::int32_t c : node.children) {
+        TMESH_CHECK(nodes_[static_cast<std::size_t>(c)].parent == n);
+        stack.push_back(c);
+      }
+    }
+  }
+  TMESH_CHECK(members_seen == leaf_of_.size());
+}
+
+}  // namespace tmesh

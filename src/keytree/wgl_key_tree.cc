@@ -1,8 +1,6 @@
 #include "keytree/wgl_key_tree.h"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
 
 #include "common/check.h"
 
@@ -13,20 +11,92 @@ WglKeyTree::WglKeyTree(int degree) : degree_(degree) {
 }
 
 std::int32_t WglKeyTree::NewNode() {
+  // Same id-allocation discipline as the seed (LIFO free list, else append):
+  // node ids appear verbatim in Encryptions, so allocation order is part of
+  // the determinism contract.
   if (!free_list_.empty()) {
     std::int32_t id = free_list_.back();
     free_list_.pop_back();
-    nodes_[static_cast<std::size_t>(id)] = Node{};
+    N(id) = Node{};
     return id;
   }
   nodes_.emplace_back();
   return static_cast<std::int32_t>(nodes_.size() - 1);
 }
 
+void WglKeyTree::AppendChild(std::int32_t p, std::int32_t c) {
+  Node& pn = N(p);
+  N(c).parent = p;
+  N(c).next_sibling = -1;
+  if (pn.first_child == -1) {
+    pn.first_child = c;
+  } else {
+    std::int32_t tail = pn.first_child;
+    while (N(tail).next_sibling != -1) tail = N(tail).next_sibling;
+    N(tail).next_sibling = c;
+  }
+  ++pn.child_count;
+}
+
+void WglKeyTree::UnlinkChild(std::int32_t p, std::int32_t c) {
+  Node& pn = N(p);
+  if (pn.first_child == c) {
+    pn.first_child = N(c).next_sibling;
+  } else {
+    std::int32_t prev = pn.first_child;
+    while (N(prev).next_sibling != c) prev = N(prev).next_sibling;
+    N(prev).next_sibling = N(c).next_sibling;
+  }
+  N(c).next_sibling = -1;
+  --pn.child_count;
+}
+
+void WglKeyTree::ReplaceChild(std::int32_t p, std::int32_t old_c,
+                              std::int32_t new_c) {
+  Node& pn = N(p);
+  N(new_c).next_sibling = N(old_c).next_sibling;
+  N(new_c).parent = p;
+  if (pn.first_child == old_c) {
+    pn.first_child = new_c;
+  } else {
+    std::int32_t prev = pn.first_child;
+    while (N(prev).next_sibling != old_c) prev = N(prev).next_sibling;
+    N(prev).next_sibling = new_c;
+  }
+  N(old_c).next_sibling = -1;
+}
+
+void WglKeyTree::PullUp(std::int32_t n) {
+  ++op_stats_.aug_path_updates;
+  Node& node = N(n);
+  if (node.IsLeaf()) {
+    node.min_u_depth = node.depth;
+    node.min_slack_depth = kNoDepth;
+    node.subtree_members = 1;
+    return;
+  }
+  std::int32_t min_u = kNoDepth;
+  std::int32_t min_slack = node.child_count < degree_ ? node.depth : kNoDepth;
+  std::int32_t members = 0;
+  for (std::int32_t c = node.first_child; c != -1; c = N(c).next_sibling) {
+    min_u = std::min(min_u, N(c).min_u_depth);
+    min_slack = std::min(min_slack, N(c).min_slack_depth);
+    members += N(c).subtree_members;
+  }
+  node.min_u_depth = min_u;
+  node.min_slack_depth = min_slack;
+  node.subtree_members = members;
+}
+
+void WglKeyTree::FixPath(std::int32_t n) {
+  for (std::int32_t cur = n; cur != -1; cur = N(cur).parent) PullUp(cur);
+}
+
 void WglKeyTree::BuildFullBalanced(const std::vector<MemberId>& members) {
   nodes_.clear();
   free_list_.clear();
   leaf_of_.clear();
+  marked_.clear();
   root_ = -1;
   if (members.empty()) return;
 
@@ -37,7 +107,8 @@ void WglKeyTree::BuildFullBalanced(const std::vector<MemberId>& members) {
   TMESH_CHECK_MSG(w == n, "full balanced tree needs degree^h members");
 
   root_ = NewNode();
-  // Build level by level until the widths match the member count.
+  // Build level by level until the widths match the member count. Same
+  // allocation order as the seed: children of each frontier node in turn.
   std::vector<std::int32_t> frontier{root_};
   std::size_t width = 1;
   while (width < n) {
@@ -46,8 +117,8 @@ void WglKeyTree::BuildFullBalanced(const std::vector<MemberId>& members) {
     for (std::int32_t p : frontier) {
       for (int c = 0; c < degree_; ++c) {
         std::int32_t id = NewNode();
-        nodes_[static_cast<std::size_t>(id)].parent = p;
-        nodes_[static_cast<std::size_t>(p)].children.push_back(id);
+        N(id).depth = N(p).depth + 1;
+        AppendChild(p, id);
         next.push_back(id);
       }
     }
@@ -56,22 +127,27 @@ void WglKeyTree::BuildFullBalanced(const std::vector<MemberId>& members) {
   }
   TMESH_CHECK(frontier.size() == n);
   for (std::size_t i = 0; i < n; ++i) {
-    nodes_[static_cast<std::size_t>(frontier[i])].member = members[i];
+    N(frontier[i]).member = members[i];
     leaf_of_[members[i]] = frontier[i];
   }
   // Degenerate single-member case: the root itself cannot be a u-node (the
   // group key lives there), so wrap it.
   if (n == 1) {
-    // frontier[0] == root_; rebuild as root k-node with one u-node child.
     nodes_.clear();
     free_list_.clear();
     leaf_of_.clear();
     root_ = NewNode();
     std::int32_t leaf = NewNode();
-    nodes_[static_cast<std::size_t>(leaf)].parent = root_;
-    nodes_[static_cast<std::size_t>(leaf)].member = members[0];
-    nodes_[static_cast<std::size_t>(root_)].children.push_back(leaf);
+    N(leaf).depth = 1;
+    N(leaf).member = members[0];
+    AppendChild(root_, leaf);
     leaf_of_[members[0]] = leaf;
+  }
+  // Level-by-level allocation means every child id exceeds its parent's, so
+  // one reverse pass computes all aggregates bottom-up.
+  for (std::int32_t i = static_cast<std::int32_t>(nodes_.size()) - 1; i >= 0;
+       --i) {
+    PullUp(i);
   }
 }
 
@@ -79,6 +155,7 @@ void WglKeyTree::BuildIncremental(const std::vector<MemberId>& members) {
   nodes_.clear();
   free_list_.clear();
   leaf_of_.clear();
+  marked_.clear();
   root_ = -1;
   for (MemberId m : members) {
     (void)Rekey({m}, {});
@@ -88,13 +165,7 @@ void WglKeyTree::BuildIncremental(const std::vector<MemberId>& members) {
 int WglKeyTree::LeafDepth(MemberId m) const {
   auto it = leaf_of_.find(m);
   TMESH_CHECK(it != leaf_of_.end());
-  int d = 0;
-  std::int32_t cur = it->second;
-  while (nodes_[static_cast<std::size_t>(cur)].parent != -1) {
-    cur = nodes_[static_cast<std::size_t>(cur)].parent;
-    ++d;
-  }
-  return d;
+  return N(it->second).depth;
 }
 
 int WglKeyTree::KeysHeld(MemberId m) const {
@@ -108,7 +179,7 @@ bool WglKeyTree::MemberUnder(MemberId m, std::int32_t n) const {
   std::int32_t cur = it->second;
   while (cur != -1) {
     if (cur == n) return true;
-    cur = nodes_[static_cast<std::size_t>(cur)].parent;
+    cur = N(cur).parent;
   }
   return false;
 }
@@ -116,15 +187,22 @@ bool WglKeyTree::MemberUnder(MemberId m, std::int32_t n) const {
 std::vector<MemberId> WglKeyTree::MembersNeeding(const Encryption& e) const {
   TMESH_CHECK_MSG(e.wgl_enc_node >= 0, "not a WGL-tree encryption");
   std::vector<MemberId> out;
+  out.reserve(static_cast<std::size_t>(N(e.wgl_enc_node).subtree_members));
+  // DFS with the seed's exact visit order (children pushed first-to-last,
+  // popped from the back). Visits only the encrypting node's subtree:
+  // O(answer), not O(N).
   std::vector<std::int32_t> stack{e.wgl_enc_node};
   while (!stack.empty()) {
     std::int32_t n = stack.back();
     stack.pop_back();
-    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    ++op_stats_.members_needing_steps;
+    const Node& node = N(n);
     if (node.IsLeaf()) {
       out.push_back(node.member);
     } else {
-      for (std::int32_t c : node.children) stack.push_back(c);
+      for (std::int32_t c = node.first_child; c != -1; c = N(c).next_sibling) {
+        stack.push_back(c);
+      }
     }
   }
   return out;
@@ -135,189 +213,191 @@ std::vector<std::pair<std::int32_t, std::uint32_t>> WglKeyTree::PathNodes(
   auto it = leaf_of_.find(m);
   TMESH_CHECK(it != leaf_of_.end());
   std::vector<std::pair<std::int32_t, std::uint32_t>> out;
+  out.reserve(static_cast<std::size_t>(N(it->second).depth) + 1);
   std::int32_t cur = it->second;
   while (cur != -1) {
-    out.push_back({cur, nodes_[static_cast<std::size_t>(cur)].version});
-    cur = nodes_[static_cast<std::size_t>(cur)].parent;
+    out.push_back({cur, N(cur).version});
+    cur = N(cur).parent;
   }
   return out;
 }
 
-void WglKeyTree::DetachLeaf(std::int32_t leaf, std::vector<char>& updated) {
-  Node& ln = nodes_[static_cast<std::size_t>(leaf)];
-  TMESH_CHECK(ln.IsLeaf());
-  leaf_of_.erase(ln.member);
+void WglKeyTree::DetachLeaf(std::int32_t leaf) {
+  TMESH_CHECK(N(leaf).IsLeaf());
+  leaf_of_.erase(N(leaf).member);
   std::int32_t cur = leaf;
   // Remove the leaf, then prune k-nodes left childless (but keep the root:
-  // the group key node persists even through an empty instant).
+  // the group key node persists even through an empty instant). Nodes are
+  // freed in the seed's order — leaf first, then parents ascending.
   while (cur != root_) {
-    std::int32_t p = nodes_[static_cast<std::size_t>(cur)].parent;
-    Node& pn = nodes_[static_cast<std::size_t>(p)];
-    pn.children.erase(
-        std::find(pn.children.begin(), pn.children.end(), cur));
-    nodes_[static_cast<std::size_t>(cur)].alive = false;
+    std::int32_t p = N(cur).parent;
+    UnlinkChild(p, cur);
+    N(cur).alive = false;
     free_list_.push_back(cur);
-    if (!pn.children.empty()) {
-      if (static_cast<std::size_t>(p) < updated.size()) updated[static_cast<std::size_t>(p)] = 1;
+    if (N(p).child_count > 0) {
+      Mark(p);
+      FixPath(p);
       return;
     }
     cur = p;
   }
+  // Drained to the bare root: refresh its aggregates (0 members, own slack).
+  FixPath(root_);
+}
+
+std::int32_t WglKeyTree::DescendToMin(std::int32_t target_depth,
+                                      bool want_leaf) const {
+  // Greedy descent to the BFS-first node at `target_depth` achieving the
+  // subtree minimum. BFS order at a fixed depth equals lexicographic order
+  // of child-position paths, so taking the first child whose subtree
+  // minimum equals the target reproduces the seed's BFS tie-break.
+  std::int32_t cur = root_;
+  while (true) {
+    ++op_stats_.shallow_scan_steps;
+    const Node& node = N(cur);
+    if (node.depth == target_depth) return cur;
+    std::int32_t next = -1;
+    for (std::int32_t c = node.first_child; c != -1; c = N(c).next_sibling) {
+      ++op_stats_.shallow_scan_steps;
+      std::int32_t sub_min = want_leaf ? N(c).min_u_depth : N(c).min_slack_depth;
+      if (sub_min == target_depth) {
+        next = c;
+        break;
+      }
+    }
+    TMESH_CHECK_MSG(next != -1, "augmented descent lost the target");
+    cur = next;
+  }
 }
 
 std::int32_t WglKeyTree::ShallowLeaf() const {
-  std::deque<std::int32_t> q{root_};
-  while (!q.empty()) {
-    std::int32_t n = q.front();
-    q.pop_front();
-    const Node& node = nodes_[static_cast<std::size_t>(n)];
-    if (node.IsLeaf()) return n;
-    for (std::int32_t c : node.children) q.push_back(c);
-  }
-  return -1;
+  if (root_ == -1 || N(root_).min_u_depth == kNoDepth) return -1;
+  return DescendToMin(N(root_).min_u_depth, /*want_leaf=*/true);
 }
 
 RekeyMessage WglKeyTree::Rekey(const std::vector<MemberId>& joins,
                                const std::vector<MemberId>& leaves) {
-  for (MemberId m : joins) TMESH_CHECK_MSG(!Contains(m), "join of present member");
-  for (MemberId m : leaves) TMESH_CHECK_MSG(Contains(m), "leave of absent member");
+  for (MemberId m : joins) {
+    TMESH_CHECK_MSG(!Contains(m), "join of present member");
+  }
+  for (MemberId m : leaves) {
+    TMESH_CHECK_MSG(Contains(m), "leave of absent member");
+  }
 
-  if (root_ == -1 && !joins.empty()) root_ = NewNode();
-
-  // `updated` marks nodes whose subtree changed; it is grown as nodes are
-  // created. Indexed by node id.
-  std::vector<char> updated(nodes_.size(), 0);
-  auto mark = [&updated, this](std::int32_t n) {
-    if (static_cast<std::size_t>(n) >= updated.size()) {
-      updated.resize(nodes_.size(), 0);
-    }
-    updated[static_cast<std::size_t>(n)] = 1;
-  };
+  if (root_ == -1 && !joins.empty()) {
+    root_ = NewNode();
+    PullUp(root_);  // bare root: 0 members, slack at depth 0
+  }
+  marked_.clear();
 
   const std::size_t nj = joins.size(), nl = leaves.size();
   const std::size_t reuse = std::min(nj, nl);
 
-  // 1. Joins take the positions of departed members [32].
+  // 1. Joins take the positions of departed members [32]. Structure and
+  // aggregates are unchanged (a u-node stays a u-node at the same depth).
   for (std::size_t i = 0; i < reuse; ++i) {
     std::int32_t leaf = leaf_of_.at(leaves[i]);
     leaf_of_.erase(leaves[i]);
-    nodes_[static_cast<std::size_t>(leaf)].member = joins[i];
+    N(leaf).member = joins[i];
     leaf_of_[joins[i]] = leaf;
-    mark(leaf);
+    Mark(leaf);
   }
 
   // 2. Extra departures are pruned.
   for (std::size_t i = reuse; i < nl; ++i) {
-    std::int32_t leaf = leaf_of_.at(leaves[i]);
-    // Mark the parent path before detaching (DetachLeaf marks the surviving
-    // parent too, but the path marking happens in the sweep below via the
-    // surviving parent).
-    DetachLeaf(leaf, updated);
+    DetachLeaf(leaf_of_.at(leaves[i]));
   }
 
   // 3. Extra joins attach at the shallowest spot: a k-node with spare
   // capacity if one is at least as shallow as the shallowest u-node,
-  // otherwise by splitting the shallowest u-node.
+  // otherwise by splitting the shallowest u-node. The root's aggregates
+  // give both candidate depths; one O(depth) descent finds the seed's
+  // BFS-first choice.
   for (std::size_t i = reuse; i < nj; ++i) {
     MemberId m = joins[i];
-    // Breadth-first scan for the shallowest k-node with space and the
-    // shallowest u-node.
-    std::int32_t k_space = -1, shallow_leaf = -1;
-    int k_depth = 0, leaf_depth = 0;
-    std::deque<std::pair<std::int32_t, int>> q{{root_, 0}};
-    while (!q.empty() && (k_space == -1 || shallow_leaf == -1)) {
-      auto [n, d] = q.front();
-      q.pop_front();
-      const Node& node = nodes_[static_cast<std::size_t>(n)];
-      if (node.IsLeaf()) {
-        if (shallow_leaf == -1) {
-          shallow_leaf = n;
-          leaf_depth = d;
-        }
-      } else {
-        if (k_space == -1 &&
-            static_cast<int>(node.children.size()) < degree_) {
-          k_space = n;
-          k_depth = d;
-        }
-        for (std::int32_t c : node.children) q.push_back({c, d + 1});
-      }
-    }
-    std::int32_t new_leaf = NewNode();
-    nodes_[static_cast<std::size_t>(new_leaf)].member = m;
-    leaf_of_[m] = new_leaf;
-    if (k_space != -1 && (shallow_leaf == -1 || k_depth <= leaf_depth)) {
-      nodes_[static_cast<std::size_t>(new_leaf)].parent = k_space;
-      nodes_[static_cast<std::size_t>(k_space)].children.push_back(new_leaf);
-      mark(k_space);
+    const std::int32_t ks = N(root_).min_slack_depth;  // k-node with space
+    const std::int32_t ku = N(root_).min_u_depth;      // shallowest u-node
+    if (ks != kNoDepth && (ku == kNoDepth || ks <= ku)) {
+      std::int32_t k_space = DescendToMin(ks, /*want_leaf=*/false);
+      std::int32_t new_leaf = NewNode();
+      N(new_leaf).member = m;
+      N(new_leaf).depth = N(k_space).depth + 1;
+      leaf_of_[m] = new_leaf;
+      AppendChild(k_space, new_leaf);
+      PullUp(new_leaf);
+      FixPath(k_space);
+      Mark(k_space);
+      Mark(new_leaf);
     } else {
-      TMESH_CHECK(shallow_leaf != -1);
-      // Split: replace the u-node with a k-node holding {old, new}.
-      std::int32_t p = nodes_[static_cast<std::size_t>(shallow_leaf)].parent;
-      std::int32_t knode = NewNode();
-      Node& kn = nodes_[static_cast<std::size_t>(knode)];
-      kn.parent = p;
-      kn.children = {shallow_leaf, new_leaf};
-      nodes_[static_cast<std::size_t>(shallow_leaf)].parent = knode;
-      nodes_[static_cast<std::size_t>(new_leaf)].parent = knode;
+      TMESH_CHECK(ku != kNoDepth);
+      std::int32_t shallow_leaf = DescendToMin(ku, /*want_leaf=*/true);
+      // Split: replace the u-node with a k-node holding {old, new}. Seed
+      // allocation order: the joiner's u-node first, then the k-node.
+      std::int32_t new_leaf = NewNode();
+      N(new_leaf).member = m;
+      leaf_of_[m] = new_leaf;
+      std::int32_t p = N(shallow_leaf).parent;
       TMESH_CHECK(p != -1);  // root is always a k-node
-      Node& pn = nodes_[static_cast<std::size_t>(p)];
-      *std::find(pn.children.begin(), pn.children.end(), shallow_leaf) = knode;
-      mark(knode);
+      std::int32_t knode = NewNode();
+      N(knode).depth = N(shallow_leaf).depth;
+      ReplaceChild(p, shallow_leaf, knode);
+      N(knode).first_child = shallow_leaf;
+      N(knode).child_count = 2;
+      N(shallow_leaf).parent = knode;
+      N(shallow_leaf).next_sibling = new_leaf;
+      N(shallow_leaf).depth += 1;
+      N(new_leaf).parent = knode;
+      N(new_leaf).next_sibling = -1;
+      N(new_leaf).depth = N(shallow_leaf).depth;
+      PullUp(shallow_leaf);
+      PullUp(new_leaf);
+      FixPath(knode);
+      Mark(knode);
+      Mark(new_leaf);
     }
-    mark(new_leaf);
   }
 
-  // 4. Sweep: every alive k-node on the path from a marked node to the root
-  // gets a new key.
-  updated.resize(nodes_.size(), 0);
+  // 4. Stream: every alive k-node on the path from a marked position to the
+  // root gets a new key. Climb from each mark, epoch-stamping visited nodes
+  // so shared path suffixes are walked once — O(affected · depth) total, no
+  // whole-pool sweep. Climbing from a since-pruned mark follows its stale
+  // parent chain to the surviving ancestor, exactly as the seed's bitmap
+  // sweep did.
+  ++epoch_;
   std::vector<std::int32_t> updated_knodes;
-  std::vector<char> on_path(nodes_.size(), 0);
-  for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    if (!updated[n]) continue;
-    std::int32_t cur = static_cast<std::int32_t>(n);
-    while (cur != -1 && !on_path[static_cast<std::size_t>(cur)]) {
-      on_path[static_cast<std::size_t>(cur)] = 1;
-      cur = nodes_[static_cast<std::size_t>(cur)].parent;
+  for (std::int32_t start : marked_) {
+    std::int32_t cur = start;
+    while (cur != -1 && N(cur).mark_epoch != epoch_) {
+      N(cur).mark_epoch = epoch_;
+      ++op_stats_.rekey_marked_nodes;
+      if (N(cur).alive && !N(cur).IsLeaf()) updated_knodes.push_back(cur);
+      cur = N(cur).parent;
     }
   }
-  for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    const Node& node = nodes_[n];
-    if (on_path[n] && node.alive && !node.IsLeaf()) {
-      updated_knodes.push_back(static_cast<std::int32_t>(n));
-    }
-  }
+  marked_.clear();
 
   // 5. Emit: per updated k-node, one encryption per child. Deterministic
   // order: deeper nodes first (children's new keys are distributed before
-  // they are used to encrypt, mirroring how a receiver decrypts).
-  auto depth_of = [this](std::int32_t n) {
-    int d = 0;
-    while (nodes_[static_cast<std::size_t>(n)].parent != -1) {
-      n = nodes_[static_cast<std::size_t>(n)].parent;
-      ++d;
-    }
-    return d;
-  };
+  // they are used to encrypt, mirroring how a receiver decrypts); ties by
+  // ascending node id — the seed's exact sort, with stored depths.
   std::sort(updated_knodes.begin(), updated_knodes.end(),
-            [&](std::int32_t a, std::int32_t b) {
-              int da = depth_of(a), db = depth_of(b);
-              if (da != db) return da > db;
+            [this](std::int32_t a, std::int32_t b) {
+              if (N(a).depth != N(b).depth) return N(a).depth > N(b).depth;
               return a < b;
             });
 
   RekeyMessage msg;
   for (std::int32_t n : updated_knodes) {
-    Node& node = nodes_[static_cast<std::size_t>(n)];
+    Node& node = N(n);
     ++node.version;
-    for (std::int32_t c : node.children) {
+    for (std::int32_t c = node.first_child; c != -1; c = N(c).next_sibling) {
       Encryption e;
       e.wgl_enc_node = c;
       e.wgl_new_node = n;
       e.new_key_version = node.version;
       // Deep-first emission order means an updated child was already
       // re-versioned, so this is the key the receiver will actually hold.
-      e.enc_key_version = nodes_[static_cast<std::size_t>(c)].version;
+      e.enc_key_version = N(c).version;
       msg.encryptions.push_back(e);
     }
   }
@@ -329,26 +409,65 @@ void WglKeyTree::CheckInvariants() const {
     TMESH_CHECK(leaf_of_.empty());
     return;
   }
-  std::unordered_set<std::int32_t> seen;
   std::size_t members_seen = 0;
-  std::vector<std::int32_t> stack{root_};
+  std::size_t nodes_seen = 0;
+  // Post-order walk verifying links, depths, and every stored aggregate
+  // against a from-scratch recomputation.
+  struct Frame {
+    std::int32_t node;
+    bool expanded;
+  };
+  std::vector<Frame> stack{{root_, false}};
   while (!stack.empty()) {
-    std::int32_t n = stack.back();
+    Frame f = stack.back();
     stack.pop_back();
-    TMESH_CHECK(seen.insert(n).second);
-    const Node& node = nodes_[static_cast<std::size_t>(n)];
-    TMESH_CHECK(node.alive);
-    if (node.IsLeaf()) {
-      auto it = leaf_of_.find(node.member);
-      TMESH_CHECK(it != leaf_of_.end() && it->second == n);
-      ++members_seen;
-    } else {
-      TMESH_CHECK(n == root_ || !node.children.empty());
-      TMESH_CHECK(static_cast<int>(node.children.size()) <= degree_);
-      for (std::int32_t c : node.children) {
-        TMESH_CHECK(nodes_[static_cast<std::size_t>(c)].parent == n);
-        stack.push_back(c);
+    const Node& node = N(f.node);
+    if (!f.expanded) {
+      ++nodes_seen;
+      TMESH_CHECK(nodes_seen <= nodes_.size());  // cycle guard
+      TMESH_CHECK(node.alive);
+      if (f.node == root_) {
+        TMESH_CHECK(node.parent == -1 && node.depth == 0);
+      } else {
+        TMESH_CHECK(node.parent != -1);
+        TMESH_CHECK(node.depth == N(node.parent).depth + 1);
       }
+      if (node.IsLeaf()) {
+        TMESH_CHECK(node.first_child == -1 && node.child_count == 0);
+        auto it = leaf_of_.find(node.member);
+        TMESH_CHECK(it != leaf_of_.end() && it->second == f.node);
+        ++members_seen;
+        TMESH_CHECK(node.min_u_depth == node.depth);
+        TMESH_CHECK(node.min_slack_depth == kNoDepth);
+        TMESH_CHECK(node.subtree_members == 1);
+      } else {
+        TMESH_CHECK(f.node == root_ || node.first_child != -1);
+        TMESH_CHECK(node.child_count <= degree_);
+        stack.push_back({f.node, true});
+        std::int32_t count = 0;
+        for (std::int32_t c = node.first_child; c != -1;
+             c = N(c).next_sibling) {
+          TMESH_CHECK(N(c).parent == f.node);
+          stack.push_back({c, false});
+          ++count;
+        }
+        TMESH_CHECK(count == node.child_count);
+      }
+    } else {
+      // Children fully verified: recheck this k-node's aggregates.
+      std::int32_t min_u = kNoDepth;
+      std::int32_t min_slack =
+          node.child_count < degree_ ? node.depth : kNoDepth;
+      std::int32_t members = 0;
+      for (std::int32_t c = node.first_child; c != -1;
+           c = N(c).next_sibling) {
+        min_u = std::min(min_u, N(c).min_u_depth);
+        min_slack = std::min(min_slack, N(c).min_slack_depth);
+        members += N(c).subtree_members;
+      }
+      TMESH_CHECK(node.min_u_depth == min_u);
+      TMESH_CHECK(node.min_slack_depth == min_slack);
+      TMESH_CHECK(node.subtree_members == members);
     }
   }
   TMESH_CHECK(members_seen == leaf_of_.size());

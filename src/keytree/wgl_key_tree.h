@@ -16,9 +16,33 @@
 // At the end of a rekey interval the server updates every key on the path
 // from each changed position to the root and emits, per updated k-node, one
 // encryption per child (encrypted under the child's current/new key).
+//
+// Flat layout (million-user scale). Nodes live in one contiguous pool of
+// compact records; the child list is intrusive (first_child / next_sibling
+// indices in insertion order), so there is no per-node heap allocation
+// anywhere on the hot path. Every record carries its depth plus three
+// subtree aggregates maintained bottom-up along the O(depth) changed path:
+//   - min_u_depth:     shallowest u-node depth in the subtree,
+//   - min_slack_depth: shallowest under-capacity k-node depth (incl. self),
+//   - subtree_members: u-node count (the subtree range size).
+// They turn the seed's whole-tree BFS scans (shallowest-leaf selection,
+// join-placement) into greedy root descents, and batch rekeying streams
+// over the marked subtree — climb from each changed position, epoch-stamp,
+// emit — instead of sweeping every node id. A rekey interval therefore
+// costs O(affected · depth + affected · log affected), independent of N.
+//
+// Determinism contract: node ids, structure, and the emitted RekeyMessage
+// are byte-identical to SeedWglKeyTree (the retained pre-flat
+// implementation) on every schedule — pinned by
+// tests/keytree_differential_test.cc. The greedy descents reproduce the
+// seed's BFS tie-breaks exactly: the BFS-first node of minimal depth with a
+// property is the one with the lexicographically least child-position path,
+// which is what descending into the first child achieving the subtree
+// minimum selects.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +52,17 @@ namespace tmesh {
 
 class WglKeyTree {
  public:
+  // Operation counters (monotonic; ResetOpStats() zeroes them). The
+  // complexity regression tests pin that the augmented scans touch
+  // O(degree · depth) records — not O(N) — per call, and that a rekey
+  // interval's work is proportional to the affected subtree.
+  struct OpStats {
+    std::uint64_t shallow_scan_steps = 0;    // ShallowLeaf + join placement
+    std::uint64_t members_needing_steps = 0; // MembersNeeding node visits
+    std::uint64_t aug_path_updates = 0;      // per-node aggregate recomputes
+    std::uint64_t rekey_marked_nodes = 0;    // streaming-walk stamps
+  };
+
   explicit WglKeyTree(int degree = 4);
 
   // Builds a full, balanced tree over `members` (requires |members| to be a
@@ -50,7 +85,7 @@ class WglKeyTree {
   int member_count() const { return static_cast<int>(leaf_of_.size()); }
   int degree() const { return degree_; }
 
-  // Depth of the member's u-node (root = 0).
+  // Depth of the member's u-node (root = 0). O(1): depths are stored.
   int LeafDepth(MemberId m) const;
 
   // Number of keys the member holds (k-node keys on its root path, incl.
@@ -59,7 +94,9 @@ class WglKeyTree {
 
   // Members holding the encrypting key of `e` — exactly the members that
   // need `e` (the key being distributed sits on all of their root paths).
-  // Used by the idealized splitting baseline P0'.
+  // Used by the idealized splitting baseline P0'. O(answer): the output is
+  // sized from the node's subtree-member range and the walk only visits the
+  // encrypting node's subtree (order matches the seed exactly).
   std::vector<MemberId> MembersNeeding(const Encryption& e) const;
 
   // True iff the member's u-node lies below (or at) node `n`.
@@ -72,29 +109,72 @@ class WglKeyTree {
       MemberId m) const;
 
   // Structural invariants (for tests): parent/child links consistent,
-  // every u-node mapped, no empty k-nodes.
+  // every u-node mapped, no empty k-nodes, and all stored depths and
+  // subtree aggregates equal to a from-scratch recomputation.
   void CheckInvariants() const;
 
+  const OpStats& op_stats() const { return op_stats_; }
+  void ResetOpStats() { op_stats_ = OpStats{}; }
+
  private:
+  static constexpr std::int32_t kNoDepth =
+      std::numeric_limits<std::int32_t>::max();
+
+  // 48-byte POD record; children are an intrusive singly linked list in
+  // insertion order (the order the seed's per-node vector kept).
   struct Node {
     std::int32_t parent = -1;
-    std::vector<std::int32_t> children;  // empty for u-nodes
-    MemberId member = kNoMember;         // set for u-nodes only
-    std::uint32_t version = 0;           // bumped when the key is renewed
+    std::int32_t first_child = -1;
+    std::int32_t next_sibling = -1;
+    std::int32_t child_count = 0;
+    MemberId member = kNoMember;  // set for u-nodes only
+    std::uint32_t version = 0;    // bumped when the key is renewed
+    std::int32_t depth = 0;       // root = 0
+    std::int32_t min_u_depth = kNoDepth;
+    std::int32_t min_slack_depth = kNoDepth;
+    std::int32_t subtree_members = 0;
+    std::uint32_t mark_epoch = 0;  // streaming-rekey stamp (0 = never)
     bool alive = true;
     bool IsLeaf() const { return member != kNoMember; }
   };
 
+  Node& N(std::int32_t id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const Node& N(std::int32_t id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
   std::int32_t NewNode();
-  void MarkPathUpdated(std::int32_t node, std::vector<char>& updated) const;
+  // Appends `c` at the tail of p's child list (seed push_back order).
+  void AppendChild(std::int32_t p, std::int32_t c);
+  // Unlinks `c` from p's child list, preserving sibling order.
+  void UnlinkChild(std::int32_t p, std::int32_t c);
+  // Replaces child `old_c` with `new_c` in place (seed's split splice).
+  void ReplaceChild(std::int32_t p, std::int32_t old_c, std::int32_t new_c);
+  // Recomputes one node's aggregates from its children.
+  void PullUp(std::int32_t n);
+  // PullUp from `n` to the root (after a structural change below/at n).
+  void FixPath(std::int32_t n);
+  // Detaches a u-node, prunes childless ancestors (root survives), marks
+  // the surviving parent. Frees nodes in the seed's order (leaf upward).
+  void DetachLeaf(std::int32_t leaf);
+  // The BFS-first node of depth `target_depth` whose subtree minimum
+  // (min_u_depth when `want_leaf`, else min_slack_depth) equals it.
+  std::int32_t DescendToMin(std::int32_t target_depth, bool want_leaf) const;
   std::int32_t ShallowLeaf() const;  // a u-node of minimum depth
-  void DetachLeaf(std::int32_t leaf, std::vector<char>& updated);
+  void Mark(std::int32_t n) { marked_.push_back(n); }
 
   int degree_;
   std::int32_t root_ = -1;
   std::vector<Node> nodes_;
   std::vector<std::int32_t> free_list_;
   std::unordered_map<MemberId, std::int32_t> leaf_of_;
+  // Positions touched by the current interval (streamed; replaces the
+  // seed's node-indexed `updated` bitmap and its O(N) end-of-interval
+  // sweep). May contain duplicates and since-freed ids — exactly the set
+  // the seed's bitmap represented.
+  std::vector<std::int32_t> marked_;
+  std::uint32_t epoch_ = 0;
+  mutable OpStats op_stats_;
 };
 
 }  // namespace tmesh

@@ -211,6 +211,75 @@ TEST(ChurnFuzzCorpus, ArchivedReprosReplayClean) {
   EXPECT_GE(replayed, 3);  // the corpus this harness shipped with
 }
 
+// ---------------------------------------------------------------------------
+// Big-N scale mode (ISSUE: --users up to 10^5 in tier1, 10^6 nightly).
+
+TEST(ChurnFuzzScale, HundredThousandUserSmoke) {
+  ScaleConfig cfg;
+  cfg.users = 100000;
+  cfg.epochs = 2;
+  cfg.batch_joins = 1000;
+  cfg.batch_leaves = 1000;
+  cfg.shards = 2;  // exercises the sharded rekey (and its serial cross-check)
+  cfg.seed = 7;
+  // Generous: the RSS invariant targets the nightly 10^6 non-sanitized run;
+  // here it only proves the hook fires, and sanitizer builds inflate RSS.
+  cfg.max_peak_rss_kb = std::size_t{4} << 20;  // 4 GiB
+  ScaleReport rep = ChurnFuzzer::RunScaleCampaign(cfg);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_GT(rep.events_per_sec, 0.0);
+  EXPECT_GT(rep.peak_rss_kb, 0u);
+  ASSERT_EQ(rep.epochs.size(), 2u);
+  for (const auto& e : rep.epochs) {
+    EXPECT_EQ(e.joins, 1000);
+    EXPECT_EQ(e.leaves, 1000);
+    EXPECT_GT(e.wgl_encryptions, 0u);
+    EXPECT_GT(e.mtree_encryptions, 0u);
+    EXPECT_GT(e.wgl_marked_nodes, 0u);
+  }
+}
+
+TEST(ChurnFuzzScale, CampaignIsDeterministic) {
+  ScaleConfig cfg;
+  cfg.users = 10000;
+  cfg.epochs = 3;
+  cfg.batch_joins = 300;
+  cfg.batch_leaves = 300;
+  cfg.seed = 42;
+  ScaleReport a = ChurnFuzzer::RunScaleCampaign(cfg);
+  ScaleReport b = ChurnFuzzer::RunScaleCampaign(cfg);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.build_encryptions, b.build_encryptions);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].wgl_encryptions, b.epochs[i].wgl_encryptions);
+    EXPECT_EQ(a.epochs[i].mtree_encryptions, b.epochs[i].mtree_encryptions);
+    EXPECT_EQ(a.epochs[i].wgl_marked_nodes, b.epochs[i].wgl_marked_nodes);
+  }
+}
+
+TEST(ChurnFuzzScale, RssBoundViolationIsReported) {
+  ScaleConfig cfg;
+  cfg.users = 5000;
+  cfg.epochs = 1;
+  cfg.batch_joins = 100;
+  cfg.batch_leaves = 100;
+  cfg.max_peak_rss_kb = 1;  // impossible: the hook must trip
+  ScaleReport rep = ChurnFuzzer::RunScaleCampaign(cfg);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("peak RSS"), std::string::npos) << rep.error;
+}
+
+TEST(ChurnFuzzScale, RejectsUndersizedIdSpace) {
+  ScaleConfig cfg;
+  cfg.users = 10000;
+  cfg.group = GroupParams{2, 8, 4};  // 64 IDs for 10^4 users
+  ScaleReport rep = ChurnFuzzer::RunScaleCampaign(cfg);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("ID space"), std::string::npos) << rep.error;
+}
+
 }  // namespace
 }  // namespace fuzz
 }  // namespace tmesh

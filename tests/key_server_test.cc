@@ -298,5 +298,59 @@ TEST(KeyServerLifecycle, RestartWhileTickInFlightDoesNotDoubleSchedule) {
   }
 }
 
+// The sharded end-of-interval rekey (Config::rekey_shards > 1) must produce
+// the exact same interval messages, history, and key versions as the serial
+// server on an identical schedule. Run under the tsan preset, this is also
+// the data-race check for the level-1 subtree sharding.
+TEST(KeyServer, ShardedRekeyMatchesSerialByteForByte) {
+  auto run = [](int shards) {
+    auto net = MakeNet(24);
+    Simulator sim;
+    KeyServer::Config cfg = SmallConfig();
+    cfg.rekey_shards = shards;
+    KeyServer server(net, 0, sim, cfg);
+    std::vector<UserId> members;
+    for (HostId h = 1; h <= 16; ++h) {
+      auto id = server.RequestJoin(h);
+      if (id.has_value()) members.push_back(*id);
+    }
+    server.Start();
+    sim.RunUntil(FromSeconds(5));
+    server.RequestLeave(members[2]);
+    server.RequestLeave(members[9]);
+    sim.RunUntil(FromSeconds(15));
+    server.RequestLeave(members[5]);
+    for (HostId h = 17; h <= 20; ++h) (void)server.RequestJoin(h);
+    sim.RunUntil(FromSeconds(25));
+    server.Stop();
+    sim.Run();
+    struct Out {
+      std::vector<RekeyMessage> messages;
+      std::size_t intervals;
+      std::uint32_t group_version;
+    } out;
+    out.intervals = server.history().size();
+    for (const auto& rec : server.history()) {
+      if (rec.delivery >= 0) out.messages.push_back(server.message(rec.delivery));
+    }
+    out.group_version = server.group_key_version();
+    return out;
+  };
+
+  auto serial = run(1);
+  auto sharded = run(4);
+  EXPECT_EQ(serial.intervals, sharded.intervals);
+  EXPECT_EQ(serial.group_version, sharded.group_version);
+  ASSERT_EQ(serial.messages.size(), sharded.messages.size());
+  for (std::size_t i = 0; i < serial.messages.size(); ++i) {
+    const auto& a = serial.messages[i].encryptions;
+    const auto& b = sharded.messages[i].encryptions;
+    ASSERT_EQ(a.size(), b.size()) << "interval " << i;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_TRUE(a[j] == b[j]) << "interval " << i << " encryption " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tmesh
