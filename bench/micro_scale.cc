@@ -4,15 +4,31 @@
 // and process peak RSS per population. Wall-clock-dependent, so not
 // recorded in bench_output.txt; BENCH_scale.json records a measured curve.
 //
+// After the base sweep, three tree-shape ablation sections (BENCH_scale.json
+// "tree-shape ablations" family; DESIGN.md §3e):
+//   1. WGL degree sweep d in {2,4,8,16}: encryptions/interval and build
+//      time vs degree (the paper fixes d=4 as optimal; the sweep shows the
+//      curve it is the argmin of). The modified tree's shape is pinned to
+//      the ID tree, so it rides along unchanged as the reference line; a
+//      B=16 alternate ID shape gives the mtree's own shape point.
+//   2. Placement ablation: kShallowest vs kChurnAffinity under the skewed
+//      churn workload (30% volatile members, biased leave picks).
+//   3. Through-directory admission: the same campaign driving every join/
+//      leave through Directory::AddMember/RemoveMember (indexed policy),
+//      reporting admission work per op against the N-independent allowance.
+//
 // The campaign driver is the fuzzer's big-N scale mode
 // (ChurnFuzzer::RunScaleCampaign) with the O(N) structural invariant
 // passes off by default (--full turns them and the sharded-vs-serial
 // cross-check back on — the tier1/nightly fuzz entry points always keep
-// them on).
+// them on). --full also extends the ablations one decade: degree sweep to
+// 10^6 and the directory point to 10^5.
 //
 //   --users=N    run a single population instead of the 10^4/10^5/10^6 sweep
-//   --runs=N     churn epochs per point (default 5)
+//                (ablation sections then run at min(N, their default))
+//   --runs=N     churn epochs per point (default 5; ablations use 2-3)
 //   --threads=N  ModifiedKeyTree rekey shards (default: hardware concurrency)
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,12 +36,43 @@
 #include "bench_common.h"
 #include "fuzz/churn_fuzzer.h"
 
+namespace {
+
+using tmesh::bench::Artifacts;
+
+std::size_t SumWglEncs(const tmesh::fuzz::ScaleReport& rep) {
+  std::size_t n = 0;
+  for (const auto& es : rep.epochs) n += es.wgl_encryptions;
+  return n;
+}
+
+std::size_t SumMtreeEncs(const tmesh::fuzz::ScaleReport& rep) {
+  std::size_t n = 0;
+  for (const auto& es : rep.epochs) n += es.mtree_encryptions;
+  return n;
+}
+
+bool Fatal(const char* what, int users, const tmesh::fuzz::ScaleReport& rep) {
+  if (rep.ok) return false;
+  std::fprintf(stderr, "FATAL: %s campaign at %d users: %s\n", what, users,
+               rep.error.c_str());
+  return true;
+}
+
+void SetGauge(Artifacts& art, const std::string& name, double v) {
+  if (tmesh::MetricsRegistry* m = art.metrics()) m->GetGauge(name)->Set(v);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace tmesh;
   using namespace tmesh::bench;
   constexpr FigureSpec kSpec{
       "micro_scale",
-      "Flat key-tree batch-rekey scale sweep (wall-clock; not recorded)", 150,
+      "Flat key-tree scale sweep + tree-shape ablations (wall-clock; "
+      "not recorded)",
+      150,
       /*recorded=*/false};
   Flags f = Flags::Parse(kSpec, argc, argv);
   Artifacts artifacts(f);
@@ -54,11 +101,7 @@ int main(int argc, char** argv) {
     cfg.check_invariants = f.full;
     cfg.cross_check_shards = f.full;
     fuzz::ScaleReport rep = fuzz::ChurnFuzzer::RunScaleCampaign(cfg);
-    if (!rep.ok) {
-      std::fprintf(stderr, "FATAL: scale campaign at %d users: %s\n", users,
-                   rep.error.c_str());
-      return 1;
-    }
+    if (Fatal("scale", users, rep)) return 1;
 
     std::size_t epoch_encs = 0;
     for (const auto& es : rep.epochs) {
@@ -80,6 +123,151 @@ int main(int argc, char** argv) {
           ->Add(static_cast<std::int64_t>(epoch_encs));
     }
   }
+
+  // --- ablation 1: WGL degree sweep -------------------------------------
+  // Build + 2 churn epochs per (users, degree) point. The WGL columns are
+  // what varies; mtree columns repeat as the shape-pinned reference. The
+  // last row per population re-runs d=4 with the alternate B=16 ID shape
+  // (digits chosen to keep the 4x sparsity guard) — the modified tree's own
+  // shape point.
+  std::vector<int> ab_users{10000, 100000};
+  if (f.full) ab_users.push_back(1000000);
+  if (f.users > 0) {
+    ab_users = {f.users};
+  }
+  std::printf(
+      "\n# ablation: WGL degree sweep (2 churn epochs, batch 2000+2000)\n");
+  std::printf("%10s%8s%12s%12s%16s%14s%14s\n", "users", "shape", "build_sec",
+              "wgl_depth", "wgl_build_encs", "wgl_epoch_encs",
+              "mtree_epoch_encs");
+  for (int users : ab_users) {
+    struct Shape {
+      const char* label;
+      const char* slug;  // metric-name-safe form of label
+      int degree;
+      GroupParams group;
+    };
+    // B=16 mtree shape: 16^6 ≈ 16.8M IDs clears the sparsity guard at every
+    // population this sweep reaches.
+    const Shape shapes[] = {
+        {"d=2", "d2", 2, GroupParams{5, 256, 4}},
+        {"d=4", "d4", 4, GroupParams{5, 256, 4}},
+        {"d=8", "d8", 8, GroupParams{5, 256, 4}},
+        {"d=16", "d16", 16, GroupParams{5, 256, 4}},
+        {"B=16", "b16", 4, GroupParams{6, 16, 4}},
+    };
+    for (const Shape& s : shapes) {
+      fuzz::ScaleConfig cfg;
+      cfg.users = users;
+      cfg.epochs = 2;
+      cfg.batch_joins = 2000;
+      cfg.batch_leaves = 2000;
+      cfg.wgl_degree = s.degree;
+      cfg.group = s.group;
+      cfg.shards = shards;
+      cfg.seed = f.seed;
+      cfg.check_invariants = false;
+      cfg.cross_check_shards = false;
+      fuzz::ScaleReport rep = fuzz::ChurnFuzzer::RunScaleCampaign(cfg);
+      if (Fatal("degree-sweep", users, rep)) return 1;
+      // Depth of a full degree-d tree over N users: ceil(log_d N).
+      int depth = 0;
+      for (long long n = 1; n < users; n *= s.degree) ++depth;
+      std::printf("%10d%8s%12.2f%12d%16zu%14zu%14zu\n", users, s.label,
+                  rep.build_seconds, depth, rep.build_encryptions,
+                  SumWglEncs(rep), SumMtreeEncs(rep));
+      const std::string p = "scale." + std::to_string(users) + ".shape_" +
+                            s.slug + ".";
+      SetGauge(artifacts, p + "build_seconds", rep.build_seconds);
+      SetGauge(artifacts, p + "wgl_epoch_encryptions",
+            static_cast<double>(SumWglEncs(rep)));
+      SetGauge(artifacts, p + "mtree_epoch_encryptions",
+            static_cast<double>(SumMtreeEncs(rep)));
+    }
+  }
+
+  // --- ablation 2: placement under skewed churn -------------------------
+  {
+    const int users =
+        f.users > 0 ? std::min(f.users, 10000) : (f.full ? 100000 : 10000);
+    std::printf(
+        "\n# ablation: WGL placement under skewed churn (%d users, 30%% "
+        "volatile,\n# leave bias 0.75, 3 churn epochs, batch 2000+2000)\n",
+        users);
+    std::printf("%18s%16s%18s\n", "placement", "wgl_epoch_encs",
+                "encs_per_event");
+    std::size_t base_encs = 0;
+    for (WglPlacement placement :
+         {WglPlacement::kShallowest, WglPlacement::kChurnAffinity}) {
+      fuzz::ScaleConfig cfg;
+      cfg.users = users;
+      cfg.epochs = 3;
+      cfg.batch_joins = 2000;
+      cfg.batch_leaves = 2000;
+      cfg.wgl_placement = placement;
+      cfg.volatile_fraction = 0.3;
+      cfg.shards = shards;
+      cfg.seed = f.seed;
+      cfg.check_invariants = false;
+      cfg.cross_check_shards = false;
+      fuzz::ScaleReport rep = fuzz::ChurnFuzzer::RunScaleCampaign(cfg);
+      if (Fatal("placement", users, rep)) return 1;
+      const bool affinity = placement == WglPlacement::kChurnAffinity;
+      const std::size_t encs = SumWglEncs(rep);
+      if (!affinity) base_encs = encs;
+      std::printf("%18s%16zu%18.2f\n",
+                  affinity ? "churn-affinity" : "shallowest", encs,
+                  static_cast<double>(encs) / (3.0 * 4000.0));
+      const std::string p = std::string("scale.placement.") +
+                            (affinity ? "churn_affinity" : "shallowest") + ".";
+      SetGauge(artifacts, p + "wgl_epoch_encryptions",
+            static_cast<double>(encs));
+      if (affinity && base_encs > 0) {
+        std::printf("# churn-affinity / shallowest = %.3f\n",
+                    static_cast<double>(encs) /
+                        static_cast<double>(base_encs));
+      }
+    }
+  }
+
+  // --- ablation 3: through-directory admission --------------------------
+  {
+    const int users =
+        f.users > 0 ? std::min(f.users, 10000) : (f.full ? 100000 : 10000);
+    fuzz::ScaleConfig cfg;
+    cfg.users = users;
+    cfg.epochs = 2;
+    cfg.batch_joins = 1000;
+    cfg.batch_leaves = 1000;
+    cfg.shards = shards;
+    cfg.seed = f.seed;
+    cfg.through_directory = true;
+    cfg.check_invariants = false;
+    cfg.cross_check_shards = false;
+    fuzz::ScaleReport rep = fuzz::ChurnFuzzer::RunScaleCampaign(cfg);
+    if (Fatal("through-directory", users, rep)) return 1;
+    std::printf(
+        "\n# through-directory admission (%d users, indexed policy, 8^7 ID "
+        "space, K=2)\n",
+        users);
+    std::printf("%24s%16s%18s\n", "phase", "seconds", "admission_work/op");
+    std::printf("%24s%16.2f%18.1f\n", "build (N joins)", rep.dir_build_seconds,
+                rep.dir_build_touched_per_op);
+    for (std::size_t i = 0; i < rep.epochs.size(); ++i) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "epoch %zu", i + 1);
+      std::printf("%24s%16.2f%18.1f\n", label, rep.epochs[i].dir_seconds,
+                  rep.epochs[i].dir_touched_per_op);
+    }
+    std::printf("# allowance %.0f work units/op (N-independent; a scan "
+                "costs N=%d)\n",
+                rep.dir_allowance_per_op, users);
+    const std::string p = "scale." + std::to_string(users) + ".dir.";
+    SetGauge(artifacts, p + "build_seconds", rep.dir_build_seconds);
+    SetGauge(artifacts, p + "build_touched_per_op", rep.dir_build_touched_per_op);
+    SetGauge(artifacts, p + "allowance_per_op", rep.dir_allowance_per_op);
+  }
+
   artifacts.Write();
 
   std::printf(
@@ -90,6 +278,11 @@ int main(int argc, char** argv) {
       "# upper tree's fan-out as N grows — NOT because any per-epoch scan "
       "is O(N) (that\n"
       "# would trip the campaign's marked-node allowance and fail the "
-      "run).\n");
+      "run).\n"
+      "# ablations: WGL epoch encryptions are minimized near d=4 (the "
+      "paper's choice);\n"
+      "# churn-affinity placement cuts WGL encryptions under skewed churn; "
+      "directory\n"
+      "# admission work per op is flat in N and far below the allowance.\n");
   return 0;
 }

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Docs checker: validates the four handbook documents against the tree so
+# renames and section shuffles can't silently strand references.
+#
+#   1. Markdown links  [text](target[#anchor]) — target file must exist;
+#      an #anchor (same-file or cross-file) must slugify from a heading.
+#   2. Section refs    `FILE.md §3f` — FILE.md must contain a heading
+#      numbered 3f (the docs' cross-reference idiom).
+#   3. file:line refs  `src/core/directory.cc:123` — the file must exist
+#      and be at least that long.
+#   4. Backticked repo paths — `src/core/directory.*`, `tests/foo_test.cc`,
+#      `scripts/presubmit.sh`, `src/ipmc/*`, trailing-slash directories —
+#      must resolve in the tree. Doc shorthand is honored: `sim/x.h` may
+#      live under src/, and extensionless `bench/name` / `examples/name`
+#      refer to their .cc source. Build outputs (build*/, fuzz-out/,
+#      bench_artifacts/), absolute paths, flags, and external-repo
+#      citations (.hpp/.cpp, "...") are out of scope.
+#
+# Usage: scripts/check_docs.sh   (exit 0 iff every reference resolves)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import glob, os, re, sys
+
+DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+errors = []
+
+def slugify(heading):
+    # GitHub anchor rule: lowercase, drop everything but word chars,
+    # spaces and hyphens, then spaces -> hyphens.
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s)
+    return s.replace(" ", "-")
+
+def headings(path):
+    out = []
+    for line in open(path, encoding="utf-8"):
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if m:
+            out.append(m.group(1).strip())
+    return out
+
+anchors = {d: {slugify(h) for h in headings(d)} for d in DOCS}
+# Section numbers like "3f" from headings "## 3f. Indexed directory ..."
+secnums = {
+    d: {m.group(1) for h in headings(d)
+        if (m := re.match(r"(\d+[a-z]?)[.\s]", h))}
+    for d in DOCS
+}
+
+def err(doc, lineno, msg):
+    errors.append(f"{doc}:{lineno}: {msg}")
+
+def check_path_token(doc, lineno, tok):
+    if tok.startswith(("-", "/", "#", ".")):
+        return
+    first = tok.split("/", 1)[0]
+    if first.startswith("build") or first in ("fuzz-out", "bench_artifacts"):
+        return
+    if "..." in tok:
+        return  # external-repo citation, not a tree path
+    candidates = [tok]
+    if not os.path.exists(first):
+        candidates.append("src/" + tok)  # `sim/event_queue.h` shorthand
+    if not re.search(r"\.[A-Za-z]+$|[*/]$", tok):
+        # binary names refer to their source: bench/*.cc, examples/*.cpp
+        candidates += [c + ext for c in list(candidates)
+                       for ext in (".cc", ".cpp")]
+    for c in candidates:
+        if "*" in c:
+            if glob.glob(c):
+                return
+        elif os.path.exists(c):
+            return
+    if tok.endswith((".hpp", ".cpp")):
+        return  # unresolved C++ path = external-repo citation
+    err(doc, lineno, f"dangling path reference `{tok}`")
+
+for doc in DOCS:
+    lines = open(doc, encoding="utf-8").read().splitlines()
+    for lineno, line in enumerate(lines, 1):
+        # 1. markdown links
+        for m in re.finditer(r"\[[^\]]+\]\(([^)\s]+)\)", line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, anchor = target.partition("#")
+            if path and not os.path.exists(path):
+                err(doc, lineno, f"broken link target ({target})")
+                continue
+            if anchor:
+                where = path if path else doc
+                known = anchors.get(where)
+                if known is None:
+                    known = {slugify(h) for h in headings(where)}
+                if anchor not in known:
+                    err(doc, lineno, f"unknown anchor #{anchor} in {where}")
+        # 2. cross-doc section references: "DESIGN.md §3f"
+        for m in re.finditer(r"([A-Z]+\.md)\s+§(\d+[a-z]?)", line):
+            ref_doc, sec = m.groups()
+            if ref_doc not in secnums:
+                continue  # PAPERS.md §x etc. — not a handbook doc
+            if sec not in secnums[ref_doc]:
+                err(doc, lineno, f"missing section §{sec} in {ref_doc}")
+        # 3. file:line references
+        for m in re.finditer(
+                r"([A-Za-z0-9_./-]+\.(?:cc|h|sh|py|md|json|txt)):(\d+)",
+                line):
+            path, n = m.group(1), int(m.group(2))
+            if not os.path.exists(path):
+                err(doc, lineno, f"file:line ref to missing file {path}")
+            elif sum(1 for _ in open(path, "rb")) < n:
+                err(doc, lineno, f"{path} has fewer than {n} lines")
+        # 4. backticked repo paths
+        for m in re.finditer(r"`([A-Za-z0-9_./*-]+)`", line):
+            tok = m.group(1)
+            if "/" in tok:
+                check_path_token(doc, lineno, tok)
+
+if errors:
+    print(f"check_docs: {len(errors)} dangling reference(s):")
+    for e in errors:
+        print("  " + e)
+    sys.exit(1)
+print(f"check_docs: OK ({', '.join(DOCS)})")
+EOF

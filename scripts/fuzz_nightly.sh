@@ -78,6 +78,23 @@ run_scale --users="$SCALE_USERS" --epochs=5 --batch=2000 --shards=4 \
 run_scale --users=100000 --epochs=5 --batch=1000 --shards=1 \
   --rss-limit-kb=524288 --seed="$SEED0"
 
+# Through-directory admission at 10^5: every join/leave/fail/repair runs
+# through Directory::AddMember/RemoveMember (indexed policy) under the
+# N-independent per-op admission-work allowance — the acceptance point for
+# the sublinear-admission pin. A smaller cross-checked campaign replays
+# every op on a kScanReference twin and demands byte-identical tables.
+run_scale --users=100000 --epochs=3 --batch=1000 --dir \
+  --rss-limit-kb=2621440 --seed="$SEED0"
+run_scale --users=3000 --epochs=3 --batch=300 --dir-cross-check \
+  --seed="$SEED0"
+
+# Placement ablation arms under skewed churn (30% volatile, biased leaves):
+# both placements must run their campaigns clean.
+run_scale --users=100000 --epochs=3 --batch=2000 --volatile=0.3 \
+  --placement=shallowest --seed="$SEED0"
+run_scale --users=100000 --epochs=3 --batch=2000 --volatile=0.3 \
+  --placement=churn-affinity --seed="$SEED0"
+
 if [ "$failures" -ne 0 ]; then
   echo "FUZZ NIGHTLY: $failures campaign(s) found violations; repros in $OUT_DIR/"
   exit 1

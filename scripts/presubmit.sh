@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Presubmit: the three ROADMAP invocations in one command.
+# Presubmit: the three ROADMAP invocations plus the docs check in one
+# command.
 #
+#   0. check_docs — markdown links, §-section refs, file:line refs, and
+#                   backticked paths across README/DESIGN/EXPERIMENTS/
+#                   ROADMAP must all resolve (scripts/check_docs.sh)
 #   1. default   — RelWithDebInfo build + the full tier-1 ctest suite
 #   2. asan-ubsan — every tier-1 test under ASan+UBSan
 #                   (-fno-sanitize-recover=all)
@@ -37,8 +41,11 @@ run_preset() {
   ctest --preset "$preset"
 }
 
+echo "==== [docs] check_docs"
+scripts/check_docs.sh
+
 run_preset default
 run_preset asan-ubsan
 run_preset tsan
 
-echo "==== presubmit OK: default + asan-ubsan + tsan all green"
+echo "==== presubmit OK: docs + default + asan-ubsan + tsan all green"

@@ -84,9 +84,13 @@ echo "== micro_core_ops (smoke, not recorded) =="
 # syntax and rejects it.
 ./build/bench/micro_core_ops --benchmark_min_time=0.01 > /dev/null
 
-# The key-tree scale sweep reports wall-clock (not recorded); smoke-run a
-# small point with the O(N) invariant passes on. BENCH_scale.json records
-# the measured 10^4/10^5/10^6 curve (regenerate: ./build/bench/micro_scale).
+# The key-tree scale sweep + tree-shape ablations (WGL degree sweep,
+# placement ablation, through-directory admission) report wall-clock (not
+# recorded); smoke-run a small point with the O(N) invariant passes on.
+# BENCH_scale.json records the measured curves (regenerate the 10^4/10^5
+# points with ./build/bench/micro_scale, the 10^6/10^5 decade points with
+# ./build/bench/micro_scale --full; see EXPERIMENTS.md "Tree-shape
+# ablations").
 echo "== micro_scale (smoke, not recorded) =="
 ./build/bench/micro_scale --users=10000 --runs=2 --full \
   --metrics-json="$artifacts/micro_scale.metrics.json" > /dev/null

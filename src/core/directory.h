@@ -10,15 +10,33 @@
 // maintained view is the faithful substrate here, and the K-consistency
 // property is what the tests pin down.
 //
+// Admission discipline (see DESIGN.md "Indexed directory admission"): each
+// (i,j) entry holds min(K, m) records from the right ID subtree in ascending
+// RTT order — Definition 3 exactly — with the *choice* of records made by
+// bounded canonical candidate windows over the ID-tree bucket lists rather
+// than a global nearest-K scan, and no eviction on later joins (a full entry
+// stays as-is; a joiner is only offered to entries still below K). Two
+// interchangeable engines implement this one discipline:
+//   - AdmissionPolicy::kIndexed (default): prefix-bucket index — a reverse
+//     holder index plus per-node underfull-entry sets — so AddMember and
+//     RemoveMember touch only the members whose tables actually change.
+//   - AdmissionPolicy::kScanReference: the retained all-members scan, kept
+//     as the differential-test oracle; byte-identical tables by design.
+// The key server's own table keeps the exact legacy semantics (nearest-K per
+// first digit with eviction on join, global-nearest refill on removal).
+//
 // Failure model: MarkFailed() marks a member dead *without* repairing any
 // tables (the window between a crash and its detection); forwarding then
 // relies on the K-1 backup neighbors per entry (§2.3). RepairFailure()
 // completes recovery, restoring K-consistency among the survivors.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/digit_string.h"
@@ -42,13 +60,33 @@ struct MemberInfo {
       : id(u), host(h), join_time(t), table(rows, base, cap) {}
 };
 
+// How AddMember/RemoveMember locate the neighbor-table entries they must
+// update. Both policies implement the same admission discipline and produce
+// byte-identical tables (pinned by tests/directory_test.cc's differential
+// suite); they differ only in cost.
+enum class AdmissionPolicy {
+  kIndexed,        // prefix-bucket index: O(touched members) per operation
+  kScanReference,  // all-members scan: O(N) per operation (test oracle)
+};
+
+struct AdmissionOptions {
+  AdmissionPolicy policy = AdmissionPolicy::kIndexed;
+  // Canonical candidate window: entry builds and refills RTT-probe at most
+  // this many eligible candidates, in ID-tree bucket order. 0 means
+  // 4 * capacity. Must end up >= capacity so windowed picks still reach
+  // min(K, m) records per entry.
+  int window = 0;
+};
+
 class Directory : public GroupView {
  public:
-  Directory(const Network& net, const GroupParams& params, HostId server_host);
+  Directory(const Network& net, const GroupParams& params, HostId server_host,
+            AdmissionOptions admission = {});
 
   const GroupParams& params() const override { return params_; }
   HostId server_host() const override { return server_host_; }
   const Network& network() const override { return net_; }
+  const AdmissionOptions& admission() const { return admission_; }
 
   // --- membership -----------------------------------------------------
   void AddMember(const UserId& id, HostId host, SimTime join_time);
@@ -92,35 +130,88 @@ class Directory : public GroupView {
   std::vector<NeighborRecord> QueryRecords(const UserId& w,
                                            const DigitString& target_prefix) const;
 
+  // --- observability ----------------------------------------------------
+  // Monotonic operation counters; tests snapshot deltas to pin admission
+  // complexity (touched members per join must not scale with N on the
+  // indexed policy).
+  struct OpStats {
+    std::int64_t joins = 0;
+    std::int64_t removals = 0;    // RemoveMember + RepairFailure purges
+    std::int64_t holders_examined = 0;   // members inspected for an update
+    std::int64_t holders_updated = 0;    // member-table writes on others
+    std::int64_t candidates_probed = 0;  // windowed RTT probes (build/refill)
+    std::int64_t refill_calls = 0;
+    std::int64_t server_candidates = 0;  // server-table refill scans
+  };
+  const OpStats& op_stats() const { return stats_; }
+
   // --- invariants -------------------------------------------------------
   // Verifies Definition 3 (K-consistency) for every alive member and the
   // key server's table; throws on any violation. Only meaningful when no
   // unrepaired failures are outstanding.
   void CheckKConsistency() const;
+  // Verifies the admission index against the tables it summarizes: the
+  // reverse holder index matches table contents exactly, and every alive
+  // member's below-K entry is registered in the underfull set of its ID-tree
+  // node (so future joins reach it). O(N·D·B); test/debug only. Valid under
+  // both policies — the scan path maintains the same index.
+  void CheckIndexIntegrity() const;
 
  private:
+  using IdSet = std::unordered_set<UserId>;
+
+  MemberInfo& InfoMut(const UserId& id);
   void Refill(MemberInfo& w, int row, int digit);
   void RefillServer(int digit);
   NeighborRecord MakeRecord(const MemberInfo& of, HostId owner_host) const;
+  // Build every entry of a brand-new member's own table via windowed picks.
+  // Must run before the member is inserted into the ID tree.
+  void BuildOwnTable(MemberInfo& me);
+  // Insert `who`'s record into w's (row, digit) entry, which must be below
+  // capacity, and maintain the reverse/underfull indexes.
+  void InsertIntoHolder(MemberInfo& w, int row, int digit,
+                        const MemberInfo& who);
+  void PropagateJoinScan(const MemberInfo& me);
+  void PropagateJoinIndexed(const MemberInfo& me,
+                            const std::vector<bool>& fresh_level);
   void RemoveFromAllTables(const UserId& id);
+  // Shared tail of RemoveMember/RepairFailure: index unregistration, ID-tree
+  // erase, table purge, MemberInfo erase.
+  void PurgeMember(const UserId& id);
+  void UnderfullInsert(const DigitString& node, const UserId& holder);
+  void UnderfullErase(const DigitString& node, const UserId& holder);
 
-  // Incremental maintenance of the sorted alive-ID list (insert/erase by
-  // binary search). Keeping it sorted makes AliveMembers() O(1)-per-element
-  // and RandomAliveMember() a single indexed draw, while preserving the
-  // exact order (and therefore the exact random picks) of the previous
-  // materialize-from-std::map implementation.
+  // Incremental maintenance of the sorted alive-ID set. Sorted iteration
+  // preserves the exact order (and therefore the exact RandomAliveMember
+  // picks) of the original materialize-from-std::map implementation, while
+  // insert/erase stay O(log N) — a sorted vector here cost an O(N) memmove
+  // per admission, which dominated everything the indexed admission path
+  // saved at 10^5 members.
   void AliveInsert(const UserId& id);
   void AliveErase(const UserId& id);
 
   const Network& net_;
   GroupParams params_;
   HostId server_host_;
+  AdmissionOptions admission_;
+  int window_;  // resolved candidate window (>= capacity)
   IdTree id_tree_;
   std::map<UserId, MemberInfo> members_;
   std::unordered_map<HostId, UserId> host_index_;
   NeighborTable server_table_;
-  std::vector<UserId> alive_ids_;  // sorted; mirrors {id : Info(id).alive}
+  std::set<UserId> alive_ids_;  // mirrors {id : Info(id).alive}
   int alive_count_ = 0;
+  OpStats stats_;
+
+  // Reverse holder index: rev_holders_[x] = the members whose tables hold
+  // x's record (the row is implied: cpl(holder, x)). Drives O(#holders)
+  // removal. Maintained under both policies.
+  std::unordered_map<UserId, IdSet> rev_holders_;
+  // underfull_[node] = alive holders whose entry mapped to that ID-tree node
+  // holds fewer than K records (including holders with no entry yet); these
+  // are exactly the tables a join into `node` must update. Dead holders are
+  // dropped lazily. Maintained under both policies.
+  std::unordered_map<DigitString, IdSet> underfull_;
 };
 
 }  // namespace tmesh

@@ -1,17 +1,19 @@
 #include "core/id_tree.h"
 
-#include <algorithm>
-
 namespace tmesh {
 
 const std::set<int> IdTree::kEmptyDigits = {};
+const std::vector<UserId> IdTree::kNoUsers = {};
 
 void IdTree::Insert(const UserId& u) {
   TMESH_CHECK(u.size() == depth_);
   TMESH_CHECK_MSG(nodes_.count(u) == 0, "duplicate user ID");
+  auto& slots = pos_[u];
   for (int len = 0; len <= depth_; ++len) {
     DigitString p = u.Prefix(len);
     Node& node = nodes_[p];
+    slots[static_cast<std::size_t>(len)] =
+        static_cast<std::int32_t>(node.users.size());
     node.users.push_back(u);
     if (len < depth_) node.child_digits.insert(u.digit(len));
   }
@@ -21,12 +23,24 @@ void IdTree::Insert(const UserId& u) {
 void IdTree::Erase(const UserId& u) {
   TMESH_CHECK(u.size() == depth_);
   TMESH_CHECK_MSG(nodes_.count(u) > 0, "erasing absent user ID");
+  auto pit = pos_.find(u);
+  TMESH_CHECK(pit != pos_.end());
   for (int len = depth_; len >= 0; --len) {
     DigitString p = u.Prefix(len);
     auto it = nodes_.find(p);
     TMESH_CHECK(it != nodes_.end());
     Node& node = it->second;
-    node.users.erase(std::find(node.users.begin(), node.users.end(), u));
+    // Swap-erase via the position index: O(1) per level.
+    std::size_t idx =
+        static_cast<std::size_t>(pit->second[static_cast<std::size_t>(len)]);
+    TMESH_DCHECK(idx < node.users.size() && node.users[idx] == u);
+    std::size_t last = node.users.size() - 1;
+    if (idx != last) {
+      node.users[idx] = node.users[last];
+      pos_[node.users[idx]][static_cast<std::size_t>(len)] =
+          static_cast<std::int32_t>(idx);
+    }
+    node.users.pop_back();
     if (len < depth_) {
       // Drop the child digit if that child subtree just vanished.
       if (nodes_.count(p.Child(u.digit(len))) == 0) {
@@ -35,6 +49,7 @@ void IdTree::Erase(const UserId& u) {
     }
     if (node.users.empty()) nodes_.erase(it);
   }
+  pos_.erase(pit);
   --user_count_;
 }
 
@@ -42,6 +57,11 @@ std::vector<UserId> IdTree::UsersWithPrefix(const DigitString& prefix) const {
   auto it = nodes_.find(prefix);
   if (it == nodes_.end()) return {};
   return it->second.users;
+}
+
+const std::vector<UserId>& IdTree::UsersRef(const DigitString& prefix) const {
+  auto it = nodes_.find(prefix);
+  return it == nodes_.end() ? kNoUsers : it->second.users;
 }
 
 int IdTree::CountWithPrefix(const DigitString& prefix) const {

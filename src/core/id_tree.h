@@ -9,8 +9,16 @@
 //
 // A node exists at level i (ID = an i-digit string) iff some user's ID has
 // that string as a prefix. Users are the leaves (level D).
+//
+// Each node keeps its users in a vector whose order is the *canonical
+// candidate order* of that prefix bucket: insertion order, perturbed by
+// swap-erase on departures. The indexed Directory admission path and its
+// scan-reference twin both draw bounded candidate windows from this shared
+// order, which is what makes their neighbor tables byte-identical.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +51,9 @@ class IdTree {
   // All users belonging to the ID subtree rooted at `prefix` (Definition 1:
   // users whose IDs have that prefix).
   std::vector<UserId> UsersWithPrefix(const DigitString& prefix) const;
+  // Same set, by reference (canonical candidate order, no copy). The
+  // reference is invalidated by the next Insert/Erase.
+  const std::vector<UserId>& UsersRef(const DigitString& prefix) const;
   int CountWithPrefix(const DigitString& prefix) const;
 
   // The digits j such that prefix+j is a node (the children of `prefix`).
@@ -59,13 +70,17 @@ class IdTree {
  private:
   struct Node {
     std::set<int> child_digits;
-    std::vector<UserId> users;  // users under this prefix
+    std::vector<UserId> users;  // users under this prefix, canonical order
   };
   int depth_;
   int base_;
   int user_count_ = 0;
   std::unordered_map<DigitString, Node> nodes_;
+  // Where each user sits in the user vector of its level-len prefix node,
+  // making Erase O(depth) swap-erases instead of an O(m) find per level.
+  std::unordered_map<UserId, std::array<std::int32_t, kMaxDigits + 1>> pos_;
   static const std::set<int> kEmptyDigits;
+  static const std::vector<UserId> kNoUsers;
 };
 
 }  // namespace tmesh

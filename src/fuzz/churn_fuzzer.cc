@@ -13,6 +13,7 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "core/key_server.h"
@@ -21,6 +22,7 @@
 #include "core/tmesh.h"
 #include "keytree/wgl_key_tree.h"
 #include "topology/planetlab.h"
+#include "topology/synthetic_wan.h"
 
 namespace tmesh {
 namespace fuzz {
@@ -992,10 +994,10 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-// Derives a fresh (not-yet-present) user ID from the hash stream; rehashes
-// on collision, so the sequence is deterministic for a fixed seed.
-UserId FreshUserId(const ModifiedKeyTree& mtree, const GroupParams& g,
-                   std::uint64_t* state) {
+// Derives a fresh user ID from the hash stream; rehashes while `taken`
+// rejects, so the sequence is deterministic for a fixed seed.
+template <class TakenFn>
+UserId FreshId(const GroupParams& g, std::uint64_t* state, TakenFn&& taken) {
   for (;;) {
     std::uint64_t h = SplitMix64((*state)++);
     UserId id;
@@ -1003,8 +1005,70 @@ UserId FreshUserId(const ModifiedKeyTree& mtree, const GroupParams& g,
       id = id.Child(static_cast<int>(h % static_cast<std::uint64_t>(g.base)));
       h = SplitMix64(h);
     }
-    if (!mtree.Contains(id)) return id;
+    if (!taken(id)) return id;
   }
+}
+
+UserId FreshUserId(const ModifiedKeyTree& mtree, const GroupParams& g,
+                   std::uint64_t* state) {
+  return FreshId(g, state,
+                 [&](const UserId& id) { return mtree.Contains(id); });
+}
+
+// The admission-work meter the through-directory complexity pin reads:
+// members inspected or written plus windowed RTT probes plus server refill
+// scans. On the indexed policy this is O(D·B·(K+W)) per operation; on the
+// scan policy it grows with N.
+std::int64_t AdmissionWork(const Directory::OpStats& s) {
+  return s.holders_examined + s.holders_updated + s.candidates_probed +
+         s.server_candidates;
+}
+
+bool TablesEqual(const NeighborTable& x, const NeighborTable& y) {
+  if (x.rows() != y.rows()) return false;
+  for (int i = 0; i < x.rows(); ++i) {
+    const auto& rx = x.row(i);
+    const auto& ry = y.row(i);
+    if (rx.size() != ry.size()) return false;
+    auto jt = ry.begin();
+    for (const auto& [digit, ex] : rx) {
+      if (jt->first != digit) return false;
+      const auto& ey = jt->second;
+      if (ex.size() != ey.size()) return false;
+      for (std::size_t k = 0; k < ex.size(); ++k) {
+        if (!(ex[k].id == ey[k].id) || ex[k].host != ey[k].host ||
+            ex[k].rtt_ms != ey[k].rtt_ms ||  // bitwise: same Network draws
+            ex[k].join_time != ey[k].join_time) {
+          return false;
+        }
+      }
+      ++jt;
+    }
+  }
+  return true;
+}
+
+// Empty string when the two directories hold byte-identical state; else a
+// description of the first divergence (the indexed-vs-scan differential).
+std::string DirectoriesDiffer(const Directory& a, const Directory& b) {
+  if (a.member_count() != b.member_count()) {
+    return "member counts " + std::to_string(a.member_count()) + " vs " +
+           std::to_string(b.member_count());
+  }
+  for (const auto& [id, info] : a.members()) {
+    if (!b.Contains(id)) return "member " + id.ToString() + " missing";
+    const MemberInfo& other = b.Info(id);
+    if (info.host != other.host || info.alive != other.alive) {
+      return "member " + id.ToString() + " host/alive mismatch";
+    }
+    if (!TablesEqual(info.table, other.table)) {
+      return "member " + id.ToString() + " table mismatch";
+    }
+  }
+  if (!TablesEqual(a.ServerTable(), b.ServerTable())) {
+    return std::string("server table mismatch");
+  }
+  return std::string();
 }
 
 }  // namespace
@@ -1038,15 +1102,107 @@ ScaleReport ChurnFuzzer::RunScaleCampaign(const ScaleConfig& cfg) {
   if (space < 4 * peak_pop) {
     return fail("ID space base^digits too small for the peak population");
   }
+  if (cfg.through_directory) {
+    const GroupParams& dg = cfg.directory_group;
+    if (dg.digits < 1 || dg.digits > kMaxDigits || dg.base < 2 ||
+        dg.base > kMaxBase || dg.capacity < 1) {
+      return fail("invalid directory group shape");
+    }
+    long long dspace = 1;
+    for (int d = 0; d < dg.digits && dspace < 4 * peak_pop; ++d) {
+      dspace *= dg.base;
+    }
+    if (dspace < 4 * peak_pop) {
+      return fail("directory ID space too small for the peak population");
+    }
+  }
 
   try {
-    WglKeyTree wgl(cfg.wgl_degree);
+    WglKeyTree wgl(cfg.wgl_degree, cfg.wgl_placement);
     ModifiedKeyTree mtree(cfg.group.digits);
     std::uint64_t id_state = SplitMix64(cfg.seed ^ 0x5ca1ab1eull);
     std::uint64_t pick_state = SplitMix64(cfg.seed + 0x9e3779b9ull);
     auto pick = [&](std::size_t n) {
       return static_cast<std::size_t>(SplitMix64(pick_state++) % n);
     };
+    // Volatile tagging is a pure hash of the member id, so every placement
+    // arm of an ablation sweep sees the same assignment.
+    auto is_volatile = [&](MemberId m) {
+      return static_cast<double>(
+                 SplitMix64(cfg.seed ^ 0x70a717e5ull ^
+                            static_cast<std::uint64_t>(m)) >>
+                 11) *
+                 0x1.0p-53 <
+             cfg.volatile_fraction;
+    };
+    // Picks a WGL leave victim; with probability volatile_leave_bias the
+    // pick is re-drawn (bounded times) until it lands on a volatile member.
+    auto pick_wgl_leave = [&](const std::vector<MemberId>& present) {
+      std::size_t i = pick(present.size());
+      if (cfg.volatile_fraction > 0.0) {
+        const bool biased =
+            static_cast<double>(SplitMix64(pick_state++) >> 11) * 0x1.0p-53 <
+            cfg.volatile_leave_bias;
+        if (biased) {
+          for (int t = 0; t < 8 && !is_volatile(present[i]); ++t) {
+            i = pick(present.size());
+          }
+        }
+      }
+      return i;
+    };
+
+    // Through-directory state (ISSUE 7 acceptance: the admission-complexity
+    // pin must run with the campaign going *through* the Directory, not
+    // around it).
+    std::optional<SyntheticWanNetwork> net;
+    std::optional<Directory> dir;
+    std::optional<Directory> dir_ref;  // kScanReference differential twin
+    std::vector<UserId> dir_present;
+    std::uint64_t dir_id_state = SplitMix64(cfg.seed ^ 0xd17ec702ull);
+    HostId next_host = 1;  // host 0 is the key server
+    SimTime dir_clock = 0;
+    std::int64_t dir_work_before = 0;
+    auto fresh_dir_ids = [&](int count) {
+      // Pre-drawn so the timed application loop is pure directory work and
+      // the twin replays the identical sequence.
+      std::vector<UserId> ids;
+      ids.reserve(static_cast<std::size_t>(count));
+      std::unordered_set<UserId> pending;
+      for (int i = 0; i < count; ++i) {
+        UserId id = FreshId(cfg.directory_group, &dir_id_state,
+                            [&](const UserId& u) {
+                              return pending.count(u) > 0 || dir->Contains(u);
+                            });
+        pending.insert(id);
+        ids.push_back(id);
+      }
+      return ids;
+    };
+    if (cfg.through_directory) {
+      SyntheticWanParams np;
+      np.seed = cfg.seed;
+      np.hosts = static_cast<int>(peak_pop) + 1;
+      net.emplace(np);
+      dir.emplace(*net, cfg.directory_group, /*server_host=*/0,
+                  AdmissionOptions{cfg.directory_policy, 0});
+      if (cfg.directory_cross_check) {
+        dir_ref.emplace(*net, cfg.directory_group, /*server_host=*/0,
+                        AdmissionOptions{AdmissionPolicy::kScanReference, 0});
+      }
+      dir_present.reserve(static_cast<std::size_t>(peak_pop));
+      // N-independent admission-work unit: a join builds or tops up at most
+      // D·B entries, each at `window` RTT probes; the K+W term leaves room
+      // for the holder-touch counters, the amortized node-creation
+      // broadcasts, and the amortized-O(K) server refills. A scan-shaped
+      // regression costs Θ(N) per op and trips this as soon as N exceeds
+      // the allowance.
+      const int window = 4 * cfg.directory_group.capacity;  // ctor default
+      rep.dir_allowance_per_op =
+          cfg.directory_slack * cfg.directory_group.digits *
+          cfg.directory_group.base *
+          (cfg.directory_group.capacity + window);
+    }
 
     std::vector<MemberId> wgl_present;
     std::vector<UserId> mtree_present;
@@ -1060,6 +1216,9 @@ ScaleReport ChurnFuzzer::RunScaleCampaign(const ScaleConfig& cfg) {
     {
       std::vector<MemberId> joins(static_cast<std::size_t>(cfg.users));
       for (auto& m : joins) m = next_member++;
+      if (cfg.volatile_fraction > 0.0) {
+        for (MemberId m : joins) wgl.TagVolatile(m, is_volatile(m));
+      }
       rep.build_encryptions += wgl.Rekey(joins, {}).RekeyCost();
       wgl_present = std::move(joins);
       for (int i = 0; i < cfg.users; ++i) {
@@ -1071,6 +1230,50 @@ ScaleReport ChurnFuzzer::RunScaleCampaign(const ScaleConfig& cfg) {
     }
     rep.build_seconds = SecondsSince(t0);
     wgl.ResetOpStats();
+
+    if (dir) {
+      std::vector<UserId> ids = fresh_dir_ids(cfg.users);
+      auto d0 = Clock::now();
+      for (int i = 0; i < cfg.users; ++i) {
+        dir->AddMember(ids[static_cast<std::size_t>(i)], next_host + i,
+                       dir_clock + i);
+      }
+      rep.dir_build_seconds = SecondsSince(d0);
+      if (dir_ref) {
+        for (int i = 0; i < cfg.users; ++i) {
+          dir_ref->AddMember(ids[static_cast<std::size_t>(i)], next_host + i,
+                             dir_clock + i);
+        }
+      }
+      next_host += cfg.users;
+      dir_clock += cfg.users;
+      dir_present.insert(dir_present.end(), ids.begin(), ids.end());
+
+      const std::int64_t work = AdmissionWork(dir->op_stats());
+      rep.dir_build_touched_per_op =
+          cfg.users > 0 ? static_cast<double>(work) / cfg.users : 0.0;
+      dir_work_before = work;
+      // The pin only binds the indexed policy; kScanReference is Θ(N) per
+      // op by construction and runs unpinned for cost comparison.
+      if (cfg.directory_policy == AdmissionPolicy::kIndexed &&
+          rep.dir_build_touched_per_op > rep.dir_allowance_per_op) {
+        return fail("directory build: " +
+                    std::to_string(rep.dir_build_touched_per_op) +
+                    " admission-work units per join, allowance " +
+                    std::to_string(rep.dir_allowance_per_op) +
+                    " (O(N) scan regression?)");
+      }
+      if (cfg.check_invariants) {
+        dir->CheckIndexIntegrity();
+        dir->CheckKConsistency();
+      }
+      if (dir_ref) {
+        std::string diff = DirectoriesDiffer(*dir, *dir_ref);
+        if (!diff.empty()) {
+          return fail("directory build: indexed vs scan diverged: " + diff);
+        }
+      }
+    }
 
     // Streamed-work allowance: a churn epoch may stamp at most
     // slack * batch * O(log_degree N) nodes. An O(N) sweep regression
@@ -1095,13 +1298,16 @@ ScaleReport ChurnFuzzer::RunScaleCampaign(const ScaleConfig& cfg) {
           std::min<int>(cfg.batch_leaves,
                         static_cast<int>(wgl_present.size()));
       for (int l = 0; l < want; ++l) {
-        std::size_t i = pick(wgl_present.size());
+        std::size_t i = pick_wgl_leave(wgl_present);
         leaves.push_back(wgl_present[i]);
         wgl_present[i] = wgl_present.back();
         wgl_present.pop_back();
       }
       es.joins = static_cast<int>(joins.size());
       es.leaves = static_cast<int>(leaves.size());
+      if (cfg.volatile_fraction > 0.0) {
+        for (MemberId m : joins) wgl.TagVolatile(m, is_volatile(m));
+      }
 
       auto e0 = Clock::now();
       es.wgl_encryptions = wgl.Rekey(joins, leaves).RekeyCost();
@@ -1153,6 +1359,88 @@ ScaleReport ChurnFuzzer::RunScaleCampaign(const ScaleConfig& cfg) {
             mtree.user_count() != static_cast<int>(mtree_present.size())) {
           return fail("epoch " + std::to_string(e) +
                       ": population count drifted from the harness view");
+        }
+      }
+
+      if (dir) {
+        // Select ops untimed: fresh joins, uniform leave picks, and a small
+        // MarkFailed + RepairFailure cycle (exercising the lazy underfull
+        // cleanup at scale). Fail victims quiesce before the epoch's checks.
+        std::vector<UserId> djoins = fresh_dir_ids(cfg.batch_joins);
+        const int dwant = std::min<int>(
+            cfg.batch_leaves, static_cast<int>(dir_present.size()));
+        std::vector<UserId> dleaves;
+        dleaves.reserve(static_cast<std::size_t>(dwant));
+        for (int l = 0; l < dwant; ++l) {
+          std::size_t i = pick(dir_present.size());
+          dleaves.push_back(dir_present[i]);
+          dir_present[i] = dir_present.back();
+          dir_present.pop_back();
+        }
+        const int dfails =
+            std::min<int>(32, static_cast<int>(dir_present.size()) / 8);
+        std::vector<UserId> dfail_ids;
+        dfail_ids.reserve(static_cast<std::size_t>(dfails));
+        for (int f = 0; f < dfails; ++f) {
+          std::size_t i = pick(dir_present.size());
+          dfail_ids.push_back(dir_present[i]);
+          dir_present[i] = dir_present.back();
+          dir_present.pop_back();
+        }
+        es.dir_fails = dfails;
+
+        auto d0 = Clock::now();
+        for (std::size_t j = 0; j < djoins.size(); ++j) {
+          dir->AddMember(djoins[j], next_host + static_cast<HostId>(j),
+                         dir_clock + static_cast<SimTime>(j));
+        }
+        for (const UserId& id : dleaves) dir->RemoveMember(id);
+        for (const UserId& id : dfail_ids) dir->MarkFailed(id);
+        for (const UserId& id : dfail_ids) dir->RepairFailure(id);
+        es.dir_seconds = SecondsSince(d0);
+        if (dir_ref) {
+          for (std::size_t j = 0; j < djoins.size(); ++j) {
+            dir_ref->AddMember(djoins[j], next_host + static_cast<HostId>(j),
+                               dir_clock + static_cast<SimTime>(j));
+          }
+          for (const UserId& id : dleaves) dir_ref->RemoveMember(id);
+          for (const UserId& id : dfail_ids) dir_ref->MarkFailed(id);
+          for (const UserId& id : dfail_ids) dir_ref->RepairFailure(id);
+        }
+        next_host += static_cast<HostId>(djoins.size());
+        dir_clock += static_cast<SimTime>(djoins.size());
+        dir_present.insert(dir_present.end(), djoins.begin(), djoins.end());
+
+        const std::int64_t work_now = AdmissionWork(dir->op_stats());
+        const int dops = static_cast<int>(djoins.size()) + dwant + dfails;
+        es.dir_touched_per_op =
+            dops > 0
+                ? static_cast<double>(work_now - dir_work_before) / dops
+                : 0.0;
+        dir_work_before = work_now;
+        if (cfg.directory_policy == AdmissionPolicy::kIndexed &&
+            es.dir_touched_per_op > rep.dir_allowance_per_op) {
+          return fail("epoch " + std::to_string(e) + ": directory " +
+                      std::to_string(es.dir_touched_per_op) +
+                      " admission-work units per op, allowance " +
+                      std::to_string(rep.dir_allowance_per_op) +
+                      " (O(N) scan regression?)");
+        }
+        if (cfg.check_invariants) {
+          dir->CheckIndexIntegrity();
+          dir->CheckKConsistency();
+          if (dir->member_count() != static_cast<int>(dir_present.size())) {
+            return fail("epoch " + std::to_string(e) +
+                        ": directory population drifted from the harness "
+                        "view");
+          }
+        }
+        if (dir_ref) {
+          std::string diff = DirectoriesDiffer(*dir, *dir_ref);
+          if (!diff.empty()) {
+            return fail("epoch " + std::to_string(e) +
+                        ": indexed vs scan directory diverged: " + diff);
+          }
         }
       }
 

@@ -47,7 +47,9 @@
 #include <string>
 #include <vector>
 
+#include "core/directory.h"
 #include "core/group_view.h"
+#include "keytree/wgl_key_tree.h"
 #include "sim/simulator.h"
 
 namespace tmesh {
@@ -112,12 +114,12 @@ struct Violation {
 // ---------------------------------------------------------------------------
 // Big-N scale mode.
 //
-// Drives the flat key trees *directly* — no Directory, no simulator. The
-// online membership oracle costs O(N) per admission, which would drown the
-// very O(affected-subtree) property under test. The campaign builds an
-// N-member population in one batch rekey interval, then applies `epochs`
-// randomized join/leave batches, rekeying both trees after each, and
-// asserts the scale invariants:
+// Drives the flat key trees directly (no simulator), and — when
+// `through_directory` is set — an online Directory alongside them, over a
+// hash-derived SyntheticWanNetwork. The key-tree half builds an N-member
+// population in one batch rekey interval, then applies `epochs` randomized
+// join/leave batches, rekeying both trees after each, and asserts the scale
+// invariants:
 //   - streamed work: the WGL tree's rekey_marked_nodes counter per epoch
 //     must stay within work_slack * batch * O(log N). An accidental
 //     O(N)-per-epoch sweep trips this immediately at large N.
@@ -128,12 +130,32 @@ struct Violation {
 //     is compared element-wise against a serial rekey of a copied tree.
 //   - structure: optional full CheckInvariants() pass per epoch (O(N),
 //     untimed).
+// The through-directory half admits/removes the same-sized batches via
+// Directory::AddMember / RemoveMember (plus a small MarkFailed+RepairFailure
+// cycle per epoch) and asserts the admission-complexity pin: the per-
+// operation admission work — holders examined + updated + candidates
+// RTT-probed + server refill scans, read from Directory::op_stats() deltas —
+// must stay within directory_slack * D * B * (K + W), an N-independent unit.
+// A scan-shaped regression (touching Θ(N) members per admission) trips this
+// as soon as N exceeds the allowance. Historically scale mode bypassed the
+// directory precisely because admission cost O(N); the indexed admission
+// path (DESIGN.md "Indexed directory admission") is what makes running
+// *through* the directory at 10^5+ users affordable.
 struct ScaleConfig {
   int users = 100000;            // initial population (one batch interval)
   int epochs = 5;                // churn intervals after the build
   int batch_joins = 1000;        // joins per churn epoch
   int batch_leaves = 1000;       // leaves per churn epoch
   int wgl_degree = 4;            // WGL key-tree degree (paper: 4)
+  WglPlacement wgl_placement = WglPlacement::kShallowest;
+  // Skewed-churn workload for the placement ablation: joining members are
+  // tagged volatile with probability volatile_fraction (hash-derived from
+  // the seed, so both placement arms see the identical tag assignment), and
+  // each WGL leave pick prefers a volatile member with probability
+  // volatile_leave_bias. Zero keeps the legacy uniform-churn workload and
+  // its exact pick sequence.
+  double volatile_fraction = 0.0;
+  double volatile_leave_bias = 0.75;
   GroupParams group{5, 256, 4};  // modified-tree ID space (paper: D=5, B=256)
   int shards = 1;                // ModifiedKeyTree::Rekey worker threads
   std::uint64_t seed = 1;        // drives ID derivation and leave selection
@@ -141,6 +163,19 @@ struct ScaleConfig {
   std::size_t max_peak_rss_kb = 0;  // 0: no RSS bound
   bool check_invariants = true;  // O(N) structural check after each epoch
   bool cross_check_shards = true;  // sharded-vs-serial message equality
+
+  // Through-directory admission. The directory gets its own, sparser ID
+  // shape: at B=256 every level-0 row would hold up to 255 K-record entries
+  // per member, which is prohibitive at 10^5 members; 8^7 keeps the per-
+  // member table small while satisfying the 4x sparsity guard up to ~500k
+  // users. Cross-checking replays every operation on a second
+  // kScanReference directory and demands table equality — O(N) per op, so
+  // only enable it at small N (the tier-1 smoke does).
+  bool through_directory = false;
+  GroupParams directory_group{7, 8, 2};
+  AdmissionPolicy directory_policy = AdmissionPolicy::kIndexed;
+  double directory_slack = 4.0;  // slack on the per-op admission-work unit
+  bool directory_cross_check = false;
 };
 
 struct ScaleEpochStats {
@@ -150,6 +185,10 @@ struct ScaleEpochStats {
   std::size_t mtree_encryptions = 0;
   std::uint64_t wgl_marked_nodes = 0;  // streaming-walk stamps this epoch
   double seconds = 0.0;                // batch application + both rekeys
+  // Through-directory mode only.
+  int dir_fails = 0;                // MarkFailed+RepairFailure cycles
+  double dir_seconds = 0.0;         // directory ops, timed separately
+  double dir_touched_per_op = 0.0;  // admission work per operation
 };
 
 struct ScaleReport {
@@ -161,6 +200,10 @@ struct ScaleReport {
   double events_per_sec = 0.0;  // churn events / churn_seconds
   std::size_t build_encryptions = 0;  // WGL + mtree build-interval message
   std::size_t peak_rss_kb = 0;  // process peak RSS at campaign end
+  // Through-directory mode only.
+  double dir_build_seconds = 0.0;
+  double dir_build_touched_per_op = 0.0;
+  double dir_allowance_per_op = 0.0;  // the admission-work bound applied
   std::vector<ScaleEpochStats> epochs;
 };
 

@@ -9,14 +9,27 @@
 //   fuzz_churn --scale [--users=N] [--epochs=N] [--batch=N] [--shards=N]
 //              [--degree=D] [--digits=D] [--base=B] [--seed=N]
 //              [--rss-limit-kb=N] [--slack=X] [--no-check]
+//              [--placement=shallowest|churn-affinity] [--volatile=P]
+//              [--volatile-bias=P] [--dir] [--dir-scan] [--dir-cross-check]
+//              [--dir-slack=X]
 //
 // --step=N drives every simulator drain in RunFor slices of N events
 // (0: monolithic); output is byte-identical for every value.
 //
-// --scale runs the big-N smoke campaign over the flat key trees directly
-// (no simulator): one N-user build interval plus --epochs churn batches,
-// asserting the streamed-work, sharding, and peak-RSS invariants. Exits 1
-// on any violation.
+// --scale runs the big-N smoke campaign over the flat key trees (one N-user
+// build interval plus --epochs churn batches, asserting the streamed-work,
+// sharding, and peak-RSS invariants) and exits 1 on any violation.
+// --placement selects the WGL join-placement ablation arm; --volatile=P
+// tags members volatile with probability P and biases WGL leave picks
+// toward them (--volatile-bias, default 0.75) — the skewed-churn workload
+// the churn-affinity placement is built for.
+// --dir additionally drives an online Directory (over the hash-derived
+// synthetic WAN) with same-sized admission/removal batches and asserts the
+// admission-complexity pin: per-operation admission work must stay within
+// an N-independent allowance (--dir-slack). --dir-scan forces the O(N)
+// scan-reference policy (for cost comparison); --dir-cross-check replays
+// every operation on a scan-reference twin and demands byte-identical
+// tables (O(N) per op — small N only).
 //
 // Campaign mode runs `--seeds` consecutive seeds starting at `--seed`; on
 // the first violation it delta-debugs the trace and writes the 1-minimal
@@ -48,7 +61,10 @@ using tmesh::fuzz::Substrate;
       "       %s --replay=FILE [--discipline=calendar|heap] [--step=N]\n"
       "       %s --scale [--users=N] [--epochs=N] [--batch=N] [--shards=N]\n"
       "          [--degree=D] [--digits=D] [--base=B] [--seed=N]\n"
-      "          [--rss-limit-kb=N] [--slack=X] [--no-check]\n",
+      "          [--rss-limit-kb=N] [--slack=X] [--no-check]\n"
+      "          [--placement=shallowest|churn-affinity] [--volatile=P]\n"
+      "          [--volatile-bias=P] [--dir] [--dir-scan]\n"
+      "          [--dir-cross-check] [--dir-slack=X]\n",
       argv0, argv0, argv0);
   std::exit(2);
 }
@@ -153,6 +169,28 @@ int main(int argc, char** argv) {
       scfg.max_peak_rss_kb = static_cast<std::size_t>(ParseInt(argv[0], v));
     } else if (const char* v = val("--slack=")) {
       scfg.work_slack = ParseDouble(argv[0], v);
+    } else if (const char* v = val("--placement=")) {
+      if (std::strcmp(v, "shallowest") == 0) {
+        scfg.wgl_placement = tmesh::WglPlacement::kShallowest;
+      } else if (std::strcmp(v, "churn-affinity") == 0) {
+        scfg.wgl_placement = tmesh::WglPlacement::kChurnAffinity;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (const char* v = val("--volatile=")) {
+      scfg.volatile_fraction = ParseDouble(argv[0], v);
+    } else if (const char* v = val("--volatile-bias=")) {
+      scfg.volatile_leave_bias = ParseDouble(argv[0], v);
+    } else if (std::strcmp(a, "--dir") == 0) {
+      scfg.through_directory = true;
+    } else if (std::strcmp(a, "--dir-scan") == 0) {
+      scfg.through_directory = true;
+      scfg.directory_policy = tmesh::AdmissionPolicy::kScanReference;
+    } else if (std::strcmp(a, "--dir-cross-check") == 0) {
+      scfg.through_directory = true;
+      scfg.directory_cross_check = true;
+    } else if (const char* v = val("--dir-slack=")) {
+      scfg.directory_slack = ParseDouble(argv[0], v);
     } else if (std::strcmp(a, "--no-check") == 0) {
       scfg.check_invariants = false;
       scfg.cross_check_shards = false;
@@ -168,15 +206,36 @@ int main(int argc, char** argv) {
     if (id_shape_set) scfg.group = cfg.group;
     std::printf(
         "scale users=%d epochs=%d batch=%d+%d shards=%d degree=%d "
-        "id-space=%d^%d seed=%llu\n",
+        "placement=%s id-space=%d^%d seed=%llu\n",
         scfg.users, scfg.epochs, scfg.batch_joins, scfg.batch_leaves,
-        scfg.shards, scfg.wgl_degree, scfg.group.base, scfg.group.digits,
+        scfg.shards, scfg.wgl_degree,
+        scfg.wgl_placement == tmesh::WglPlacement::kChurnAffinity
+            ? "churn-affinity"
+            : "shallowest",
+        scfg.group.base, scfg.group.digits,
         static_cast<unsigned long long>(scfg.seed));
+    if (scfg.through_directory) {
+      std::printf(
+          "  directory: policy=%s id-space=%d^%d k=%d%s\n",
+          scfg.directory_policy == tmesh::AdmissionPolicy::kIndexed
+              ? "indexed"
+              : "scan-reference",
+          scfg.directory_group.base, scfg.directory_group.digits,
+          scfg.directory_group.capacity,
+          scfg.directory_cross_check ? " cross-check" : "");
+    }
     std::fflush(stdout);
     tmesh::fuzz::ScaleReport rep =
         ChurnFuzzer::RunScaleCampaign(scfg);
     std::printf("  build: %.3fs (%zu encryptions)\n", rep.build_seconds,
                 rep.build_encryptions);
+    if (scfg.through_directory) {
+      std::printf(
+          "  directory build: %.3fs, %.1f admission-work/join "
+          "(allowance %.0f)\n",
+          rep.dir_build_seconds, rep.dir_build_touched_per_op,
+          rep.dir_allowance_per_op);
+    }
     for (std::size_t e = 0; e < rep.epochs.size(); ++e) {
       const auto& es = rep.epochs[e];
       std::printf(
@@ -185,6 +244,13 @@ int main(int argc, char** argv) {
           e + 1, es.joins, es.leaves, es.wgl_encryptions,
           es.mtree_encryptions,
           static_cast<unsigned long long>(es.wgl_marked_nodes), es.seconds);
+      if (scfg.through_directory) {
+        std::printf(
+            "    directory: +%d -%d (%d fail/repair), "
+            "%.1f admission-work/op, %.3fs\n",
+            es.joins, es.leaves + es.dir_fails, es.dir_fails,
+            es.dir_touched_per_op, es.dir_seconds);
+      }
     }
     std::printf("  events/sec: %.0f  peak RSS: %zu KiB\n", rep.events_per_sec,
                 rep.peak_rss_kb);

@@ -6,8 +6,19 @@
 
 namespace tmesh {
 
-WglKeyTree::WglKeyTree(int degree) : degree_(degree) {
+WglKeyTree::WglKeyTree(int degree, WglPlacement placement)
+    : degree_(degree), placement_(placement) {
   TMESH_CHECK(degree >= 2);
+}
+
+void WglKeyTree::TagVolatile(MemberId m, bool is_volatile) {
+  if (is_volatile) {
+    if (!volatile_.insert(m).second) return;
+  } else {
+    if (volatile_.erase(m) == 0) return;
+  }
+  auto it = leaf_of_.find(m);
+  if (it != leaf_of_.end()) FixPath(it->second);
 }
 
 std::int32_t WglKeyTree::NewNode() {
@@ -73,19 +84,23 @@ void WglKeyTree::PullUp(std::int32_t n) {
     node.min_u_depth = node.depth;
     node.min_slack_depth = kNoDepth;
     node.subtree_members = 1;
+    node.volatile_members = volatile_.count(node.member) ? 1 : 0;
     return;
   }
   std::int32_t min_u = kNoDepth;
   std::int32_t min_slack = node.child_count < degree_ ? node.depth : kNoDepth;
   std::int32_t members = 0;
+  std::int32_t volatiles = 0;
   for (std::int32_t c = node.first_child; c != -1; c = N(c).next_sibling) {
     min_u = std::min(min_u, N(c).min_u_depth);
     min_slack = std::min(min_slack, N(c).min_slack_depth);
     members += N(c).subtree_members;
+    volatiles += N(c).volatile_members;
   }
   node.min_u_depth = min_u;
   node.min_slack_depth = min_slack;
   node.subtree_members = members;
+  node.volatile_members = volatiles;
 }
 
 void WglKeyTree::FixPath(std::int32_t n) {
@@ -224,6 +239,7 @@ std::vector<std::pair<std::int32_t, std::uint32_t>> WglKeyTree::PathNodes(
 
 void WglKeyTree::DetachLeaf(std::int32_t leaf) {
   TMESH_CHECK(N(leaf).IsLeaf());
+  volatile_.erase(N(leaf).member);  // departure retires the churn tag
   leaf_of_.erase(N(leaf).member);
   std::int32_t cur = leaf;
   // Remove the leaf, then prune k-nodes left childless (but keep the root:
@@ -245,13 +261,14 @@ void WglKeyTree::DetachLeaf(std::int32_t leaf) {
   FixPath(root_);
 }
 
-std::int32_t WglKeyTree::DescendToMin(std::int32_t target_depth,
+std::int32_t WglKeyTree::DescendToMin(std::int32_t top,
+                                      std::int32_t target_depth,
                                       bool want_leaf) const {
   // Greedy descent to the BFS-first node at `target_depth` achieving the
   // subtree minimum. BFS order at a fixed depth equals lexicographic order
   // of child-position paths, so taking the first child whose subtree
   // minimum equals the target reproduces the seed's BFS tie-break.
-  std::int32_t cur = root_;
+  std::int32_t cur = top;
   while (true) {
     ++op_stats_.shallow_scan_steps;
     const Node& node = N(cur);
@@ -272,7 +289,90 @@ std::int32_t WglKeyTree::DescendToMin(std::int32_t target_depth,
 
 std::int32_t WglKeyTree::ShallowLeaf() const {
   if (root_ == -1 || N(root_).min_u_depth == kNoDepth) return -1;
-  return DescendToMin(N(root_).min_u_depth, /*want_leaf=*/true);
+  return DescendToMin(root_, N(root_).min_u_depth, /*want_leaf=*/true);
+}
+
+void WglKeyTree::PlaceInSubtree(MemberId m, std::int32_t top) {
+  const std::int32_t ks = N(top).min_slack_depth;  // k-node with space
+  const std::int32_t ku = N(top).min_u_depth;      // shallowest u-node
+  if (ks != kNoDepth && (ku == kNoDepth || ks <= ku)) {
+    std::int32_t k_space = DescendToMin(top, ks, /*want_leaf=*/false);
+    std::int32_t new_leaf = NewNode();
+    N(new_leaf).member = m;
+    N(new_leaf).depth = N(k_space).depth + 1;
+    leaf_of_[m] = new_leaf;
+    AppendChild(k_space, new_leaf);
+    PullUp(new_leaf);
+    FixPath(k_space);
+    Mark(k_space);
+    Mark(new_leaf);
+  } else {
+    TMESH_CHECK(ku != kNoDepth);
+    std::int32_t shallow_leaf = DescendToMin(top, ku, /*want_leaf=*/true);
+    // Split: replace the u-node with a k-node holding {old, new}. Seed
+    // allocation order: the joiner's u-node first, then the k-node.
+    std::int32_t new_leaf = NewNode();
+    N(new_leaf).member = m;
+    leaf_of_[m] = new_leaf;
+    std::int32_t p = N(shallow_leaf).parent;
+    TMESH_CHECK(p != -1);  // root is always a k-node
+    std::int32_t knode = NewNode();
+    N(knode).depth = N(shallow_leaf).depth;
+    ReplaceChild(p, shallow_leaf, knode);
+    N(knode).first_child = shallow_leaf;
+    N(knode).child_count = 2;
+    N(shallow_leaf).parent = knode;
+    N(shallow_leaf).next_sibling = new_leaf;
+    N(shallow_leaf).depth += 1;
+    N(new_leaf).parent = knode;
+    N(new_leaf).next_sibling = -1;
+    N(new_leaf).depth = N(shallow_leaf).depth;
+    PullUp(shallow_leaf);
+    PullUp(new_leaf);
+    FixPath(knode);
+    Mark(knode);
+    Mark(new_leaf);
+  }
+}
+
+std::int32_t WglKeyTree::ChooseAffinitySubtree(MemberId m) const {
+  const Node& r = N(root_);
+  if (r.first_child == -1) return root_;
+  const std::int32_t ks = r.min_slack_depth;
+  const std::int32_t ku = r.min_u_depth;
+  // Slack directly under the root: a global placement opens a fresh
+  // root-child subtree there, which is itself a new cluster seed.
+  if (ks == 0) return root_;
+  // Depth the new u-node lands at under global shallowest placement:
+  // attach-at-slack puts it one below the slack k-node, a split one below
+  // the shallowest u-node's old position.
+  const std::int32_t global_depth =
+      (ks != kNoDepth && (ku == kNoDepth || ks <= ku)) ? ks + 1 : ku + 1;
+  const bool joiner_volatile = volatile_.count(m) > 0;
+  std::int32_t best = -1;
+  double best_score = 0.0;
+  for (std::int32_t c = r.first_child; c != -1; c = N(c).next_sibling) {
+    ++op_stats_.shallow_scan_steps;
+    const Node& cn = N(c);
+    if (cn.subtree_members == 0) continue;
+    const std::int32_t cs = cn.min_slack_depth;
+    const std::int32_t cu = cn.min_u_depth;
+    const std::int32_t local_depth =
+        (cs != kNoDepth && (cu == kNoDepth || cs <= cu)) ? cs + 1 : cu + 1;
+    if (local_depth > global_depth + kAffinityDepthSlack) continue;
+    const double frac = static_cast<double>(cn.volatile_members) /
+                        static_cast<double>(cn.subtree_members);
+    // Volatile joiners seek the churn-heavy subtree, stable joiners avoid
+    // it. First eligible child wins ties (deterministic sibling order).
+    const double score = joiner_volatile ? frac : -frac;
+    if (best == -1 || score > best_score) {
+      best = c;
+      best_score = score;
+    }
+  }
+  // The child containing the global optimum is always eligible, so best can
+  // only be -1 when the root has no eligible child at all (empty tree).
+  return best == -1 ? root_ : best;
 }
 
 RekeyMessage WglKeyTree::Rekey(const std::vector<MemberId>& joins,
@@ -298,8 +398,12 @@ RekeyMessage WglKeyTree::Rekey(const std::vector<MemberId>& joins,
   for (std::size_t i = 0; i < reuse; ++i) {
     std::int32_t leaf = leaf_of_.at(leaves[i]);
     leaf_of_.erase(leaves[i]);
+    const bool vol_old = volatile_.erase(leaves[i]) > 0;  // retire the tag
     N(leaf).member = joins[i];
     leaf_of_[joins[i]] = leaf;
+    // Only a changed volatile flag needs an aggregate repair; gating keeps
+    // the untagged path's op-stat trace identical to the seed's.
+    if (vol_old != (volatile_.count(joins[i]) > 0)) FixPath(leaf);
     Mark(leaf);
   }
 
@@ -312,49 +416,14 @@ RekeyMessage WglKeyTree::Rekey(const std::vector<MemberId>& joins,
   // capacity if one is at least as shallow as the shallowest u-node,
   // otherwise by splitting the shallowest u-node. The root's aggregates
   // give both candidate depths; one O(depth) descent finds the seed's
-  // BFS-first choice.
+  // BFS-first choice. kChurnAffinity first narrows the search to a root
+  // child by volatile-mass affinity, then runs the same algorithm there.
   for (std::size_t i = reuse; i < nj; ++i) {
-    MemberId m = joins[i];
-    const std::int32_t ks = N(root_).min_slack_depth;  // k-node with space
-    const std::int32_t ku = N(root_).min_u_depth;      // shallowest u-node
-    if (ks != kNoDepth && (ku == kNoDepth || ks <= ku)) {
-      std::int32_t k_space = DescendToMin(ks, /*want_leaf=*/false);
-      std::int32_t new_leaf = NewNode();
-      N(new_leaf).member = m;
-      N(new_leaf).depth = N(k_space).depth + 1;
-      leaf_of_[m] = new_leaf;
-      AppendChild(k_space, new_leaf);
-      PullUp(new_leaf);
-      FixPath(k_space);
-      Mark(k_space);
-      Mark(new_leaf);
-    } else {
-      TMESH_CHECK(ku != kNoDepth);
-      std::int32_t shallow_leaf = DescendToMin(ku, /*want_leaf=*/true);
-      // Split: replace the u-node with a k-node holding {old, new}. Seed
-      // allocation order: the joiner's u-node first, then the k-node.
-      std::int32_t new_leaf = NewNode();
-      N(new_leaf).member = m;
-      leaf_of_[m] = new_leaf;
-      std::int32_t p = N(shallow_leaf).parent;
-      TMESH_CHECK(p != -1);  // root is always a k-node
-      std::int32_t knode = NewNode();
-      N(knode).depth = N(shallow_leaf).depth;
-      ReplaceChild(p, shallow_leaf, knode);
-      N(knode).first_child = shallow_leaf;
-      N(knode).child_count = 2;
-      N(shallow_leaf).parent = knode;
-      N(shallow_leaf).next_sibling = new_leaf;
-      N(shallow_leaf).depth += 1;
-      N(new_leaf).parent = knode;
-      N(new_leaf).next_sibling = -1;
-      N(new_leaf).depth = N(shallow_leaf).depth;
-      PullUp(shallow_leaf);
-      PullUp(new_leaf);
-      FixPath(knode);
-      Mark(knode);
-      Mark(new_leaf);
+    std::int32_t top = root_;
+    if (placement_ == WglPlacement::kChurnAffinity) {
+      top = ChooseAffinitySubtree(joins[i]);
     }
+    PlaceInSubtree(joins[i], top);
   }
 
   // 4. Stream: every alive k-node on the path from a marked position to the
@@ -440,6 +509,8 @@ void WglKeyTree::CheckInvariants() const {
         TMESH_CHECK(node.min_u_depth == node.depth);
         TMESH_CHECK(node.min_slack_depth == kNoDepth);
         TMESH_CHECK(node.subtree_members == 1);
+        TMESH_CHECK(node.volatile_members ==
+                    (volatile_.count(node.member) ? 1 : 0));
       } else {
         TMESH_CHECK(f.node == root_ || node.first_child != -1);
         TMESH_CHECK(node.child_count <= degree_);
@@ -459,15 +530,18 @@ void WglKeyTree::CheckInvariants() const {
       std::int32_t min_slack =
           node.child_count < degree_ ? node.depth : kNoDepth;
       std::int32_t members = 0;
+      std::int32_t volatiles = 0;
       for (std::int32_t c = node.first_child; c != -1;
            c = N(c).next_sibling) {
         min_u = std::min(min_u, N(c).min_u_depth);
         min_slack = std::min(min_slack, N(c).min_slack_depth);
         members += N(c).subtree_members;
+        volatiles += N(c).volatile_members;
       }
       TMESH_CHECK(node.min_u_depth == min_u);
       TMESH_CHECK(node.min_slack_depth == min_slack);
       TMESH_CHECK(node.subtree_members == members);
+      TMESH_CHECK(node.volatile_members == volatiles);
     }
   }
   TMESH_CHECK(members_seen == leaf_of_.size());

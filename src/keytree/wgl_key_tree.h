@@ -44,11 +44,29 @@
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "keytree/rekey_types.h"
 
 namespace tmesh {
+
+// Join-placement policy (the tree-shape ablation knob; DESIGN.md §3e).
+enum class WglPlacement {
+  // The paper's batch algorithm [32]: extra joins attach at the shallowest
+  // slack k-node, else split the shallowest u-node. Byte-identical to the
+  // seed tree — the differential suite pins this mode.
+  kShallowest,
+  // Sakai-Yamamoto-style churn clustering: members tagged volatile (via
+  // TagVolatile) are steered toward the root-child subtree with the highest
+  // volatile mass — and stable members away from it — provided that subtree
+  // can place the joiner within kAffinityDepthSlack of the globally
+  // shallowest position; then the standard shallowest placement runs inside
+  // the chosen subtree. Clustering the likely leavers makes their departure
+  // paths overlap, cutting encryptions per interval under skewed churn at
+  // a bounded depth cost.
+  kChurnAffinity,
+};
 
 class WglKeyTree {
  public:
@@ -63,7 +81,16 @@ class WglKeyTree {
     std::uint64_t rekey_marked_nodes = 0;    // streaming-walk stamps
   };
 
-  explicit WglKeyTree(int degree = 4);
+  explicit WglKeyTree(int degree = 4,
+                      WglPlacement placement = WglPlacement::kShallowest);
+
+  // Tags a member as volatile (likely to leave soon) for kChurnAffinity
+  // placement; idempotent, allowed before the member joins, and cleared
+  // automatically when the member leaves. A no-op signal under kShallowest
+  // (the aggregate is still maintained, the placement just ignores it).
+  void TagVolatile(MemberId m, bool is_volatile);
+  bool IsVolatile(MemberId m) const { return volatile_.count(m) > 0; }
+  WglPlacement placement() const { return placement_; }
 
   // Builds a full, balanced tree over `members` (requires |members| to be a
   // power of the degree, as in the paper's 4^5 = 1024 setup). Replaces any
@@ -120,7 +147,7 @@ class WglKeyTree {
   static constexpr std::int32_t kNoDepth =
       std::numeric_limits<std::int32_t>::max();
 
-  // 48-byte POD record; children are an intrusive singly linked list in
+  // Compact POD record; children are an intrusive singly linked list in
   // insertion order (the order the seed's per-node vector kept).
   struct Node {
     std::int32_t parent = -1;
@@ -133,6 +160,7 @@ class WglKeyTree {
     std::int32_t min_u_depth = kNoDepth;
     std::int32_t min_slack_depth = kNoDepth;
     std::int32_t subtree_members = 0;
+    std::int32_t volatile_members = 0;  // tagged u-nodes in the subtree
     std::uint32_t mark_epoch = 0;  // streaming-rekey stamp (0 = never)
     bool alive = true;
     bool IsLeaf() const { return member != kNoMember; }
@@ -157,13 +185,27 @@ class WglKeyTree {
   // Detaches a u-node, prunes childless ancestors (root survives), marks
   // the surviving parent. Frees nodes in the seed's order (leaf upward).
   void DetachLeaf(std::int32_t leaf);
-  // The BFS-first node of depth `target_depth` whose subtree minimum
-  // (min_u_depth when `want_leaf`, else min_slack_depth) equals it.
-  std::int32_t DescendToMin(std::int32_t target_depth, bool want_leaf) const;
+  // The BFS-first node of depth `target_depth` under `top` whose subtree
+  // minimum (min_u_depth when `want_leaf`, else min_slack_depth) equals it.
+  std::int32_t DescendToMin(std::int32_t top, std::int32_t target_depth,
+                            bool want_leaf) const;
   std::int32_t ShallowLeaf() const;  // a u-node of minimum depth
+  // The paper's placement (attach at shallowest slack, else split the
+  // shallowest u-node) restricted to `top`'s subtree; `top == root_` is the
+  // global algorithm.
+  void PlaceInSubtree(MemberId m, std::int32_t top);
+  // kChurnAffinity: the root child to place `m` under, or root_ for global
+  // placement (no children, or the root itself has slack).
+  std::int32_t ChooseAffinitySubtree(MemberId m) const;
   void Mark(std::int32_t n) { marked_.push_back(n); }
 
+  // How much deeper than the globally shallowest position an affinity-chosen
+  // subtree may place a joiner.
+  static constexpr std::int32_t kAffinityDepthSlack = 1;
+
   int degree_;
+  WglPlacement placement_;
+  std::unordered_set<MemberId> volatile_;  // drives Node::volatile_members
   std::int32_t root_ = -1;
   std::vector<Node> nodes_;
   std::vector<std::int32_t> free_list_;

@@ -1,0 +1,113 @@
+#include "topology/synthetic_wan.h"
+
+#include <algorithm>
+
+namespace tmesh {
+
+namespace {
+
+// Same 2004-era inter-continent RTT bases as PlanetLabNetwork (NA, EU,
+// Asia, AU).
+constexpr std::array<std::array<double, 4>, 4> kContinentBaseRtt = {{
+    {0.0, 95.0, 170.0, 190.0},
+    {95.0, 0.0, 260.0, 310.0},
+    {170.0, 260.0, 0.0, 130.0},
+    {190.0, 310.0, 130.0, 0.0},
+}};
+
+// PlanetLab's 2004 footprint as cumulative thresholds over 2^64
+// (0.45, 0.27, 0.20, 0.08).
+constexpr std::uint64_t kContCum0 = 0x7333333333333333ull;  // 0.45
+constexpr std::uint64_t kContCum1 = 0xb851eb851eb851ebull;  // 0.72
+constexpr std::uint64_t kContCum2 = 0xeb851eb851eb851eull;  // 0.92
+
+// Domain-separation salts for the per-entity hash streams.
+constexpr std::uint64_t kSiteSalt = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kContSalt = 0xbf58476d1ce4e5b9ull;
+constexpr std::uint64_t kAccessSalt = 0x94d049bb133111ebull;
+constexpr std::uint64_t kSitePairSalt = 0xd6e8feb86659fd93ull;
+constexpr std::uint64_t kHostPairSalt = 0xa5a5a5a5a5a5a5a5ull;
+
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double UnitReal(std::uint64_t h) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double RealIn(std::uint64_t h, double lo, double hi) {
+  return lo + UnitReal(h) * (hi - lo);
+}
+
+std::uint64_t PairKey(std::uint64_t lo_id, std::uint64_t hi_id) {
+  return (lo_id << 32) ^ hi_id;
+}
+
+}  // namespace
+
+SyntheticWanNetwork::SyntheticWanNetwork(const SyntheticWanParams& params)
+    : seed_(params.seed), hosts_(params.hosts), sites_(params.sites),
+      p_(params) {
+  TMESH_CHECK(hosts_ >= 2);
+  if (sites_ <= 0) sites_ = std::max(8, hosts_ / 16);
+}
+
+int SyntheticWanNetwork::site_of(HostId h) const {
+  TMESH_CHECK(h >= 0 && h < hosts_);
+  return static_cast<int>(Mix(seed_ ^ kSiteSalt ^ static_cast<std::uint64_t>(h)) %
+                          static_cast<std::uint64_t>(sites_));
+}
+
+int SyntheticWanNetwork::ContinentOfSite(int site) const {
+  std::uint64_t h = Mix(seed_ ^ kContSalt ^ static_cast<std::uint64_t>(site));
+  if (h < kContCum0) return 0;
+  if (h < kContCum1) return 1;
+  if (h < kContCum2) return 2;
+  return 3;
+}
+
+double SyntheticWanNetwork::RttHostGateway(HostId a) const {
+  TMESH_CHECK(a >= 0 && a < hosts_);
+  return RealIn(Mix(seed_ ^ kAccessSalt ^ static_cast<std::uint64_t>(a)),
+                p_.access_rtt_min, p_.access_rtt_max);
+}
+
+double SyntheticWanNetwork::RttGateways(HostId a, HostId b) const {
+  TMESH_CHECK(a >= 0 && a < hosts_ && b >= 0 && b < hosts_);
+  if (a == b) return 0.0;
+  const int sa = site_of(a), sb = site_of(b);
+  const std::uint64_t host_pair =
+      Mix(seed_ ^ kHostPairSalt ^
+          PairKey(static_cast<std::uint64_t>(std::min(a, b)),
+                  static_cast<std::uint64_t>(std::max(a, b))));
+  if (sa == sb) {
+    return RealIn(host_pair, p_.same_site_rtt_min, p_.same_site_rtt_max);
+  }
+  const std::uint64_t site_pair =
+      Mix(seed_ ^ kSitePairSalt ^
+          PairKey(static_cast<std::uint64_t>(std::min(sa, sb)),
+                  static_cast<std::uint64_t>(std::max(sa, sb))));
+  const int ca = ContinentOfSite(sa), cb = ContinentOfSite(sb);
+  double base;
+  if (ca == cb) {
+    base = RealIn(site_pair, p_.intra_continent_rtt_min,
+                  p_.intra_continent_rtt_max);
+  } else {
+    base = kContinentBaseRtt[static_cast<std::size_t>(ca)]
+                            [static_cast<std::size_t>(cb)] +
+           RealIn(site_pair, -15.0, 45.0);
+  }
+  return base + RealIn(host_pair, 0.0, p_.pair_jitter_max);
+}
+
+double SyntheticWanNetwork::RttHosts(HostId a, HostId b) const {
+  if (a == b) return 0.0;
+  return RttHostGateway(a) + RttGateways(a, b) + RttHostGateway(b);
+}
+
+}  // namespace tmesh

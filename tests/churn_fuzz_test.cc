@@ -280,6 +280,86 @@ TEST(ChurnFuzzScale, RejectsUndersizedIdSpace) {
   EXPECT_NE(rep.error.find("ID space"), std::string::npos) << rep.error;
 }
 
+// ---------------------------------------------------------------------------
+// Through-directory scale mode (tentpole acceptance): churn runs through
+// Directory::AddMember/RemoveMember instead of bypassing the directory.
+
+TEST(ChurnFuzzScale, ThroughDirectoryCrossCheckSmall) {
+  // Every directory operation is replayed on a kScanReference twin and the
+  // two directories compared byte-for-byte (tables, aliveness, hosts) — the
+  // scale-mode analogue of directory_test's differential suite. O(N) per op
+  // on the twin, so tier 1 runs it small.
+  ScaleConfig cfg;
+  cfg.users = 1500;
+  cfg.epochs = 2;
+  cfg.batch_joins = 150;
+  cfg.batch_leaves = 150;
+  cfg.seed = 13;
+  cfg.through_directory = true;
+  cfg.directory_cross_check = true;
+  cfg.check_invariants = true;
+  ScaleReport rep = ChurnFuzzer::RunScaleCampaign(cfg);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_GT(rep.dir_build_seconds, 0.0);
+  EXPECT_GT(rep.dir_build_touched_per_op, 0.0);
+  EXPECT_GT(rep.dir_allowance_per_op, 0.0);
+  ASSERT_EQ(rep.epochs.size(), 2u);
+  for (const auto& e : rep.epochs) {
+    EXPECT_GT(e.dir_fails, 0);  // fail/repair cycles exercised
+    EXPECT_GT(e.dir_touched_per_op, 0.0);
+  }
+}
+
+TEST(ChurnFuzzScale, ThroughDirectoryAdmissionStaysSublinear) {
+  // The complexity pin at a size where it means something: the campaign's
+  // internal per-op admission-work bound is N-independent (slack * D * B *
+  // (K + W) = 2240 for the 8^7/K=2 shape), far below N = 10^4, and the
+  // campaign fails if any single operation exceeds it. A scan-based
+  // directory touches all N members per join and cannot pass.
+  ScaleConfig cfg;
+  cfg.users = 10000;
+  cfg.epochs = 2;
+  cfg.batch_joins = 400;
+  cfg.batch_leaves = 400;
+  cfg.seed = 29;
+  cfg.through_directory = true;
+  cfg.directory_policy = AdmissionPolicy::kIndexed;
+  ScaleReport rep = ChurnFuzzer::RunScaleCampaign(cfg);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_LE(rep.dir_build_touched_per_op, rep.dir_allowance_per_op);
+  EXPECT_LT(rep.dir_allowance_per_op, cfg.users / 4.0);
+  for (const auto& e : rep.epochs) {
+    EXPECT_LE(e.dir_touched_per_op, rep.dir_allowance_per_op);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree-shape ablation: placement policies under the skewed-churn workload.
+
+TEST(ChurnFuzzScale, PlacementAblationRunsBothArmsDeterministically) {
+  ScaleConfig cfg;
+  cfg.users = 5000;
+  cfg.epochs = 2;
+  cfg.batch_joins = 250;
+  cfg.batch_leaves = 250;
+  cfg.seed = 17;
+  cfg.volatile_fraction = 0.3;
+
+  for (WglPlacement placement :
+       {WglPlacement::kShallowest, WglPlacement::kChurnAffinity}) {
+    cfg.wgl_placement = placement;
+    ScaleReport a = ChurnFuzzer::RunScaleCampaign(cfg);
+    ScaleReport b = ChurnFuzzer::RunScaleCampaign(cfg);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+      EXPECT_EQ(a.epochs[i].wgl_encryptions, b.epochs[i].wgl_encryptions);
+      EXPECT_GT(a.epochs[i].wgl_encryptions, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fuzz
 }  // namespace tmesh

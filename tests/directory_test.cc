@@ -176,9 +176,13 @@ TEST_P(DirectoryChurnTest, KConsistencyUnderRandomChurn) {
       dir.RemoveMember(present[i]);
       present.erase(present.begin() + static_cast<std::ptrdiff_t>(i));
     }
-    if (step % 10 == 0) dir.CheckKConsistency();
+    if (step % 10 == 0) {
+      dir.CheckKConsistency();
+      dir.CheckIndexIntegrity();
+    }
   }
   dir.CheckKConsistency();
+  dir.CheckIndexIntegrity();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -186,6 +190,243 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ChurnShape{2, 4, 1, 20}, ChurnShape{2, 4, 2, 30},
                       ChurnShape{3, 4, 2, 40}, ChurnShape{3, 8, 4, 50},
                       ChurnShape{5, 256, 4, 40}));
+
+// ---------------------------------------------------------------------------
+// Differential equivalence: the indexed admission path and the retained O(N)
+// scan-reference path implement one discipline and must produce byte-identical
+// neighbor tables (records, order, RTTs) through arbitrary churn, including
+// failure windows. Style follows the PR-6 seed-tree differential suite.
+// ---------------------------------------------------------------------------
+
+void ExpectTablesEqual(const NeighborTable& a, const NeighborTable& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const auto& ra = a.row(i);
+    const auto& rb = b.row(i);
+    ASSERT_EQ(ra.size(), rb.size()) << "row " << i;
+    auto itb = rb.begin();
+    for (const auto& [digit, ea] : ra) {
+      ASSERT_EQ(digit, itb->first) << "row " << i;
+      const NeighborTable::Entry& eb = itb->second;
+      ASSERT_EQ(ea.size(), eb.size()) << "row " << i << " digit " << digit;
+      for (std::size_t r = 0; r < ea.size(); ++r) {
+        ASSERT_EQ(ea[r].id, eb[r].id) << "row " << i << " digit " << digit;
+        ASSERT_EQ(ea[r].host, eb[r].host);
+        ASSERT_EQ(ea[r].join_time, eb[r].join_time);
+        ASSERT_EQ(ea[r].rtt_ms, eb[r].rtt_ms);  // bitwise: same probe source
+      }
+      ++itb;
+    }
+  }
+}
+
+void ExpectDirectoriesEqual(const Directory& a, const Directory& b) {
+  ASSERT_EQ(a.member_count(), b.member_count());
+  ASSERT_EQ(a.alive_count(), b.alive_count());
+  auto itb = b.members().begin();
+  for (const auto& [id, ma] : a.members()) {
+    ASSERT_EQ(id, itb->first);
+    ASSERT_EQ(ma.alive, itb->second.alive);
+    ExpectTablesEqual(ma.table, itb->second.table);
+    ++itb;
+  }
+  ExpectTablesEqual(a.ServerTable(), b.ServerTable());
+}
+
+struct DiffShape {
+  int depth;
+  int base;
+  int capacity;
+  int hosts;
+  double fail_p;
+};
+
+class DirectoryDifferentialTest : public ::testing::TestWithParam<DiffShape> {};
+
+TEST_P(DirectoryDifferentialTest, IndexedMatchesScanReferenceByteForByte) {
+  const DiffShape shape = GetParam();
+  auto net = MakeNet(shape.hosts, 23);
+  GroupParams params{shape.depth, shape.base, shape.capacity};
+  Directory indexed(net, params, 0,
+                    AdmissionOptions{AdmissionPolicy::kIndexed});
+  Directory scan(net, params, 0,
+                 AdmissionOptions{AdmissionPolicy::kScanReference});
+  Rng rng(shape.hosts * 131ull + static_cast<std::uint64_t>(shape.base));
+
+  std::vector<UserId> alive;
+  std::vector<UserId> failed;
+  std::vector<HostId> free_hosts;
+  for (HostId h = 1; h < shape.hosts; ++h) free_hosts.push_back(h);
+
+  for (int step = 0; step < 400; ++step) {
+    double roll = rng.UniformReal(0.0, 1.0);
+    if (!free_hosts.empty() && (alive.empty() || roll < 0.55)) {
+      UserId id = RandomId(rng, shape.depth, shape.base);
+      if (indexed.Contains(id)) continue;
+      HostId h = free_hosts.back();
+      free_hosts.pop_back();
+      indexed.AddMember(id, h, step);
+      scan.AddMember(id, h, step);
+      alive.push_back(id);
+    } else if (roll < 0.55 + shape.fail_p && !alive.empty()) {
+      std::size_t i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(alive.size()) - 1));
+      indexed.MarkFailed(alive[i]);
+      scan.MarkFailed(alive[i]);
+      failed.push_back(alive[i]);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (roll < 0.8 + shape.fail_p && !alive.empty()) {
+      std::size_t i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(alive.size()) - 1));
+      free_hosts.push_back(indexed.HostOf(alive[i]));
+      indexed.RemoveMember(alive[i]);
+      scan.RemoveMember(alive[i]);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (!failed.empty()) {
+      std::size_t i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(failed.size()) - 1));
+      free_hosts.push_back(indexed.HostOf(failed[i]));
+      indexed.RepairFailure(failed[i]);
+      scan.RepairFailure(failed[i]);
+      failed.erase(failed.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      continue;
+    }
+
+    ExpectDirectoriesEqual(indexed, scan);
+    if (step % 20 == 0) {
+      indexed.CheckIndexIntegrity();
+      scan.CheckIndexIntegrity();
+      if (failed.empty()) {
+        indexed.CheckKConsistency();
+        scan.CheckKConsistency();
+      }
+    }
+  }
+  ExpectDirectoriesEqual(indexed, scan);
+  indexed.CheckIndexIntegrity();
+  scan.CheckIndexIntegrity();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DirectoryDifferentialTest,
+    ::testing::Values(DiffShape{2, 4, 2, 30, 0.15},
+                      DiffShape{3, 8, 2, 40, 0.15},
+                      DiffShape{4, 2, 1, 50, 0.2},   // deep binary: windows bind
+                      DiffShape{3, 4, 4, 60, 0.15},  // K above default window/4
+                      DiffShape{5, 256, 4, 40, 0.1}));
+
+// ---------------------------------------------------------------------------
+// Admission-complexity pins: on a warm directory, the indexed policy must
+// touch O(base·digits·K) members per join/removal — not O(N) — while the
+// scan reference walks essentially everyone. Counter-based, no wall clock.
+// ---------------------------------------------------------------------------
+
+TEST(DirectoryComplexity, IndexedAdmissionTouchesBoundedMembers) {
+  constexpr int kDepth = 4, kBase = 8, kCap = 2;
+  constexpr int kWarm = 1100, kProbe = 100;
+  auto net = MakeNet(kWarm + kProbe + 2, 7);
+  GroupParams params{kDepth, kBase, kCap};
+  Directory indexed(net, params, 0,
+                    AdmissionOptions{AdmissionPolicy::kIndexed});
+  Directory scan(net, params, 0,
+                 AdmissionOptions{AdmissionPolicy::kScanReference});
+
+  Rng rng(41);
+  std::vector<UserId> present;
+  HostId next_host = 1;
+  auto join_both = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      UserId id;
+      do {
+        id = RandomId(rng, kDepth, kBase);
+      } while (indexed.Contains(id));
+      indexed.AddMember(id, next_host, i);
+      scan.AddMember(id, next_host, i);
+      present.push_back(id);
+      ++next_host;
+    }
+  };
+
+  join_both(kWarm);
+  const auto warm_idx = indexed.op_stats();
+  const auto warm_scan = scan.op_stats();
+  join_both(kProbe);
+  const auto after_idx = indexed.op_stats();
+  const auto after_scan = scan.op_stats();
+
+  const double idx_touched =
+      static_cast<double>(after_idx.holders_examined -
+                          warm_idx.holders_examined) /
+      kProbe;
+  const double scan_touched =
+      static_cast<double>(after_scan.holders_examined -
+                          warm_scan.holders_examined) /
+      kProbe;
+  // The scan reference inspects every member per join...
+  EXPECT_GT(scan_touched, kWarm * 0.9);
+  // ...while the indexed path touches a population-independent set: the
+  // underfull holders plus new-subtree broadcasts, O(base·digits·K) with
+  // room for the broadcast constant.
+  EXPECT_LE(idx_touched, 4.0 * kBase * kDepth * kCap);
+  EXPECT_LT(idx_touched, kWarm / 8.0);
+  EXPECT_LT(idx_touched * 8, scan_touched);
+  // Windowed candidate probes are bounded by entries-per-table × window.
+  const double idx_probes =
+      static_cast<double>(after_idx.candidates_probed -
+                          warm_idx.candidates_probed) /
+      kProbe;
+  EXPECT_LE(idx_probes, static_cast<double>(kDepth) * kBase * (4 * kCap));
+
+  // Removal: the reverse holder index visits only actual holders.
+  Rng pick(77);
+  const int kDrop = 100;
+  for (int i = 0; i < kDrop; ++i) {
+    std::size_t j = static_cast<std::size_t>(
+        pick.UniformInt(0, static_cast<std::int64_t>(present.size()) - 1));
+    indexed.RemoveMember(present[j]);
+    scan.RemoveMember(present[j]);
+    present.erase(present.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  const auto rem_idx = indexed.op_stats();
+  const auto rem_scan = scan.op_stats();
+  const double idx_rm =
+      static_cast<double>(rem_idx.holders_examined -
+                          after_idx.holders_examined) /
+      kDrop;
+  const double scan_rm =
+      static_cast<double>(rem_scan.holders_examined -
+                          after_scan.holders_examined) /
+      kDrop;
+  EXPECT_GT(scan_rm, (kWarm + kProbe - kDrop) * 0.9);
+  EXPECT_LE(idx_rm, 4.0 * kBase * kDepth * kCap);
+  EXPECT_LT(idx_rm * 8, scan_rm);
+
+  ExpectDirectoriesEqual(indexed, scan);
+  indexed.CheckIndexIntegrity();
+  indexed.CheckKConsistency();
+}
+
+TEST(Directory, AdmissionWindowBelowCapacityThrows) {
+  auto net = MakeNet(4);
+  AdmissionOptions narrow;
+  narrow.window = 1;
+  EXPECT_THROW(Directory(net, GroupParams{2, 4, 2}, 0, narrow),
+               std::logic_error);
+}
+
+TEST(Directory, OpStatsCountJoinsAndRemovals) {
+  auto net = MakeNet(6);
+  Directory dir(net, GroupParams{2, 4, 2}, 0);
+  dir.AddMember(UserId{0, 0}, 1, 1);
+  dir.AddMember(UserId{1, 0}, 2, 2);
+  dir.MarkFailed(UserId{1, 0});
+  dir.RepairFailure(UserId{1, 0});
+  dir.RemoveMember(UserId{0, 0});
+  const auto& s = dir.op_stats();
+  EXPECT_EQ(s.joins, 2);
+  EXPECT_EQ(s.removals, 2);  // repair purge + graceful leave
+}
 
 }  // namespace
 }  // namespace tmesh

@@ -5,6 +5,7 @@
 
 #include "topology/gtitm.h"
 #include "topology/planetlab.h"
+#include "topology/synthetic_wan.h"
 
 namespace tmesh {
 namespace {
@@ -175,6 +176,88 @@ TEST(PlanetLab, DeterministicForSeed) {
   for (HostId a = 0; a < 40; ++a) {
     for (HostId b = 0; b < 40; ++b) {
       EXPECT_DOUBLE_EQ(n1.RttHosts(a, b), n2.RttHosts(a, b));
+    }
+  }
+}
+
+TEST(SyntheticWan, SymmetricDeterministicAndZeroSelfRtt) {
+  SyntheticWanParams p;
+  p.hosts = 200;
+  p.seed = 9;
+  SyntheticWanNetwork n1(p), n2(p);
+  for (HostId a = 0; a < 200; a += 7) {
+    EXPECT_DOUBLE_EQ(n1.RttHosts(a, a), 0.0);
+    for (HostId b = 0; b < 200; b += 11) {
+      EXPECT_DOUBLE_EQ(n1.RttHosts(a, b), n1.RttHosts(b, a));
+      EXPECT_DOUBLE_EQ(n1.RttHosts(a, b), n2.RttHosts(a, b));
+    }
+  }
+}
+
+TEST(SyntheticWan, RttsRespectPlanetLabBands) {
+  SyntheticWanParams p;
+  p.hosts = 300;
+  p.seed = 3;
+  SyntheticWanNetwork net(p);
+  int same_site = 0, same_continent = 0, cross = 0;
+  for (HostId a = 0; a < 300; ++a) {
+    for (HostId b = a + 1; b < 300; b += 13) {
+      const double gw = net.RttGateways(a, b);
+      const double access =
+          net.RttHostGateway(a) + net.RttHostGateway(b);
+      EXPECT_NEAR(net.RttHosts(a, b), access + gw, 1e-9);
+      EXPECT_GE(net.RttHostGateway(a), 0.2);
+      EXPECT_LE(net.RttHostGateway(a), 5.0);
+      if (net.site_of(a) == net.site_of(b)) {
+        EXPECT_GE(gw, 0.5);
+        EXPECT_LE(gw, 3.0);
+        ++same_site;
+      } else if (net.continent_of(a) == net.continent_of(b)) {
+        EXPECT_GE(gw, 10.0);
+        EXPECT_LE(gw, 64.0);  // site base up to 60 + pair jitter up to 4
+        ++same_continent;
+      } else {
+        // Continent base 95..310 with U(-15, 45) spread + jitter.
+        EXPECT_GE(gw, 80.0);
+        EXPECT_LE(gw, 359.0);
+        ++cross;
+      }
+    }
+  }
+  // The footprint weights must actually produce all three bands.
+  EXPECT_GT(same_site, 0);
+  EXPECT_GT(same_continent, 0);
+  EXPECT_GT(cross, 0);
+}
+
+TEST(SyntheticWan, CoversAllContinentsAtScale) {
+  SyntheticWanParams p;
+  p.hosts = 5000;
+  p.seed = 1;
+  SyntheticWanNetwork net(p);
+  std::set<int> continents;
+  for (HostId h = 0; h < net.host_count(); h += 97) {
+    continents.insert(net.continent_of(h));
+  }
+  EXPECT_EQ(continents.size(), 4u);
+  EXPECT_GT(net.site_count(), 10);
+}
+
+TEST(SyntheticWan, MillionHostQueriesAreCheap) {
+  // O(1) storage: construction must not materialize any per-pair state, and
+  // spot queries at 10^6 hosts must behave like the small-network ones.
+  SyntheticWanParams p;
+  p.hosts = 1000000;
+  p.seed = 5;
+  SyntheticWanNetwork net(p);
+  EXPECT_EQ(net.host_count(), 1000000);
+  for (HostId a = 0; a < 1000000; a += 250007) {
+    for (HostId b = 1; b < 1000000; b += 333013) {
+      const double r = net.RttHosts(a, b);
+      if (a == b) continue;
+      EXPECT_GT(r, 0.0);
+      EXPECT_LT(r, 400.0);
+      EXPECT_DOUBLE_EQ(r, net.RttHosts(b, a));
     }
   }
 }

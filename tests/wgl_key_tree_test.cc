@@ -194,6 +194,138 @@ TEST(WglKeyTree, DecryptionClosureAcrossRandomBatches) {
   }
 }
 
+// --- tree-shape ablation: placement policies ---------------------------
+
+// The root-child subtree a member's u-node lives under (its own leaf when
+// the member sits directly below the root). PathNodes is leaf-first, so the
+// root child is the second-to-last entry.
+std::int32_t RootChildOf(const WglKeyTree& t, MemberId m) {
+  auto path = t.PathNodes(m);
+  EXPECT_GE(path.size(), 2u);
+  return path[path.size() - 2].first;
+}
+
+TEST(WglKeyTree, VolatileTagLifecycle) {
+  WglKeyTree t(4, WglPlacement::kChurnAffinity);
+  EXPECT_EQ(t.placement(), WglPlacement::kChurnAffinity);
+  t.TagVolatile(7, true);  // allowed before the member exists
+  EXPECT_TRUE(t.IsVolatile(7));
+  t.BuildIncremental(Iota(16));
+  t.CheckInvariants();
+  t.TagVolatile(7, false);
+  t.TagVolatile(3, true);
+  t.CheckInvariants();  // aggregates follow re-tagging
+  EXPECT_FALSE(t.IsVolatile(7));
+  EXPECT_TRUE(t.IsVolatile(3));
+  // Leaving retires the tag; so does being replaced by a joiner in a batch.
+  t.TagVolatile(5, true);
+  (void)t.Rekey({100}, {3});
+  EXPECT_FALSE(t.IsVolatile(3));
+  (void)t.Rekey({}, {5});
+  EXPECT_FALSE(t.IsVolatile(5));
+  t.CheckInvariants();
+}
+
+TEST(WglKeyTree, ShallowestPlacementIgnoresVolatileTags) {
+  // Under the default policy the tags must not perturb anything observable:
+  // a tagged tree and an untagged twin emit identical rekey streams.
+  WglKeyTree tagged(4), plain(4);
+  tagged.TagVolatile(100, true);
+  tagged.TagVolatile(3, true);
+  tagged.BuildFullBalanced(Iota(16));
+  plain.BuildFullBalanced(Iota(16));
+  Rng rng(11);
+  std::vector<MemberId> present = Iota(16);
+  int next_id = 100;
+  for (int interval = 0; interval < 12; ++interval) {
+    int nj = static_cast<int>(rng.UniformInt(0, 5));
+    int nl = static_cast<int>(
+        rng.UniformInt(0, std::min<std::int64_t>(5, present.size())));
+    std::vector<MemberId> joins, leaves;
+    for (int i = 0; i < nj; ++i) joins.push_back(next_id++);
+    std::vector<MemberId> shuffled = present;
+    rng.Shuffle(shuffled);
+    leaves.assign(shuffled.begin(), shuffled.begin() + nl);
+    for (MemberId j : joins) tagged.TagVolatile(j, (j % 3) == 0);
+
+    RekeyMessage a = tagged.Rekey(joins, leaves);
+    RekeyMessage b = plain.Rekey(joins, leaves);
+    ASSERT_EQ(a.encryptions.size(), b.encryptions.size());
+    for (std::size_t i = 0; i < a.encryptions.size(); ++i) {
+      EXPECT_EQ(a.encryptions[i].wgl_enc_node, b.encryptions[i].wgl_enc_node);
+      EXPECT_EQ(a.encryptions[i].wgl_new_node, b.encryptions[i].wgl_new_node);
+      EXPECT_EQ(a.encryptions[i].enc_key_version,
+                b.encryptions[i].enc_key_version);
+      EXPECT_EQ(a.encryptions[i].new_key_version,
+                b.encryptions[i].new_key_version);
+    }
+    tagged.CheckInvariants();
+    for (MemberId m : leaves) {
+      present.erase(std::find(present.begin(), present.end(), m));
+    }
+    for (MemberId m : joins) present.push_back(m);
+  }
+}
+
+TEST(WglKeyTree, ChurnAffinitySteersByVolatileMass) {
+  // Degree-2 full tree of 8 stable members. The first volatile joiner seeds
+  // some root-child subtree; the next volatile joiner must follow it (that
+  // subtree now has the highest volatile fraction), while a stable joiner
+  // must avoid it.
+  WglKeyTree t(2, WglPlacement::kChurnAffinity);
+  t.BuildIncremental(Iota(8));
+  t.TagVolatile(100, true);
+  (void)t.Rekey({100}, {});
+  t.CheckInvariants();
+  const std::int32_t hot = RootChildOf(t, 100);
+
+  t.TagVolatile(101, true);
+  (void)t.Rekey({101}, {});
+  t.CheckInvariants();
+  EXPECT_EQ(RootChildOf(t, 101), hot);
+
+  (void)t.Rekey({200}, {});  // stable: steered away from the hot subtree
+  t.CheckInvariants();
+  EXPECT_NE(RootChildOf(t, 200), hot);
+}
+
+TEST(WglKeyTree, ChurnAffinityKeepsDepthLogarithmic) {
+  // The eligibility rule (local placement depth <= global shallowest +
+  // kAffinityDepthSlack) bounds the cost of clustering: even under sustained
+  // skewed churn the tree stays balanced to within a small additive slack of
+  // the degree-d optimum.
+  WglKeyTree t(4, WglPlacement::kChurnAffinity);
+  t.BuildIncremental(Iota(32));
+  Rng rng(23);
+  std::vector<MemberId> present = Iota(32);
+  int next_id = 100;
+  for (int interval = 0; interval < 25; ++interval) {
+    int nj = static_cast<int>(rng.UniformInt(1, 6));
+    int nl = static_cast<int>(
+        rng.UniformInt(0, std::min<std::int64_t>(4, present.size())));
+    std::vector<MemberId> joins, leaves;
+    for (int i = 0; i < nj; ++i) joins.push_back(next_id++);
+    std::vector<MemberId> shuffled = present;
+    rng.Shuffle(shuffled);
+    leaves.assign(shuffled.begin(), shuffled.begin() + nl);
+    for (MemberId j : joins) t.TagVolatile(j, (j % 2) == 0);
+
+    (void)t.Rekey(joins, leaves);
+    t.CheckInvariants();
+    for (MemberId m : leaves) {
+      present.erase(std::find(present.begin(), present.end(), m));
+    }
+    for (MemberId m : joins) present.push_back(m);
+
+    int optimal = 0;
+    for (std::size_t n = 1; n < present.size(); n *= 4) ++optimal;
+    for (MemberId m : present) {
+      EXPECT_LE(t.LeafDepth(m), optimal + 2)
+          << "member " << m << " too deep at n=" << present.size();
+    }
+  }
+}
+
 // Parameterized sweep: tree invariants and cost positivity across degrees.
 class WglBatchTest : public ::testing::TestWithParam<int> {};
 
