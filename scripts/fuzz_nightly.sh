@@ -46,6 +46,17 @@ for k in 2 4; do
 done
 run --substrate=directory --k=2 --cluster
 
+# Replicated key manager (DESIGN.md §3g): fault-injection campaigns against
+# the HA facade — fail-stop and mid-batch kills, partitions and heals —
+# with the failover invariants (Theorem-1 exactly-once across failover,
+# forward secrecy through burned batches, version uniqueness) armed.
+run --substrate=directory --k=2 --kill-server
+run --substrate=directory --k=2 --partition
+run --substrate=directory --k=2 --kill-server --partition
+run --substrate=directory --k=2 --kill-server --partition --loss=0.05
+run --substrate=directory --k=2 --kill-server --partition --replicas=5
+run --substrate=directory --k=2 --cluster --kill-server --partition
+
 # Silk substrate: dense ID spaces so subtrees have depth. The default
 # (capped) regime holds leave concurrency within Definition 3's K-1
 # tolerance and asserts sharply; the uncapped regime pushes bursts past it

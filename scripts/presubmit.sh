@@ -8,9 +8,10 @@
 #   1. default   — RelWithDebInfo build + the full tier-1 ctest suite
 #   2. asan-ubsan — every tier-1 test under ASan+UBSan
 #                   (-fno-sanitize-recover=all)
-#   3. tsan      — the replica-runner, simulator, and metrics-registry
-#                   suites under ThreadSanitizer (the registry suite
-#                   exercises the cross-replica merge at --threads>1)
+#   3. tsan      — the replica-runner, replicated-key-server, simulator,
+#                   and metrics-registry suites under ThreadSanitizer (the
+#                   registry suite exercises the cross-replica merge at
+#                   --threads>1)
 #
 # Usage: scripts/presubmit.sh [-j N]
 #   -j N   build parallelism (default: nproc)

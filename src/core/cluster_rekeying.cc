@@ -65,6 +65,44 @@ bool ClusterRekeying::Leave(UserId u) {
   return true;
 }
 
+ClusterRekeyingState ClusterRekeying::Snapshot() const {
+  ClusterRekeyingState s;
+  s.members.reserve(static_cast<std::size_t>(member_count_));
+  for (const auto& [prefix, cluster] : clusters_) {
+    (void)prefix;
+    for (const Member& m : cluster.members) {
+      s.members.emplace_back(m.id, m.join_time);
+    }
+  }
+  std::sort(s.members.begin(), s.members.end());
+  s.leader_tree = leader_tree_.Snapshot();
+  return s;
+}
+
+void ClusterRekeying::Install(const ClusterRekeyingState& state) {
+  TMESH_CHECK_MSG(clusters_.empty() && member_count_ == 0,
+                  "install requires a fresh instance");
+  leader_tree_.Install(state.leader_tree);
+  for (const auto& [id, join_time] : state.members) {
+    clusters_[ClusterOf(id)].members.push_back(Member{id, join_time});
+    ++member_count_;
+  }
+  for (auto& [prefix, cluster] : clusters_) {
+    (void)prefix;
+    std::size_t leader = cluster.members.size();
+    for (std::size_t i = 0; i < cluster.members.size(); ++i) {
+      if (leader_tree_.Contains(cluster.members[i].id)) {
+        TMESH_CHECK_MSG(leader == cluster.members.size(),
+                        "two leaders in one snapshot cluster");
+        leader = i;
+      }
+    }
+    TMESH_CHECK_MSG(leader < cluster.members.size(),
+                    "snapshot cluster without a leader");
+    cluster.leader = leader;
+  }
+}
+
 bool ClusterRekeying::IsLeader(const UserId& u) const {
   auto it = clusters_.find(ClusterOf(u));
   if (it == clusters_.end()) return false;

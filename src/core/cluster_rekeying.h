@@ -26,6 +26,14 @@
 
 namespace tmesh {
 
+// Portable cluster state for key-server replication (DESIGN.md §3g). The
+// leader of each cluster is recoverable from the leader tree (it holds
+// exactly the leaders' u-nodes), so members + leader-tree state suffice.
+struct ClusterRekeyingState {
+  std::vector<std::pair<UserId, SimTime>> members;  // id -> join time, sorted
+  ModifiedKeyTreeState leader_tree;
+};
+
 class ClusterRekeying {
  public:
   explicit ClusterRekeying(int depth);
@@ -38,6 +46,20 @@ class ClusterRekeying {
   // Rekey message over the leader key tree for the interval's accumulated
   // leader changes.
   RekeyMessage Rekey() { return leader_tree_.Rekey(); }
+
+  // Drops the pending leader-tree batch without renewing keys; the key
+  // server calls this every interval the cluster scheme is not the one
+  // being distributed.
+  void DiscardPending() { leader_tree_.DiscardPending(); }
+
+  // Re-stamps a leader-tree key for the next rekey (failover after a
+  // mid-batch crash; see ModifiedKeyTree::MarkPending).
+  void MarkLeaderKeyPending(const KeyId& id) { leader_tree_.MarkPending(id); }
+
+  // State transfer for replication; Install() requires a freshly
+  // constructed instance of the same depth.
+  ClusterRekeyingState Snapshot() const;
+  void Install(const ClusterRekeyingState& state);
 
   bool IsLeader(const UserId& u) const;
   // The leader of u's bottom cluster.

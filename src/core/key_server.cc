@@ -1,5 +1,7 @@
 #include "core/key_server.h"
 
+#include <algorithm>
+
 namespace tmesh {
 
 KeyServer::KeyServer(const Network& net, HostId server_host, Simulator& sim,
@@ -24,6 +26,8 @@ void KeyServer::SetMetrics(MetricsRegistry* metrics) {
       metrics->GetCounter("keyserver.failures_repaired");
   metrics_.intervals = metrics->GetCounter("keyserver.intervals");
   metrics_.quiet_intervals = metrics->GetCounter("keyserver.quiet_intervals");
+  metrics_.undistributed_rekeys =
+      metrics->GetCounter("keyserver.undistributed_rekeys");
   metrics_.encryptions = metrics->GetCounter("keyserver.encryptions");
   metrics_.batch_size = metrics->GetHistogram("keyserver.batch_size");
   metrics_.rekey_encryptions =
@@ -32,6 +36,7 @@ void KeyServer::SetMetrics(MetricsRegistry* metrics) {
 
 void KeyServer::Start() {
   TMESH_CHECK_MSG(!running_, "already started");
+  TMESH_CHECK_MSG(!halted_, "start of a halted server");
   running_ = true;
   // A Stop()ped-but-unfired tick is still in flight; it will see running_
   // and re-arm, so scheduling here would fork a second tick chain.
@@ -42,6 +47,7 @@ void KeyServer::Start() {
 }
 
 std::optional<UserId> KeyServer::RequestJoin(HostId host) {
+  TMESH_CHECK_MSG(!halted_, "join on a halted server");
   std::optional<UserId> id = assigner_.AssignId(host);
   if (!id.has_value()) return std::nullopt;
   dir_.AddMember(*id, host, sim_.Now());
@@ -56,7 +62,17 @@ std::optional<UserId> KeyServer::RequestJoin(HostId host) {
 }
 
 void KeyServer::RequestLeave(UserId id) {
+  TMESH_CHECK_MSG(!halted_, "leave on a halted server");
   TMESH_CHECK_MSG(dir_.Contains(id), "leave of unknown member");
+  if (!dir_.IsAlive(id)) {
+    // §2.3 failure window: the member was MarkFailed and its "leave" is the
+    // failure detection completing (a voluntary-leave notice cannot come
+    // from a crashed member). Taking the leave path here would skip the
+    // table repair and leave the directory believing a graceful departure
+    // happened — route to RepairFailure instead.
+    RepairFailure(id);
+    return;
+  }
   dir_.RemoveMember(id);
   mtree_.Leave(id);
   clusters_.Leave(id);
@@ -65,6 +81,7 @@ void KeyServer::RequestLeave(UserId id) {
 }
 
 void KeyServer::RepairFailure(UserId id) {
+  TMESH_CHECK_MSG(!halted_, "repair on a halted server");
   TMESH_CHECK_MSG(dir_.Contains(id), "repair of unknown member");
   dir_.RepairFailure(id);
   mtree_.Leave(id);
@@ -76,6 +93,10 @@ void KeyServer::RepairFailure(UserId id) {
 }
 
 void KeyServer::EndInterval() {
+  // A tick that outlives its server (the replication layer Halt()ed this
+  // instance with the tick already queued) fires as a no-op: a dead server
+  // processes no batch and re-arms nothing.
+  if (halted_) return;
   tick_at_ = kNoTime;
   IntervalRecord rec;
   rec.when = sim_.Now();
@@ -84,26 +105,64 @@ void KeyServer::EndInterval() {
   interval_joins_ = 0;
   interval_leaves_ = 0;
 
-  // Both trees track the full membership; the distributed message comes
-  // from whichever scheme is active.
-  RekeyMessage full = mtree_.Rekey(cfg_.rekey_shards);
-  RekeyMessage clustered = clusters_.Rekey();
-  RekeyMessage& chosen = cfg_.cluster_heuristic ? clustered : full;
+  // Both trees track the full membership, but only the active scheme does
+  // (and accounts) rekey work; the inactive one drops its pending batch so
+  // bench timings and keyserver.encryptions measure the chosen scheme only.
+  RekeyMessage chosen;
+  if (cfg_.cluster_heuristic) {
+    chosen = clusters_.Rekey();
+    mtree_.DiscardPending();
+  } else {
+    chosen = mtree_.Rekey(cfg_.rekey_shards);
+    clusters_.DiscardPending();
+  }
   rec.rekey_cost = chosen.RekeyCost();
 
+  if (crash_before_distribute_ && rec.rekey_cost > 0) {
+    // Mid-batch crash (DESIGN.md §3g): the batch rekey ran — the renewed
+    // versions exist only on this dead server — but the message never
+    // leaves. Those versions are burned: the successor re-stamps the
+    // renewed paths (TakeSnapshot exports them as unsent_renewed) and its
+    // next interval issues fresh versions, so no (key ID, version) pair is
+    // ever distributed twice and no member is locked out by a version it
+    // never received. The interval counters are restored so the successor's
+    // first record still reports the batch it re-keys.
+    crash_before_distribute_ = false;
+    unsent_message_ = std::make_unique<RekeyMessage>(std::move(chosen));
+    unsent_renewed_.clear();
+    for (const Encryption& e : unsent_message_->encryptions) {
+      if (std::find(unsent_renewed_.begin(), unsent_renewed_.end(),
+                    e.new_key_id) == unsent_renewed_.end()) {
+        unsent_renewed_.push_back(e.new_key_id);
+      }
+    }
+    interval_joins_ = rec.joins;
+    interval_leaves_ = rec.leaves;
+    Halt();
+    if (on_crash_) on_crash_();
+    return;
+  }
+
+  const bool distributed = rec.rekey_cost > 0 && dir_.alive_count() > 0;
   if (metrics_.intervals != nullptr) {
     metrics_.intervals->Increment();
     metrics_.batch_size->Observe(static_cast<double>(rec.joins + rec.leaves));
-    if (rec.rekey_cost > 0) {
+    if (distributed) {
       metrics_.encryptions->Add(static_cast<std::int64_t>(rec.rekey_cost));
       metrics_.rekey_encryptions->Observe(
           static_cast<double>(rec.rekey_cost));
+    } else if (rec.rekey_cost > 0) {
+      // Rekey work with no alive recipient (e.g. the whole group left or
+      // failed this interval): no delivery happens, and the encryption
+      // counter — which tracks distributed rekey traffic — must agree with
+      // the record's delivery == -1 rather than silently counting it.
+      metrics_.undistributed_rekeys->Increment();
     } else {
       metrics_.quiet_intervals->Increment();
     }
   }
 
-  if (rec.rekey_cost > 0 && dir_.alive_count() > 0) {
+  if (distributed) {
     messages_.push_back(std::make_unique<RekeyMessage>(std::move(chosen)));
     TMesh::Options opts;
     opts.split = cfg_.split;
@@ -121,6 +180,61 @@ void KeyServer::EndInterval() {
   if (running_) {
     tick_at_ = sim_.Now() + cfg_.rekey_interval;
     sim_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
+  }
+}
+
+KeyServer::Snapshot KeyServer::TakeSnapshot() const {
+  Snapshot snap;
+  snap.members.reserve(dir_.members().size());
+  for (const auto& [id, info] : dir_.members()) {
+    snap.members.push_back(
+        Snapshot::Member{id, info.host, info.join_time, info.alive});
+  }
+  snap.mtree = mtree_.Snapshot();
+  snap.clusters = clusters_.Snapshot();
+  snap.interval_joins = interval_joins_;
+  snap.interval_leaves = interval_leaves_;
+  snap.unsent_renewed = unsent_renewed_;
+  return snap;
+}
+
+void KeyServer::InstallSnapshot(const Snapshot& snap) {
+  TMESH_CHECK_MSG(!running_ && !halted_ && tick_at_ == kNoTime &&
+                      history_.empty() && dir_.member_count() == 0,
+                  "install requires a fresh, never-started server");
+  // Survivor re-registration in (join time, id) order: the directory
+  // rebuilds neighbor tables from scratch, which is K-consistent by
+  // construction (AddMember maintains Definition 3 for any join order).
+  // Failed-but-unrepaired members re-enter their §2.3 window afterwards.
+  std::vector<const Snapshot::Member*> order;
+  order.reserve(snap.members.size());
+  for (const auto& m : snap.members) order.push_back(&m);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Snapshot::Member* a, const Snapshot::Member* b) {
+                     if (a->join_time != b->join_time) {
+                       return a->join_time < b->join_time;
+                     }
+                     return a->id < b->id;
+                   });
+  for (const Snapshot::Member* m : order) {
+    dir_.AddMember(m->id, m->host, m->join_time);
+  }
+  for (const auto& m : snap.members) {
+    if (!m.alive) dir_.MarkFailed(m.id);
+  }
+  mtree_.Install(snap.mtree);
+  clusters_.Install(snap.clusters);
+  interval_joins_ = snap.interval_joins;
+  interval_leaves_ = snap.interval_leaves;
+  // Burned versions from the predecessor's mid-batch crash: re-stamp the
+  // surviving paths so the next interval re-issues them one version up.
+  ModifiedKeyTree* tree = cfg_.cluster_heuristic ? nullptr : &mtree_;
+  for (const KeyId& k : snap.unsent_renewed) {
+    if (tree != nullptr) {
+      tree->MarkPending(k);
+    } else {
+      clusters_.MarkLeaderKeyPending(k);
+    }
   }
 }
 

@@ -22,6 +22,8 @@
 // concurrently — the paper's concurrent rekey + data transport.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -60,8 +62,31 @@ class KeyServer {
     int leaves = 0;
     std::size_t rekey_cost = 0;
     // Index into deliveries() for the interval's multicast; -1 if the
-    // interval was quiet (no rekey message sent).
+    // interval was quiet (no rekey message sent) or had no alive recipient.
     int delivery = -1;
+  };
+
+  // Portable server state for replication (DESIGN.md §3g): the membership
+  // roster, both key trees' exact state, and the interval bookkeeping. A
+  // successor installing this snapshot rebuilds its neighbor tables by
+  // canonical survivor re-registration (K-consistent by construction) and
+  // continues the key chains byte-for-byte.
+  struct Snapshot {
+    struct Member {
+      UserId id;
+      HostId host = kNoHost;
+      SimTime join_time = 0;
+      bool alive = true;
+    };
+    std::vector<Member> members;  // sorted by id (directory map order)
+    ModifiedKeyTreeState mtree;
+    ClusterRekeyingState clusters;
+    int interval_joins = 0;
+    int interval_leaves = 0;
+    // Key IDs renewed by a rekey whose message was never distributed (the
+    // mid-batch-crash window): those versions are burned, and the installer
+    // re-stamps the paths so its next interval issues fresh ones.
+    std::vector<KeyId> unsent_renewed;
   };
 
   KeyServer(const Network& net, HostId server_host, Simulator& sim,
@@ -84,6 +109,40 @@ class KeyServer {
   // does not re-arm.
   void Stop() { running_ = false; }
 
+  // Crash-stops the server: unlike Stop(), an in-flight interval tick fires
+  // as a no-op (the dead server processes nothing), and every further
+  // client operation is a CHECK failure. Irreversible; the replication
+  // layer halts an instance on failover and routes to the successor.
+  void Halt() {
+    running_ = false;
+    halted_ = true;
+  }
+  bool halted() const { return halted_; }
+
+  // Fault injection for the mid-batch-crash window (DESIGN.md §3g): the
+  // next non-quiet EndInterval runs the batch rekey — burning the renewed
+  // key versions — then Halts without distributing the message. The crash
+  // handler (if set) fires at that instant, with the undistributed message
+  // retained in unsent_message() and the renewed-but-undistributed key IDs
+  // visible to TakeSnapshot() as `unsent_renewed`.
+  void InjectCrashBeforeDistribute() { crash_before_distribute_ = true; }
+  void SetCrashHandler(std::function<void()> handler) {
+    on_crash_ = std::move(handler);
+  }
+  // Non-null after a mid-batch crash: the rekey message that was generated
+  // but never multicast.
+  const RekeyMessage* unsent_message() const { return unsent_message_.get(); }
+
+  // --- replication ---------------------------------------------------------
+  // Captures the server's full logical state. Valid at any op boundary;
+  // deterministic (canonically ordered).
+  Snapshot TakeSnapshot() const;
+  // Installs a snapshot into a freshly constructed, never-started server:
+  // re-registers the roster into the directory (tables rebuilt, K-consistent
+  // by construction), restores both key trees exactly, and re-stamps any
+  // unsent-renewed paths so the next interval re-issues those keys.
+  void InstallSnapshot(const Snapshot& snap);
+
   bool running() const { return running_; }
   // Simulated time of the next scheduled interval tick, kNoTime if none is
   // in flight. The online driver loop uses this as its RunFor deadline.
@@ -94,6 +153,11 @@ class KeyServer {
   // is exhausted. The joiner is granted the current path keys (modeled by
   // the key tree's live versions).
   std::optional<UserId> RequestJoin(HostId host);
+  // Removes the member everywhere. A leave for a member already inside the
+  // §2.3 failure window (MarkFailed, not yet repaired) is really failure
+  // detection completing — the "leave" notice raced the crash — so it
+  // routes to RepairFailure rather than silently taking the voluntary-leave
+  // path (and is counted as a repair, not a leave).
   void RequestLeave(UserId id);
 
   // Crash/repair pass-throughs that keep the key tree and cluster map in
@@ -104,7 +168,10 @@ class KeyServer {
   // leave (otherwise the crashed member would keep a decryptable path to
   // every future group key — found by the churn fuzzer, repro
   // tests/fuzz_repros/keyserver_repair_forward_secrecy.repro).
-  void MarkFailed(const UserId& id) { dir_.MarkFailed(id); }
+  void MarkFailed(const UserId& id) {
+    TMESH_CHECK_MSG(!halted_, "fail on a halted server");
+    dir_.MarkFailed(id);
+  }
   void RepairFailure(UserId id);
 
   // Concurrent application traffic over the same tables and uplinks.
@@ -145,16 +212,26 @@ class KeyServer {
   Simulator& sim_;
   TMesh tmesh_;
   bool running_ = false;
+  bool halted_ = false;
+  bool crash_before_distribute_ = false;
   SimTime tick_at_ = kNoTime;  // when the in-flight interval tick fires
   int interval_joins_ = 0;
   int interval_leaves_ = 0;
+  std::function<void()> on_crash_;
+  std::unique_ptr<RekeyMessage> unsent_message_;
+  std::vector<KeyId> unsent_renewed_;
   // Resolved "keyserver." handles; all null when no registry is attached.
+  // Contract (pinned by key_server_test): keyserver.encryptions equals the
+  // sum of rekey_cost over intervals that produced a delivery;
+  // keyserver.undistributed_rekeys counts the intervals whose rekey work
+  // had no alive recipient (rekey_cost > 0, delivery == -1).
   struct MetricHandles {
     Counter* joins = nullptr;
     Counter* leaves = nullptr;
     Counter* failures_repaired = nullptr;
     Counter* intervals = nullptr;
     Counter* quiet_intervals = nullptr;
+    Counter* undistributed_rekeys = nullptr;
     Counter* encryptions = nullptr;
     Histogram* batch_size = nullptr;
     Histogram* rekey_encryptions = nullptr;

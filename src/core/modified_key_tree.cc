@@ -228,6 +228,71 @@ RekeyMessage ModifiedKeyTree::Rekey(int shards) {
   return msg;
 }
 
+void ModifiedKeyTree::DiscardPending() {
+  for (std::int32_t slot : dirty_) {
+    Node& n = pool_[static_cast<std::size_t>(slot)];
+    if (n.dirty_epoch == epoch_) n.dirty_epoch = 0;
+  }
+  dirty_.clear();
+  ++epoch_;
+  changed_.clear();
+}
+
+void ModifiedKeyTree::MarkPending(const KeyId& id) {
+  TMESH_CHECK(id.size() < depth_);
+  std::int32_t slot = Find(id);
+  if (slot != -1) MarkDirty(slot);
+}
+
+ModifiedKeyTreeState ModifiedKeyTree::Snapshot() const {
+  ModifiedKeyTreeState s;
+  s.nodes.reserve(index_.size());
+  for (const auto& [id, slot] : index_) {
+    s.nodes.emplace_back(id, pool_[static_cast<std::size_t>(slot)].version);
+  }
+  for (std::int32_t slot : dirty_) {
+    const Node& n = pool_[static_cast<std::size_t>(slot)];
+    if (n.in_use && n.dirty_epoch == epoch_ && n.id.size() < depth_) {
+      s.dirty.push_back(n.id);
+    }
+  }
+  s.changed.assign(changed_.begin(), changed_.end());
+  s.retired.assign(retired_versions_.begin(), retired_versions_.end());
+  auto by_depth_lex = [](const auto& a, const auto& b) {
+    if (a.first.size() != b.first.size()) return a.first.size() < b.first.size();
+    return a.first < b.first;
+  };
+  std::sort(s.nodes.begin(), s.nodes.end(), by_depth_lex);
+  std::sort(s.dirty.begin(), s.dirty.end());
+  std::sort(s.changed.begin(), s.changed.end());
+  std::sort(s.retired.begin(), s.retired.end());
+  return s;
+}
+
+void ModifiedKeyTree::Install(const ModifiedKeyTreeState& state) {
+  TMESH_CHECK_MSG(index_.empty() && changed_.empty() && dirty_.empty(),
+                  "install requires a fresh tree");
+  retired_versions_.insert(state.retired.begin(), state.retired.end());
+  // Parents precede children in the (size, lex) node order, so child bitmaps
+  // can be set as nodes materialize.
+  for (const auto& [id, version] : state.nodes) {
+    std::int32_t slot = NewNode(id);
+    pool_[static_cast<std::size_t>(slot)].version = version;
+    if (id.size() == depth_) ++user_count_;
+    if (id.size() > 0) {
+      std::int32_t parent = Find(id.Parent());
+      TMESH_CHECK_MSG(parent != -1, "snapshot node set not prefix-closed");
+      pool_[static_cast<std::size_t>(parent)].SetChild(id.LastDigit());
+    }
+  }
+  for (const DigitString& id : state.dirty) {
+    std::int32_t slot = Find(id);
+    TMESH_CHECK_MSG(slot != -1, "snapshot dirty entry without node");
+    MarkDirty(slot);
+  }
+  changed_.insert(state.changed.begin(), state.changed.end());
+}
+
 std::vector<KeyId> ModifiedKeyTree::KeysOf(const UserId& u) const {
   TMESH_CHECK_MSG(Contains(u), "not a member: " + u.ToString());
   std::vector<KeyId> keys;

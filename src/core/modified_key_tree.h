@@ -47,6 +47,19 @@
 
 namespace tmesh {
 
+// Portable key-tree state for key-server replication (DESIGN.md §3g): the
+// exact node versions, the retired-version ledger, and the pending batch.
+// Everything else (child bitmaps, counters, slot layout) is derivable from
+// the node set, so Install() reconstructs it.
+struct ModifiedKeyTreeState {
+  // Every live node (k-nodes and u-nodes), sorted by (size, lex) so slot
+  // assignment on install is deterministic.
+  std::vector<std::pair<DigitString, std::uint32_t>> nodes;  // id -> version
+  std::vector<DigitString> dirty;    // k-nodes stamped for the next rekey
+  std::vector<UserId> changed;       // pending changed leaves, sorted
+  std::vector<std::pair<DigitString, std::uint32_t>> retired;  // sorted
+};
+
 class ModifiedKeyTree {
  public:
   explicit ModifiedKeyTree(int depth);
@@ -70,6 +83,25 @@ class ModifiedKeyTree {
   // level-1 subtrees on that many worker threads; the message is identical
   // for every shard count.
   RekeyMessage Rekey(int shards = 1);
+
+  // Drops the pending batch without renewing any key: clears the dirty
+  // stamps and the changed-leaf set, leaving structure and versions as they
+  // are. The key server calls this on the scheme whose message it does NOT
+  // distribute, so the inactive tree never does (or accumulates) rekey work.
+  void DiscardPending();
+
+  // Re-stamps an existing k-node for the next rekey. Used on failover after
+  // a mid-batch crash: key versions the dead server renewed but never
+  // distributed are burned, and the successor must issue fresh ones on the
+  // same paths (DESIGN.md §3g). No-op if the node has been pruned since.
+  void MarkPending(const KeyId& id);
+
+  // State transfer for replication. Install() requires a freshly
+  // constructed tree of the same depth and reproduces the source exactly:
+  // versions, retired ledger, pending batch, and therefore every future
+  // rekey message byte-for-byte.
+  ModifiedKeyTreeState Snapshot() const;
+  void Install(const ModifiedKeyTreeState& state);
 
   // Number of pending changed paths (joined or departed user IDs).
   int pending_changes() const { return static_cast<int>(changed_.size()); }

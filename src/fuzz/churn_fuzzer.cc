@@ -11,6 +11,7 @@
 #include <cstring>
 #include <deque>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
@@ -18,6 +19,7 @@
 
 #include "core/key_server.h"
 #include "core/modified_key_tree.h"
+#include "ha/replicated_key_server.h"
 #include "core/silk.h"
 #include "core/tmesh.h"
 #include "keytree/wgl_key_tree.h"
@@ -150,9 +152,16 @@ class DirectoryHarness {
         net_(NetParams(cfg)),
         sim_(Simulator::Options{.discipline = cfg.discipline,
                                 .adaptive_retune = cfg.adaptive_retune}),
-        server_(net_, 0, sim_, ServerConfig(cfg)) {
+        server_(net_, 0, sim_, ReplicaConfig(cfg)) {
     for (HostId h = 1; h < cfg.hosts; ++h) free_hosts_.push_back(h);
     server_.Start();
+  }
+
+  static ha::ReplicatedKeyServer::Config ReplicaConfig(const FuzzConfig& cfg) {
+    ha::ReplicatedKeyServer::Config c;
+    c.server = ServerConfig(cfg);
+    c.replicas = cfg.replicas;
+    return c;
   }
 
   static KeyServer::Config ServerConfig(const FuzzConfig& cfg) {
@@ -186,6 +195,23 @@ class DirectoryHarness {
         break;
       }
       case OpKind::kLeave: {
+        if (op.arg2 % 2 == 1 && !failed_.empty()) {
+          // §2.3 failure-window interleaving: the victim was MarkFailed and
+          // this "leave" is its failure detection completing. The server
+          // must route it through RepairFailure (a crashed member cannot
+          // send a voluntary-leave notice); the harness books the eviction
+          // either way, so the silent-voluntary-leave regression trips the
+          // forward-secrecy or k-consistency invariant.
+          std::size_t pick = op.arg % failed_.size();
+          UserId victim = failed_[pick];
+          failed_.erase(failed_.begin() + static_cast<std::ptrdiff_t>(pick));
+          HostId host = dir.HostOf(victim);
+          SnapshotDeparture(victim);
+          Guard("op", [&] { server_.RequestLeave(victim); });
+          free_hosts_.push_back(host);
+          ++epoch_;
+          break;
+        }
         std::vector<UserId> alive = dir.AliveMembers();
         if (alive.empty()) break;
         UserId victim = alive[op.arg % alive.size()];
@@ -247,13 +273,33 @@ class DirectoryHarness {
         Guard("op",
               [&] { RunUntilSliced(sim_, sim_.Now() + dt, cfg_.step_events); });
         ScanHistory();
+        ScanUnsent();
         if (sim_.Pending() <= 1) CheckQuiescent();
         break;
       }
+      // Fault injection against the replicated manager. The facade refuses
+      // (returns false) any fault that would orphan the group or overlap a
+      // pending failover, so these are safe at any trace position — and
+      // plain no-ops at replicas == 1.
+      case OpKind::kKillServer: {
+        Guard("op", [&] { server_.KillActive(op.arg2 % 2 == 1); });
+        break;
+      }
+      case OpKind::kPartitionServer: {
+        Guard("op", [&] { server_.PartitionActive(); });
+        break;
+      }
+      case OpKind::kHealPartition: {
+        Guard("op", [&] { server_.HealPartition(); });
+        break;
+      }
     }
+    // Query the facade afresh: a fault op above may have switched the
+    // active incarnation out from under the `dir` reference.
+    const Directory& now = server_.directory();
     Line(log, "#%d %s(%u) n=%d alive=%d failed=%d t_us=%" PRId64 " pend=%zu",
-         index, ToString(op.kind), op.arg, dir.member_count(),
-         dir.alive_count(), static_cast<int>(failed_.size()),
+         index, ToString(op.kind), op.arg, now.member_count(),
+         now.alive_count(), static_cast<int>(failed_.size()),
          static_cast<std::int64_t>(sim_.Now()), sim_.Pending());
     CheckPlant();
   }
@@ -265,6 +311,7 @@ class DirectoryHarness {
                        cfg_.step_events);
       });
       ScanHistory();
+      ScanUnsent();
       if (sim_.Pending() <= 1) {
         CheckQuiescent();
         break;
@@ -322,6 +369,10 @@ class DirectoryHarness {
     for (int m = next_validate_; m < d.deliveries_seen; ++m) {
       Close(d.keys, server_.message(m).encryptions, nullptr);
     }
+    // Burned mid-batch-crash messages were never delivered, but the dead
+    // manager held them — conservatively assume the departing member saw
+    // every one of them too.
+    for (const auto& encs : leaked_) Close(d.keys, encs, nullptr);
     departed_.push_back(std::move(d));
     if (departed_.size() > 12) departed_.pop_front();
   }
@@ -332,6 +383,43 @@ class DirectoryHarness {
       if (hist[scanned_history_].delivery >= 0) {
         delivery_meta_.push_back(DeliveryMeta{epoch_});
       }
+    }
+  }
+
+  // Version uniqueness: every rekey message — distributed or burned by a
+  // mid-batch crash — introduces each (key ID, version) pair at most once
+  // across the whole run. Within one message a renewed key legitimately
+  // appears under several encrypting keys, so dedupe per message first.
+  void AuditMessage(const std::vector<Encryption>& encs) {
+    Guard("version-uniqueness", [&] {
+      std::set<std::pair<KeyId, std::uint32_t>> in_msg;
+      for (const Encryption& e : encs) {
+        in_msg.emplace(e.new_key_id, e.new_key_version);
+      }
+      for (const auto& kv : in_msg) {
+        TMESH_CHECK_MSG(issued_.insert(kv).second,
+                        "key version issued by two rekey messages: " +
+                            kv.first.ToString() + " v" +
+                            std::to_string(kv.second));
+      }
+    });
+  }
+
+  // Folds newly burned (generated-but-undistributed) messages from
+  // mid-batch manager crashes into the audit state. They enter the
+  // departed-members' knowledge — the dead manager held the payload, so
+  // forward secrecy must not depend on it staying secret — but never
+  // held_: no live member received them, and the decryption-closure check
+  // must prove liveness from the re-issued messages alone.
+  void ScanUnsent() {
+    for (; audited_unsent_ < server_.unsent_count(); ++audited_unsent_) {
+      const RekeyMessage& msg = server_.unsent_message(audited_unsent_);
+      AuditMessage(msg.encryptions);
+      if (cfg_.cluster_heuristic) continue;
+      for (Departed& dep : departed_) {
+        Close(dep.keys, msg.encryptions, nullptr);
+      }
+      leaked_.push_back(msg.encryptions);
     }
   }
 
@@ -377,6 +465,7 @@ class DirectoryHarness {
     const Directory& dir = server_.directory();
     const TMesh::Result& res = server_.delivery(d);
     const RekeyMessage& msg = server_.message(d);
+    AuditMessage(msg.encryptions);
     bool strict = delivery_meta_[static_cast<std::size_t>(d)].epoch == epoch_ &&
                   failed_.empty();
 
@@ -476,7 +565,7 @@ class DirectoryHarness {
   FuzzConfig cfg_;
   PlanetLabNetwork net_;
   Simulator sim_;
-  KeyServer server_;
+  ha::ReplicatedKeyServer server_;
   std::vector<HostId> free_hosts_;
   std::vector<UserId> failed_;
   int epoch_ = 0;  // bumped by every membership op
@@ -488,6 +577,13 @@ class DirectoryHarness {
   std::size_t scanned_history_ = 0;
   std::vector<DeliveryMeta> delivery_meta_;  // one per emitted rekey delivery
   int next_validate_ = 0;
+
+  // Version-uniqueness ledger over every message the run has seen, and the
+  // payloads of burned (crash-undistributed) messages for the conservative
+  // forward-secrecy leak model.
+  std::set<std::pair<KeyId, std::uint32_t>> issued_;
+  int audited_unsent_ = 0;
+  std::vector<std::vector<Encryption>> leaked_;
 
   // Decryption-closure tracking (non-cluster mode): per-member held keys and
   // the knowledge snapshots of recently departed members.
@@ -584,7 +680,10 @@ class SilkHarness {
       }
       case OpKind::kFail:
       case OpKind::kRepair:
-        break;  // no failure model in the Silk substrate
+      case OpKind::kKillServer:
+      case OpKind::kPartitionServer:
+      case OpKind::kHealPartition:
+        break;  // no failure/replication model in the Silk substrate
       case OpKind::kData: {
         Guard("op", [&] { DrainSliced(sim_, cfg_.step_events); });
         in_flight_leaves_ = 0;
@@ -734,6 +833,9 @@ const char* ToString(OpKind k) {
     case OpKind::kRepair: return "repair";
     case OpKind::kData: return "data";
     case OpKind::kAdvance: return "advance";
+    case OpKind::kKillServer: return "kill";
+    case OpKind::kPartitionServer: return "partition";
+    case OpKind::kHealPartition: return "heal";
   }
   return "?";
 }
@@ -751,12 +853,19 @@ std::vector<Op> ChurnFuzzer::GenerateTrace(const FuzzConfig& cfg) {
     if (ramp && w < 70) {
       op.kind = OpKind::kJoin;
     } else if (dir) {
-      op.kind = w < 26   ? OpKind::kJoin
-                : w < 40 ? OpKind::kLeave
-                : w < 46 ? OpKind::kFail
-                : w < 54 ? OpKind::kRepair
-                : w < 66 ? OpKind::kData
-                         : OpKind::kAdvance;
+      // With replication on, the fault ops are carved out of the advance
+      // band; at replicas == 1 the op-kind mapping is unchanged.
+      const bool kills = cfg.replicas > 1 && cfg.gen_kills;
+      const bool parts = cfg.replicas > 1 && cfg.gen_partitions;
+      op.kind = w < 26             ? OpKind::kJoin
+                : w < 40           ? OpKind::kLeave
+                : w < 46           ? OpKind::kFail
+                : w < 54           ? OpKind::kRepair
+                : w < 66           ? OpKind::kData
+                : kills && w < 70  ? OpKind::kKillServer
+                : parts && w < 74  ? OpKind::kPartitionServer
+                : parts && w < 78  ? OpKind::kHealPartition
+                                   : OpKind::kAdvance;
     } else {
       op.kind = w < 32   ? OpKind::kJoin
                 : w < 52 ? OpKind::kLeave
@@ -766,6 +875,12 @@ std::vector<Op> ChurnFuzzer::GenerateTrace(const FuzzConfig& cfg) {
     op.arg = static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 30));
     if (op.kind == OpKind::kJoin) {
       op.arg2 = static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 30));
+    }
+    if (dir && (op.kind == OpKind::kLeave || op.kind == OpKind::kKillServer)) {
+      // Leave: odd arg2 targets a failed-but-unrepaired victim — the §2.3
+      // MarkFailed → RequestLeave interleaving. Kill: odd arg2 crashes the
+      // manager mid-batch instead of fail-stopping it cleanly.
+      op.arg2 = static_cast<std::uint32_t>(rng.UniformInt(0, 1));
     }
     trace.push_back(op);
     // Silk leaves come in same-subtree bursts half the time: correlated
@@ -864,18 +979,18 @@ std::string ChurnFuzzer::FormatScript(const FuzzConfig& cfg,
     std::string line;
     while (std::getline(lines, line)) out += "# " + line + "\n";
   }
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof buf,
                 "substrate %s\ndigits %d\nbase %d\ncapacity %d\nhosts %d\n"
                 "loss %.12g\nseed %" PRIu64 "\ninterval_us %" PRId64
                 "\nsplit %d\ncluster %d\nuncapped %d\nstep %zu"
-                "\nadaptive %d\n",
+                "\nadaptive %d\nreplicas %d\n",
                 SubstrateName(cfg.substrate), cfg.group.digits, cfg.group.base,
                 cfg.group.capacity, cfg.hosts, cfg.loss_prob, cfg.seed,
                 static_cast<std::int64_t>(cfg.rekey_interval),
                 cfg.split ? 1 : 0, cfg.cluster_heuristic ? 1 : 0,
                 cfg.uncapped_leaves ? 1 : 0, cfg.step_events,
-                cfg.adaptive_retune ? 1 : 0);
+                cfg.adaptive_retune ? 1 : 0, cfg.replicas);
   out += buf;
   for (const Op& op : trace) {
     std::snprintf(buf, sizeof buf, "op %s %u %u\n", ToString(op.kind), op.arg,
@@ -916,6 +1031,9 @@ bool ChurnFuzzer::ParseScript(const std::string& text, FuzzConfig* cfg,
       else if (kind == "repair") op.kind = OpKind::kRepair;
       else if (kind == "data") op.kind = OpKind::kData;
       else if (kind == "advance") op.kind = OpKind::kAdvance;
+      else if (kind == "kill") op.kind = OpKind::kKillServer;
+      else if (kind == "partition") op.kind = OpKind::kPartitionServer;
+      else if (kind == "heal") op.kind = OpKind::kHealPartition;
       else return bad();
       trace->push_back(op);
     } else if (key == "substrate") {
@@ -956,6 +1074,8 @@ bool ChurnFuzzer::ParseScript(const std::string& text, FuzzConfig* cfg,
       int v;
       if (!(ls >> v)) return bad();
       cfg->adaptive_retune = v != 0;
+    } else if (key == "replicas") {
+      if (!(ls >> cfg->replicas)) return bad();
     } else {
       return fail("line " + std::to_string(lineno) + ": unknown key '" + key +
                   "'");

@@ -35,6 +35,11 @@
 //     per session, decryption closure for every live member after each
 //     interval, no decryption closure for departed members (forward
 //     secrecy), ID-tree/key-tree structural agreement, cluster invariants.
+//     With replicas > 1 the server runs behind the §3g replication facade
+//     and the trace may kill/partition/heal the elected manager; the same
+//     invariant set must hold across failovers, plus version uniqueness:
+//     no (key ID, version) pair is ever introduced by two rekey messages —
+//     a mid-batch crash must burn, not reuse, its undistributed versions.
 //   - kSilk: the message-driven SilkGroup protocol — joins (serialized, as
 //     the protocol requires), leave *batches* (concurrent leave notices in
 //     flight), data sessions over the protocol-built tables. Invariants:
@@ -59,11 +64,21 @@ enum class Substrate { kDirectory, kSilk };
 
 enum class OpKind {
   kJoin,     // admit a member (arg selects the host; arg2 seeds the Silk ID)
-  kLeave,    // graceful leave (arg selects among current members)
+  kLeave,    // graceful leave (arg selects among current members; kDirectory:
+             // arg2 odd prefers a failed-but-unrepaired victim — the §2.3
+             // MarkFailed → RequestLeave interleaving the server must route
+             // to RepairFailure)
   kFail,     // MarkFailed (kDirectory only; arg selects among alive members)
   kRepair,   // RepairFailure (kDirectory only; arg selects among failed)
   kData,     // quiesce, then run one data multicast and assert Theorem 1
   kAdvance,  // drain / advance past rekey ticks, then assert all invariants
+  // Fault injection against the replicated key manager (kDirectory with
+  // replicas > 1; no-ops otherwise — the facade refuses any fault that
+  // would leave no eligible replica, so any trace subsequence stays valid).
+  kKillServer,       // fail-stop the manager (arg2 odd: crash mid-batch,
+                     // after the rekey but before distribution)
+  kPartitionServer,  // partition the manager away from the quorum
+  kHealPartition,    // heal the lowest-numbered partitioned replica
 };
 
 struct Op {
@@ -87,6 +102,17 @@ struct FuzzConfig {
   // heartbeat model) before asserting 1-consistency.
   bool uncapped_leaves = false;
   bool cluster_heuristic = false;  // Appendix-B mode (kDirectory only)
+  // Key-manager replication (kDirectory only): the group runs behind
+  // `replicas` key-server replicas (DESIGN.md §3g). 1 is the plain single
+  // server — byte-identical logs to the pre-replication harness; > 1
+  // enables the kKillServer/kPartitionServer/kHealPartition fault ops and
+  // the failover invariants (exactly-once across failover, no version ever
+  // issued twice, forward secrecy across a mid-batch crash).
+  int replicas = 1;
+  // Trace-generation toggles for the fault ops (GenerateTrace only — a
+  // script replay executes whatever ops it carries). Ignored at replicas=1.
+  bool gen_kills = true;
+  bool gen_partitions = true;
   QueueDiscipline discipline = QueueDiscipline::kCalendar;
   // Calendar-queue epoch width adaptation (ignored by kBinaryHeap). Queue
   // geometry can never change event order, so logs are byte-identical for

@@ -3,7 +3,8 @@
 //   fuzz_churn [--substrate=directory|silk] [--seed=N] [--seeds=M]
 //              [--ops=N] [--hosts=N] [--digits=D] [--base=B] [--k=K]
 //              [--loss=P] [--interval-ms=N] [--cluster] [--no-split]
-//              [--uncapped] [--discipline=calendar|heap] [--step=N]
+//              [--uncapped] [--replicas=N] [--kill-server] [--partition]
+//              [--discipline=calendar|heap] [--step=N]
 //              [--static-calendar] [--out=DIR]
 //   fuzz_churn --replay=FILE [--discipline=calendar|heap] [--step=N]
 //   fuzz_churn --scale [--users=N] [--epochs=N] [--batch=N] [--shards=N]
@@ -15,6 +16,11 @@
 //
 // --step=N drives every simulator drain in RunFor slices of N events
 // (0: monolithic); output is byte-identical for every value.
+//
+// --replicas=N runs the directory substrate behind the replicated key
+// manager (N replicas). --kill-server / --partition additionally weight the
+// generator toward that fault family (and default replicas to 3): the
+// nightly failover campaigns.
 //
 // --scale runs the big-N smoke campaign over the flat key trees (one N-user
 // build interval plus --epochs churn batches, asserting the streamed-work,
@@ -57,6 +63,7 @@ using tmesh::fuzz::Substrate;
       "[--ops=N]\n"
       "          [--hosts=N] [--digits=D] [--base=B] [--k=K] [--loss=P]\n"
       "          [--interval-ms=N] [--cluster] [--no-split] [--uncapped]\n"
+      "          [--replicas=N] [--kill-server] [--partition]\n"
       "          [--discipline=calendar|heap] [--step=N] [--out=DIR]\n"
       "       %s --replay=FILE [--discipline=calendar|heap] [--step=N]\n"
       "       %s --scale [--users=N] [--epochs=N] [--batch=N] [--shards=N]\n"
@@ -93,6 +100,9 @@ int main(int argc, char** argv) {
   std::string replay;
   bool scale = false;
   bool id_shape_set = false;  // --digits/--base given explicitly
+  bool replicas_set = false;
+  bool kill_server = false;
+  bool partition = false;
   tmesh::fuzz::ScaleConfig scfg;
 
   for (int i = 1; i < argc; ++i) {
@@ -134,6 +144,13 @@ int main(int argc, char** argv) {
       cfg.cluster_heuristic = true;
     } else if (std::strcmp(a, "--uncapped") == 0) {
       cfg.uncapped_leaves = true;
+    } else if (const char* v = val("--replicas=")) {
+      cfg.replicas = static_cast<int>(ParseInt(argv[0], v));
+      replicas_set = true;
+    } else if (std::strcmp(a, "--kill-server") == 0) {
+      kill_server = true;
+    } else if (std::strcmp(a, "--partition") == 0) {
+      partition = true;
     } else if (std::strcmp(a, "--no-split") == 0) {
       cfg.split = false;
     } else if (const char* v = val("--discipline=")) {
@@ -197,6 +214,15 @@ int main(int argc, char** argv) {
     } else {
       Usage(argv[0]);
     }
+  }
+
+  // Fault-injection campaigns (ISSUE 8 / S6): either flag implies a
+  // replicated manager; each narrows the generator to its fault family so
+  // nightly kill and partition arms shake different interleavings.
+  if (kill_server || partition) {
+    if (!replicas_set) cfg.replicas = 3;
+    cfg.gen_kills = kill_server;
+    cfg.gen_partitions = partition;
   }
 
   if (scale) {
@@ -293,11 +319,15 @@ int main(int argc, char** argv) {
   for (long long s = 0; s < seeds; ++s) {
     FuzzConfig run = cfg;
     run.seed = cfg.seed + static_cast<std::uint64_t>(s);
-    std::printf("campaign substrate=%s seed=%llu ops=%d k=%d loss=%g%s...\n",
-                run.substrate == Substrate::kDirectory ? "directory" : "silk",
-                static_cast<unsigned long long>(run.seed), run.ops,
-                run.group.capacity, run.loss_prob,
-                run.cluster_heuristic ? " cluster" : "");
+    std::printf(
+        "campaign substrate=%s seed=%llu ops=%d k=%d loss=%g%s replicas=%d"
+        "%s%s...\n",
+        run.substrate == Substrate::kDirectory ? "directory" : "silk",
+        static_cast<unsigned long long>(run.seed), run.ops,
+        run.group.capacity, run.loss_prob,
+        run.cluster_heuristic ? " cluster" : "", run.replicas,
+        run.replicas > 1 && run.gen_kills ? " +kills" : "",
+        run.replicas > 1 && run.gen_partitions ? " +partitions" : "");
     std::fflush(stdout);
     auto report = ChurnFuzzer::RunCampaign(run);
     if (!report.has_value()) {

@@ -1,0 +1,74 @@
+#include "ha/km_election.h"
+
+namespace tmesh {
+namespace ha {
+
+KmElection::KmElection(Simulator& sim, const KmElectionConfig& cfg,
+                       int replicas)
+    : sim_(sim), cfg_(cfg) {
+  TMESH_CHECK(replicas >= 1);
+  replicas_.resize(static_cast<std::size_t>(replicas));
+}
+
+int KmElection::eligible_count() const {
+  int n = 0;
+  for (const Replica& r : replicas_) {
+    if (r.alive && !r.partitioned) ++n;
+  }
+  return n;
+}
+
+int KmElection::Winner() const {
+  for (int id = 0; id < replica_count(); ++id) {
+    const Replica& r = replicas_[static_cast<std::size_t>(id)];
+    if (r.alive && !r.partitioned) return id;
+  }
+  return -1;
+}
+
+void KmElection::MarkDead(int id) {
+  At(id).alive = false;
+  At(id).partitioned = false;
+}
+
+void KmElection::MarkPartitioned(int id) {
+  TMESH_CHECK_MSG(At(id).alive, "partition of a dead replica");
+  At(id).partitioned = true;
+}
+
+bool KmElection::HealOne() {
+  for (Replica& r : replicas_) {
+    if (r.alive && r.partitioned) {
+      r.partitioned = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void KmElection::BeginFailover(std::function<void(int)> on_elected) {
+  // The outcome is fixed by the survivor set at the failure instant: the
+  // lowest eligible replica. A replica healed back in *during* the round
+  // joins as a follower — it must not depose the successor the quorum is
+  // already converging on (that would be a second failover nobody asked
+  // for).
+  const int winner = Winner();
+  TMESH_CHECK_MSG(winner >= 0, "failover with no eligible replica");
+  const std::uint64_t gen = ++generation_;
+  electing_ = true;
+  // Detection: the survivors notice the manager's silence one heartbeat
+  // window after the failure, then run one election round.
+  sim_.ScheduleIn(cfg_.heartbeat_timeout, [this, gen, winner, on_elected] {
+    if (gen != generation_) return;  // superseded by a newer failover
+    sim_.ScheduleIn(cfg_.election_delay, [this, gen, winner, on_elected] {
+      if (gen != generation_) return;
+      TMESH_CHECK_MSG(At(winner).alive && !At(winner).partitioned,
+                      "elected replica lost during the round");
+      electing_ = false;
+      on_elected(winner);
+    });
+  });
+}
+
+}  // namespace ha
+}  // namespace tmesh

@@ -1,0 +1,100 @@
+// Deterministic key-manager election for the replicated key server
+// (DESIGN.md §3g).
+//
+// The pattern follows the DCT key-distributor design (km_election.hpp, used
+// by dist_sgkey.hpp): a fixed set of eligible peers elects one *key
+// manager*; when the manager fails, the survivors detect the silence and
+// re-elect. This module keeps the replica roster (alive / partitioned) and
+// drives the failover timeline on the simulator:
+//
+//   failure  --heartbeat_timeout-->  detection  --election_delay-->  elected
+//
+// The winner is the deterministic minimum: the lowest-numbered replica that
+// is alive and not partitioned. Determinism contract: the whole failover —
+// winner identity, timing, and event count — is independent of the replica
+// count N, so a fixed fault trace produces byte-identical histories at
+// every N large enough to survive it (pinned by replicated_key_server_test
+// and the churn fuzzer's replica-count sweep). To that end the module
+// schedules *no* steady-state events: heartbeats are abstracted into the
+// fixed detection bound (per-replica heartbeat timers would make the
+// pending-event count — and thus fuzzer logs — depend on N), and a
+// failover is one two-event chain regardless of N.
+//
+// Partitions are fail-stop (see ReplicatedKeyServer): a partitioned replica
+// is ineligible until healed, after which it may win a *later* election; an
+// election never deposes a live manager.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace tmesh {
+namespace ha {
+
+struct KmElectionConfig {
+  // Worst-case failure-detection bound: the time from a manager's failure
+  // to the survivors declaring it dead (the missed-heartbeat window).
+  SimTime heartbeat_timeout = FromSeconds(2);
+  // One election round among the survivors (fixed, not RTT-derived, so the
+  // timeline is topology- and N-independent).
+  SimTime election_delay = FromSeconds(1);
+};
+
+class KmElection {
+ public:
+  KmElection(Simulator& sim, const KmElectionConfig& cfg, int replicas);
+
+  int replica_count() const { return static_cast<int>(replicas_.size()); }
+  bool alive(int id) const { return At(id).alive; }
+  bool partitioned(int id) const { return At(id).partitioned; }
+  // Replicas that could serve as key manager right now.
+  int eligible_count() const;
+  // The deterministic election result: lowest eligible replica id, -1 if
+  // none remains.
+  int Winner() const;
+
+  void MarkDead(int id);
+  void MarkPartitioned(int id);
+  // Heals the lowest-numbered partitioned replica (it rejoins as an
+  // eligible follower); false if none is partitioned.
+  bool HealOne();
+
+  // Runs one failover on the simulator: after heartbeat_timeout +
+  // election_delay, `on_elected(winner)` fires with the Winner() fixed at
+  // the failure instant — a replica healed during the round joins as a
+  // follower rather than deposing the successor the quorum is converging
+  // on. A newer BeginFailover supersedes an in-flight one (its chain is
+  // abandoned) — exactly one on_elected fires per completed failover. The
+  // caller must guarantee at least one eligible replica.
+  void BeginFailover(std::function<void(int)> on_elected);
+  bool electing() const { return electing_; }
+
+ private:
+  struct Replica {
+    bool alive = true;
+    bool partitioned = false;
+  };
+
+  const Replica& At(int id) const {
+    TMESH_CHECK(id >= 0 && id < replica_count());
+    return replicas_[static_cast<std::size_t>(id)];
+  }
+  Replica& At(int id) {
+    TMESH_CHECK(id >= 0 && id < replica_count());
+    return replicas_[static_cast<std::size_t>(id)];
+  }
+
+  Simulator& sim_;
+  KmElectionConfig cfg_;
+  std::vector<Replica> replicas_;
+  bool electing_ = false;
+  // Stale-chain guard: each BeginFailover bumps the generation; an event
+  // chain only proceeds while its generation is current.
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace ha
+}  // namespace tmesh

@@ -1,0 +1,132 @@
+#include "ha/replicated_key_server.h"
+
+#include <utility>
+
+namespace tmesh {
+namespace ha {
+
+ReplicatedKeyServer::ReplicatedKeyServer(const Network& net,
+                                         HostId server_host, Simulator& sim,
+                                         const Config& cfg)
+    : net_(net),
+      server_host_(server_host),
+      sim_(sim),
+      cfg_(cfg),
+      election_(sim, cfg.election, cfg.replicas) {
+  TMESH_CHECK(cfg.replicas >= 1);
+  incarnations_.push_back(
+      std::make_unique<KeyServer>(net, server_host, sim, cfg.server));
+  incarnation_replica_.push_back(0);
+  consumed_.push_back(0);
+}
+
+void ReplicatedKeyServer::SetMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  active().SetMetrics(metrics);
+}
+
+bool ReplicatedKeyServer::KillActive(bool mid_batch) {
+  if (election_.eligible_count() <= 1) return false;  // never orphan the group
+  if (failover_in_progress()) return false;
+  if (mid_batch) {
+    // The crash fires inside the manager's next non-quiet interval tick;
+    // until then it keeps serving.
+    crash_armed_ = true;
+    active().InjectCrashBeforeDistribute();
+    active().SetCrashHandler([this] {
+      crash_armed_ = false;
+      OnActiveCrashed();
+    });
+    return true;
+  }
+  KeyServer::Snapshot snap = active().TakeSnapshot();
+  active().Halt();
+  election_.MarkDead(active_replica());
+  ActivateSuccessor(std::move(snap));
+  return true;
+}
+
+bool ReplicatedKeyServer::PartitionActive() {
+  if (election_.eligible_count() <= 1) return false;
+  if (failover_in_progress()) return false;
+  // Fail-stop at the partition instant: the manager's lease with the quorum
+  // lapses and it stops serving (we model the post-fencing state, so the
+  // partitioned side cannot keep distributing keys — no split brain). Its
+  // replica stays alive and may be healed back in as a follower.
+  KeyServer::Snapshot snap = active().TakeSnapshot();
+  active().Halt();
+  election_.MarkPartitioned(active_replica());
+  ActivateSuccessor(std::move(snap));
+  return true;
+}
+
+void ReplicatedKeyServer::OnActiveCrashed() {
+  // Called from inside the dying manager's interval tick: the rekey ran,
+  // the message never left. Record the burned message for the
+  // version-uniqueness audit; the snapshot carries the re-issue list.
+  TMESH_CHECK(active().unsent_message() != nullptr);
+  unsent_.push_back(active().unsent_message());
+  KeyServer::Snapshot snap = active().TakeSnapshot();
+  election_.MarkDead(active_replica());
+  ActivateSuccessor(std::move(snap));
+}
+
+void ReplicatedKeyServer::ActivateSuccessor(KeyServer::Snapshot snap) {
+  int winner = election_.Winner();
+  TMESH_CHECK_MSG(winner >= 0, "failover with no eligible replica");
+  auto next = std::make_unique<KeyServer>(net_, server_host_, sim_,
+                                          cfg_.server);
+  if (metrics_ != nullptr) next->SetMetrics(metrics_);
+  next->InstallSnapshot(snap);
+  incarnations_.push_back(std::move(next));
+  incarnation_replica_.push_back(winner);
+  consumed_.push_back(0);
+  current_ = static_cast<int>(incarnations_.size()) - 1;
+  // The successor owns the state immediately (client ops keep landing and
+  // accumulate in its first batch), but rekeying only resumes once the
+  // election completes — the observable failover stall.
+  election_.BeginFailover([this](int elected) {
+    TMESH_CHECK(elected == active_replica());
+    TMESH_CHECK(!active().halted());
+    active().Start();
+  });
+}
+
+void ReplicatedKeyServer::Refresh() const {
+  for (std::size_t k = 0; k < incarnations_.size(); ++k) {
+    const KeyServer& s = *incarnations_[k];
+    const auto& hist = s.history();
+    for (std::size_t i = consumed_[k]; i < hist.size(); ++i) {
+      KeyServer::IntervalRecord rec = hist[i];
+      if (rec.delivery >= 0) {
+        agg_deliveries_.emplace_back(&s, rec.delivery);
+        rec.delivery = static_cast<int>(agg_deliveries_.size()) - 1;
+      }
+      agg_history_.push_back(rec);
+    }
+    consumed_[k] = hist.size();
+  }
+}
+
+const std::vector<KeyServer::IntervalRecord>& ReplicatedKeyServer::history()
+    const {
+  Refresh();
+  return agg_history_;
+}
+
+const TMesh::Result& ReplicatedKeyServer::delivery(int index) const {
+  Refresh();
+  const auto& [server, local] =
+      agg_deliveries_[static_cast<std::size_t>(index)];
+  return server->delivery(local);
+}
+
+const RekeyMessage& ReplicatedKeyServer::message(int index) const {
+  Refresh();
+  const auto& [server, local] =
+      agg_deliveries_[static_cast<std::size_t>(index)];
+  return server->message(local);
+}
+
+}  // namespace ha
+}  // namespace tmesh

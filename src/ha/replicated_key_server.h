@@ -1,0 +1,163 @@
+// Replicated key server (DESIGN.md §3g): N replicas behind one facade, one
+// of which — the elected *key manager* — serves the group at a time.
+//
+// Replication model. The manager's logical state (directory roster, both
+// key trees, interval bookkeeping) is synchronously replicated: at every
+// client-op boundary the followers hold a state snapshot equivalent to the
+// manager's. In-process this is modeled by reading KeyServer::TakeSnapshot()
+// off the failed instance at the failure instant — byte-equivalent to a
+// follower applying a quorum-acknowledged op log, without simulating the
+// log itself. Each activation materializes a fresh KeyServer *incarnation*
+// via InstallSnapshot; dead incarnations are retained so their in-flight
+// multicasts drain and their delivery history stays queryable.
+//
+// Failover timeline (driven by KmElection on the simulator):
+//   t0 kill/partition: the old manager halts (fail-stop); the successor
+//      incarnation is materialized immediately and becomes the state owner,
+//      so client joins/leaves keep landing (they accumulate in its first
+//      batch) — but it does NOT rekey yet.
+//   t0 + heartbeat_timeout: survivors detect the silence.
+//   ... + election_delay: the lowest eligible replica wins; the successor
+//      Start()s and periodic rekeying resumes. The rekey stall between t0
+//      and here is the observable cost of a failover.
+//
+// Mid-batch crash (KillActive(mid_batch=true)): the manager crashes inside
+// its next interval tick *after* the batch rekey but *before* multicasting
+// the message. The renewed versions are burned — the successor re-stamps
+// those paths and issues fresh versions one up, so no (key ID, version)
+// pair is ever distributed twice and no member is locked out behind a
+// version nobody received (the churn fuzzer's version-uniqueness and
+// decryption-closure invariants pin both).
+//
+// Partitions are fail-stop: a partitioned manager stops serving at the
+// partition instant (in a real deployment, lease/fencing enforces this; we
+// model the post-fencing state, so split-brain is out of scope by
+// construction) and may be healed back into eligibility as a follower.
+//
+// Determinism: with replicas == 1 the facade schedules nothing and
+// delegates straight to the single KeyServer — byte-identical to using it
+// directly. With replicas > 1, every incarnation serves the same logical
+// server host (the virtual-IP model) and nothing about an incarnation
+// depends on the replica count, so a fixed trace+seed yields byte-identical
+// history/messages/deliveries at every replica count that survives it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/key_server.h"
+#include "ha/km_election.h"
+
+namespace tmesh {
+namespace ha {
+
+class ReplicatedKeyServer {
+ public:
+  struct Config {
+    KeyServer::Config server;
+    int replicas = 1;
+    KmElectionConfig election;
+  };
+
+  ReplicatedKeyServer(const Network& net, HostId server_host, Simulator& sim,
+                      const Config& cfg);
+
+  // Attaches a registry to the current and every future incarnation.
+  void SetMetrics(MetricsRegistry* metrics);
+  void Start() { active().Start(); }
+
+  // --- client-facing operations (routed to the current state owner) -------
+  std::optional<UserId> RequestJoin(HostId host) {
+    return active().RequestJoin(host);
+  }
+  void RequestLeave(UserId id) { active().RequestLeave(id); }
+  void MarkFailed(const UserId& id) { active().MarkFailed(id); }
+  void RepairFailure(UserId id) { active().RepairFailure(id); }
+  TMesh::Handle MulticastData(const UserId& sender) {
+    return active().MulticastData(sender);
+  }
+  // The current manager's transport. Sessions begun on a previous
+  // incarnation keep their own (retained) transport and drain normally.
+  TMesh& transport() { return active().transport(); }
+
+  // --- fault injection -----------------------------------------------------
+  // Kills the current manager. mid_batch crashes it inside its next
+  // non-quiet interval tick, after the rekey but before distribution;
+  // otherwise it fail-stops immediately. Refused (returns false) when it
+  // would leave no eligible replica or while a crash/failover of the
+  // manager is already pending.
+  bool KillActive(bool mid_batch = false);
+  // Partitions the current manager away from the quorum (fail-stop at the
+  // partition instant; state preserved). Same refusal rules as KillActive.
+  bool PartitionActive();
+  // Heals the lowest-numbered partitioned replica back into eligibility.
+  bool HealPartition() { return election_.HealOne(); }
+
+  // --- replica/view state --------------------------------------------------
+  int replica_count() const { return cfg_.replicas; }
+  int active_replica() const {
+    return incarnation_replica_[static_cast<std::size_t>(current_)];
+  }
+  int eligible_replicas() const { return election_.eligible_count(); }
+  bool failover_in_progress() const {
+    return election_.electing() || crash_armed_;
+  }
+  int incarnation_count() const {
+    return static_cast<int>(incarnations_.size());
+  }
+
+  KeyServer& active() { return *incarnations_[static_cast<std::size_t>(current_)]; }
+  const KeyServer& active() const {
+    return *incarnations_[static_cast<std::size_t>(current_)];
+  }
+  const Directory& directory() const { return active().directory(); }
+  const ModifiedKeyTree& key_tree() const { return active().key_tree(); }
+  const ClusterRekeying& clusters() const { return active().clusters(); }
+  std::uint32_t group_key_version() const {
+    return active().group_key_version();
+  }
+
+  // --- aggregated history across incarnations ------------------------------
+  // Incarnations only ever append, and a halted incarnation appends no
+  // more, so the aggregate is the in-order concatenation with delivery
+  // indices remapped to the global sequence.
+  const std::vector<KeyServer::IntervalRecord>& history() const;
+  const TMesh::Result& delivery(int index) const;
+  const RekeyMessage& message(int index) const;
+
+  // Messages generated but never distributed (one per mid-batch crash).
+  int unsent_count() const { return static_cast<int>(unsent_.size()); }
+  const RekeyMessage& unsent_message(int index) const {
+    return *unsent_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  void OnActiveCrashed();
+  // Halts nothing itself: callers have already halted/doomed the current
+  // incarnation. Materializes the successor from `snap`, routes ops to it,
+  // and schedules the election chain that eventually Start()s it.
+  void ActivateSuccessor(KeyServer::Snapshot snap);
+  void Refresh() const;
+
+  const Network& net_;
+  HostId server_host_;
+  Simulator& sim_;
+  Config cfg_;
+  KmElection election_;
+  std::vector<std::unique_ptr<KeyServer>> incarnations_;  // oldest first
+  std::vector<int> incarnation_replica_;  // replica id per incarnation
+  int current_ = 0;
+  bool crash_armed_ = false;
+  MetricsRegistry* metrics_ = nullptr;
+  std::vector<const RekeyMessage*> unsent_;
+
+  // Lazily maintained aggregate views (append-only).
+  mutable std::vector<KeyServer::IntervalRecord> agg_history_;
+  mutable std::vector<std::pair<const KeyServer*, int>> agg_deliveries_;
+  mutable std::vector<std::size_t> consumed_;  // history records folded, per
+                                               // incarnation
+};
+
+}  // namespace ha
+}  // namespace tmesh

@@ -72,6 +72,70 @@ TEST(ChurnFuzzSmoke, SilkUncappedCampaignRunsClean) {
       << report->violation.invariant << ": " << report->violation.message;
 }
 
+// Replicated manager: generated traces now draw kill/partition/heal ops
+// against the HA facade, and every failover must keep the Theorem-1,
+// forward-secrecy, and version-uniqueness invariants clean.
+TEST(ChurnFuzzSmoke, DirectoryReplicatedCampaignRunsClean) {
+  FuzzConfig cfg = SmokeConfig(Substrate::kDirectory, 505);
+  cfg.replicas = 3;
+  auto report = ChurnFuzzer::RunCampaign(cfg);
+  ASSERT_FALSE(report.has_value())
+      << report->violation.invariant << ": " << report->violation.message
+      << "\n"
+      << report->script;
+}
+
+TEST(ChurnFuzzSmoke, DirectoryReplicatedCampaignWithLossRunsClean) {
+  FuzzConfig cfg = SmokeConfig(Substrate::kDirectory, 606);
+  cfg.replicas = 3;
+  cfg.loss_prob = 0.05;
+  auto report = ChurnFuzzer::RunCampaign(cfg);
+  ASSERT_FALSE(report.has_value())
+      << report->violation.invariant << ": " << report->violation.message;
+}
+
+// The replica-count determinism pin at the fuzzer level: one handcrafted
+// fault trace — a fail-stop kill, a partition+heal, and a mid-batch crash —
+// must produce a byte-identical op log at every replica count that survives
+// it (DESIGN.md §3g: nothing about an incarnation depends on N).
+TEST(ChurnFuzzDeterminism, FaultTraceLogIsReplicaCountInvariant) {
+  std::vector<Op> trace;
+  auto push = [&trace](OpKind kind, std::uint32_t arg = 0,
+                       std::uint32_t arg2 = 0) {
+    trace.push_back(Op{kind, arg, arg2});
+  };
+  for (std::uint32_t i = 0; i < 10; ++i) push(OpKind::kJoin, i);
+  push(OpKind::kAdvance, 2);                 // one full interval
+  push(OpKind::kKillServer);                 // fail-stop the manager
+  push(OpKind::kLeave, 3);                   // lands on the successor
+  push(OpKind::kAdvance, 3);                 // past the election + rekey
+  push(OpKind::kPartitionServer);
+  push(OpKind::kAdvance, 1);
+  push(OpKind::kHealPartition);
+  push(OpKind::kAdvance, 2);
+  push(OpKind::kLeave, 1);                   // dirty the batch...
+  push(OpKind::kKillServer, 0, 1);           // ...then crash mid-batch
+  push(OpKind::kAdvance, 3);
+  push(OpKind::kData, 2);
+  push(OpKind::kAdvance, 2);
+
+  std::string baseline;
+  for (int replicas : {3, 4, 7}) {
+    FuzzConfig cfg = SmokeConfig(Substrate::kDirectory, 31);
+    cfg.replicas = replicas;
+    RunResult r = ChurnFuzzer::RunTrace(cfg, trace);
+    ASSERT_FALSE(r.violation.has_value())
+        << "replicas " << replicas << ": " << r.violation->invariant << ": "
+        << r.violation->message;
+    EXPECT_EQ(r.ops_executed, static_cast<int>(trace.size()));
+    if (baseline.empty()) {
+      baseline = r.log;
+    } else {
+      EXPECT_EQ(r.log, baseline) << "replicas " << replicas;
+    }
+  }
+}
+
 TEST(ChurnFuzzReducer, ShrinksPlantedViolationToMinimum) {
   // The planted invariant "membership stays below plant_max_members" has a
   // known 1-minimal repro: exactly plant_max_members join operations.

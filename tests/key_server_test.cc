@@ -6,6 +6,8 @@
 
 #include <map>
 
+#include "core/modified_key_tree.h"
+#include "metrics/registry.h"
 #include "topology/planetlab.h"
 
 namespace tmesh {
@@ -350,6 +352,267 @@ TEST(KeyServer, ShardedRekeyMatchesSerialByteForByte) {
       EXPECT_TRUE(a[j] == b[j]) << "interval " << i << " encryption " << j;
     }
   }
+}
+
+// A leave notice for a MarkFailed-but-unrepaired member is its §2.3 failure
+// detection completing (a crashed member cannot send a voluntary leave), so
+// it must route through RepairFailure: eviction plus table repair, never
+// the silent voluntary-leave path that would leave the failure window open.
+TEST(KeyServerLifecycle, LeaveOfFailedMemberRoutesToRepair) {
+  auto net = MakeNet(12);
+  Simulator sim;
+  MetricsRegistry metrics;
+  KeyServer server(net, 0, sim, SmallConfig());
+  server.SetMetrics(&metrics);
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 6; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(12));  // the joins' interval message went out
+
+  server.MarkFailed(members[2]);
+  ASSERT_TRUE(server.directory().Contains(members[2]));
+  ASSERT_FALSE(server.directory().IsAlive(members[2]));
+  server.RequestLeave(members[2]);
+  // Evicted AND repaired: no outstanding failure, K-consistent tables.
+  EXPECT_FALSE(server.directory().Contains(members[2]));
+  server.directory().CheckKConsistency();
+  EXPECT_EQ(metrics.GetCounter("keyserver.failures_repaired")->value(), 1);
+  EXPECT_EQ(metrics.GetCounter("keyserver.leaves")->value(), 0);
+
+  sim.RunUntil(FromSeconds(22));
+  server.Stop();
+  sim.Run();
+  // The eviction entered the batch: the departed member's path keys renew.
+  const auto& rec = server.history()[1];
+  EXPECT_EQ(rec.leaves, 1);
+  EXPECT_GT(rec.rekey_cost, 0u);
+  EXPECT_GE(rec.delivery, 0);
+}
+
+// EndInterval rekeys only the chosen scheme. The chosen message must be
+// byte-identical to a bare ModifiedKeyTree replaying the same batches (the
+// dropped cluster batch cannot perturb it), and the unchosen scheme's tree
+// must never advance a key version.
+TEST(KeyServer, UnchosenSchemeNeverRekeys) {
+  auto net = MakeNet(24);
+  Simulator sim;
+  KeyServer server(net, 0, sim, SmallConfig());
+  ModifiedKeyTree oracle(3);
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 14; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    oracle.Join(*id);
+    members.push_back(*id);
+  }
+  server.Start();
+
+  auto expect_interval_matches = [&](int interval) {
+    RekeyMessage want = oracle.Rekey(1);
+    const auto& rec = server.history().back();
+    ASSERT_EQ(rec.when, FromSeconds(10 * (interval + 1)));
+    ASSERT_GE(rec.delivery, 0);
+    const RekeyMessage& got = server.message(rec.delivery);
+    ASSERT_EQ(got.encryptions.size(), want.encryptions.size())
+        << "interval " << interval;
+    for (std::size_t j = 0; j < got.encryptions.size(); ++j) {
+      EXPECT_TRUE(got.encryptions[j] == want.encryptions[j])
+          << "interval " << interval << " encryption " << j;
+    }
+  };
+
+  sim.RunUntil(FromSeconds(12));
+  expect_interval_matches(0);
+  const std::uint32_t cluster_root =
+      server.clusters().leader_tree().KeyVersion(KeyId{});
+
+  server.RequestLeave(members[3]);
+  oracle.Leave(members[3]);
+  ASSERT_TRUE(server.RequestJoin(15).has_value());
+  oracle.Join(*server.directory().IdOfHost(15));
+  sim.RunUntil(FromSeconds(22));
+  expect_interval_matches(1);
+
+  server.RequestLeave(members[9]);
+  oracle.Leave(members[9]);
+  sim.RunUntil(FromSeconds(32));
+  expect_interval_matches(2);
+  server.Stop();
+  sim.Run();
+
+  // The cluster-side leader tree tracked membership but never rekeyed.
+  EXPECT_EQ(server.clusters().leader_tree().KeyVersion(KeyId{}), cluster_root);
+}
+
+// The mirror of the above: in cluster-heuristic mode the modified tree
+// tracks membership but must never rekey.
+TEST(KeyServer, ClusterModeLeavesModifiedTreeVersionsAlone) {
+  auto net = MakeNet(24, 11);
+  Simulator sim;
+  KeyServer::Config cfg = SmallConfig();
+  cfg.cluster_heuristic = true;
+  KeyServer server(net, 0, sim, cfg);
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 14; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(12));
+  const std::uint32_t mtree_root = server.key_tree().KeyVersion(KeyId{});
+  const std::uint32_t cluster_v1 = server.group_key_version();
+  server.RequestLeave(members[2]);
+  server.RequestLeave(members[8]);
+  sim.RunUntil(FromSeconds(22));
+  server.Stop();
+  sim.Run();
+  // The chosen (cluster) scheme renewed its group key; the unchosen
+  // modified tree did not move.
+  EXPECT_GT(server.group_key_version(), cluster_v1);
+  EXPECT_EQ(server.key_tree().KeyVersion(KeyId{}), mtree_root);
+}
+
+// Rekey work with no alive recipient: the record says delivery == -1, and
+// keyserver.encryptions — distributed traffic — must not count it. The
+// dedicated undistributed_rekeys counter takes it instead.
+TEST(KeyServer, RekeyWithNoAliveRecipientIsUndistributed) {
+  auto net = MakeNet(12);
+  Simulator sim;
+  MetricsRegistry metrics;
+  KeyServer server(net, 0, sim, SmallConfig());
+  server.SetMetrics(&metrics);
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 4; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(12));  // interval 1 distributed the joins
+
+  // Interval 2: one more join dirties the tree, then the whole group fails
+  // before the tick — rekey work exists, but nobody alive can receive it.
+  auto id5 = server.RequestJoin(5);
+  ASSERT_TRUE(id5.has_value());
+  for (const UserId& m : members) server.MarkFailed(m);
+  server.MarkFailed(*id5);
+  sim.RunUntil(FromSeconds(22));
+  server.Stop();
+  sim.Run();
+
+  ASSERT_GE(server.history().size(), 2u);
+  const auto& rec = server.history()[1];
+  EXPECT_GT(rec.rekey_cost, 0u);
+  EXPECT_EQ(rec.delivery, -1);
+  EXPECT_EQ(metrics.GetCounter("keyserver.undistributed_rekeys")->value(), 1);
+  // The contract the fix pins: encryptions ≡ Σ rekey_cost over records that
+  // actually delivered.
+  std::int64_t distributed = 0;
+  for (const auto& r : server.history()) {
+    if (r.delivery >= 0) distributed += static_cast<std::int64_t>(r.rekey_cost);
+  }
+  EXPECT_EQ(metrics.GetCounter("keyserver.encryptions")->value(), distributed);
+}
+
+// The whole group leaving in one interval empties the tree: no rekey work
+// remains, so the interval is quiet — not undistributed.
+TEST(KeyServer, AllMembersLeavingInOneIntervalIsQuiet) {
+  auto net = MakeNet(12);
+  Simulator sim;
+  MetricsRegistry metrics;
+  KeyServer server(net, 0, sim, SmallConfig());
+  server.SetMetrics(&metrics);
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 4; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(12));
+  for (const UserId& m : members) server.RequestLeave(m);
+  sim.RunUntil(FromSeconds(22));
+  server.Stop();
+  sim.Run();
+
+  ASSERT_GE(server.history().size(), 2u);
+  const auto& rec = server.history()[1];
+  EXPECT_EQ(rec.leaves, 4);
+  EXPECT_EQ(rec.rekey_cost, 0u);
+  EXPECT_EQ(rec.delivery, -1);
+  // Every zero-cost record counted as quiet (the eviction interval included
+  // — an empty tree has no rekey work), none as undistributed.
+  std::int64_t quiet = 0;
+  for (const auto& r : server.history()) {
+    if (r.rekey_cost == 0) ++quiet;
+  }
+  EXPECT_EQ(metrics.GetCounter("keyserver.quiet_intervals")->value(), quiet);
+  EXPECT_EQ(metrics.GetCounter("keyserver.undistributed_rekeys")->value(), 0);
+  std::int64_t distributed = 0;
+  for (const auto& r : server.history()) {
+    if (r.delivery >= 0) distributed += static_cast<std::int64_t>(r.rekey_cost);
+  }
+  EXPECT_EQ(metrics.GetCounter("keyserver.encryptions")->value(), distributed);
+}
+
+// The per-delivery loss stream is seeded by the delivery index, not the
+// interval count: quiet intervals between two batches must not perturb the
+// second batch's loss pattern.
+TEST(KeyServer, QuietIntervalsDoNotPerturbLossStreams) {
+  struct Outcome {
+    std::vector<int> copies;
+    int sent = 0;
+    int lost = 0;
+    int failed = 0;
+  };
+  auto run = [](int quiet_intervals) {
+    auto net = MakeNet(20, 7);
+    Simulator sim;
+    KeyServer::Config cfg = SmallConfig();
+    cfg.loss_prob = 0.3;
+    KeyServer server(net, 0, sim, cfg);
+    std::vector<UserId> members;
+    for (HostId h = 1; h <= 12; ++h) {
+      auto id = server.RequestJoin(h);
+      EXPECT_TRUE(id.has_value());
+      members.push_back(*id);
+    }
+    server.Start();
+    sim.RunUntil(FromSeconds(12));  // delivery 0
+    // Optionally idle through quiet intervals, then the same leave.
+    sim.RunUntil(FromSeconds(12 + 10 * quiet_intervals));
+    server.RequestLeave(members[3]);
+    sim.RunUntil(FromSeconds(22 + 10 * quiet_intervals));
+    server.Stop();
+    sim.Run();
+    // Stop() leaves one in-flight tick that appends a trailing quiet
+    // record, so scan for the last record that actually delivered.
+    int delivery = -1;
+    for (const auto& r : server.history()) {
+      if (r.delivery >= 0) delivery = r.delivery;
+    }
+    EXPECT_GE(delivery, 0);
+    const TMesh::Result& res = server.delivery(delivery);
+    Outcome out;
+    for (const auto& r : res.member) out.copies.push_back(r.copies);
+    out.sent = res.messages_sent;
+    out.lost = res.messages_lost;
+    out.failed = res.deliveries_failed;
+    return out;
+  };
+
+  Outcome direct = run(0);
+  Outcome gapped = run(3);
+  EXPECT_GT(direct.lost, 0);  // the loss model actually engaged
+  EXPECT_EQ(direct.copies, gapped.copies);
+  EXPECT_EQ(direct.sent, gapped.sent);
+  EXPECT_EQ(direct.lost, gapped.lost);
+  EXPECT_EQ(direct.failed, gapped.failed);
 }
 
 }  // namespace

@@ -1,0 +1,452 @@
+// Tests for the replicated key server (DESIGN.md §3g): the deterministic
+// key-manager election, the failover timeline (stall, successor catch-up,
+// resume), the mid-batch crash semantics (burned versions re-issued one
+// up), and the determinism contract that a fixed fault trace produces
+// byte-identical histories at every replica count that survives it.
+#include "ha/replicated_key_server.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ha/km_election.h"
+#include "topology/planetlab.h"
+
+namespace tmesh {
+namespace {
+
+PlanetLabNetwork MakeNet(int hosts, std::uint64_t seed = 3) {
+  PlanetLabParams p;
+  p.hosts = hosts;
+  p.seed = seed;
+  return PlanetLabNetwork(p);
+}
+
+KeyServer::Config SmallConfig() {
+  KeyServer::Config c;
+  c.group = GroupParams{3, 8, 2};
+  c.assign.collect_target = 4;
+  c.assign.thresholds_ms = {60.0, 20.0};
+  c.rekey_interval = FromSeconds(10);
+  c.seed = 5;
+  return c;
+}
+
+ha::ReplicatedKeyServer::Config ReplicatedConfig(int replicas) {
+  ha::ReplicatedKeyServer::Config c;
+  c.server = SmallConfig();
+  c.replicas = replicas;
+  return c;
+}
+
+// Serializes everything observable about a server's rekeying history:
+// interval records, every distributed message's encryptions, every
+// delivery's transport outcome, and the group-key version. Works for both
+// the plain KeyServer and the replicated facade (identical accessors).
+template <typename Server>
+std::string Describe(const Server& s) {
+  std::ostringstream out;
+  for (const auto& rec : s.history()) {
+    out << "rec t=" << rec.when << " j=" << rec.joins << " l=" << rec.leaves
+        << " cost=" << rec.rekey_cost << " d=" << rec.delivery << "\n";
+    if (rec.delivery < 0) continue;
+    for (const auto& e : s.message(rec.delivery).encryptions) {
+      out << "  enc " << e.enc_key_id.ToString() << "@" << e.enc_key_version
+          << " -> " << e.new_key_id.ToString() << "@" << e.new_key_version
+          << "\n";
+    }
+    const TMesh::Result& res = s.delivery(rec.delivery);
+    out << "  sent=" << res.messages_sent << " lost=" << res.messages_lost
+        << " failed=" << res.deliveries_failed << " copies";
+    for (const auto& m : res.member) out << " " << m.copies;
+    out << "\n";
+  }
+  out << "gkv=" << s.group_key_version() << "\n";
+  return out.str();
+}
+
+std::string DescribeUnsent(const ha::ReplicatedKeyServer& s) {
+  std::ostringstream out;
+  for (int i = 0; i < s.unsent_count(); ++i) {
+    out << "unsent " << i << "\n";
+    for (const auto& e : s.unsent_message(i).encryptions) {
+      out << "  enc " << e.enc_key_id.ToString() << "@" << e.enc_key_version
+          << " -> " << e.new_key_id.ToString() << "@" << e.new_key_version
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+// --- KmElection ------------------------------------------------------------
+
+TEST(KmElection, WinnerIsLowestEligibleReplica) {
+  Simulator sim;
+  ha::KmElection e(sim, ha::KmElectionConfig{}, 4);
+  EXPECT_EQ(e.eligible_count(), 4);
+  EXPECT_EQ(e.Winner(), 0);
+  e.MarkDead(0);
+  EXPECT_EQ(e.Winner(), 1);
+  e.MarkPartitioned(1);
+  EXPECT_EQ(e.Winner(), 2);
+  EXPECT_EQ(e.eligible_count(), 2);
+  EXPECT_TRUE(e.HealOne());  // replica 1 rejoins as a follower...
+  EXPECT_EQ(e.Winner(), 1);  // ...and is again the lowest eligible
+  e.MarkDead(1);
+  e.MarkDead(2);
+  e.MarkDead(3);
+  EXPECT_EQ(e.Winner(), -1);
+  EXPECT_EQ(e.eligible_count(), 0);
+  EXPECT_FALSE(e.HealOne());
+}
+
+TEST(KmElection, FailoverFiresAfterDetectionPlusElection) {
+  Simulator sim;
+  ha::KmElectionConfig cfg;  // 2s detection + 1s election round
+  ha::KmElection e(sim, cfg, 3);
+  e.MarkDead(0);
+  int elected = -1;
+  SimTime at = 0;
+  e.BeginFailover([&](int id) {
+    elected = id;
+    at = sim.Now();
+  });
+  EXPECT_TRUE(e.electing());
+  sim.Run();
+  EXPECT_EQ(elected, 1);
+  EXPECT_EQ(at, cfg.heartbeat_timeout + cfg.election_delay);
+  EXPECT_FALSE(e.electing());
+}
+
+TEST(KmElection, SupersededFailoverFiresExactlyOnce) {
+  Simulator sim;
+  ha::KmElection e(sim, ha::KmElectionConfig{}, 3);
+  int fired = 0;
+  int last = -1;
+  e.MarkDead(0);
+  e.BeginFailover([&](int id) {
+    ++fired;
+    last = id;
+  });
+  sim.RunUntil(FromSeconds(1));  // inside the first detection window
+  e.MarkDead(1);
+  e.BeginFailover([&](int id) {
+    ++fired;
+    last = id;
+  });
+  sim.Run();
+  // The first chain was abandoned; only the second election completed.
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(last, 2);
+}
+
+// The regression behind the fuzzer's partition+heal repro: the winner is
+// fixed by the survivor set at the failure instant. A replica healed while
+// the round is in flight joins as a follower — it must not depose the
+// successor the quorum is converging on.
+TEST(KmElection, HealDuringFailoverDoesNotDeposeSuccessor) {
+  Simulator sim;
+  ha::KmElection e(sim, ha::KmElectionConfig{}, 3);
+  e.MarkPartitioned(0);
+  int elected = -1;
+  e.BeginFailover([&](int id) { elected = id; });
+  sim.RunUntil(FromSeconds(1));  // mid-round
+  EXPECT_TRUE(e.HealOne());     // replica 0 is eligible again...
+  sim.Run();
+  EXPECT_EQ(elected, 1);  // ...but the in-flight election still seats 1
+  EXPECT_EQ(e.Winner(), 0);  // and 0 would win a *later* election
+}
+
+// --- ReplicatedKeyServer ---------------------------------------------------
+
+TEST(ReplicatedKeyServer, SingleReplicaMatchesPlainServerByteForByte) {
+  auto net = MakeNet(20);
+  auto drive = [&net](auto& server, Simulator& sim) {
+    std::vector<UserId> members;
+    for (HostId h = 1; h <= 10; ++h) {
+      auto id = server.RequestJoin(h);
+      ASSERT_TRUE(id.has_value());
+      members.push_back(*id);
+    }
+    server.Start();
+    sim.RunUntil(FromSeconds(12));
+    server.RequestLeave(members[2]);
+    server.MarkFailed(members[5]);
+    sim.RunUntil(FromSeconds(15));
+    server.RepairFailure(members[5]);
+    server.RequestJoin(HostId{15});
+    sim.RunUntil(FromSeconds(32));
+  };
+
+  Simulator plain_sim;
+  KeyServer plain(net, 0, plain_sim, SmallConfig());
+  drive(plain, plain_sim);
+  plain.Stop();
+  plain_sim.Run();
+
+  Simulator repl_sim;
+  ha::ReplicatedKeyServer repl(net, 0, repl_sim, ReplicatedConfig(1));
+  drive(repl, repl_sim);
+  repl.active().Stop();
+  repl_sim.Run();
+
+  EXPECT_EQ(Describe(plain), Describe(repl));
+  EXPECT_EQ(repl.incarnation_count(), 1);
+  EXPECT_EQ(repl.unsent_count(), 0);
+}
+
+TEST(ReplicatedKeyServer, FailoverStallsThenResumesRekeying) {
+  auto net = MakeNet(20);
+  Simulator sim;
+  ha::ReplicatedKeyServer server(net, 0, sim, ReplicatedConfig(3));
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 8; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(12));
+  ASSERT_EQ(server.history().size(), 1u);
+  EXPECT_EQ(server.active_replica(), 0);
+
+  // t=12: fail-stop the manager. The successor owns the state immediately
+  // (synchronous replication) but does not rekey until elected at t=15.
+  ASSERT_TRUE(server.KillActive());
+  EXPECT_EQ(server.active_replica(), 1);
+  EXPECT_EQ(server.incarnation_count(), 2);
+  EXPECT_TRUE(server.failover_in_progress());
+  for (const UserId& m : members) {
+    EXPECT_TRUE(server.directory().Contains(m));  // membership carried over
+  }
+
+  // A join during the stall lands in the successor's first batch.
+  sim.RunUntil(FromSeconds(13));
+  ASSERT_TRUE(server.RequestJoin(HostId{12}).has_value());
+
+  sim.RunUntil(FromSeconds(16));
+  EXPECT_FALSE(server.failover_in_progress());
+
+  // The old cadence would have ticked at t=20; the failover stalled it. The
+  // successor's first interval ends at t=15+10.
+  sim.RunUntil(FromSeconds(24));
+  EXPECT_EQ(server.history().size(), 1u);
+  const std::uint32_t before = server.group_key_version();
+  sim.RunUntil(FromSeconds(26));
+  ASSERT_EQ(server.history().size(), 2u);
+  const auto& rec = server.history()[1];
+  EXPECT_EQ(rec.when, FromSeconds(25));
+  EXPECT_EQ(rec.joins, 1);
+  EXPECT_GT(rec.rekey_cost, 0u);
+  EXPECT_GE(rec.delivery, 0);
+  EXPECT_GT(server.group_key_version(), before);
+}
+
+TEST(ReplicatedKeyServer, MidBatchCrashBurnsAndReissuesVersions) {
+  auto net = MakeNet(20);
+  Simulator sim;
+  ha::ReplicatedKeyServer server(net, 0, sim, ReplicatedConfig(3));
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 10; ++h) {
+    auto id = server.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  server.Start();
+  sim.RunUntil(FromSeconds(12));
+
+  // Dirty the batch, then arm the crash: the t=20 tick rekeys, crashes
+  // before distributing, and the successor is elected off the crash.
+  server.RequestLeave(members[2]);
+  ASSERT_TRUE(server.KillActive(/*mid_batch=*/true));
+  EXPECT_TRUE(server.failover_in_progress());
+  EXPECT_EQ(server.incarnation_count(), 1);  // not yet — the crash is armed
+
+  sim.RunUntil(FromSeconds(21));
+  EXPECT_EQ(server.incarnation_count(), 2);
+  EXPECT_EQ(server.active_replica(), 1);
+  ASSERT_EQ(server.unsent_count(), 1);
+  const RekeyMessage& burned = server.unsent_message(0);
+  ASSERT_GT(burned.RekeyCost(), 0u);
+  // The crashed interval left no history record; the successor's first
+  // interval (elected t=23, tick t=33) reports the restored batch.
+  ASSERT_EQ(server.history().size(), 1u);
+
+  sim.RunUntil(FromSeconds(34));
+  ASSERT_EQ(server.history().size(), 2u);
+  const auto& rec = server.history()[1];
+  EXPECT_EQ(rec.when, FromSeconds(33));
+  EXPECT_EQ(rec.leaves, 1);  // the batch the crashed manager never served
+  ASSERT_GE(rec.delivery, 0);
+  const RekeyMessage& reissued = server.message(rec.delivery);
+
+  // Burned versions are never distributed: the successor re-stamped every
+  // renewed path and issued each key exactly one version up.
+  std::map<KeyId, std::uint32_t> burned_v;
+  for (const Encryption& e : burned.encryptions) {
+    burned_v[e.new_key_id] = e.new_key_version;
+  }
+  std::map<KeyId, std::uint32_t> reissued_v;
+  for (const Encryption& e : reissued.encryptions) {
+    reissued_v[e.new_key_id] = e.new_key_version;
+  }
+  ASSERT_EQ(burned_v.size(), reissued_v.size());
+  for (const auto& [id, version] : burned_v) {
+    auto it = reissued_v.find(id);
+    ASSERT_NE(it, reissued_v.end()) << "burned key never re-issued";
+    EXPECT_EQ(it->second, version + 1);
+  }
+  // The distributed root is the live group key.
+  auto root = reissued_v.find(KeyId{});
+  ASSERT_NE(root, reissued_v.end());
+  EXPECT_EQ(server.group_key_version(), root->second);
+}
+
+TEST(ReplicatedKeyServer, FaultsRefusedWhenTheyWouldOrphanTheGroup) {
+  auto net = MakeNet(10);
+  {
+    Simulator sim;
+    ha::ReplicatedKeyServer solo(net, 0, sim, ReplicatedConfig(1));
+    solo.Start();
+    EXPECT_FALSE(solo.KillActive());
+    EXPECT_FALSE(solo.PartitionActive());
+    EXPECT_FALSE(solo.HealPartition());
+    EXPECT_EQ(solo.incarnation_count(), 1);
+  }
+  {
+    Simulator sim;
+    ha::ReplicatedKeyServer pair(net, 0, sim, ReplicatedConfig(2));
+    pair.Start();
+    sim.RunUntil(FromSeconds(2));
+    ASSERT_TRUE(pair.KillActive());
+    // Mid-failover: a second fault against the manager is refused.
+    EXPECT_FALSE(pair.KillActive());
+    EXPECT_FALSE(pair.PartitionActive());
+    sim.RunUntil(FromSeconds(6));  // election done at t=5
+    EXPECT_FALSE(pair.failover_in_progress());
+    // The last eligible replica can be neither killed nor partitioned.
+    EXPECT_FALSE(pair.KillActive());
+    EXPECT_FALSE(pair.PartitionActive());
+    EXPECT_EQ(pair.eligible_replicas(), 1);
+  }
+  {
+    Simulator sim;
+    ha::ReplicatedKeyServer trio(net, 0, sim, ReplicatedConfig(3));
+    trio.Start();
+    sim.RunUntil(FromSeconds(2));
+    ASSERT_TRUE(trio.PartitionActive());
+    sim.RunUntil(FromSeconds(6));
+    EXPECT_EQ(trio.eligible_replicas(), 2);
+    EXPECT_TRUE(trio.HealPartition());
+    EXPECT_EQ(trio.eligible_replicas(), 3);
+    EXPECT_FALSE(trio.HealPartition());  // nothing left to heal
+  }
+}
+
+// The tentpole determinism pin: one fixed fault trace — a kill, a
+// partition+heal, and a mid-batch crash — replayed at several replica
+// counts. Nothing about an incarnation depends on N, so history, message
+// bytes, delivery outcomes, and the burned message must all be identical.
+TEST(ReplicatedKeyServer, HistoryByteIdenticalAcrossReplicaCounts) {
+  auto net = MakeNet(24, 7);
+  auto run = [&net](int replicas) {
+    Simulator sim;
+    ha::ReplicatedKeyServer server(net, 0, sim, ReplicatedConfig(replicas));
+    std::vector<UserId> members;
+    for (HostId h = 1; h <= 10; ++h) {
+      auto id = server.RequestJoin(h);
+      EXPECT_TRUE(id.has_value());
+      members.push_back(*id);
+    }
+    server.Start();
+    sim.RunUntil(FromSeconds(12));
+    EXPECT_TRUE(server.KillActive());  // replica 0 dies; 1 takes over at 15
+    server.RequestLeave(members[1]);
+    sim.RunUntil(FromSeconds(26));     // successor interval at t=25
+    EXPECT_TRUE(server.PartitionActive());  // replica 1 out; 2 seated at 29
+    server.RequestJoin(HostId{15});
+    sim.RunUntil(FromSeconds(31));
+    EXPECT_TRUE(server.HealPartition());  // replica 1 back as a follower
+    sim.RunUntil(FromSeconds(40));        // replica 2's interval at t=39
+    server.RequestLeave(members[2]);
+    EXPECT_TRUE(server.KillActive(/*mid_batch=*/true));  // crash at t=49
+    sim.RunUntil(FromSeconds(63));        // healed replica 1 rekeys at t=62
+    server.active().Stop();
+    sim.Run();
+
+    // The healed replica won the post-crash election — the lowest eligible
+    // at the crash instant — at every N.
+    EXPECT_EQ(server.active_replica(), 1);
+    EXPECT_EQ(server.incarnation_count(), 4);
+    EXPECT_EQ(server.unsent_count(), 1);
+    return Describe(server) + DescribeUnsent(server);
+  };
+
+  const std::string at3 = run(3);
+  const std::string at4 = run(4);
+  const std::string at6 = run(6);
+  EXPECT_EQ(at3, at4);
+  EXPECT_EQ(at3, at6);
+}
+
+// --- Snapshot round trip ---------------------------------------------------
+
+void ExpectTreeStateEq(const ModifiedKeyTreeState& a,
+                       const ModifiedKeyTreeState& b) {
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.dirty, b.dirty);
+  EXPECT_EQ(a.changed, b.changed);
+  EXPECT_EQ(a.retired, b.retired);
+}
+
+TEST(KeyServerSnapshot, RoundTripIsExact) {
+  auto net = MakeNet(20);
+  Simulator sim;
+  KeyServer a(net, 0, sim, SmallConfig());
+  std::vector<UserId> members;
+  for (HostId h = 1; h <= 8; ++h) {
+    auto id = a.RequestJoin(h);
+    ASSERT_TRUE(id.has_value());
+    members.push_back(*id);
+  }
+  a.Start();
+  sim.RunUntil(FromSeconds(12));
+  // Mid-interval churn so the snapshot carries a pending batch and a
+  // failed-but-unrepaired member.
+  a.RequestLeave(members[1]);
+  a.MarkFailed(members[4]);
+  ASSERT_TRUE(a.RequestJoin(HostId{15}).has_value());
+
+  const KeyServer::Snapshot snap = a.TakeSnapshot();
+  KeyServer b(net, 0, sim, SmallConfig());
+  b.InstallSnapshot(snap);
+  const KeyServer::Snapshot snap2 = b.TakeSnapshot();
+
+  ASSERT_EQ(snap.members.size(), snap2.members.size());
+  for (std::size_t i = 0; i < snap.members.size(); ++i) {
+    EXPECT_EQ(snap.members[i].id, snap2.members[i].id);
+    EXPECT_EQ(snap.members[i].host, snap2.members[i].host);
+    EXPECT_EQ(snap.members[i].join_time, snap2.members[i].join_time);
+    EXPECT_EQ(snap.members[i].alive, snap2.members[i].alive);
+  }
+  ExpectTreeStateEq(snap.mtree, snap2.mtree);
+  EXPECT_EQ(snap.clusters.members, snap2.clusters.members);
+  ExpectTreeStateEq(snap.clusters.leader_tree, snap2.clusters.leader_tree);
+  EXPECT_EQ(snap.interval_joins, snap2.interval_joins);
+  EXPECT_EQ(snap.interval_leaves, snap2.interval_leaves);
+  EXPECT_EQ(snap.unsent_renewed, snap2.unsent_renewed);
+
+  // Behavioral equivalence, not just structural: the installed server
+  // serves the same roster and key chain.
+  EXPECT_EQ(b.group_key_version(), a.group_key_version());
+  for (const UserId& m : members) {
+    if (m == members[1]) continue;  // left before the snapshot
+    EXPECT_TRUE(b.directory().Contains(m));
+  }
+}
+
+}  // namespace
+}  // namespace tmesh
