@@ -1,0 +1,478 @@
+// Multi-process group rekeying over real UDP sockets (DESIGN.md §3h).
+//
+// The transport seam's end-to-end demonstration: the SAME KeyServer that
+// every simulation in this repo drives now runs as an actual server
+// process on the wall clock, distributing rekey messages to N member
+// processes over 127.0.0.1 UDP — join, leave, and periodic batch rekeying
+// with real datagrams, real timers, and real process isolation.
+//
+//   parent  = key server on a UdpTransport; wall-clock rekey intervals
+//             (--interval-ms); SetIntervalHandler exports each interval's
+//             rekey message as wire.cc bytes, unicast to every member that
+//             ever joined — including departed ones, which is exactly what
+//             an eavesdropping ex-member would capture off the wire.
+//   children = forked member processes. Each joins through a real datagram
+//             handshake (J → W with its assigned ID and granted path keys),
+//             then folds every received rekey frame into its key holdings
+//             with the fixed-point decryption closure (Lemma 3 semantics,
+//             the churn fuzzer's model) and checks, per frame:
+//
+//               * alive member:   closure reaches the new group key version
+//                 (decryption closure — nobody is locked out), and
+//               * departed member: closure does NOT reach it (forward
+//                 secrecy — the §2.4 batch rekey cut it out), even though
+//                 it received the ciphertext bytes.
+//
+// One designated member leaves after the first rekey frame, so both halves
+// of the invariant are exercised from captured wire traffic. Every process
+// verdict flows back through exit codes; the run prints a per-interval
+// summary and PASS/FAIL. Exit 0 iff every invariant held in every process.
+//
+// Frames ride as UdpTransport payloads (after its 8-byte header), all
+// little-endian:
+//   'J'                                    member → server   join request
+//   'W' id r_base count {len digits ver}*  server → member   welcome+keys
+//   'L'                                    member → server   leave request
+//   'K' r_seen                             server → member   leave ack
+//   'R' index root_ver <EncodeRekeyMessage> server → member  rekey frame
+//   'D' r_total                            server → member   done
+//
+// Run:  ./multiproc_rekey [--members=6] [--intervals=4] [--interval-ms=200]
+//       [--seed=7]
+// The loopback soak (scripts/soak_rekey.sh) loops this binary; a bounded
+// configuration runs as the multiproc_rekey_smoke ctest.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/digit_string.h"
+#include "core/key_server.h"
+#include "core/wire.h"
+#include "topology/planetlab.h"
+#include "transport/udp_transport.h"
+
+namespace tmesh {
+namespace {
+
+// --- tiny frame codec -----------------------------------------------------
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutDigits(std::vector<std::uint8_t>& out, const DigitString& s) {
+  out.push_back(static_cast<std::uint8_t>(s.size()));
+  for (int i = 0; i < s.size(); ++i) {
+    out.push_back(static_cast<std::uint8_t>(s.digit(i)));
+  }
+}
+
+// Bounds-checked cursor reads; any failure poisons the cursor.
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t left;
+  bool ok = true;
+
+  std::uint32_t U32() {
+    if (left < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                      static_cast<std::uint32_t>(p[1]) << 8 |
+                      static_cast<std::uint32_t>(p[2]) << 16 |
+                      static_cast<std::uint32_t>(p[3]) << 24;
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  DigitString Digits() {
+    if (left < 1) {
+      ok = false;
+      return DigitString{};
+    }
+    const int n = *p++;
+    --left;
+    if (left < static_cast<std::size_t>(n) || n > kMaxDigits) {
+      ok = false;
+      return DigitString{};
+    }
+    DigitString s = DigitString::FromDigits(p, n);
+    p += n;
+    left -= static_cast<std::size_t>(n);
+    return s;
+  }
+};
+
+// --- decryption closure (the churn fuzzer's Lemma 3 model) ----------------
+//
+// Grows `held` (key ID -> version) with every key reachable from the given
+// encryptions: one is decryptable iff the holder has the encrypting key at
+// exactly the emitted version.
+void Close(std::map<KeyId, std::uint32_t>& held,
+           const std::vector<Encryption>& encs) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const Encryption& e : encs) {
+      auto it = held.find(e.enc_key_id);
+      if (it == held.end() || it->second != e.enc_key_version) continue;
+      auto have = held.find(e.new_key_id);
+      if (have != held.end() && have->second >= e.new_key_version) continue;
+      held[e.new_key_id] = e.new_key_version;
+      progress = true;
+    }
+  }
+}
+
+// --- member process -------------------------------------------------------
+
+struct MemberOutcome {
+  bool welcomed = false;
+  int rekeys_seen = 0;
+  int closure_failures = 0;   // alive but closure missed the new group key
+  int secrecy_breaches = 0;   // departed yet closure reached the new key
+  int gaps = 0;               // non-contiguous rekey frame indices
+  std::optional<std::uint32_t> done_total;  // from the D frame
+};
+
+// Runs one member to completion and returns its exit code. Never returns
+// to the forked caller's stack-on-main: the caller _exit()s with this.
+int MemberMain(HostId host, std::uint16_t server_port, bool is_leaver) {
+  UdpTransport bus(UdpTransport::Options{.host = host});
+  bus.AddPeer(0, server_port);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+
+  MemberOutcome out;
+  std::map<KeyId, std::uint32_t> held;
+  bool departed = false;
+  std::uint32_t secrecy_from = 0;       // first rekey index the L precedes
+  std::uint32_t frames_before_join = 0;  // rekey frames we never get
+  std::optional<std::uint32_t> last_index;
+  TimerId join_retry = kNoTimer;
+
+  // The join handshake retries until the welcome lands (UDP is lossy in
+  // principle, and the server process may still be setting up).
+  std::function<void()> send_join = [&] {
+    const std::uint8_t j = 'J';
+    bus.Send(0, &j, 1);
+    join_retry = bus.ScheduleTimer(FromMillis(50), [&] { send_join(); });
+  };
+
+  bus.OnReceive([&](HostId from, const std::uint8_t* data, std::size_t size) {
+    if (from != 0 || size == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    Cursor c{data + 1, size - 1};
+    switch (data[0]) {
+      case 'W': {
+        if (out.welcomed) break;  // duplicate from a crossed retry
+        (void)c.Digits();         // assigned member ID (informational)
+        const std::uint32_t r_base = c.U32();  // rekey frames sent pre-join
+        const std::uint32_t n = c.U32();
+        for (std::uint32_t i = 0; c.ok && i < n; ++i) {
+          const KeyId k = c.Digits();
+          const std::uint32_t ver = c.U32();
+          if (c.ok) held[k] = ver;
+        }
+        if (!c.ok) break;
+        out.welcomed = true;
+        frames_before_join = r_base;
+        if (join_retry != kNoTimer) bus.CancelTimer(join_retry);
+        break;
+      }
+      case 'R': {
+        const std::uint32_t index = c.U32();
+        const std::uint32_t root_ver = c.U32();
+        auto msg = DecodeRekeyMessage(
+            std::vector<std::uint8_t>(c.p, c.p + c.left));
+        if (!c.ok || !msg.has_value()) break;
+        if (last_index.has_value() && index != *last_index + 1) ++out.gaps;
+        last_index = index;
+        ++out.rekeys_seen;
+        Close(held, msg->encryptions);
+        const auto root = held.find(KeyId{});
+        const bool reaches =
+            root != held.end() && root->second >= root_ver;
+        if (departed && index >= secrecy_from) {
+          // Forward secrecy: the §2.4 rekey after our leave must be
+          // ciphertext we cannot open, even holding every prior key.
+          if (reaches) ++out.secrecy_breaches;
+        } else if (!departed) {
+          // Decryption closure: an alive member always reaches the new
+          // group key from its holdings plus this message.
+          if (!reaches) ++out.closure_failures;
+          if (is_leaver && !departed) {
+            const std::uint8_t l = 'L';
+            bus.Send(0, &l, 1);
+            departed = true;  // confirmed (and fenced) by the K ack
+            secrecy_from = index + 1;
+          }
+        }
+        break;
+      }
+      case 'K': {
+        // Leave ack: frames numbered >= r_seen were produced after the
+        // server processed our leave — the secrecy check applies to them.
+        secrecy_from = c.U32();
+        break;
+      }
+      case 'D': {
+        out.done_total = c.U32();
+        finished = true;
+        cv.notify_all();
+        break;
+      }
+      default:
+        break;
+    }
+  });
+
+  bus.Start();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    send_join();
+  }
+  // Watchdog: a wedged run (lost D frame, dead server) fails loudly.
+  bus.ScheduleTimer(FromSeconds(60), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    finished = true;
+    cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return finished; });
+  const MemberOutcome result = out;
+  lock.unlock();
+  bus.Stop();
+
+  if (!result.welcomed) return 2;
+  if (!result.done_total.has_value()) return 3;  // watchdog fired
+  if (result.rekeys_seen !=
+      static_cast<int>(*result.done_total - frames_before_join)) {
+    return 4;
+  }
+  if (result.gaps != 0) return 4;
+  if (result.closure_failures != 0) return 5;
+  if (result.secrecy_breaches != 0) return 6;
+  return 0;
+}
+
+// --- server process (the parent) ------------------------------------------
+
+struct Flags {
+  int members = 6;
+  int intervals = 4;
+  int interval_ms = 200;
+  std::uint64_t seed = 7;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--members=")) {
+      f.members = std::atoi(v);
+    } else if (const char* v = val("--intervals=")) {
+      f.intervals = std::atoi(v);
+    } else if (const char* v = val("--interval-ms=")) {
+      f.interval_ms = std::atoi(v);
+    } else if (const char* v = val("--seed=")) {
+      f.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(64);
+    }
+  }
+  if (f.members < 2 || f.intervals < 2 || f.interval_ms < 20) {
+    std::fprintf(stderr,
+                 "need --members>=2 --intervals>=2 --interval-ms>=20\n");
+    std::exit(64);
+  }
+  return f;
+}
+
+int ServerMain(const Flags& flags) {
+  PlanetLabParams net_params;
+  net_params.hosts = flags.members + 1;
+  net_params.seed = flags.seed;
+  PlanetLabNetwork net(net_params);
+
+  // Bind before forking so every child knows the server's port.
+  UdpTransport bus(UdpTransport::Options{.host = 0});
+
+  std::vector<pid_t> children;
+  for (HostId h = 1; h <= static_cast<HostId>(flags.members); ++h) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 70;
+    }
+    if (pid == 0) {
+      // Child: fresh transport, fresh sockets; the member with the highest
+      // host id leaves after the first rekey frame.
+      const bool leaver = h == static_cast<HostId>(flags.members);
+      _exit(MemberMain(h, bus.port(), leaver));
+    }
+    children.push_back(pid);
+  }
+
+  KeyServer::Config cfg;
+  cfg.net = &net;
+  cfg.server_host = 0;
+  cfg.group = GroupParams{3, 8, 4};
+  cfg.assign.collect_target = 4;
+  cfg.assign.thresholds_ms = {60.0, 20.0};
+  cfg.rekey_interval = FromMillis(flags.interval_ms);
+  cfg.seed = flags.seed;
+  KeyServer server(bus, cfg);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  std::map<HostId, UserId> roster;                   // ever-joined members
+  std::map<HostId, std::vector<std::uint8_t>> welcomes;  // resend-identical
+  std::set<HostId> departed;
+  std::uint32_t rekey_frames = 0;
+  int intervals_done = 0;
+
+  bus.OnReceive([&](HostId from, const std::uint8_t* data, std::size_t size) {
+    if (size == 0) return;
+    switch (data[0]) {
+      case 'J': {
+        auto it = welcomes.find(from);
+        if (it == welcomes.end()) {
+          std::optional<UserId> id = server.RequestJoin(from);
+          if (!id.has_value()) return;  // admission refused; member retries
+          // Grant: the joiner's path keys at their live versions (§3.1's
+          // unicast of the ID and current keys).
+          std::vector<std::uint8_t> w;
+          w.push_back('W');
+          PutDigits(w, *id);
+          PutU32(w, rekey_frames);  // frames this member will never see
+          const std::vector<KeyId> keys = server.key_tree().KeysOf(*id);
+          PutU32(w, static_cast<std::uint32_t>(keys.size()));
+          for (const KeyId& k : keys) {
+            PutDigits(w, k);
+            PutU32(w, server.key_tree().KeyVersion(k));
+          }
+          roster.emplace(from, *id);
+          it = welcomes.emplace(from, std::move(w)).first;
+        }
+        bus.Send(from, it->second);  // idempotent for retried joins
+        break;
+      }
+      case 'L': {
+        auto it = roster.find(from);
+        if (it == roster.end() || departed.count(from) != 0) break;
+        server.RequestLeave(it->second);
+        departed.insert(from);
+        std::vector<std::uint8_t> k;
+        k.push_back('K');
+        PutU32(k, rekey_frames);
+        bus.Send(from, k);
+        break;
+      }
+      default:
+        break;
+    }
+  });
+
+  server.SetIntervalHandler([&](const KeyServer::IntervalRecord& rec) {
+    if (intervals_done >= flags.intervals) return;  // trailing Stop() tick
+    ++intervals_done;
+    std::printf("interval %d: joins=%d leaves=%d rekey_cost=%zu\n",
+                intervals_done, rec.joins, rec.leaves, rec.rekey_cost);
+    if (rec.delivery >= 0) {
+      // Export the interval's rekey message as wire bytes to every member
+      // that ever joined — departed ones too (they hold ciphertext an
+      // eavesdropper would have; forward secrecy is checked against it).
+      std::vector<std::uint8_t> r;
+      r.push_back('R');
+      PutU32(r, rekey_frames);
+      PutU32(r, server.group_key_version());
+      const std::vector<std::uint8_t> bytes =
+          EncodeRekeyMessage(server.message(rec.delivery));
+      r.insert(r.end(), bytes.begin(), bytes.end());
+      for (const auto& [host, id] : roster) bus.Send(host, r);
+      ++rekey_frames;
+    }
+    if (intervals_done == flags.intervals) {
+      server.Stop();
+      std::vector<std::uint8_t> d;
+      d.push_back('D');
+      PutU32(d, rekey_frames);
+      for (const auto& [host, id] : roster) bus.Send(host, d);
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_all();
+    }
+  });
+
+  bus.Start();
+  server.Start();
+
+  bool timed_out = false;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    timed_out = !cv.wait_for(lock, std::chrono::seconds(90),
+                             [&] { return done; });
+  }
+
+  int failures = 0;
+  for (pid_t pid : children) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ++failures;
+      std::fprintf(stderr, "member pid %d failed: status %d\n",
+                   static_cast<int>(pid),
+                   WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    }
+  }
+  bus.Stop();
+
+  const bool server_ok = !timed_out && rekey_frames >= 2 &&
+                         departed.size() == 1 &&
+                         roster.size() == static_cast<std::size_t>(flags.members);
+  std::printf(
+      "members=%d intervals=%d rekey_frames=%u departed=%zu datagrams=%llu\n",
+      flags.members, intervals_done, rekey_frames, departed.size(),
+      static_cast<unsigned long long>(bus.datagrams_sent()));
+  if (server_ok && failures == 0) {
+    std::printf("PASS: decryption closure and forward secrecy held over "
+                "real UDP\n");
+    return 0;
+  }
+  std::printf("FAIL: %d member process(es) failed, server_ok=%d\n", failures,
+              server_ok ? 1 : 0);
+  return 1;
+}
+
+}  // namespace
+}  // namespace tmesh
+
+int main(int argc, char** argv) {
+  return tmesh::ServerMain(tmesh::ParseFlags(argc, argv));
+}

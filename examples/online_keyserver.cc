@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/key_server.h"
+#include "transport/sim_transport.h"
 #include "topology/planetlab.h"
 
 int main() {
@@ -47,7 +48,9 @@ int main() {
   cfg.group = GroupParams{4, 16, 3};
   cfg.assign.thresholds_ms = {150.0, 30.0, 9.0};
   cfg.rekey_interval = FromSeconds(30);
-  KeyServer server(net, 0, sim, cfg);
+  cfg.net = &net;
+  SimTransport bus(sim);
+  KeyServer server(bus, cfg);
 
   // The external command feed: (arrival interval, join?) pairs, as if read
   // off a socket. Deterministic here so the example's output is stable.

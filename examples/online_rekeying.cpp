@@ -8,6 +8,7 @@
 
 #include "common/stats.h"
 #include "core/key_server.h"
+#include "transport/sim_transport.h"
 #include "topology/planetlab.h"
 
 int main() {
@@ -24,7 +25,9 @@ int main() {
   cfg.assign.thresholds_ms = {150.0, 30.0, 9.0, 3.0};
   cfg.rekey_interval = FromSeconds(60);
   cfg.split = true;
-  KeyServer server(net, 0, sim, cfg);
+  cfg.net = &net;
+  SimTransport bus(sim);
+  KeyServer server(bus, cfg);
 
   // Bootstrap audience, then a churny hour.
   Rng rng(7);

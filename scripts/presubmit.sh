@@ -9,9 +9,14 @@
 #   2. asan-ubsan — every tier-1 test under ASan+UBSan
 #                   (-fno-sanitize-recover=all)
 #   3. tsan      — the replica-runner, replicated-key-server, simulator,
-#                   and metrics-registry suites under ThreadSanitizer (the
-#                   registry suite exercises the cross-replica merge at
-#                   --threads>1)
+#                   metrics-registry, and transport suites under
+#                   ThreadSanitizer (the registry suite exercises the
+#                   cross-replica merge at --threads>1; the transport
+#                   conformance suite and the multi-process smoke exercise
+#                   UdpTransport's event-loop thread)
+#   4. soak      — one scripts/soak_rekey.sh round: the multi-process
+#                   join/leave/rekey demo over real loopback UDP, asserting
+#                   decryption closure + forward secrecy from wire bytes
 #
 # Usage: scripts/presubmit.sh [-j N]
 #   -j N   build parallelism (default: nproc)
@@ -49,4 +54,7 @@ run_preset default
 run_preset asan-ubsan
 run_preset tsan
 
-echo "==== presubmit OK: docs + default + asan-ubsan + tsan all green"
+echo "==== [soak] loopback UDP rekeying (scripts/soak_rekey.sh)"
+scripts/soak_rekey.sh build 1
+
+echo "==== presubmit OK: docs + default + asan-ubsan + tsan + soak all green"

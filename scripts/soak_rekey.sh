@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Wall-clock rekeying soak over real UDP sockets (DESIGN.md §3h).
+#
+# Loops examples/multiproc_rekey — a forked key-server process plus N
+# member processes exchanging join/leave/rekey datagrams over 127.0.0.1 —
+# across a grid of group sizes, interval lengths, and seeds. Every run
+# asserts, inside the member processes and from captured wire bytes only:
+#
+#   * decryption closure: every alive member's key holdings, closed over
+#     the rekey frames it received, reach each interval's new group key;
+#   * forward secrecy: the departed member, still receiving every frame,
+#     can never close to a post-leave group key.
+#
+# Usage: scripts/soak_rekey.sh [build-dir] [rounds]
+#   build-dir  tree containing examples/multiproc_rekey (default: build)
+#   rounds     grid repetitions with fresh seeds (default: 1; the CI smoke
+#              uses the default, nightly runs pass more)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+rounds="${2:-1}"
+bin="$build_dir/examples/multiproc_rekey"
+
+if [[ ! -x "$bin" ]]; then
+  echo "soak_rekey: $bin not built (cmake --build $build_dir)" >&2
+  exit 2
+fi
+
+runs=0
+start=$SECONDS
+for ((round = 0; round < rounds; ++round)); do
+  for members in 3 6 10; do
+    for interval_ms in 80 200; do
+      seed=$((round * 1000 + members * 10 + interval_ms))
+      echo "---- soak: members=$members interval_ms=$interval_ms seed=$seed"
+      "$bin" --members="$members" --intervals=4 \
+             --interval-ms="$interval_ms" --seed="$seed"
+      runs=$((runs + 1))
+    done
+  done
+done
+
+echo "soak_rekey OK: $runs runs, $((SECONDS - start))s wall"

@@ -4,15 +4,21 @@
 
 namespace tmesh {
 
-KeyServer::KeyServer(const Network& net, HostId server_host, Simulator& sim,
-                     const Config& config)
+namespace {
+const Network& RequireNet(const KeyServer::Config& config) {
+  TMESH_CHECK_MSG(config.net != nullptr, "KeyServer::Config::net is required");
+  return *config.net;
+}
+}  // namespace
+
+KeyServer::KeyServer(Transport& transport, const Config& config)
     : cfg_(config),
-      dir_(net, config.group, server_host),
+      dir_(RequireNet(config), config.group, config.server_host),
       assigner_(dir_, config.assign, config.seed),
       mtree_(config.group.digits),
       clusters_(config.group.digits),
-      sim_(sim),
-      tmesh_(dir_, sim) {}
+      transport_(transport),
+      tmesh_(dir_, transport) {}
 
 void KeyServer::SetMetrics(MetricsRegistry* metrics) {
   tmesh_.SetMetrics(metrics);
@@ -41,8 +47,8 @@ void KeyServer::Start() {
   // A Stop()ped-but-unfired tick is still in flight; it will see running_
   // and re-arm, so scheduling here would fork a second tick chain.
   if (tick_at_ == kNoTime) {
-    tick_at_ = sim_.Now() + cfg_.rekey_interval;
-    sim_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
+    tick_at_ = transport_.Now() + cfg_.rekey_interval;
+    transport_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
   }
 }
 
@@ -50,9 +56,9 @@ std::optional<UserId> KeyServer::RequestJoin(HostId host) {
   TMESH_CHECK_MSG(!halted_, "join on a halted server");
   std::optional<UserId> id = assigner_.AssignId(host);
   if (!id.has_value()) return std::nullopt;
-  dir_.AddMember(*id, host, sim_.Now());
+  dir_.AddMember(*id, host, transport_.Now());
   mtree_.Join(*id);
-  clusters_.Join(*id, sim_.Now());
+  clusters_.Join(*id, transport_.Now());
   ++interval_joins_;
   if (metrics_.joins != nullptr) metrics_.joins->Increment();
   // The server unicasts the joiner its ID and current path keys (§3.1 and
@@ -97,9 +103,10 @@ void KeyServer::EndInterval() {
   // instance with the tick already queued) fires as a no-op: a dead server
   // processes no batch and re-arms nothing.
   if (halted_) return;
+  const SimTime fired_at = tick_at_;
   tick_at_ = kNoTime;
   IntervalRecord rec;
-  rec.when = sim_.Now();
+  rec.when = transport_.Now();
   rec.joins = interval_joins_;
   rec.leaves = interval_leaves_;
   interval_joins_ = 0;
@@ -178,9 +185,18 @@ void KeyServer::EndInterval() {
   history_.push_back(rec);
 
   if (running_) {
-    tick_at_ = sim_.Now() + cfg_.rekey_interval;
-    sim_.ScheduleIn(cfg_.rekey_interval, [this]() { EndInterval(); });
+    // Absolute cadence: re-arm from the tick's *scheduled* instant, not
+    // from Now(). A wall-clock transport fires the tick late by processing
+    // and scheduling jitter; a Now()-relative re-arm would compound that
+    // drift every interval (regression: key_server_test
+    // IntervalCadenceDoesNotDriftUnderLateTimers). In the simulator,
+    // Now() == fired_at inside the tick, so this is byte-identical to the
+    // former Now()-relative schedule. The max() keeps a tick that overran
+    // a whole interval from landing in the past.
+    tick_at_ = std::max(fired_at + cfg_.rekey_interval, transport_.Now());
+    transport_.ScheduleAt(tick_at_, [this]() { EndInterval(); });
   }
+  if (on_interval_) on_interval_(history_.back());
 }
 
 KeyServer::Snapshot KeyServer::TakeSnapshot() const {

@@ -38,6 +38,13 @@ namespace tmesh {
 class KeyServer {
  public:
   struct Config {
+    // Environment: the topology used for admission, ID assignment, and the
+    // internal TMesh, and the logical host the server serves from. Folded
+    // into Config (instead of positional constructor arguments) so all
+    // three protocol classes share one idiomatic init shape —
+    // {Transport&, Config} — and transport injection stays uniform.
+    const Network* net = nullptr;  // required
+    HostId server_host = 0;
     GroupParams group;
     IdAssignParams assign;
     SimTime rekey_interval = FromSeconds(512);  // the paper's §4.3 value
@@ -89,8 +96,11 @@ class KeyServer {
     std::vector<KeyId> unsent_renewed;
   };
 
-  KeyServer(const Network& net, HostId server_host, Simulator& sim,
-            const Config& config);
+  // The server speaks only to the Transport seam (DESIGN.md §3h): its
+  // clock stamps joins/leaves and its timers drive the periodic interval
+  // tick, so the same server runs on the simulator (SimTransport) or on
+  // the wall clock (UdpTransport — examples/multiproc_rekey.cc).
+  KeyServer(Transport& transport, const Config& config);
 
   // Attaches a registry (null detaches): "keyserver." counters/histograms
   // here (joins, leaves, repairs, per-interval batch sizes and encryption
@@ -132,6 +142,15 @@ class KeyServer {
   // Non-null after a mid-batch crash: the rekey message that was generated
   // but never multicast.
   const RekeyMessage* unsent_message() const { return unsent_message_.get(); }
+
+  // Fires at the end of every processed interval (after the record is
+  // appended to history(); not on the mid-batch-crash path). Online
+  // drivers use it to export the interval's rekey message to real members
+  // the instant it exists — the multi-process demo unicasts the wire.cc
+  // encoding from here. Null detaches.
+  void SetIntervalHandler(std::function<void(const IntervalRecord&)> handler) {
+    on_interval_ = std::move(handler);
+  }
 
   // --- replication ---------------------------------------------------------
   // Captures the server's full logical state. Valid at any op boundary;
@@ -184,7 +203,7 @@ class KeyServer {
   const Directory& directory() const { return dir_; }
   const ModifiedKeyTree& key_tree() const { return mtree_; }
   const ClusterRekeying& clusters() const { return clusters_; }
-  TMesh& transport() { return tmesh_; }
+  TMesh& mesh() { return tmesh_; }
   std::uint32_t group_key_version() const {
     return cfg_.cluster_heuristic
                ? clusters_.leader_tree().KeyVersion(DigitString{})
@@ -209,7 +228,7 @@ class KeyServer {
   IdAssigner assigner_;
   ModifiedKeyTree mtree_;
   ClusterRekeying clusters_;
-  Simulator& sim_;
+  Transport& transport_;
   TMesh tmesh_;
   bool running_ = false;
   bool halted_ = false;
@@ -218,6 +237,7 @@ class KeyServer {
   int interval_joins_ = 0;
   int interval_leaves_ = 0;
   std::function<void()> on_crash_;
+  std::function<void(const IntervalRecord&)> on_interval_;
   std::unique_ptr<RekeyMessage> unsent_message_;
   std::vector<KeyId> unsent_renewed_;
   // Resolved "keyserver." handles; all null when no registry is attached.

@@ -9,17 +9,23 @@
 
 namespace tmesh {
 
-SilkGroup::SilkGroup(const Network& net, const GroupParams& params,
-                     HostId server_host, Simulator& sim)
-    : net_(net),
-      params_(params),
-      server_host_(server_host),
-      sim_(sim),
-      server_table_(1, params.base, params.capacity) {
-  TMESH_CHECK(params.digits >= 1 && params.digits <= kMaxDigits);
-  TMESH_CHECK(params.base >= 2 && params.base <= kMaxBase);
-  TMESH_CHECK(params.capacity >= 1);
-  TMESH_CHECK(server_host >= 0 && server_host < net.host_count());
+namespace {
+const Network& RequireNet(const SilkGroup::Config& config) {
+  TMESH_CHECK_MSG(config.net != nullptr, "SilkGroup::Config::net is required");
+  return *config.net;
+}
+}  // namespace
+
+SilkGroup::SilkGroup(Transport& transport, const Config& config)
+    : net_(RequireNet(config)),
+      params_(config.group),
+      server_host_(config.server_host),
+      transport_(transport),
+      server_table_(1, config.group.base, config.group.capacity) {
+  TMESH_CHECK(params_.digits >= 1 && params_.digits <= kMaxDigits);
+  TMESH_CHECK(params_.base >= 2 && params_.base <= kMaxBase);
+  TMESH_CHECK(params_.capacity >= 1);
+  TMESH_CHECK(server_host_ >= 0 && server_host_ < net_.host_count());
 }
 
 HostId SilkGroup::HostOf(const UserId& id) const {
@@ -301,7 +307,7 @@ void SilkGroup::Join(const UserId& id, HostId host, SimTime join_time) {
       if (!Contains(gateway)) {
         // Gateway vanished; try another. The retry must hold a strong ref
         // (a bare copy of *step would carry only the weak self-reference).
-        sim_.ScheduleIn(0, [step]() { (*step)(); });
+        transport_.ScheduleIn(0, [step]() { (*step)(); });
         return;
       }
       const Member& g = members_.at(gateway);

@@ -46,14 +46,24 @@
 #include "common/digit_string.h"
 #include "core/group_view.h"
 #include "metrics/registry.h"
-#include "sim/simulator.h"
+#include "transport/transport.h"
 
 namespace tmesh {
 
 class SilkGroup : public GroupView {
  public:
-  SilkGroup(const Network& net, const GroupParams& params, HostId server_host,
-            Simulator& sim);
+  // Environment config, mirroring KeyServer::Config so all three protocol
+  // classes share the {Transport&, Config} init shape.
+  struct Config {
+    const Network* net = nullptr;  // required
+    GroupParams group;
+    HostId server_host = 0;
+  };
+
+  // The protocol speaks only to the Transport seam (DESIGN.md §3h): every
+  // Silk message is a timed closure delayed by the topology's one-way
+  // latency.
+  SilkGroup(Transport& transport, const Config& config);
 
   // --- GroupView --------------------------------------------------------
   const GroupParams& params() const override { return params_; }
@@ -140,19 +150,19 @@ class SilkGroup : public GroupView {
   void Broadcast(const UserId& origin,
                  std::function<void(const UserId& at)> fn);
   // Messages between two hosts take one-way network latency. Templated so
-  // the closure lands directly in the simulator's pooled event record
+  // the closure lands directly in the runtime's pooled event record
   // (usually inline) instead of being wrapped in a std::function first.
   template <class Fn>
   void Message(HostId from, HostId to, Fn&& fn) {
     ++stats_.messages;
-    sim_.ScheduleIn(FromMillis(net_.OneWayDelayMs(from, to)),
-                    std::forward<Fn>(fn));
+    transport_.ScheduleIn(FromMillis(net_.OneWayDelayMs(from, to)),
+                          std::forward<Fn>(fn));
   }
 
   const Network& net_;
   GroupParams params_;
   HostId server_host_;
-  Simulator& sim_;
+  Transport& transport_;
   std::map<UserId, Member> members_;
   std::unordered_map<HostId, UserId> host_index_;
   NeighborTable server_table_;

@@ -160,9 +160,9 @@ std::pair<SimTime, SimTime> TMesh::OccupyUplink(HostId from, double bytes) {
     metrics_.uplink_bytes->Add(static_cast<std::int64_t>(bytes));
     metric_uplink_bytes_[static_cast<std::size_t>(from)] += bytes;
   }
-  if (uplink_.kbps <= 0.0) return {sim_.Now(), 0};
+  if (uplink_.kbps <= 0.0) return {transport_.Now(), 0};
   auto f = static_cast<std::size_t>(from);
-  SimTime depart = std::max(sim_.Now(), uplink_free_[f]);
+  SimTime depart = std::max(transport_.Now(), uplink_free_[f]);
   SimTime tx = FromMillis(bytes * 8.0 / uplink_.kbps);
   uplink_free_[f] = depart + tx;
   return {depart, tx};
@@ -189,7 +189,7 @@ void TMesh::SendFirst(Session& s, const UserId* from, HostId from_host,
     Session* sp = &s;
     const UserId from_copy = from != nullptr ? *from : UserId{};
     const bool has_from = from != nullptr;
-    sim_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
+    transport_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
                               candidates = std::vector<UserId>(candidates),
                               pkt = std::move(pkt)]() mutable {
       RetrySend(*sp, has_from ? &from_copy : nullptr, from_host,
@@ -229,7 +229,7 @@ void TMesh::RetrySend(Session& s, const UserId* from, HostId from_host,
     Session* sp = &s;
     const UserId from_copy = from != nullptr ? *from : UserId{};
     const bool has_from = from != nullptr;
-    sim_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
+    transport_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
                               candidates = std::move(candidates),
                               pkt = std::move(pkt), attempt]() mutable {
       RetrySend(*sp, has_from ? &from_copy : nullptr, from_host,
@@ -284,7 +284,7 @@ void TMesh::Transmit(Session& s, const UserId* from, HostId from_host,
                     ToMillis(arrive - depart));
   }
   Session* sp = &s;
-  sim_.ScheduleAt(arrive, [this, sp, to, pkt, from_host]() {
+  transport_.ScheduleAt(arrive, [this, sp, to, pkt, from_host]() {
     Deliver(*sp, to, pkt, from_host);
   });
 }
@@ -296,7 +296,7 @@ void TMesh::Deliver(Session& s, const UserId& user, const Packet& pkt,
   if (metrics_.deliveries != nullptr) metrics_.deliveries->Increment();
   if (tracer_ != nullptr) {
     tracer_->Record("deliver", s.trace_id, static_cast<std::int64_t>(host),
-                    ToMillis(sim_.Now()), 0.0);
+                    ToMillis(transport_.Now()), 0.0);
   }
   MemberDeliveryRecord& rec = s.result.member[static_cast<std::size_t>(host)];
   ++rec.copies;
@@ -309,7 +309,7 @@ void TMesh::Deliver(Session& s, const UserId& user, const Packet& pkt,
   }
   bool first = rec.copies == 1;
   if (first) {
-    rec.delay_ms = ToMillis(sim_.Now() - s.result.start);
+    rec.delay_ms = ToMillis(transport_.Now() - s.result.start);
     rec.forward_level = pkt.forward_level;
     rec.from = from_host;
     double unicast = dir_.network().OneWayDelayMs(s.source_host, host);
@@ -416,13 +416,13 @@ TMesh::Handle TMesh::MakeSession(const Options& opts, HostId source_host,
     result.links.messages.assign(
         static_cast<std::size_t>(dir_.network().link_count()), 0);
   }
-  result.start = sim_.Now();
+  result.start = transport_.Now();
   session->trace_id = next_trace_id_++;
   if (metrics_.sessions != nullptr) metrics_.sessions->Increment();
   if (tracer_ != nullptr) {
     tracer_->Record("birth", session->trace_id,
                     static_cast<std::int64_t>(source_host),
-                    ToMillis(sim_.Now()), 0.0);
+                    ToMillis(transport_.Now()), 0.0);
   }
   return Handle(std::move(session));
 }
@@ -474,13 +474,19 @@ TMesh::Handle TMesh::BeginData(const UserId& sender, const Options& opts) {
 TMesh::Result TMesh::MulticastRekey(const RekeyMessage& msg,
                                     const Options& opts) {
   Handle handle = BeginRekey(msg, opts);
-  sim_.Run();
+  TMESH_CHECK_MSG(drain_sim_ != nullptr,
+                  "MulticastRekey needs a drainable simulator; use "
+                  "BeginRekey over a real transport");
+  drain_sim_->Run();
   return handle.TakeResult();
 }
 
 TMesh::Result TMesh::MulticastData(const UserId& sender) {
   Handle handle = BeginData(sender, Options{});
-  sim_.Run();
+  TMESH_CHECK_MSG(drain_sim_ != nullptr,
+                  "MulticastData needs a drainable simulator; use "
+                  "BeginData over a real transport");
+  drain_sim_->Run();
   return handle.TakeResult();
 }
 

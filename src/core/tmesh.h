@@ -51,6 +51,8 @@
 #include "metrics/registry.h"
 #include "metrics/trace.h"
 #include "sim/simulator.h"
+#include "transport/sim_transport.h"
+#include "transport/transport.h"
 
 namespace tmesh {
 
@@ -133,7 +135,23 @@ class TMesh {
     int data_bytes = 1024;
   };
 
-  TMesh(const GroupView& dir, Simulator& sim) : dir_(dir), sim_(sim) {}
+  // The protocol speaks only to the Transport seam (DESIGN.md §3h): a
+  // clock for uplink/delivery arithmetic and one-shot timers for scheduled
+  // transmissions. Any Transport works; over a SimTransport the event
+  // history is byte-identical to the pre-seam simulator binding.
+  TMesh(const GroupView& dir, Transport& transport)
+      : dir_(dir),
+        transport_(transport),
+        drain_sim_(SimulatorOf(transport)) {}
+  // Convenience for simulator studies: owns a timer-plane SimTransport over
+  // `sim`, so the ~45 existing call sites (tests, benches, examples) keep
+  // their shape and the MulticastRekey/MulticastData drivers can drain.
+  TMesh(const GroupView& dir, Simulator& sim)
+      : dir_(dir),
+        owned_transport_(
+            std::make_unique<SimTransport>(sim, dir.server_host())),
+        transport_(*owned_transport_),
+        drain_sim_(&sim) {}
 
   void SetUplinkModel(const UplinkModel& model);
 
@@ -250,8 +268,19 @@ class TMesh {
   Handle MakeSession(const Options& opts, HostId source_host, bool is_rekey,
                      const RekeyMessage* msg);
 
+  // Recovers the simulator behind a SimTransport so the convenience
+  // MulticastRekey/MulticastData drivers (begin + drain + return) still
+  // work; null for transports with no drainable event loop (UDP), where
+  // callers must use the Begin* forms.
+  static Simulator* SimulatorOf(Transport& transport) {
+    auto* st = dynamic_cast<SimTransport*>(&transport);
+    return st != nullptr ? &st->simulator() : nullptr;
+  }
+
   const GroupView& dir_;
-  Simulator& sim_;
+  std::unique_ptr<SimTransport> owned_transport_;  // convenience ctor only
+  Transport& transport_;
+  Simulator* drain_sim_ = nullptr;
   UplinkModel uplink_;
   std::vector<SimTime> uplink_free_;  // per host; sized when model enabled
 

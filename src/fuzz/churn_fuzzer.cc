@@ -21,6 +21,7 @@
 #include "core/modified_key_tree.h"
 #include "ha/replicated_key_server.h"
 #include "core/silk.h"
+#include "transport/sim_transport.h"
 #include "core/tmesh.h"
 #include "keytree/wgl_key_tree.h"
 #include "topology/planetlab.h"
@@ -152,14 +153,17 @@ class DirectoryHarness {
         net_(NetParams(cfg)),
         sim_(Simulator::Options{.discipline = cfg.discipline,
                                 .adaptive_retune = cfg.adaptive_retune}),
-        server_(net_, 0, sim_, ReplicaConfig(cfg)) {
+        bus_(sim_),
+        server_(bus_, ReplicaConfig(cfg, net_)) {
     for (HostId h = 1; h < cfg.hosts; ++h) free_hosts_.push_back(h);
     server_.Start();
   }
 
-  static ha::ReplicatedKeyServer::Config ReplicaConfig(const FuzzConfig& cfg) {
+  static ha::ReplicatedKeyServer::Config ReplicaConfig(const FuzzConfig& cfg,
+                                                       const Network& net) {
     ha::ReplicatedKeyServer::Config c;
     c.server = ServerConfig(cfg);
+    c.server.net = &net;
     c.replicas = cfg.replicas;
     return c;
   }
@@ -256,7 +260,7 @@ class DirectoryHarness {
         s.sender_host = dir.HostOf(sender);
         s.epoch = epoch_;
         Guard("op", [&] {
-          open_data_.push_back(server_.transport().BeginData(sender, opts));
+          open_data_.push_back(server_.mesh().BeginData(sender, opts));
         });
         data_meta_.push_back(s);
         break;
@@ -565,6 +569,7 @@ class DirectoryHarness {
   FuzzConfig cfg_;
   PlanetLabNetwork net_;
   Simulator sim_;
+  SimTransport bus_;
   ha::ReplicatedKeyServer server_;
   std::vector<HostId> free_hosts_;
   std::vector<UserId> failed_;
@@ -608,7 +613,8 @@ class SilkHarness {
         net_(NetParams(cfg)),
         sim_(Simulator::Options{.discipline = cfg.discipline,
                                 .adaptive_retune = cfg.adaptive_retune}),
-        group_(net_, cfg.group, 0, sim_) {
+        bus_(sim_),
+        group_(bus_, {&net_, cfg.group, 0}) {
     for (HostId h = 1; h < cfg.hosts; ++h) free_hosts_.push_back(h);
   }
 
@@ -790,6 +796,7 @@ class SilkHarness {
   FuzzConfig cfg_;
   PlanetLabNetwork net_;
   Simulator sim_;
+  SimTransport bus_;
   SilkGroup group_;
   std::vector<HostId> free_hosts_;
   std::vector<UserId> present_;  // sorted

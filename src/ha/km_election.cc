@@ -3,9 +3,9 @@
 namespace tmesh {
 namespace ha {
 
-KmElection::KmElection(Simulator& sim, const KmElectionConfig& cfg,
+KmElection::KmElection(Transport& transport, const KmElectionConfig& cfg,
                        int replicas)
-    : sim_(sim), cfg_(cfg) {
+    : transport_(transport), cfg_(cfg) {
   TMESH_CHECK(replicas >= 1);
   replicas_.resize(static_cast<std::size_t>(replicas));
 }
@@ -58,9 +58,11 @@ void KmElection::BeginFailover(std::function<void(int)> on_elected) {
   electing_ = true;
   // Detection: the survivors notice the manager's silence one heartbeat
   // window after the failure, then run one election round.
-  sim_.ScheduleIn(cfg_.heartbeat_timeout, [this, gen, winner, on_elected] {
+  transport_.ScheduleIn(cfg_.heartbeat_timeout, [this, gen, winner,
+                                                 on_elected] {
     if (gen != generation_) return;  // superseded by a newer failover
-    sim_.ScheduleIn(cfg_.election_delay, [this, gen, winner, on_elected] {
+    transport_.ScheduleIn(cfg_.election_delay, [this, gen, winner,
+                                                on_elected] {
       if (gen != generation_) return;
       TMESH_CHECK_MSG(At(winner).alive && !At(winner).partitioned,
                       "elected replica lost during the round");

@@ -29,7 +29,7 @@
 #include <functional>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "transport/transport.h"
 
 namespace tmesh {
 namespace ha {
@@ -45,7 +45,7 @@ struct KmElectionConfig {
 
 class KmElection {
  public:
-  KmElection(Simulator& sim, const KmElectionConfig& cfg, int replicas);
+  KmElection(Transport& transport, const KmElectionConfig& cfg, int replicas);
 
   int replica_count() const { return static_cast<int>(replicas_.size()); }
   bool alive(int id) const { return At(id).alive; }
@@ -87,7 +87,7 @@ class KmElection {
     return replicas_[static_cast<std::size_t>(id)];
   }
 
-  Simulator& sim_;
+  Transport& transport_;
   KmElectionConfig cfg_;
   std::vector<Replica> replicas_;
   bool electing_ = false;

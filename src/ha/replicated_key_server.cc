@@ -5,17 +5,13 @@
 namespace tmesh {
 namespace ha {
 
-ReplicatedKeyServer::ReplicatedKeyServer(const Network& net,
-                                         HostId server_host, Simulator& sim,
+ReplicatedKeyServer::ReplicatedKeyServer(Transport& transport,
                                          const Config& cfg)
-    : net_(net),
-      server_host_(server_host),
-      sim_(sim),
+    : transport_(transport),
       cfg_(cfg),
-      election_(sim, cfg.election, cfg.replicas) {
+      election_(transport, cfg.election, cfg.replicas) {
   TMESH_CHECK(cfg.replicas >= 1);
-  incarnations_.push_back(
-      std::make_unique<KeyServer>(net, server_host, sim, cfg.server));
+  incarnations_.push_back(std::make_unique<KeyServer>(transport, cfg.server));
   incarnation_replica_.push_back(0);
   consumed_.push_back(0);
 }
@@ -74,8 +70,7 @@ void ReplicatedKeyServer::OnActiveCrashed() {
 void ReplicatedKeyServer::ActivateSuccessor(KeyServer::Snapshot snap) {
   int winner = election_.Winner();
   TMESH_CHECK_MSG(winner >= 0, "failover with no eligible replica");
-  auto next = std::make_unique<KeyServer>(net_, server_host_, sim_,
-                                          cfg_.server);
+  auto next = std::make_unique<KeyServer>(transport_, cfg_.server);
   if (metrics_ != nullptr) next->SetMetrics(metrics_);
   next->InstallSnapshot(snap);
   incarnations_.push_back(std::move(next));

@@ -60,8 +60,10 @@ class ReplicatedKeyServer {
     KmElectionConfig election;
   };
 
-  ReplicatedKeyServer(const Network& net, HostId server_host, Simulator& sim,
-                      const Config& cfg);
+  // The facade and every incarnation it materializes speak only to the
+  // Transport seam (DESIGN.md §3h); cfg.server carries the environment
+  // (topology + server host) like the underlying KeyServer::Config.
+  ReplicatedKeyServer(Transport& transport, const Config& cfg);
 
   // Attaches a registry to the current and every future incarnation.
   void SetMetrics(MetricsRegistry* metrics);
@@ -77,9 +79,9 @@ class ReplicatedKeyServer {
   TMesh::Handle MulticastData(const UserId& sender) {
     return active().MulticastData(sender);
   }
-  // The current manager's transport. Sessions begun on a previous
-  // incarnation keep their own (retained) transport and drain normally.
-  TMesh& transport() { return active().transport(); }
+  // The current manager's multicast mesh. Sessions begun on a previous
+  // incarnation keep their own (retained) mesh and drain normally.
+  TMesh& mesh() { return active().mesh(); }
 
   // --- fault injection -----------------------------------------------------
   // Kills the current manager. mid_batch crashes it inside its next
@@ -140,9 +142,7 @@ class ReplicatedKeyServer {
   void ActivateSuccessor(KeyServer::Snapshot snap);
   void Refresh() const;
 
-  const Network& net_;
-  HostId server_host_;
-  Simulator& sim_;
+  Transport& transport_;
   Config cfg_;
   KmElection election_;
   std::vector<std::unique_ptr<KeyServer>> incarnations_;  // oldest first

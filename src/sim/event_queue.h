@@ -54,8 +54,11 @@ namespace simdetail {
 // Inline closure capacity per event record. Sized so every closure on the
 // T-mesh message path (delivery and retry continuations: a couple of
 // pointers, a UserId, a Packet with a shared encryption snapshot, an owned
-// candidate vector) fits without a heap allocation.
-inline constexpr std::size_t kInlineClosureBytes = 128;
+// candidate vector) fits without a heap allocation — including when the
+// closure arrives pre-erased as a TransportClosure (transport/transport.h:
+// ops pointer + its own 128-byte inline buffer), so the SimTransport seam
+// stays allocation-free on the message path too.
+inline constexpr std::size_t kInlineClosureBytes = 160;
 
 struct ClosureOps {
   void (*invoke)(void* storage);

@@ -97,11 +97,6 @@ class Simulator {
   explicit Simulator(const Options& opts) : discipline_(opts.discipline) {
     calendar_.Configure(opts.bucket_width_hint, opts.adaptive_retune);
   }
-  // Deprecated shim for the pre-Options constructor; migrate call sites to
-  // Simulator(Options{.discipline = d}). Removed next PR.
-  [[deprecated("use Simulator(Options{.discipline = ...})")]]
-  explicit Simulator(QueueDiscipline discipline)
-      : Simulator(Options{discipline}) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

@@ -1,0 +1,267 @@
+#include "transport/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tmesh {
+namespace {
+
+// Frame header: magic + little-endian source host id.
+constexpr std::uint8_t kMagic[4] = {'T', 'M', 'U', 'D'};
+constexpr std::size_t kHeaderBytes = 8;
+// Loopback datagrams up to the usual 64 KiB UDP bound.
+constexpr std::size_t kMaxDatagram = 65536;
+
+SimTime MonotonicMicros() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * 1000000 +
+         static_cast<SimTime>(ts.tv_nsec) / 1000;
+}
+
+sockaddr_in LoopbackAddr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(const Options& opts)
+    : host_(opts.host), auto_learn_peers_(opts.auto_learn_peers) {
+  t0_ = MonotonicMicros();
+
+  socket_fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  TMESH_CHECK_MSG(socket_fd_ >= 0, "UDP socket creation failed");
+  sockaddr_in addr = LoopbackAddr(opts.port);
+  TMESH_CHECK_MSG(::bind(socket_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "UDP bind failed");
+  socklen_t len = sizeof(addr);
+  TMESH_CHECK(::getsockname(socket_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0);
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  TMESH_CHECK_MSG(wake_fd_ >= 0, "eventfd creation failed");
+
+  epoll_fd_ = ::epoll_create1(0);
+  TMESH_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = socket_fd_;
+  TMESH_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, socket_fd_, &ev) == 0);
+  ev.data.fd = wake_fd_;
+  TMESH_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+}
+
+UdpTransport::~UdpTransport() {
+  Stop();
+  // Destroy never-run closures (they may own resources).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    timers_.clear();
+    live_timers_.clear();
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (socket_fd_ >= 0) ::close(socket_fd_);
+}
+
+void UdpTransport::AddPeer(HostId host, std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_[host] = port;
+}
+
+void UdpTransport::Start() {
+  TMESH_CHECK_MSG(!started_, "UdpTransport already started");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  started_ = true;
+  loop_ = std::thread([this]() { Loop(); });
+}
+
+void UdpTransport::Stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  Wake();
+  loop_.join();
+  started_ = false;
+}
+
+SimTime UdpTransport::Now() const { return MonotonicMicros() - t0_; }
+
+void UdpTransport::Wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore short writes.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void UdpTransport::PushTimer(SimTime when, TimerId id, TransportClosure fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    timers_.push_back(Timer{when, next_timer_seq_++, id, std::move(fn)});
+    std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+  }
+  Wake();
+}
+
+void UdpTransport::ScheduleClosureAt(SimTime when, TransportClosure fn) {
+  // Unlike the simulator, the wall clock may advance between the caller
+  // computing `when` and this call landing; a past deadline fires as soon
+  // as the loop wakes.
+  PushTimer(when, kNoTimer, std::move(fn));
+}
+
+TimerId UdpTransport::ScheduleTimer(SimTime delay, TransportClosure fn) {
+  TMESH_CHECK(delay >= 0);
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = ++last_timer_;
+    live_timers_.insert(id);
+  }
+  PushTimer(Now() + delay, id, std::move(fn));
+  return id;
+}
+
+bool UdpTransport::CancelTimer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_timers_.erase(id) != 0;
+}
+
+void UdpTransport::Send(HostId to, const std::uint8_t* data,
+                        std::size_t size) {
+  TMESH_CHECK_MSG(size + kHeaderBytes <= kMaxDatagram,
+                  "datagram exceeds UDP bound");
+  std::uint16_t peer_port = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = peers_.find(to);
+    if (it == peers_.end()) return;  // unknown peer: dropped, UDP-style
+    peer_port = static_cast<std::uint16_t>(it->second);
+  }
+  std::vector<std::uint8_t> frame(kHeaderBytes + size);
+  std::memcpy(frame.data(), kMagic, 4);
+  const auto from = static_cast<std::uint32_t>(host_);
+  frame[4] = static_cast<std::uint8_t>(from & 0xff);
+  frame[5] = static_cast<std::uint8_t>((from >> 8) & 0xff);
+  frame[6] = static_cast<std::uint8_t>((from >> 16) & 0xff);
+  frame[7] = static_cast<std::uint8_t>((from >> 24) & 0xff);
+  if (size > 0) std::memcpy(frame.data() + kHeaderBytes, data, size);
+  sockaddr_in addr = LoopbackAddr(peer_port);
+  const ssize_t n =
+      ::sendto(socket_fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (n == static_cast<ssize_t>(frame.size())) {
+    datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Short sends / full socket buffers drop the datagram — UDP semantics;
+  // the protocols' own recovery handles loss.
+}
+
+void UdpTransport::OnReceive(RecvHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handler_ = std::move(handler);
+}
+
+int UdpTransport::FireDueTimers() {
+  for (;;) {
+    Timer due;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (timers_.empty()) return -1;
+      const SimTime now = Now();
+      if (timers_.front().when > now) {
+        // ceil to whole milliseconds so a sub-ms residue does not busy-spin.
+        const SimTime us = timers_.front().when - now;
+        const SimTime ms = (us + 999) / 1000;
+        return static_cast<int>(std::min<SimTime>(ms, 60'000));
+      }
+      std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+      due = std::move(timers_.back());
+      timers_.pop_back();
+      if (due.id != kNoTimer && live_timers_.erase(due.id) == 0) {
+        continue;  // cancelled: destroy without running
+      }
+    }
+    due.fn();  // outside the lock: closures may schedule or send
+  }
+}
+
+void UdpTransport::ReadDatagrams() {
+  std::uint8_t buf[kMaxDatagram];
+  for (;;) {
+    sockaddr_in src{};
+    socklen_t src_len = sizeof(src);
+    const ssize_t n =
+        ::recvfrom(socket_fd_, buf, sizeof(buf), 0,
+                   reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient socket error: drop and carry on
+    }
+    if (n < static_cast<ssize_t>(kHeaderBytes) ||
+        std::memcmp(buf, kMagic, 4) != 0) {
+      continue;  // not ours: total decoding, drop silently
+    }
+    const HostId from = static_cast<HostId>(
+        static_cast<std::uint32_t>(buf[4]) |
+        (static_cast<std::uint32_t>(buf[5]) << 8) |
+        (static_cast<std::uint32_t>(buf[6]) << 16) |
+        (static_cast<std::uint32_t>(buf[7]) << 24));
+    datagrams_received_.fetch_add(1, std::memory_order_relaxed);
+    RecvHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (auto_learn_peers_) peers_[from] = ntohs(src.sin_port);
+      handler = handler_;
+    }
+    if (handler) {
+      handler(from, buf + kHeaderBytes,
+              static_cast<std::size_t>(n) - kHeaderBytes);
+    }
+  }
+}
+
+void UdpTransport::Loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+    const int timeout_ms = FireDueTimers();
+    epoll_event events[8];
+    const int nfds = ::epoll_wait(epoll_fd_, events, 8, timeout_ms);
+    for (int i = 0; i < nfds; ++i) {
+      if (events[i].data.fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] ssize_t n =
+            ::read(wake_fd_, &drain, sizeof(drain));
+      } else if (events[i].data.fd == socket_fd_) {
+        ReadDatagrams();
+      }
+    }
+  }
+}
+
+}  // namespace tmesh

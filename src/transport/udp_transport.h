@@ -1,0 +1,144 @@
+// UdpTransport: the Transport interface over real localhost UDP sockets.
+//
+// The wall-clock half of the transport seam (DESIGN.md §3h): an epoll-based
+// event loop on one dedicated thread drives a non-blocking UDP socket plus
+// a (deadline, seq)-ordered timer queue, so the same protocol objects that
+// run on the simulator run as actual processes exchanging datagrams over
+// loopback (examples/multiproc_rekey.cc, scripts/soak_rekey.sh).
+//
+// Clock: CLOCK_MONOTONIC microseconds since construction — same unit and
+// epoch convention as the simulator's virtual clock, so SimTime values mean
+// the same thing on both sides of the seam.
+//
+// Timers: a binary min-heap keyed (deadline, schedule-seq). Ties fire in
+// schedule order, honoring the simulator's determinism contract as far as a
+// wall clock can (the *relative* order of same-deadline timers is exact;
+// absolute firing is bounded below by the deadline and above by scheduling
+// jitter, roughly the epoll timeout granularity of 1 ms). A deadline in the
+// past fires as soon as the loop wakes.
+//
+// Datagrams: framed as an 8-byte header (4-byte magic "TMUD" + u32le source
+// host id) followed by the payload — the payload itself is whatever the
+// caller framed, wire.cc encodings in the demo/soak. Peers are addressed by
+// HostId through a host→(127.0.0.1, port) table populated by AddPeer() and,
+// when auto_learn_peers is on, by the source address of every valid
+// incoming frame (how the demo's key server learns its members' ephemeral
+// ports from their join datagrams). Sends to unknown hosts are dropped —
+// UDP semantics; the protocols own reliability.
+//
+// Threading: every closure, timer, and receive handler runs on the single
+// loop thread, which is "the simulator thread" of the wall-clock world —
+// protocol objects attached to this transport need no locking of their own
+// as long as *all* interaction with them happens in loop-thread callbacks.
+// The public API (Schedule*, Send, AddPeer, Cancel*) is thread-safe and may
+// be called from any thread; the tsan preset runs the conformance suite and
+// the multi-process smoke against this file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace tmesh {
+
+class UdpTransport final : public Transport {
+ public:
+  struct Options {
+    HostId host = 0;          // identity stamped into outgoing frames
+    std::uint16_t port = 0;   // bind port on 127.0.0.1; 0 = ephemeral
+    bool auto_learn_peers = true;
+  };
+
+  // Binds the socket (so port() is known before any thread exists — the
+  // demo reads it, then forks, then Start()s).
+  explicit UdpTransport(const Options& opts);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  // The bound 127.0.0.1 port.
+  std::uint16_t port() const { return port_; }
+
+  // Maps `host` to 127.0.0.1:`port` for Send().
+  void AddPeer(HostId host, std::uint16_t port);
+
+  // Starts / stops the event-loop thread. Timers and datagrams only fire
+  // while the loop runs; Stop() joins the thread and is idempotent (the
+  // destructor calls it). Closures still queued at Stop() are destroyed
+  // without running.
+  void Start();
+  void Stop();
+
+  // Loop-lifetime counters (post-Stop() reads are exact).
+  std::uint64_t datagrams_sent() const { return datagrams_sent_.load(); }
+  std::uint64_t datagrams_received() const {
+    return datagrams_received_.load();
+  }
+
+  // --- Transport ----------------------------------------------------------
+  using Transport::Send;  // keep the vector convenience overload visible
+  SimTime Now() const override;
+  HostId local_host() const override { return host_; }
+  TimerId ScheduleTimer(SimTime delay, TransportClosure fn) override;
+  bool CancelTimer(TimerId id) override;
+  void Send(HostId to, const std::uint8_t* data, std::size_t size) override;
+  void OnReceive(RecvHandler handler) override;
+
+ protected:
+  void ScheduleClosureAt(SimTime when, TransportClosure fn) override;
+
+ private:
+  struct Timer {
+    SimTime when = 0;
+    std::uint64_t seq = 0;     // FIFO among equal deadlines
+    TimerId id = kNoTimer;     // kNoTimer: fire-and-forget (not cancellable)
+    TransportClosure fn;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Loop();
+  void Wake();
+  // Pushes a timer under the lock and wakes the loop to re-arm its timeout.
+  void PushTimer(SimTime when, TimerId id, TransportClosure fn);
+  // Runs every due timer; returns the epoll timeout (ms) until the next
+  // deadline, or -1 for "no timers".
+  int FireDueTimers();
+  void ReadDatagrams();
+
+  const HostId host_;
+  const bool auto_learn_peers_;
+  int socket_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: new timer / stop requested
+  std::uint16_t port_ = 0;
+  SimTime t0_ = 0;  // CLOCK_MONOTONIC µs at construction
+
+  std::thread loop_;
+  bool started_ = false;  // guarded by callers' single-threaded Start/Stop
+
+  std::mutex mu_;
+  bool stop_ = false;                      // guarded by mu_
+  std::vector<Timer> timers_;              // min-heap (TimerLater), mu_
+  std::uint64_t next_timer_seq_ = 0;       // mu_
+  TimerId last_timer_ = kNoTimer;          // mu_
+  std::unordered_set<TimerId> live_timers_;  // mu_
+  std::unordered_map<HostId, std::uint32_t> peers_;  // host → port, mu_
+  RecvHandler handler_;                    // mu_ (copied out to invoke)
+
+  std::atomic<std::uint64_t> datagrams_sent_{0};
+  std::atomic<std::uint64_t> datagrams_received_{0};
+};
+
+}  // namespace tmesh

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "core/modified_key_tree.h"
+#include "transport/sim_transport.h"
 #include "metrics/registry.h"
 #include "topology/planetlab.h"
 
@@ -20,8 +21,9 @@ PlanetLabNetwork MakeNet(int hosts, std::uint64_t seed = 3) {
   return PlanetLabNetwork(p);
 }
 
-KeyServer::Config SmallConfig() {
+KeyServer::Config SmallConfig(const Network& net) {
   KeyServer::Config c;
+  c.net = &net;
   c.group = GroupParams{3, 8, 2};
   c.assign.collect_target = 4;
   c.assign.thresholds_ms = {60.0, 20.0};
@@ -33,7 +35,8 @@ KeyServer::Config SmallConfig() {
 TEST(KeyServer, QuietIntervalsEmitNothing) {
   auto net = MakeNet(10);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   server.Start();
   sim.RunUntil(FromSeconds(35));  // 3 intervals, no membership activity
   server.Stop();
@@ -48,7 +51,8 @@ TEST(KeyServer, QuietIntervalsEmitNothing) {
 TEST(KeyServer, BatchesChurnIntoOneIntervalMessage) {
   auto net = MakeNet(20);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   // Joins land before the first interval tick.
   std::vector<UserId> members;
   for (HostId h = 1; h <= 12; ++h) {
@@ -78,7 +82,8 @@ TEST(KeyServer, BatchesChurnIntoOneIntervalMessage) {
 TEST(KeyServer, GroupKeyVersionAdvancesOnlyWithChurn) {
   auto net = MakeNet(12);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   for (HostId h = 1; h <= 6; ++h) {
     ASSERT_TRUE(server.RequestJoin(h).has_value());
   }
@@ -97,9 +102,10 @@ TEST(KeyServer, GroupKeyVersionAdvancesOnlyWithChurn) {
 TEST(KeyServer, SplitDeliveryIsDecryptionCompletePerInterval) {
   auto net = MakeNet(40, 7);
   Simulator sim;
-  KeyServer::Config cfg = SmallConfig();
+  KeyServer::Config cfg = SmallConfig(net);
   cfg.record_encryptions = true;
-  KeyServer server(net, 0, sim, cfg);
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, cfg);
   Rng rng(9);
 
   // Track held keys per member.
@@ -166,9 +172,10 @@ TEST(KeyServer, SplitDeliveryIsDecryptionCompletePerInterval) {
 TEST(KeyServer, ClusterHeuristicModeDistributesGroupKey) {
   auto net = MakeNet(30, 11);
   Simulator sim;
-  KeyServer::Config cfg = SmallConfig();
+  KeyServer::Config cfg = SmallConfig(net);
   cfg.cluster_heuristic = true;
-  KeyServer server(net, 0, sim, cfg);
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, cfg);
   std::vector<UserId> members;
   for (HostId h = 1; h <= 20; ++h) {
     auto id = server.RequestJoin(h);
@@ -205,7 +212,8 @@ TEST(KeyServer, ClusterHeuristicModeDistributesGroupKey) {
 TEST(KeyServer, ConcurrentDataTrafficDeliversDuringRekey) {
   auto net = MakeNet(25, 13);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   for (HostId h = 1; h <= 15; ++h) {
     ASSERT_TRUE(server.RequestJoin(h).has_value());
   }
@@ -234,7 +242,8 @@ TEST(KeyServer, ConcurrentDataTrafficDeliversDuringRekey) {
 TEST(KeyServer, StopHaltsFurtherIntervals) {
   auto net = MakeNet(8);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   ASSERT_TRUE(server.RequestJoin(1).has_value());
   server.Start();
   sim.RunUntil(FromSeconds(12));
@@ -249,7 +258,8 @@ TEST(KeyServer, StopHaltsFurtherIntervals) {
 TEST(KeyServerLifecycle, DoubleStartIsChecked) {
   auto net = MakeNet(8);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   EXPECT_FALSE(server.running());
   server.Start();
   EXPECT_TRUE(server.running());
@@ -262,7 +272,8 @@ TEST(KeyServerLifecycle, DoubleStartIsChecked) {
 TEST(KeyServerLifecycle, StopIsIdempotent) {
   auto net = MakeNet(8);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   server.Stop();  // never started: a no-op, not an error
   server.Start();
   server.Stop();
@@ -278,7 +289,8 @@ TEST(KeyServerLifecycle, StopIsIdempotent) {
 TEST(KeyServerLifecycle, RestartWhileTickInFlightDoesNotDoubleSchedule) {
   auto net = MakeNet(8);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   server.Start();
   const SimTime first_tick = server.next_interval_at();
   server.Stop();
@@ -308,9 +320,10 @@ TEST(KeyServer, ShardedRekeyMatchesSerialByteForByte) {
   auto run = [](int shards) {
     auto net = MakeNet(24);
     Simulator sim;
-    KeyServer::Config cfg = SmallConfig();
+    KeyServer::Config cfg = SmallConfig(net);
     cfg.rekey_shards = shards;
-    KeyServer server(net, 0, sim, cfg);
+    SimTransport server_bus(sim);
+    KeyServer server(server_bus, cfg);
     std::vector<UserId> members;
     for (HostId h = 1; h <= 16; ++h) {
       auto id = server.RequestJoin(h);
@@ -362,7 +375,8 @@ TEST(KeyServerLifecycle, LeaveOfFailedMemberRoutesToRepair) {
   auto net = MakeNet(12);
   Simulator sim;
   MetricsRegistry metrics;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   server.SetMetrics(&metrics);
   std::vector<UserId> members;
   for (HostId h = 1; h <= 6; ++h) {
@@ -400,7 +414,8 @@ TEST(KeyServerLifecycle, LeaveOfFailedMemberRoutesToRepair) {
 TEST(KeyServer, UnchosenSchemeNeverRekeys) {
   auto net = MakeNet(24);
   Simulator sim;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   ModifiedKeyTree oracle(3);
   std::vector<UserId> members;
   for (HostId h = 1; h <= 14; ++h) {
@@ -453,9 +468,10 @@ TEST(KeyServer, UnchosenSchemeNeverRekeys) {
 TEST(KeyServer, ClusterModeLeavesModifiedTreeVersionsAlone) {
   auto net = MakeNet(24, 11);
   Simulator sim;
-  KeyServer::Config cfg = SmallConfig();
+  KeyServer::Config cfg = SmallConfig(net);
   cfg.cluster_heuristic = true;
-  KeyServer server(net, 0, sim, cfg);
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, cfg);
   std::vector<UserId> members;
   for (HostId h = 1; h <= 14; ++h) {
     auto id = server.RequestJoin(h);
@@ -484,7 +500,8 @@ TEST(KeyServer, RekeyWithNoAliveRecipientIsUndistributed) {
   auto net = MakeNet(12);
   Simulator sim;
   MetricsRegistry metrics;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   server.SetMetrics(&metrics);
   std::vector<UserId> members;
   for (HostId h = 1; h <= 4; ++h) {
@@ -525,7 +542,8 @@ TEST(KeyServer, AllMembersLeavingInOneIntervalIsQuiet) {
   auto net = MakeNet(12);
   Simulator sim;
   MetricsRegistry metrics;
-  KeyServer server(net, 0, sim, SmallConfig());
+  SimTransport server_bus(sim);
+  KeyServer server(server_bus, SmallConfig(net));
   server.SetMetrics(&metrics);
   std::vector<UserId> members;
   for (HostId h = 1; h <= 4; ++h) {
@@ -573,9 +591,10 @@ TEST(KeyServer, QuietIntervalsDoNotPerturbLossStreams) {
   auto run = [](int quiet_intervals) {
     auto net = MakeNet(20, 7);
     Simulator sim;
-    KeyServer::Config cfg = SmallConfig();
+    KeyServer::Config cfg = SmallConfig(net);
     cfg.loss_prob = 0.3;
-    KeyServer server(net, 0, sim, cfg);
+    SimTransport server_bus(sim);
+    KeyServer server(server_bus, cfg);
     std::vector<UserId> members;
     for (HostId h = 1; h <= 12; ++h) {
       auto id = server.RequestJoin(h);
@@ -613,6 +632,91 @@ TEST(KeyServer, QuietIntervalsDoNotPerturbLossStreams) {
   EXPECT_EQ(direct.sent, gapped.sent);
   EXPECT_EQ(direct.lost, gapped.lost);
   EXPECT_EQ(direct.failed, gapped.failed);
+}
+
+// Transport double for wall-clock timing bugs: an explicit event list whose
+// clock can be made to run LATE relative to scheduled deadlines — the thing
+// the simulator can never do (there, callbacks always see Now() == their
+// deadline). Models UdpTransport under processing/scheduling jitter.
+class LateManualTransport : public Transport {
+ public:
+  SimTime Now() const override { return now_; }
+  HostId local_host() const override { return 0; }
+  TimerId ScheduleTimer(SimTime delay, TransportClosure fn) override {
+    Push(now_ + delay, std::move(fn));
+    return ++last_timer_;
+  }
+  bool CancelTimer(TimerId) override { return false; }  // unused here
+  void Send(HostId, const std::uint8_t*, std::size_t) override {}
+  void OnReceive(RecvHandler) override {}
+
+  // Fires the earliest pending closure, advancing the clock to its deadline
+  // plus `lateness` (never backwards). Returns false when idle.
+  bool RunNextLateBy(SimTime lateness) {
+    if (events_.empty()) return false;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < events_.size(); ++i) {
+      if (events_[i].when < events_[best].when ||
+          (events_[i].when == events_[best].when &&
+           events_[i].seq < events_[best].seq)) {
+        best = i;
+      }
+    }
+    Event e = std::move(events_[best]);
+    events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(best));
+    now_ = std::max(now_, e.when + lateness);
+    e.fn();
+    return true;
+  }
+
+ protected:
+  void ScheduleClosureAt(SimTime when, TransportClosure fn) override {
+    Push(when, std::move(fn));
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    TransportClosure fn;
+  };
+  void Push(SimTime when, TransportClosure fn) {
+    events_.push_back(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId last_timer_ = kNoTimer;
+  std::vector<Event> events_;
+};
+
+// Regression (transport seam, DESIGN.md §3h): EndInterval must re-arm from
+// the tick's *scheduled* instant, not from Now(). On a wall-clock transport
+// every tick fires a bit late; a Now()-relative re-arm compounds that
+// lateness into unbounded cadence drift. Under the simulator the two are
+// indistinguishable (Now() == the deadline inside the tick), so this pins
+// the behavior with a transport double whose ticks run 3 s late.
+TEST(KeyServer, IntervalCadenceDoesNotDriftUnderLateTimers) {
+  auto net = MakeNet(10);
+  LateManualTransport bus;
+  KeyServer server(bus, SmallConfig(net));  // rekey_interval = 10 s
+  server.Start();
+  const SimTime interval = FromSeconds(10);
+  const SimTime late = FromSeconds(3);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(bus.RunNextLateBy(late));
+    // The i-th tick ran `late` past its absolute deadline i * interval...
+    ASSERT_EQ(server.history().size(), static_cast<std::size_t>(i));
+    EXPECT_EQ(server.history().back().when, i * interval + late);
+    // ...and the next one is armed on the absolute grid regardless — with
+    // the drifting re-arm this would be (i * interval + late) + interval.
+    EXPECT_EQ(server.next_interval_at(), (i + 1) * interval);
+  }
+  // A tick that overruns a whole interval re-arms ASAP (clamped to Now(),
+  // never into the past), then recovers the grid from there.
+  ASSERT_TRUE(bus.RunNextLateBy(2 * interval + FromSeconds(5)));  // fires at 85 s
+  EXPECT_EQ(server.next_interval_at(), bus.Now());
+  server.Stop();
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "transport/sim_transport.h"
+
 #include <map>
 #include <sstream>
 #include <string>
@@ -25,8 +27,9 @@ PlanetLabNetwork MakeNet(int hosts, std::uint64_t seed = 3) {
   return PlanetLabNetwork(p);
 }
 
-KeyServer::Config SmallConfig() {
+KeyServer::Config SmallConfig(const Network& net) {
   KeyServer::Config c;
+  c.net = &net;
   c.group = GroupParams{3, 8, 2};
   c.assign.collect_target = 4;
   c.assign.thresholds_ms = {60.0, 20.0};
@@ -35,9 +38,10 @@ KeyServer::Config SmallConfig() {
   return c;
 }
 
-ha::ReplicatedKeyServer::Config ReplicatedConfig(int replicas) {
+ha::ReplicatedKeyServer::Config ReplicatedConfig(const Network& net,
+                                                 int replicas) {
   ha::ReplicatedKeyServer::Config c;
-  c.server = SmallConfig();
+  c.server = SmallConfig(net);
   c.replicas = replicas;
   return c;
 }
@@ -85,7 +89,8 @@ std::string DescribeUnsent(const ha::ReplicatedKeyServer& s) {
 
 TEST(KmElection, WinnerIsLowestEligibleReplica) {
   Simulator sim;
-  ha::KmElection e(sim, ha::KmElectionConfig{}, 4);
+  SimTransport bus(sim);
+  ha::KmElection e(bus, ha::KmElectionConfig{}, 4);
   EXPECT_EQ(e.eligible_count(), 4);
   EXPECT_EQ(e.Winner(), 0);
   e.MarkDead(0);
@@ -105,8 +110,9 @@ TEST(KmElection, WinnerIsLowestEligibleReplica) {
 
 TEST(KmElection, FailoverFiresAfterDetectionPlusElection) {
   Simulator sim;
+  SimTransport bus(sim);
   ha::KmElectionConfig cfg;  // 2s detection + 1s election round
-  ha::KmElection e(sim, cfg, 3);
+  ha::KmElection e(bus, cfg, 3);
   e.MarkDead(0);
   int elected = -1;
   SimTime at = 0;
@@ -123,7 +129,8 @@ TEST(KmElection, FailoverFiresAfterDetectionPlusElection) {
 
 TEST(KmElection, SupersededFailoverFiresExactlyOnce) {
   Simulator sim;
-  ha::KmElection e(sim, ha::KmElectionConfig{}, 3);
+  SimTransport bus(sim);
+  ha::KmElection e(bus, ha::KmElectionConfig{}, 3);
   int fired = 0;
   int last = -1;
   e.MarkDead(0);
@@ -149,7 +156,8 @@ TEST(KmElection, SupersededFailoverFiresExactlyOnce) {
 // successor the quorum is converging on.
 TEST(KmElection, HealDuringFailoverDoesNotDeposeSuccessor) {
   Simulator sim;
-  ha::KmElection e(sim, ha::KmElectionConfig{}, 3);
+  SimTransport bus(sim);
+  ha::KmElection e(bus, ha::KmElectionConfig{}, 3);
   e.MarkPartitioned(0);
   int elected = -1;
   e.BeginFailover([&](int id) { elected = id; });
@@ -182,13 +190,15 @@ TEST(ReplicatedKeyServer, SingleReplicaMatchesPlainServerByteForByte) {
   };
 
   Simulator plain_sim;
-  KeyServer plain(net, 0, plain_sim, SmallConfig());
+  SimTransport plain_bus(plain_sim);
+  KeyServer plain(plain_bus, SmallConfig(net));
   drive(plain, plain_sim);
   plain.Stop();
   plain_sim.Run();
 
   Simulator repl_sim;
-  ha::ReplicatedKeyServer repl(net, 0, repl_sim, ReplicatedConfig(1));
+  SimTransport repl_bus(repl_sim);
+  ha::ReplicatedKeyServer repl(repl_bus, ReplicatedConfig(net, 1));
   drive(repl, repl_sim);
   repl.active().Stop();
   repl_sim.Run();
@@ -201,7 +211,8 @@ TEST(ReplicatedKeyServer, SingleReplicaMatchesPlainServerByteForByte) {
 TEST(ReplicatedKeyServer, FailoverStallsThenResumesRekeying) {
   auto net = MakeNet(20);
   Simulator sim;
-  ha::ReplicatedKeyServer server(net, 0, sim, ReplicatedConfig(3));
+  SimTransport server_bus(sim);
+  ha::ReplicatedKeyServer server(server_bus, ReplicatedConfig(net, 3));
   std::vector<UserId> members;
   for (HostId h = 1; h <= 8; ++h) {
     auto id = server.RequestJoin(h);
@@ -248,7 +259,8 @@ TEST(ReplicatedKeyServer, FailoverStallsThenResumesRekeying) {
 TEST(ReplicatedKeyServer, MidBatchCrashBurnsAndReissuesVersions) {
   auto net = MakeNet(20);
   Simulator sim;
-  ha::ReplicatedKeyServer server(net, 0, sim, ReplicatedConfig(3));
+  SimTransport server_bus(sim);
+  ha::ReplicatedKeyServer server(server_bus, ReplicatedConfig(net, 3));
   std::vector<UserId> members;
   for (HostId h = 1; h <= 10; ++h) {
     auto id = server.RequestJoin(h);
@@ -309,7 +321,8 @@ TEST(ReplicatedKeyServer, FaultsRefusedWhenTheyWouldOrphanTheGroup) {
   auto net = MakeNet(10);
   {
     Simulator sim;
-    ha::ReplicatedKeyServer solo(net, 0, sim, ReplicatedConfig(1));
+    SimTransport solo_bus(sim);
+    ha::ReplicatedKeyServer solo(solo_bus, ReplicatedConfig(net, 1));
     solo.Start();
     EXPECT_FALSE(solo.KillActive());
     EXPECT_FALSE(solo.PartitionActive());
@@ -318,7 +331,8 @@ TEST(ReplicatedKeyServer, FaultsRefusedWhenTheyWouldOrphanTheGroup) {
   }
   {
     Simulator sim;
-    ha::ReplicatedKeyServer pair(net, 0, sim, ReplicatedConfig(2));
+    SimTransport pair_bus(sim);
+    ha::ReplicatedKeyServer pair(pair_bus, ReplicatedConfig(net, 2));
     pair.Start();
     sim.RunUntil(FromSeconds(2));
     ASSERT_TRUE(pair.KillActive());
@@ -334,7 +348,8 @@ TEST(ReplicatedKeyServer, FaultsRefusedWhenTheyWouldOrphanTheGroup) {
   }
   {
     Simulator sim;
-    ha::ReplicatedKeyServer trio(net, 0, sim, ReplicatedConfig(3));
+    SimTransport trio_bus(sim);
+    ha::ReplicatedKeyServer trio(trio_bus, ReplicatedConfig(net, 3));
     trio.Start();
     sim.RunUntil(FromSeconds(2));
     ASSERT_TRUE(trio.PartitionActive());
@@ -354,7 +369,8 @@ TEST(ReplicatedKeyServer, HistoryByteIdenticalAcrossReplicaCounts) {
   auto net = MakeNet(24, 7);
   auto run = [&net](int replicas) {
     Simulator sim;
-    ha::ReplicatedKeyServer server(net, 0, sim, ReplicatedConfig(replicas));
+    SimTransport server_bus(sim);
+    ha::ReplicatedKeyServer server(server_bus, ReplicatedConfig(net, replicas));
     std::vector<UserId> members;
     for (HostId h = 1; h <= 10; ++h) {
       auto id = server.RequestJoin(h);
@@ -405,7 +421,8 @@ void ExpectTreeStateEq(const ModifiedKeyTreeState& a,
 TEST(KeyServerSnapshot, RoundTripIsExact) {
   auto net = MakeNet(20);
   Simulator sim;
-  KeyServer a(net, 0, sim, SmallConfig());
+  SimTransport a_bus(sim);
+  KeyServer a(a_bus, SmallConfig(net));
   std::vector<UserId> members;
   for (HostId h = 1; h <= 8; ++h) {
     auto id = a.RequestJoin(h);
@@ -421,7 +438,8 @@ TEST(KeyServerSnapshot, RoundTripIsExact) {
   ASSERT_TRUE(a.RequestJoin(HostId{15}).has_value());
 
   const KeyServer::Snapshot snap = a.TakeSnapshot();
-  KeyServer b(net, 0, sim, SmallConfig());
+  SimTransport b_bus(sim);
+  KeyServer b(b_bus, SmallConfig(net));
   b.InstallSnapshot(snap);
   const KeyServer::Snapshot snap2 = b.TakeSnapshot();
 

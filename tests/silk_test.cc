@@ -14,6 +14,7 @@
 #include "core/directory.h"
 #include "core/tmesh.h"
 #include "topology/planetlab.h"
+#include "transport/sim_transport.h"
 
 namespace tmesh {
 namespace {
@@ -36,7 +37,8 @@ UserId RandomId(Rng& rng, int d, int b) {
 TEST(Silk, FirstJoinInstallsEmptyTableAndServerEntry) {
   auto net = MakeNet(4);
   Simulator sim;
-  SilkGroup group(net, GroupParams{3, 4, 2}, 0, sim);
+  SimTransport group_bus(sim);
+  SilkGroup group(group_bus, {&net, GroupParams{3, 4, 2}, 0});
   group.Join(UserId{1, 2, 3}, 1, 10);
   sim.Run();
   EXPECT_EQ(group.member_count(), 1);
@@ -49,7 +51,8 @@ TEST(Silk, FirstJoinInstallsEmptyTableAndServerEntry) {
 TEST(Silk, SequentialJoinsBuildKConsistentTables) {
   auto net = MakeNet(40);
   Simulator sim;
-  SilkGroup group(net, GroupParams{3, 4, 2}, 0, sim);
+  SimTransport group_bus(sim);
+  SilkGroup group(group_bus, {&net, GroupParams{3, 4, 2}, 0});
   Rng rng(5);
   for (HostId h = 1; h < 40; ++h) {
     UserId id;
@@ -73,7 +76,8 @@ TEST(Silk, JoinerTablesMatchOracleSemantics) {
   auto net = MakeNet(30, 9);
   Simulator sim;
   GroupParams gp{3, 8, 2};
-  SilkGroup group(net, gp, 0, sim);
+  SimTransport group_bus(sim);
+  SilkGroup group(group_bus, {&net, gp, 0});
   Directory oracle(net, gp, 0);
   Rng rng(11);
   for (HostId h = 1; h < 30; ++h) {
@@ -107,7 +111,8 @@ TEST(Silk, JoinerTablesMatchOracleSemantics) {
 TEST(Silk, LeaveKeepsOneConsistencyAndRefills) {
   auto net = MakeNet(50, 13);
   Simulator sim;
-  SilkGroup group(net, GroupParams{3, 4, 3}, 0, sim);
+  SimTransport group_bus(sim);
+  SilkGroup group(group_bus, {&net, GroupParams{3, 4, 3}, 0});
   Rng rng(17);
   std::vector<UserId> present;
   for (HostId h = 1; h < 50; ++h) {
@@ -135,7 +140,8 @@ TEST(Silk, InterleavedChurnKeepsDeliveryWorking) {
   auto net = MakeNet(60, 19);
   Simulator sim;
   GroupParams gp{3, 8, 3};
-  SilkGroup group(net, gp, 0, sim);
+  SimTransport group_bus(sim);
+  SilkGroup group(group_bus, {&net, gp, 0});
   Rng rng(23);
   std::vector<std::pair<UserId, HostId>> present;
   std::vector<HostId> free_hosts;
@@ -181,7 +187,8 @@ TEST(Silk, InterleavedChurnKeepsDeliveryWorking) {
 TEST(Silk, RejectsDuplicatesAndUnknowns) {
   auto net = MakeNet(5);
   Simulator sim;
-  SilkGroup group(net, GroupParams{2, 4, 2}, 0, sim);
+  SimTransport group_bus(sim);
+  SilkGroup group(group_bus, {&net, GroupParams{2, 4, 2}, 0});
   group.Join(UserId{0, 0}, 1, 1);
   sim.Run();
   EXPECT_THROW(group.Join(UserId{0, 0}, 2, 2), std::logic_error);
@@ -195,7 +202,8 @@ TEST(Silk, JoinCostGrowsSublinearly) {
   // below group size.
   auto net = MakeNet(80, 29);
   Simulator sim;
-  SilkGroup group(net, GroupParams{4, 4, 2}, 0, sim);
+  SimTransport group_bus(sim);
+  SilkGroup group(group_bus, {&net, GroupParams{4, 4, 2}, 0});
   Rng rng(31);
   std::int64_t prev = 0;
   std::int64_t last_join_cost = 0;
@@ -221,7 +229,8 @@ TEST_P(SilkShapeTest, JoinOnlySequencesAreKConsistent) {
   auto [depth, base, capacity] = GetParam();
   auto net = MakeNet(35, 41);
   Simulator sim;
-  SilkGroup group(net, GroupParams{depth, base, capacity}, 0, sim);
+  SimTransport group_bus(sim);
+  SilkGroup group(group_bus, {&net, GroupParams{depth, base, capacity}, 0});
   Rng rng(static_cast<std::uint64_t>(depth * 100 + base));
   for (HostId h = 1; h < 35; ++h) {
     UserId id;
