@@ -19,6 +19,12 @@
 //                progress notes change.
 //   --step=N     drive simulator drains in RunFor slices of N events
 //                (0 = monolithic). Stdout is byte-identical for every N.
+//   --psim-threads=N
+//                drain each replica's multicast on the conservative
+//                parallel driver with N workers (latency figures only;
+//                0 = the sequential simulator). Stdout is byte-identical
+//                for every N — the knob trades wall-clock for cores, never
+//                numbers. See DESIGN.md §3i.
 //   --discipline=calendar|heap
 //                event-queue discipline for every simulator the bench
 //                constructs. Stdout is byte-identical for either.
@@ -74,6 +80,7 @@ struct Flags {
   int runs = -1;          // -1: driver default
   int users = -1;
   int threads = 0;        // 0: hardware concurrency
+  int psim = 0;           // parallel-driver workers; 0: sequential drains
   std::size_t step = 0;   // RunFor slice size; 0: monolithic drains
   std::uint64_t seed = 1;
   bool full = false;      // paper-scale settings
@@ -108,6 +115,10 @@ struct Flags {
                  "N events\n"
                  "               (0 = monolithic; stdout is identical for "
                  "every N)\n"
+                 "  --psim-threads=N  drain each replica on the parallel "
+                 "driver with N\n"
+                 "               workers (0 = sequential; stdout is "
+                 "identical for every N)\n"
                  "  --discipline=calendar|heap  event-queue discipline "
                  "(identical stdout)\n"
                  "  --static-calendar  disable adaptive calendar retuning "
@@ -158,6 +169,9 @@ struct Flags {
       } else if (std::strncmp(a, "--threads=", 10) == 0) {
         f.threads = static_cast<int>(
             ParseNum(argv[0], "--threads", a + 10, 1, 4096));
+      } else if (std::strncmp(a, "--psim-threads=", 15) == 0) {
+        f.psim = static_cast<int>(
+            ParseNum(argv[0], "--psim-threads", a + 15, 0, 256));
       } else if (std::strncmp(a, "--step=", 7) == 0) {
         f.step = static_cast<std::size_t>(
             ParseNum(argv[0], "--step", a + 7, 0, 1 << 30));
@@ -254,7 +268,8 @@ inline void RunLatencyFigure(const std::string& title, Topo topo, int users,
                              bool data_path, int runs, std::uint64_t seed,
                              int threads, std::size_t step = 0,
                              const Simulator::Options& sim_options = {},
-                             Artifacts* artifacts = nullptr) {
+                             Artifacts* artifacts = nullptr,
+                             int psim_threads = 0) {
   LatencyFigureConfig cfg;
   cfg.title = title;
   cfg.topo = topo;
@@ -267,6 +282,7 @@ inline void RunLatencyFigure(const std::string& title, Topo topo, int users,
   cfg.progress = true;
   cfg.step_events = step;
   cfg.sim_options = sim_options;
+  cfg.psim_workers = psim_threads;
   if (artifacts != nullptr) {
     cfg.metrics = artifacts->metrics();
     cfg.tracer = artifacts->tracer();

@@ -12,6 +12,6 @@ int main(int argc, char** argv) {
   RunLatencyFigure("Fig 11: data path latency, GT-ITM, " +
                        std::to_string(users) + " joins",
                    Topo::kGtItm, users, /*data_path=*/true, runs, f.seed,
-                   f.Threads(), f.step, f.SimOptions(), &art);
+                   f.Threads(), f.step, f.SimOptions(), &art, f.psim);
   return 0;
 }

@@ -1,0 +1,172 @@
+// Intra-run scaling of the conservative parallel driver (DESIGN.md §3i) on
+// a synthetic host-affine cascade workload. Each arm runs the identical
+// workload — per-host event chains with hash-driven local hops and
+// cross-host hops whose delay respects the lookahead — once on the
+// SequentialHostReference and once on ParallelDriver at each worker count,
+// then verifies the (when, seq, host) event history AND the per-host
+// accumulators are byte-identical to the sequential pass. The wall-clock
+// and events/sec columns are machine-dependent (not recorded);
+// BENCH_psim.json records a measured table with the machine caveat.
+//
+// The workload keeps all mutable state host-partitioned (one accumulator
+// and one event counter per host), which is exactly the discipline the
+// driver requires of protocol code: a worker only touches state owned by
+// hosts of its own partition.
+//
+// Defaults: 256 hosts x 4 chains x depth 400 (~410k events per arm),
+// workers 1/2/4; --users overrides the host count, --runs the chain depth,
+// --threads=N narrows the sweep to {N}, --full deepens the chains.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/parallel_driver.h"
+
+namespace {
+
+using tmesh::HostId;
+using tmesh::ParallelDriver;
+using tmesh::SequentialHostReference;
+using tmesh::SimTime;
+
+// splitmix64: the workload's only randomness. Pure function of its input,
+// so every arm draws the same hops regardless of execution interleaving.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr SimTime kLookahead = 1000;  // every cross-host hop delays >= this
+
+// One arm's workload state. Engine is SequentialHostReference or
+// ParallelDriver — both expose Now()/ScheduleOnHost()/Run()/history().
+template <class Engine>
+struct Cascade {
+  Engine& eng;
+  int hosts;
+  int depth_limit;
+  std::vector<std::uint64_t> acc;    // per-host: partition-local by design
+  std::vector<std::uint64_t> count;  // per-host event counts (no shared sum)
+
+  Cascade(Engine& e, int h, int d)
+      : eng(e), hosts(h), depth_limit(d), acc(h, 0), count(h, 0) {}
+
+  void Step(HostId host, std::uint64_t state, int depth) {
+    const std::size_t hs = static_cast<std::size_t>(host);
+    ++count[hs];
+    acc[hs] ^= Mix(state + static_cast<std::uint64_t>(depth));
+    if (depth >= depth_limit) return;
+    const std::uint64_t r = Mix(state ^ (0xabcdull + depth));
+    HostId to = host;
+    SimTime delay;
+    if (r % 4 == 0) {
+      // Cross-host hop: any target, delay >= lookahead (the bound protocol
+      // traffic gets from Network::MinCrossHostDelayMs).
+      to = static_cast<HostId>((r >> 8) % static_cast<std::uint64_t>(hosts));
+      delay = kLookahead + static_cast<SimTime>((r >> 40) % 997);
+    } else {
+      // Local hop: same host, any delay (zero included) is safe.
+      delay = static_cast<SimTime>((r >> 16) % 50);
+    }
+    eng.ScheduleOnHost(to, eng.Now() + delay,
+                       [this, to, r, depth] { Step(to, r, depth + 1); });
+  }
+
+  void Seed(int chains) {
+    for (HostId h = 0; h < hosts; ++h) {
+      for (int c = 0; c < chains; ++c) {
+        const std::uint64_t s0 =
+            Mix(static_cast<std::uint64_t>(h) * 131 + c);
+        const SimTime t0 = static_cast<SimTime>(s0 % 977);
+        eng.ScheduleOnHost(h, t0, [this, h, s0] { Step(h, s0, 0); });
+      }
+    }
+  }
+
+  std::uint64_t Total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : count) n += c;
+    return n;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tmesh;
+  using namespace tmesh::bench;
+  constexpr FigureSpec kSpec{
+      "micro_psim",
+      "Parallel-driver intra-run scaling (wall-clock; not recorded)", 150,
+      /*recorded=*/false};
+  Flags f = Flags::Parse(kSpec, argc, argv);
+  const int hosts = f.users > 0 ? f.users : 256;
+  const int depth = f.runs > 0 ? f.runs : (f.full ? 2000 : 400);
+  const int chains = 4;
+
+  std::vector<int> sweep{1, 2, 4};
+  if (f.threads > 0) sweep = {f.threads};
+
+  std::printf("# parallel-driver scaling: %d hosts x %d chains x depth %d, "
+              "lookahead=%lld ticks\n"
+              "# hardware concurrency: %u\n",
+              hosts, chains, depth,
+              static_cast<long long>(kLookahead),
+              std::thread::hardware_concurrency());
+  std::printf("%10s%14s%16s%12s%12s\n", "arm", "wall_sec", "events_per_s",
+              "speedup", "identical");
+
+  // Sequential reference arm.
+  SequentialHostReference ref;
+  Cascade<SequentialHostReference> ref_load(ref, hosts, depth);
+  ref_load.Seed(chains);
+  const auto r0 = std::chrono::steady_clock::now();
+  ref.Run();
+  const auto r1 = std::chrono::steady_clock::now();
+  const double ref_sec = std::chrono::duration<double>(r1 - r0).count();
+  const double total = static_cast<double>(ref_load.Total());
+  std::printf("%10s%14.3f%16.0f%11.2fx%12s\n", "seq", ref_sec,
+              total / ref_sec, 1.0, "ref");
+
+  for (int w : sweep) {
+    ParallelDriver::Options opts;
+    opts.workers = w;
+    opts.hosts = hosts;
+    opts.lookahead = kLookahead;
+    ParallelDriver driver(opts);
+    driver.EnableHistory(true);
+    Cascade<ParallelDriver> load(driver, hosts, depth);
+    load.Seed(chains);
+    const auto t0 = std::chrono::steady_clock::now();
+    driver.Run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+
+    const bool identical = driver.history() == ref.history() &&
+                           load.acc == ref_load.acc &&
+                           load.count == ref_load.count;
+    char arm[16];
+    std::snprintf(arm, sizeof(arm), "W=%d", w);
+    std::printf("%10s%14.3f%16.0f%11.2fx%12s\n", arm, sec, total / sec,
+                ref_sec / sec, identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: W=%d event history or per-host state diverged "
+                   "from the sequential reference\n",
+                   w);
+      return 1;
+    }
+    const ParallelDriver::Stats st = driver.stats();
+    std::printf("#           windows=%llu cross_partition_sends=%llu\n",
+                static_cast<unsigned long long>(st.windows),
+                static_cast<unsigned long long>(st.cross_partition_sends));
+  }
+  std::printf("\n# identical must read 'yes' on every row at every W — the "
+              "driver trades\n# wall-clock for cores, never event order. "
+              "Speedup needs real cores; on a\n# single-core container "
+              "expect <= 1.00x with identity intact.\n");
+  return 0;
+}

@@ -453,13 +453,20 @@ int ServerMain(const Flags& flags) {
   }
   bus.Stop();
 
+  // Loopback never legitimately loses a sendto() — a nonzero dropped count
+  // means the kernel rejected frames (ENOBUFS, short send) and the run's
+  // delivery claims are suspect, so it fails the soak.
   const bool server_ok = !timed_out && rekey_frames >= 2 &&
                          departed.size() == 1 &&
-                         roster.size() == static_cast<std::size_t>(flags.members);
+                         roster.size() ==
+                             static_cast<std::size_t>(flags.members) &&
+                         bus.datagrams_dropped() == 0;
   std::printf(
-      "members=%d intervals=%d rekey_frames=%u departed=%zu datagrams=%llu\n",
+      "members=%d intervals=%d rekey_frames=%u departed=%zu datagrams=%llu "
+      "dropped=%llu\n",
       flags.members, intervals_done, rekey_frames, departed.size(),
-      static_cast<unsigned long long>(bus.datagrams_sent()));
+      static_cast<unsigned long long>(bus.datagrams_sent()),
+      static_cast<unsigned long long>(bus.datagrams_dropped()));
   if (server_ok && failures == 0) {
     std::printf("PASS: decryption closure and forward secrecy held over "
                 "real UDP\n");

@@ -26,6 +26,18 @@ struct TMesh::Handle::Session {
   std::uint32_t group_key_enc_bytes = 0;
   // Groups this session's trace spans (the chrome-trace pid).
   std::int64_t trace_id = 0;
+  // Per-lane transmission counts (multi-lane transports only): worker lanes
+  // cannot share the plain-int result counter, so each lane accumulates its
+  // own and FoldLaneCounts() sums them — a thread-count-invariant total —
+  // before the result is observed.
+  std::vector<std::int64_t> lane_messages_sent;
+
+  void FoldLaneCounts() {
+    for (std::int64_t& n : lane_messages_sent) {
+      result.messages_sent += static_cast<int>(n);
+      n = 0;
+    }
+  }
 };
 
 TMesh::Handle::Handle(std::unique_ptr<Session> s) : session_(std::move(s)) {}
@@ -35,11 +47,13 @@ TMesh::Handle::~Handle() = default;
 
 const TMesh::Result& TMesh::Handle::result() const {
   TMESH_CHECK(session_ != nullptr);
+  session_->FoldLaneCounts();
   return session_->result;
 }
 
 TMesh::Result TMesh::Handle::TakeResult() {
   TMESH_CHECK(session_ != nullptr);
+  session_->FoldLaneCounts();
   return std::move(session_->result);
 }
 
@@ -73,6 +87,22 @@ void TMesh::SetMetrics(MetricsRegistry* metrics) {
 
 void TMesh::FlushMetrics() {
   if (registry_ == nullptr) return;
+  // Fold the lanes' deferred counts (all zero on sequential transports,
+  // where the hot path incremented the handles directly). Lane order does
+  // not matter: counter addition commutes, so the folded registry is
+  // identical at every worker count.
+  for (Lane& lane : lanes_) {
+    if (metrics_.messages_sent != nullptr) {
+      metrics_.messages_sent->Add(lane.messages_sent);
+      metrics_.forwards->Add(lane.forwards);
+      metrics_.deliveries->Add(lane.deliveries);
+      metrics_.encs_sent->Add(lane.encs_sent);
+      metrics_.split_messages->Add(lane.split_messages);
+      metrics_.uplink_bytes->Add(lane.uplink_bytes);
+    }
+    lane.messages_sent = lane.forwards = lane.deliveries = lane.encs_sent =
+        lane.split_messages = lane.uplink_bytes = 0;
+  }
   Histogram* per_host = registry_->GetHistogram("tmesh.uplink_bytes_per_host");
   for (double& bytes : metric_uplink_bytes_) {
     if (bytes > 0.0) per_host->Observe(bytes);
@@ -81,23 +111,24 @@ void TMesh::FlushMetrics() {
 }
 
 void TMesh::CandidatesOf(const NeighborTable::Entry& entry, int row,
-                         bool cluster_mode, std::vector<UserId>& out) {
+                         bool cluster_mode, Lane& lane) {
+  std::vector<UserId>& out = lane.cand;
   out.clear();
   if (cluster_mode && row == dir_.params().digits - 2) {
     // Footnote 8: at the (D-2)th row prefer the earliest joiner so that
     // cluster leaders receive rekey messages at forwarding level D-1.
-    live_scratch_.clear();
+    lane.live.clear();
     for (const NeighborRecord& rec : entry) {
-      if (dir_.IsAlive(rec.id)) live_scratch_.push_back(&rec);
+      if (dir_.IsAlive(rec.id)) lane.live.push_back(&rec);
     }
-    std::sort(live_scratch_.begin(), live_scratch_.end(),
+    std::sort(lane.live.begin(), lane.live.end(),
               [](const NeighborRecord* a, const NeighborRecord* b) {
                 if (a->join_time != b->join_time) {
                   return a->join_time < b->join_time;
                 }
                 return a->rtt_ms < b->rtt_ms;
               });
-    for (const NeighborRecord* rec : live_scratch_) out.push_back(rec->id);
+    for (const NeighborRecord* rec : lane.live) out.push_back(rec->id);
     return;
   }
   for (const NeighborRecord& rec : entry) {  // entries are RTT-sorted
@@ -133,13 +164,20 @@ void TMesh::SplitFor(const Session& s, const EncList& encs,
 }
 
 TMesh::EncSnapshot TMesh::SplitSnapshot(Session& s, const EncSnapshot& parent,
-                                        const DigitString& prefix) {
-  SplitFor(s, *parent, prefix, split_scratch_);
+                                        const DigitString& prefix,
+                                        Lane& lane) {
+  SplitFor(s, *parent, prefix, lane.split);
   // The filter keeps a subsequence, so equal size means identical contents:
   // share the parent snapshot instead of allocating a copy.
-  if (split_scratch_.size() == parent->size()) return parent;
-  if (metrics_.split_messages != nullptr) metrics_.split_messages->Increment();
-  return std::make_shared<const EncList>(split_scratch_);
+  if (lane.split.size() == parent->size()) return parent;
+  if (metrics_.split_messages != nullptr) {
+    if (parallel_) {
+      ++lane.split_messages;
+    } else {
+      metrics_.split_messages->Increment();
+    }
+  }
+  return std::make_shared<const EncList>(lane.split);
 }
 
 double TMesh::PacketBytes(const Session& s, const Packet& pkt) const {
@@ -154,10 +192,17 @@ double TMesh::PacketBytes(const Session& s, const Packet& pkt) const {
   return bytes;
 }
 
-std::pair<SimTime, SimTime> TMesh::OccupyUplink(HostId from, double bytes) {
+std::pair<SimTime, SimTime> TMesh::OccupyUplink(HostId from, double bytes,
+                                                Lane& lane) {
   if (metrics_.uplink_bytes != nullptr) {
-    // PacketBytes sums integers, so the cast is exact.
-    metrics_.uplink_bytes->Add(static_cast<std::int64_t>(bytes));
+    // PacketBytes sums integers, so the cast is exact. The per-host byte
+    // array is lane-safe as-is: `from` is the executing event's affine
+    // host, and one lane owns all of a partition's hosts.
+    if (parallel_) {
+      lane.uplink_bytes += static_cast<std::int64_t>(bytes);
+    } else {
+      metrics_.uplink_bytes->Add(static_cast<std::int64_t>(bytes));
+    }
     metric_uplink_bytes_[static_cast<std::size_t>(from)] += bytes;
   }
   if (uplink_.kbps <= 0.0) return {transport_.Now(), 0};
@@ -169,7 +214,8 @@ std::pair<SimTime, SimTime> TMesh::OccupyUplink(HostId from, double bytes) {
 }
 
 void TMesh::SendFirst(Session& s, const UserId* from, HostId from_host,
-                      const std::vector<UserId>& candidates, Packet pkt) {
+                      const std::vector<UserId>& candidates, Packet pkt,
+                      Lane& lane) {
   // The caller just filtered `candidates` to live members; this first
   // attempt borrows the scratch buffer and only copies it on the (rare)
   // loss path, keeping the no-loss forwarding hot path allocation-free.
@@ -177,30 +223,38 @@ void TMesh::SendFirst(Session& s, const UserId* from, HostId from_host,
   const UserId to = candidates.front();
 
   bool lost = s.opts.loss_prob > 0.0 && s.loss_rng.Bernoulli(s.opts.loss_prob);
-  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(s, pkt));
-  Transmit(s, from, from_host, to, pkt, lost, depart, tx);
+  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(s, pkt), lane);
+  Transmit(s, from, from_host, to, pkt, lost, depart, tx, lane);
 
   if (lost) {
     // §2.3: after detecting the loss (an RTT-scaled timeout), forward to
-    // another neighbor in the same table entry.
+    // another neighbor in the same table entry. The retry timer is affine
+    // to the sender's host — it re-occupies that host's uplink.
     double rtt = dir_.network().RttHosts(from_host, dir_.HostOf(to));
     SimTime timeout =
         depart + tx + FromMillis(std::max(1.0, rtt * s.opts.retry_rtt_factor));
     Session* sp = &s;
     const UserId from_copy = from != nullptr ? *from : UserId{};
     const bool has_from = from != nullptr;
-    transport_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
-                              candidates = std::vector<UserId>(candidates),
-                              pkt = std::move(pkt)]() mutable {
-      RetrySend(*sp, has_from ? &from_copy : nullptr, from_host,
-                std::move(candidates), std::move(pkt), /*attempt=*/1);
-    });
+    transport_.ScheduleAtHost(
+        from_host, timeout,
+        [this, sp, has_from, from_copy, from_host,
+         candidates = std::vector<UserId>(candidates),
+         pkt = std::move(pkt)]() mutable {
+          RetrySend(*sp, has_from ? &from_copy : nullptr, from_host,
+                    std::move(candidates), std::move(pkt), /*attempt=*/1);
+        });
   }
 }
 
 void TMesh::RetrySend(Session& s, const UserId* from, HostId from_host,
                       std::vector<UserId> candidates, Packet pkt,
                       int attempt) {
+  // Event entry point (fired from a scheduled retry timer). Only reachable
+  // when the loss model is on, which MakeSession forbids on multi-lane
+  // transports — so the direct result/metric increments below stay
+  // single-threaded.
+  Lane& lane = LaneRef();
   // Drop candidates that died since the last attempt.
   while (!candidates.empty()) {
     std::size_t i = static_cast<std::size_t>(attempt) % candidates.size();
@@ -219,8 +273,8 @@ void TMesh::RetrySend(Session& s, const UserId* from, HostId from_host,
       candidates[static_cast<std::size_t>(attempt) % candidates.size()];
 
   bool lost = s.opts.loss_prob > 0.0 && s.loss_rng.Bernoulli(s.opts.loss_prob);
-  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(s, pkt));
-  Transmit(s, from, from_host, to, pkt, lost, depart, tx);
+  auto [depart, tx] = OccupyUplink(from_host, PacketBytes(s, pkt), lane);
+  Transmit(s, from, from_host, to, pkt, lost, depart, tx, lane);
 
   if (lost) {
     double rtt = dir_.network().RttHosts(from_host, dir_.HostOf(to));
@@ -229,28 +283,40 @@ void TMesh::RetrySend(Session& s, const UserId* from, HostId from_host,
     Session* sp = &s;
     const UserId from_copy = from != nullptr ? *from : UserId{};
     const bool has_from = from != nullptr;
-    transport_.ScheduleAt(timeout, [this, sp, has_from, from_copy, from_host,
-                              candidates = std::move(candidates),
-                              pkt = std::move(pkt), attempt]() mutable {
-      RetrySend(*sp, has_from ? &from_copy : nullptr, from_host,
-                std::move(candidates), std::move(pkt), attempt + 1);
-    });
+    transport_.ScheduleAtHost(
+        from_host, timeout,
+        [this, sp, has_from, from_copy, from_host,
+         candidates = std::move(candidates), pkt = std::move(pkt),
+         attempt]() mutable {
+          RetrySend(*sp, has_from ? &from_copy : nullptr, from_host,
+                    std::move(candidates), std::move(pkt), attempt + 1);
+        });
   }
 }
 
 void TMesh::Transmit(Session& s, const UserId* from, HostId from_host,
                      const UserId& to, const Packet& pkt, bool lost,
-                     SimTime depart, SimTime tx_time) {
+                     SimTime depart, SimTime tx_time, Lane& lane) {
   const std::size_t encs = EncCount(pkt);
   HostId to_host = dir_.HostOf(to);
 
-  ++s.result.messages_sent;
-  if (lost) ++s.result.messages_lost;
+  if (parallel_) {
+    ++s.lane_messages_sent[lane.index];
+  } else {
+    ++s.result.messages_sent;
+  }
+  if (lost) ++s.result.messages_lost;  // loss model is sequential-only
   if (metrics_.messages_sent != nullptr) {
-    metrics_.messages_sent->Increment();
-    if (lost) metrics_.messages_lost->Increment();
-    if (from != nullptr) metrics_.forwards->Increment();
-    metrics_.encs_sent->Add(static_cast<std::int64_t>(encs));
+    if (parallel_) {
+      ++lane.messages_sent;
+      if (from != nullptr) ++lane.forwards;
+      lane.encs_sent += static_cast<std::int64_t>(encs);
+    } else {
+      metrics_.messages_sent->Increment();
+      if (lost) metrics_.messages_lost->Increment();
+      if (from != nullptr) metrics_.forwards->Increment();
+      metrics_.encs_sent->Add(static_cast<std::int64_t>(encs));
+    }
   }
   if (from != nullptr) {
     MemberDeliveryRecord& rec =
@@ -259,9 +325,9 @@ void TMesh::Transmit(Session& s, const UserId* from, HostId from_host,
     rec.encs_forwarded += static_cast<std::int64_t>(encs);
   }
   if (s.opts.track_links && dir_.network().HasRouterPaths()) {
-    path_scratch_.clear();
-    dir_.network().AppendPathLinks(from_host, to_host, path_scratch_);
-    for (LinkId l : path_scratch_) {
+    lane.path.clear();
+    dir_.network().AppendPathLinks(from_host, to_host, lane.path);
+    for (LinkId l : lane.path) {
       s.result.links.encryptions[static_cast<std::size_t>(l)] +=
           static_cast<std::int64_t>(encs);
       ++s.result.links.messages[static_cast<std::size_t>(l)];
@@ -284,16 +350,28 @@ void TMesh::Transmit(Session& s, const UserId* from, HostId from_host,
                     ToMillis(arrive - depart));
   }
   Session* sp = &s;
-  transport_.ScheduleAt(arrive, [this, sp, to, pkt, from_host]() {
+  // Delivery runs at the receiver's host: the event reads and writes that
+  // host's member record and forwards from that host's uplink. When
+  // to_host != from_host the arrival is at least one cross-host one-way
+  // delay away, i.e. >= the topology's MinCrossHostDelayMs — exactly the
+  // parallel driver's lookahead condition.
+  transport_.ScheduleAtHost(to_host, arrive, [this, sp, to, pkt, from_host]() {
     Deliver(*sp, to, pkt, from_host);
   });
 }
 
 void TMesh::Deliver(Session& s, const UserId& user, const Packet& pkt,
                     HostId from_host) {
+  Lane& lane = LaneRef();  // event entry point
   if (!dir_.Contains(user) || !dir_.IsAlive(user)) return;  // raced a leave
   HostId host = dir_.HostOf(user);
-  if (metrics_.deliveries != nullptr) metrics_.deliveries->Increment();
+  if (metrics_.deliveries != nullptr) {
+    if (parallel_) {
+      ++lane.deliveries;
+    } else {
+      metrics_.deliveries->Increment();
+    }
+  }
   if (tracer_ != nullptr) {
     tracer_->Record("deliver", s.trace_id, static_cast<std::int64_t>(host),
                     ToMillis(transport_.Now()), 0.0);
@@ -318,13 +396,14 @@ void TMesh::Deliver(Session& s, const UserId& user, const Packet& pkt,
 
   if (pkt.group_key_unicast) return;  // terminal hop; nothing to forward
 
-  Forward(s, user, pkt);
+  Forward(s, user, pkt, lane);
   if (s.opts.clusters != nullptr && pkt.is_rekey && first) {
-    ClusterDuty(s, user, pkt);
+    ClusterDuty(s, user, pkt, lane);
   }
 }
 
-void TMesh::Forward(Session& s, const UserId& user, const Packet& pkt) {
+void TMesh::Forward(Session& s, const UserId& user, const Packet& pkt,
+                    Lane& lane) {
   const int d = dir_.params().digits;
   const bool cluster_mode = s.opts.clusters != nullptr && pkt.is_rekey;
   // Appendix B: "the message multicast process is as usual when forwarding
@@ -338,21 +417,23 @@ void TMesh::Forward(Session& s, const UserId& user, const Packet& pkt) {
   for (int i = pkt.forward_level; i <= max_row; ++i) {
     for (const auto& [digit, entry] : table.row(i)) {
       (void)digit;
-      CandidatesOf(entry, i, cluster_mode, cand_scratch_);
-      if (cand_scratch_.empty()) continue;  // all entry records failed
+      CandidatesOf(entry, i, cluster_mode, lane);
+      if (lane.cand.empty()) continue;  // all entry records failed
       Packet child = pkt;  // shares the parent payload snapshot
       child.forward_level = i + 1;
       if (pkt.is_rekey && s.opts.split && pkt.encs != nullptr) {
         // All candidates of an (i,j)-entry share the owner's first i digits
         // plus digit j, so Fig. 5's filter is identical for every backup.
-        child.encs = SplitSnapshot(s, pkt.encs, cand_scratch_[0].Prefix(i + 1));
+        child.encs =
+            SplitSnapshot(s, pkt.encs, lane.cand[0].Prefix(i + 1), lane);
       }
-      SendFirst(s, &user, host, cand_scratch_, std::move(child));
+      SendFirst(s, &user, host, lane.cand, std::move(child), lane);
     }
   }
 }
 
-void TMesh::ClusterDuty(Session& s, const UserId& user, const Packet& pkt) {
+void TMesh::ClusterDuty(Session& s, const UserId& user, const Packet& pkt,
+                        Lane& lane) {
   const ClusterRekeying& clusters = *s.opts.clusters;
   HostId host = dir_.HostOf(user);
   if (clusters.IsLeader(user)) {
@@ -364,8 +445,8 @@ void TMesh::ClusterDuty(Session& s, const UserId& user, const Packet& pkt) {
     gk.is_rekey = true;
     for (const UserId& peer : clusters.PeersOf(user)) {
       if (!dir_.IsAlive(peer)) continue;
-      cand_scratch_.assign(1, peer);
-      SendFirst(s, &user, host, cand_scratch_, gk);
+      lane.cand.assign(1, peer);
+      SendFirst(s, &user, host, lane.cand, gk, lane);
     }
   } else if (!pkt.leader_relay) {
     // The single in-cluster receiver of the multicast copy relays the full
@@ -375,15 +456,33 @@ void TMesh::ClusterDuty(Session& s, const UserId& user, const Packet& pkt) {
       Packet relay = pkt;
       relay.forward_level = dir_.params().digits;  // no further FORWARD rows
       relay.leader_relay = true;
-      cand_scratch_.assign(1, leader);
-      SendFirst(s, &user, host, cand_scratch_, std::move(relay));
+      lane.cand.assign(1, leader);
+      SendFirst(s, &user, host, lane.cand, std::move(relay), lane);
     }
   }
 }
 
 TMesh::Handle TMesh::MakeSession(const Options& opts, HostId source_host,
                                  bool is_rekey, const RekeyMessage* msg) {
+  if (parallel_) {
+    // Features whose outcome depends on global event execution order (a
+    // shared RNG stream, a global trace log, global per-link tallies)
+    // cannot be partitioned without breaking the byte-identity contract.
+    // fig08/fig11-style runs use none of them.
+    TMESH_CHECK_MSG(opts.loss_prob == 0.0,
+                    "the loss model draws from one sequential RNG stream; "
+                    "run lossy sessions on a sequential transport");
+    TMESH_CHECK_MSG(!opts.track_links,
+                    "per-link tallies are not lane-partitioned; run "
+                    "track_links sessions on a sequential transport");
+    TMESH_CHECK_MSG(tracer_ == nullptr,
+                    "the message tracer records in execution order; detach "
+                    "it before multicasting over a parallel transport");
+  }
   auto session = std::make_unique<Session>();
+  if (parallel_) {
+    session->lane_messages_sent.assign(lanes_.size(), 0);
+  }
   session->msg = msg;
   session->opts = opts;
   session->source_host = source_host;
@@ -444,16 +543,19 @@ TMesh::Handle TMesh::BeginRekey(const RekeyMessage& msg, const Options& opts) {
   // (0,j)-entry of its one-row table (Fig. 2 lines 3-5), each split for its
   // next hop (Fig. 5 with s = 0).
   const NeighborTable& st = dir_.ServerTable();
+  Lane& lane = LaneRef();  // the calling thread's lane (lane 0 outside Run)
   for (const auto& [digit, entry] : st.row(0)) {
     (void)digit;
-    CandidatesOf(entry, 0, /*cluster_mode=*/false, cand_scratch_);
-    if (cand_scratch_.empty()) continue;
+    CandidatesOf(entry, 0, /*cluster_mode=*/false, lane);
+    if (lane.cand.empty()) continue;
     Packet pkt;
     pkt.forward_level = 1;
     pkt.is_rekey = true;
-    pkt.encs = opts.split ? SplitSnapshot(s, all_snap, cand_scratch_[0].Prefix(1))
-                          : all_snap;
-    SendFirst(s, nullptr, dir_.server_host(), cand_scratch_, std::move(pkt));
+    pkt.encs = opts.split
+                   ? SplitSnapshot(s, all_snap, lane.cand[0].Prefix(1), lane)
+                   : all_snap;
+    SendFirst(s, nullptr, dir_.server_host(), lane.cand, std::move(pkt),
+              lane);
   }
   return handle;
 }
@@ -467,7 +569,7 @@ TMesh::Handle TMesh::BeginData(const UserId& sender, const Options& opts) {
   // 6-9): rows 0..D-1.
   Packet pkt;
   pkt.forward_level = 0;
-  Forward(*handle.session_, sender, pkt);
+  Forward(*handle.session_, sender, pkt, LaneRef());
   return handle;
 }
 

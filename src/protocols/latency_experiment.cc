@@ -1,9 +1,12 @@
 #include "protocols/latency_experiment.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/tmesh.h"
+#include "sim/parallel_driver.h"
 #include "sim/sim_metrics.h"
+#include "transport/psim_transport.h"
 
 namespace tmesh {
 
@@ -36,7 +39,29 @@ LatencyRunResult RunLatencyExperiment(const Network& net,
 
   LatencyRunResult out;
   Simulator local_sim(cfg.sim_options);
-  TMesh tmesh(session.directory(), sim != nullptr ? *sim : local_sim);
+  // psim path: same protocol object, same session, but the multicast drains
+  // on the conservative parallel driver — an external Simulator, if passed,
+  // stays untouched (it was checked fresh above).
+  std::unique_ptr<ParallelDriver> driver;
+  std::unique_ptr<PsimTransport> psim_transport;
+  std::unique_ptr<TMesh> tmesh_box;
+  if (cfg.psim_workers > 0) {
+    const double min_ms = net.MinCrossHostDelayMs();
+    TMESH_CHECK_MSG(min_ms > 0.0,
+                    "this topology reports no cross-host delay bound; "
+                    "parallel driving needs a positive lookahead");
+    ParallelDriver::Options dopts;
+    dopts.workers = cfg.psim_workers;
+    dopts.hosts = net.host_count();
+    dopts.lookahead = FromMillis(min_ms);
+    driver = std::make_unique<ParallelDriver>(dopts);
+    psim_transport = std::make_unique<PsimTransport>(*driver, server);
+    tmesh_box = std::make_unique<TMesh>(session.directory(), *psim_transport);
+  } else {
+    tmesh_box = std::make_unique<TMesh>(session.directory(),
+                                        sim != nullptr ? *sim : local_sim);
+  }
+  TMesh& tmesh = *tmesh_box;
   tmesh.SetMetrics(cfg.metrics);
   tmesh.SetTracer(cfg.tracer);
 
@@ -56,7 +81,10 @@ LatencyRunResult RunLatencyExperiment(const Network& net,
     // change paths or timing, so an empty message suffices for latency.
     return tmesh.BeginRekey(rekey_msg, TMesh::Options{});
   }();
-  if (cfg.step_events == 0 && !cfg.on_slice) {
+  if (driver != nullptr) {
+    driver->Run();
+    if (cfg.on_slice) cfg.on_slice();
+  } else if (cfg.step_events == 0 && !cfg.on_slice) {
     session_sim.Run();
   } else {
     // Chunked drive: identical event order (one RunOne path underneath),
@@ -71,7 +99,11 @@ LatencyRunResult RunLatencyExperiment(const Network& net,
   TMesh::Result tresult = handle.TakeResult();
   if (cfg.metrics != nullptr) {
     tmesh.FlushMetrics();
-    ExportSimMetrics(session_sim, *cfg.metrics);
+    if (driver != nullptr) {
+      ExportPsimMetrics(*driver, *cfg.metrics);
+    } else {
+      ExportSimMetrics(session_sim, *cfg.metrics);
+    }
   }
 
   for (HostId h = 1; h <= cfg.users; ++h) {

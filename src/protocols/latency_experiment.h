@@ -51,6 +51,15 @@ struct LatencyRunConfig {
   // When non-null, the run's multicast session records birth/forward/
   // delivery spans here (metrics/trace.h).
   MessageTracer* tracer = nullptr;
+  // When > 0, the multicast session runs on the conservative parallel
+  // driver (sim/parallel_driver.h) with this many workers instead of the
+  // sequential simulator: hosts are partitioned, the lookahead comes from
+  // net.MinCrossHostDelayMs() (which must be positive), and the printed
+  // series, TMesh counters, and "sim." event counts are byte-identical to
+  // psim_workers == 0 at every worker count. Requires tracer == nullptr
+  // (checked); step_events is ignored (the driver drains monolithically,
+  // with one on_slice call after the drain).
+  int psim_workers = 0;
 };
 
 struct LatencyRunResult {

@@ -57,8 +57,15 @@ struct LatencyFigureConfig {
   MetricsRegistry* metrics = nullptr;
   // When non-null, replica 0's multicast session is traced here (only
   // replica 0, so the trace is deterministic across thread counts and the
-  // tracer needs no synchronization).
+  // tracer needs no synchronization). Ignored when psim_workers > 0 (the
+  // parallel driver forbids execution-order-dependent observers).
   MessageTracer* tracer = nullptr;
+  // When > 0, every replica's multicast drains on the conservative parallel
+  // driver with this many workers (LatencyRunConfig::psim_workers). All
+  // printed tables and merged metrics are byte-identical to the sequential
+  // drain at every value — this knob buys wall-clock speed on multi-core
+  // hardware, never different numbers.
+  int psim_workers = 0;
 };
 
 // Runs the figure and prints it to `os`.

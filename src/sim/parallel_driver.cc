@@ -1,0 +1,282 @@
+#include "sim/parallel_driver.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tmesh {
+
+namespace {
+// Identifies the worker context of the thread currently executing an event.
+// Plain pointer (not owner-indexed) so nested drivers, should they ever
+// exist, cannot confuse each other: ExecutingWorker() checks ownership.
+thread_local void* tls_worker = nullptr;
+}  // namespace
+
+ParallelDriver::ParallelDriver(const Options& opts) : opts_(opts) {
+  TMESH_CHECK(opts.workers >= 1);
+  TMESH_CHECK(opts.hosts >= 1);
+  TMESH_CHECK_MSG(opts.lookahead > 0,
+                  "conservative parallel driving needs a positive lookahead "
+                  "(Network::MinCrossHostDelayMs() returned 0?)");
+  for (int i = 0; i < opts.workers; ++i) {
+    Worker& w = workers_.emplace_back();
+    w.owner = this;
+    w.index = static_cast<std::size_t>(i);
+  }
+  for (Worker& w : workers_) {
+    w.thread = std::thread([this, &w] { WorkerLoop(w); });
+  }
+}
+
+ParallelDriver::~ParallelDriver() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_threads_ = true;
+  }
+  cv_work_.notify_all();
+  for (Worker& w : workers_) w.thread.join();
+  // Pending closures (if the driver is destroyed with events still queued)
+  // are destroyed without running by the node pools' destructors.
+}
+
+ParallelDriver::Worker* ParallelDriver::ExecutingWorker() const {
+  auto* w = static_cast<Worker*>(tls_worker);
+  return (w != nullptr && w->owner == this) ? w : nullptr;
+}
+
+SimTime ParallelDriver::Now() const {
+  const Worker* w = ExecutingWorker();
+  return w != nullptr ? w->now : now_;
+}
+
+std::size_t ParallelDriver::CurrentLane() const {
+  const Worker* w = ExecutingWorker();
+  return w != nullptr ? w->index : 0;
+}
+
+ParallelDriver::Node* ParallelDriver::Alloc(Worker& w) {
+  if (!w.free_list.empty()) {
+    Node* n = w.free_list.back();
+    w.free_list.pop_back();
+    return n;
+  }
+  return &w.pool.emplace_back();
+}
+
+void ParallelDriver::Release(Worker& w, Node* n) {
+  n->fn = TransportClosure();
+  n->exec_index = -1;
+  w.free_list.push_back(n);
+}
+
+void ParallelDriver::PushHeap(Worker& w, Node* n) {
+  w.heap.push_back(n);
+  std::push_heap(w.heap.begin(), w.heap.end(),
+                 [](const Node* a, const Node* b) { return Before(b, a); });
+}
+
+ParallelDriver::Node* ParallelDriver::PopHeap(Worker& w) {
+  std::pop_heap(w.heap.begin(), w.heap.end(),
+                [](const Node* a, const Node* b) { return Before(b, a); });
+  Node* n = w.heap.back();
+  w.heap.pop_back();
+  return n;
+}
+
+void ParallelDriver::ScheduleClosureOnHost(HostId host, SimTime when,
+                                           TransportClosure fn) {
+  TMESH_CHECK(host >= 0 && host < opts_.hosts);
+  Worker* self = ExecutingWorker();
+  Worker& target = WorkerOf(host);
+  if (self == nullptr) {
+    // Outside Run(): the main thread owns everything; assign the final seq
+    // directly, exactly like the sequential engine's schedule-time
+    // numbering.
+    TMESH_CHECK(when >= now_);
+    Node* n = Alloc(target);
+    n->when = when;
+    n->seq = next_seq_++;
+    n->host = host;
+    n->fn = std::move(fn);
+    PushHeap(target, n);
+    return;
+  }
+  if (&target == self) {
+    TMESH_CHECK(when >= self->now);
+    Node* n = Alloc(*self);
+    n->when = when;
+    n->seq = kProvisionalBit | self->provisional++;
+    n->host = host;
+    n->fn = std::move(fn);
+    PushHeap(*self, n);
+    self->children.push_back(ChildRef{n, 0});
+    return;
+  }
+  // Cross-partition: the conservative condition. A violation means the
+  // workload's cross-host delay undercut the topology's declared
+  // MinCrossHostDelayMs — a modeling bug, not a tolerable race.
+  TMESH_CHECK_MSG(when >= window_end_,
+                  "cross-partition schedule inside the lookahead window");
+  self->outbox.push_back(Remote{host, when, kSeqUnassigned, std::move(fn)});
+  self->children.push_back(ChildRef{nullptr, self->outbox.size() - 1});
+}
+
+void ParallelDriver::ScheduleClosureOnCurrent(SimTime when,
+                                              TransportClosure fn) {
+  Worker* self = ExecutingWorker();
+  const HostId host = self != nullptr ? self->current_host : HostId{0};
+  ScheduleClosureOnHost(host, when, std::move(fn));
+}
+
+void ParallelDriver::WorkerLoop(Worker& w) {
+  tls_worker = &w;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock,
+                    [&] { return stop_threads_ || round_ != seen; });
+      if (stop_threads_) break;
+      seen = round_;
+    }
+    RunWindow(w, window_end_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_count_ == workers_.size()) cv_done_.notify_one();
+    }
+  }
+  tls_worker = nullptr;
+}
+
+void ParallelDriver::RunWindow(Worker& w, SimTime window_end) {
+  while (!w.heap.empty() && w.heap.front()->when < window_end) {
+    Node* n = PopHeap(w);
+    w.now = n->when;
+    w.current_host = n->host;
+    n->exec_index = static_cast<std::int32_t>(w.exec.size());
+    const auto child_begin = static_cast<std::uint32_t>(w.children.size());
+    {
+      // Destroy the closure before logging, mirroring the sequential
+      // engine's invoke-then-destroy lifecycle (captures release eagerly).
+      TransportClosure fn = std::move(n->fn);
+      fn();
+    }
+    w.exec.push_back(
+        ExecRecord{n, child_begin,
+                   static_cast<std::uint32_t>(w.children.size())});
+  }
+}
+
+std::size_t ParallelDriver::ReplayAndFinalize() {
+  const auto heap_less = [](const Node* a, const Node* b) {
+    return Before(b, a);
+  };
+  replay_heap_.clear();
+  std::size_t total_exec = 0;
+  for (Worker& w : workers_) {
+    total_exec += w.exec.size();
+    for (const ExecRecord& e : w.exec) {
+      if ((e.node->seq & kProvisionalBit) == 0) replay_heap_.push_back(e.node);
+    }
+  }
+  std::make_heap(replay_heap_.begin(), replay_heap_.end(), heap_less);
+
+  std::size_t processed = 0;
+  SimTime last_when = now_;
+  while (!replay_heap_.empty()) {
+    std::pop_heap(replay_heap_.begin(), replay_heap_.end(), heap_less);
+    Node* n = replay_heap_.back();
+    replay_heap_.pop_back();
+    last_when = n->when;
+    if (history_enabled_) history_.push_back({n->when, n->seq, n->host});
+    ++processed;
+    Worker& w = WorkerOf(n->host);
+    const ExecRecord& e = w.exec[static_cast<std::size_t>(n->exec_index)];
+    for (std::uint32_t i = e.child_begin; i < e.child_end; ++i) {
+      ChildRef& c = w.children[i];
+      const std::uint64_t seq = next_seq_++;
+      if (c.local != nullptr) {
+        // Monotone rename: provisional orders after every final seq and the
+        // rename sequence follows replay (= worker execution) order, so the
+        // pending heap's invariant is untouched.
+        c.local->seq = seq;
+        if (c.local->exec_index >= 0) {
+          replay_heap_.push_back(c.local);
+          std::push_heap(replay_heap_.begin(), replay_heap_.end(), heap_less);
+        }
+      } else {
+        w.outbox[c.outbox_index].seq = seq;
+      }
+    }
+  }
+  // Every executed event must have surfaced with a final seq; anything less
+  // means a parent link was lost and the canonical order is unprovable.
+  TMESH_CHECK(processed == total_exec);
+
+  for (Worker& w : workers_) {
+    cross_partition_sends_ += w.outbox.size();
+    for (Remote& r : w.outbox) {
+      TMESH_CHECK(r.seq != kSeqUnassigned);
+      Worker& t = WorkerOf(r.host);
+      Node* n = Alloc(t);
+      n->when = r.when;
+      n->seq = r.seq;
+      n->host = r.host;
+      n->fn = std::move(r.fn);
+      PushHeap(t, n);
+    }
+    w.outbox.clear();
+    for (const ExecRecord& e : w.exec) Release(w, e.node);
+    w.exec.clear();
+    w.children.clear();
+    w.provisional = 0;
+  }
+
+  events_run_ += processed;
+  now_ = std::max(now_, last_when);
+  return processed;
+}
+
+std::size_t ParallelDriver::Run() {
+  TMESH_CHECK_MSG(ExecutingWorker() == nullptr,
+                  "Run() re-entered from inside an event");
+  std::size_t total = 0;
+  for (;;) {
+    SimTime head = kNoTime;
+    for (const Worker& w : workers_) {
+      if (!w.heap.empty() &&
+          (head == kNoTime || w.heap.front()->when < head)) {
+        head = w.heap.front()->when;
+      }
+    }
+    if (head == kNoTime) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      window_end_ = head + opts_.lookahead;
+      done_count_ = 0;
+      ++round_;
+    }
+    cv_work_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [&] { return done_count_ == workers_.size(); });
+    }
+    ++windows_;
+    total += ReplayAndFinalize();
+  }
+  return total;
+}
+
+bool ParallelDriver::Empty() const {
+  TMESH_CHECK(ExecutingWorker() == nullptr);
+  for (const Worker& w : workers_) {
+    if (!w.heap.empty()) return false;
+  }
+  return true;
+}
+
+ParallelDriver::Stats ParallelDriver::stats() const {
+  return Stats{next_seq_, events_run_, windows_, cross_partition_sends_};
+}
+
+}  // namespace tmesh

@@ -1,0 +1,273 @@
+// Conservative parallel discrete-event driver (DESIGN.md §3i).
+//
+// ReplicaRunner parallelizes *across* replicas; this driver parallelizes
+// *inside* one run. Hosts are partitioned across W workers (host % W), each
+// worker owns a host-affine sub-queue, and execution proceeds in
+// barrier-window rounds: the main thread picks the global minimum pending
+// timestamp T, every worker drains its own events with timestamps in
+// [T, T + lookahead), and cross-partition schedules are buffered in
+// per-worker outboxes that the main thread distributes at the barrier.
+//
+// The lookahead is the classic Chandy–Misra conservative condition,
+// instantiated with the topology's bound: Network::MinCrossHostDelayMs() is
+// a hard lower bound on how soon an event at one host can cause an event at
+// another, so an event executing inside the window can only affect a
+// *different* partition at or after the window's end — which is exactly what
+// ScheduleClosureAtHost checks for cross-partition sends. Within a
+// partition any delay (including zero) is fine: the partition's own heap
+// serializes it.
+//
+// Byte-identity with the sequential Simulator — the repo-wide determinism
+// contract — needs more than safe ordering: the sequential engine assigns
+// the FIFO tiebreak seq *at schedule time*, in execution order of the
+// parents. Workers cannot reproduce that numbering live (they execute
+// concurrently), so the driver replays the window at the barrier:
+//
+//  * During the window a worker gives locally-scheduled children
+//    *provisional* seqs (top bit set, so they order after every final seq;
+//    monotone in schedule order within the worker), logs an execution
+//    record per event with the range of children it scheduled, and buffers
+//    cross-partition children (seq unassigned) in its outbox.
+//  * At the barrier the main thread replays the executed events through a
+//    (when, seq) min-heap seeded with the events whose seqs were already
+//    final. Popping the heap yields events in exactly the sequential
+//    execution order (induction: an event's children are scheduled while it
+//    runs, so the sequential engine pops it before them; replay finalizes
+//    children — assigning seqs from the shared counter, in the parent's
+//    call order — at the moment their parent pops, before they can surface).
+//    The numbering therefore *equals* the sequential schedule-time
+//    numbering, event by event.
+//  * Renaming a provisional seq to its final value never breaks a pending
+//    sub-queue's heap invariant: provisional seqs order after all final
+//    seqs, renames happen in replay (= sequential) order, and both orders
+//    agree within a worker — the rename is monotone.
+//
+// The safety argument for cross-window ties: an in-window event X has
+// X.when < window_end, a cross-partition arrival Z has Z.when >= window_end
+// (checked at schedule time), so Z can never tie with or precede X; no
+// ordering decision ever depends on events the barrier hasn't seen.
+//
+// Consequences pinned by tests/parallel_driver_test.cc: the (when, seq,
+// host) history, every per-host side effect, and the final seq numbering
+// are byte-identical to the sequential Simulator at every W, including
+// W = 1. `windows` (rounds executed) is W-invariant too — the next window
+// start is the global minimum head, which does not depend on the
+// partitioning — so it is safe to export as a metric.
+//
+// Threading: worker-owned structures are touched only by their worker
+// during a round and only by the main thread between rounds; the round /
+// done handshake (one mutex, two condvars) provides the happens-before
+// edges, so the driver is clean under ThreadSanitizer. Worker threads are
+// spawned in the constructor and live until destruction; Run() may be
+// called repeatedly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "transport/transport.h"
+
+namespace tmesh {
+
+class ParallelDriver {
+ public:
+  struct Options {
+    int workers = 1;        // W >= 1; partitions = host % workers
+    int hosts = 1;          // host-id domain, checked on every schedule
+    SimTime lookahead = 0;  // must be > 0 (see Network::MinCrossHostDelayMs)
+  };
+
+  struct Stats {
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t events_run = 0;
+    // Barrier-window rounds executed. W-invariant (see file comment).
+    std::uint64_t windows = 0;
+    // Outbox entries exchanged at barriers. Depends on W (the same send is
+    // intra-partition at one W and cross at another) — keep it out of
+    // thread-count-invariant metrics JSON; it is here for benchmarks.
+    std::uint64_t cross_partition_sends = 0;
+  };
+
+  struct HistoryEntry {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    HostId host = kNoHost;
+    bool operator==(const HistoryEntry& o) const {
+      return when == o.when && seq == o.seq && host == o.host;
+    }
+  };
+
+  explicit ParallelDriver(const Options& opts);
+  ~ParallelDriver();
+
+  ParallelDriver(const ParallelDriver&) = delete;
+  ParallelDriver& operator=(const ParallelDriver&) = delete;
+
+  // Virtual clock. Inside an event: that event's timestamp (per-worker).
+  // Outside Run(): the timestamp of the last event executed (0 initially).
+  SimTime Now() const;
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  // The lane (worker index) of the currently executing event; 0 when called
+  // outside event execution. Sized by workers().
+  std::size_t CurrentLane() const;
+
+  // Schedules `fn` at `when` on the partition owning `host`. From inside an
+  // event: same-partition schedules may use any when >= the current event's
+  // time; cross-partition schedules must land at or after the current
+  // window's end (>= lookahead away — guaranteed when the delay to a
+  // different host respects MinCrossHostDelayMs). From outside Run():
+  // any when >= Now().
+  template <class Fn>
+  void ScheduleOnHost(HostId host, SimTime when, Fn&& fn) {
+    ScheduleClosureOnHost(host, when, TransportClosure(std::forward<Fn>(fn)));
+  }
+  void ScheduleClosureOnHost(HostId host, SimTime when, TransportClosure fn);
+
+  // Schedule without an explicit host tag: inside an event, stays on the
+  // executing event's host (always safe); outside, lands on host 0.
+  void ScheduleClosureOnCurrent(SimTime when, TransportClosure fn);
+
+  // Drains every pending event in barrier-window rounds; returns the number
+  // executed. Main thread only (the thread that constructed the driver).
+  std::size_t Run();
+
+  bool Empty() const;
+  Stats stats() const;
+
+  // History capture for the byte-identity suites: one (when, seq, host)
+  // entry per executed event, in canonical order. Off by default.
+  void EnableHistory(bool on) { history_enabled_ = on; }
+  const std::vector<HistoryEntry>& history() const { return history_; }
+
+ private:
+  // Provisional-seq marker: sorts after every final seq (the final counter
+  // never reaches 2^63), monotone per worker within a window.
+  static constexpr std::uint64_t kProvisionalBit = 1ull << 63;
+  static constexpr std::uint64_t kSeqUnassigned = ~0ull;
+
+  struct Node {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    HostId host = kNoHost;
+    std::int32_t exec_index = -1;  // this window's exec-log slot, -1 if none
+    TransportClosure fn;
+  };
+
+  struct ExecRecord {
+    Node* node = nullptr;
+    std::uint32_t child_begin = 0;
+    std::uint32_t child_end = 0;
+  };
+
+  // One scheduled child: either a local node (rename in place at replay) or
+  // an outbox slot (stamp the final seq before distribution).
+  struct ChildRef {
+    Node* local = nullptr;
+    std::uint64_t outbox_index = 0;
+  };
+
+  struct Remote {
+    HostId host = kNoHost;
+    SimTime when = 0;
+    std::uint64_t seq = kSeqUnassigned;
+    TransportClosure fn;
+  };
+
+  struct Worker {
+    ParallelDriver* owner = nullptr;
+    std::size_t index = 0;
+    std::vector<Node*> heap;  // min-heap on (when, seq)
+    std::deque<Node> pool;    // stable storage
+    std::vector<Node*> free_list;
+    std::vector<ExecRecord> exec;
+    std::vector<ChildRef> children;
+    std::vector<Remote> outbox;
+    std::uint64_t provisional = 0;
+    SimTime now = 0;
+    HostId current_host = kNoHost;
+    std::thread thread;
+  };
+
+  static bool Before(const Node* a, const Node* b) {
+    return a->when != b->when ? a->when < b->when : a->seq < b->seq;
+  }
+
+  Worker* ExecutingWorker() const;  // tls worker of *this* driver, or null
+  Worker& WorkerOf(HostId host) {
+    return workers_[static_cast<std::size_t>(host) % workers_.size()];
+  }
+  Node* Alloc(Worker& w);
+  void Release(Worker& w, Node* n);
+  static void PushHeap(Worker& w, Node* n);
+  static Node* PopHeap(Worker& w);
+
+  void WorkerLoop(Worker& w);
+  void RunWindow(Worker& w, SimTime window_end);
+  std::size_t ReplayAndFinalize();  // barrier work: ordering + seqs + outboxes
+
+  const Options opts_;
+  std::deque<Worker> workers_;
+
+  // Round handshake.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t round_ = 0;
+  std::size_t done_count_ = 0;
+  bool stop_threads_ = false;
+  SimTime window_end_ = 0;  // stable while a round is in flight
+
+  // Main-thread state.
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_run_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_partition_sends_ = 0;
+  SimTime now_ = 0;
+  bool history_enabled_ = false;
+  std::vector<HistoryEntry> history_;
+  std::vector<Node*> replay_heap_;
+};
+
+// The sequential reference for the driver's byte-identity suites: the same
+// ScheduleOnHost surface over the plain Simulator, mirroring its seq
+// numbering and recording the same (when, seq, host) history. Workloads
+// written against this API can be replayed on ParallelDriver at any W and
+// compared stream-for-stream.
+class SequentialHostReference {
+ public:
+  SequentialHostReference() = default;
+
+  SimTime Now() const { return sim_.Now(); }
+
+  template <class Fn>
+  void ScheduleOnHost(HostId host, SimTime when, Fn&& fn) {
+    const std::uint64_t seq = next_seq_++;
+    sim_.ScheduleAt(when, [this, host, seq,
+                           f = std::forward<Fn>(fn)]() mutable {
+      history_.push_back({sim_.Now(), seq, host});
+      f();
+    });
+  }
+
+  std::size_t Run() { return sim_.Run(); }
+
+  const std::vector<ParallelDriver::HistoryEntry>& history() const {
+    return history_;
+  }
+
+ private:
+  Simulator sim_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<ParallelDriver::HistoryEntry> history_;
+};
+
+}  // namespace tmesh

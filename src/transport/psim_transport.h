@@ -1,0 +1,72 @@
+// Transport over the conservative parallel driver (sim/parallel_driver.h,
+// DESIGN.md §3i).
+//
+// This is the partitioned sibling of SimTransport's scheduling half: every
+// host-tagged schedule routes to the partition that owns the host, and the
+// driver's barrier-window replay guarantees the event stream is
+// byte-identical to the sequential simulator. The datagram plane and
+// cancellable timers are deliberately absent — TMesh's message path models
+// delivery as host-tagged scheduled closures (the SimFabric hop is a
+// convenience the mesh does not use), and the protocols that do use
+// Send/ScheduleTimer (KeyServer, Silk, the HA facade) run sequentially.
+// Attempting either here is a checked error rather than a silent wrong
+// answer.
+#pragma once
+
+#include "common/check.h"
+#include "sim/parallel_driver.h"
+#include "transport/transport.h"
+
+namespace tmesh {
+
+class PsimTransport final : public Transport {
+ public:
+  explicit PsimTransport(ParallelDriver& driver, HostId local_host = 0)
+      : driver_(driver), host_(local_host) {}
+
+  SimTime Now() const override { return driver_.Now(); }
+  HostId local_host() const override { return host_; }
+
+  std::size_t ExecLanes() const override {
+    return static_cast<std::size_t>(driver_.workers());
+  }
+  std::size_t ExecLane() const override { return driver_.CurrentLane(); }
+
+  TimerId ScheduleTimer(SimTime /*delay*/, TransportClosure /*fn*/) override {
+    TMESH_CHECK_MSG(false,
+                    "PsimTransport has no cancellable timers; run this "
+                    "protocol on a sequential transport");
+    return kNoTimer;
+  }
+  bool CancelTimer(TimerId /*id*/) override {
+    TMESH_CHECK_MSG(false, "PsimTransport has no cancellable timers");
+    return false;
+  }
+
+  void Send(HostId /*to*/, const std::uint8_t* /*data*/,
+            std::size_t /*size*/) override {
+    TMESH_CHECK_MSG(false,
+                    "PsimTransport has no datagram plane; the partitioned "
+                    "mesh delivers via host-tagged schedules");
+  }
+  void OnReceive(RecvHandler /*handler*/) override {
+    TMESH_CHECK_MSG(false, "PsimTransport has no datagram plane");
+  }
+
+ protected:
+  void ScheduleClosureAt(SimTime when, TransportClosure fn) override {
+    // Untagged schedules stay on the executing event's own host — always
+    // safe (same partition), and identical to the sequential order.
+    driver_.ScheduleClosureOnCurrent(when, std::move(fn));
+  }
+  void ScheduleClosureAtHost(HostId affine, SimTime when,
+                             TransportClosure fn) override {
+    driver_.ScheduleClosureOnHost(affine, when, std::move(fn));
+  }
+
+ private:
+  ParallelDriver& driver_;
+  HostId host_;
+};
+
+}  // namespace tmesh

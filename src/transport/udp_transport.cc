@@ -105,6 +105,18 @@ void UdpTransport::Stop() {
   Wake();
   loop_.join();
   started_ = false;
+  // The header's contract: closures still queued at Stop() are destroyed
+  // without running — a restarted loop must not fire a previous life's
+  // timers. Swap them out under the lock and destroy them outside it
+  // (closure destructors may take time or re-enter the public API).
+  // last_timer_ keeps counting across restarts, so ids are never reused and
+  // a stale CancelTimer after a restart is a harmless `false`.
+  std::vector<Timer> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned.swap(timers_);
+    live_timers_.clear();
+  }
 }
 
 SimTime UdpTransport::Now() const { return MonotonicMicros() - t0_; }
@@ -144,8 +156,26 @@ TimerId UdpTransport::ScheduleTimer(SimTime delay, TransportClosure fn) {
 }
 
 bool UdpTransport::CancelTimer(TimerId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return live_timers_.erase(id) != 0;
+  // Cancellation must not retain the closure until its (possibly distant)
+  // deadline — cancelled closures may own resources. Eagerly pop every
+  // cancelled entry that has surfaced at the heap front; entries buried
+  // deeper are released when they reach the front (here or in
+  // FireDueTimers). Closures are destroyed outside the lock, and the loop
+  // is woken so its epoll timeout re-arms against the new front.
+  std::vector<Timer> dead;
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled = live_timers_.erase(id) != 0;
+    while (!timers_.empty() && timers_.front().id != kNoTimer &&
+           live_timers_.count(timers_.front().id) == 0) {
+      std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+      dead.push_back(std::move(timers_.back()));
+      timers_.pop_back();
+    }
+  }
+  if (!dead.empty()) Wake();
+  return cancelled;
 }
 
 void UdpTransport::Send(HostId to, const std::uint8_t* data,
@@ -173,9 +203,13 @@ void UdpTransport::Send(HostId to, const std::uint8_t* data,
                reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (n == static_cast<ssize_t>(frame.size())) {
     datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Short send or sendto failure (ENOBUFS and friends): the datagram is
+    // lost. Losing it is UDP semantics — the protocols own recovery — but
+    // silent loss is indistinguishable from a transport bug, so it is
+    // counted; the loopback soak asserts the counter stays 0.
+    datagrams_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
-  // Short sends / full socket buffers drop the datagram — UDP semantics;
-  // the protocols' own recovery handles loss.
 }
 
 void UdpTransport::OnReceive(RecvHandler handler) {
@@ -186,8 +220,19 @@ void UdpTransport::OnReceive(RecvHandler handler) {
 int UdpTransport::FireDueTimers() {
   for (;;) {
     Timer due;
+    std::vector<Timer> dead;  // cancelled entries; destroyed outside the lock
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Purge cancelled entries at the front *before* computing the epoll
+      // timeout: a cancelled front would otherwise set the sleep (up to the
+      // 60 s clamp) and pin its closure until a deadline that no longer
+      // means anything.
+      while (!timers_.empty() && timers_.front().id != kNoTimer &&
+             live_timers_.count(timers_.front().id) == 0) {
+        std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+        dead.push_back(std::move(timers_.back()));
+        timers_.pop_back();
+      }
       if (timers_.empty()) return -1;
       const SimTime now = Now();
       if (timers_.front().when > now) {
@@ -199,9 +244,9 @@ int UdpTransport::FireDueTimers() {
       std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
       due = std::move(timers_.back());
       timers_.pop_back();
-      if (due.id != kNoTimer && live_timers_.erase(due.id) == 0) {
-        continue;  // cancelled: destroy without running
-      }
+      // The front was live under this same lock hold, so the pop cannot
+      // race a cancel; retire the id now that the timer is firing.
+      if (due.id != kNoTimer) live_timers_.erase(due.id);
     }
     due.fn();  // outside the lock: closures may schedule or send
   }

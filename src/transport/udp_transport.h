@@ -15,7 +15,11 @@
 // wall clock can (the *relative* order of same-deadline timers is exact;
 // absolute firing is bounded below by the deadline and above by scheduling
 // jitter, roughly the epoll timeout granularity of 1 ms). A deadline in the
-// past fires as soon as the loop wakes.
+// past fires as soon as the loop wakes. Cancelling a timer removes it from
+// the live set immediately and releases its closure no later than when the
+// entry surfaces at the heap front — CancelTimer purges the front eagerly
+// and wakes the loop, so a cancelled closure never pins resources (or the
+// loop's epoll timeout) out to a deadline that no longer means anything.
 //
 // Datagrams: framed as an 8-byte header (4-byte magic "TMUD" + u32le source
 // host id) followed by the payload — the payload itself is whatever the
@@ -76,11 +80,16 @@ class UdpTransport final : public Transport {
   void Start();
   void Stop();
 
-  // Loop-lifetime counters (post-Stop() reads are exact).
+  // Loop-lifetime counters (post-Stop() reads are exact). A "dropped"
+  // datagram is one Send() handed to sendto() that the kernel did not take
+  // whole (short send, ENOBUFS, ...) — never expected on loopback, so the
+  // soak asserts it stays 0. Sends to unknown hosts are not counted (that
+  // drop is addressing, not transport).
   std::uint64_t datagrams_sent() const { return datagrams_sent_.load(); }
   std::uint64_t datagrams_received() const {
     return datagrams_received_.load();
   }
+  std::uint64_t datagrams_dropped() const { return datagrams_dropped_.load(); }
 
   // --- Transport ----------------------------------------------------------
   using Transport::Send;  // keep the vector convenience overload visible
@@ -139,6 +148,7 @@ class UdpTransport final : public Transport {
 
   std::atomic<std::uint64_t> datagrams_sent_{0};
   std::atomic<std::uint64_t> datagrams_received_{0};
+  std::atomic<std::uint64_t> datagrams_dropped_{0};
 };
 
 }  // namespace tmesh

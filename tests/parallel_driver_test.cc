@@ -1,0 +1,345 @@
+// Byte-identity suite for the conservative parallel driver (DESIGN.md §3i).
+//
+// The acceptance bar mirrors the repo's other parallelism seams
+// (replica_runner_test, the sharded-rekey differential): executing on
+// ParallelDriver with ANY worker count W — including W = 1 and a W that
+// does not divide the host count — must reproduce the sequential
+// Simulator's event history byte-for-byte: same (when, seq, host) stream,
+// same per-host side effects, same event counts. The suite pins that four
+// ways:
+//  1. a scripted host-tagged workload with exact ties and zero-delay local
+//     children, against the SequentialHostReference golden;
+//  2. self-driving randomized cascades (randomness derived from hash
+//     chains carried in the events themselves, so workers never share an
+//     RNG) across seeds and worker counts;
+//  3. driver stats (events scheduled/run, barrier windows) are
+//     W-invariant, so exporting them as metrics cannot leak W;
+//  4. the real protocol stack: RunLatencyExperiment with psim_workers in
+//     {1, 2, 7} reproduces the sequential run's result series and its
+//     metrics registry (modulo the documented engine-specific keys).
+//
+// Also here: the topology MinCrossHostDelayMs() contracts the driver's
+// lookahead depends on — positive, and a true lower bound over sampled
+// host pairs — for all three multi-host topology families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "protocols/latency_experiment.h"
+#include "sim/parallel_driver.h"
+#include "topology/gtitm.h"
+#include "topology/planetlab.h"
+#include "topology/synthetic_wan.h"
+
+namespace tmesh {
+namespace {
+
+using History = std::vector<ParallelDriver::HistoryEntry>;
+
+// --- scripted golden ------------------------------------------------------
+
+constexpr SimTime kLook = 100;  // scripted workloads keep cross hops >= this
+
+// A fixed workload over 4 hosts: root events seeded from outside, local
+// children at zero and small delays (exercising the FIFO tiebreak), cross-
+// host children at exactly the lookahead and beyond (the tightest legal
+// hop). Side effects land in per-host logs — worker-exclusive state, the
+// discipline protocol code follows.
+template <class Engine>
+struct Scripted {
+  Engine& eng;
+  std::vector<std::vector<std::pair<SimTime, int>>> per_host;
+
+  explicit Scripted(Engine& e) : eng(e), per_host(4) {}
+
+  void Note(HostId h, int tag) {
+    per_host[static_cast<std::size_t>(h)].emplace_back(eng.Now(), tag);
+  }
+
+  void Seed() {
+    eng.ScheduleOnHost(0, 10, [this] {
+      Note(0, 0);
+      eng.ScheduleOnHost(0, eng.Now(), [this] { Note(0, 1); });  // zero delay
+      eng.ScheduleOnHost(0, eng.Now(), [this] { Note(0, 2); });  // tie with 1
+      eng.ScheduleOnHost(2, eng.Now() + kLook, [this] {  // tightest cross hop
+        Note(2, 3);
+        eng.ScheduleOnHost(1, eng.Now() + kLook + 5, [this] { Note(1, 4); });
+      });
+    });
+    eng.ScheduleOnHost(1, 10, [this] {  // exact tie with host 0's root
+      Note(1, 5);
+      eng.ScheduleOnHost(1, eng.Now() + 3, [this] { Note(1, 6); });
+    });
+    eng.ScheduleOnHost(3, 5, [this] {
+      Note(3, 7);
+      eng.ScheduleOnHost(0, eng.Now() + 2 * kLook, [this] { Note(0, 8); });
+    });
+    eng.ScheduleOnHost(2, 500, [this] { Note(2, 9); });
+  }
+};
+
+TEST(ParallelDriver, ScriptedWorkloadMatchesSequentialAtEveryW) {
+  SequentialHostReference ref;
+  Scripted<SequentialHostReference> golden(ref);
+  golden.Seed();
+  const std::size_t ran = ref.Run();
+  EXPECT_EQ(ran, 10u);
+
+  for (int w : {1, 2, 7}) {
+    ParallelDriver::Options opts;
+    opts.workers = w;
+    opts.hosts = 4;
+    opts.lookahead = kLook;
+    ParallelDriver driver(opts);
+    driver.EnableHistory(true);
+    Scripted<ParallelDriver> load(driver);
+    load.Seed();
+    EXPECT_FALSE(driver.Empty());
+    EXPECT_EQ(driver.Run(), 10u) << "W=" << w;
+    EXPECT_TRUE(driver.Empty());
+    EXPECT_EQ(driver.history(), ref.history()) << "W=" << w;
+    EXPECT_EQ(load.per_host, golden.per_host) << "W=" << w;
+    EXPECT_EQ(driver.Now(), ref.Now()) << "W=" << w;
+  }
+}
+
+// --- randomized cascades --------------------------------------------------
+
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Hash-chain cascades: each event derives its hops from state carried in
+// the closure (never a shared RNG — workers run concurrently), mixes into a
+// per-host accumulator, and spawns 0-2 children: local at any delay
+// including zero, cross-host at >= lookahead.
+template <class Engine>
+struct Cascade {
+  Engine& eng;
+  int hosts;
+  SimTime look;
+  std::vector<std::uint64_t> acc;
+
+  Cascade(Engine& e, int h, SimTime l)
+      : eng(e), hosts(h), look(l), acc(static_cast<std::size_t>(h), 0) {}
+
+  void Step(HostId host, std::uint64_t state, int depth) {
+    acc[static_cast<std::size_t>(host)] ^= Mix(state);
+    if (depth <= 0) return;
+    const int kids = static_cast<int>(Mix(state ^ 0xc01d) % 3);
+    for (int k = 0; k < kids; ++k) {
+      const std::uint64_t s = Mix(state + 0x5eed + static_cast<std::uint64_t>(k));
+      HostId to = host;
+      SimTime delay = static_cast<SimTime>(s % 40);  // local, zero allowed
+      if (s % 3 == 0) {
+        to = static_cast<HostId>((s >> 8) % static_cast<std::uint64_t>(hosts));
+        delay = look + static_cast<SimTime>((s >> 32) % 777);
+      }
+      eng.ScheduleOnHost(to, eng.Now() + delay,
+                         [this, to, s, depth] { Step(to, s, depth - 1); });
+    }
+  }
+
+  void Seed(std::uint64_t seed, int chains, int depth) {
+    for (HostId h = 0; h < hosts; ++h) {
+      for (int c = 0; c < chains; ++c) {
+        const std::uint64_t s0 =
+            Mix(seed * 9176 + static_cast<std::uint64_t>(h) * 131 + c);
+        eng.ScheduleOnHost(h, static_cast<SimTime>(s0 % 200),
+                           [this, h, s0, depth] { Step(h, s0, depth); });
+      }
+    }
+  }
+};
+
+TEST(ParallelDriver, RandomizedCascadesMatchSequentialAtEveryW) {
+  constexpr int kHosts = 13;  // odd: W=2 and W=7 both split hosts unevenly
+  constexpr SimTime kCascadeLook = 1000;
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    SequentialHostReference ref;
+    Cascade<SequentialHostReference> golden(ref, kHosts, kCascadeLook);
+    golden.Seed(seed, 3, 12);
+    ref.Run();
+    ASSERT_GT(ref.history().size(), 100u) << "workload degenerate";
+
+    for (int w : {1, 2, 7}) {
+      ParallelDriver::Options opts;
+      opts.workers = w;
+      opts.hosts = kHosts;
+      opts.lookahead = kCascadeLook;
+      ParallelDriver driver(opts);
+      driver.EnableHistory(true);
+      Cascade<ParallelDriver> load(driver, kHosts, kCascadeLook);
+      load.Seed(seed, 3, 12);
+      driver.Run();
+      EXPECT_EQ(driver.history(), ref.history())
+          << "seed " << seed << " W=" << w;
+      EXPECT_EQ(load.acc, golden.acc) << "seed " << seed << " W=" << w;
+    }
+  }
+}
+
+TEST(ParallelDriver, StatsAreWorkerInvariant) {
+  constexpr int kHosts = 9;
+  constexpr SimTime kStatsLook = 500;
+  SequentialHostReference ref;
+  Cascade<SequentialHostReference> golden(ref, kHosts, kStatsLook);
+  golden.Seed(3, 2, 10);
+  const std::size_t ref_run = ref.Run();
+
+  ParallelDriver::Stats first{};
+  for (int w : {1, 2, 7}) {
+    ParallelDriver::Options opts;
+    opts.workers = w;
+    opts.hosts = kHosts;
+    opts.lookahead = kStatsLook;
+    ParallelDriver driver(opts);
+    Cascade<ParallelDriver> load(driver, kHosts, kStatsLook);
+    load.Seed(3, 2, 10);
+    driver.Run();
+    const ParallelDriver::Stats st = driver.stats();
+    EXPECT_EQ(st.events_run, static_cast<std::uint64_t>(ref_run));
+    EXPECT_EQ(st.events_scheduled, st.events_run);  // everything drained
+    if (w == 1) {
+      first = st;
+      EXPECT_EQ(st.cross_partition_sends, 0u);  // one partition, no outbox
+    } else {
+      // The exported stats (event counts, windows) must not leak W;
+      // cross_partition_sends is the one W-dependent stat and stays
+      // benchmark-only.
+      EXPECT_EQ(st.windows, first.windows) << "W=" << w;
+    }
+  }
+}
+
+// --- the real protocol stack ----------------------------------------------
+
+SessionConfig PsimTestSession() {
+  SessionConfig s;
+  s.group = GroupParams{3, 8, 2};
+  s.assign.collect_target = 4;
+  s.assign.thresholds_ms.assign(2, 40.0);
+  return s;
+}
+
+// WriteJson with the engine-specific keys removed: a sequential drain
+// exports sim.calendar_retunes, a psim drain exports psim.windows; every
+// other key — protocol counters, histograms, event counts — must agree
+// exactly. Trailing commas are normalized so dropping a line cannot create
+// a spurious diff on its neighbor.
+std::string ComparableRegistryJson(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  reg.WriteJson(os);
+  std::istringstream is(os.str());
+  std::string line, out;
+  while (std::getline(is, line)) {
+    if (line.find("calendar_retunes") != std::string::npos) continue;
+    if (line.find("psim.windows") != std::string::npos) continue;
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ParallelDriver, LatencyExperimentMatchesSequentialDrain) {
+  PlanetLabParams np;
+  np.hosts = 33;
+  PlanetLabNetwork net(np);
+  for (bool data_path : {false, true}) {
+    LatencyRunConfig cfg;
+    cfg.users = 32;
+    cfg.data_path = data_path;
+    cfg.session = PsimTestSession();
+    MetricsRegistry seq_reg;
+    cfg.metrics = &seq_reg;
+    const LatencyRunResult seq = RunLatencyExperiment(net, cfg, 99);
+    const std::string seq_json = ComparableRegistryJson(seq_reg);
+
+    for (int w : {1, 2, 7}) {
+      LatencyRunConfig pcfg = cfg;
+      MetricsRegistry psim_reg;
+      pcfg.metrics = &psim_reg;
+      pcfg.psim_workers = w;
+      const LatencyRunResult par = RunLatencyExperiment(net, pcfg, 99);
+      EXPECT_EQ(par.tmesh.delay_ms, seq.tmesh.delay_ms)
+          << "data=" << data_path << " W=" << w;
+      EXPECT_EQ(par.tmesh.rdp, seq.tmesh.rdp)
+          << "data=" << data_path << " W=" << w;
+      EXPECT_EQ(par.tmesh.stress, seq.tmesh.stress)
+          << "data=" << data_path << " W=" << w;
+      EXPECT_EQ(par.nice.delay_ms, seq.nice.delay_ms);
+      EXPECT_EQ(par.nice.rdp, seq.nice.rdp);
+      EXPECT_EQ(par.nice.stress, seq.nice.stress);
+      EXPECT_EQ(ComparableRegistryJson(psim_reg), seq_json)
+          << "data=" << data_path << " W=" << w;
+    }
+  }
+}
+
+// --- topology lookahead bounds --------------------------------------------
+//
+// The driver's safety rests on MinCrossHostDelayMs() being a true positive
+// lower bound: no pair of distinct hosts may be closer than the reported
+// value. Verified here by exhaustive (PlanetLab/GT-ITM sizes permitting)
+// pair scans against OneWayDelayMs.
+
+template <class Net>
+void CheckCrossHostBound(const Net& net) {
+  const double bound = net.MinCrossHostDelayMs();
+  ASSERT_GT(bound, 0.0);
+  double observed = 1e300;
+  for (HostId a = 0; a < net.host_count(); ++a) {
+    for (HostId b = 0; b < net.host_count(); ++b) {
+      if (a == b) continue;
+      observed = std::min(observed, net.OneWayDelayMs(a, b));
+    }
+  }
+  EXPECT_LE(bound, observed + 1e-9)
+      << "reported lookahead bound exceeds an actual host pair delay";
+}
+
+TEST(MinCrossHostDelay, PlanetLabBoundHolds) {
+  PlanetLabParams p;
+  p.hosts = 40;
+  p.seed = 5;
+  CheckCrossHostBound(PlanetLabNetwork(p));
+}
+
+TEST(MinCrossHostDelay, GtItmBoundHolds) {
+  GtItmParams p;
+  p.seed = 11;
+  p.stub_routers_min = 3;
+  p.stub_routers_max = 5;
+  CheckCrossHostBound(GtItmNetwork(p, 48, 12));
+}
+
+TEST(MinCrossHostDelay, SyntheticWanBoundHolds) {
+  SyntheticWanParams p;
+  p.hosts = 64;
+  p.seed = 9;
+  CheckCrossHostBound(SyntheticWanNetwork(p));
+}
+
+TEST(MinCrossHostDelay, BaseNetworkReportsUnknown) {
+  // The default contract: a topology that cannot bound its delays reports
+  // 0.0, and the experiment layer refuses to parallel-drive it.
+  class Flat final : public Network {
+   public:
+    int host_count() const override { return 2; }
+    double RttHosts(HostId, HostId) const override { return 2.0; }
+    double RttGateways(HostId, HostId) const override { return 2.0; }
+    double RttHostGateway(HostId) const override { return 0.0; }
+  };
+  EXPECT_EQ(Flat().MinCrossHostDelayMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace tmesh

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -256,6 +257,128 @@ TYPED_TEST(TransportConformanceTest, CancelTimerSemantics) {
   t.ScheduleIn(FromMillis(80), st.Hit(2));
   ASSERT_TRUE(this->h_.WaitUntil([&] { return st.OrderSize() == 2; }));
   EXPECT_FALSE(victim_ran.load());
+}
+
+// Cancelling must *release* the closure, not just suppress it: protocol
+// closures own resources (buffers, handles), and a transport that pins a
+// cancelled closure to its original deadline — or to the transport's
+// destructor — turns every retry-timer cancel into a slow leak. By the time
+// a marker past the victim's deadline has fired, the resource must be gone.
+// (The asan preset runs this suite, so a closure destroyed twice or never
+// would also surface here.)
+TYPED_TEST(TransportConformanceTest, CancelledClosureIsReleasedNotRetained) {
+  Transport& t = this->h_.a();
+  State& st = this->st_;
+  std::atomic<bool> victim_ran{false};
+  auto resource = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = resource;
+  const TimerId victim = t.ScheduleTimer(
+      FromMillis(30), [r = std::move(resource), &victim_ran] {
+        victim_ran = *r == 42;
+      });
+  EXPECT_TRUE(t.CancelTimer(victim));
+
+  t.ScheduleIn(FromMillis(60), st.Hit(1));
+  ASSERT_TRUE(this->h_.WaitUntil([&] { return st.OrderSize() == 1; }));
+  EXPECT_FALSE(victim_ran.load());
+  EXPECT_TRUE(watch.expired()) << "cancelled closure still holds its capture";
+}
+
+// --- UDP timer lifecycle (wall-clock transport only) ----------------------
+//
+// These pin behavior the simulator transport cannot exhibit: the UDP loop
+// sleeps on its heap front's deadline, and Stop()/Start() restart the loop
+// thread. SimTransport has neither a wall-clock sleep nor a lifecycle, so
+// the suite is not typed.
+
+// Cancelling the timer at the heap front must release its closure right
+// away — before the fix, the heap entry (and the epoll sleep computed from
+// it) survived until the dead deadline, here a minute out.
+TEST(UdpTimerLifecycle, CancelAtHeapFrontReleasesClosureImmediately) {
+  UdpTransport t(UdpTransport::Options{.host = 1});
+  t.Start();
+  auto resource = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = resource;
+  const TimerId far = t.ScheduleTimer(FromMillis(60'000),
+                                      [r = std::move(resource)] { (void)*r; });
+  EXPECT_TRUE(t.CancelTimer(far));
+  // No waiting: the front purge happens inside CancelTimer itself.
+  EXPECT_TRUE(watch.expired());
+
+  // The loop is no longer armed against the dead deadline: a fresh short
+  // timer fires promptly.
+  std::atomic<bool> fresh_ran{false};
+  t.ScheduleTimer(FromMillis(5), [&fresh_ran] { fresh_ran = true; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!fresh_ran.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fresh_ran.load());
+  t.Stop();
+}
+
+// The header's Stop() contract ("closures still queued at Stop() are
+// destroyed without running") plus clean restart: a second Start() must not
+// fire the previous life's timers, and their ids stay retired.
+TEST(UdpTimerLifecycle, StopDestroysQueuedTimersAndRestartIsClean) {
+  UdpTransport t(UdpTransport::Options{.host = 1});
+  t.Start();
+  std::atomic<bool> stale_ran{false};
+  auto resource = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = resource;
+  const TimerId stale = t.ScheduleTimer(
+      FromMillis(200),
+      [r = std::move(resource), &stale_ran] { stale_ran = *r == 1; });
+  t.Stop();
+  EXPECT_FALSE(stale_ran.load());
+  EXPECT_TRUE(watch.expired()) << "Stop() retained a queued closure";
+
+  t.Start();
+  EXPECT_FALSE(t.CancelTimer(stale));  // retired with its closure
+  std::atomic<bool> fresh_ran{false};
+  t.ScheduleTimer(FromMillis(5), [&fresh_ran] { fresh_ran = true; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!fresh_ran.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fresh_ran.load());
+  // Sit past the stale deadline (200 ms from the first Start) to prove the
+  // restarted loop has nothing left to fire from the first life.
+  std::this_thread::sleep_for(std::chrono::milliseconds(220));
+  EXPECT_FALSE(stale_ran.load());
+  t.Stop();
+}
+
+// Loopback sends the kernel accepts are counted as sent; a rejected
+// sendto() (short send, ENOBUFS) would land in datagrams_dropped(), which
+// on loopback at this volume must stay 0 — the same invariant the
+// multi-process soak asserts at scale.
+TEST(UdpTimerLifecycle, LoopbackSendsCountAndNeverDrop) {
+  UdpTransport a(UdpTransport::Options{.host = 1});
+  UdpTransport b(UdpTransport::Options{.host = 2});
+  a.AddPeer(2, b.port());
+  a.Start();
+  b.Start();
+  std::atomic<int> received{0};
+  b.OnReceive([&received](HostId, const std::uint8_t*, std::size_t) {
+    ++received;
+  });
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  constexpr int kSends = 32;
+  for (int i = 0; i < kSends; ++i) a.Send(2, payload);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (received.load() < kSends &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(received.load(), kSends);
+  EXPECT_EQ(a.datagrams_sent(), static_cast<std::uint64_t>(kSends));
+  EXPECT_EQ(a.datagrams_dropped(), 0u);
+  b.Stop();
+  a.Stop();
 }
 
 // --- byte identity through the seam (simulator only) ----------------------
